@@ -1,0 +1,71 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+#ifndef REVNIC_BENCH_BENCH_COMMON_H_
+#define REVNIC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "drivers/drivers.h"
+#include "perf/harness.h"
+
+namespace revnic::bench {
+
+// Reverse engineers `id` once per process (the pipeline is the expensive
+// part; every figure reuses it).
+inline const core::PipelineResult& Pipeline(drivers::DriverId id, uint64_t max_work = 250'000) {
+  static std::map<drivers::DriverId, core::PipelineResult>& cache =
+      *new std::map<drivers::DriverId, core::PipelineResult>();
+  auto it = cache.find(id);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  core::EngineConfig cfg;
+  cfg.pci = drivers::MakeDevice(id)->pci();
+  cfg.max_work = max_work;
+  return cache.emplace(id, core::RunPipeline(drivers::DriverImage(id), cfg)).first->second;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  printf("\n================================================================\n");
+  printf("%s\n(reproduces %s of Chipounov & Candea, EuroSys'10)\n", title, paper_ref);
+  printf("================================================================\n");
+}
+
+// Prints sweep series as aligned columns: size then one column per series.
+inline void PrintSweepTable(const std::vector<perf::SweepResult>& series, bool cpu_util,
+                            bool driver_frac = false) {
+  printf("%-10s", "payload_B");
+  for (const auto& s : series) {
+    printf("%22s", s.label.c_str());
+  }
+  printf("\n");
+  if (series.empty() || series[0].points.empty()) {
+    printf("(no data)\n");
+    return;
+  }
+  for (size_t row = 0; row < series[0].points.size(); ++row) {
+    printf("%-10zu", series[0].points[row].payload_bytes);
+    for (const auto& s : series) {
+      if (row >= s.points.size()) {
+        printf("%22s", "-");
+        continue;
+      }
+      const perf::PerfPoint& p = s.points[row];
+      if (driver_frac) {
+        printf("%21.1f%%", p.driver_cpu_frac * 100);
+      } else if (cpu_util) {
+        printf("%21.1f%%", p.cpu_util * 100);
+      } else {
+        printf("%22.1f", p.throughput_mbps);
+      }
+    }
+    printf("\n");
+  }
+}
+
+}  // namespace revnic::bench
+
+#endif  // REVNIC_BENCH_BENCH_COMMON_H_

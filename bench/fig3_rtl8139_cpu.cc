@@ -1,0 +1,13 @@
+// Figure 3: CPU utilization for RTL8139 drivers on the x86 PC.
+// Expected shape: utilization falls with packet size (fixed per-packet cost
+// amortized over longer wire time); synthesized Windows driver slightly above
+// the original; Linux original and the ported driver track each other.
+#include "bench/fig_throughput_common.h"
+
+int main() {
+  using namespace revnic;
+  bench::PrintHeader("Figure 3: RTL8139 CPU utilization on x86 PC", "Figure 3");
+  auto series = bench::FiveSeries(drivers::DriverId::kRtl8139, perf::X86Pc());
+  bench::PrintSweepTable(series, /*cpu_util=*/true);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 4: 91C111 driver ported from Windows to the FPGA (uC/OS-II).
+// Expected shape: ported driver within ~10% of the native uC/OS-II driver.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace revnic;
+  bench::PrintHeader("Figure 4: 91C111 throughput (Mbps), Windows -> uC/OS-II on FPGA",
+                     "Figure 4");
+  const core::PipelineResult& pr = bench::Pipeline(drivers::DriverId::kSmc91c111);
+  std::vector<perf::SweepResult> series;
+  series.push_back(perf::RunSweep({.driver = drivers::DriverId::kSmc91c111,
+                                   .kind = perf::DriverKind::kNativeReference,
+                                   .target = os::TargetOs::kUcos,
+                                   .label = "uC/OSII Original"},
+                                  perf::FpgaNios()));
+  series.push_back(perf::RunSweep({.driver = drivers::DriverId::kSmc91c111,
+                                   .kind = perf::DriverKind::kSynthesized,
+                                   .target = os::TargetOs::kUcos,
+                                   .module = &pr.module,
+                                   .label = "Windows->uC/OSII"},
+                                  perf::FpgaNios()));
+  bench::PrintSweepTable(series, /*cpu_util=*/false);
+  if (series[0].ok && series[1].ok) {
+    double worst = 0;
+    for (size_t i = 0; i < series[0].points.size(); ++i) {
+      double gap = 1.0 - series[1].points[i].throughput_mbps /
+                             series[0].points[i].throughput_mbps;
+      worst = std::max(worst, gap);
+    }
+    printf("\nWorst-case ported-vs-native gap: %.1f%% (paper: within ~10%%)\n", worst * 100);
+  }
+  return 0;
+}

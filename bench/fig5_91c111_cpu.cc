@@ -1,0 +1,25 @@
+// Figure 5: CPU fraction spent inside the 91C111 driver on the FPGA.
+// Expected shape: roughly 20-30% for both the native and the ported driver;
+// overall CPU usage is 100% (PIO device, no DMA).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace revnic;
+  bench::PrintHeader("Figure 5: CPU fraction inside the 91C111 driver (FPGA)", "Figure 5");
+  const core::PipelineResult& pr = bench::Pipeline(drivers::DriverId::kSmc91c111);
+  std::vector<perf::SweepResult> series;
+  series.push_back(perf::RunSweep({.driver = drivers::DriverId::kSmc91c111,
+                                   .kind = perf::DriverKind::kNativeReference,
+                                   .target = os::TargetOs::kUcos,
+                                   .label = "uC/OSII Original"},
+                                  perf::FpgaNios()));
+  series.push_back(perf::RunSweep({.driver = drivers::DriverId::kSmc91c111,
+                                   .kind = perf::DriverKind::kSynthesized,
+                                   .target = os::TargetOs::kUcos,
+                                   .module = &pr.module,
+                                   .label = "Windows->uC/OSII"},
+                                  perf::FpgaNios()));
+  bench::PrintSweepTable(series, /*cpu_util=*/false, /*driver_frac=*/true);
+  printf("\n(Overall CPU usage is 100%%: the 91C111 is PIO-only, paper Section 5.3.)\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared five-series sweep used by Figures 2, 3, 6 and 7:
+// Windows->KitOS, Windows->Windows, Linux Original, Windows->Linux,
+// Windows Original.
+#ifndef REVNIC_BENCH_FIG_THROUGHPUT_COMMON_H_
+#define REVNIC_BENCH_FIG_THROUGHPUT_COMMON_H_
+
+#include "bench/bench_common.h"
+
+namespace revnic::bench {
+
+inline std::vector<perf::SweepResult> FiveSeries(drivers::DriverId id,
+                                                 const perf::PlatformProfile& profile) {
+  const core::PipelineResult& pr = Pipeline(id);
+  const synth::RecoveredModule* module = &pr.module;
+  std::vector<perf::SweepConfig> configs = {
+      {.driver = id, .kind = perf::DriverKind::kSynthesized, .target = os::TargetOs::kKitos,
+       .module = module, .label = "Windows->KitOS"},
+      {.driver = id, .kind = perf::DriverKind::kSynthesized, .target = os::TargetOs::kWindows,
+       .module = module, .label = "Windows->Windows"},
+      {.driver = id, .kind = perf::DriverKind::kNativeReference,
+       .target = os::TargetOs::kLinux, .label = "Linux Original"},
+      {.driver = id, .kind = perf::DriverKind::kSynthesized, .target = os::TargetOs::kLinux,
+       .module = module, .label = "Windows->Linux"},
+      {.driver = id, .kind = perf::DriverKind::kOriginalBinary, .label = "Windows Original"},
+  };
+  std::vector<perf::SweepResult> series;
+  for (const auto& c : configs) {
+    series.push_back(perf::RunSweep(c, profile));
+  }
+  return series;
+}
+
+}  // namespace revnic::bench
+
+#endif  // REVNIC_BENCH_FIG_THROUGHPUT_COMMON_H_

@@ -1,0 +1,159 @@
+// Micro-benchmarks of the core substrates (google-benchmark): DBT
+// translation, concrete execution, symbolic stepping, solver queries, and
+// trace serialization. These quantify the per-block costs behind Figure 8's
+// wall-clock behaviour.
+#include <benchmark/benchmark.h>
+
+#include "drivers/drivers.h"
+#include "isa/assembler.h"
+#include "hw/ne2000.h"
+#include "os/winsim_host.h"
+#include "symex/executor.h"
+#include "symex/solver.h"
+#include "trace/serialize.h"
+#include "vm/machine.h"
+
+namespace {
+
+using namespace revnic;
+
+void BM_Assemble(benchmark::State& state) {
+  std::string src = drivers::DriverAsmSource(drivers::DriverId::kRtl8029);
+  for (auto _ : state) {
+    auto r = isa::Assemble(src);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_Assemble);
+
+void BM_DbtTranslateDriver(benchmark::State& state) {
+  const isa::Image& img = drivers::DriverImage(drivers::DriverId::kRtl8139);
+  vm::MemoryMap mm(os::kGuestRamSize);
+  os::WinSim winsim(hw::Rtl8139Config());
+  winsim.LoadDriver(img, &mm);
+  for (auto _ : state) {
+    vm::RamFetcher fetcher(&mm);
+    vm::Dbt dbt(&fetcher);
+    size_t blocks = 0;
+    for (uint32_t pc = img.code_begin(); pc < img.code_end(); pc += isa::kInstrBytes) {
+      if (dbt.Translate(pc)) {
+        ++blocks;
+      }
+    }
+    benchmark::DoNotOptimize(blocks);
+  }
+}
+BENCHMARK(BM_DbtTranslateDriver);
+
+void BM_ConcreteSendPath(benchmark::State& state) {
+  hw::Ne2000 device;
+  os::ConcreteWinSimHost host(drivers::DriverImage(drivers::DriverId::kRtl8029), &device);
+  if (!host.Initialize()) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  hw::Frame f = hw::BuildUdpFrame({1, 2, 3, 4, 5, 6}, {2, 2, 2, 2, 2, 2},
+                                  static_cast<size_t>(state.range(0)), 0xAA);
+  for (auto _ : state) {
+    auto status = host.SendFrame(f);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.size()));
+}
+BENCHMARK(BM_ConcreteSendPath)->Arg(64)->Arg(512)->Arg(1472);
+
+void BM_SolverChainQuery(benchmark::State& state) {
+  symex::ExprContext ctx;
+  symex::Solver solver;
+  // OID-style comparison chain over one variable.
+  symex::ExprRef oid = ctx.Sym("oid", 32);
+  std::vector<symex::ExprRef> constraints;
+  for (int i = 0; i < state.range(0); ++i) {
+    constraints.push_back(
+        ctx.Bin(symex::BinOp::kNe, oid, ctx.Const(0x01010100u + static_cast<uint32_t>(i))));
+  }
+  symex::ExprRef target = ctx.Eq(oid, ctx.Const(0x0101FFFF));
+  for (auto _ : state) {
+    symex::Model model;
+    auto v = solver.MayBeTrue(constraints, target, &model);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SolverChainQuery)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SymbolicStep(benchmark::State& state) {
+  symex::ExprContext ctx;
+  symex::Solver solver;
+  vm::MemoryMap mm(1 << 20);
+  class NullHw : public symex::HardwareBridge {
+   public:
+    explicit NullHw(symex::ExprContext* c) : ctx_(c) {}
+    bool IsMmio(uint32_t) const override { return false; }
+    bool IsDma(uint32_t) const override { return false; }
+    symex::ExprRef MmioRead(symex::ExecutionState&, uint32_t, unsigned) override {
+      return ctx_->Const(0);
+    }
+    void MmioWrite(symex::ExecutionState&, uint32_t, unsigned, const symex::ExprRef&) override {}
+    symex::ExprRef PortRead(symex::ExecutionState&, uint32_t, unsigned) override {
+      return ctx_->Sym("p", 32);
+    }
+    void PortWrite(symex::ExecutionState&, uint32_t, unsigned, const symex::ExprRef&) override {}
+    symex::ExprRef DmaRead(symex::ExecutionState&, uint32_t, unsigned) override {
+      return ctx_->Const(0);
+    }
+
+   private:
+    symex::ExprContext* ctx_;
+  } hw_bridge(&ctx);
+  symex::Executor executor(&ctx, &solver, &hw_bridge);
+  uint64_t ids = 1;
+  executor.set_next_state_id(&ids);
+  // A small arithmetic block.
+  auto r = isa::Assemble(R"(
+.entry f
+f:
+    add r1, r1, #1
+    xor r2, r1, #0xFF
+    shl r3, r2, #3
+    jmp f
+)");
+  vm::RamFetcher fetcher(&mm);
+  mm.WriteRamBytes(r.image.code_begin() % (1 << 20), r.image.code.data(),
+                   r.image.code.size());
+  symex::ExecutionState st(0, &ctx, &mm);
+  st.set_pc(r.image.code_begin() % (1 << 20));
+  vm::Dbt dbt(&fetcher);
+  auto block = dbt.Translate(st.pc());
+  for (auto _ : state) {
+    st.set_pc(block->guest_pc);
+    auto res = executor.Step(&st, *block, nullptr);
+    benchmark::DoNotOptimize(res.kind);
+  }
+}
+BENCHMARK(BM_SymbolicStep);
+
+void BM_TraceSerialize(benchmark::State& state) {
+  trace::TraceBundle bundle;
+  for (uint32_t i = 0; i < 500; ++i) {
+    ir::Block b;
+    b.guest_pc = 0x400000 + i * 16;
+    b.num_temps = 2;
+    b.instrs.push_back({.op = ir::Op::kConst, .dst = 0, .imm = i});
+    b.instrs.push_back({.op = ir::Op::kSetReg, .a = 0, .imm = 1});
+    bundle.blocks.emplace(b.guest_pc, b);
+    trace::BlockRecord rec;
+    rec.pc = b.guest_pc;
+    rec.seq = i;
+    bundle.block_records.push_back(rec);
+  }
+  for (auto _ : state) {
+    auto bytes = trace::Serialize(bundle);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+}
+BENCHMARK(BM_TraceSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table 1: characteristics of the proprietary Windows drivers under test.
+#include "bench/bench_common.h"
+#include "isa/disasm.h"
+
+int main() {
+  using namespace revnic;
+  bench::PrintHeader("Table 1: Reverse-engineered Windows driver characteristics", "Table 1");
+
+  struct PaperRow {
+    const char* ported_to;
+    int size_kb, code_kb, imports, functions;
+  };
+  // The paper's reported values, for side-by-side comparison.
+  const std::map<drivers::DriverId, PaperRow> paper = {
+      {drivers::DriverId::kPcnet, {"Windows, Linux, KitOS", 35, 28, 51, 78}},
+      {drivers::DriverId::kRtl8139, {"Windows, Linux, KitOS", 20, 18, 43, 91}},
+      {drivers::DriverId::kSmc91c111, {"uC/OS-II, KitOS", 19, 10, 28, 40}},
+      {drivers::DriverId::kRtl8029, {"Windows, Linux, KitOS", 18, 14, 37, 48}},
+  };
+
+  printf("%-12s %-12s %10s %10s %9s %10s  | paper: size code imports funcs\n", "driver",
+         "file", "size_B", "code_B", "imports", "functions");
+  for (auto id : drivers::kAllDrivers) {
+    const isa::Image& img = drivers::DriverImage(id);
+    isa::StaticAnalysis a = isa::Analyze(img);
+    const PaperRow& p = paper.at(id);
+    printf("%-12s %-12s %10u %10zu %9zu %10zu  | %6dKB %3dKB %5d %7d\n",
+           drivers::DriverName(id), drivers::DriverFileName(id), img.file_size(),
+           img.code.size(), a.NumImports(), a.NumFunctions(), p.size_kb, p.code_kb, p.imports,
+           p.functions);
+  }
+  printf("\nPorted-to matrix (paper Section 5.1):\n");
+  for (auto id : drivers::kAllDrivers) {
+    printf("  %-12s -> %s\n", drivers::DriverName(id), paper.at(id).ported_to);
+  }
+  return 0;
+}

@@ -1,0 +1,548 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "isa/isa.h"
+#include "symex/executor.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace revnic::core {
+
+using os::EntryRole;
+using symex::ExecutionState;
+using symex::ExprRef;
+
+namespace {
+
+// GuestMem over a symbolic state: OS reads concretize (§3.4), writes are
+// concrete values from the OS.
+class SymGuestMem : public os::GuestMem {
+ public:
+  SymGuestMem(symex::Executor* executor, ExecutionState* state)
+      : executor_(executor), state_(state) {}
+
+  uint32_t Read(uint32_t addr, unsigned size) override {
+    return executor_->ConcretizeMem(state_, addr, size);
+  }
+
+  void Write(uint32_t addr, unsigned size, uint32_t value) override {
+    state_->mem().WriteConcrete(addr, size, value);
+  }
+
+ private:
+  symex::Executor* executor_;
+  ExecutionState* state_;
+};
+
+struct StepArg {
+  bool symbolic = false;
+  uint32_t value = 0;
+  const char* name = "";
+};
+
+struct Step {
+  std::string name;
+  bool is_driver_entry = false;
+  EntryRole role = EntryRole::kInitialize;
+  bool is_irq = false;  // marks the §3.2 interrupt-injection steps
+  std::vector<StepArg> args;
+  // Optional extra state preparation (packet buffers etc.).
+  std::function<void(symex::ExprContext*, ExecutionState*)> setup;
+};
+
+constexpr uint32_t kScratch = 0x00200000;     // packet struct + buffers
+constexpr uint32_t kPacketStruct = kScratch;
+constexpr uint32_t kPacketData = kScratch + 0x100;
+constexpr uint32_t kIoctlBuf = kScratch + 0x800;
+constexpr uint32_t kIoctlOut = kScratch + 0x7F0;
+
+}  // namespace
+
+struct Engine::Impl {
+  Impl(const isa::Image& image, const EngineConfig& config)
+      : image(image),
+        config(config),
+        mm(os::kGuestRamSize),
+        winsim(config.pci),
+        shell(&ctx, config.pci),
+        solver(config.solver, config.seed),
+        executor(&ctx, &solver, &shell),
+        fetcher(&mm),
+        dbt(&fetcher),
+        pool(config.pool, config.seed ^ 0x5EED),
+        rng(config.seed ^ 0xC0FFEE),
+        sink(&bundle) {
+    executor.set_next_state_id(&next_state_id);
+    winsim.LoadDriver(image, &mm);
+    for (const auto& [key, value] : config.registry) {
+      winsim.SetConfig(key, value);
+    }
+    isa::StaticAnalysis analysis = isa::Analyze(image);
+    static_bbs = analysis.basic_block_starts;
+    bundle.code_begin = image.code_begin();
+    bundle.code_end = image.code_end();
+    bundle.entry = image.entry;
+  }
+
+  // ---- small helpers ----
+
+  uint32_t ConcretizeReg(ExecutionState* st, unsigned reg, const char* why) {
+    return executor.Concretize(st, st->reg(reg), why);
+  }
+
+  void PushExpr(ExecutionState* st, ExprRef value) {
+    uint32_t sp = ConcretizeReg(st, isa::kRegSp, "push-sp") - 4;
+    st->set_reg(isa::kRegSp, ctx.Const(sp));
+    st->mem().Write(&ctx, sp, 4, value);
+  }
+
+  void EmitEvent(ExecutionState* st, trace::EventKind kind, uint32_t value,
+                 const std::string& detail) {
+    trace::EventRecord ev;
+    ev.state_id = st->id();
+    ev.seq = event_seq++;
+    ev.kind = kind;
+    ev.value = value;
+    ev.detail = detail;
+    sink.OnEvent(ev);
+  }
+
+  // Returns true when the block contributed new coverage.
+  bool UpdateCoverage(const ir::Block& block) {
+    bool fresh = false;
+    auto it = static_bbs.lower_bound(block.guest_pc);
+    while (it != static_bbs.end() && *it < block.guest_pc + block.guest_size) {
+      fresh |= covered.insert(*it).second;
+      ++it;
+    }
+    return fresh;
+  }
+
+  void SampleTimeline() {
+    if (stats.work % config.sample_every == 0) {
+      timeline.push_back({stats.work, covered.size()});
+    }
+  }
+
+  // Services one `sys` trap on `st`. Returns false if the state died.
+  bool HandleSyscall(ExecutionState* st, uint32_t api_id) {
+    ++stats.api_calls;
+    apis_used.insert(api_id);
+    const os::ApiSignature& sig = os::SignatureOf(api_id);
+    uint32_t sp = ConcretizeReg(st, isa::kRegSp, "sys-sp");
+
+    trace::ApiRecord record;
+    record.state_id = st->id();
+    record.seq = event_seq++;
+    record.pc = st->pc();
+    record.api_id = api_id;
+
+    if (config.skip_apis.count(api_id) != 0) {
+      ++stats.api_skipped;
+      st->set_reg(isa::kRegSp, ctx.Const(sp + 4 * sig.argc));
+      st->set_reg(isa::kRegR0, ctx.Const(os::kStatusSuccess));
+      record.skipped = true;
+      sink.OnApi(record);
+      return true;
+    }
+
+    std::vector<uint32_t> args(sig.argc);
+    for (unsigned i = 0; i < sig.argc; ++i) {
+      args[i] = executor.ConcretizeMem(st, sp + 4 * i, 4);
+    }
+    record.args = args;
+
+    // §3.2 heuristic 4, "replaced with models": bulk-copy APIs are modeled
+    // as no-ops during exercising -- the copied bytes are symbolic anyway
+    // (packet payloads, DMA contents), and copying them byte-by-byte through
+    // the concretizer would cost a solver query per byte. The rx-indication
+    // body is skipped for the same reason.
+    if (api_id == os::kNdisMEthIndicateReceive || api_id == os::kNdisMoveMemory ||
+        api_id == os::kNdisZeroMemory) {
+      st->set_reg(isa::kRegSp, ctx.Const(sp + 4 * sig.argc));
+      st->set_reg(isa::kRegR0, ctx.Const(os::kStatusSuccess));
+      record.ret = os::kStatusSuccess;
+      sink.OnApi(record);
+      return true;
+    }
+
+    // Registry reads return symbolic status and value so both the
+    // "configured" and "not configured" paths are explored (§3.1's symbolic
+    // OS-side injections).
+    if (api_id == os::kNdisReadConfiguration) {
+      uint32_t out_addr = args.size() >= 3 ? args[2] : 0;
+      if (out_addr != 0) {
+        st->mem().Write(&ctx, out_addr, 4, ctx.Sym("cfg_value", 32));
+      }
+      st->set_reg(isa::kRegSp, ctx.Const(sp + 4 * sig.argc));
+      ExprRef status = ctx.Sym("cfg_status", 32);
+      // Constrain to the two meaningful values: success or failure.
+      st->AddConstraint(ctx.Bin(
+          symex::BinOp::kOr,
+          ctx.ZExt(ctx.Eq(status, ctx.Const(os::kStatusSuccess)), 32),
+          ctx.ZExt(ctx.Eq(status, ctx.Const(os::kStatusFailure)), 32)));
+      st->set_reg(isa::kRegR0, status);
+      record.ret = 0;
+      sink.OnApi(record);
+      return true;
+    }
+
+    SymGuestMem mem(&executor, st);
+    os::ApiOutcome outcome = winsim.HandleApi(api_id, args, mem);
+    st->set_reg(isa::kRegSp, ctx.Const(sp + 4 * sig.argc));
+
+    if (outcome.effect == os::ApiEffect::kCallGuestFunction) {
+      // NdisMSynchronizeWithInterrupt: run the callback inline. Push its
+      // argument and a return address pointing back to the post-sys pc; the
+      // callback's `ret #4` resumes execution exactly there.
+      uint32_t resume = st->pc();
+      PushExpr(st, ctx.Const(outcome.callback_arg));
+      PushExpr(st, ctx.Const(resume));
+      st->set_pc(outcome.callback_pc);
+      st->PushCall();
+      record.ret = 0;
+      sink.OnApi(record);
+      return true;
+    }
+
+    st->set_reg(isa::kRegR0, ctx.Const(outcome.ret));
+    record.ret = outcome.ret;
+    sink.OnApi(record);
+
+    // DMA allocations feed the shell device (§3.4).
+    if (api_id == os::kNdisMAllocateSharedMemory && args.size() == 3) {
+      uint32_t va = st->mem().ReadConcrete(args[1], 4);
+      shell.dma().Register(va, args[0]);
+    }
+    return true;
+  }
+
+  // If the state just entered a modeled function, simulates its immediate
+  // return (§3.2 heuristic 4).
+  void ApplyFunctionModel(ExecutionState* st) {
+    for (const EngineConfig::FunctionModel& model : config.function_models) {
+      if (st->pc() != model.entry_pc) {
+        continue;
+      }
+      ++stats_functions_modeled;
+      uint32_t sp = ConcretizeReg(st, isa::kRegSp, "model-sp");
+      uint32_t ret_addr = executor.ConcretizeMem(st, sp, 4);
+      st->set_reg(isa::kRegSp, ctx.Const(sp + 4 + model.arg_bytes));
+      st->set_reg(isa::kRegR0, model.symbolic_return
+                                   ? ctx.Sym(StrFormat("model_%x", model.entry_pc), 32)
+                                   : ctx.Const(0));
+      st->set_pc(ret_addr);
+      st->PopCall();
+      return;
+    }
+  }
+
+  // Runs one script step starting from `seed_state`; returns the surviving
+  // state that carries over to the next step.
+  std::unique_ptr<ExecutionState> RunStep(const Step& step,
+                                          std::unique_ptr<ExecutionState> seed_state) {
+    uint32_t entry_pc =
+        step.is_driver_entry ? image.entry : winsim.EntryPc(step.role);
+    if (entry_pc == 0) {
+      return seed_state;  // entry point not provided by this driver
+    }
+    // Pre-step snapshot: the fallback if every path errors out.
+    std::unique_ptr<ExecutionState> fallback = seed_state->Fork(next_state_id++);
+
+    EmitEvent(seed_state.get(), step.is_irq ? trace::EventKind::kIrqInject
+                                            : trace::EventKind::kEntryInvoke,
+              entry_pc, step.name);
+    if (step.is_irq) {
+      ++stats.irqs_injected;
+    }
+
+    // Prepare the call frame.
+    ExecutionState* st = seed_state.get();
+    st->set_reg(isa::kRegSp, ctx.Const(os::kStackTop));
+    if (step.setup) {
+      step.setup(&ctx, st);
+    }
+    for (auto it = step.args.rbegin(); it != step.args.rend(); ++it) {
+      if (it->symbolic) {
+        PushExpr(st, ctx.Sym(StrFormat("%s_%s", step.name.c_str(), it->name), 32));
+      } else {
+        uint32_t v = it->value;
+        if (v == kAdapterCtxPlaceholder) {
+          v = winsim.adapter_context();
+        }
+        PushExpr(st, ctx.Const(v));
+      }
+    }
+    PushExpr(st, ctx.Const(os::kStopPc));
+    st->set_pc(entry_pc);
+    st->ResetCallDepth();
+    st->ResetVisits();
+
+    pool.Clear();
+    pool.Add(std::move(seed_state));
+
+    std::vector<std::unique_ptr<ExecutionState>> successes;
+    std::vector<std::unique_ptr<ExecutionState>> completions;
+    uint64_t step_work = 0;
+    uint64_t last_progress = 0;  // step_work at the last new-coverage block
+
+    while (!pool.Empty() && stats.work < config.max_work &&
+           step_work < config.max_work_per_step) {
+      std::unique_ptr<ExecutionState> cur = pool.SelectNext();
+      // Operator diagnostics: REVNIC_HEARTBEAT=1 streams exerciser progress.
+      if (getenv("REVNIC_HEARTBEAT") != nullptr && stats.work % 50 == 0) {
+        fprintf(stderr, "[hb] step=%s work=%llu pool=%zu pc=0x%x constraints=%zu\n",
+                step.name.c_str(), (unsigned long long)stats.work, pool.NumRunnable(),
+                cur->pc(), cur->constraints().size());
+      }
+      std::shared_ptr<const ir::Block> block = dbt.Translate(cur->pc());
+      if (!block) {
+        ++stats.states_killed_error;
+        EmitEvent(cur.get(), trace::EventKind::kStateKill, cur->pc(), "untranslatable pc");
+        continue;
+      }
+      symex::StepResult result = executor.Step(cur.get(), *block, &sink);
+      ++stats.work;
+      ++step_work;
+      if (block->term == ir::Term::kCall) {
+        ++call_counts[block->target];
+        // §3.2 function models: skip the modeled callee entirely -- pop the
+        // return address the call just pushed, clean its stdcall arguments,
+        // and hand back a (symbolic) return value.
+        if (result.kind == symex::StepKind::kContinue) {
+          ApplyFunctionModel(cur.get());
+        }
+      }
+      pool.NotifyExecuted(block->guest_pc);
+      if (UpdateCoverage(*block)) {
+        last_progress = step_work;
+      }
+      SampleTimeline();
+      // §3.2 polling-loop heuristic: polling loops fork a near-identical
+      // state on every iteration. Count *forking* visits per block (the
+      // count is inherited through the fork, so the stay-in-loop lineage
+      // accumulates it); past the threshold the looping lineage is killed
+      // while the forked exits survive. Concrete bounded loops never fork
+      // and are left alone.
+      bool kill_cur = false;
+      if (!result.forks.empty()) {
+        kill_cur = cur->IncVisit(block->guest_pc) > config.polling_visit_threshold;
+      }
+      for (auto& fork : result.forks) {
+        ++stats.states_created;
+        if (fork->IncVisit(block->guest_pc) > config.polling_visit_threshold) {
+          ++stats.states_killed_polling;
+          EmitEvent(fork.get(), trace::EventKind::kStateKill, block->guest_pc, "polling loop");
+          continue;
+        }
+        pool.Add(std::move(fork));
+      }
+      if (kill_cur && result.kind == symex::StepKind::kContinue) {
+        ++stats.states_killed_polling;
+        EmitEvent(cur.get(), trace::EventKind::kStateKill, block->guest_pc, "polling loop");
+        continue;
+      }
+      switch (result.kind) {
+        case symex::StepKind::kContinue:
+          pool.Add(std::move(cur));
+          break;
+        case symex::StepKind::kSyscall:
+          if (HandleSyscall(cur.get(), result.api_id)) {
+            pool.Add(std::move(cur));
+          }
+          break;
+        case symex::StepKind::kEntryReturn: {
+          ++stats.entry_completions;
+          uint32_t status = executor.Concretize(cur.get(), cur->reg(isa::kRegR0), "entry-status");
+          EmitEvent(cur.get(), trace::EventKind::kStateComplete, status, step.name);
+          if (status == os::kStatusSuccess || status == 1) {
+            successes.push_back(std::move(cur));
+          } else {
+            completions.push_back(std::move(cur));
+          }
+          break;
+        }
+        case symex::StepKind::kHalt:
+        case symex::StepKind::kError:
+          ++stats.states_killed_error;
+          EmitEvent(cur.get(), trace::EventKind::kStateKill, cur->pc(), "halt/error");
+          break;
+      }
+      // §3.2: the entry point is explored "until no more new code blocks are
+      // discovered within some predefined amount of time", and once enough
+      // paths completed, all but one are discarded. Void entry points
+      // (HandleInterrupt, Halt, ...) have no status code, so any completed
+      // path counts toward the cap.
+      bool enough_completions =
+          successes.size() >= config.entry_success_cap ||
+          successes.size() + completions.size() >= 2 * config.entry_success_cap;
+      if (enough_completions && step_work - last_progress > config.no_progress_window) {
+        break;
+      }
+    }
+    pool.Clear();
+
+    // §3.2: keep one successful path chosen at random.
+    std::unique_ptr<ExecutionState> survivor;
+    if (!successes.empty()) {
+      survivor = std::move(successes[rng.Below(static_cast<uint32_t>(successes.size()))]);
+    } else if (!completions.empty()) {
+      survivor = std::move(completions[rng.Below(static_cast<uint32_t>(completions.size()))]);
+    } else {
+      RLOG_INFO("step '%s': no completed path; restoring pre-step snapshot", step.name.c_str());
+      survivor = std::move(fallback);
+    }
+    return survivor;
+  }
+
+  std::vector<Step> BuildScript() {
+    // The §3.2 user-mode script: load, standard IOCTLs, send, reception,
+    // unload, with interrupt injection after entry points.
+    std::vector<Step> script;
+    Step drv{.name = "driver_entry", .is_driver_entry = true};
+    drv.args = {{false, 0x1000, "drvobj"}, {false, 0x1100, "regpath"}};
+    script.push_back(drv);
+
+    Step init{.name = "initialize", .role = EntryRole::kInitialize};
+    init.args = {{false, 0x2000, "handle"}};
+    script.push_back(init);
+
+    script.push_back(MakeIrqStep("irq_after_init_isr", EntryRole::kIsr));
+    script.push_back(MakeIrqStep("irq_after_init_dpc", EntryRole::kHandleInterrupt));
+
+    Step query{.name = "query_info", .role = EntryRole::kQueryInformation};
+    query.args = {{false, kAdapterCtxPlaceholder, "ctx"},
+                  {true, 0, "oid"},
+                  {false, kIoctlBuf, "buf"},
+                  {false, 64, "len"},
+                  {false, kIoctlOut, "written"}};
+    script.push_back(query);
+
+    Step set{.name = "set_info", .role = EntryRole::kSetInformation};
+    set.args = {{false, kAdapterCtxPlaceholder, "ctx"},
+                {true, 0, "oid"},
+                {false, kIoctlBuf, "buf"},
+                {false, 12, "len"},
+                {false, kIoctlOut, "read"}};
+    set.setup = [](symex::ExprContext* ectx, ExecutionState* st) {
+      // IOCTL input buffer: symbolic payload (filter bits, duplex value,
+      // multicast addresses...).
+      for (unsigned i = 0; i < 12; i += 4) {
+        st->mem().Write(ectx, kIoctlBuf + i, 4, ectx->Sym(StrFormat("ioctl_in_%u", i), 32));
+      }
+    };
+    script.push_back(set);
+
+    Step send{.name = "send", .role = EntryRole::kSend};
+    send.args = {{false, kAdapterCtxPlaceholder, "ctx"},
+                 {false, kPacketStruct, "packet"},
+                 {false, 0, "flags"}};
+    send.setup = [](symex::ExprContext* ectx, ExecutionState* st) {
+      // NDIS_PACKET with symbolic length and symbolic leading payload
+      // (§3.2: "replaces the concrete data within the packet and the packet
+      // length with symbolic values").
+      st->mem().Write(ectx, kPacketStruct, 4, ectx->Const(kPacketData));
+      st->mem().Write(ectx, kPacketStruct + 4, 4, ectx->Sym("send_len", 32));
+      for (unsigned i = 0; i < 64; i += 4) {
+        st->mem().Write(ectx, kPacketData + i, 4, ectx->Sym(StrFormat("pkt_%u", i), 32));
+      }
+    };
+    script.push_back(send);
+
+    script.push_back(MakeIrqStep("irq_after_send_isr", EntryRole::kIsr));
+    script.push_back(MakeIrqStep("irq_after_send_dpc", EntryRole::kHandleInterrupt));
+
+    Step reset{.name = "reset", .role = EntryRole::kReset};
+    reset.args = {{false, kAdapterCtxPlaceholder, "ctx"}};
+    script.push_back(reset);
+
+    Step timer{.name = "timer", .role = EntryRole::kTimer};
+    timer.args = {{false, kAdapterCtxPlaceholder, "ctx"}};
+    script.push_back(timer);
+
+    Step shutdown{.name = "shutdown", .role = EntryRole::kShutdown};
+    shutdown.args = {{false, kAdapterCtxPlaceholder, "ctx"}};
+    script.push_back(shutdown);
+
+    Step halt{.name = "halt", .role = EntryRole::kHalt};
+    halt.args = {{false, kAdapterCtxPlaceholder, "ctx"}};
+    script.push_back(halt);
+    return script;
+  }
+
+  Step MakeIrqStep(const char* name, EntryRole role) {
+    Step s{.name = name, .role = role, .is_irq = true};
+    s.args = {{false, kAdapterCtxPlaceholder, "ctx"}};
+    return s;
+  }
+
+  EngineResult Run() {
+    auto state = std::make_unique<ExecutionState>(next_state_id++, &ctx, &mm);
+    for (const Step& step : BuildScript()) {
+      if (step.is_irq && !config.inject_irqs) {
+        continue;
+      }
+      state = RunStep(step, std::move(state));
+      if (stats.work >= config.max_work) {
+        break;
+      }
+    }
+    timeline.push_back({stats.work, covered.size()});
+
+    EngineResult result;
+    result.bundle = std::move(bundle);
+    result.covered_blocks = std::move(covered);
+    result.static_blocks = static_bbs.size();
+    result.timeline = std::move(timeline);
+    result.stats = stats;
+    result.solver_stats = solver.stats();
+    result.executor_stats = executor.stats();
+    result.entries = winsim.entries();
+    result.apis_used = std::move(apis_used);
+    result.call_counts = call_counts;
+    result.functions_modeled = stats_functions_modeled;
+    return result;
+  }
+
+  static constexpr uint32_t kAdapterCtxPlaceholder = 0xADA97CBA;
+
+  isa::Image image;
+  EngineConfig config;
+  vm::MemoryMap mm;
+  os::WinSim winsim;
+  symex::ExprContext ctx;
+  ShellBridge shell;
+  symex::Solver solver;
+  symex::Executor executor;
+  vm::RamFetcher fetcher;
+  vm::Dbt dbt;
+  symex::StatePool pool;
+  Rng rng;
+  trace::TraceBundle bundle;
+  trace::BundleSink sink;
+  uint64_t next_state_id = 1;
+  uint64_t event_seq = 1'000'000'000ull;  // disjoint from executor seq space
+  std::set<uint32_t> static_bbs;
+  std::set<uint32_t> covered;
+  std::vector<CoverageSample> timeline;
+  EngineStats stats;
+  std::set<uint32_t> apis_used;
+  std::map<uint32_t, uint64_t> call_counts;
+  uint64_t stats_functions_modeled = 0;
+};
+
+Engine::Engine(const isa::Image& image, const EngineConfig& config)
+    : impl_(std::make_unique<Impl>(image, config)) {}
+
+Engine::~Engine() = default;
+
+EngineResult Engine::Run() { return impl_->Run(); }
+
+EngineResult ReverseEngineer(const isa::Image& image, const EngineConfig& config) {
+  Engine engine(image, config);
+  return engine.Run();
+}
+
+}  // namespace revnic::core

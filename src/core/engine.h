@@ -1,0 +1,124 @@
+// The RevNIC exerciser engine (§3.2): drives a binary driver through the
+// user-mode script (load, IOCTLs, send, receive, unload) under selective
+// symbolic execution, applying the paper's path-selection heuristics, and
+// wiretaps everything into a TraceBundle.
+#ifndef REVNIC_CORE_ENGINE_H_
+#define REVNIC_CORE_ENGINE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/shell.h"
+#include "isa/disasm.h"
+#include "isa/image.h"
+#include "os/winsim.h"
+#include "symex/scheduler.h"
+#include "trace/trace.h"
+#include "vm/dbt.h"
+#include "vm/machine.h"
+
+namespace revnic::core {
+
+struct EngineConfig {
+  hw::PciConfig pci;
+  // Total work budget, in executed translation blocks.
+  uint64_t max_work = 2'000'000;
+  // Per-entry-point work cap before moving on (§3.2 "predefined amount of
+  // time" per entry point).
+  uint64_t max_work_per_step = 200'000;
+  // §3.2: after this many successful completions of an entry point, collapse
+  // to one random successful path and move on.
+  unsigned entry_success_cap = 12;
+  // An entry point's exploration ends once the completion cap is reached AND
+  // no new basic block has been discovered for this many work units (§3.2's
+  // "predefined amount of time" per entry point).
+  uint64_t no_progress_window = 1500;
+  // Polling-loop heuristic: a state revisiting one block this often inside a
+  // single entry invocation is killed (it is the path that stays in the loop;
+  // the forked exit path survives).
+  uint32_t polling_visit_threshold = 64;
+  // APIs to skip entirely (§3.2 heuristic 4); WriteErrorLogEntry by default.
+  std::set<uint32_t> skip_apis = {os::kNdisWriteErrorLogEntry};
+  // Function models (§3.2 heuristic 4, second half): driver functions to
+  // replace with "a few lines of code [that] set the program counter
+  // appropriately to skip the call, and return a symbolic value". The
+  // developer picks candidates from EngineResult::call_counts of a first run.
+  struct FunctionModel {
+    uint32_t entry_pc = 0;
+    uint32_t arg_bytes = 0;        // stdcall cleanup the skipped callee owed
+    bool symbolic_return = true;   // e.g. a modeled register read
+  };
+  std::vector<FunctionModel> function_models;
+  // Symbolic interrupt injection after entry-point returns (§3.2 heuristic 3).
+  bool inject_irqs = true;
+  // Registry keys visible to the driver during exercising.
+  std::vector<std::pair<uint32_t, uint32_t>> registry = {
+      {os::kCfgDuplexMode, 2}, {os::kCfgWakeOnLan, 1}, {os::kCfgLedMode, 3}};
+  symex::StatePool::Options pool;
+  symex::Solver::Options solver;
+  uint64_t seed = 1;
+  // Coverage timeline sampling period (work units).
+  uint64_t sample_every = 2048;
+};
+
+struct CoverageSample {
+  uint64_t work = 0;             // translation blocks executed so far
+  size_t covered_blocks = 0;     // static basic blocks touched
+};
+
+struct EngineStats {
+  uint64_t work = 0;
+  uint64_t states_created = 0;
+  uint64_t states_killed_polling = 0;
+  uint64_t states_killed_error = 0;
+  uint64_t entry_completions = 0;
+  uint64_t irqs_injected = 0;
+  uint64_t api_calls = 0;
+  uint64_t api_skipped = 0;
+};
+
+struct EngineResult {
+  trace::TraceBundle bundle;
+  std::set<uint32_t> covered_blocks;   // static basic-block starts reached
+  size_t static_blocks = 0;            // denominator for coverage %
+  std::vector<CoverageSample> timeline;
+  EngineStats stats;
+  symex::SolverStats solver_stats;
+  symex::ExecutorStats executor_stats;
+  // Entry-point table discovered via registration monitoring.
+  std::vector<os::EntryPoint> entries;
+  // Direct-call counts per callee pc: the "most frequently called functions"
+  // report the developer uses to pick model candidates (§3.2).
+  std::map<uint32_t, uint64_t> call_counts;
+  uint64_t functions_modeled = 0;
+  // API usage (Table 1 "imported functions" observed dynamically).
+  std::set<uint32_t> apis_used;
+
+  double CoveragePercent() const {
+    return static_blocks == 0 ? 0.0
+                              : 100.0 * static_cast<double>(covered_blocks.size()) /
+                                    static_cast<double>(static_blocks);
+  }
+};
+
+class Engine {
+ public:
+  Engine(const isa::Image& image, const EngineConfig& config);
+  ~Engine();
+
+  // Runs the whole script; returns the wiretap output and statistics.
+  EngineResult Run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Convenience wrapper.
+EngineResult ReverseEngineer(const isa::Image& image, const EngineConfig& config);
+
+}  // namespace revnic::core
+
+#endif  // REVNIC_CORE_ENGINE_H_

@@ -1,0 +1,27 @@
+// End-to-end RevNIC pipeline: exercise + wiretap (engine) -> CFG rebuild +
+// code synthesis (synth). One call takes a closed binary driver image to a
+// runnable recovered module and its C rendering.
+#ifndef REVNIC_CORE_PIPELINE_H_
+#define REVNIC_CORE_PIPELINE_H_
+
+#include <string>
+
+#include "core/engine.h"
+#include "synth/cemit.h"
+#include "synth/cfg.h"
+
+namespace revnic::core {
+
+struct PipelineResult {
+  EngineResult engine;
+  synth::RecoveredModule module;
+  synth::SynthStats synth_stats;
+  std::string c_source;       // generated driver code (Listing 1 style)
+  std::string runtime_header; // revnic_runtime.h it compiles against
+};
+
+PipelineResult RunPipeline(const isa::Image& image, const EngineConfig& config);
+
+}  // namespace revnic::core
+
+#endif  // REVNIC_CORE_PIPELINE_H_

@@ -1,0 +1,93 @@
+// The "shell" symbolic device (§3.4).
+//
+// Creates the illusion that the real NIC is present: it claims the PCI
+// identity and I/O windows of the device under reverse engineering, and every
+// read the driver performs against it -- port, MMIO, or a DMA region
+// registered through the OS API -- returns a fresh unconstrained symbol.
+// Writes are absorbed (and counted); the wiretap records them from the
+// executor side.
+#ifndef REVNIC_CORE_SHELL_H_
+#define REVNIC_CORE_SHELL_H_
+
+#include "hw/dma.h"
+#include "hw/pci.h"
+#include "symex/executor.h"
+#include "util/bits.h"
+#include "util/strings.h"
+
+namespace revnic::core {
+
+class ShellBridge : public symex::HardwareBridge {
+ public:
+  ShellBridge(symex::ExprContext* ctx, const hw::PciConfig& pci) : ctx_(ctx), pci_(pci) {}
+
+  bool IsMmio(uint32_t addr) const override {
+    return pci_.mmio_size != 0 && addr >= pci_.mmio_base && addr < pci_.mmio_base + pci_.mmio_size;
+  }
+
+  bool IsDma(uint32_t addr) const override { return dma_.IsDma(addr); }
+
+  symex::ExprRef MmioRead(symex::ExecutionState& state, uint32_t addr, unsigned size) override {
+    (void)state;
+    ++reads_;
+    return FreshSymbol("mmio", addr, size);
+  }
+
+  void MmioWrite(symex::ExecutionState& state, uint32_t addr, unsigned size,
+                 const symex::ExprRef& value) override {
+    (void)state;
+    (void)addr;
+    (void)size;
+    (void)value;
+    ++writes_;
+  }
+
+  symex::ExprRef PortRead(symex::ExecutionState& state, uint32_t port, unsigned size) override {
+    (void)state;
+    ++reads_;
+    return FreshSymbol("port", port, size);
+  }
+
+  void PortWrite(symex::ExecutionState& state, uint32_t port, unsigned size,
+                 const symex::ExprRef& value) override {
+    (void)state;
+    (void)port;
+    (void)size;
+    (void)value;
+    ++writes_;
+  }
+
+  symex::ExprRef DmaRead(symex::ExecutionState& state, uint32_t addr, unsigned size) override {
+    (void)state;
+    ++dma_reads_;
+    return FreshSymbol("dma", addr, size);
+  }
+
+  hw::DmaTracker& dma() { return dma_; }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t dma_reads() const { return dma_reads_; }
+
+ private:
+  symex::ExprRef FreshSymbol(const char* kind, uint32_t addr, unsigned size) {
+    symex::ExprRef s =
+        ctx_->Sym(StrFormat("hw_%s_%x_%u", kind, addr, static_cast<unsigned>(serial_++)), 32);
+    if (size < 4) {
+      // Hardware returns only `size` bytes; mask so width semantics match.
+      return ctx_->Bin(symex::BinOp::kAnd, s, ctx_->Const(LowMask(size * 8)));
+    }
+    return s;
+  }
+
+  symex::ExprContext* ctx_;
+  hw::PciConfig pci_;
+  hw::DmaTracker dma_;
+  uint64_t serial_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t dma_reads_ = 0;
+};
+
+}  // namespace revnic::core
+
+#endif  // REVNIC_CORE_SHELL_H_

@@ -1,0 +1,53 @@
+// Registry of the four evaluation drivers (the paper's Table 1 inputs).
+//
+// Each driver is written in r32 assembly (see *_asm.cc) and assembled into an
+// opaque DRV1 image; the RevNIC pipeline consumes only the image. The
+// assembly sources deliberately mimic how real vendor drivers are built:
+// stdcall helpers, a global adapter context accessed via pointer arithmetic,
+// polling loops with timeouts, chained OID dispatch, and quirk workarounds.
+#ifndef REVNIC_DRIVERS_DRIVERS_H_
+#define REVNIC_DRIVERS_DRIVERS_H_
+
+#include <memory>
+#include <string>
+
+#include "hw/nic.h"
+#include "isa/image.h"
+
+namespace revnic::drivers {
+
+enum class DriverId {
+  kRtl8029 = 0,  // Realtek RTL8029 (NE2000), pcntpci5.sys analog: rtl8029.sys
+  kRtl8139,      // Realtek RTL8139, rtl8139.sys
+  kPcnet,        // AMD PCnet, pcntpci5.sys
+  kSmc91c111,    // SMSC 91C111, lan9000.sys
+};
+inline constexpr DriverId kAllDrivers[] = {DriverId::kRtl8029, DriverId::kRtl8139,
+                                           DriverId::kPcnet, DriverId::kSmc91c111};
+
+const char* DriverName(DriverId id);        // "rtl8029", ...
+const char* DriverFileName(DriverId id);    // "rtl8029.sys", ...
+
+// Assembly source of the driver (exposed so tests can check the assembler,
+// and to honestly label these as our stand-ins for closed-source binaries).
+std::string DriverAsmSource(DriverId id);
+
+// Assembles (and caches) the driver binary. Aborts on assembly errors --
+// these sources are part of the build.
+const isa::Image& DriverImage(DriverId id);
+
+// Instantiates the matching device model.
+std::unique_ptr<hw::NicDevice> MakeDevice(DriverId id);
+
+// Shared .equ prologue (API ids, OIDs, status codes) matching os/api.h.
+std::string CommonAsmPrologue();
+
+// Per-driver assembly bodies (defined in <name>_asm.cc).
+const char* Rtl8029AsmBody();
+const char* Rtl8139AsmBody();
+const char* PcnetAsmBody();
+const char* Smc91c111AsmBody();
+
+}  // namespace revnic::drivers
+
+#endif  // REVNIC_DRIVERS_DRIVERS_H_

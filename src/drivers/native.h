@@ -1,0 +1,56 @@
+// Native reference drivers: the target OS's own drivers for the four chips
+// (pcnet32.c / 8139too.c / ne2k-pci.c / smc91x.c analogs).
+//
+// These are the "Linux original" and "uC/OSII original" baselines of
+// Figures 2-7: hand-written C++ against the same device models, driven
+// through the same per-packet interface the performance harness uses for
+// binary and synthesized drivers.
+#ifndef REVNIC_DRIVERS_NATIVE_H_
+#define REVNIC_DRIVERS_NATIVE_H_
+
+#include <functional>
+#include <memory>
+
+#include "drivers/drivers.h"
+#include "hw/nic.h"
+#include "vm/memmap.h"
+
+namespace revnic::drivers {
+
+class NativeNicDriver {
+ public:
+  using RxCallback = std::function<void(const hw::Frame&)>;
+
+  virtual ~NativeNicDriver() = default;
+
+  // `io` routes register accesses (usually a CountingIoProxy over the
+  // device); `ram` provides buffer memory for DMA devices.
+  virtual bool Init(vm::IoHandler* io, vm::MemoryMap* ram) = 0;
+  virtual bool Send(const hw::Frame& frame) = 0;
+  // Interrupt service: drains receive and completion work.
+  virtual void HandleInterrupt() = 0;
+  virtual void Stop() = 0;
+  virtual hw::MacAddr mac() const = 0;
+
+  void set_rx_callback(RxCallback cb) { rx_callback_ = std::move(cb); }
+
+  // CPU bytes the driver moved itself (the perf model charges copy cycles).
+  uint64_t bytes_copied() const { return bytes_copied_; }
+
+ protected:
+  void IndicateRx(const hw::Frame& frame) {
+    if (rx_callback_) {
+      rx_callback_(frame);
+    }
+  }
+
+  RxCallback rx_callback_;
+  uint64_t bytes_copied_ = 0;
+};
+
+// Factory: native driver matching `id`'s device.
+std::unique_ptr<NativeNicDriver> MakeNativeDriver(DriverId id);
+
+}  // namespace revnic::drivers
+
+#endif  // REVNIC_DRIVERS_NATIVE_H_

@@ -1,0 +1,436 @@
+// Native reference drivers (see native.h). Register protocols mirror the
+// r32 drivers but are written directly against the device models, the way
+// pcnet32.c / 8139too.c / ne2k-pci.c / smc91x.c talk to real chips.
+#include "drivers/native.h"
+
+#include <cstring>
+
+#include "hw/ne2000.h"
+#include "hw/pcnet.h"
+#include "hw/rtl8139.h"
+#include "hw/smc91c111.h"
+
+namespace revnic::drivers {
+namespace {
+
+// ---------------- NE2000 (ne2k-pci.c analog) ----------------
+class NativeNe2000 : public NativeNicDriver {
+ public:
+  bool Init(vm::IoHandler* io, vm::MemoryMap* ram) override {
+    (void)ram;
+    io_ = io;
+    base_ = hw::Rtl8029Config().io_base;
+    io_->IoRead(base_ + hw::Ne2000::kRegReset, 1);  // board reset
+    if ((io_->IoRead(base_ + hw::Ne2000::kRegIsr, 1) & hw::Ne2000::kIsrRst) == 0) {
+      return false;
+    }
+    io_->IoWrite(base_ + hw::Ne2000::kRegIsr, 1, hw::Ne2000::kIsrRst);
+    // Read the station address PROM (word-doubled).
+    io_->IoWrite(base_ + hw::Ne2000::kRegRbcr0, 1, 12);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRbcr1, 1, 0);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRsar0, 1, 0);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRsar1, 1, 0);
+    io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x0A);
+    for (int i = 0; i < 6; ++i) {
+      mac_[i] = static_cast<uint8_t>(io_->IoRead(base_ + hw::Ne2000::kRegData, 1));
+      io_->IoRead(base_ + hw::Ne2000::kRegData, 1);  // doubled byte
+    }
+    // DP8390 bring-up.
+    io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x21);
+    io_->IoWrite(base_ + hw::Ne2000::kRegDcr, 1, 0x48);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRcr, 1, hw::Ne2000::kRcrBroadcast);
+    io_->IoWrite(base_ + hw::Ne2000::kRegTcr, 1, 0);
+    io_->IoWrite(base_ + hw::Ne2000::kRegPstart, 1, 0x46);
+    io_->IoWrite(base_ + hw::Ne2000::kRegBnry, 1, 0x46);
+    io_->IoWrite(base_ + hw::Ne2000::kRegPstop, 1, 0x80);
+    io_->IoWrite(base_ + hw::Ne2000::kRegIsr, 1, 0xFF);
+    io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x61);  // page 1
+    for (int i = 0; i < 6; ++i) {
+      io_->IoWrite(base_ + 0x01 + i, 1, mac_[i]);
+    }
+    io_->IoWrite(base_ + 0x07, 1, 0x47);  // CURR
+    io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x22);
+    io_->IoWrite(base_ + hw::Ne2000::kRegImr, 1, 0x11);
+    return true;
+  }
+
+  bool Send(const hw::Frame& frame) override {
+    size_t len = std::max<size_t>(frame.size(), 60);
+    // Remote-DMA the frame into the tx slot.
+    io_->IoWrite(base_ + hw::Ne2000::kRegRbcr0, 1, len & 0xFF);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRbcr1, 1, len >> 8);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRsar0, 1, 0x00);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRsar1, 1, 0x40);
+    io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x12);
+    for (size_t i = 0; i < len; ++i) {
+      io_->IoWrite(base_ + hw::Ne2000::kRegData, 1, i < frame.size() ? frame[i] : 0);
+    }
+    io_->IoWrite(base_ + hw::Ne2000::kRegIsr, 1, hw::Ne2000::kIsrRdc);
+    io_->IoWrite(base_ + hw::Ne2000::kRegTpsr, 1, 0x40);
+    io_->IoWrite(base_ + hw::Ne2000::kRegTbcr0, 1, len & 0xFF);
+    io_->IoWrite(base_ + hw::Ne2000::kRegTbcr1, 1, len >> 8);
+    io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x26);
+    io_->IoWrite(base_ + hw::Ne2000::kRegIsr, 1, hw::Ne2000::kIsrPtx);
+    return true;
+  }
+
+  void HandleInterrupt() override {
+    while (true) {
+      uint32_t isr = io_->IoRead(base_ + hw::Ne2000::kRegIsr, 1);
+      if ((isr & hw::Ne2000::kIsrPrx) == 0) {
+        break;
+      }
+      io_->IoWrite(base_ + hw::Ne2000::kRegIsr, 1, hw::Ne2000::kIsrPrx);
+      DrainRing();
+    }
+  }
+
+  void Stop() override { io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x21); }
+  hw::MacAddr mac() const override { return mac_; }
+
+ private:
+  void DrainRing() {
+    while (true) {
+      io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x62);
+      uint8_t curr = static_cast<uint8_t>(io_->IoRead(base_ + 0x07, 1));
+      io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x22);
+      uint8_t bnry = static_cast<uint8_t>(io_->IoRead(base_ + hw::Ne2000::kRegBnry, 1));
+      uint8_t next = bnry + 1 >= 0x80 ? 0x46 : bnry + 1;
+      if (next == curr) {
+        return;
+      }
+      uint8_t header[4];
+      RemoteRead(static_cast<uint32_t>(next) << 8, header, 4);
+      uint16_t total = static_cast<uint16_t>(header[2] | (header[3] << 8));
+      uint8_t next_page = header[1];
+      if ((header[0] & 1) == 0 || total < 4 || total > 1518 + 4) {
+        io_->IoWrite(base_ + hw::Ne2000::kRegBnry, 1, curr == 0x46 ? 0x7F : curr - 1);
+        return;
+      }
+      hw::Frame f(total - 4);
+      // Ring wrap-aware payload read.
+      uint32_t addr = (static_cast<uint32_t>(next) << 8) + 4;
+      size_t first = std::min<size_t>(f.size(), 0x8000 - addr);
+      RemoteRead(addr, f.data(), first);
+      if (first < f.size()) {
+        RemoteRead(0x4600, f.data() + first, f.size() - first);
+      }
+      bytes_copied_ += f.size();
+      IndicateRx(f);
+      uint8_t new_bnry = next_page == 0x46 ? 0x7F : next_page - 1;
+      io_->IoWrite(base_ + hw::Ne2000::kRegBnry, 1, new_bnry);
+    }
+  }
+
+  void RemoteRead(uint32_t addr, uint8_t* out, size_t len) {
+    io_->IoWrite(base_ + hw::Ne2000::kRegRbcr0, 1, len & 0xFF);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRbcr1, 1, len >> 8);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRsar0, 1, addr & 0xFF);
+    io_->IoWrite(base_ + hw::Ne2000::kRegRsar1, 1, addr >> 8);
+    io_->IoWrite(base_ + hw::Ne2000::kRegCmd, 1, 0x0A);
+    for (size_t i = 0; i < len; ++i) {
+      out[i] = static_cast<uint8_t>(io_->IoRead(base_ + hw::Ne2000::kRegData, 1));
+    }
+  }
+
+  vm::IoHandler* io_ = nullptr;
+  uint32_t base_ = 0;
+  hw::MacAddr mac_{};
+};
+
+// ---------------- RTL8139 (8139too.c analog) ----------------
+class NativeRtl8139 : public NativeNicDriver {
+ public:
+  static constexpr uint32_t kRxRing = 0x00600000;
+  static constexpr uint32_t kTxBuf = 0x00610000;
+
+  bool Init(vm::IoHandler* io, vm::MemoryMap* ram) override {
+    io_ = io;
+    ram_ = ram;
+    base_ = hw::Rtl8139Config().io_base;
+    io_->IoWrite(base_ + hw::Rtl8139::kRegCr, 1, hw::Rtl8139::kCrReset);
+    if ((io_->IoRead(base_ + hw::Rtl8139::kRegCr, 1) & hw::Rtl8139::kCrReset) != 0) {
+      return false;
+    }
+    for (int i = 0; i < 6; ++i) {
+      mac_[i] = static_cast<uint8_t>(io_->IoRead(base_ + i, 1));
+    }
+    io_->IoWrite(base_ + hw::Rtl8139::kRegRbstart, 4, kRxRing);
+    io_->IoWrite(base_ + hw::Rtl8139::kRegCr, 1,
+                 hw::Rtl8139::kCrTxEnable | hw::Rtl8139::kCrRxEnable);
+    io_->IoWrite(base_ + hw::Rtl8139::kRegRcr, 4,
+                 hw::Rtl8139::kRcrAcceptPhysMatch | hw::Rtl8139::kRcrAcceptBroadcast |
+                     hw::Rtl8139::kRcrWrap);
+    io_->IoWrite(base_ + hw::Rtl8139::kRegCapr, 2, hw::Rtl8139::kRxRingSize - 16);
+    io_->IoWrite(base_ + hw::Rtl8139::kRegIsr, 2, 0xFFFF);
+    io_->IoWrite(base_ + hw::Rtl8139::kRegImr, 2,
+                 hw::Rtl8139::kIntRok | hw::Rtl8139::kIntRxOverflow);
+    rx_off_ = 0;
+    slot_ = 0;
+    return true;
+  }
+
+  bool Send(const hw::Frame& frame) override {
+    size_t len = std::max<size_t>(frame.size(), 60);
+    ram_->WriteRamBytes(kTxBuf + slot_ * 2048, frame.data(), frame.size());
+    bytes_copied_ += frame.size();
+    io_->IoWrite(base_ + hw::Rtl8139::kRegTsad0 + 4 * slot_, 4, kTxBuf + slot_ * 2048);
+    io_->IoWrite(base_ + hw::Rtl8139::kRegTsd0 + 4 * slot_, 4, static_cast<uint32_t>(len));
+    uint32_t tsd = io_->IoRead(base_ + hw::Rtl8139::kRegTsd0 + 4 * slot_, 4);
+    io_->IoWrite(base_ + hw::Rtl8139::kRegIsr, 2, hw::Rtl8139::kIntTok);
+    slot_ = (slot_ + 1) & 3;
+    return (tsd & hw::Rtl8139::kTsdTok) != 0;
+  }
+
+  void HandleInterrupt() override {
+    uint32_t isr = io_->IoRead(base_ + hw::Rtl8139::kRegIsr, 2);
+    if ((isr & hw::Rtl8139::kIntRok) != 0) {
+      io_->IoWrite(base_ + hw::Rtl8139::kRegIsr, 2, hw::Rtl8139::kIntRok);
+      while ((io_->IoRead(base_ + hw::Rtl8139::kRegCr, 1) & hw::Rtl8139::kCrBufe) == 0) {
+        uint16_t status = static_cast<uint16_t>(ram_->ReadRam(kRxRing + rx_off_, 2));
+        uint16_t len = static_cast<uint16_t>(ram_->ReadRam(kRxRing + rx_off_ + 2, 2));
+        if ((status & 1) == 0 || len < 4 || len > 1518) {
+          break;
+        }
+        hw::Frame f(len - 4u);
+        ram_->ReadRamBytes(kRxRing + rx_off_ + 4, f.data(), f.size());
+        bytes_copied_ += f.size();
+        IndicateRx(f);
+        rx_off_ = (rx_off_ + 4 + len + 3) & ~3u;
+        if (rx_off_ >= hw::Rtl8139::kRxRingSize) {
+          rx_off_ -= hw::Rtl8139::kRxRingSize;
+        }
+        uint32_t capr = (rx_off_ + hw::Rtl8139::kRxRingSize - 16) % hw::Rtl8139::kRxRingSize;
+        io_->IoWrite(base_ + hw::Rtl8139::kRegCapr, 2, capr);
+      }
+    }
+  }
+
+  void Stop() override { io_->IoWrite(base_ + hw::Rtl8139::kRegCr, 1, 0); }
+  hw::MacAddr mac() const override { return mac_; }
+
+ private:
+  vm::IoHandler* io_ = nullptr;
+  vm::MemoryMap* ram_ = nullptr;
+  uint32_t base_ = 0;
+  uint32_t rx_off_ = 0;
+  unsigned slot_ = 0;
+  hw::MacAddr mac_{};
+};
+
+// ---------------- AMD PCnet (pcnet32.c analog) ----------------
+class NativePcnet : public NativeNicDriver {
+ public:
+  static constexpr uint32_t kInitBlock = 0x00620000;
+  static constexpr uint32_t kRxRing = 0x00620100;
+  static constexpr uint32_t kTxRing = 0x00620200;
+  static constexpr uint32_t kRxBuf = 0x00630000;
+  static constexpr uint32_t kTxBufA = 0x00640000;
+
+  bool Init(vm::IoHandler* io, vm::MemoryMap* ram) override {
+    io_ = io;
+    ram_ = ram;
+    base_ = hw::PcnetConfig().io_base;
+    io_->IoRead(base_ + hw::Pcnet::kRegReset, 2);
+    for (int i = 0; i < 6; ++i) {
+      mac_[i] = static_cast<uint8_t>(io_->IoRead(base_ + i, 1));
+    }
+    // Init block.
+    ram_->WriteRam(kInitBlock + 0, 2, 0);  // mode
+    ram_->WriteRam(kInitBlock + 2, 1, 2);  // tlen log2
+    ram_->WriteRam(kInitBlock + 3, 1, 2);  // rlen log2
+    for (int i = 0; i < 6; ++i) {
+      ram_->WriteRam(kInitBlock + 4 + i, 1, mac_[i]);
+    }
+    for (int i = 0; i < 8; ++i) {
+      ram_->WriteRam(kInitBlock + 12 + i, 1, 0);
+    }
+    ram_->WriteRam(kInitBlock + 20, 4, kRxRing);
+    ram_->WriteRam(kInitBlock + 24, 4, kTxRing);
+    for (uint32_t i = 0; i < 4; ++i) {
+      ram_->WriteRam(kRxRing + i * 16 + 0, 4, kRxBuf + i * 1536);
+      ram_->WriteRam(kRxRing + i * 16 + 4, 4, hw::Pcnet::kDescOwn);
+      ram_->WriteRam(kRxRing + i * 16 + 8, 4, 1536);
+      ram_->WriteRam(kRxRing + i * 16 + 12, 4, 0);
+      ram_->WriteRam(kTxRing + i * 16 + 0, 4, kTxBufA + i * 1536);
+      ram_->WriteRam(kTxRing + i * 16 + 4, 4, 0);
+      ram_->WriteRam(kTxRing + i * 16 + 8, 4, 0);
+    }
+    WriteCsr(1, kInitBlock & 0xFFFF);
+    WriteCsr(2, kInitBlock >> 16);
+    WriteCsr(0, hw::Pcnet::kCsr0Init);
+    if ((ReadCsr(0) & hw::Pcnet::kCsr0Idon) == 0) {
+      return false;
+    }
+    WriteCsr(0, hw::Pcnet::kCsr0Idon | hw::Pcnet::kCsr0Iena);
+    WriteCsr(0, hw::Pcnet::kCsr0Start | hw::Pcnet::kCsr0Iena);
+    return true;
+  }
+
+  bool Send(const hw::Frame& frame) override {
+    size_t len = std::max<size_t>(frame.size(), 60);
+    ram_->WriteRamBytes(kTxBufA + tx_idx_ * 1536, frame.data(), frame.size());
+    bytes_copied_ += frame.size();
+    uint32_t desc = kTxRing + tx_idx_ * 16;
+    ram_->WriteRam(desc + 8, 4, static_cast<uint32_t>(len));
+    ram_->WriteRam(desc + 4, 4, hw::Pcnet::kDescOwn);
+    WriteCsr(0, hw::Pcnet::kCsr0Tdmd | hw::Pcnet::kCsr0Iena);
+    bool ok = (ram_->ReadRam(desc + 4, 4) & hw::Pcnet::kDescOwn) == 0;
+    WriteCsr(0, hw::Pcnet::kCsr0Tint | hw::Pcnet::kCsr0Iena);
+    tx_idx_ = (tx_idx_ + 1) & 3;
+    return ok;
+  }
+
+  void HandleInterrupt() override {
+    uint16_t csr0 = ReadCsr(0);
+    if ((csr0 & hw::Pcnet::kCsr0Rint) != 0) {
+      WriteCsr(0, hw::Pcnet::kCsr0Rint | hw::Pcnet::kCsr0Iena);
+      while (true) {
+        uint32_t desc = kRxRing + rx_idx_ * 16;
+        uint32_t flags = ram_->ReadRam(desc + 4, 4);
+        if ((flags & hw::Pcnet::kDescOwn) != 0) {
+          break;
+        }
+        uint32_t len = ram_->ReadRam(desc + 12, 4);
+        if (len > 0 && len <= 1514) {
+          hw::Frame f(len);
+          ram_->ReadRamBytes(kRxBuf + rx_idx_ * 1536, f.data(), len);
+          bytes_copied_ += len;
+          IndicateRx(f);
+        }
+        ram_->WriteRam(desc + 12, 4, 0);
+        ram_->WriteRam(desc + 4, 4, hw::Pcnet::kDescOwn);
+        rx_idx_ = (rx_idx_ + 1) & 3;
+      }
+    }
+  }
+
+  void Stop() override { WriteCsr(0, hw::Pcnet::kCsr0Stop); }
+  hw::MacAddr mac() const override { return mac_; }
+
+ private:
+  void WriteCsr(unsigned idx, uint16_t v) {
+    io_->IoWrite(base_ + hw::Pcnet::kRegRap, 2, idx);
+    io_->IoWrite(base_ + hw::Pcnet::kRegRdp, 2, v);
+  }
+  uint16_t ReadCsr(unsigned idx) {
+    io_->IoWrite(base_ + hw::Pcnet::kRegRap, 2, idx);
+    return static_cast<uint16_t>(io_->IoRead(base_ + hw::Pcnet::kRegRdp, 2));
+  }
+
+  vm::IoHandler* io_ = nullptr;
+  vm::MemoryMap* ram_ = nullptr;
+  uint32_t base_ = 0;
+  unsigned tx_idx_ = 0, rx_idx_ = 0;
+  hw::MacAddr mac_{};
+};
+
+// ---------------- SMC 91C111 (smc91x.c analog, uC/OS-II) ----------------
+class NativeSmc91c111 : public NativeNicDriver {
+ public:
+  bool Init(vm::IoHandler* io, vm::MemoryMap* ram) override {
+    (void)ram;
+    io_ = io;
+    base_ = hw::Smc91c111Config().mmio_base;
+    Bank(3);
+    if (io_->IoRead(base_ + hw::Smc91c111::kRegRevision, 2) != 0x0091) {
+      return false;
+    }
+    Bank(0);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegRcr, 2, hw::Smc91c111::kRcrSoftReset);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegRcr, 2, 0);
+    Bank(2);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegMmuCmd, 2, hw::Smc91c111::kMmuReset);
+    Bank(1);
+    for (int i = 0; i < 6; ++i) {
+      mac_[i] = static_cast<uint8_t>(io_->IoRead(base_ + hw::Smc91c111::kRegIa0 + i, 1));
+    }
+    Bank(0);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegTcr, 2, hw::Smc91c111::kTcrTxEnable);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegRcr, 2, hw::Smc91c111::kRcrRxEnable);
+    Bank(2);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegIntMask, 1, hw::Smc91c111::kIntRcv);
+    return true;
+  }
+
+  bool Send(const hw::Frame& frame) override {
+    Bank(2);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegMmuCmd, 2, hw::Smc91c111::kMmuAlloc);
+    uint32_t arr = io_->IoRead(base_ + hw::Smc91c111::kRegPnr + 1, 1);
+    if ((arr & hw::Smc91c111::kArrFailed) != 0) {
+      return false;
+    }
+    io_->IoWrite(base_ + hw::Smc91c111::kRegPnr, 1, arr);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegPtr, 2, hw::Smc91c111::kPtrAutoIncr);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegData, 2, 0);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegData, 2,
+                 static_cast<uint32_t>(frame.size() + 6));
+    for (size_t i = 0; i < frame.size(); i += 2) {
+      uint32_t v = frame[i] | (i + 1 < frame.size() ? frame[i + 1] << 8 : 0u);
+      io_->IoWrite(base_ + hw::Smc91c111::kRegData, 2, v);
+    }
+    io_->IoWrite(base_ + hw::Smc91c111::kRegData, 2, 0);  // control word
+    io_->IoWrite(base_ + hw::Smc91c111::kRegMmuCmd, 2, hw::Smc91c111::kMmuEnqueueTx);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegIntStat, 1,
+                 hw::Smc91c111::kIntTx | hw::Smc91c111::kIntTxEmpty);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegMmuCmd, 2, hw::Smc91c111::kMmuReleasePkt);
+    return true;
+  }
+
+  void HandleInterrupt() override {
+    Bank(2);
+    while ((io_->IoRead(base_ + hw::Smc91c111::kRegFifo + 1, 1) & 0x80) == 0) {
+      io_->IoWrite(base_ + hw::Smc91c111::kRegPtr, 2,
+                   hw::Smc91c111::kPtrRcv | hw::Smc91c111::kPtrAutoIncr |
+                       hw::Smc91c111::kPtrRead);
+      io_->IoRead(base_ + hw::Smc91c111::kRegData, 2);  // status
+      uint32_t bc = io_->IoRead(base_ + hw::Smc91c111::kRegData, 2) & 0x7FF;
+      if (bc >= 6 && bc - 6 <= 1514) {
+        hw::Frame f(bc - 6);
+        for (size_t i = 0; i < f.size(); i += 2) {
+          uint32_t v = io_->IoRead(base_ + hw::Smc91c111::kRegData, 2);
+          f[i] = static_cast<uint8_t>(v);
+          if (i + 1 < f.size()) {
+            f[i + 1] = static_cast<uint8_t>(v >> 8);
+          }
+        }
+        bytes_copied_ += f.size();
+        IndicateRx(f);
+      }
+      io_->IoWrite(base_ + hw::Smc91c111::kRegMmuCmd, 2,
+                   hw::Smc91c111::kMmuRemoveReleaseRx);
+    }
+  }
+
+  void Stop() override {
+    Bank(0);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegTcr, 2, 0);
+    io_->IoWrite(base_ + hw::Smc91c111::kRegRcr, 2, 0);
+  }
+  hw::MacAddr mac() const override { return mac_; }
+
+ private:
+  void Bank(unsigned n) { io_->IoWrite(base_ + hw::Smc91c111::kRegBank, 2, n); }
+
+  vm::IoHandler* io_ = nullptr;
+  uint32_t base_ = 0;
+  hw::MacAddr mac_{};
+};
+
+}  // namespace
+
+std::unique_ptr<NativeNicDriver> MakeNativeDriver(DriverId id) {
+  switch (id) {
+    case DriverId::kRtl8029:
+      return std::make_unique<NativeNe2000>();
+    case DriverId::kRtl8139:
+      return std::make_unique<NativeRtl8139>();
+    case DriverId::kPcnet:
+      return std::make_unique<NativePcnet>();
+    case DriverId::kSmc91c111:
+      return std::make_unique<NativeSmc91c111>();
+  }
+  return nullptr;
+}
+
+}  // namespace revnic::drivers

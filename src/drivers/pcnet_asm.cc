@@ -1,0 +1,988 @@
+// pcntpci5.sys analog: AMD PCnet miniport driver in r32 assembly.
+//
+// The fully DMA-driven driver of the set: everything (init block, descriptor
+// rings, buffers) lives in NdisMAllocateSharedMemory regions, so the RevNIC
+// DMA tracker sees heavy traffic. Register access goes through the RAP/RDP
+// indirection -- the "write a register address on one port and read the value
+// on another" pattern §3.2 singles out. Multicast/promiscuous changes require
+// a STOP + re-INIT cycle, like the real LANCE family.
+#include "drivers/drivers.h"
+
+namespace revnic::drivers {
+
+const char* PcnetAsmBody() {
+  return R"(
+; ================= AMD PCnet miniport =================
+.entry DriverEntry
+
+; ---- port offsets ----
+.equ PC_APROM, 0x00
+.equ PC_RDP, 0x10
+.equ PC_RAP, 0x12
+.equ PC_RESET, 0x14
+.equ PC_BDP, 0x16
+
+; ---- CSR0 bits ----
+.equ CSR0_INIT, 0x0001
+.equ CSR0_STRT, 0x0002
+.equ CSR0_STOP, 0x0004
+.equ CSR0_TDMD, 0x0008
+.equ CSR0_IENA, 0x0040
+.equ CSR0_INTR, 0x0080
+.equ CSR0_IDON, 0x0100
+.equ CSR0_TINT, 0x0200
+.equ CSR0_RINT, 0x0400
+
+.equ MODE_PROM, 0x8000
+.equ BCR9_FDX, 0x0001
+
+.equ DESC_OWN, 0x80000000
+.equ DESC_ERR, 0x40000000
+
+.equ RING_LOG2, 2                ; 4 descriptors per ring
+.equ RING_SIZE, 4
+.equ BUF_BYTES, 1536
+
+; ---- adapter context ----
+.equ CTX_IOBASE, 0x00
+.equ CTX_FILTER, 0x04
+.equ CTX_IRQCOUNT, 0x08
+.equ CTX_TXCOUNT, 0x0C
+.equ CTX_RXCOUNT, 0x10
+.equ CTX_MAC, 0x14
+.equ CTX_INIT_VA, 0x20
+.equ CTX_INIT_PA, 0x24
+.equ CTX_TXRING_VA, 0x28
+.equ CTX_TXRING_PA, 0x2C
+.equ CTX_RXRING_VA, 0x30
+.equ CTX_RXRING_PA, 0x34
+.equ CTX_TXBUF_VA, 0x38
+.equ CTX_TXBUF_PA, 0x3C
+.equ CTX_RXBUF_VA, 0x40
+.equ CTX_RXBUF_PA, 0x44
+.equ CTX_TXIDX, 0x48
+.equ CTX_RXIDX, 0x4C
+.equ CTX_DUPLEX, 0x50
+.equ CTX_LADRF0, 0x54            ; 8-byte logical address filter shadow
+.equ CTX_MODE, 0x5C
+.equ CTX_SIZE, 0x80
+
+; =============== DriverEntry ===============
+DriverEntry:
+    push fp
+    mov fp, sp
+    push #chars
+    sys NDIS_M_REGISTER_MINIPORT
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== pcnet_write_csr(io, idx, val) ===============
+pcnet_write_csr:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r0, [fp, #12]
+    outh [r1, #PC_RAP], r0
+    ldw r0, [fp, #16]
+    outh [r1, #PC_RDP], r0
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== pcnet_read_csr(io, idx) -> value ===============
+pcnet_read_csr:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r0, [fp, #12]
+    outh [r1, #PC_RAP], r0
+    inh r0, [r1, #PC_RDP]
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== pcnet_write_bcr(io, idx, val) ===============
+pcnet_write_bcr:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r0, [fp, #12]
+    outh [r1, #PC_RAP], r0
+    ldw r0, [fp, #16]
+    outh [r1, #PC_BDP], r0
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== mp_init(driver_handle) ===============
+mp_init:
+    push fp
+    mov fp, sp
+    sub sp, sp, #32
+    ; context
+    push #CTX_SIZE
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_ALLOCATE_MEMORY
+    cmp r0, #STATUS_SUCCESS
+    bne pi_fail
+    ldw r1, [fp, #-4]
+    stw [g_ctx], r1
+
+    ; PCI id 0x20001022 (AMD PCnet)
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    cmp r0, #0x20001022
+    bne pi_fail_log
+
+    ; BAR0
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x10
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    and r0, r0, #0xFFFFFFFE
+    ldw r1, [g_ctx]
+    stw [r1, #CTX_IOBASE], r0
+    stw [fp, #-8], r0
+    push #0x20
+    push r0
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_M_REGISTER_IO_PORT_RANGE
+
+    ; station address from the APROM window
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_MAC
+    push r0
+    ldw r0, [fp, #-8]
+    push r0
+    call pcnet_read_aprom
+
+    ; DMA allocations: init block, rings, buffers
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_INIT_PA
+    push r0
+    mov r0, r1
+    add r0, r0, #CTX_INIT_VA
+    push r0
+    push #32
+    sys NDIS_M_ALLOCATE_SHARED_MEMORY
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_TXRING_PA
+    push r0
+    mov r0, r1
+    add r0, r0, #CTX_TXRING_VA
+    push r0
+    push #64                     ; 4 descs x 16 bytes
+    sys NDIS_M_ALLOCATE_SHARED_MEMORY
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_RXRING_PA
+    push r0
+    mov r0, r1
+    add r0, r0, #CTX_RXRING_VA
+    push r0
+    push #64
+    sys NDIS_M_ALLOCATE_SHARED_MEMORY
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_TXBUF_PA
+    push r0
+    mov r0, r1
+    add r0, r0, #CTX_TXBUF_VA
+    push r0
+    push #6144                   ; 4 x 1536
+    sys NDIS_M_ALLOCATE_SHARED_MEMORY
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_RXBUF_PA
+    push r0
+    mov r0, r1
+    add r0, r0, #CTX_RXBUF_VA
+    push r0
+    push #6144
+    sys NDIS_M_ALLOCATE_SHARED_MEMORY
+
+    ; default packet filter before the first INIT
+    ldw r1, [g_ctx]
+    mov r0, #FILTER_DIRECTED
+    or r0, r0, #FILTER_BROADCAST
+    stw [r1, #CTX_FILTER], r0
+    mov r0, #0
+    stw [r1, #CTX_MODE], r0
+
+    ; full INIT sequence (reset, init block, wait IDON, start)
+    ldw r0, [g_ctx]
+    push r0
+    call pcnet_init_chip
+    cmp r0, #0
+    bne pi_fail_log
+
+    ; interrupt + attributes
+    push #1
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x3C
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldb r0, [fp, #-4]
+    push r0
+    sys NDIS_M_REGISTER_INTERRUPT
+    cmp r0, #STATUS_SUCCESS
+    bne pi_fail_log
+    ldw r0, [g_ctx]
+    push r0
+    sys NDIS_M_SET_ATTRIBUTES
+
+    ; registry duplex -> BCR9
+    mov r0, fp
+    sub r0, r0, #12
+    push r0
+    sys NDIS_OPEN_CONFIGURATION
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_DUPLEX_MODE
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne pi_no_duplex
+    ldw r0, [fp, #-16]
+    cmp r0, #2
+    bne pi_no_duplex
+    push #BCR9_FDX
+    push #9
+    ldw r0, [fp, #-8]
+    push r0
+    call pcnet_write_bcr
+    ldw r1, [g_ctx]
+    mov r0, #1
+    stw [r1, #CTX_DUPLEX], r0
+pi_no_duplex:
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_CLOSE_CONFIGURATION
+
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+pi_fail_log:
+    push #0
+    push #0xE2000001
+    sys NDIS_WRITE_ERROR_LOG_ENTRY
+pi_fail:
+    mov r0, #STATUS_FAILURE
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== pcnet_read_aprom(io, macbuf) ===============
+pcnet_read_aprom:
+    push fp
+    mov fp, sp
+    ldw r2, [fp, #12]
+    mov r3, #0
+pra_loop:
+    cmp r3, #6
+    buge pra_done
+    ldw r1, [fp, #8]
+    add r0, r1, r3
+    inb r0, [r0]
+    add r1, r2, r3
+    stb [r1], r0
+    add r3, r3, #1
+    jmp pra_loop
+pra_done:
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== pcnet_build_init_block(ctx) ===============
+; Lays out the 28-byte init block from context state.
+pcnet_build_init_block:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r2, [fp, #8]             ; ctx
+    ldw r1, [r2, #CTX_INIT_VA]
+    ; mode: promiscuous bit from the NDIS filter
+    ldw r0, [r2, #CTX_MODE]
+    sth [r1], r0
+    mov r0, #RING_LOG2
+    stb [r1, #2], r0             ; tlen
+    stb [r1, #3], r0             ; rlen
+    ; MAC
+    mov r3, #0
+pbi_mac:
+    cmp r3, #6
+    buge pbi_mac_done
+    add r0, r2, #CTX_MAC
+    add r0, r0, r3
+    ldb r0, [r0]
+    add r4, r1, #4
+    add r4, r4, r3
+    stb [r4], r0
+    add r3, r3, #1
+    jmp pbi_mac
+pbi_mac_done:
+    ; logical address filter
+    mov r3, #0
+pbi_ladrf:
+    cmp r3, #8
+    buge pbi_ladrf_done
+    add r0, r2, #CTX_LADRF0
+    add r0, r0, r3
+    ldb r0, [r0]
+    add r4, r1, #12
+    add r4, r4, r3
+    stb [r4], r0
+    add r3, r3, #1
+    jmp pbi_ladrf
+pbi_ladrf_done:
+    ldw r0, [r2, #CTX_RXRING_PA]
+    stw [r1, #20], r0
+    ldw r0, [r2, #CTX_TXRING_PA]
+    stw [r1, #24], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== pcnet_setup_rings(ctx) ===============
+; RX descriptors get OWN (device may fill them); TX descriptors are host's.
+pcnet_setup_rings:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    ldw r2, [fp, #8]
+    mov r3, #0
+psr_loop:
+    cmp r3, #RING_SIZE
+    buge psr_done
+    shl r4, r3, #4               ; desc offset
+    ; rx desc
+    ldw r1, [r2, #CTX_RXRING_VA]
+    add r1, r1, r4
+    mov r5, #BUF_BYTES
+    mul r5, r5, r3
+    ldw r0, [r2, #CTX_RXBUF_PA]
+    add r0, r0, r5
+    stw [r1], r0                 ; buffer pa
+    mov r0, #DESC_OWN
+    stw [r1, #4], r0
+    mov r0, #BUF_BYTES
+    stw [r1, #8], r0
+    mov r0, #0
+    stw [r1, #12], r0
+    ; tx desc
+    ldw r1, [r2, #CTX_TXRING_VA]
+    add r1, r1, r4
+    ldw r0, [r2, #CTX_TXBUF_PA]
+    add r0, r0, r5
+    stw [r1], r0
+    mov r0, #0
+    stw [r1, #4], r0
+    stw [r1, #8], r0
+    stw [r1, #12], r0
+    add r3, r3, #1
+    jmp psr_loop
+psr_done:
+    mov r0, #0
+    stw [r2, #CTX_TXIDX], r0
+    stw [r2, #CTX_RXIDX], r0
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== pcnet_init_chip(ctx) -> 0 ok / 1 timeout ===============
+pcnet_init_chip:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]             ; ctx
+    ldw r1, [r4, #CTX_IOBASE]
+    inw r0, [r1, #PC_RESET]      ; soft reset
+    push r4
+    call pcnet_build_init_block
+    push r4
+    call pcnet_setup_rings
+    ldw r1, [r4, #CTX_IOBASE]
+    ; CSR1/CSR2 = init block address
+    ldw r0, [r4, #CTX_INIT_PA]
+    and r0, r0, #0xFFFF
+    push r0
+    push #1
+    push r1
+    call pcnet_write_csr
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r0, [r4, #CTX_INIT_PA]
+    shr r0, r0, #16
+    push r0
+    push #2
+    push r1
+    call pcnet_write_csr
+    ; kick INIT
+    ldw r1, [r4, #CTX_IOBASE]
+    push #CSR0_INIT
+    push #0
+    push r1
+    call pcnet_write_csr
+    ; poll IDON
+    mov r3, #1000
+pic_poll:
+    ldw r1, [r4, #CTX_IOBASE]
+    push #0
+    push r1
+    call pcnet_read_csr
+    test r0, #CSR0_IDON
+    bne pic_idon
+    sub r3, r3, #1
+    cmp r3, #0
+    bne pic_poll
+    mov r0, #1
+    jmp pic_out
+pic_idon:
+    ; ack IDON, then start with interrupts enabled
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CSR0_IDON
+    or r0, r0, #CSR0_IENA
+    push r0
+    push #0
+    push r1
+    call pcnet_write_csr
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CSR0_STRT
+    or r0, r0, #CSR0_IENA
+    push r0
+    push #0
+    push r1
+    call pcnet_write_csr
+    mov r0, #0
+pic_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_send(ctx, packet, flags) ===============
+mp_send:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r5, [fp, #8]             ; ctx
+    ldw r2, [fp, #12]            ; packet
+    ldw r6, [r2]                 ; data va
+    ldw r4, [r2, #4]             ; len
+    cmp r4, #1514
+    bugt ps_fail
+    ; copy into the DMA tx buffer for the current slot
+    ldw r0, [r5, #CTX_TXIDX]
+    mov r1, #BUF_BYTES
+    mul r1, r1, r0
+    ldw r0, [r5, #CTX_TXBUF_VA]
+    add r1, r1, r0
+    push r4
+    push r6
+    push r1
+    sys NDIS_MOVE_MEMORY
+    cmp r4, #60
+    buge ps_len_ok
+    mov r4, #60
+ps_len_ok:
+    ; fill the descriptor and hand it to the device
+    ldw r0, [r5, #CTX_TXIDX]
+    shl r1, r0, #4
+    ldw r0, [r5, #CTX_TXRING_VA]
+    add r1, r1, r0
+    stw [r1, #8], r4             ; byte count
+    mov r0, #DESC_OWN
+    stw [r1, #4], r0
+    ; transmit demand
+    ldw r0, [r5, #CTX_IOBASE]
+    mov r2, #CSR0_TDMD
+    or r2, r2, #CSR0_IENA
+    push r2
+    push #0
+    push r0
+    call pcnet_write_csr
+    ; poll the descriptor until the device clears OWN (bounded)
+    ldw r0, [r5, #CTX_TXIDX]
+    shl r1, r0, #4
+    ldw r0, [r5, #CTX_TXRING_VA]
+    add r1, r1, r0
+    mov r3, #1000
+ps_poll:
+    ldw r0, [r1, #4]
+    test r0, #DESC_OWN
+    beq ps_sent
+    sub r3, r3, #1
+    cmp r3, #0
+    bne ps_poll
+    jmp ps_fail
+ps_sent:
+    test r0, #DESC_ERR
+    bne ps_fail
+    ldw r0, [r5, #CTX_TXIDX]
+    add r0, r0, #1
+    and r0, r0, #3
+    stw [r5, #CTX_TXIDX], r0
+    ldw r0, [r5, #CTX_TXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_TXCOUNT], r0
+    push #STATUS_SUCCESS
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_SUCCESS
+    jmp ps_out
+ps_fail:
+    push #STATUS_FAILURE
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_FAILURE
+ps_out:
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== mp_isr(ctx) -> recognized ===============
+mp_isr:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    push #0
+    push r1
+    call pcnet_read_csr
+    test r0, #CSR0_INTR
+    beq psi_no
+    ; mask by dropping IENA (plain write without the bit)
+    ldw r1, [r4, #CTX_IOBASE]
+    push #0
+    push #0
+    push r1
+    call pcnet_write_csr
+    mov r0, #1
+    jmp psi_out
+psi_no:
+    mov r0, #0
+psi_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_dpc(ctx) ===============
+mp_dpc:
+    push fp
+    mov fp, sp
+    sub sp, sp, #8
+    push r4
+    ldw r4, [fp, #8]
+    ldw r0, [r4, #CTX_IRQCOUNT]
+    add r0, r0, #1
+    stw [r4, #CTX_IRQCOUNT], r0
+    ldw r1, [r4, #CTX_IOBASE]
+    push #0
+    push r1
+    call pcnet_read_csr
+    stw [fp, #-4], r0
+    test r0, #CSR0_RINT
+    beq pd_no_rx
+    ; ack RINT, keep IENA
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CSR0_RINT
+    or r0, r0, #CSR0_IENA
+    push r0
+    push #0
+    push r1
+    call pcnet_write_csr
+    push r4
+    call pcnet_rx_drain
+pd_no_rx:
+    ldw r3, [fp, #-4]
+    test r3, #CSR0_TINT
+    beq pd_no_tx
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CSR0_TINT
+    or r0, r0, #CSR0_IENA
+    push r0
+    push #0
+    push r1
+    call pcnet_write_csr
+pd_no_tx:
+    ldw r3, [fp, #-4]
+    test r3, #CSR0_IDON
+    beq pd_no_idon
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CSR0_IDON
+    or r0, r0, #CSR0_IENA
+    push r0
+    push #0
+    push r1
+    call pcnet_write_csr
+pd_no_idon:
+    ; restore IENA
+    ldw r1, [r4, #CTX_IOBASE]
+    push #CSR0_IENA
+    push #0
+    push r1
+    call pcnet_write_csr
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== pcnet_rx_drain(ctx) ===============
+pcnet_rx_drain:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r5, [fp, #8]
+prd_loop:
+    ldw r0, [r5, #CTX_RXIDX]
+    shl r1, r0, #4
+    ldw r0, [r5, #CTX_RXRING_VA]
+    add r1, r1, r0               ; desc va
+    ldw r0, [r1, #4]
+    test r0, #DESC_OWN
+    bne prd_done                 ; still device-owned: ring drained
+    ldw r6, [r1, #12]            ; message length
+    cmp r6, #0
+    beq prd_recycle
+    cmp r6, #1514
+    bugt prd_recycle
+    ; indicate straight from the DMA buffer
+    ldw r0, [r5, #CTX_RXIDX]
+    mov r4, #BUF_BYTES
+    mul r4, r4, r0
+    ldw r0, [r5, #CTX_RXBUF_VA]
+    add r4, r4, r0
+    push r6
+    push r4
+    sys NDIS_M_ETH_INDICATE_RECEIVE
+    ldw r0, [r5, #CTX_RXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_RXCOUNT], r0
+prd_recycle:
+    ; give the descriptor back to the device
+    ldw r0, [r5, #CTX_RXIDX]
+    shl r1, r0, #4
+    ldw r0, [r5, #CTX_RXRING_VA]
+    add r1, r1, r0
+    mov r0, #0
+    stw [r1, #12], r0
+    mov r0, #DESC_OWN
+    stw [r1, #4], r0
+    ldw r0, [r5, #CTX_RXIDX]
+    add r0, r0, #1
+    and r0, r0, #3
+    stw [r5, #CTX_RXIDX], r0
+    jmp prd_loop
+prd_done:
+    sys NDIS_M_ETH_INDICATE_RECEIVE_COMPLETE
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== crc32_hash(mac_ptr) -> bucket ===============
+crc32_hash:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r1, [fp, #8]
+    mov r0, #0xFFFFFFFF
+    mov r2, #0
+pch_byte:
+    cmp r2, #6
+    buge pch_done
+    add r3, r1, r2
+    ldb r3, [r3]
+    xor r0, r0, r3
+    mov r4, #0
+pch_bit:
+    cmp r4, #8
+    buge pch_next
+    and r5, r0, #1
+    mov r6, #0
+    sub r5, r6, r5
+    shr r0, r0, #1
+    and r5, r5, #0xEDB88320
+    xor r0, r0, r5
+    add r4, r4, #1
+    jmp pch_bit
+pch_next:
+    add r2, r2, #1
+    jmp pch_byte
+pch_done:
+    xor r0, r0, #0xFFFFFFFF
+    shr r0, r0, #26
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== pcnet_reinit(ctx) ===============
+; LANCE-style reconfiguration: STOP, rebuild init block, INIT, STRT.
+pcnet_reinit:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    push #CSR0_STOP
+    push #0
+    push r1
+    call pcnet_write_csr
+    push r4
+    call pcnet_init_chip
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_query(ctx, oid, buf, len, written) ===============
+mp_query:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_802_3_CURRENT_ADDRESS
+    beq pq_mac
+    cmp r2, #OID_802_3_PERMANENT_ADDRESS
+    beq pq_mac
+    cmp r2, #OID_GEN_LINK_SPEED
+    beq pq_speed
+    cmp r2, #OID_GEN_MAXIMUM_FRAME_SIZE
+    beq pq_mtu
+    cmp r2, #OID_GEN_MEDIA_CONNECT_STATUS
+    beq pq_link
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp pq_out
+pq_mac:
+    mov r4, #0
+pq_mac_loop:
+    cmp r4, #6
+    buge pq_mac_done
+    add r0, r1, #CTX_MAC
+    add r0, r0, r4
+    ldb r0, [r0]
+    add r2, r3, r4
+    stb [r2], r0
+    add r4, r4, #1
+    jmp pq_mac_loop
+pq_mac_done:
+    mov r2, #6
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+    jmp pq_out
+pq_speed:
+    mov r0, #1000000
+    stw [r3], r0
+    jmp pq_w4
+pq_mtu:
+    mov r0, #1500
+    stw [r3], r0
+    jmp pq_w4
+pq_link:
+    mov r0, #1
+    stw [r3], r0
+pq_w4:
+    mov r2, #4
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+pq_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_set(ctx, oid, buf, len, read) ===============
+mp_set:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_GEN_CURRENT_PACKET_FILTER
+    beq pst_filter
+    cmp r2, #OID_802_3_MULTICAST_LIST
+    beq pst_mcast
+    cmp r2, #OID_VENDOR_DUPLEX_MODE
+    beq pst_duplex
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp pst_out
+pst_filter:
+    ldw r0, [r3]
+    stw [r1, #CTX_FILTER], r0
+    mov r2, #0
+    test r0, #FILTER_PROMISCUOUS
+    beq pst_no_prom
+    mov r2, #MODE_PROM
+pst_no_prom:
+    stw [r1, #CTX_MODE], r2
+    push r1
+    call pcnet_reinit
+    mov r0, #STATUS_SUCCESS
+    jmp pst_out
+pst_mcast:
+    ; rebuild the ladrf shadow from the list, then re-INIT
+    mov r2, #0
+pst_clear:
+    cmp r2, #8
+    buge pst_hash
+    add r0, r1, #CTX_LADRF0
+    add r0, r0, r2
+    mov r4, #0
+    stb [r0], r4
+    add r2, r2, #1
+    jmp pst_clear
+pst_hash:
+    ldw r4, [fp, #16]            ; list
+    ldw r5, [fp, #20]            ; byte length
+    udiv r5, r5, #6
+pst_hash_loop:
+    cmp r5, #0
+    beq pst_apply
+    push r4
+    call crc32_hash
+    ldw r1, [fp, #8]
+    shr r2, r0, #3
+    and r3, r0, #7
+    mov r6, #1
+    shl r6, r6, r3
+    add r2, r2, r1
+    add r2, r2, #CTX_LADRF0
+    ldb r3, [r2]
+    or r3, r3, r6
+    stb [r2], r3
+    add r4, r4, #6
+    sub r5, r5, #1
+    jmp pst_hash_loop
+pst_apply:
+    ldw r1, [fp, #8]
+    ldw r0, [r1, #CTX_FILTER]
+    or r0, r0, #FILTER_MULTICAST
+    stw [r1, #CTX_FILTER], r0
+    push r1
+    call pcnet_reinit
+    mov r0, #STATUS_SUCCESS
+    jmp pst_out
+pst_duplex:
+    ldw r0, [r3]
+    stw [r1, #CTX_DUPLEX], r0
+    cmp r0, #0
+    beq pst_dup_off
+    mov r2, #BCR9_FDX
+    jmp pst_dup_write
+pst_dup_off:
+    mov r2, #0
+pst_dup_write:
+    push r2
+    push #9
+    ldw r0, [r1, #CTX_IOBASE]
+    push r0
+    call pcnet_write_bcr
+    mov r0, #STATUS_SUCCESS
+pst_out:
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_reset(ctx) ===============
+mp_reset:
+    push fp
+    mov fp, sp
+    ldw r0, [fp, #8]
+    push r0
+    call pcnet_reinit
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_halt(ctx) ===============
+mp_halt:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    push #CSR0_STOP
+    push #0
+    push r1
+    call pcnet_write_csr
+    sys NDIS_M_DEREGISTER_INTERRUPT
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_shutdown(ctx) ===============
+mp_shutdown:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    push #CSR0_STOP
+    push #0
+    push r1
+    call pcnet_write_csr
+    mov sp, fp
+    pop fp
+    ret #4
+
+; ================= data =================
+.data
+chars:
+    .word mp_init, mp_isr, mp_dpc, mp_send, mp_query, mp_set, mp_reset, mp_halt, mp_shutdown
+g_ctx:
+    .word 0
+)";
+}
+
+}  // namespace revnic::drivers

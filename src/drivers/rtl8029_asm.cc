@@ -1,0 +1,1055 @@
+// rtl8029.sys analog: NE2000/RTL8029 miniport driver in r32 assembly.
+//
+// Structure mirrors a classic vendor NE2000 driver: a global adapter context
+// reached through pointer arithmetic, DP8390 remote-DMA helpers, a receive
+// ring drain with wrap handling, a software CRC32 multicast hash (a "type 4"
+// OS-independent function in the paper's §4.2 taxonomy), polling loops with
+// timeout counters, and registry-driven full-duplex configuration.
+#include "drivers/drivers.h"
+
+namespace revnic::drivers {
+
+const char* Rtl8029AsmBody() {
+  return R"(
+; ================= RTL8029 (NE2000) miniport =================
+.entry DriverEntry
+
+; ---- NE2000 register offsets ----
+.equ NE_CMD, 0x00
+.equ NE_PSTART, 0x01
+.equ NE_PSTOP, 0x02
+.equ NE_BNRY, 0x03
+.equ NE_TPSR, 0x04
+.equ NE_TBCR0, 0x05
+.equ NE_TBCR1, 0x06
+.equ NE_ISR, 0x07
+.equ NE_RSAR0, 0x08
+.equ NE_RSAR1, 0x09
+.equ NE_RBCR0, 0x0A
+.equ NE_RBCR1, 0x0B
+.equ NE_RCR, 0x0C
+.equ NE_TCR, 0x0D
+.equ NE_DCR, 0x0E
+.equ NE_IMR, 0x0F
+.equ NE_DATA, 0x10
+.equ NE_RESET, 0x1F
+.equ NE_CONFIG3, 0x06            ; page 3
+.equ CFG3_FDUP, 0x40
+
+.equ ISR_PRX, 0x01
+.equ ISR_PTX, 0x02
+.equ ISR_RXE, 0x04
+.equ ISR_TXE, 0x08
+.equ ISR_OVW, 0x10
+.equ ISR_RDC, 0x40
+.equ ISR_RST, 0x80
+
+.equ RCR_AB, 0x04
+.equ RCR_AM, 0x08
+.equ RCR_PRO, 0x10
+
+; ring layout: tx at page 0x40, rx ring 0x46..0x80
+.equ TX_PAGE, 0x40
+.equ RX_START, 0x46
+.equ RX_STOP, 0x80
+
+; ---- adapter context layout ----
+.equ CTX_IOBASE, 0x00
+.equ CTX_FILTER, 0x04
+.equ CTX_IRQCOUNT, 0x08
+.equ CTX_TXCOUNT, 0x0C
+.equ CTX_RXCOUNT, 0x10
+.equ CTX_MAC, 0x14
+.equ CTX_IMR, 0x1C
+.equ CTX_RXBUF, 0x20
+.equ CTX_LINKPOLL, 0x24
+.equ CTX_DUPLEX, 0x28
+.equ CTX_SIZE, 0x40
+
+.equ IMR_DEFAULT, 0x11           ; PRX | OVW (tx completion is polled)
+
+; =============== DriverEntry(driver_object, registry_path) ===============
+DriverEntry:
+    push fp
+    mov fp, sp
+    push #chars
+    sys NDIS_M_REGISTER_MINIPORT
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== mp_init(driver_handle) ===============
+mp_init:
+    push fp
+    mov fp, sp
+    sub sp, sp, #48              ; [fp-4] tmp, [fp-8] io, [fp-12] cfg handle,
+                                 ; [fp-16] value, [fp-20..] scratch prom buf
+    ; allocate adapter context
+    push #CTX_SIZE
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_ALLOCATE_MEMORY
+    cmp r0, #STATUS_SUCCESS
+    bne mi_fail
+    ldw r1, [fp, #-4]
+    stw [g_ctx], r1
+
+    ; identify the device: PCI vendor/device dword must be 0x802910EC
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    cmp r0, #0x802910EC
+    bne mi_fail_log
+
+    ; BAR0 -> io base
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x10
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    and r0, r0, #0xFFFFFFFE
+    ldw r1, [g_ctx]
+    stw [r1, #CTX_IOBASE], r0
+    stw [fp, #-8], r0
+
+    ; claim the port range
+    push #0x20
+    ldw r0, [fp, #-8]
+    push r0
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_M_REGISTER_IO_PORT_RANGE
+    cmp r0, #STATUS_SUCCESS
+    bne mi_fail_log
+
+    ; probe the chip (reset + wait for ISR.RST)
+    ldw r0, [fp, #-8]
+    push r0
+    call ne_probe
+    cmp r0, #0
+    bne mi_fail_log
+
+    ; read station address PROM into ctx->mac
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_MAC
+    push r0
+    ldw r0, [fp, #-8]
+    push r0
+    call ne_read_prom
+
+    ; bring the DP8390 core up
+    ldw r0, [g_ctx]
+    push r0
+    call ne_chip_init
+
+    ; hook the interrupt line (PCI config 0x3C)
+    push #1
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x3C
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldb r0, [fp, #-4]
+    push r0
+    sys NDIS_M_REGISTER_INTERRUPT
+    cmp r0, #STATUS_SUCCESS
+    bne mi_fail_log
+
+    ; adapter context + rx staging buffer
+    ldw r0, [g_ctx]
+    push r0
+    sys NDIS_M_SET_ATTRIBUTES
+    push #1536
+    ldw r0, [g_ctx]
+    add r0, r0, #CTX_RXBUF
+    push r0
+    sys NDIS_ALLOCATE_MEMORY
+
+    ; link watchdog timer
+    ldw r0, [g_ctx]
+    push r0
+    push #mp_timer
+    sys NDIS_INITIALIZE_TIMER
+    push #1000
+    push r0                      ; timer id from r0
+    sys NDIS_SET_TIMER
+
+    ; registry: duplex mode (2 = full)
+    mov r0, fp
+    sub r0, r0, #12
+    push r0
+    sys NDIS_OPEN_CONFIGURATION
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_DUPLEX_MODE
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne mi_no_duplex
+    ldw r0, [fp, #-16]
+    cmp r0, #2
+    bne mi_no_duplex
+    ldw r0, [fp, #-8]
+    push #1
+    push r0
+    call ne_set_duplex
+    ldw r1, [g_ctx]
+    mov r0, #1
+    stw [r1, #CTX_DUPLEX], r0
+mi_no_duplex:
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_CLOSE_CONFIGURATION
+
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+mi_fail_log:
+    push #0
+    push #0xE0029001
+    sys NDIS_WRITE_ERROR_LOG_ENTRY
+mi_fail:
+    mov r0, #STATUS_FAILURE
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== ne_probe(io) -> 0 ok / 1 fail ===============
+; Reads the reset port then polls ISR.RST with a bounded loop -- the classic
+; NE2000 presence check (and a polling loop for the §3.2 heuristics).
+ne_probe:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    inb r0, [r1, #NE_RESET]      ; trigger board reset
+    mov r2, #1000                ; timeout counter
+np_poll:
+    inb r0, [r1, #NE_ISR]
+    test r0, #ISR_RST
+    bne np_ok
+    push #10
+    sys NDIS_STALL_EXECUTION
+    sub r2, r2, #1
+    cmp r2, #0
+    bne np_poll
+    mov r0, #1                   ; timed out: no chip
+    jmp np_out
+np_ok:
+    mov r0, #ISR_RST             ; ack reset
+    outb [r1, #NE_ISR], r0
+    mov r0, #0
+np_out:
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== ne_read_prom(io, macbuf) ===============
+; Remote-reads 12 bytes from PROM address 0; bytes are doubled (word mode),
+; so every second byte is kept.
+ne_read_prom:
+    push fp
+    mov fp, sp
+    sub sp, sp, #16              ; [fp-16..fp-5]: 12-byte raw buffer
+    push r4
+    ldw r1, [fp, #8]             ; io
+    mov r0, fp
+    sub r0, r0, #16
+    push #12
+    push r0
+    push #0
+    ldw r1, [fp, #8]
+    push r1
+    call ne_remote_read
+    ; de-double into macbuf
+    ldw r2, [fp, #12]            ; macbuf
+    mov r3, #0
+nrp_loop:
+    cmp r3, #6
+    buge nrp_done
+    mov r0, fp
+    sub r0, r0, #16
+    shl r4, r3, #1
+    add r0, r0, r4
+    ldb r0, [r0]
+    add r4, r2, r3
+    stb [r4], r0
+    add r3, r3, #1
+    jmp nrp_loop
+nrp_done:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== ne_remote_read(io, addr, buf, len) ===============
+ne_remote_read:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r1, [fp, #8]             ; io
+    ldw r2, [fp, #12]            ; remote address
+    ldw r3, [fp, #16]            ; buffer
+    ldw r4, [fp, #20]            ; length
+    and r0, r4, #0xFF
+    outb [r1, #NE_RBCR0], r0
+    shr r0, r4, #8
+    outb [r1, #NE_RBCR1], r0
+    and r0, r2, #0xFF
+    outb [r1, #NE_RSAR0], r0
+    shr r0, r2, #8
+    outb [r1, #NE_RSAR1], r0
+    mov r0, #0x0A                ; remote read + start
+    outb [r1, #NE_CMD], r0
+nrr_loop:
+    cmp r4, #0
+    beq nrr_done
+    inb r0, [r1, #NE_DATA]
+    stb [r3], r0
+    add r3, r3, #1
+    sub r4, r4, #1
+    jmp nrr_loop
+nrr_done:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #16
+
+; =============== ne_remote_write(io, addr, buf, len) ===============
+ne_remote_write:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    ldw r4, [fp, #20]
+    and r0, r4, #0xFF
+    outb [r1, #NE_RBCR0], r0
+    shr r0, r4, #8
+    outb [r1, #NE_RBCR1], r0
+    and r0, r2, #0xFF
+    outb [r1, #NE_RSAR0], r0
+    shr r0, r2, #8
+    outb [r1, #NE_RSAR1], r0
+    mov r0, #0x12                ; remote write + start
+    outb [r1, #NE_CMD], r0
+nrw_loop:
+    cmp r4, #0
+    beq nrw_done
+    ldb r0, [r3]
+    outb [r1, #NE_DATA], r0
+    add r3, r3, #1
+    sub r4, r4, #1
+    jmp nrw_loop
+nrw_done:
+    ; wait for remote-DMA completion
+    mov r2, #100
+nrw_poll:
+    inb r0, [r1, #NE_ISR]
+    test r0, #ISR_RDC
+    bne nrw_ack
+    sub r2, r2, #1
+    cmp r2, #0
+    bne nrw_poll
+nrw_ack:
+    mov r0, #ISR_RDC
+    outb [r1, #NE_ISR], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #16
+
+; =============== ne_chip_init(ctx) ===============
+ne_chip_init:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r2, [fp, #8]             ; ctx
+    ldw r1, [r2, #CTX_IOBASE]
+    mov r0, #0x21                ; stop, abort DMA, page 0
+    outb [r1, #NE_CMD], r0
+    mov r0, #0x48                ; DCR: byte-wide, loopback off
+    outb [r1, #NE_DCR], r0
+    mov r0, #0
+    outb [r1, #NE_RBCR0], r0
+    outb [r1, #NE_RBCR1], r0
+    outb [r1, #NE_TCR], r0
+    mov r0, #RCR_AB              ; accept broadcast by default
+    outb [r1, #NE_RCR], r0
+    mov r0, #RX_START
+    outb [r1, #NE_PSTART], r0
+    outb [r1, #NE_BNRY], r0
+    mov r0, #RX_STOP
+    outb [r1, #NE_PSTOP], r0
+    mov r0, #0xFF                ; ack everything
+    outb [r1, #NE_ISR], r0
+    ; page 1: station address + CURR
+    mov r0, #0x61
+    outb [r1, #NE_CMD], r0
+    mov r3, #0
+nci_mac:
+    cmp r3, #6
+    buge nci_mac_done
+    add r0, r2, #CTX_MAC
+    add r0, r0, r3
+    ldb r0, [r0]
+    add r4, r1, #1
+    add r4, r4, r3
+    outb [r4], r0                ; PAR0..PAR5 at io+1..io+6
+    add r3, r3, #1
+    jmp nci_mac
+nci_mac_done:
+    mov r0, #RX_START
+    add r0, r0, #1
+    outb [r1, #0x07], r0         ; CURR = RX_START + 1
+    ; back to page 0, start
+    mov r0, #0x22
+    outb [r1, #NE_CMD], r0
+    mov r0, #IMR_DEFAULT
+    outb [r1, #NE_IMR], r0
+    stw [r2, #CTX_IMR], r0
+    ; default filter: directed + broadcast
+    mov r0, #FILTER_DIRECTED
+    or r0, r0, #FILTER_BROADCAST
+    stw [r2, #CTX_FILTER], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== ne_set_duplex(io, on) ===============
+ne_set_duplex:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ; page 3
+    mov r0, #0xE2                ; PS=3 | start
+    outb [r1, #NE_CMD], r0
+    inb r2, [r1, #NE_CONFIG3]
+    ldw r0, [fp, #12]
+    cmp r0, #0
+    beq nsd_clear
+    or r2, r2, #CFG3_FDUP
+    jmp nsd_write
+nsd_clear:
+    and r2, r2, #0xBF            ; ~CFG3_FDUP
+nsd_write:
+    outb [r1, #NE_CONFIG3], r2
+    mov r0, #0x22                ; back to page 0
+    outb [r1, #NE_CMD], r0
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== mp_send(ctx, packet, flags) ===============
+mp_send:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    ldw r5, [fp, #8]             ; ctx
+    ldw r2, [fp, #12]            ; packet
+    ldw r3, [r2]                 ; data va
+    ldw r4, [r2, #4]             ; length
+    cmp r4, #1514
+    bugt ms_too_big
+    cmp r4, #60                  ; hardware pads short frames from the buffer
+    buge ms_len_ok
+    mov r4, #60
+ms_len_ok:
+    ldw r1, [r5, #CTX_IOBASE]
+    ; copy frame into the tx slot via remote DMA
+    push r4
+    push r3
+    push #0x4000                 ; TX_PAGE << 8
+    push r1
+    call ne_remote_write
+    ldw r1, [r5, #CTX_IOBASE]
+    mov r0, #TX_PAGE
+    outb [r1, #NE_TPSR], r0
+    and r0, r4, #0xFF
+    outb [r1, #NE_TBCR0], r0
+    shr r0, r4, #8
+    outb [r1, #NE_TBCR1], r0
+    mov r0, #0x26                ; start + transmit + abort DMA
+    outb [r1, #NE_CMD], r0
+    ; poll transmit completion (bounded)
+    mov r2, #1000
+ms_poll:
+    inb r0, [r1, #NE_ISR]
+    test r0, #ISR_PTX
+    bne ms_done
+    sub r2, r2, #1
+    cmp r2, #0
+    bne ms_poll
+ms_done:
+    mov r0, #ISR_PTX
+    outb [r1, #NE_ISR], r0
+    ldw r0, [r5, #CTX_TXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_TXCOUNT], r0
+    push #STATUS_SUCCESS
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_SUCCESS
+    jmp ms_out
+ms_too_big:
+    mov r0, #STATUS_FAILURE
+ms_out:
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== mp_isr(ctx) -> recognized ===============
+mp_isr:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    inb r0, [r1, #NE_ISR]
+    and r0, r0, #0x7F
+    cmp r0, #0
+    beq mi_not_ours
+    ; mask further interrupts until the DPC runs
+    mov r0, #0
+    outb [r1, #NE_IMR], r0
+    mov r0, #1
+    jmp mi_isr_out
+mi_not_ours:
+    mov r0, #0
+mi_isr_out:
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_dpc(ctx) -- HandleInterrupt ===============
+mp_dpc:
+    push fp
+    mov fp, sp
+    sub sp, sp, #8               ; [fp-4]: latched ISR flags
+    push r4
+    ldw r4, [fp, #8]             ; ctx
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r0, [r4, #CTX_IRQCOUNT]
+    add r0, r0, #1
+    stw [r4, #CTX_IRQCOUNT], r0
+    inb r3, [r1, #NE_ISR]
+    stw [fp, #-4], r3
+    test r3, #ISR_PRX
+    beq md_no_rx
+    mov r0, #ISR_PRX
+    outb [r1, #NE_ISR], r0
+    push r4
+    call ne_rx_drain
+md_no_rx:
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r3, [fp, #-4]
+    test r3, #ISR_OVW
+    beq md_no_ovw
+    ; ring overflow: restart the receiver
+    mov r0, #ISR_OVW
+    outb [r1, #NE_ISR], r0
+    push r4
+    call ne_chip_init
+md_no_ovw:
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r3, [fp, #-4]
+    test r3, #ISR_RXE
+    beq md_no_rxe
+    mov r0, #ISR_RXE
+    outb [r1, #NE_ISR], r0
+    push #0
+    push #0xE0029002
+    sys NDIS_WRITE_ERROR_LOG_ENTRY
+md_no_rxe:
+    ; re-enable interrupts
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r0, [r4, #CTX_IMR]
+    outb [r1, #NE_IMR], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== ne_rx_drain(ctx) ===============
+; Walks the DP8390 ring from BNRY+1 to CURR, indicating each frame upward.
+ne_rx_drain:
+    push fp
+    mov fp, sp
+    sub sp, sp, #24              ; [fp-4] header, [fp-8] next, [fp-12] len,
+                                 ; [fp-16] CURR, [fp-20] current page
+    push r4
+    push r5
+    ldw r5, [fp, #8]             ; ctx
+nrd_loop:
+    ldw r1, [r5, #CTX_IOBASE]
+    ; CURR lives in page 1
+    mov r0, #0x62
+    outb [r1, #NE_CMD], r0
+    inb r2, [r1, #0x07]
+    stw [fp, #-16], r2           ; latch CURR (calls below clobber r2)
+    mov r0, #0x22
+    outb [r1, #NE_CMD], r0
+    inb r3, [r1, #NE_BNRY]
+    add r3, r3, #1
+    cmp r3, #RX_STOP
+    bult nrd_nowrap
+    mov r3, #RX_START
+nrd_nowrap:
+    cmp r3, r2
+    beq nrd_done                 ; ring drained
+    stw [fp, #-20], r3           ; latch the page (calls clobber r3)
+    ; read the 4-byte packet header at page r3
+    mov r0, fp
+    sub r0, r0, #4
+    push #4
+    push r0
+    shl r4, r3, #8
+    push r4
+    push r1
+    call ne_remote_read
+    ldb r0, [fp, #-4]            ; receive status
+    test r0, #1
+    beq nrd_skip
+    mov r0, fp
+    sub r0, r0, #4
+    add r0, r0, #1
+    ldb r0, [r0]                 ; next page pointer
+    stw [fp, #-8], r0
+    mov r0, fp
+    sub r0, r0, #4
+    add r0, r0, #2
+    ldh r0, [r0]                 ; total length incl header
+    sub r0, r0, #4
+    stw [fp, #-12], r0
+    cmp r0, #1514
+    bugt nrd_skip
+    ; ring-read the payload into the staging buffer (handles wrap)
+    ldw r1, [r5, #CTX_IOBASE]
+    ldw r0, [fp, #-12]
+    push r0
+    ldw r0, [r5, #CTX_RXBUF]
+    push r0
+    ldw r4, [fp, #-20]
+    shl r4, r4, #8
+    add r4, r4, #4
+    push r4
+    push r1
+    call ne_ring_read
+    ; hand the frame to the OS
+    ldw r0, [fp, #-12]
+    push r0
+    ldw r0, [r5, #CTX_RXBUF]
+    push r0
+    sys NDIS_M_ETH_INDICATE_RECEIVE
+    ldw r0, [r5, #CTX_RXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_RXCOUNT], r0
+    ; BNRY = next - 1 (with ring wrap)
+    ldw r2, [fp, #-8]
+    sub r2, r2, #1
+    cmp r2, #RX_START
+    buge nrd_bnry_ok
+    mov r2, #RX_STOP
+    sub r2, r2, #1
+nrd_bnry_ok:
+    ldw r1, [r5, #CTX_IOBASE]
+    outb [r1, #NE_BNRY], r2
+    jmp nrd_loop
+nrd_skip:
+    ; corrupt header: resync BNRY to CURR
+    ldw r1, [r5, #CTX_IOBASE]
+    ldw r2, [fp, #-16]
+    sub r2, r2, #1
+    cmp r2, #RX_START
+    buge nrd_sync
+    mov r2, #RX_STOP
+    sub r2, r2, #1
+nrd_sync:
+    outb [r1, #NE_BNRY], r2
+nrd_done:
+    sys NDIS_M_ETH_INDICATE_RECEIVE_COMPLETE
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== ne_ring_read(io, addr, buf, len) ===============
+; Remote read that wraps from RX_STOP<<8 back to RX_START<<8.
+ne_ring_read:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    ldw r2, [fp, #12]            ; ring address
+    ldw r4, [fp, #20]            ; length
+    add r0, r2, r4
+    cmp r0, #0x8000              ; RX_STOP << 8
+    bule nrg_single
+    ; split read: tail of the ring, then from RX_START
+    mov r5, #0x8000
+    sub r5, r5, r2               ; first chunk size
+    push r5
+    ldw r0, [fp, #16]
+    push r0
+    push r2
+    ldw r0, [fp, #8]
+    push r0
+    call ne_remote_read
+    sub r4, r4, r5
+    ldw r0, [fp, #16]
+    add r0, r0, r5
+    push r4
+    push r0
+    push #0x4600                 ; RX_START << 8
+    ldw r0, [fp, #8]
+    push r0
+    call ne_remote_read
+    jmp nrg_out
+nrg_single:
+    push r4
+    ldw r0, [fp, #16]
+    push r0
+    push r2
+    ldw r0, [fp, #8]
+    push r0
+    call ne_remote_read
+nrg_out:
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #16
+
+; =============== crc32_hash(mac_ptr) -> filter bucket (0..63) ===============
+; Pure software CRC32 over 6 bytes: the multicast hash every 8390-family
+; driver carries (paper type-4 function: OS-independent algorithm).
+crc32_hash:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r1, [fp, #8]
+    mov r0, #0xFFFFFFFF          ; crc
+    mov r2, #0                   ; byte index
+ch_byte:
+    cmp r2, #6
+    buge ch_done
+    add r3, r1, r2
+    ldb r3, [r3]
+    xor r0, r0, r3
+    mov r4, #0                   ; bit index
+ch_bit:
+    cmp r4, #8
+    buge ch_next
+    and r5, r0, #1
+    mov r6, #0
+    sub r5, r6, r5               ; 0 - lsb = all-ones mask if lsb set
+    shr r0, r0, #1
+    and r5, r5, #0xEDB88320
+    xor r0, r0, r5
+    add r4, r4, #1
+    jmp ch_bit
+ch_next:
+    add r2, r2, #1
+    jmp ch_byte
+ch_done:
+    xor r0, r0, #0xFFFFFFFF
+    shr r0, r0, #26
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== ne_set_multicast(ctx, list, count) ===============
+ne_set_multicast:
+    push fp
+    mov fp, sp
+    sub sp, sp, #8               ; [fp-8..fp-1]: MAR shadow
+    push r4
+    push r5
+    push r6
+    ; clear the shadow filter
+    mov r0, #0
+    stw [fp, #-8], r0
+    stw [fp, #-4], r0
+    ldw r4, [fp, #12]            ; list
+    ldw r5, [fp, #16]            ; count
+me_loop:
+    cmp r5, #0
+    beq me_program
+    push r4
+    call crc32_hash
+    ; set bit r0 in the 64-bit shadow
+    shr r1, r0, #3               ; byte index
+    and r2, r0, #7
+    mov r3, #1
+    shl r3, r3, r2
+    mov r6, fp
+    sub r6, r6, #8
+    add r6, r6, r1
+    ldb r2, [r6]
+    or r2, r2, r3
+    stb [r6], r2
+    add r4, r4, #6
+    sub r5, r5, #1
+    jmp me_loop
+me_program:
+    ; write MAR0..7 in page 1
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    mov r0, #0x61
+    outb [r1, #NE_CMD], r0
+    mov r2, #0
+me_mar:
+    cmp r2, #8
+    buge me_mar_done
+    mov r6, fp
+    sub r6, r6, #8
+    add r6, r6, r2
+    ldb r0, [r6]
+    add r3, r1, #0x08
+    add r3, r3, r2
+    outb [r3], r0
+    add r2, r2, #1
+    jmp me_mar
+me_mar_done:
+    mov r0, #0x22
+    outb [r1, #NE_CMD], r0
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== ne_update_rcr(ctx) ===============
+; Derives the RCR value from the NDIS packet filter bits in the context.
+ne_update_rcr:
+    push fp
+    mov fp, sp
+    ldw r2, [fp, #8]
+    ldw r1, [r2, #CTX_IOBASE]
+    ldw r3, [r2, #CTX_FILTER]
+    mov r0, #0
+    test r3, #FILTER_BROADCAST
+    beq nur_no_bc
+    or r0, r0, #RCR_AB
+nur_no_bc:
+    test r3, #FILTER_MULTICAST
+    beq nur_no_mc
+    or r0, r0, #RCR_AM
+nur_no_mc:
+    test r3, #FILTER_PROMISCUOUS
+    beq nur_no_pro
+    or r0, r0, #RCR_PRO
+    or r0, r0, #RCR_AB
+    or r0, r0, #RCR_AM
+nur_no_pro:
+    outb [r1, #NE_RCR], r0
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_query(ctx, oid, buf, len, written) ===============
+mp_query:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r1, [fp, #8]             ; ctx
+    ldw r2, [fp, #12]            ; oid
+    ldw r3, [fp, #16]            ; buf
+    cmp r2, #OID_802_3_CURRENT_ADDRESS
+    beq mq_mac
+    cmp r2, #OID_802_3_PERMANENT_ADDRESS
+    beq mq_mac
+    cmp r2, #OID_GEN_LINK_SPEED
+    beq mq_speed
+    cmp r2, #OID_GEN_MAXIMUM_FRAME_SIZE
+    beq mq_mtu
+    cmp r2, #OID_GEN_MEDIA_CONNECT_STATUS
+    beq mq_link
+    cmp r2, #OID_VENDOR_DUPLEX_MODE
+    beq mq_duplex
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp mq_out
+mq_mac:
+    mov r4, #0
+mq_mac_loop:
+    cmp r4, #6
+    buge mq_mac_done
+    add r0, r1, #CTX_MAC
+    add r0, r0, r4
+    ldb r0, [r0]
+    add r2, r3, r4
+    stb [r2], r0
+    add r4, r4, #1
+    jmp mq_mac_loop
+mq_mac_done:
+    ldw r0, [fp, #20]
+    mov r2, #6
+    ; report bytes written
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+    jmp mq_out
+mq_speed:
+    mov r0, #100000              ; 10 Mbps in 100 bps units
+    stw [r3], r0
+    jmp mq_w4
+mq_mtu:
+    mov r0, #1500
+    stw [r3], r0
+    jmp mq_w4
+mq_link:
+    mov r0, #1                   ; connected
+    stw [r3], r0
+    jmp mq_w4
+mq_duplex:
+    ldw r0, [r1, #CTX_DUPLEX]
+    stw [r3], r0
+mq_w4:
+    mov r2, #4
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+mq_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_set(ctx, oid, buf, len, read) ===============
+mp_set:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_GEN_CURRENT_PACKET_FILTER
+    beq st_filter
+    cmp r2, #OID_802_3_MULTICAST_LIST
+    beq st_mcast
+    cmp r2, #OID_VENDOR_DUPLEX_MODE
+    beq st_duplex
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp st_out
+st_filter:
+    ldw r0, [r3]
+    stw [r1, #CTX_FILTER], r0
+    push r1
+    call ne_update_rcr
+    mov r0, #STATUS_SUCCESS
+    jmp st_out
+st_mcast:
+    ldw r0, [fp, #20]            ; byte length of the list
+    udiv r0, r0, #6
+    push r0
+    push r3
+    push r1
+    call ne_set_multicast
+    ; multicast list implies the AM bit
+    ldw r1, [fp, #8]
+    ldw r0, [r1, #CTX_FILTER]
+    or r0, r0, #FILTER_MULTICAST
+    stw [r1, #CTX_FILTER], r0
+    push r1
+    call ne_update_rcr
+    mov r0, #STATUS_SUCCESS
+    jmp st_out
+st_duplex:
+    ldw r0, [r3]
+    stw [r1, #CTX_DUPLEX], r0
+    ldw r2, [r1, #CTX_IOBASE]
+    push r0
+    push r2
+    call ne_set_duplex
+    mov r0, #STATUS_SUCCESS
+st_out:
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_reset(ctx) ===============
+mp_reset:
+    push fp
+    mov fp, sp
+    ldw r0, [fp, #8]
+    push r0
+    call ne_chip_init
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_halt(ctx) ===============
+mp_halt:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    mov r0, #0
+    outb [r1, #NE_IMR], r0
+    mov r0, #0x21                ; stop
+    outb [r1, #NE_CMD], r0
+    sys NDIS_M_DEREGISTER_INTERRUPT
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_shutdown(ctx) ===============
+mp_shutdown:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    mov r0, #0x21
+    outb [r1, #NE_CMD], r0
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_timer(ctx) -- link watchdog ===============
+mp_timer:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r0, [r1, #CTX_LINKPOLL]
+    add r0, r0, #1
+    stw [r1, #CTX_LINKPOLL], r0
+    ldw r2, [r1, #CTX_IOBASE]
+    inb r0, [r2, #NE_ISR]        ; benign status sample
+    mov sp, fp
+    pop fp
+    ret #4
+
+; ================= data =================
+.data
+chars:
+    .word mp_init, mp_isr, mp_dpc, mp_send, mp_query, mp_set, mp_reset, mp_halt, mp_shutdown
+g_ctx:
+    .word 0
+)";
+}
+
+}  // namespace revnic::drivers

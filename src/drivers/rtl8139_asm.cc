@@ -1,0 +1,1001 @@
+// rtl8139.sys analog: RTL8139C miniport driver in r32 assembly.
+//
+// Notable structure:
+//  * bus-master DMA: rx ring and tx staging buffers come from
+//    NdisMAllocateSharedMemory (the DMA API RevNIC tracks, §3.4);
+//  * mp_send is a "type 3" function (paper §4.2): it mixes OS calls
+//    (NdisMoveMemory, NdisStallExecution) with hardware I/O. It also carries
+//    the original Windows driver's performance quirk the paper observed in
+//    Figure 2: packets over 1 KiB take a vendor "workaround" stall on the
+//    OS-glue path. The hardware protocol itself (rtl_tx_start) is clean, so
+//    a synthesized driver whose template re-implements the glue does not
+//    inherit the stall -- exactly the paper's observation.
+//  * Wake-on-LAN and LED config live behind the 9346CR unlock sequence.
+#include "drivers/drivers.h"
+
+namespace revnic::drivers {
+
+const char* Rtl8139AsmBody() {
+  return R"(
+; ================= RTL8139 miniport =================
+.entry DriverEntry
+
+; ---- register offsets ----
+.equ RTL_IDR0, 0x00
+.equ RTL_MAR0, 0x08
+.equ RTL_TSD0, 0x10
+.equ RTL_TSAD0, 0x20
+.equ RTL_RBSTART, 0x30
+.equ RTL_CR, 0x37
+.equ RTL_CAPR, 0x38
+.equ RTL_CBR, 0x3A
+.equ RTL_IMR, 0x3C
+.equ RTL_ISR, 0x3E
+.equ RTL_TCR, 0x40
+.equ RTL_RCR, 0x44
+.equ RTL_9346CR, 0x50
+.equ RTL_CONFIG1, 0x52
+.equ RTL_CONFIG3, 0x59
+.equ RTL_CONFIG4, 0x5A
+.equ RTL_BMCR, 0x62
+
+.equ CR_BUFE, 0x01
+.equ CR_TE, 0x04
+.equ CR_RE, 0x08
+.equ CR_RST, 0x10
+
+.equ INT_ROK, 0x01
+.equ INT_RER, 0x02
+.equ INT_TOK, 0x04
+.equ INT_TER, 0x08
+.equ INT_RXOVW, 0x10
+
+.equ TSD_OWN, 0x2000
+.equ TSD_TOK, 0x8000
+
+.equ RCR_AAP, 0x01
+.equ RCR_APM, 0x02
+.equ RCR_AM, 0x04
+.equ RCR_AB, 0x08
+.equ RCR_WRAP, 0x80
+
+.equ CFG3_MAGIC, 0x20
+.equ BMCR_FDX, 0x0100
+.equ UNLOCK_9346, 0xC0
+
+.equ RX_RING_BYTES, 8192
+.equ RX_ALLOC_BYTES, 9744        ; 8192 + 16 + 1536 WRAP spill
+.equ TX_SLOT_BYTES, 2048
+
+; ---- adapter context ----
+.equ CTX_IOBASE, 0x00
+.equ CTX_FILTER, 0x04
+.equ CTX_IRQCOUNT, 0x08
+.equ CTX_TXCOUNT, 0x0C
+.equ CTX_RXCOUNT, 0x10
+.equ CTX_MAC, 0x14
+.equ CTX_RXRING_VA, 0x20
+.equ CTX_RXRING_PA, 0x24
+.equ CTX_TXBUF_VA, 0x28
+.equ CTX_TXBUF_PA, 0x2C
+.equ CTX_TXSLOT, 0x30
+.equ CTX_RXOFF, 0x34
+.equ CTX_DUPLEX, 0x38
+.equ CTX_WOL, 0x3C
+.equ CTX_LED, 0x40
+.equ CTX_IMR, 0x44
+.equ CTX_SIZE, 0x60
+
+.equ IMR_DEFAULT, 0x13           ; ROK | RER | RXOVW
+
+; =============== DriverEntry(driver_object, registry_path) ===============
+DriverEntry:
+    push fp
+    mov fp, sp
+    push #chars
+    sys NDIS_M_REGISTER_MINIPORT
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== mp_init(driver_handle) ===============
+mp_init:
+    push fp
+    mov fp, sp
+    sub sp, sp, #32              ; [fp-4] tmp, [fp-8] io, [fp-12] cfg, [fp-16] val
+    ; adapter context
+    push #CTX_SIZE
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_ALLOCATE_MEMORY
+    cmp r0, #STATUS_SUCCESS
+    bne ri_fail
+    ldw r1, [fp, #-4]
+    stw [g_ctx], r1
+
+    ; PCI id check: 0x813910EC
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    cmp r0, #0x813910EC
+    bne ri_fail_log
+
+    ; BAR0 -> io base; claim the range
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x10
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    and r0, r0, #0xFFFFFFFE
+    ldw r1, [g_ctx]
+    stw [r1, #CTX_IOBASE], r0
+    stw [fp, #-8], r0
+    push #0x100
+    push r0
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_M_REGISTER_IO_PORT_RANGE
+
+    ; soft reset + poll completion
+    ldw r0, [fp, #-8]
+    push r0
+    call rtl_reset
+    cmp r0, #0
+    bne ri_fail_log
+
+    ; station address from IDR
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_MAC
+    push r0
+    ldw r0, [fp, #-8]
+    push r0
+    call rtl_read_mac
+
+    ; DMA memory: receive ring
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_RXRING_PA
+    push r0
+    mov r0, r1
+    add r0, r0, #CTX_RXRING_VA
+    push r0
+    push #RX_ALLOC_BYTES
+    sys NDIS_M_ALLOCATE_SHARED_MEMORY
+    cmp r0, #STATUS_SUCCESS
+    bne ri_fail_log
+    ; DMA memory: 4 tx slots
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_TXBUF_PA
+    push r0
+    mov r0, r1
+    add r0, r0, #CTX_TXBUF_VA
+    push r0
+    push #8192
+    sys NDIS_M_ALLOCATE_SHARED_MEMORY
+    cmp r0, #STATUS_SUCCESS
+    bne ri_fail_log
+
+    ; bring the chip up
+    ldw r0, [g_ctx]
+    push r0
+    call rtl_chip_start
+
+    ; interrupt line
+    push #1
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x3C
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldb r0, [fp, #-4]
+    push r0
+    sys NDIS_M_REGISTER_INTERRUPT
+    cmp r0, #STATUS_SUCCESS
+    bne ri_fail_log
+
+    ldw r0, [g_ctx]
+    push r0
+    sys NDIS_M_SET_ATTRIBUTES
+
+    ; registry-driven extras: duplex / WoL / LED
+    mov r0, fp
+    sub r0, r0, #12
+    push r0
+    sys NDIS_OPEN_CONFIGURATION
+
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_DUPLEX_MODE
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne ri_no_duplex
+    ldw r0, [fp, #-16]
+    cmp r0, #2
+    bne ri_no_duplex
+    push #1
+    ldw r0, [fp, #-8]
+    push r0
+    call rtl_set_duplex
+    ldw r1, [g_ctx]
+    mov r0, #1
+    stw [r1, #CTX_DUPLEX], r0
+ri_no_duplex:
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_WAKE_ON_LAN
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne ri_no_wol
+    ldw r0, [fp, #-16]
+    cmp r0, #0
+    beq ri_no_wol
+    push #1
+    ldw r0, [fp, #-8]
+    push r0
+    call rtl_set_wol
+    ldw r1, [g_ctx]
+    mov r0, #1
+    stw [r1, #CTX_WOL], r0
+ri_no_wol:
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_LED_MODE
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne ri_no_led
+    ldw r0, [fp, #-16]
+    push r0
+    ldw r0, [fp, #-8]
+    push r0
+    call rtl_set_led
+ri_no_led:
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_CLOSE_CONFIGURATION
+
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+ri_fail_log:
+    push #0
+    push #0xE8139001
+    sys NDIS_WRITE_ERROR_LOG_ENTRY
+ri_fail:
+    mov r0, #STATUS_FAILURE
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== rtl_reset(io) -> 0 ok / 1 timeout ===============
+rtl_reset:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    mov r0, #CR_RST
+    outb [r1, #RTL_CR], r0
+    mov r2, #1000
+rr_poll:
+    inb r0, [r1, #RTL_CR]
+    test r0, #CR_RST
+    beq rr_ok
+    push #10
+    sys NDIS_STALL_EXECUTION
+    sub r2, r2, #1
+    cmp r2, #0
+    bne rr_poll
+    mov r0, #1
+    jmp rr_out
+rr_ok:
+    mov r0, #0
+rr_out:
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== rtl_read_mac(io, macbuf) ===============
+rtl_read_mac:
+    push fp
+    mov fp, sp
+    ldw r2, [fp, #12]
+    mov r3, #0
+rm_loop:
+    cmp r3, #6
+    buge rm_done
+    ldw r1, [fp, #8]
+    add r0, r1, r3
+    inb r0, [r0]
+    add r1, r2, r3
+    stb [r1], r0
+    add r3, r3, #1
+    jmp rm_loop
+rm_done:
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== rtl_chip_start(ctx) ===============
+rtl_chip_start:
+    push fp
+    mov fp, sp
+    ldw r2, [fp, #8]
+    ldw r1, [r2, #CTX_IOBASE]
+    ; program the rx ring physical address
+    ldw r0, [r2, #CTX_RXRING_PA]
+    outw [r1, #RTL_RBSTART], r0
+    ; enable tx + rx
+    mov r0, #CR_TE
+    or r0, r0, #CR_RE
+    outb [r1, #RTL_CR], r0
+    ; receive configuration: directed + broadcast, WRAP mode
+    mov r0, #RCR_APM
+    or r0, r0, #RCR_AB
+    or r0, r0, #RCR_WRAP
+    outw [r1, #RTL_RCR], r0
+    mov r0, #0
+    outw [r1, #RTL_TCR], r0
+    ; CAPR = -16 (read pointer at ring offset 0)
+    mov r0, #RX_RING_BYTES
+    sub r0, r0, #16
+    outh [r1, #RTL_CAPR], r0
+    mov r0, #0
+    stw [r2, #CTX_RXOFF], r0
+    stw [r2, #CTX_TXSLOT], r0
+    ; ack + unmask interrupts
+    mov r0, #0xFFFF
+    outh [r1, #RTL_ISR], r0
+    mov r0, #IMR_DEFAULT
+    outh [r1, #RTL_IMR], r0
+    stw [r2, #CTX_IMR], r0
+    mov r0, #FILTER_DIRECTED
+    or r0, r0, #FILTER_BROADCAST
+    stw [r2, #CTX_FILTER], r0
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== rtl_set_duplex(io, on) ===============
+rtl_set_duplex:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    inh r2, [r1, #RTL_BMCR]
+    ldw r0, [fp, #12]
+    cmp r0, #0
+    beq rsd_off
+    or r2, r2, #BMCR_FDX
+    jmp rsd_write
+rsd_off:
+    and r2, r2, #0xFEFF
+rsd_write:
+    outh [r1, #RTL_BMCR], r2
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== rtl_set_wol(io, on) ===============
+; CONFIG3 is guarded by the 9346 unlock sequence.
+rtl_set_wol:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    mov r0, #UNLOCK_9346
+    outb [r1, #RTL_9346CR], r0
+    inb r2, [r1, #RTL_CONFIG3]
+    ldw r0, [fp, #12]
+    cmp r0, #0
+    beq rsw_off
+    or r2, r2, #CFG3_MAGIC
+    jmp rsw_write
+rsw_off:
+    and r2, r2, #0xDF
+rsw_write:
+    outb [r1, #RTL_CONFIG3], r2
+    mov r0, #0
+    outb [r1, #RTL_9346CR], r0
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== rtl_set_led(io, mode) ===============
+rtl_set_led:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    mov r0, #UNLOCK_9346
+    outb [r1, #RTL_9346CR], r0
+    ldw r0, [fp, #12]
+    and r0, r0, #7
+    outb [r1, #RTL_CONFIG4], r0
+    mov r0, #0
+    outb [r1, #RTL_9346CR], r0
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== mp_send(ctx, packet, flags) ===============
+; Type-3 function: OS buffer handling + vendor quirk + hardware kick.
+mp_send:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r5, [fp, #8]             ; ctx
+    ldw r2, [fp, #12]            ; packet
+    ldw r6, [r2]                 ; data va
+    ldw r4, [r2, #4]             ; length
+    cmp r4, #1514
+    bugt rs_too_big
+    ; ---- vendor quirk: long packets take a "bus settle" stall ----
+    cmp r4, #1024
+    bule rs_no_quirk
+    push #150
+    sys NDIS_STALL_EXECUTION
+rs_no_quirk:
+    ; copy the frame into the DMA tx slot via the OS copy routine
+    ldw r0, [r5, #CTX_TXSLOT]
+    mov r1, #TX_SLOT_BYTES
+    mul r1, r1, r0
+    ldw r0, [r5, #CTX_TXBUF_VA]
+    add r1, r1, r0               ; slot va
+    push r4
+    push r6
+    push r1
+    sys NDIS_MOVE_MEMORY
+    cmp r4, #60                  ; hardware needs >= 60 bytes
+    buge rs_len_ok
+    mov r4, #60
+rs_len_ok:
+    ; hardware kick (pure hw function)
+    push r4
+    ldw r0, [r5, #CTX_TXSLOT]
+    push r0
+    push r5
+    call rtl_tx_start
+    cmp r0, #0
+    bne rs_hw_fail
+    ; advance the slot
+    ldw r0, [r5, #CTX_TXSLOT]
+    add r0, r0, #1
+    and r0, r0, #3
+    stw [r5, #CTX_TXSLOT], r0
+    ldw r0, [r5, #CTX_TXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_TXCOUNT], r0
+    push #STATUS_SUCCESS
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_SUCCESS
+    jmp rs_out
+rs_hw_fail:
+    push #STATUS_FAILURE
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_FAILURE
+    jmp rs_out
+rs_too_big:
+    mov r0, #STATUS_FAILURE
+rs_out:
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== rtl_tx_start(ctx, slot, len) -> 0 ok / 1 fail ===============
+rtl_tx_start:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r2, [fp, #8]             ; ctx
+    ldw r1, [r2, #CTX_IOBASE]
+    ldw r3, [fp, #12]            ; slot
+    ; TSAD[slot] = tx slot physical address
+    ldw r0, [r2, #CTX_TXBUF_PA]
+    mov r4, #TX_SLOT_BYTES
+    mul r4, r4, r3
+    add r0, r0, r4
+    shl r4, r3, #2
+    add r4, r4, r1
+    outw [r4, #RTL_TSAD0], r0
+    ; TSD[slot] = length (OWN=0 starts the DMA)
+    ldw r0, [fp, #16]
+    shl r4, r3, #2
+    add r4, r4, r1
+    outw [r4, #RTL_TSD0], r0
+    ; poll for completion (TOK in TSD)
+    mov r3, #1000
+rts_poll:
+    ldw r4, [fp, #12]
+    shl r4, r4, #2
+    add r4, r4, r1
+    inw r4, [r4, #RTL_TSD0]
+    test r4, #TSD_TOK
+    bne rts_ok
+    sub r3, r3, #1
+    cmp r3, #0
+    bne rts_poll
+    mov r0, #1
+    jmp rts_out
+rts_ok:
+    ; ack TOK in ISR
+    mov r0, #INT_TOK
+    outh [r1, #RTL_ISR], r0
+    mov r0, #0
+rts_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== mp_isr(ctx) -> recognized ===============
+mp_isr:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    inh r0, [r1, #RTL_ISR]
+    cmp r0, #0
+    beq rsi_no
+    mov r0, #0
+    outh [r1, #RTL_IMR], r0
+    mov r0, #1
+    jmp rsi_out
+rsi_no:
+    mov r0, #0
+rsi_out:
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_dpc(ctx) ===============
+mp_dpc:
+    push fp
+    mov fp, sp
+    sub sp, sp, #8               ; [fp-4] latched ISR
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r0, [r4, #CTX_IRQCOUNT]
+    add r0, r0, #1
+    stw [r4, #CTX_IRQCOUNT], r0
+    inh r3, [r1, #RTL_ISR]
+    stw [fp, #-4], r3
+    test r3, #INT_ROK
+    beq rd_no_rx
+    mov r0, #INT_ROK
+    outh [r1, #RTL_ISR], r0
+    push r4
+    call rtl_rx_drain
+rd_no_rx:
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r3, [fp, #-4]
+    test r3, #INT_RXOVW
+    beq rd_no_ovw
+    mov r0, #INT_RXOVW
+    outh [r1, #RTL_ISR], r0
+    push r4
+    call rtl_chip_start          ; restart the receiver after overflow
+rd_no_ovw:
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r3, [fp, #-4]
+    test r3, #INT_RER
+    beq rd_no_rer
+    mov r0, #INT_RER
+    outh [r1, #RTL_ISR], r0
+    push #0
+    push #0xE8139002
+    sys NDIS_WRITE_ERROR_LOG_ENTRY
+rd_no_rer:
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r0, [r4, #CTX_IMR]
+    outh [r1, #RTL_IMR], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== rtl_rx_drain(ctx) ===============
+; Walks the rx ring until the chip reports "buffer empty".
+rtl_rx_drain:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r5, [fp, #8]             ; ctx
+rxd_loop:
+    ldw r1, [r5, #CTX_IOBASE]
+    inb r0, [r1, #RTL_CR]
+    test r0, #CR_BUFE
+    bne rxd_done
+    ldw r4, [r5, #CTX_RXOFF]     ; ring read offset
+    ldw r2, [r5, #CTX_RXRING_VA]
+    add r2, r2, r4               ; header va
+    ldh r0, [r2]                 ; status
+    test r0, #1
+    beq rxd_done
+    ldh r6, [r2, #2]             ; packet length incl CRC dword
+    cmp r6, #1518
+    bugt rxd_done
+    ; indicate (payload at header+4, length-4 to strip the CRC)
+    sub r0, r6, #4
+    push r0
+    add r0, r2, #4
+    push r0
+    sys NDIS_M_ETH_INDICATE_RECEIVE
+    ldw r0, [r5, #CTX_RXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_RXCOUNT], r0
+    ; advance: offset += 4 + len, dword aligned; wrap at ring size
+    add r4, r4, r6
+    add r4, r4, #4
+    add r4, r4, #3
+    and r4, r4, #0xFFFFFFFC
+    cmp r4, #RX_RING_BYTES
+    bult rxd_no_wrap
+    sub r4, r4, #RX_RING_BYTES
+rxd_no_wrap:
+    stw [r5, #CTX_RXOFF], r4
+    ; CAPR = offset - 16 (mod ring size)
+    add r0, r4, #RX_RING_BYTES
+    sub r0, r0, #16
+    cmp r0, #RX_RING_BYTES
+    bult rxd_capr
+    sub r0, r0, #RX_RING_BYTES
+rxd_capr:
+    ldw r1, [r5, #CTX_IOBASE]
+    outh [r1, #RTL_CAPR], r0
+    jmp rxd_loop
+rxd_done:
+    sys NDIS_M_ETH_INDICATE_RECEIVE_COMPLETE
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== crc32_hash(mac_ptr) -> bucket ===============
+crc32_hash:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r1, [fp, #8]
+    mov r0, #0xFFFFFFFF
+    mov r2, #0
+rch_byte:
+    cmp r2, #6
+    buge rch_done
+    add r3, r1, r2
+    ldb r3, [r3]
+    xor r0, r0, r3
+    mov r4, #0
+rch_bit:
+    cmp r4, #8
+    buge rch_next
+    and r5, r0, #1
+    mov r6, #0
+    sub r5, r6, r5
+    shr r0, r0, #1
+    and r5, r5, #0xEDB88320
+    xor r0, r0, r5
+    add r4, r4, #1
+    jmp rch_bit
+rch_next:
+    add r2, r2, #1
+    jmp rch_byte
+rch_done:
+    xor r0, r0, #0xFFFFFFFF
+    shr r0, r0, #26
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== rtl_set_multicast(ctx, list, count) ===============
+rtl_set_multicast:
+    push fp
+    mov fp, sp
+    sub sp, sp, #8
+    push r4
+    push r5
+    push r6
+    mov r0, #0
+    stw [fp, #-8], r0
+    stw [fp, #-4], r0
+    ldw r4, [fp, #12]
+    ldw r5, [fp, #16]
+rsm_loop:
+    cmp r5, #0
+    beq rsm_program
+    push r4
+    call crc32_hash
+    shr r1, r0, #3
+    and r2, r0, #7
+    mov r3, #1
+    shl r3, r3, r2
+    mov r6, fp
+    sub r6, r6, #8
+    add r6, r6, r1
+    ldb r2, [r6]
+    or r2, r2, r3
+    stb [r6], r2
+    add r4, r4, #6
+    sub r5, r5, #1
+    jmp rsm_loop
+rsm_program:
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    mov r2, #0
+rsm_mar:
+    cmp r2, #8
+    buge rsm_done
+    mov r6, fp
+    sub r6, r6, #8
+    add r6, r6, r2
+    ldb r0, [r6]
+    add r3, r1, #RTL_MAR0
+    add r3, r3, r2
+    outb [r3], r0
+    add r2, r2, #1
+    jmp rsm_mar
+rsm_done:
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== rtl_update_rcr(ctx) ===============
+rtl_update_rcr:
+    push fp
+    mov fp, sp
+    ldw r2, [fp, #8]
+    ldw r1, [r2, #CTX_IOBASE]
+    ldw r3, [r2, #CTX_FILTER]
+    mov r0, #RCR_WRAP
+    test r3, #FILTER_DIRECTED
+    beq rur_no_dir
+    or r0, r0, #RCR_APM
+rur_no_dir:
+    test r3, #FILTER_BROADCAST
+    beq rur_no_bc
+    or r0, r0, #RCR_AB
+rur_no_bc:
+    test r3, #FILTER_MULTICAST
+    beq rur_no_mc
+    or r0, r0, #RCR_AM
+rur_no_mc:
+    test r3, #FILTER_PROMISCUOUS
+    beq rur_no_pro
+    or r0, r0, #RCR_AAP
+    or r0, r0, #RCR_APM
+    or r0, r0, #RCR_AB
+    or r0, r0, #RCR_AM
+rur_no_pro:
+    outw [r1, #RTL_RCR], r0
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_query(ctx, oid, buf, len, written) ===============
+mp_query:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_802_3_CURRENT_ADDRESS
+    beq rq_mac
+    cmp r2, #OID_802_3_PERMANENT_ADDRESS
+    beq rq_mac
+    cmp r2, #OID_GEN_LINK_SPEED
+    beq rq_speed
+    cmp r2, #OID_GEN_MAXIMUM_FRAME_SIZE
+    beq rq_mtu
+    cmp r2, #OID_GEN_MEDIA_CONNECT_STATUS
+    beq rq_link
+    cmp r2, #OID_PNP_ENABLE_WAKE_UP
+    beq rq_wol
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp rq_out
+rq_mac:
+    mov r4, #0
+rq_mac_loop:
+    cmp r4, #6
+    buge rq_mac_done
+    add r0, r1, #CTX_MAC
+    add r0, r0, r4
+    ldb r0, [r0]
+    add r2, r3, r4
+    stb [r2], r0
+    add r4, r4, #1
+    jmp rq_mac_loop
+rq_mac_done:
+    mov r2, #6
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+    jmp rq_out
+rq_speed:
+    mov r0, #1000000             ; 100 Mbps in 100 bps units
+    stw [r3], r0
+    jmp rq_w4
+rq_mtu:
+    mov r0, #1500
+    stw [r3], r0
+    jmp rq_w4
+rq_link:
+    mov r0, #1
+    stw [r3], r0
+    jmp rq_w4
+rq_wol:
+    ldw r0, [r1, #CTX_WOL]
+    stw [r3], r0
+rq_w4:
+    mov r2, #4
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+rq_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_set(ctx, oid, buf, len, read) ===============
+mp_set:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_GEN_CURRENT_PACKET_FILTER
+    beq rst_filter
+    cmp r2, #OID_802_3_MULTICAST_LIST
+    beq rst_mcast
+    cmp r2, #OID_PNP_ENABLE_WAKE_UP
+    beq rst_wol
+    cmp r2, #OID_VENDOR_LED_CONFIG
+    beq rst_led
+    cmp r2, #OID_VENDOR_DUPLEX_MODE
+    beq rst_duplex
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp rst_out
+rst_filter:
+    ldw r0, [r3]
+    stw [r1, #CTX_FILTER], r0
+    push r1
+    call rtl_update_rcr
+    mov r0, #STATUS_SUCCESS
+    jmp rst_out
+rst_mcast:
+    ldw r0, [fp, #20]
+    udiv r0, r0, #6
+    push r0
+    push r3
+    push r1
+    call rtl_set_multicast
+    ldw r1, [fp, #8]
+    ldw r0, [r1, #CTX_FILTER]
+    or r0, r0, #FILTER_MULTICAST
+    stw [r1, #CTX_FILTER], r0
+    push r1
+    call rtl_update_rcr
+    mov r0, #STATUS_SUCCESS
+    jmp rst_out
+rst_wol:
+    ldw r0, [r3]
+    stw [r1, #CTX_WOL], r0
+    push r0
+    ldw r2, [r1, #CTX_IOBASE]
+    push r2
+    call rtl_set_wol
+    mov r0, #STATUS_SUCCESS
+    jmp rst_out
+rst_led:
+    ldw r0, [r3]
+    stw [r1, #CTX_LED], r0
+    push r0
+    ldw r2, [r1, #CTX_IOBASE]
+    push r2
+    call rtl_set_led
+    mov r0, #STATUS_SUCCESS
+    jmp rst_out
+rst_duplex:
+    ldw r0, [r3]
+    stw [r1, #CTX_DUPLEX], r0
+    push r0
+    ldw r2, [r1, #CTX_IOBASE]
+    push r2
+    call rtl_set_duplex
+    mov r0, #STATUS_SUCCESS
+rst_out:
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_reset(ctx) ===============
+mp_reset:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r0, [r4, #CTX_IOBASE]
+    push r0
+    call rtl_reset
+    push r4
+    call rtl_chip_start
+    mov r0, #STATUS_SUCCESS
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_halt(ctx) ===============
+mp_halt:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    mov r0, #0
+    outh [r1, #RTL_IMR], r0
+    outb [r1, #RTL_CR], r0       ; disable tx + rx
+    sys NDIS_M_DEREGISTER_INTERRUPT
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_shutdown(ctx) ===============
+mp_shutdown:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r1, [r1, #CTX_IOBASE]
+    mov r0, #0
+    outb [r1, #RTL_CR], r0
+    mov sp, fp
+    pop fp
+    ret #4
+
+; ================= data =================
+.data
+chars:
+    .word mp_init, mp_isr, mp_dpc, mp_send, mp_query, mp_set, mp_reset, mp_halt, mp_shutdown
+g_ctx:
+    .word 0
+)";
+}
+
+}  // namespace revnic::drivers

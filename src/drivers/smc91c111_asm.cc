@@ -1,0 +1,868 @@
+// lan9000.sys analog: SMSC LAN91C111 miniport driver in r32 assembly.
+//
+// The memory-mapped device of the set: every register access is an MMIO
+// load/store into the bank-switched 16-byte window, so the RevNIC wiretap's
+// device-vs-RAM disambiguation (§3.3) is exercised on ordinary ld/st
+// instructions rather than in/out. Packet memory is on-chip, managed through
+// MMU alloc/enqueue/release commands; the driver copies frames through the
+// auto-incrementing DATA register. No DMA, no Wake-on-LAN (Table 2 N/A).
+#include "drivers/drivers.h"
+
+namespace revnic::drivers {
+
+const char* Smc91c111AsmBody() {
+  return R"(
+; ================= SMC 91C111 miniport =================
+.entry DriverEntry
+
+; ---- register offsets within the MMIO window ----
+.equ SMC_BANK, 0xE
+; bank 0
+.equ SMC_TCR, 0x0
+.equ SMC_EPH, 0x2
+.equ SMC_RCR, 0x4
+.equ SMC_RPCR, 0xA
+; bank 1
+.equ SMC_CONFIG, 0x0
+.equ SMC_IA0, 0x4
+.equ SMC_CONTROL, 0xC
+; bank 2
+.equ SMC_MMU, 0x0
+.equ SMC_PNR, 0x2
+.equ SMC_ARR, 0x3
+.equ SMC_FIFO_TX, 0x4
+.equ SMC_FIFO_RX, 0x5
+.equ SMC_PTR, 0x6
+.equ SMC_DATA, 0x8
+.equ SMC_INT_STAT, 0xC
+.equ SMC_INT_MASK, 0xD
+; bank 3
+.equ SMC_MCAST0, 0x0
+.equ SMC_REV, 0xA
+
+.equ TCR_TXENA, 0x0001
+.equ TCR_SWFDUP, 0x8000
+.equ RCR_PRMS, 0x0002
+.equ RCR_RXEN, 0x0100
+.equ RCR_SOFTRST, 0x8000
+
+.equ MMU_ALLOC, 0x20
+.equ MMU_RESET, 0x40
+.equ MMU_REMOVE_RELEASE, 0x80
+.equ MMU_RELEASE_PKT, 0xA0
+.equ MMU_ENQUEUE, 0xC0
+
+.equ INT_RCV, 0x01
+.equ INT_TX, 0x02
+.equ INT_TX_EMPTY, 0x04
+.equ INT_ALLOC, 0x08
+
+.equ ARR_FAILED, 0x80
+.equ FIFO_EMPTY, 0x80
+
+.equ PTR_RCV, 0x8000
+.equ PTR_AUTO, 0x4000
+.equ PTR_READ, 0x2000
+
+; ---- adapter context ----
+.equ CTX_MMIO, 0x00
+.equ CTX_FILTER, 0x04
+.equ CTX_IRQCOUNT, 0x08
+.equ CTX_TXCOUNT, 0x0C
+.equ CTX_RXCOUNT, 0x10
+.equ CTX_MAC, 0x14
+.equ CTX_RXBUF, 0x20
+.equ CTX_DUPLEX, 0x24
+.equ CTX_LED, 0x28
+.equ CTX_SIZE, 0x40
+
+; =============== DriverEntry ===============
+DriverEntry:
+    push fp
+    mov fp, sp
+    push #chars
+    sys NDIS_M_REGISTER_MINIPORT
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== smc_bank(base, n) ===============
+smc_bank:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r0, [fp, #12]
+    sth [r1, #SMC_BANK], r0
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== mp_init(driver_handle) ===============
+mp_init:
+    push fp
+    mov fp, sp
+    sub sp, sp, #32
+    ; context
+    push #CTX_SIZE
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_ALLOCATE_MEMORY
+    cmp r0, #STATUS_SUCCESS
+    bne si_fail
+    ldw r1, [fp, #-4]
+    stw [g_ctx], r1
+
+    ; map the register window (BAR1 carries the MMIO base)
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x14
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    cmp r0, #0
+    beq si_fail_log
+    push #0x10
+    push r0
+    mov r0, fp
+    sub r0, r0, #8
+    push r0
+    sys NDIS_M_MAP_IO_SPACE
+    cmp r0, #STATUS_SUCCESS
+    bne si_fail_log
+    ldw r0, [fp, #-8]
+    ldw r1, [g_ctx]
+    stw [r1, #CTX_MMIO], r0
+
+    ; sanity: bank 3 revision register must read 0x0091
+    push #3
+    push r0
+    call smc_bank
+    ldw r1, [g_ctx]
+    ldw r1, [r1, #CTX_MMIO]
+    ldh r0, [r1, #SMC_REV]
+    cmp r0, #0x0091
+    bne si_fail_log
+
+    ; chip bring-up
+    ldw r0, [g_ctx]
+    push r0
+    call smc_chip_init
+
+    ; MAC from the IA registers (bank 1)
+    ldw r1, [g_ctx]
+    mov r0, r1
+    add r0, r0, #CTX_MAC
+    push r0
+    ldw r0, [r1, #CTX_MMIO]
+    push r0
+    call smc_read_mac
+
+    ; rx staging buffer
+    push #1536
+    ldw r0, [g_ctx]
+    add r0, r0, #CTX_RXBUF
+    push r0
+    sys NDIS_ALLOCATE_MEMORY
+
+    ; interrupt line
+    push #1
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x3C
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldb r0, [fp, #-4]
+    push r0
+    sys NDIS_M_REGISTER_INTERRUPT
+    cmp r0, #STATUS_SUCCESS
+    bne si_fail_log
+    ldw r0, [g_ctx]
+    push r0
+    sys NDIS_M_SET_ATTRIBUTES
+
+    ; registry: duplex + LED
+    mov r0, fp
+    sub r0, r0, #12
+    push r0
+    sys NDIS_OPEN_CONFIGURATION
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_DUPLEX_MODE
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne si_no_duplex
+    ldw r0, [fp, #-16]
+    cmp r0, #2
+    bne si_no_duplex
+    push #1
+    ldw r0, [g_ctx]
+    push r0
+    call smc_set_duplex
+si_no_duplex:
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_LED_MODE
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne si_no_led
+    ldw r0, [fp, #-16]
+    push r0
+    ldw r0, [g_ctx]
+    push r0
+    call smc_set_led
+si_no_led:
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_CLOSE_CONFIGURATION
+
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+si_fail_log:
+    push #0
+    push #0xE9111001
+    sys NDIS_WRITE_ERROR_LOG_ENTRY
+si_fail:
+    mov r0, #STATUS_FAILURE
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== smc_chip_init(ctx) ===============
+smc_chip_init:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_MMIO]
+    ; soft reset (bank 0 RCR), then clear
+    push #0
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    mov r0, #RCR_SOFTRST
+    sth [r1, #SMC_RCR], r0
+    mov r0, #0
+    sth [r1, #SMC_RCR], r0
+    ; MMU reset (bank 2)
+    push #2
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    mov r0, #MMU_RESET
+    sth [r1, #SMC_MMU], r0
+    ; enable tx + rx (bank 0)
+    push #0
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    mov r0, #TCR_TXENA
+    sth [r1, #SMC_TCR], r0
+    mov r0, #RCR_RXEN
+    sth [r1, #SMC_RCR], r0
+    ; unmask receive interrupts (bank 2)
+    push #2
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    mov r0, #INT_RCV
+    stb [r1, #SMC_INT_MASK], r0
+    mov r0, #FILTER_DIRECTED
+    or r0, r0, #FILTER_BROADCAST
+    stw [r4, #CTX_FILTER], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== smc_read_mac(base, macbuf) ===============
+smc_read_mac:
+    push fp
+    mov fp, sp
+    push #1
+    ldw r0, [fp, #8]
+    push r0
+    call smc_bank
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    mov r3, #0
+srm_loop:
+    cmp r3, #6
+    buge srm_done
+    add r0, r1, #SMC_IA0
+    add r0, r0, r3
+    ldb r0, [r0]
+    stb [r2], r0
+    add r2, r2, #1
+    add r3, r3, #1
+    jmp srm_loop
+srm_done:
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== smc_set_duplex(ctx, on) ===============
+smc_set_duplex:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_MMIO]
+    push #0
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    ldh r2, [r1, #SMC_TCR]
+    ldw r0, [fp, #12]
+    cmp r0, #0
+    beq ssd_off
+    or r2, r2, #TCR_SWFDUP
+    mov r0, #1
+    stw [r4, #CTX_DUPLEX], r0
+    jmp ssd_write
+ssd_off:
+    and r2, r2, #0x7FFF
+    mov r0, #0
+    stw [r4, #CTX_DUPLEX], r0
+ssd_write:
+    sth [r1, #SMC_TCR], r2
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== smc_set_led(ctx, mode) ===============
+smc_set_led:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_MMIO]
+    push #0
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    ldw r0, [fp, #12]
+    and r0, r0, #0x3F
+    shl r0, r0, #2
+    sth [r1, #SMC_RPCR], r0
+    ldw r0, [fp, #12]
+    stw [r4, #CTX_LED], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== mp_send(ctx, packet, flags) ===============
+mp_send:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r5, [fp, #8]             ; ctx
+    ldw r2, [fp, #12]            ; packet
+    ldw r6, [r2]                 ; data va
+    ldw r4, [r2, #4]             ; len
+    cmp r4, #1514
+    bugt ss_fail
+    ldw r1, [r5, #CTX_MMIO]
+    ; bank 2, allocate a packet buffer
+    push #2
+    push r1
+    call smc_bank
+    ldw r1, [r5, #CTX_MMIO]
+    mov r0, #MMU_ALLOC
+    sth [r1, #SMC_MMU], r0
+    ; poll the allocation result
+    mov r3, #100
+ss_alloc_poll:
+    ldb r0, [r1, #SMC_ARR]
+    test r0, #ARR_FAILED
+    beq ss_alloc_ok
+    sub r3, r3, #1
+    cmp r3, #0
+    bne ss_alloc_poll
+    jmp ss_fail
+ss_alloc_ok:
+    stb [r1, #SMC_PNR], r0       ; select the packet
+    ; PTR = 0, auto-increment, write direction
+    mov r0, #PTR_AUTO
+    sth [r1, #SMC_PTR], r0
+    ; status word + byte count
+    mov r0, #0
+    sth [r1, #SMC_DATA], r0
+    add r0, r4, #6
+    sth [r1, #SMC_DATA], r0
+    ; payload, halfword at a time
+    mov r3, #0
+ss_copy:
+    add r0, r3, #1
+    cmp r0, r4
+    bugt ss_copy_done            ; fewer than 2 bytes left
+    add r0, r6, r3
+    ldh r0, [r0]
+    sth [r1, #SMC_DATA], r0
+    add r3, r3, #2
+    jmp ss_copy
+ss_copy_done:
+    cmp r3, r4
+    buge ss_ctrl
+    add r0, r6, r3               ; trailing odd byte
+    ldb r0, [r0]
+    sth [r1, #SMC_DATA], r0
+ss_ctrl:
+    mov r0, #0                   ; control word
+    sth [r1, #SMC_DATA], r0
+    ; enqueue for transmission
+    mov r0, #MMU_ENQUEUE
+    sth [r1, #SMC_MMU], r0
+    ; wait for TX completion, ack, release the packet
+    mov r3, #100
+ss_tx_poll:
+    ldb r0, [r1, #SMC_INT_STAT]
+    test r0, #INT_TX
+    bne ss_tx_done
+    sub r3, r3, #1
+    cmp r3, #0
+    bne ss_tx_poll
+ss_tx_done:
+    mov r0, #INT_TX
+    or r0, r0, #INT_TX_EMPTY
+    stb [r1, #SMC_INT_STAT], r0
+    mov r0, #MMU_RELEASE_PKT
+    sth [r1, #SMC_MMU], r0
+    ldw r0, [r5, #CTX_TXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_TXCOUNT], r0
+    push #STATUS_SUCCESS
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_SUCCESS
+    jmp ss_out
+ss_fail:
+    push #STATUS_FAILURE
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_FAILURE
+ss_out:
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== mp_isr(ctx) -> recognized ===============
+mp_isr:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_MMIO]
+    push #2
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    ldb r0, [r1, #SMC_INT_STAT]
+    ldb r2, [r1, #SMC_INT_MASK]
+    and r0, r0, r2
+    cmp r0, #0
+    beq ssi_no
+    mov r0, #0                   ; mask while the DPC runs
+    stb [r1, #SMC_INT_MASK], r0
+    mov r0, #1
+    jmp ssi_out
+ssi_no:
+    mov r0, #0
+ssi_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_dpc(ctx) ===============
+mp_dpc:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r0, [r4, #CTX_IRQCOUNT]
+    add r0, r0, #1
+    stw [r4, #CTX_IRQCOUNT], r0
+    push r4
+    call smc_rx_drain
+    ; restore the interrupt mask
+    ldw r1, [r4, #CTX_MMIO]
+    push #2
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    mov r0, #INT_RCV
+    stb [r1, #SMC_INT_MASK], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== smc_rx_drain(ctx) ===============
+smc_rx_drain:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r5, [fp, #8]
+srd_loop:
+    ldw r1, [r5, #CTX_MMIO]
+    push #2
+    push r1
+    call smc_bank
+    ldw r1, [r5, #CTX_MMIO]
+    ldb r0, [r1, #SMC_FIFO_RX]
+    test r0, #FIFO_EMPTY
+    bne srd_done
+    ; point at the received packet, read direction
+    mov r0, #PTR_RCV
+    or r0, r0, #PTR_AUTO
+    or r0, r0, #PTR_READ
+    sth [r1, #SMC_PTR], r0
+    ldh r0, [r1, #SMC_DATA]      ; status word
+    ldh r6, [r1, #SMC_DATA]      ; byte count (payload + 6)
+    sub r6, r6, #6
+    cmp r6, #1514
+    bugt srd_release
+    ; copy payload into the staging buffer
+    ldw r4, [r5, #CTX_RXBUF]
+    mov r3, #0
+srd_copy:
+    add r0, r3, #1
+    cmp r0, r6
+    bugt srd_copy_tail
+    ldh r0, [r1, #SMC_DATA]
+    add r2, r4, r3
+    sth [r2], r0
+    add r3, r3, #2
+    jmp srd_copy
+srd_copy_tail:
+    cmp r3, r6
+    buge srd_indicate
+    ldh r0, [r1, #SMC_DATA]
+    add r2, r4, r3
+    stb [r2], r0
+srd_indicate:
+    push r6
+    push r4
+    sys NDIS_M_ETH_INDICATE_RECEIVE
+    ldw r0, [r5, #CTX_RXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_RXCOUNT], r0
+srd_release:
+    ; pop + free the packet from the rx FIFO
+    ldw r1, [r5, #CTX_MMIO]
+    mov r0, #MMU_REMOVE_RELEASE
+    sth [r1, #SMC_MMU], r0
+    jmp srd_loop
+srd_done:
+    sys NDIS_M_ETH_INDICATE_RECEIVE_COMPLETE
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== crc32_hash(mac_ptr) -> bucket ===============
+crc32_hash:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r1, [fp, #8]
+    mov r0, #0xFFFFFFFF
+    mov r2, #0
+sch_byte:
+    cmp r2, #6
+    buge sch_done
+    add r3, r1, r2
+    ldb r3, [r3]
+    xor r0, r0, r3
+    mov r4, #0
+sch_bit:
+    cmp r4, #8
+    buge sch_next
+    and r5, r0, #1
+    mov r6, #0
+    sub r5, r6, r5
+    shr r0, r0, #1
+    and r5, r5, #0xEDB88320
+    xor r0, r0, r5
+    add r4, r4, #1
+    jmp sch_bit
+sch_next:
+    add r2, r2, #1
+    jmp sch_byte
+sch_done:
+    xor r0, r0, #0xFFFFFFFF
+    shr r0, r0, #26
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_query(ctx, oid, buf, len, written) ===============
+mp_query:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_802_3_CURRENT_ADDRESS
+    beq sq_mac
+    cmp r2, #OID_802_3_PERMANENT_ADDRESS
+    beq sq_mac
+    cmp r2, #OID_GEN_LINK_SPEED
+    beq sq_speed
+    cmp r2, #OID_GEN_MAXIMUM_FRAME_SIZE
+    beq sq_mtu
+    cmp r2, #OID_GEN_MEDIA_CONNECT_STATUS
+    beq sq_link
+    cmp r2, #OID_VENDOR_LED_CONFIG
+    beq sq_led
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp sq_out
+sq_mac:
+    mov r4, #0
+sq_mac_loop:
+    cmp r4, #6
+    buge sq_mac_done
+    add r0, r1, #CTX_MAC
+    add r0, r0, r4
+    ldb r0, [r0]
+    add r2, r3, r4
+    stb [r2], r0
+    add r4, r4, #1
+    jmp sq_mac_loop
+sq_mac_done:
+    mov r2, #6
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+    jmp sq_out
+sq_speed:
+    mov r0, #100000              ; 10 Mbps (embedded profile)
+    stw [r3], r0
+    jmp sq_w4
+sq_mtu:
+    mov r0, #1500
+    stw [r3], r0
+    jmp sq_w4
+sq_link:
+    mov r0, #1
+    stw [r3], r0
+    jmp sq_w4
+sq_led:
+    ldw r0, [r1, #CTX_LED]
+    stw [r3], r0
+sq_w4:
+    mov r2, #4
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+sq_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_set(ctx, oid, buf, len, read) ===============
+mp_set:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_GEN_CURRENT_PACKET_FILTER
+    beq sst_filter
+    cmp r2, #OID_802_3_MULTICAST_LIST
+    beq sst_mcast
+    cmp r2, #OID_VENDOR_DUPLEX_MODE
+    beq sst_duplex
+    cmp r2, #OID_VENDOR_LED_CONFIG
+    beq sst_led
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp sst_out
+sst_filter:
+    ldw r0, [r3]
+    stw [r1, #CTX_FILTER], r0
+    ; bank 0: PRMS bit tracks the promiscuous filter flag
+    ldw r4, [r1, #CTX_MMIO]
+    push #0
+    push r4
+    call smc_bank
+    ldw r1, [fp, #8]
+    ldw r4, [r1, #CTX_MMIO]
+    ldh r2, [r4, #SMC_RCR]
+    ldw r0, [r1, #CTX_FILTER]
+    test r0, #FILTER_PROMISCUOUS
+    beq sst_no_prms
+    or r2, r2, #RCR_PRMS
+    jmp sst_wr_rcr
+sst_no_prms:
+    and r2, r2, #0xFFFD
+sst_wr_rcr:
+    sth [r4, #SMC_RCR], r2
+    mov r0, #STATUS_SUCCESS
+    jmp sst_out
+sst_mcast:
+    ; hash each address into the bank-3 multicast table
+    ldw r4, [r1, #CTX_MMIO]
+    push #3
+    push r4
+    call smc_bank
+    ; clear the table
+    ldw r1, [fp, #8]
+    ldw r4, [r1, #CTX_MMIO]
+    mov r2, #0
+sst_mc_clear:
+    cmp r2, #8
+    buge sst_mc_hash
+    add r0, r4, #SMC_MCAST0
+    add r0, r0, r2
+    mov r5, #0
+    stb [r0], r5
+    add r2, r2, #1
+    jmp sst_mc_clear
+sst_mc_hash:
+    ldw r5, [fp, #16]            ; list cursor
+    ldw r6, [fp, #20]
+    udiv r6, r6, #6
+sst_mc_loop:
+    cmp r6, #0
+    beq sst_mc_done
+    push r5
+    call crc32_hash
+    ldw r1, [fp, #8]
+    ldw r4, [r1, #CTX_MMIO]
+    shr r2, r0, #3
+    and r3, r0, #7
+    mov r1, #1
+    shl r1, r1, r3
+    add r2, r2, r4
+    add r2, r2, #SMC_MCAST0
+    ldb r3, [r2]
+    or r3, r3, r1
+    stb [r2], r3
+    add r5, r5, #6
+    sub r6, r6, #1
+    jmp sst_mc_loop
+sst_mc_done:
+    mov r0, #STATUS_SUCCESS
+    jmp sst_out
+sst_duplex:
+    ldw r0, [r3]
+    push r0
+    push r1
+    call smc_set_duplex
+    mov r0, #STATUS_SUCCESS
+    jmp sst_out
+sst_led:
+    ldw r0, [r3]
+    push r0
+    push r1
+    call smc_set_led
+    mov r0, #STATUS_SUCCESS
+sst_out:
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_reset(ctx) ===============
+mp_reset:
+    push fp
+    mov fp, sp
+    ldw r0, [fp, #8]
+    push r0
+    call smc_chip_init
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_halt(ctx) ===============
+mp_halt:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_MMIO]
+    push #2
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    mov r0, #0
+    stb [r1, #SMC_INT_MASK], r0
+    push #0
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    mov r0, #0
+    sth [r1, #SMC_TCR], r0
+    sth [r1, #SMC_RCR], r0
+    sys NDIS_M_DEREGISTER_INTERRUPT
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_shutdown(ctx) ===============
+mp_shutdown:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_MMIO]
+    push #0
+    push r1
+    call smc_bank
+    ldw r1, [r4, #CTX_MMIO]
+    mov r0, #0
+    sth [r1, #SMC_TCR], r0
+    sth [r1, #SMC_RCR], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; ================= data =================
+.data
+chars:
+    .word mp_init, mp_isr, mp_dpc, mp_send, mp_query, mp_set, mp_reset, mp_halt, mp_shutdown
+g_ctx:
+    .word 0
+)";
+}
+
+}  // namespace revnic::drivers

@@ -1,0 +1,39 @@
+// CountingIoProxy: wraps a device model and counts register accesses.
+// The performance simulator charges CPU cycles per device access (PIO-heavy
+// protocols naturally cost more), using identical accounting for original,
+// synthesized, and native drivers.
+#ifndef REVNIC_HW_COUNTING_H_
+#define REVNIC_HW_COUNTING_H_
+
+#include "vm/memmap.h"
+
+namespace revnic::hw {
+
+class CountingIoProxy : public vm::IoHandler {
+ public:
+  explicit CountingIoProxy(vm::IoHandler* inner) : inner_(inner) {}
+
+  uint32_t IoRead(uint32_t addr, unsigned size) override {
+    ++reads_;
+    return inner_->IoRead(addr, size);
+  }
+
+  void IoWrite(uint32_t addr, unsigned size, uint32_t value) override {
+    ++writes_;
+    inner_->IoWrite(addr, size, value);
+  }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t total() const { return reads_ + writes_; }
+  void Reset() { reads_ = writes_ = 0; }
+
+ private:
+  vm::IoHandler* inner_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_COUNTING_H_

@@ -1,0 +1,43 @@
+// DMA region tracker (§3.4).
+//
+// "Drivers use specific APIs to register memory to be used in DMA operations.
+// RevNIC detects DMA memory regions by tracking calls to the DMA API and
+// communicating the returned physical addresses to the shell device, which
+// returns symbolic values upon reads from these regions."
+// The WinSim DMA-allocation API reports every allocation here; the symbolic
+// hardware bridge consults IsDma() on each driver load.
+#ifndef REVNIC_HW_DMA_H_
+#define REVNIC_HW_DMA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace revnic::hw {
+
+class DmaTracker {
+ public:
+  void Register(uint32_t base, uint32_t size) { regions_.push_back({base, base + size}); }
+  void Clear() { regions_.clear(); }
+
+  bool IsDma(uint32_t addr) const {
+    for (const auto& [begin, end] : regions_) {
+      if (addr >= begin && addr < end) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t NumRegions() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    uint32_t begin;
+    uint32_t end;
+  };
+  std::vector<Region> regions_;
+};
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_DMA_H_

@@ -1,0 +1,55 @@
+#include "hw/frame.h"
+
+namespace revnic::hw {
+
+uint32_t EtherCrc32(const uint8_t* data, size_t len) {
+  // Bit-reflected CRC-32 (IEEE 802.3), bitwise implementation; the hot path
+  // (multicast hashing) only ever processes 6 bytes.
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+Frame BuildUdpFrame(const MacAddr& src, const MacAddr& dst, size_t payload_len, uint8_t fill) {
+  constexpr size_t kIpHeaderLen = 20;
+  constexpr size_t kUdpHeaderLen = 8;
+  Frame f(kEthHeaderLen + kIpHeaderLen + kUdpHeaderLen + payload_len, fill);
+  for (int i = 0; i < 6; ++i) {
+    f[i] = dst[i];
+    f[6 + i] = src[i];
+  }
+  f[12] = kEtherTypeIpv4 >> 8;
+  f[13] = kEtherTypeIpv4 & 0xFF;
+  // IPv4 header (no options, UDP).
+  uint8_t* ip = f.data() + kEthHeaderLen;
+  uint16_t ip_len = static_cast<uint16_t>(kIpHeaderLen + kUdpHeaderLen + payload_len);
+  ip[0] = 0x45;
+  ip[2] = static_cast<uint8_t>(ip_len >> 8);
+  ip[3] = static_cast<uint8_t>(ip_len);
+  ip[8] = 64;    // TTL
+  ip[9] = 17;    // UDP
+  ip[12] = 10;   // 10.0.0.1 -> 10.0.0.2
+  ip[15] = 1;
+  ip[16] = 10;
+  ip[19] = 2;
+  // UDP header.
+  uint8_t* udp = ip + kIpHeaderLen;
+  uint16_t udp_len = static_cast<uint16_t>(kUdpHeaderLen + payload_len);
+  udp[0] = 0x13;  // src port 5001
+  udp[1] = 0x89;
+  udp[2] = 0x13;  // dst port 5001
+  udp[3] = 0x89;
+  udp[4] = static_cast<uint8_t>(udp_len >> 8);
+  udp[5] = static_cast<uint8_t>(udp_len);
+  if (f.size() < kEthMinFrame) {
+    f.resize(kEthMinFrame, 0);
+  }
+  return f;
+}
+
+}  // namespace revnic::hw

@@ -1,0 +1,62 @@
+// Ethernet frames and helpers shared by the NIC device models, the OS
+// substrates' packet paths, and the workload generators.
+#ifndef REVNIC_HW_FRAME_H_
+#define REVNIC_HW_FRAME_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace revnic::hw {
+
+using Frame = std::vector<uint8_t>;
+using MacAddr = std::array<uint8_t, 6>;
+
+inline constexpr size_t kEthHeaderLen = 14;
+inline constexpr size_t kEthMinFrame = 60;    // without FCS
+inline constexpr size_t kEthMaxFrame = 1514;  // without FCS
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+inline constexpr uint16_t kEtherTypeVlan = 0x8100;
+
+inline bool IsBroadcast(const Frame& f) {
+  if (f.size() < 6) {
+    return false;
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (f[i] != 0xFF) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool IsMulticast(const Frame& f) { return f.size() >= 1 && (f[0] & 1) != 0; }
+
+inline bool DestIs(const Frame& f, const MacAddr& mac) {
+  if (f.size() < 6) {
+    return false;
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (f[i] != mac[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Standard Ethernet CRC32 multicast hash bucket (high 6 bits), as used by
+// the NE2000/PCNet/91C111 logical address filters.
+uint32_t EtherCrc32(const uint8_t* data, size_t len);
+inline unsigned MulticastHash64(const uint8_t* mac6) {
+  return EtherCrc32(mac6, 6) >> 26;  // 6-bit bucket
+}
+
+// Builds a minimal Ethernet+UDP frame with `payload_len` payload bytes; used
+// by workload generators (the paper's UDP size-sweep benchmark).
+Frame BuildUdpFrame(const MacAddr& src, const MacAddr& dst, size_t payload_len, uint8_t fill);
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_FRAME_H_

@@ -1,0 +1,349 @@
+#include "hw/ne2000.h"
+
+#include <cstring>
+
+#include "util/log.h"
+
+namespace revnic::hw {
+
+Ne2000::Ne2000() : pci_(Rtl8029Config()) {
+  SetPromMac({0x52, 0x54, 0x00, 0x12, 0x34, 0x29});
+  Reset();
+}
+
+void Ne2000::SetPromMac(const MacAddr& mac) {
+  // Word-mode PROM: each byte doubled, then a 'WW' signature at 14*2.
+  for (int i = 0; i < 6; ++i) {
+    prom_[2 * i] = mac[i];
+    prom_[2 * i + 1] = mac[i];
+  }
+  prom_[28] = prom_[29] = 0x57;  // 'W' x2: NE2000 signature
+  prom_[30] = prom_[31] = 0x57;
+}
+
+void Ne2000::Reset() {
+  started_ = false;
+  page_ = 0;
+  pstart_ = pstop_ = bnry_ = curr_ = 0;
+  tpsr_ = 0;
+  tbcr_ = 0;
+  isr_ = kIsrRst;
+  imr_ = 0;
+  rsar_ = rbcr_ = 0;
+  rcr_ = tcr_ = dcr_ = 0;
+  config3_ = 0;
+  remote_read_ = remote_write_ = false;
+  par_.fill(0);
+  mar_.fill(0);
+  SetIrq(false);
+}
+
+MacAddr Ne2000::mac() const {
+  MacAddr m;
+  std::memcpy(m.data(), par_.data(), 6);
+  return m;
+}
+
+bool Ne2000::MulticastAccepts(const MacAddr& mc) const {
+  unsigned bucket = MulticastHash64(mc.data());
+  return (mar_[bucket >> 3] & (1u << (bucket & 7))) != 0;
+}
+
+void Ne2000::UpdateIrq() { SetIrq((isr_ & imr_ & 0x7F) != 0); }
+
+uint8_t Ne2000::DataRead() {
+  if (!remote_read_ || rbcr_ == 0) {
+    return 0;
+  }
+  uint8_t v = 0;
+  if (rsar_ < 0x0020) {
+    v = prom_[rsar_];  // station address PROM window
+  } else if (rsar_ < mem_.size()) {
+    v = mem_[rsar_];
+  }
+  ++rsar_;
+  if (--rbcr_ == 0) {
+    remote_read_ = false;
+    isr_ |= kIsrRdc;
+    UpdateIrq();
+  }
+  return v;
+}
+
+void Ne2000::DataWrite(uint8_t value) {
+  if (!remote_write_ || rbcr_ == 0) {
+    return;
+  }
+  if (rsar_ < mem_.size()) {
+    mem_[rsar_] = value;
+  }
+  ++rsar_;
+  if (--rbcr_ == 0) {
+    remote_write_ = false;
+    isr_ |= kIsrRdc;
+    UpdateIrq();
+  }
+}
+
+void Ne2000::DoTransmit() {
+  uint32_t src = PageAddr(tpsr_);
+  uint16_t len = tbcr_;
+  if (len == 0 || src + len > mem_.size()) {
+    isr_ |= kIsrTxe;
+    UpdateIrq();
+    return;
+  }
+  Frame f(mem_.begin() + src, mem_.begin() + src + len);
+  EmitTx(f);
+  isr_ |= kIsrPtx;
+  UpdateIrq();
+}
+
+bool Ne2000::InjectReceive(const Frame& frame) {
+  if (!started_ || frame.size() < 6) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  // Address filter.
+  bool accept = false;
+  if ((rcr_ & kRcrPromiscuous) != 0) {
+    accept = true;
+  } else if (IsBroadcast(frame)) {
+    accept = (rcr_ & kRcrBroadcast) != 0;
+  } else if (IsMulticast(frame)) {
+    MacAddr dst;
+    std::memcpy(dst.data(), frame.data(), 6);
+    accept = (rcr_ & kRcrMulticast) != 0 && MulticastAccepts(dst);
+  } else {
+    accept = DestIs(frame, mac());
+  }
+  if (!accept) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+
+  // Write into the receive ring with the 4-byte DP8390 header.
+  uint16_t total = static_cast<uint16_t>(frame.size() + 4);
+  unsigned pages_needed = (total + 255) / 256;
+  // Free pages between curr_ and bnry_ in ring order.
+  unsigned ring_pages = static_cast<unsigned>(pstop_ - pstart_);
+  if (ring_pages == 0) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  unsigned used = (curr_ + ring_pages - bnry_) % ring_pages;
+  unsigned free_pages = ring_pages - used - 1;
+  if (pages_needed > free_pages) {
+    isr_ |= kIsrOvw;
+    UpdateIrq();
+    ++stats_.rx_dropped;
+    return false;
+  }
+
+  uint8_t start_page = curr_;
+  uint8_t next_page = static_cast<uint8_t>(pstart_ + (curr_ - pstart_ + pages_needed) %
+                                                          ring_pages);
+  // Header: receive status, next page pointer, byte count little-endian.
+  uint32_t w = PageAddr(start_page);
+  mem_[w + 0] = 0x01;  // RSR: packet received intact
+  mem_[w + 1] = next_page;
+  mem_[w + 2] = static_cast<uint8_t>(total & 0xFF);
+  mem_[w + 3] = static_cast<uint8_t>(total >> 8);
+  // Payload, wrapping at pstop_.
+  uint32_t offset = w + 4;
+  for (uint8_t byte : frame) {
+    if (offset >= PageAddr(pstop_)) {
+      offset = PageAddr(pstart_);
+    }
+    mem_[offset++] = byte;
+  }
+  curr_ = next_page;
+  ++stats_.rx_frames;
+  stats_.rx_bytes += frame.size();
+  isr_ |= kIsrPrx;
+  UpdateIrq();
+  return true;
+}
+
+uint8_t Ne2000::ReadReg(uint32_t reg) {
+  if (reg == kRegCmd) {
+    uint8_t v = started_ ? kCmdStart : kCmdStop;
+    v |= static_cast<uint8_t>(page_ << 6);
+    return v;
+  }
+  if (page_ == 0) {
+    switch (reg) {
+      case kRegPstart:  // CLDA0 on real hw; return pstart for simplicity
+        return pstart_;
+      case kRegPstop:
+        return pstop_;
+      case kRegBnry:
+        return bnry_;
+      case kRegTpsr:  // TSR on read: report transmit OK
+        return 0x01;
+      case kRegIsr:
+        return isr_;
+      case kRegRsar0:  // CRDA low
+        return static_cast<uint8_t>(rsar_ & 0xFF);
+      case kRegRsar1:
+        return static_cast<uint8_t>(rsar_ >> 8);
+      case kRegRcr:
+        return rcr_;
+      case kRegTcr:
+        return tcr_;
+      case kRegDcr:
+        return dcr_;
+      case kRegImr:
+        return imr_;
+      default:
+        return 0;
+    }
+  }
+  if (page_ == 1) {
+    if (reg >= 0x01 && reg <= 0x06) {
+      return par_[reg - 0x01];
+    }
+    if (reg == 0x07) {
+      return curr_;
+    }
+    if (reg >= 0x08 && reg <= 0x0F) {
+      return mar_[reg - 0x08];
+    }
+    return 0;
+  }
+  if (page_ == 3 && reg == kRegConfig3) {
+    return config3_;
+  }
+  return 0;
+}
+
+void Ne2000::WriteReg(uint32_t reg, uint8_t value) {
+  if (reg == kRegCmd) {
+    page_ = static_cast<uint8_t>((value >> 6) & 3);
+    if ((value & kCmdStop) != 0) {
+      started_ = false;
+      isr_ |= kIsrRst;
+    }
+    if ((value & kCmdStart) != 0) {
+      started_ = true;
+      isr_ = static_cast<uint8_t>(isr_ & ~kIsrRst);
+    }
+    if ((value & kCmdAbortDma) != 0) {
+      remote_read_ = remote_write_ = false;
+    }
+    if ((value & kCmdRemoteRead) != 0 && (value & kCmdAbortDma) == 0) {
+      remote_read_ = true;
+      remote_write_ = false;
+    }
+    if ((value & kCmdRemoteWrite) != 0 && (value & kCmdAbortDma) == 0) {
+      remote_write_ = true;
+      remote_read_ = false;
+    }
+    if ((value & kCmdTransmit) != 0) {
+      DoTransmit();
+    }
+    UpdateIrq();
+    return;
+  }
+  if (page_ == 0) {
+    switch (reg) {
+      case kRegPstart:
+        pstart_ = value;
+        break;
+      case kRegPstop:
+        pstop_ = value;
+        break;
+      case kRegBnry:
+        bnry_ = value;
+        break;
+      case kRegTpsr:
+        tpsr_ = value;
+        break;
+      case kRegTbcr0:
+        tbcr_ = static_cast<uint16_t>((tbcr_ & 0xFF00) | value);
+        break;
+      case kRegTbcr1:
+        tbcr_ = static_cast<uint16_t>((tbcr_ & 0x00FF) | (value << 8));
+        break;
+      case kRegIsr:
+        isr_ = static_cast<uint8_t>(isr_ & ~value);  // write-1-to-clear
+        UpdateIrq();
+        break;
+      case kRegRsar0:
+        rsar_ = static_cast<uint16_t>((rsar_ & 0xFF00) | value);
+        break;
+      case kRegRsar1:
+        rsar_ = static_cast<uint16_t>((rsar_ & 0x00FF) | (value << 8));
+        break;
+      case kRegRbcr0:
+        rbcr_ = static_cast<uint16_t>((rbcr_ & 0xFF00) | value);
+        break;
+      case kRegRbcr1:
+        rbcr_ = static_cast<uint16_t>((rbcr_ & 0x00FF) | (value << 8));
+        break;
+      case kRegRcr:
+        rcr_ = value;
+        break;
+      case kRegTcr:
+        tcr_ = value;
+        break;
+      case kRegDcr:
+        dcr_ = value;
+        break;
+      case kRegImr:
+        imr_ = value;
+        UpdateIrq();
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  if (page_ == 1) {
+    if (reg >= 0x01 && reg <= 0x06) {
+      par_[reg - 0x01] = value;
+    } else if (reg == 0x07) {
+      curr_ = value;
+    } else if (reg >= 0x08 && reg <= 0x0F) {
+      mar_[reg - 0x08] = value;
+    }
+    return;
+  }
+  if (page_ == 3 && reg == kRegConfig3) {
+    config3_ = value;
+  }
+}
+
+uint32_t Ne2000::IoRead(uint32_t addr, unsigned size) {
+  uint32_t reg = addr - pci_.io_base;
+  if (reg == kRegReset) {
+    Reset();
+    isr_ |= kIsrRst;
+    return 0;
+  }
+  if (reg == kRegData) {
+    uint32_t v = 0;
+    for (unsigned i = 0; i < size; ++i) {
+      v |= static_cast<uint32_t>(DataRead()) << (8 * i);
+    }
+    return v;
+  }
+  return ReadReg(reg);
+}
+
+void Ne2000::IoWrite(uint32_t addr, unsigned size, uint32_t value) {
+  uint32_t reg = addr - pci_.io_base;
+  if (reg == kRegData) {
+    for (unsigned i = 0; i < size; ++i) {
+      DataWrite(static_cast<uint8_t>(value >> (8 * i)));
+    }
+    return;
+  }
+  if (reg == kRegReset) {
+    Reset();
+    return;
+  }
+  WriteReg(reg, static_cast<uint8_t>(value));
+}
+
+}  // namespace revnic::hw

@@ -1,0 +1,118 @@
+// Behavioural model of the Realtek RTL8029 (NE2000-compatible) NIC.
+//
+// Programming model: DP8390 core -- paged register file at io_base+0x00..0x0F,
+// remote-DMA data port at +0x10, reset port at +0x1F, and a 16 KiB internal
+// packet buffer (pages 0x40..0x7F). No bus-mastering DMA and no Wake-on-LAN
+// (Table 2 lists both as N/A for this chip). Full duplex sits in the
+// RTL8029AS page-3 CONFIG3 register.
+#ifndef REVNIC_HW_NE2000_H_
+#define REVNIC_HW_NE2000_H_
+
+#include <array>
+
+#include "hw/nic.h"
+
+namespace revnic::hw {
+
+class Ne2000 : public NicDevice {
+ public:
+  // Register offsets (page-dependent where noted).
+  static constexpr uint32_t kRegCmd = 0x00;
+  static constexpr uint32_t kRegPstart = 0x01;  // page 0
+  static constexpr uint32_t kRegPstop = 0x02;
+  static constexpr uint32_t kRegBnry = 0x03;
+  static constexpr uint32_t kRegTpsr = 0x04;
+  static constexpr uint32_t kRegTbcr0 = 0x05;
+  static constexpr uint32_t kRegTbcr1 = 0x06;
+  static constexpr uint32_t kRegIsr = 0x07;
+  static constexpr uint32_t kRegRsar0 = 0x08;
+  static constexpr uint32_t kRegRsar1 = 0x09;
+  static constexpr uint32_t kRegRbcr0 = 0x0A;
+  static constexpr uint32_t kRegRbcr1 = 0x0B;
+  static constexpr uint32_t kRegRcr = 0x0C;
+  static constexpr uint32_t kRegTcr = 0x0D;
+  static constexpr uint32_t kRegDcr = 0x0E;
+  static constexpr uint32_t kRegImr = 0x0F;
+  static constexpr uint32_t kRegData = 0x10;
+  static constexpr uint32_t kRegReset = 0x1F;
+
+  // CMD bits.
+  static constexpr uint8_t kCmdStop = 0x01;
+  static constexpr uint8_t kCmdStart = 0x02;
+  static constexpr uint8_t kCmdTransmit = 0x04;
+  static constexpr uint8_t kCmdRemoteRead = 0x08;
+  static constexpr uint8_t kCmdRemoteWrite = 0x10;
+  static constexpr uint8_t kCmdAbortDma = 0x20;
+
+  // ISR bits.
+  static constexpr uint8_t kIsrPrx = 0x01;
+  static constexpr uint8_t kIsrPtx = 0x02;
+  static constexpr uint8_t kIsrRxe = 0x04;
+  static constexpr uint8_t kIsrTxe = 0x08;
+  static constexpr uint8_t kIsrOvw = 0x10;
+  static constexpr uint8_t kIsrRdc = 0x40;
+  static constexpr uint8_t kIsrRst = 0x80;
+
+  // RCR bits.
+  static constexpr uint8_t kRcrBroadcast = 0x04;
+  static constexpr uint8_t kRcrMulticast = 0x08;
+  static constexpr uint8_t kRcrPromiscuous = 0x10;
+
+  // Page-3 CONFIG3 (RTL8029AS extension): bit 6 = full duplex.
+  static constexpr uint32_t kRegConfig3 = 0x06;
+  static constexpr uint8_t kConfig3FullDuplex = 0x40;
+
+  static constexpr uint32_t kMemSize = 16 * 1024;
+  static constexpr uint32_t kMemBase = 0x4000;  // remote-DMA address of page 0x40
+
+  Ne2000();
+
+  const PciConfig& pci() const override { return pci_; }
+  const char* name() const override { return "rtl8029"; }
+  void Reset() override;
+  bool InjectReceive(const Frame& frame) override;
+
+  uint32_t IoRead(uint32_t addr, unsigned size) override;
+  void IoWrite(uint32_t addr, unsigned size, uint32_t value) override;
+
+  MacAddr mac() const override;
+  bool promiscuous() const override { return (rcr_ & kRcrPromiscuous) != 0; }
+  bool rx_enabled() const override { return started_; }
+  bool tx_enabled() const override { return started_; }
+  bool full_duplex() const override { return (config3_ & kConfig3FullDuplex) != 0; }
+  bool MulticastAccepts(const MacAddr& mc) const override;
+
+  // Test hook: the PROM the driver reads the MAC from (bytes doubled, like
+  // real NE2000 cards in word mode).
+  void SetPromMac(const MacAddr& mac);
+
+ private:
+  uint8_t ReadReg(uint32_t reg);
+  void WriteReg(uint32_t reg, uint8_t value);
+  void UpdateIrq();
+  void DoTransmit();
+  uint8_t DataRead();
+  void DataWrite(uint8_t value);
+  // Buffer-ring helpers. Ring pages are [pstart_, pstop_).
+  uint32_t PageAddr(uint8_t page) const { return static_cast<uint32_t>(page) << 8; }
+
+  PciConfig pci_;
+  bool started_ = false;
+  uint8_t page_ = 0;  // register page (CMD PS bits)
+  uint8_t pstart_ = 0, pstop_ = 0, bnry_ = 0, curr_ = 0;
+  uint8_t tpsr_ = 0;
+  uint16_t tbcr_ = 0;
+  uint8_t isr_ = 0, imr_ = 0;
+  uint16_t rsar_ = 0, rbcr_ = 0;
+  uint8_t rcr_ = 0, tcr_ = 0, dcr_ = 0;
+  uint8_t config3_ = 0;
+  bool remote_read_ = false, remote_write_ = false;
+  std::array<uint8_t, 6> par_{};      // programmed station address
+  std::array<uint8_t, 8> mar_{};      // multicast filter
+  std::array<uint8_t, 32> prom_{};    // station address PROM
+  std::array<uint8_t, 0x10000> mem_{};  // internal buffer memory (sparse use)
+};
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_NE2000_H_

@@ -1,0 +1,98 @@
+// Base class for behavioural NIC models.
+//
+// Each model implements the register-level programming interface of its chip
+// (the protocol the binary drivers encode). The host side exposes:
+//   * a TX hook: frames the device put on the wire;
+//   * InjectReceive(): the medium handing the device a frame;
+//   * an IRQ line callback;
+//   * observation accessors used by the Table 2 functionality matrix
+//     (promiscuous state, multicast filter, duplex, WoL, LED).
+// Bus-mastering devices (RTL8139, PCNet) get RAM access via AttachRam().
+#ifndef REVNIC_HW_NIC_H_
+#define REVNIC_HW_NIC_H_
+
+#include <functional>
+
+#include "hw/frame.h"
+#include "hw/pci.h"
+#include "vm/memmap.h"
+
+namespace revnic::hw {
+
+struct NicStats {
+  uint64_t tx_frames = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t rx_frames = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t rx_dropped = 0;  // filtered or no buffer
+  uint64_t irqs_raised = 0;
+};
+
+class NicDevice : public vm::IoHandler {
+ public:
+  using TxHook = std::function<void(const Frame&)>;
+  using IrqHook = std::function<void(bool level)>;
+
+  ~NicDevice() override = default;
+
+  virtual const PciConfig& pci() const = 0;
+  virtual const char* name() const = 0;
+
+  // Full reset to power-on state (drivers also trigger this via registers).
+  virtual void Reset() = 0;
+
+  // Medium -> device. Returns true if the device accepted the frame (passed
+  // the address filter and had buffer space).
+  virtual bool InjectReceive(const Frame& frame) = 0;
+
+  void set_tx_hook(TxHook hook) { tx_hook_ = std::move(hook); }
+  void set_irq_hook(IrqHook hook) { irq_hook_ = std::move(hook); }
+  void AttachRam(vm::MemoryMap* ram) { ram_ = ram; }
+
+  const NicStats& stats() const { return stats_; }
+
+  // --- Observation API for functionality tests (Table 2). ---
+  virtual MacAddr mac() const = 0;
+  virtual bool promiscuous() const = 0;
+  virtual bool rx_enabled() const = 0;
+  virtual bool tx_enabled() const = 0;
+  virtual bool full_duplex() const { return false; }
+  virtual bool wol_armed() const { return false; }
+  virtual uint8_t led_state() const { return 0; }
+  // True if the 64-bucket logical filter would accept this multicast MAC.
+  virtual bool MulticastAccepts(const MacAddr& mc) const {
+    (void)mc;
+    return false;
+  }
+
+ protected:
+  void EmitTx(const Frame& frame) {
+    ++stats_.tx_frames;
+    stats_.tx_bytes += frame.size();
+    if (tx_hook_) {
+      tx_hook_(frame);
+    }
+  }
+
+  void SetIrq(bool level) {
+    if (level && !irq_level_) {
+      ++stats_.irqs_raised;
+    }
+    irq_level_ = level;
+    if (irq_hook_) {
+      irq_hook_(level);
+    }
+  }
+
+  bool irq_level() const { return irq_level_; }
+
+  TxHook tx_hook_;
+  IrqHook irq_hook_;
+  vm::MemoryMap* ram_ = nullptr;
+  NicStats stats_;
+  bool irq_level_ = false;
+};
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_NIC_H_

@@ -1,0 +1,47 @@
+// Minimal PCI configuration descriptor.
+//
+// In the paper the shell device "consists of a PCI configuration space
+// descriptor ... the vendor and product identifier of the device whose
+// driver is being reverse engineered, the I/O memory ranges, and the
+// interrupt line", obtained from the Windows device manager and passed on
+// RevNIC's command line (§3.4). This struct is that descriptor.
+#ifndef REVNIC_HW_PCI_H_
+#define REVNIC_HW_PCI_H_
+
+#include <cstdint>
+
+namespace revnic::hw {
+
+struct PciConfig {
+  uint16_t vendor_id = 0;
+  uint16_t device_id = 0;
+  uint32_t io_base = 0;    // port-I/O BAR (0 if none)
+  uint32_t io_size = 0;
+  uint32_t mmio_base = 0;  // memory BAR (0 if none)
+  uint32_t mmio_size = 0;
+  uint8_t irq_line = 0;
+};
+
+// Canonical configs for the four evaluated NICs (bases chosen to be stable
+// across the whole suite; MMIO windows sit above the 16 MiB guest RAM).
+inline PciConfig Rtl8139Config() {
+  return {.vendor_id = 0x10EC, .device_id = 0x8139, .io_base = 0xC000, .io_size = 0x100,
+          .irq_line = 11};
+}
+inline PciConfig Rtl8029Config() {
+  return {.vendor_id = 0x10EC, .device_id = 0x8029, .io_base = 0xC100, .io_size = 0x20,
+          .irq_line = 10};
+}
+inline PciConfig PcnetConfig() {
+  return {.vendor_id = 0x1022, .device_id = 0x2000, .io_base = 0xC200, .io_size = 0x20,
+          .irq_line = 9};
+}
+inline PciConfig Smc91c111Config() {
+  // ISA/embedded-style MMIO device (no port BAR).
+  return {.vendor_id = 0x1148, .device_id = 0x9111, .mmio_base = 0x0F000000,
+          .mmio_size = 0x10, .irq_line = 5};
+}
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_PCI_H_

@@ -1,0 +1,246 @@
+#include "hw/pcnet.h"
+
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace revnic::hw {
+
+namespace {
+constexpr unsigned kDescBytes = 16;
+}
+
+Pcnet::Pcnet() : pci_(PcnetConfig()) {
+  static constexpr MacAddr kDefaultMac = {0x52, 0x54, 0x00, 0x12, 0x34, 0x70};
+  std::memcpy(aprom_.data(), kDefaultMac.data(), 6);
+  Reset();
+}
+
+void Pcnet::Reset() {
+  rap_ = 0;
+  csr0_ = kCsr0Stop;
+  csr_.fill(0);
+  bcr_.fill(0);
+  mode_ = 0;
+  mac_.fill(0);
+  ladrf_.fill(0);
+  rdra_ = tdra_ = 0;
+  rx_ring_len_ = tx_ring_len_ = 0;
+  rx_idx_ = tx_idx_ = 0;
+  stopped_ = true;
+  SetIrq(false);
+}
+
+MacAddr Pcnet::mac() const { return mac_; }
+
+bool Pcnet::MulticastAccepts(const MacAddr& mc) const {
+  unsigned bucket = MulticastHash64(mc.data());
+  return (ladrf_[bucket >> 3] & (1u << (bucket & 7))) != 0;
+}
+
+void Pcnet::UpdateIrq() {
+  bool pending = (csr0_ & (kCsr0Idon | kCsr0Tint | kCsr0Rint)) != 0;
+  if (pending) {
+    csr0_ |= kCsr0Intr;
+  } else {
+    csr0_ = static_cast<uint16_t>(csr0_ & ~kCsr0Intr);
+  }
+  SetIrq(pending && (csr0_ & kCsr0Iena) != 0);
+}
+
+void Pcnet::LoadInitBlock() {
+  if (ram_ == nullptr) {
+    return;
+  }
+  uint32_t base = (static_cast<uint32_t>(csr_[2]) << 16) | csr_[1];
+  mode_ = static_cast<uint16_t>(ram_->ReadRam(base + 0, 2));
+  unsigned tlen = ram_->ReadRam(base + 2, 1) & 0x0F;
+  unsigned rlen = ram_->ReadRam(base + 3, 1) & 0x0F;
+  tx_ring_len_ = 1u << tlen;
+  rx_ring_len_ = 1u << rlen;
+  for (int i = 0; i < 6; ++i) {
+    mac_[i] = static_cast<uint8_t>(ram_->ReadRam(base + 4 + i, 1));
+  }
+  for (int i = 0; i < 8; ++i) {
+    ladrf_[i] = static_cast<uint8_t>(ram_->ReadRam(base + 12 + i, 1));
+  }
+  rdra_ = ram_->ReadRam(base + 20, 4);
+  tdra_ = ram_->ReadRam(base + 24, 4);
+  rx_idx_ = tx_idx_ = 0;
+  csr0_ |= kCsr0Idon;
+  UpdateIrq();
+}
+
+void Pcnet::ServiceTxRing() {
+  if (ram_ == nullptr || tdra_ == 0 || (csr0_ & kCsr0TxOn) == 0) {
+    return;
+  }
+  for (unsigned scanned = 0; scanned < tx_ring_len_; ++scanned) {
+    uint32_t desc = tdra_ + tx_idx_ * kDescBytes;
+    uint32_t flags = ram_->ReadRam(desc + 4, 4);
+    if ((flags & kDescOwn) == 0) {
+      break;  // ring drained
+    }
+    uint32_t buf = ram_->ReadRam(desc + 0, 4);
+    uint32_t len = ram_->ReadRam(desc + 8, 4) & 0xFFFF;
+    if (len > 0 && len <= kEthMaxFrame + 4) {
+      Frame f(len);
+      ram_->ReadRamBytes(buf, f.data(), len);
+      EmitTx(f);
+    } else {
+      ram_->WriteRam(desc + 4, 4, (flags & ~kDescOwn) | kDescErr);
+      tx_idx_ = (tx_idx_ + 1) % tx_ring_len_;
+      csr0_ |= kCsr0Tint;
+      continue;
+    }
+    ram_->WriteRam(desc + 4, 4, flags & ~kDescOwn & ~kDescErr);
+    tx_idx_ = (tx_idx_ + 1) % tx_ring_len_;
+    csr0_ |= kCsr0Tint;
+  }
+  UpdateIrq();
+}
+
+bool Pcnet::InjectReceive(const Frame& frame) {
+  if ((csr0_ & kCsr0RxOn) == 0 || ram_ == nullptr || rdra_ == 0 || frame.size() < 6) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  bool accept = false;
+  if ((mode_ & kModePromiscuous) != 0) {
+    accept = true;
+  } else if (IsBroadcast(frame)) {
+    accept = true;  // PCnet accepts broadcast unless DRCVBC is set (unmodeled)
+  } else if (IsMulticast(frame)) {
+    MacAddr dst;
+    std::memcpy(dst.data(), frame.data(), 6);
+    accept = MulticastAccepts(dst);
+  } else {
+    accept = DestIs(frame, mac_);
+  }
+  if (!accept) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+
+  uint32_t desc = rdra_ + rx_idx_ * kDescBytes;
+  uint32_t flags = ram_->ReadRam(desc + 4, 4);
+  if ((flags & kDescOwn) == 0) {
+    ++stats_.rx_dropped;  // no buffer available
+    return false;
+  }
+  uint32_t buf = ram_->ReadRam(desc + 0, 4);
+  uint32_t cap = ram_->ReadRam(desc + 8, 4) & 0xFFFF;
+  uint32_t len = static_cast<uint32_t>(frame.size());
+  if (len > cap) {
+    ram_->WriteRam(desc + 4, 4, (flags & ~kDescOwn) | kDescErr);
+    rx_idx_ = (rx_idx_ + 1) % rx_ring_len_;
+    ++stats_.rx_dropped;
+    csr0_ |= kCsr0Rint;
+    UpdateIrq();
+    return false;
+  }
+  ram_->WriteRamBytes(buf, frame.data(), len);
+  ram_->WriteRam(desc + 12, 4, len);
+  ram_->WriteRam(desc + 4, 4, flags & ~kDescOwn & ~kDescErr);
+  rx_idx_ = (rx_idx_ + 1) % rx_ring_len_;
+  ++stats_.rx_frames;
+  stats_.rx_bytes += len;
+  csr0_ |= kCsr0Rint;
+  UpdateIrq();
+  return true;
+}
+
+uint16_t Pcnet::ReadCsr(unsigned idx) {
+  if (idx == 0) {
+    return csr0_;
+  }
+  if (idx == 15) {
+    return mode_;
+  }
+  if (idx < csr_.size()) {
+    return csr_[idx];
+  }
+  return 0;
+}
+
+void Pcnet::WriteCsr(unsigned idx, uint16_t value) {
+  if (idx == 0) {
+    // Write-1-to-clear interrupt bits.
+    csr0_ = static_cast<uint16_t>(csr0_ & ~(value & (kCsr0Idon | kCsr0Tint | kCsr0Rint)));
+    // IENA is a plain read/write bit.
+    csr0_ = static_cast<uint16_t>((csr0_ & ~kCsr0Iena) | (value & kCsr0Iena));
+    if ((value & kCsr0Stop) != 0) {
+      stopped_ = true;
+      csr0_ = static_cast<uint16_t>((csr0_ | kCsr0Stop) & ~(kCsr0TxOn | kCsr0RxOn));
+    }
+    if ((value & kCsr0Init) != 0) {
+      stopped_ = false;
+      csr0_ = static_cast<uint16_t>(csr0_ & ~kCsr0Stop);
+      LoadInitBlock();
+    }
+    if ((value & kCsr0Start) != 0 && !stopped_) {
+      csr0_ |= kCsr0TxOn | kCsr0RxOn;
+    }
+    if ((value & kCsr0Tdmd) != 0) {
+      ServiceTxRing();
+    }
+    UpdateIrq();
+    return;
+  }
+  if (idx == 15) {
+    mode_ = value;
+    return;
+  }
+  if (idx < csr_.size()) {
+    csr_[idx] = value;
+  }
+}
+
+uint32_t Pcnet::IoRead(uint32_t addr, unsigned size) {
+  uint32_t reg = addr - pci_.io_base;
+  if (reg < 16) {
+    return LoadLE(aprom_.data() + reg, size);
+  }
+  switch (reg) {
+    case kRegRdp:
+      return ReadCsr(rap_);
+    case kRegRap:
+      return rap_;
+    case kRegReset:
+      Reset();
+      return 0;
+    case kRegBdp:
+      return rap_ < bcr_.size() ? bcr_[rap_] : 0;
+    default:
+      return 0;
+  }
+}
+
+void Pcnet::IoWrite(uint32_t addr, unsigned size, uint32_t value) {
+  (void)size;
+  uint32_t reg = addr - pci_.io_base;
+  if (reg < 16) {
+    return;  // APROM is read-only
+  }
+  switch (reg) {
+    case kRegRdp:
+      WriteCsr(rap_, static_cast<uint16_t>(value));
+      break;
+    case kRegRap:
+      rap_ = static_cast<uint16_t>(value & 0x7F);
+      break;
+    case kRegReset:
+      Reset();
+      break;
+    case kRegBdp:
+      if (rap_ < bcr_.size()) {
+        bcr_[rap_] = static_cast<uint16_t>(value);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace revnic::hw

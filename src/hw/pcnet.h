@@ -1,0 +1,100 @@
+// Behavioural model of the AMD PCnet-PCI (Am79C970A, "LANCE" family).
+//
+// Programming model: indirect register file (RAP selects a CSR read/written
+// through RDP, or a BCR through BDP), an APROM window exposing the station
+// address, and fully DMA-driven operation: an init block in host RAM
+// describes mode/MAC/multicast filter/ring bases, and both directions use
+// descriptor rings owned alternately by host and device (OWN bit). This is
+// the "derived template adds DMA" device of the paper's template hierarchy.
+//
+// Descriptor layout (16 bytes, a documented simplification of SWSTYLE 2):
+//   +0  buffer physical address (u32)
+//   +4  flags (u32): bit31 OWN, bit30 ERR
+//   +8  buffer length (u32): tx = bytes to send, rx = buffer capacity
+//   +12 message length (u32): rx = bytes written by device
+// Init block layout (28 bytes):
+//   +0 mode(u16) +2 tlen(u8,log2) +3 rlen(u8,log2) +4 mac[6] +10 pad[2]
+//   +12 ladrf[8] +20 rdra(u32) +24 tdra(u32)
+#ifndef REVNIC_HW_PCNET_H_
+#define REVNIC_HW_PCNET_H_
+
+#include <array>
+
+#include "hw/nic.h"
+
+namespace revnic::hw {
+
+class Pcnet : public NicDevice {
+ public:
+  static constexpr uint32_t kRegAprom = 0x00;  // 16 bytes
+  static constexpr uint32_t kRegRdp = 0x10;
+  static constexpr uint32_t kRegRap = 0x12;
+  static constexpr uint32_t kRegReset = 0x14;
+  static constexpr uint32_t kRegBdp = 0x16;
+
+  // CSR0 bits.
+  static constexpr uint16_t kCsr0Init = 0x0001;
+  static constexpr uint16_t kCsr0Start = 0x0002;
+  static constexpr uint16_t kCsr0Stop = 0x0004;
+  static constexpr uint16_t kCsr0Tdmd = 0x0008;
+  static constexpr uint16_t kCsr0TxOn = 0x0010;
+  static constexpr uint16_t kCsr0RxOn = 0x0020;
+  static constexpr uint16_t kCsr0Iena = 0x0040;
+  static constexpr uint16_t kCsr0Intr = 0x0080;
+  static constexpr uint16_t kCsr0Idon = 0x0100;
+  static constexpr uint16_t kCsr0Tint = 0x0200;
+  static constexpr uint16_t kCsr0Rint = 0x0400;
+
+  // CSR15 (mode) bits.
+  static constexpr uint16_t kModePromiscuous = 0x8000;
+
+  // BCR9 bit 0: full duplex enable.
+  static constexpr uint16_t kBcr9FullDuplex = 0x0001;
+
+  // Descriptor flag bits.
+  static constexpr uint32_t kDescOwn = 0x80000000;
+  static constexpr uint32_t kDescErr = 0x40000000;
+
+  Pcnet();
+
+  const PciConfig& pci() const override { return pci_; }
+  const char* name() const override { return "pcnet"; }
+  void Reset() override;
+  bool InjectReceive(const Frame& frame) override;
+
+  uint32_t IoRead(uint32_t addr, unsigned size) override;
+  void IoWrite(uint32_t addr, unsigned size, uint32_t value) override;
+
+  MacAddr mac() const override;
+  bool promiscuous() const override { return (mode_ & kModePromiscuous) != 0; }
+  bool rx_enabled() const override { return (csr0_ & kCsr0RxOn) != 0; }
+  bool tx_enabled() const override { return (csr0_ & kCsr0TxOn) != 0; }
+  bool full_duplex() const override { return (bcr_[9] & kBcr9FullDuplex) != 0; }
+  bool MulticastAccepts(const MacAddr& mc) const override;
+
+ private:
+  void UpdateIrq();
+  void LoadInitBlock();
+  void ServiceTxRing();
+  uint16_t ReadCsr(unsigned idx);
+  void WriteCsr(unsigned idx, uint16_t value);
+
+  PciConfig pci_;
+  std::array<uint8_t, 16> aprom_{};
+  uint16_t rap_ = 0;
+  uint16_t csr0_ = 0;
+  std::array<uint16_t, 128> csr_{};
+  std::array<uint16_t, 32> bcr_{};
+  // State loaded from the init block.
+  uint16_t mode_ = 0;
+  MacAddr mac_{};
+  std::array<uint8_t, 8> ladrf_{};
+  uint32_t rdra_ = 0, tdra_ = 0;
+  unsigned rx_ring_len_ = 0, tx_ring_len_ = 0;
+  unsigned rx_idx_ = 0, tx_idx_ = 0;
+  bool stopped_ = true;
+};
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_PCNET_H_

@@ -1,0 +1,240 @@
+#include "hw/rtl8139.h"
+
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace revnic::hw {
+
+Rtl8139::Rtl8139() : pci_(Rtl8139Config()) {
+  Reset();
+  static constexpr MacAddr kDefaultMac = {0x52, 0x54, 0x00, 0x12, 0x34, 0x39};
+  std::memcpy(idr_.data(), kDefaultMac.data(), 6);
+}
+
+void Rtl8139::Reset() {
+  // IDR survives soft reset (it is EEPROM-loaded on real parts).
+  mar_.fill(0);
+  tsd_.fill(kTsdOwn);  // all slots available to the driver
+  tsad_.fill(0);
+  rbstart_ = 0;
+  cr_ = kCrBufe;
+  capr_ = 0;
+  cbr_ = 0;
+  imr_ = isr_ = 0;
+  tcr_ = rcr_ = 0;
+  cr9346_ = 0;
+  config1_ = 0;
+  config3_ = 0;
+  config4_ = 0;
+  bmcr_ = 0;
+  SetIrq(false);
+}
+
+MacAddr Rtl8139::mac() const {
+  MacAddr m;
+  std::memcpy(m.data(), idr_.data(), 6);
+  return m;
+}
+
+bool Rtl8139::MulticastAccepts(const MacAddr& mc) const {
+  unsigned bucket = MulticastHash64(mc.data());
+  return (mar_[bucket >> 3] & (1u << (bucket & 7))) != 0;
+}
+
+bool Rtl8139::RxBufferEmpty() const {
+  return cbr_ == static_cast<uint16_t>((capr_ + 16) % kRxRingSize);
+}
+
+void Rtl8139::StartTx(unsigned slot) {
+  uint32_t size = tsd_[slot] & kTsdSizeMask;
+  if (size == 0 || ram_ == nullptr) {
+    isr_ |= kIntTer;
+    UpdateIrq();
+    return;
+  }
+  Frame f(size);
+  ram_->ReadRamBytes(tsad_[slot], f.data(), size);
+  EmitTx(f);
+  tsd_[slot] |= kTsdOwn | kTsdTok;
+  isr_ |= kIntTok;
+  UpdateIrq();
+}
+
+bool Rtl8139::InjectReceive(const Frame& frame) {
+  if ((cr_ & kCrRxEnable) == 0 || rbstart_ == 0 || ram_ == nullptr || frame.size() < 6) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  bool accept = false;
+  if ((rcr_ & kRcrAcceptAll) != 0) {
+    accept = true;
+  } else if (IsBroadcast(frame)) {
+    accept = (rcr_ & kRcrAcceptBroadcast) != 0;
+  } else if (IsMulticast(frame)) {
+    MacAddr dst;
+    std::memcpy(dst.data(), frame.data(), 6);
+    accept = (rcr_ & kRcrAcceptMulticast) != 0 && MulticastAccepts(dst);
+  } else {
+    accept = (rcr_ & kRcrAcceptPhysMatch) != 0 && DestIs(frame, mac());
+  }
+  if (!accept) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+
+  // Space check: ring occupancy between read pointer (capr_+16) and cbr_.
+  uint32_t read = (capr_ + 16) % kRxRingSize;
+  uint32_t used = (cbr_ + kRxRingSize - read) % kRxRingSize;
+  uint32_t needed = 4 + static_cast<uint32_t>(frame.size()) + 4;  // header + frame + CRC
+  needed = (needed + 3) & ~3u;
+  if (used + needed >= kRxRingSize - 16) {
+    isr_ |= kIntRxOverflow;
+    UpdateIrq();
+    ++stats_.rx_dropped;
+    return false;
+  }
+
+  // Write header + frame at rbstart_+cbr_, spilling contiguously past the
+  // ring end (WRAP mode); the driver sees a linear packet and wraps CAPR.
+  uint16_t pkt_len = static_cast<uint16_t>(frame.size() + 4);  // + CRC dword
+  uint32_t w = rbstart_ + cbr_;
+  ram_->WriteRam(w, 2, 0x0001);  // status: ROK
+  ram_->WriteRam(w + 2, 2, pkt_len);
+  ram_->WriteRamBytes(w + 4, frame.data(), frame.size());
+  ram_->WriteRam(w + 4 + static_cast<uint32_t>(frame.size()), 4, 0xDEADBEEF);  // fake CRC
+  uint32_t advance = (4 + pkt_len + 3) & ~3u;
+  cbr_ = static_cast<uint16_t>((cbr_ + advance) % kRxRingSize);
+
+  ++stats_.rx_frames;
+  stats_.rx_bytes += frame.size();
+  isr_ |= kIntRok;
+  UpdateIrq();
+  return true;
+}
+
+uint32_t Rtl8139::IoRead(uint32_t addr, unsigned size) {
+  uint32_t reg = addr - pci_.io_base;
+  if (reg < 6) {
+    return LoadLE(idr_.data() + reg, size);
+  }
+  if (reg >= kRegMar0 && reg < kRegMar0 + 8) {
+    return LoadLE(mar_.data() + (reg - kRegMar0), size);
+  }
+  if (reg >= kRegTsd0 && reg < kRegTsd0 + 16 && (reg & 3) == 0) {
+    return tsd_[(reg - kRegTsd0) / 4];
+  }
+  if (reg >= kRegTsad0 && reg < kRegTsad0 + 16 && (reg & 3) == 0) {
+    return tsad_[(reg - kRegTsad0) / 4];
+  }
+  switch (reg) {
+    case kRegRbstart:
+      return rbstart_;
+    case kRegCr:
+      return static_cast<uint32_t>((cr_ & ~kCrBufe) | (RxBufferEmpty() ? kCrBufe : 0));
+    case kRegCapr:
+      return capr_;
+    case kRegCbr:
+      return cbr_;
+    case kRegImr:
+      return imr_;
+    case kRegIsr:
+      return isr_;
+    case kRegTcr:
+      return tcr_;
+    case kRegRcr:
+      return rcr_;
+    case kReg9346Cr:
+      return cr9346_;
+    case kRegConfig1:
+      return config1_;
+    case kRegConfig3:
+      return config3_;
+    case kRegConfig4:
+      return config4_;
+    case kRegBmcr:
+      return bmcr_;
+    default:
+      return 0;
+  }
+}
+
+void Rtl8139::IoWrite(uint32_t addr, unsigned size, uint32_t value) {
+  uint32_t reg = addr - pci_.io_base;
+  if (reg < 6) {
+    StoreLE(idr_.data() + reg, value, size);
+    return;
+  }
+  if (reg >= kRegMar0 && reg < kRegMar0 + 8) {
+    StoreLE(mar_.data() + (reg - kRegMar0), value, size);
+    return;
+  }
+  if (reg >= kRegTsd0 && reg < kRegTsd0 + 16 && (reg & 3) == 0) {
+    unsigned slot = (reg - kRegTsd0) / 4;
+    tsd_[slot] = value;
+    if ((value & kTsdOwn) == 0 && (cr_ & kCrTxEnable) != 0) {
+      StartTx(slot);
+    }
+    return;
+  }
+  if (reg >= kRegTsad0 && reg < kRegTsad0 + 16 && (reg & 3) == 0) {
+    tsad_[(reg - kRegTsad0) / 4] = value;
+    return;
+  }
+  switch (reg) {
+    case kRegRbstart:
+      rbstart_ = value;
+      break;
+    case kRegCr:
+      if ((value & kCrReset) != 0) {
+        Reset();  // RST self-clears: subsequent reads show it 0
+        break;
+      }
+      cr_ = static_cast<uint8_t>(value & (kCrTxEnable | kCrRxEnable));
+      break;
+    case kRegCapr:
+      capr_ = static_cast<uint16_t>(value % kRxRingSize);
+      UpdateIrq();
+      break;
+    case kRegImr:
+      imr_ = static_cast<uint16_t>(value);
+      UpdateIrq();
+      break;
+    case kRegIsr:
+      isr_ = static_cast<uint16_t>(isr_ & ~value);  // write-1-to-clear
+      UpdateIrq();
+      break;
+    case kRegTcr:
+      tcr_ = value;
+      break;
+    case kRegRcr:
+      rcr_ = value;
+      break;
+    case kReg9346Cr:
+      cr9346_ = static_cast<uint8_t>(value);
+      break;
+    case kRegConfig1:
+      if (cr9346_ == k9346Unlock) {
+        config1_ = static_cast<uint8_t>(value);
+      }
+      break;
+    case kRegConfig3:
+      if (cr9346_ == k9346Unlock) {
+        config3_ = static_cast<uint8_t>(value);
+      }
+      break;
+    case kRegConfig4:
+      if (cr9346_ == k9346Unlock) {
+        config4_ = static_cast<uint8_t>(value);
+      }
+      break;
+    case kRegBmcr:
+      bmcr_ = static_cast<uint16_t>(value);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace revnic::hw

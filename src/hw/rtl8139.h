@@ -1,0 +1,118 @@
+// Behavioural model of the Realtek RTL8139C fast-Ethernet NIC.
+//
+// Programming model: flat port-I/O register file, four-slot transmit
+// descriptors (TSD/TSAD) with bus-master DMA from host RAM, and a contiguous
+// receive ring DMA-written by the device (WRAP mode). Wake-on-LAN lives in
+// CONFIG3 (unlock via 9346CR), LED control in CONFIG4, duplex in the PHY
+// BMCR. This is the Table 2 feature-complete device of the four.
+#ifndef REVNIC_HW_RTL8139_H_
+#define REVNIC_HW_RTL8139_H_
+
+#include <array>
+
+#include "hw/nic.h"
+
+namespace revnic::hw {
+
+class Rtl8139 : public NicDevice {
+ public:
+  // Register offsets (from io_base).
+  static constexpr uint32_t kRegIdr0 = 0x00;    // MAC, 6 bytes
+  static constexpr uint32_t kRegMar0 = 0x08;    // multicast filter, 8 bytes
+  static constexpr uint32_t kRegTsd0 = 0x10;    // tx status, 4 x u32
+  static constexpr uint32_t kRegTsad0 = 0x20;   // tx buffer phys addr, 4 x u32
+  static constexpr uint32_t kRegRbstart = 0x30; // rx ring phys addr, u32
+  static constexpr uint32_t kRegCr = 0x37;      // command, u8
+  static constexpr uint32_t kRegCapr = 0x38;    // rx read pointer - 16, u16
+  static constexpr uint32_t kRegCbr = 0x3A;     // rx write pointer, u16 (ro)
+  static constexpr uint32_t kRegImr = 0x3C;     // u16
+  static constexpr uint32_t kRegIsr = 0x3E;     // u16, write-1-to-clear
+  static constexpr uint32_t kRegTcr = 0x40;     // u32
+  static constexpr uint32_t kRegRcr = 0x44;     // u32
+  static constexpr uint32_t kReg9346Cr = 0x50;  // EEPROM/config lock, u8
+  static constexpr uint32_t kRegConfig1 = 0x52; // u8
+  static constexpr uint32_t kRegConfig3 = 0x59; // u8, bit5 = WoL magic packet
+  static constexpr uint32_t kRegConfig4 = 0x5A; // u8, bits 0-2 = LED mode
+  static constexpr uint32_t kRegBmcr = 0x62;    // PHY basic mode control, u16
+
+  // CR bits.
+  static constexpr uint8_t kCrBufe = 0x01;   // rx buffer empty (ro)
+  static constexpr uint8_t kCrTxEnable = 0x04;
+  static constexpr uint8_t kCrRxEnable = 0x08;
+  static constexpr uint8_t kCrReset = 0x10;
+
+  // ISR/IMR bits.
+  static constexpr uint16_t kIntRok = 0x0001;
+  static constexpr uint16_t kIntRer = 0x0002;
+  static constexpr uint16_t kIntTok = 0x0004;
+  static constexpr uint16_t kIntTer = 0x0008;
+  static constexpr uint16_t kIntRxOverflow = 0x0010;
+
+  // TSD bits.
+  static constexpr uint32_t kTsdSizeMask = 0x00001FFF;
+  static constexpr uint32_t kTsdOwn = 0x00002000;  // set by NIC when DMA done
+  static constexpr uint32_t kTsdTok = 0x00008000;  // transmit OK
+
+  // RCR bits.
+  static constexpr uint32_t kRcrAcceptAll = 0x01;        // promiscuous
+  static constexpr uint32_t kRcrAcceptPhysMatch = 0x02;
+  static constexpr uint32_t kRcrAcceptMulticast = 0x04;
+  static constexpr uint32_t kRcrAcceptBroadcast = 0x08;
+  static constexpr uint32_t kRcrWrap = 0x80;
+
+  // 9346CR unlock value for CONFIGx writes.
+  static constexpr uint8_t k9346Unlock = 0xC0;
+
+  // CONFIG3 bit 5: magic-packet WoL.
+  static constexpr uint8_t kConfig3Magic = 0x20;
+
+  // PHY BMCR bit 8: full duplex.
+  static constexpr uint16_t kBmcrFullDuplex = 0x0100;
+
+  static constexpr uint32_t kRxRingSize = 8192;
+  static constexpr uint32_t kRxSlack = 16 + 1536;  // WRAP-mode spill area
+  static constexpr unsigned kNumTxSlots = 4;
+
+  Rtl8139();
+
+  const PciConfig& pci() const override { return pci_; }
+  const char* name() const override { return "rtl8139"; }
+  void Reset() override;
+  bool InjectReceive(const Frame& frame) override;
+
+  uint32_t IoRead(uint32_t addr, unsigned size) override;
+  void IoWrite(uint32_t addr, unsigned size, uint32_t value) override;
+
+  MacAddr mac() const override;
+  bool promiscuous() const override { return (rcr_ & kRcrAcceptAll) != 0; }
+  bool rx_enabled() const override { return (cr_ & kCrRxEnable) != 0; }
+  bool tx_enabled() const override { return (cr_ & kCrTxEnable) != 0; }
+  bool full_duplex() const override { return (bmcr_ & kBmcrFullDuplex) != 0; }
+  bool wol_armed() const override { return (config3_ & kConfig3Magic) != 0; }
+  uint8_t led_state() const override { return static_cast<uint8_t>(config4_ & 0x07); }
+  bool MulticastAccepts(const MacAddr& mc) const override;
+
+ private:
+  void UpdateIrq() { SetIrq((isr_ & imr_) != 0); }
+  void StartTx(unsigned slot);
+  bool RxBufferEmpty() const;
+
+  PciConfig pci_;
+  std::array<uint8_t, 6> idr_{};
+  std::array<uint8_t, 8> mar_{};
+  std::array<uint32_t, kNumTxSlots> tsd_{};
+  std::array<uint32_t, kNumTxSlots> tsad_{};
+  uint32_t rbstart_ = 0;
+  uint8_t cr_ = 0;
+  uint16_t capr_ = 0;
+  uint16_t cbr_ = 0;
+  uint16_t imr_ = 0, isr_ = 0;
+  uint32_t tcr_ = 0, rcr_ = 0;
+  uint8_t cr9346_ = 0;
+  uint8_t config1_ = 0, config3_ = 0, config4_ = 0;
+  uint16_t bmcr_ = 0;
+};
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_RTL8139_H_

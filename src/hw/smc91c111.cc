@@ -1,0 +1,352 @@
+#include "hw/smc91c111.h"
+
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace revnic::hw {
+
+Smc91c111::Smc91c111() : pci_(Smc91c111Config()) {
+  Reset();
+  static constexpr MacAddr kDefaultMac = {0x52, 0x54, 0x00, 0x12, 0x34, 0x91};
+  std::memcpy(ia_.data(), kDefaultMac.data(), 6);
+}
+
+void Smc91c111::Reset() {
+  bank_ = 0;
+  tcr_ = 0;
+  rcr_ = 0;
+  rpcr_ = 0;
+  config_ = 0;
+  control_ = 0;
+  mcast_.fill(0);
+  pnr_ = 0;
+  arr_ = kArrFailed;
+  ptr_ = 0;
+  ptr_cursor_ = 0;
+  int_stat_ = 0;
+  int_mask_ = 0;
+  allocated_.fill(false);
+  rx_fifo_.clear();
+  tx_done_fifo_.clear();
+  SetIrq(false);
+}
+
+MacAddr Smc91c111::mac() const {
+  MacAddr m;
+  std::memcpy(m.data(), ia_.data(), 6);
+  return m;
+}
+
+bool Smc91c111::MulticastAccepts(const MacAddr& mc) const {
+  if ((rcr_ & kRcrAllMulticast) != 0) {
+    return true;
+  }
+  unsigned bucket = MulticastHash64(mc.data());
+  return (mcast_[bucket >> 3] & (1u << (bucket & 7))) != 0;
+}
+
+int Smc91c111::AllocPacket() {
+  for (unsigned i = 0; i < kNumPackets; ++i) {
+    if (!allocated_[i]) {
+      allocated_[i] = true;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+uint32_t Smc91c111::PtrAddress() const {
+  unsigned pnr;
+  if ((ptr_ & kPtrRcv) != 0) {
+    pnr = rx_fifo_.empty() ? 0 : rx_fifo_.front();
+  } else {
+    pnr = pnr_;
+  }
+  return pnr * kPacketSize + ptr_cursor_;
+}
+
+void Smc91c111::MmuCommand(uint16_t cmd) {
+  switch (cmd & 0xE0) {
+    case kMmuAlloc: {
+      int pnr = AllocPacket();
+      if (pnr < 0) {
+        arr_ = kArrFailed;
+      } else {
+        arr_ = static_cast<uint8_t>(pnr);
+        int_stat_ |= kIntAlloc;
+      }
+      UpdateIrq();
+      break;
+    }
+    case kMmuReset:
+      allocated_.fill(false);
+      rx_fifo_.clear();
+      tx_done_fifo_.clear();
+      arr_ = kArrFailed;
+      break;
+    case kMmuRemoveRx:
+      if (!rx_fifo_.empty()) {
+        rx_fifo_.pop_front();
+      }
+      if (rx_fifo_.empty()) {
+        int_stat_ = static_cast<uint8_t>(int_stat_ & ~kIntRcv);
+      }
+      UpdateIrq();
+      break;
+    case kMmuRemoveReleaseRx:
+      if (!rx_fifo_.empty()) {
+        allocated_[rx_fifo_.front()] = false;
+        rx_fifo_.pop_front();
+      }
+      if (rx_fifo_.empty()) {
+        int_stat_ = static_cast<uint8_t>(int_stat_ & ~kIntRcv);
+      }
+      UpdateIrq();
+      break;
+    case kMmuReleasePkt:
+      if (pnr_ < kNumPackets) {
+        allocated_[pnr_] = false;
+      }
+      if (!tx_done_fifo_.empty() && tx_done_fifo_.front() == pnr_) {
+        tx_done_fifo_.pop_front();
+      }
+      break;
+    case kMmuEnqueueTx: {
+      if (pnr_ >= kNumPackets || (tcr_ & kTcrTxEnable) == 0) {
+        break;
+      }
+      const uint8_t* pkt = AccessBytes(pnr_);
+      uint16_t byte_count = LoadLE(pkt + 2, 2) & 0x07FF;
+      if (byte_count >= 6) {
+        size_t payload = byte_count - 6u;
+        Frame f(pkt + 4, pkt + 4 + payload);
+        EmitTx(f);
+      }
+      tx_done_fifo_.push_back(pnr_);
+      int_stat_ |= kIntTx | kIntTxEmpty;
+      UpdateIrq();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool Smc91c111::InjectReceive(const Frame& frame) {
+  if ((rcr_ & kRcrRxEnable) == 0 || frame.size() < 6) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  bool accept = false;
+  if ((rcr_ & kRcrPromiscuous) != 0) {
+    accept = true;
+  } else if (IsBroadcast(frame)) {
+    accept = true;
+  } else if (IsMulticast(frame)) {
+    MacAddr dst;
+    std::memcpy(dst.data(), frame.data(), 6);
+    accept = MulticastAccepts(dst);
+  } else {
+    accept = DestIs(frame, mac());
+  }
+  if (!accept) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  int pnr = AllocPacket();
+  if (pnr < 0 || frame.size() + 6 > kPacketSize) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  uint8_t* pkt = AccessBytes(static_cast<unsigned>(pnr));
+  uint16_t byte_count = static_cast<uint16_t>(frame.size() + 6);
+  StoreLE(pkt + 0, 0, 2);  // status: ok
+  StoreLE(pkt + 2, byte_count, 2);
+  std::memcpy(pkt + 4, frame.data(), frame.size());
+  StoreLE(pkt + 4 + frame.size(), 0, 2);  // control word
+  rx_fifo_.push_back(static_cast<uint8_t>(pnr));
+  ++stats_.rx_frames;
+  stats_.rx_bytes += frame.size();
+  int_stat_ |= kIntRcv;
+  UpdateIrq();
+  return true;
+}
+
+uint32_t Smc91c111::IoRead(uint32_t addr, unsigned size) {
+  uint32_t off = addr - pci_.mmio_base;
+  if (off == kRegBank || off == kRegBank + 1) {
+    return bank_;
+  }
+  switch (bank_) {
+    case 0:
+      switch (off & ~1u) {
+        case kRegTcr:
+          return tcr_;
+        case kRegEphStatus:
+          return 0x0000;  // link up, no errors
+        case kRegRcr:
+          return rcr_;
+        case kRegCounter:
+          return 0;
+        case kRegRpcr:
+          return rpcr_;
+        default:
+          return 0;
+      }
+    case 1:
+      if (off >= kRegIa0 && off < kRegIa0 + 6) {
+        return LoadLE(ia_.data() + (off - kRegIa0), size);
+      }
+      if ((off & ~1u) == kRegConfig) {
+        return config_;
+      }
+      if ((off & ~1u) == kRegControl) {
+        return control_;
+      }
+      return 0;
+    case 2:
+      switch (off) {
+        case kRegMmuCmd:
+          return 0;  // busy bit never set (commands complete synchronously)
+        case kRegPnr:
+          return pnr_;
+        case kRegPnr + 1:  // ARR
+          return arr_;
+        case kRegFifo: {   // tx-done fifo
+          uint32_t v = tx_done_fifo_.empty() ? 0x80u : tx_done_fifo_.front();
+          if (size == 2) {
+            uint32_t rx = rx_fifo_.empty() ? 0x80u : rx_fifo_.front();
+            v |= rx << 8;
+          }
+          return v;
+        }
+        case kRegFifo + 1:  // rx fifo
+          return rx_fifo_.empty() ? 0x80u : rx_fifo_.front();
+        case kRegPtr:
+          return ptr_;
+        case kRegData:
+        case kRegData + 1:
+        case kRegData + 2:
+        case kRegData + 3: {
+          uint32_t a = PtrAddress();
+          uint32_t v = 0;
+          for (unsigned i = 0; i < size; ++i) {
+            if (a + i < packet_mem_.size()) {
+              v |= static_cast<uint32_t>(packet_mem_[a + i]) << (8 * i);
+            }
+          }
+          if ((ptr_ & kPtrAutoIncr) != 0) {
+            ptr_cursor_ = static_cast<uint16_t>(ptr_cursor_ + size);
+          }
+          return v;
+        }
+        case kRegIntStat:
+          return int_stat_ | (size == 2 ? static_cast<uint32_t>(int_mask_) << 8 : 0u);
+        case kRegIntMask:
+          return int_mask_;
+        default:
+          return 0;
+      }
+    case 3:
+      if (off < 8) {
+        return LoadLE(mcast_.data() + off, size);
+      }
+      if ((off & ~1u) == kRegRevision) {
+        return 0x0091;
+      }
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+void Smc91c111::IoWrite(uint32_t addr, unsigned size, uint32_t value) {
+  uint32_t off = addr - pci_.mmio_base;
+  if (off == kRegBank || off == kRegBank + 1) {
+    bank_ = static_cast<uint8_t>(value & 3);
+    return;
+  }
+  switch (bank_) {
+    case 0:
+      switch (off & ~1u) {
+        case kRegTcr:
+          tcr_ = static_cast<uint16_t>(value);
+          break;
+        case kRegRcr:
+          rcr_ = static_cast<uint16_t>(value);
+          if ((rcr_ & kRcrSoftReset) != 0) {
+            Reset();
+          }
+          break;
+        case kRegRpcr:
+          rpcr_ = static_cast<uint16_t>(value);
+          break;
+        default:
+          break;
+      }
+      return;
+    case 1:
+      if (off >= kRegIa0 && off < kRegIa0 + 6) {
+        StoreLE(ia_.data() + (off - kRegIa0), value, size);
+        return;
+      }
+      if ((off & ~1u) == kRegConfig) {
+        config_ = static_cast<uint16_t>(value);
+      } else if ((off & ~1u) == kRegControl) {
+        control_ = static_cast<uint16_t>(value);
+      }
+      return;
+    case 2:
+      switch (off) {
+        case kRegMmuCmd:
+          MmuCommand(static_cast<uint16_t>(value));
+          break;
+        case kRegPnr:
+          pnr_ = static_cast<uint8_t>(value & 0x3F);
+          break;
+        case kRegPtr:
+        case kRegPtr + 1:
+          ptr_ = static_cast<uint16_t>(value);
+          ptr_cursor_ = static_cast<uint16_t>(value & 0x07FF);
+          break;
+        case kRegData:
+        case kRegData + 1:
+        case kRegData + 2:
+        case kRegData + 3: {
+          uint32_t a = PtrAddress();
+          for (unsigned i = 0; i < size; ++i) {
+            if (a + i < packet_mem_.size()) {
+              packet_mem_[a + i] = static_cast<uint8_t>(value >> (8 * i));
+            }
+          }
+          if ((ptr_ & kPtrAutoIncr) != 0) {
+            ptr_cursor_ = static_cast<uint16_t>(ptr_cursor_ + size);
+          }
+          break;
+        }
+        case kRegIntStat:
+          // Acknowledge: write-1-to-clear for TX/TX_EMPTY bits.
+          int_stat_ = static_cast<uint8_t>(int_stat_ & ~(value & (kIntTx | kIntTxEmpty | kIntAlloc)));
+          UpdateIrq();
+          break;
+        case kRegIntMask:
+          int_mask_ = static_cast<uint8_t>(value);
+          UpdateIrq();
+          break;
+        default:
+          break;
+      }
+      return;
+    case 3:
+      if (off < 8) {
+        StoreLE(mcast_.data() + off, value, size);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace revnic::hw

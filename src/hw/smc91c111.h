@@ -1,0 +1,129 @@
+// Behavioural model of the SMSC LAN91C111 embedded Ethernet controller.
+//
+// Programming model: a 16-byte MMIO window of 16-bit registers, multiplexed
+// across four banks by the bank-select register at offset 0xE -- the classic
+// "write a register address on one port, access the value on another"
+// pattern §3.2 calls out as a candidate for function models. Packet memory is
+// an on-chip pool managed by an MMU (alloc / enqueue / remove&release
+// commands); there is no DMA and no Wake-on-LAN (Table 2: N/A).
+//
+// Packet layout in a 2 KiB packet buffer:
+//   +0 status(u16)  +2 byte_count(u16, = payload + 6)  +4 payload bytes
+//   trailing control word (odd-length flag).
+#ifndef REVNIC_HW_SMC91C111_H_
+#define REVNIC_HW_SMC91C111_H_
+
+#include <array>
+#include <deque>
+
+#include "hw/nic.h"
+
+namespace revnic::hw {
+
+class Smc91c111 : public NicDevice {
+ public:
+  // Common register: bank select (all banks), offset 0xE.
+  static constexpr uint32_t kRegBank = 0xE;
+
+  // Bank 0.
+  static constexpr uint32_t kRegTcr = 0x0;   // bit0 TXENA, bit15 SWFDUP
+  static constexpr uint32_t kRegEphStatus = 0x2;
+  static constexpr uint32_t kRegRcr = 0x4;   // bit1 PRMS, bit8 RXEN, bit15 SOFT_RST
+  static constexpr uint32_t kRegCounter = 0x6;
+  static constexpr uint32_t kRegRpcr = 0xA;  // LED select bits 2..7
+
+  // Bank 1.
+  static constexpr uint32_t kRegConfig = 0x0;
+  static constexpr uint32_t kRegIa0 = 0x4;   // MAC, 6 bytes at 0x4..0x9
+  static constexpr uint32_t kRegControl = 0xC;
+
+  // Bank 2.
+  static constexpr uint32_t kRegMmuCmd = 0x0;
+  static constexpr uint32_t kRegPnr = 0x2;   // u8; ARR (alloc result) at 0x3
+  static constexpr uint32_t kRegFifo = 0x4;  // u8 tx-done at 0x4, rx fifo at 0x5
+  static constexpr uint32_t kRegPtr = 0x6;   // bit15 RCV, bit14 AUTO_INCR, bit13 READ
+  static constexpr uint32_t kRegData = 0x8;
+  static constexpr uint32_t kRegIntStat = 0xC;  // u8; mask at 0xD
+  static constexpr uint32_t kRegIntMask = 0xD;
+
+  // Bank 3.
+  static constexpr uint32_t kRegMcast0 = 0x0;  // 8 bytes, 64-bucket filter
+  static constexpr uint32_t kRegRevision = 0xA;
+
+  // TCR bits.
+  static constexpr uint16_t kTcrTxEnable = 0x0001;
+  static constexpr uint16_t kTcrFullDuplex = 0x8000;  // SWFDUP
+  // RCR bits.
+  static constexpr uint16_t kRcrPromiscuous = 0x0002;
+  static constexpr uint16_t kRcrAllMulticast = 0x0004;
+  static constexpr uint16_t kRcrRxEnable = 0x0100;
+  static constexpr uint16_t kRcrSoftReset = 0x8000;
+
+  // MMU commands (value in bits 5..7 of MMU_CMD).
+  static constexpr uint16_t kMmuAlloc = 0x20;
+  static constexpr uint16_t kMmuReset = 0x40;
+  static constexpr uint16_t kMmuRemoveRx = 0x60;
+  static constexpr uint16_t kMmuRemoveReleaseRx = 0x80;
+  static constexpr uint16_t kMmuReleasePkt = 0xA0;
+  static constexpr uint16_t kMmuEnqueueTx = 0xC0;
+
+  // Interrupt status/mask bits.
+  static constexpr uint8_t kIntRcv = 0x01;
+  static constexpr uint8_t kIntTx = 0x02;
+  static constexpr uint8_t kIntTxEmpty = 0x04;
+  static constexpr uint8_t kIntAlloc = 0x08;
+
+  // ARR failure flag.
+  static constexpr uint8_t kArrFailed = 0x80;
+
+  // PTR bits.
+  static constexpr uint16_t kPtrRcv = 0x8000;
+  static constexpr uint16_t kPtrAutoIncr = 0x4000;
+  static constexpr uint16_t kPtrRead = 0x2000;
+
+  static constexpr unsigned kNumPackets = 16;
+  static constexpr unsigned kPacketSize = 2048;
+
+  Smc91c111();
+
+  const PciConfig& pci() const override { return pci_; }
+  const char* name() const override { return "smc91c111"; }
+  void Reset() override;
+  bool InjectReceive(const Frame& frame) override;
+
+  uint32_t IoRead(uint32_t addr, unsigned size) override;
+  void IoWrite(uint32_t addr, unsigned size, uint32_t value) override;
+
+  MacAddr mac() const override;
+  bool promiscuous() const override { return (rcr_ & kRcrPromiscuous) != 0; }
+  bool rx_enabled() const override { return (rcr_ & kRcrRxEnable) != 0; }
+  bool tx_enabled() const override { return (tcr_ & kTcrTxEnable) != 0; }
+  bool full_duplex() const override { return (tcr_ & kTcrFullDuplex) != 0; }
+  uint8_t led_state() const override { return static_cast<uint8_t>((rpcr_ >> 2) & 0x3F); }
+  bool MulticastAccepts(const MacAddr& mc) const override;
+
+ private:
+  void UpdateIrq() { SetIrq((int_stat_ & int_mask_) != 0); }
+  void MmuCommand(uint16_t cmd);
+  int AllocPacket();
+  uint32_t PtrAddress() const;
+  uint8_t* AccessBytes(unsigned pnr) { return packet_mem_.data() + pnr * kPacketSize; }
+
+  PciConfig pci_;
+  uint8_t bank_ = 0;
+  uint16_t tcr_ = 0, rcr_ = 0, rpcr_ = 0, config_ = 0, control_ = 0;
+  std::array<uint8_t, 6> ia_{};
+  std::array<uint8_t, 8> mcast_{};
+  uint8_t pnr_ = 0, arr_ = kArrFailed;
+  uint16_t ptr_ = 0;
+  uint16_t ptr_cursor_ = 0;  // auto-increment cursor within the packet
+  uint8_t int_stat_ = 0, int_mask_ = 0;
+  std::array<bool, kNumPackets> allocated_{};
+  std::array<uint8_t, kNumPackets * kPacketSize> packet_mem_{};
+  std::deque<uint8_t> rx_fifo_;       // packet numbers with received frames
+  std::deque<uint8_t> tx_done_fifo_;  // packet numbers completed by tx
+};
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_SMC91C111_H_

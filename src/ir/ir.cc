@@ -1,0 +1,117 @@
+#include "ir/ir.h"
+
+namespace revnic::ir {
+
+bool IsIntraproceduralTerm(Term term) {
+  switch (term) {
+    case Term::kFallthrough:
+    case Term::kBranch:
+    case Term::kJump:
+    case Term::kJumpInd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kNop:
+      return "nop";
+    case Op::kConst:
+      return "const";
+    case Op::kMov:
+      return "mov";
+    case Op::kAdd:
+      return "add";
+    case Op::kSub:
+      return "sub";
+    case Op::kMul:
+      return "mul";
+    case Op::kUDiv:
+      return "udiv";
+    case Op::kURem:
+      return "urem";
+    case Op::kAnd:
+      return "and";
+    case Op::kOr:
+      return "or";
+    case Op::kXor:
+      return "xor";
+    case Op::kShl:
+      return "shl";
+    case Op::kLShr:
+      return "lshr";
+    case Op::kAShr:
+      return "ashr";
+    case Op::kCmpEq:
+      return "cmpeq";
+    case Op::kCmpNe:
+      return "cmpne";
+    case Op::kCmpUlt:
+      return "cmpult";
+    case Op::kCmpUle:
+      return "cmpule";
+    case Op::kCmpSlt:
+      return "cmpslt";
+    case Op::kCmpSle:
+      return "cmpsle";
+    case Op::kSelect:
+      return "select";
+    case Op::kZExt:
+      return "zext";
+    case Op::kSExt:
+      return "sext";
+    case Op::kGetReg:
+      return "getreg";
+    case Op::kSetReg:
+      return "setreg";
+    case Op::kLoad:
+      return "load";
+    case Op::kStore:
+      return "store";
+    case Op::kIn:
+      return "in";
+    case Op::kOut:
+      return "out";
+  }
+  return "?";
+}
+
+const char* TermName(Term term) {
+  switch (term) {
+    case Term::kFallthrough:
+      return "fallthrough";
+    case Term::kBranch:
+      return "branch";
+    case Term::kJump:
+      return "jump";
+    case Term::kJumpInd:
+      return "jump_ind";
+    case Term::kCall:
+      return "call";
+    case Term::kCallInd:
+      return "call_ind";
+    case Term::kRet:
+      return "ret";
+    case Term::kSyscall:
+      return "syscall";
+    case Term::kHalt:
+      return "halt";
+  }
+  return "?";
+}
+
+bool OpDefinesDst(Op op) {
+  switch (op) {
+    case Op::kNop:
+    case Op::kSetReg:
+    case Op::kStore:
+    case Op::kOut:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace revnic::ir

@@ -1,0 +1,120 @@
+// "vir" -- the intermediate representation RevNIC traces and synthesizes from.
+//
+// This plays the role LLVM bitcode plays in the paper (§3.4): the dynamic
+// binary translator lowers each guest translation block into a vir block; the
+// same vir is executed concretely or symbolically, recorded in wiretap traces,
+// and finally turned into C code by the synthesizer.
+//
+// vir is a register-machine IR: an unbounded set of 32-bit temporaries, plus
+// explicit accesses to the guest CPU register file (GetReg/SetReg), guest
+// memory (Load/Store), and port I/O (In/Out). A block ends with exactly one
+// terminator whose kind mirrors §3.3's block-type taxonomy (conditional,
+// direct/indirect jump, call, return).
+#ifndef REVNIC_IR_IR_H_
+#define REVNIC_IR_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace revnic::ir {
+
+enum class Op : uint8_t {
+  kNop = 0,
+  // t[dst] = imm
+  kConst,
+  // t[dst] = t[a]
+  kMov,
+  // t[dst] = t[a] <op> t[b]   (32-bit wrap-around arithmetic)
+  kAdd,
+  kSub,
+  kMul,
+  kUDiv,
+  kURem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  kAShr,
+  // t[dst] = (t[a] <rel> t[b]) ? 1 : 0
+  kCmpEq,
+  kCmpNe,
+  kCmpUlt,
+  kCmpUle,
+  kCmpSlt,
+  kCmpSle,
+  // t[dst] = t[c] ? t[a] : t[b]
+  kSelect,
+  // Width changes; `size` gives the source (trunc) or destination (ext) width.
+  kZExt,   // t[dst] = zext(t[a] truncated to size bytes)
+  kSExt,   // t[dst] = sext(t[a] truncated to size bytes)
+  // Guest register file.
+  kGetReg,  // t[dst] = guest_reg[imm]
+  kSetReg,  // guest_reg[imm] = t[a]
+  // Guest memory; size in {1,2,4}; loads zero-extend.
+  kLoad,   // t[dst] = mem[t[a]]
+  kStore,  // mem[t[a]] = t[b]
+  // Port I/O; size in {1,2,4}. Port number is t[a]; kIn defines t[dst],
+  // kOut sends t[b].
+  kIn,
+  kOut,
+};
+
+// Terminator kinds. The wiretap records these per §3.3 so the synthesizer can
+// classify blocks (conditional vs direct/indirect jump vs call vs return).
+enum class Term : uint8_t {
+  kFallthrough = 0,  // block ended due to translation limits; continue at `target`
+  kBranch,           // if t[cond_tmp] != 0 goto `target` else goto `fallthrough`
+  kJump,             // goto `target`
+  kJumpInd,          // goto t[cond_tmp] (computed target)
+  kCall,             // call `target`; return address `fallthrough` (pushed by guest code)
+  kCallInd,          // call t[cond_tmp]
+  kRet,              // return to address popped by guest code (value in cond_tmp)
+  kSyscall,          // OS API trap; `target` = API id; resumes at `fallthrough`
+  kHalt,             // guest halted
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  uint8_t size = 4;      // operand size in bytes where applicable
+  uint8_t guest_idx = 0; // index of the originating guest instruction within the block
+  int32_t dst = -1;      // destination temp, -1 if none
+  int32_t a = -1;        // operand temps
+  int32_t b = -1;
+  int32_t c = -1;
+  uint32_t imm = 0;      // immediate payload (kConst value, reg index, ...)
+
+  bool operator==(const Instr&) const = default;
+};
+
+// One translated guest block. `guest_pc`/`guest_size` tie it back to the
+// binary; `term`, `target`, `fallthrough`, `cond_tmp` describe control flow.
+struct Block {
+  uint32_t guest_pc = 0;
+  uint32_t guest_size = 0;
+  std::vector<Instr> instrs;
+  Term term = Term::kHalt;
+  uint32_t target = 0;       // static target / API id, when applicable
+  uint32_t fallthrough = 0;  // next pc when not taken / after call returns
+  int32_t cond_tmp = -1;     // condition or indirect-target temp
+  int32_t num_temps = 0;     // number of temps used (dense, 0..num_temps-1)
+
+  bool operator==(const Block&) const = default;
+};
+
+// Returns true for terminators that end an instruction-level CFG edge inside
+// a function (i.e., not call/ret/syscall).
+bool IsIntraproceduralTerm(Term term);
+
+// Human-readable op/terminator names (stable; used by the printer, traces,
+// and the C emitter's comments).
+const char* OpName(Op op);
+const char* TermName(Term term);
+
+// True if `op` writes `dst`.
+bool OpDefinesDst(Op op);
+
+}  // namespace revnic::ir
+
+#endif  // REVNIC_IR_IR_H_

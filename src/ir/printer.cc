@@ -1,0 +1,84 @@
+#include "ir/printer.h"
+
+#include "util/strings.h"
+
+namespace revnic::ir {
+namespace {
+
+std::string Tmp(int32_t t) { return t < 0 ? std::string("_") : StrFormat("t%d", t); }
+
+}  // namespace
+
+std::string ToString(const Instr& i) {
+  switch (i.op) {
+    case Op::kNop:
+      return "nop";
+    case Op::kConst:
+      return StrFormat("%s = const 0x%x", Tmp(i.dst).c_str(), i.imm);
+    case Op::kMov:
+      return StrFormat("%s = mov %s", Tmp(i.dst).c_str(), Tmp(i.a).c_str());
+    case Op::kSelect:
+      return StrFormat("%s = select %s, %s, %s", Tmp(i.dst).c_str(), Tmp(i.c).c_str(),
+                       Tmp(i.a).c_str(), Tmp(i.b).c_str());
+    case Op::kZExt:
+    case Op::kSExt:
+      return StrFormat("%s = %s%u %s", Tmp(i.dst).c_str(), OpName(i.op), i.size * 8u,
+                       Tmp(i.a).c_str());
+    case Op::kGetReg:
+      return StrFormat("%s = getreg r%u", Tmp(i.dst).c_str(), i.imm);
+    case Op::kSetReg:
+      return StrFormat("setreg r%u, %s", i.imm, Tmp(i.a).c_str());
+    case Op::kLoad:
+      return StrFormat("%s = load%u [%s]", Tmp(i.dst).c_str(), i.size * 8u, Tmp(i.a).c_str());
+    case Op::kStore:
+      return StrFormat("store%u [%s], %s", i.size * 8u, Tmp(i.a).c_str(), Tmp(i.b).c_str());
+    case Op::kIn:
+      return StrFormat("%s = in%u port %s", Tmp(i.dst).c_str(), i.size * 8u, Tmp(i.a).c_str());
+    case Op::kOut:
+      return StrFormat("out%u port %s, %s", i.size * 8u, Tmp(i.a).c_str(), Tmp(i.b).c_str());
+    default:
+      return StrFormat("%s = %s %s, %s", Tmp(i.dst).c_str(), OpName(i.op), Tmp(i.a).c_str(),
+                       Tmp(i.b).c_str());
+  }
+}
+
+std::string ToString(const Block& b) {
+  std::string out = StrFormat("block pc=0x%x size=%u temps=%d\n", b.guest_pc, b.guest_size,
+                              b.num_temps);
+  for (const Instr& i : b.instrs) {
+    out += "  " + ToString(i) + "\n";
+  }
+  switch (b.term) {
+    case Term::kBranch:
+      out += StrFormat("  branch %s ? 0x%x : 0x%x\n", Tmp(b.cond_tmp).c_str(), b.target,
+                       b.fallthrough);
+      break;
+    case Term::kJump:
+      out += StrFormat("  jump 0x%x\n", b.target);
+      break;
+    case Term::kJumpInd:
+      out += StrFormat("  jump_ind %s\n", Tmp(b.cond_tmp).c_str());
+      break;
+    case Term::kCall:
+      out += StrFormat("  call 0x%x ret 0x%x\n", b.target, b.fallthrough);
+      break;
+    case Term::kCallInd:
+      out += StrFormat("  call_ind %s ret 0x%x\n", Tmp(b.cond_tmp).c_str(), b.fallthrough);
+      break;
+    case Term::kRet:
+      out += StrFormat("  ret %s\n", Tmp(b.cond_tmp).c_str());
+      break;
+    case Term::kSyscall:
+      out += StrFormat("  syscall %u next 0x%x\n", b.target, b.fallthrough);
+      break;
+    case Term::kFallthrough:
+      out += StrFormat("  fallthrough 0x%x\n", b.target);
+      break;
+    case Term::kHalt:
+      out += "  halt\n";
+      break;
+  }
+  return out;
+}
+
+}  // namespace revnic::ir

@@ -1,0 +1,17 @@
+// Textual rendering of vir blocks, used in debug output, the wiretap's
+// human-readable trace dump, and tests.
+#ifndef REVNIC_IR_PRINTER_H_
+#define REVNIC_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace revnic::ir {
+
+std::string ToString(const Instr& instr);
+std::string ToString(const Block& block);
+
+}  // namespace revnic::ir
+
+#endif  // REVNIC_IR_PRINTER_H_

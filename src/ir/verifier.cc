@@ -1,0 +1,95 @@
+#include "ir/verifier.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace revnic::ir {
+
+std::string Verify(const Block& block) {
+  std::vector<bool> defined(static_cast<size_t>(block.num_temps < 0 ? 0 : block.num_temps), false);
+  auto check_use = [&](int32_t t, size_t idx) -> std::string {
+    if (t < 0) {
+      return StrFormat("instr %zu: missing operand", idx);
+    }
+    if (t >= block.num_temps) {
+      return StrFormat("instr %zu: temp t%d out of range (%d temps)", idx, t, block.num_temps);
+    }
+    if (!defined[static_cast<size_t>(t)]) {
+      return StrFormat("instr %zu: temp t%d used before definition", idx, t);
+    }
+    return "";
+  };
+
+  for (size_t idx = 0; idx < block.instrs.size(); ++idx) {
+    const Instr& i = block.instrs[idx];
+    std::string err;
+    switch (i.op) {
+      case Op::kNop:
+        break;
+      case Op::kConst:
+      case Op::kGetReg:
+        break;  // no uses
+      case Op::kMov:
+      case Op::kZExt:
+      case Op::kSExt:
+      case Op::kLoad:
+      case Op::kIn:
+        err = check_use(i.a, idx);
+        break;
+      case Op::kSetReg:
+        err = check_use(i.a, idx);
+        break;
+      case Op::kSelect:
+        err = check_use(i.c, idx);
+        if (err.empty()) {
+          err = check_use(i.a, idx);
+        }
+        if (err.empty()) {
+          err = check_use(i.b, idx);
+        }
+        break;
+      case Op::kStore:
+      case Op::kOut:
+        err = check_use(i.a, idx);
+        if (err.empty()) {
+          err = check_use(i.b, idx);
+        }
+        break;
+      default:  // binary arithmetic / comparisons
+        err = check_use(i.a, idx);
+        if (err.empty()) {
+          err = check_use(i.b, idx);
+        }
+        break;
+    }
+    if (!err.empty()) {
+      return err;
+    }
+    if (OpDefinesDst(i.op)) {
+      if (i.dst < 0 || i.dst >= block.num_temps) {
+        return StrFormat("instr %zu: bad dst temp t%d", idx, i.dst);
+      }
+      defined[static_cast<size_t>(i.dst)] = true;
+    }
+    if (i.op == Op::kLoad || i.op == Op::kStore || i.op == Op::kIn || i.op == Op::kOut ||
+        i.op == Op::kZExt || i.op == Op::kSExt) {
+      if (i.size != 1 && i.size != 2 && i.size != 4) {
+        return StrFormat("instr %zu: bad size %u", idx, i.size);
+      }
+    }
+  }
+
+  // Terminator condition temps must be defined.
+  if (block.term == Term::kBranch || block.term == Term::kJumpInd ||
+      block.term == Term::kCallInd || block.term == Term::kRet) {
+    if (block.cond_tmp < 0 || block.cond_tmp >= block.num_temps ||
+        !defined[static_cast<size_t>(block.cond_tmp)]) {
+      return StrFormat("terminator %s: undefined cond temp t%d", TermName(block.term),
+                       block.cond_tmp);
+    }
+  }
+  return "";
+}
+
+}  // namespace revnic::ir

@@ -1,0 +1,18 @@
+// Structural checks on vir blocks. The DBT runs every block it produces
+// through Verify() in debug builds; the synthesizer relies on these
+// invariants (dense temps, defs before uses, single terminator).
+#ifndef REVNIC_IR_VERIFIER_H_
+#define REVNIC_IR_VERIFIER_H_
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace revnic::ir {
+
+// Returns an empty string if `block` is well formed, else a diagnostic.
+std::string Verify(const Block& block);
+
+}  // namespace revnic::ir
+
+#endif  // REVNIC_IR_VERIFIER_H_

@@ -1,0 +1,622 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "isa/isa.h"
+#include "util/strings.h"
+
+namespace revnic::isa {
+namespace {
+
+enum class Section { kCode, kData, kBss };
+
+struct Line {
+  int number = 0;
+  std::string text;  // comment-stripped, trimmed
+};
+
+// A memory/port operand: either base register + offset, or absolute address.
+struct MemOperand {
+  bool has_base = false;
+  uint8_t base = 0;
+  std::string offset_expr;  // evaluated in pass 2 (may reference labels)
+};
+
+struct PendingInstr {
+  int line = 0;
+  Instruction instr;
+  std::string imm_expr;  // non-empty when imm must be evaluated in pass 2
+};
+
+class Assembler {
+ public:
+  AssembleResult Run(std::string_view source) {
+    SplitLines(source);
+    if (!Pass1()) {
+      return Fail();
+    }
+    AssignAddresses();
+    if (!Pass2()) {
+      return Fail();
+    }
+    if (entry_label_.empty()) {
+      error_ = "missing .entry directive";
+      return Fail();
+    }
+    auto it = symbols_.find(entry_label_);
+    if (it == symbols_.end()) {
+      error_ = StrFormat("entry label '%s' not defined", entry_label_.c_str());
+      return Fail();
+    }
+    result_.image.entry = it->second;
+    result_.ok = true;
+    return std::move(result_);
+  }
+
+ private:
+  AssembleResult Fail() {
+    result_.ok = false;
+    result_.error = error_;
+    return std::move(result_);
+  }
+
+  void SplitLines(std::string_view source) {
+    int n = 1;
+    size_t start = 0;
+    for (size_t i = 0; i <= source.size(); ++i) {
+      if (i == source.size() || source[i] == '\n') {
+        std::string_view raw = source.substr(start, i - start);
+        size_t cut = raw.size();
+        for (size_t j = 0; j < raw.size(); ++j) {
+          if (raw[j] == ';' || (raw[j] == '/' && j + 1 < raw.size() && raw[j + 1] == '/')) {
+            cut = j;
+            break;
+          }
+        }
+        std::string_view stripped = Trim(raw.substr(0, cut));
+        if (!stripped.empty()) {
+          lines_.push_back({n, std::string(stripped)});
+        }
+        start = i + 1;
+        ++n;
+      }
+    }
+  }
+
+  bool Err(int line, const std::string& msg) {
+    error_ = StrFormat("line %d: %s", line, msg.c_str());
+    return false;
+  }
+
+  static std::optional<uint8_t> ParseReg(std::string_view tok) {
+    if (tok == "fp") {
+      return kRegFp;
+    }
+    if (tok == "sp") {
+      return kRegSp;
+    }
+    if (tok.size() >= 2 && tok[0] == 'r') {
+      uint32_t n;
+      if (ParseInt(tok.substr(1), &n) && n <= 10) {
+        return static_cast<uint8_t>(n);
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Evaluates an additive expression over literals, .equ names, and labels.
+  bool EvalExpr(std::string_view expr, int line, uint32_t* out) {
+    expr = Trim(expr);
+    if (expr.empty()) {
+      return Err(line, "empty expression");
+    }
+    uint32_t acc = 0;
+    int sign = +1;
+    size_t i = 0;
+    bool expect_term = true;
+    while (i < expr.size()) {
+      char c = expr[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (c == '+' || c == '-') {
+        if (expect_term && c == '-') {
+          // unary minus: handled by term sign
+        }
+        sign = (c == '-') ? -1 : +1;
+        ++i;
+        expect_term = true;
+        continue;
+      }
+      size_t j = i;
+      while (j < expr.size() && expr[j] != '+' && expr[j] != '-' &&
+             std::isspace(static_cast<unsigned char>(expr[j])) == 0) {
+        ++j;
+      }
+      std::string_view tok = expr.substr(i, j - i);
+      uint32_t value;
+      if (ParseInt(tok, &value)) {
+        // literal
+      } else {
+        auto it = symbols_.find(std::string(tok));
+        if (it == symbols_.end()) {
+          return Err(line, StrFormat("undefined symbol '%.*s'", static_cast<int>(tok.size()),
+                                     tok.data()));
+        }
+        value = it->second;
+      }
+      acc = (sign > 0) ? acc + value : acc - value;
+      sign = +1;
+      i = j;
+      expect_term = false;
+    }
+    if (expect_term) {
+      return Err(line, "dangling operator in expression");
+    }
+    *out = acc;
+    return true;
+  }
+
+  // ---- Pass 1: compute section sizes, record label offsets & .equ values.
+
+  bool Pass1() {
+    Section section = Section::kCode;
+    for (const Line& line : lines_) {
+      std::string_view text = line.text;
+      // Labels (possibly several on one line are not supported; one per line).
+      if (text.back() == ':') {
+        std::string name(Trim(text.substr(0, text.size() - 1)));
+        if (name.empty()) {
+          return Err(line.number, "empty label");
+        }
+        if (labels_.count(name) != 0 || equs_.count(name) != 0) {
+          return Err(line.number, StrFormat("duplicate symbol '%s'", name.c_str()));
+        }
+        labels_[name] = {section, SectionSize(section)};
+        continue;
+      }
+      if (text[0] == '.') {
+        if (!Pass1Directive(line, &section)) {
+          return false;
+        }
+        continue;
+      }
+      if (section != Section::kCode) {
+        return Err(line.number, "instructions are only allowed in .code");
+      }
+      code_size_ += kInstrBytes;
+      instr_lines_.push_back(line);
+    }
+    return true;
+  }
+
+  uint32_t SectionSize(Section s) const {
+    switch (s) {
+      case Section::kCode:
+        return code_size_;
+      case Section::kData:
+        return static_cast<uint32_t>(data_.size());
+      case Section::kBss:
+        return bss_size_;
+    }
+    return 0;
+  }
+
+  bool Pass1Directive(const Line& line, Section* section) {
+    std::string_view text = line.text;
+    auto space = text.find_first_of(" \t");
+    std::string_view name = text.substr(0, space);
+    std::string_view rest = space == std::string_view::npos ? "" : Trim(text.substr(space));
+    if (name == ".code") {
+      *section = Section::kCode;
+    } else if (name == ".data") {
+      *section = Section::kData;
+    } else if (name == ".bss") {
+      *section = Section::kBss;
+    } else if (name == ".base") {
+      uint32_t v;
+      if (!ParseInt(rest, &v)) {
+        return Err(line.number, ".base requires an integer literal");
+      }
+      result_.image.link_base = v;
+    } else if (name == ".entry") {
+      entry_label_ = std::string(rest);
+    } else if (name == ".equ") {
+      auto comma = rest.find(',');
+      if (comma == std::string_view::npos) {
+        return Err(line.number, ".equ NAME, VALUE");
+      }
+      std::string sym(Trim(rest.substr(0, comma)));
+      uint32_t v;
+      if (!ParseInt(Trim(rest.substr(comma + 1)), &v)) {
+        return Err(line.number, ".equ value must be an integer literal");
+      }
+      if (labels_.count(sym) != 0 || equs_.count(sym) != 0) {
+        return Err(line.number, StrFormat("duplicate symbol '%s'", sym.c_str()));
+      }
+      equs_[sym] = v;
+    } else if (name == ".word" || name == ".half" || name == ".byte") {
+      if (*section != Section::kData) {
+        return Err(line.number, StrFormat("%s only allowed in .data", std::string(name).c_str()));
+      }
+      unsigned unit = name == ".word" ? 4 : (name == ".half" ? 2 : 1);
+      size_t count = Split(rest, ',').size();
+      data_.resize(data_.size() + unit * count);
+    } else if (name == ".space") {
+      uint32_t n;
+      if (!ParseInt(rest, &n)) {
+        return Err(line.number, ".space requires an integer literal");
+      }
+      if (*section == Section::kData) {
+        data_.resize(data_.size() + n);
+      } else if (*section == Section::kBss) {
+        bss_size_ += n;
+      } else {
+        return Err(line.number, ".space not allowed in .code");
+      }
+    } else if (name == ".ascii") {
+      if (*section != Section::kData) {
+        return Err(line.number, ".ascii only allowed in .data");
+      }
+      if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
+        return Err(line.number, ".ascii requires a quoted string");
+      }
+      std::string_view body = rest.substr(1, rest.size() - 2);
+      data_.resize(data_.size() + body.size());
+    } else {
+      return Err(line.number, StrFormat("unknown directive '%s'", std::string(name).c_str()));
+    }
+    return true;
+  }
+
+  void AssignAddresses() {
+    uint32_t base = result_.image.link_base;
+    uint32_t data_base = base + code_size_;
+    uint32_t bss_base = data_base + static_cast<uint32_t>(data_.size());
+    for (auto& [name, value] : equs_) {
+      symbols_[name] = value;
+    }
+    for (auto& [name, loc] : labels_) {
+      switch (loc.first) {
+        case Section::kCode:
+          symbols_[name] = base + loc.second;
+          break;
+        case Section::kData:
+          symbols_[name] = data_base + loc.second;
+          break;
+        case Section::kBss:
+          symbols_[name] = bss_base + loc.second;
+          break;
+      }
+    }
+  }
+
+  // ---- Pass 2: encode instructions and data with all symbols resolved.
+
+  bool Pass2() {
+    // .word/.half/.byte payloads may reference labels, so data bytes are laid
+    // out now that all symbols have addresses.
+    if (!LayoutData()) {
+      return false;
+    }
+    for (const Line& line : instr_lines_) {
+      Instruction instr;
+      if (!Encode1(line, &instr)) {
+        return false;
+      }
+      uint8_t buf[kInstrBytes];
+      Encode(instr, buf);
+      result_.image.code.insert(result_.image.code.end(), buf, buf + kInstrBytes);
+    }
+    result_.image.data = data_;
+    result_.image.bss_size = bss_size_;
+    return true;
+  }
+
+  // Replays .data directives now that symbols are known, writing into data_.
+  bool LayoutData() {
+    std::fill(data_.begin(), data_.end(), 0);
+    size_t offset = 0;
+    Section section = Section::kCode;
+    for (const Line& line : lines_) {
+      std::string_view text = line.text;
+      if (text.back() == ':') {
+        continue;
+      }
+      if (text[0] != '.') {
+        continue;
+      }
+      auto space = text.find_first_of(" \t");
+      std::string_view name = text.substr(0, space);
+      std::string_view rest = space == std::string_view::npos ? "" : Trim(text.substr(space));
+      if (name == ".code") {
+        section = Section::kCode;
+      } else if (name == ".data") {
+        section = Section::kData;
+      } else if (name == ".bss") {
+        section = Section::kBss;
+      } else if ((name == ".word" || name == ".half" || name == ".byte") &&
+                 section == Section::kData) {
+        unsigned unit = name == ".word" ? 4 : (name == ".half" ? 2 : 1);
+        for (const std::string& field : Split(rest, ',')) {
+          uint32_t v;
+          if (!EvalExpr(field, line.number, &v)) {
+            return false;
+          }
+          for (unsigned k = 0; k < unit; ++k) {
+            data_[offset++] = static_cast<uint8_t>(v >> (8 * k));
+          }
+        }
+      } else if (name == ".space" && section == Section::kData) {
+        uint32_t n;
+        ParseInt(rest, &n);
+        offset += n;
+      } else if (name == ".ascii" && section == Section::kData) {
+        std::string_view body = rest.substr(1, rest.size() - 2);
+        for (char c : body) {
+          data_[offset++] = static_cast<uint8_t>(c);
+        }
+      }
+    }
+    return true;
+  }
+
+  // Splits an operand list at top-level commas (brackets group).
+  static std::vector<std::string> SplitOperands(std::string_view text) {
+    std::vector<std::string> out;
+    int depth = 0;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || (text[i] == ',' && depth == 0)) {
+        std::string_view piece = Trim(text.substr(start, i - start));
+        if (!piece.empty()) {
+          out.emplace_back(piece);
+        }
+        start = i + 1;
+      } else if (text[i] == '[') {
+        ++depth;
+      } else if (text[i] == ']') {
+        --depth;
+      }
+    }
+    return out;
+  }
+
+  bool ParseMem(std::string_view tok, int line, MemOperand* out) {
+    tok = Trim(tok);
+    if (tok.size() < 2 || tok.front() != '[' || tok.back() != ']') {
+      return Err(line, StrFormat("expected memory operand, got '%s'", std::string(tok).c_str()));
+    }
+    std::string_view body = Trim(tok.substr(1, tok.size() - 2));
+    auto comma = body.find(',');
+    if (comma == std::string_view::npos) {
+      // [reg] or [abs-expr]
+      if (auto reg = ParseReg(Trim(body))) {
+        out->has_base = true;
+        out->base = *reg;
+        out->offset_expr = "0";
+      } else {
+        out->has_base = false;
+        out->offset_expr = std::string(body);
+      }
+      return true;
+    }
+    auto reg = ParseReg(Trim(body.substr(0, comma)));
+    if (!reg) {
+      return Err(line, "memory base must be a register");
+    }
+    std::string_view off = Trim(body.substr(comma + 1));
+    if (!off.empty() && off[0] == '#') {
+      off = Trim(off.substr(1));
+    }
+    out->has_base = true;
+    out->base = *reg;
+    out->offset_expr = std::string(off);
+    return true;
+  }
+
+  // Parses "rb" or "#expr" as the flexible B operand.
+  bool ParseBOperand(std::string_view tok, int line, Instruction* instr) {
+    tok = Trim(tok);
+    if (!tok.empty() && tok[0] == '#') {
+      instr->b_is_imm = true;
+      return EvalExpr(tok.substr(1), line, &instr->imm);
+    }
+    if (auto reg = ParseReg(tok)) {
+      instr->rb = *reg;
+      return true;
+    }
+    return Err(line, StrFormat("expected register or #imm, got '%s'", std::string(tok).c_str()));
+  }
+
+  bool Encode1(const Line& line, Instruction* out) {
+    std::string_view text = line.text;
+    auto space = text.find_first_of(" \t");
+    std::string mnem(text.substr(0, space));
+    std::string_view rest = space == std::string_view::npos ? "" : Trim(text.substr(space));
+    std::vector<std::string> ops = SplitOperands(rest);
+    Instruction& instr = *out;
+
+    static const std::map<std::string, Opcode>& table = *new std::map<std::string, Opcode>{
+        {"nop", Opcode::kNop},    {"hlt", Opcode::kHlt},    {"mov", Opcode::kMov},
+        {"add", Opcode::kAdd},    {"sub", Opcode::kSub},    {"mul", Opcode::kMul},
+        {"udiv", Opcode::kUDiv},  {"urem", Opcode::kURem},  {"and", Opcode::kAnd},
+        {"or", Opcode::kOr},      {"xor", Opcode::kXor},    {"shl", Opcode::kShl},
+        {"shr", Opcode::kShr},    {"sar", Opcode::kSar},    {"ldb", Opcode::kLdB},
+        {"ldh", Opcode::kLdH},    {"ldw", Opcode::kLdW},    {"stb", Opcode::kStB},
+        {"sth", Opcode::kStH},    {"stw", Opcode::kStW},    {"push", Opcode::kPush},
+        {"pop", Opcode::kPop},    {"cmp", Opcode::kCmp},    {"test", Opcode::kTest},
+        {"beq", Opcode::kBeq},    {"bne", Opcode::kBne},    {"bult", Opcode::kBult},
+        {"bule", Opcode::kBule},  {"bugt", Opcode::kBugt},  {"buge", Opcode::kBuge},
+        {"bslt", Opcode::kBslt},  {"bsle", Opcode::kBsle},  {"bsgt", Opcode::kBsgt},
+        {"bsge", Opcode::kBsge},  {"jmp", Opcode::kJmp},    {"jmpr", Opcode::kJmpR},
+        {"call", Opcode::kCall},  {"callr", Opcode::kCallR},{"ret", Opcode::kRet},
+        {"inb", Opcode::kInB},    {"inh", Opcode::kInH},    {"inw", Opcode::kInW},
+        {"outb", Opcode::kOutB},  {"outh", Opcode::kOutH},  {"outw", Opcode::kOutW},
+        {"sys", Opcode::kSys},
+    };
+    auto it = table.find(mnem);
+    if (it == table.end()) {
+      return Err(line.number, StrFormat("unknown mnemonic '%s'", mnem.c_str()));
+    }
+    instr.opcode = it->second;
+    Opcode op = instr.opcode;
+
+    auto need = [&](size_t n) -> bool {
+      if (ops.size() != n) {
+        return Err(line.number,
+                   StrFormat("%s expects %zu operand(s), got %zu", mnem.c_str(), n, ops.size()));
+      }
+      return true;
+    };
+    auto reg_or_fail = [&](const std::string& tok, uint8_t* reg) -> bool {
+      auto r = ParseReg(Trim(tok));
+      if (!r) {
+        return Err(line.number, StrFormat("expected register, got '%s'", tok.c_str()));
+      }
+      *reg = *r;
+      return true;
+    };
+
+    switch (op) {
+      case Opcode::kNop:
+      case Opcode::kHlt:
+        return need(0);
+      case Opcode::kMov:
+        if (!need(2) || !reg_or_fail(ops[0], &instr.rd)) {
+          return false;
+        }
+        return ParseBOperand(ops[1], line.number, &instr);
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kUDiv:
+      case Opcode::kURem:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kSar:
+        if (!need(3) || !reg_or_fail(ops[0], &instr.rd) || !reg_or_fail(ops[1], &instr.ra)) {
+          return false;
+        }
+        return ParseBOperand(ops[2], line.number, &instr);
+      case Opcode::kLdB:
+      case Opcode::kLdH:
+      case Opcode::kLdW:
+      case Opcode::kInB:
+      case Opcode::kInH:
+      case Opcode::kInW: {
+        if (!need(2) || !reg_or_fail(ops[0], &instr.rd)) {
+          return false;
+        }
+        MemOperand mem;
+        if (!ParseMem(ops[1], line.number, &mem)) {
+          return false;
+        }
+        instr.ra = mem.base;
+        instr.no_base = !mem.has_base;
+        return EvalExpr(mem.offset_expr, line.number, &instr.imm);
+      }
+      case Opcode::kStB:
+      case Opcode::kStH:
+      case Opcode::kStW:
+      case Opcode::kOutB:
+      case Opcode::kOutH:
+      case Opcode::kOutW: {
+        if (!need(2)) {
+          return false;
+        }
+        MemOperand mem;
+        if (!ParseMem(ops[0], line.number, &mem)) {
+          return false;
+        }
+        if (!reg_or_fail(ops[1], &instr.rb)) {
+          return false;
+        }
+        instr.ra = mem.base;
+        instr.no_base = !mem.has_base;
+        return EvalExpr(mem.offset_expr, line.number, &instr.imm);
+      }
+      case Opcode::kPush:
+        if (!need(1)) {
+          return false;
+        }
+        return ParseBOperand(ops[0], line.number, &instr);
+      case Opcode::kPop:
+        if (!need(1)) {
+          return false;
+        }
+        return reg_or_fail(ops[0], &instr.rd);
+      case Opcode::kCmp:
+      case Opcode::kTest:
+        if (!need(2) || !reg_or_fail(ops[0], &instr.ra)) {
+          return false;
+        }
+        return ParseBOperand(ops[1], line.number, &instr);
+      case Opcode::kJmpR:
+      case Opcode::kCallR:
+        if (!need(1)) {
+          return false;
+        }
+        return reg_or_fail(ops[0], &instr.ra);
+      case Opcode::kRet:
+        if (ops.empty()) {
+          instr.imm = 0;
+          return true;
+        }
+        if (!need(1)) {
+          return false;
+        }
+        {
+          std::string_view tok = Trim(ops[0]);
+          if (!tok.empty() && tok[0] == '#') {
+            tok = tok.substr(1);
+          }
+          return EvalExpr(tok, line.number, &instr.imm);
+        }
+      case Opcode::kSys: {
+        if (!need(1)) {
+          return false;
+        }
+        std::string_view tok = Trim(ops[0]);
+        if (!tok.empty() && tok[0] == '#') {
+          tok = tok.substr(1);
+        }
+        return EvalExpr(tok, line.number, &instr.imm);
+      }
+      default:
+        // Branches, jmp, call: one target expression.
+        if (!need(1)) {
+          return false;
+        }
+        return EvalExpr(ops[0], line.number, &instr.imm);
+    }
+  }
+
+  std::vector<Line> lines_;
+  std::vector<Line> instr_lines_;
+  std::map<std::string, std::pair<Section, uint32_t>> labels_;
+  std::map<std::string, uint32_t> equs_;
+  std::map<std::string, uint32_t> symbols_;
+  std::vector<uint8_t> data_;
+  uint32_t code_size_ = 0;
+  uint32_t bss_size_ = 0;
+  std::string entry_label_;
+  std::string error_;
+  AssembleResult result_;
+};
+
+}  // namespace
+
+AssembleResult Assemble(std::string_view source) {
+  Assembler assembler;
+  return assembler.Run(source);
+}
+
+}  // namespace revnic::isa

@@ -1,0 +1,52 @@
+// Two-pass assembler for r32.
+//
+// The four evaluation drivers (src/drivers/*.s.cc) are written in this
+// assembly and compiled to opaque DRV1 images; the RevNIC pipeline never sees
+// the assembly source, only the binary (mirroring the paper's closed-source
+// inputs).
+//
+// Syntax summary:
+//   ; line comment            // line comment
+//   .base 0x00400000          link base (default kDefaultLinkBase)
+//   .entry LABEL              driver entry point (required)
+//   .equ NAME, EXPR           symbolic constant
+//   .code / .data / .bss      section switch (code is default)
+//   LABEL:                    label (any section)
+//   .word E[, E...]  .half    data emission (.data only)
+//   .byte E[, E...]  .ascii "s"
+//   .space N                  zero-filled bytes (.data) or reservation (.bss)
+//
+//   mov  rd, rb|#imm          alu rd, ra, rb|#imm   (add sub mul udiv urem
+//                                                    and or xor shl shr sar)
+//   ldw  rd, [ra, #off] | [ra] | [ABS]      (ldb ldh ldw)
+//   stw  [ra, #off], rb  | [ABS], rb        (stb sth stw)
+//   push rb|#imm   pop rd
+//   cmp  ra, rb|#imm   test ra, rb|#imm
+//   beq TARGET ... (bne bult bule bugt buge bslt bsle bsgt bsge)
+//   jmp TARGET   jmpr ra   call TARGET   callr ra   ret [#n]
+//   inb rd, [ra, #off]   outb [ra, #off], rb        (b/h/w variants)
+//   sys ID                                           (ID: expr)
+//   nop   hlt
+//
+// Expressions: integer literals (dec/0x/0b), .equ names, labels, with + and -.
+#ifndef REVNIC_ISA_ASSEMBLER_H_
+#define REVNIC_ISA_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "isa/image.h"
+
+namespace revnic::isa {
+
+struct AssembleResult {
+  bool ok = false;
+  Image image;
+  std::string error;  // "line N: message" on failure
+};
+
+AssembleResult Assemble(std::string_view source);
+
+}  // namespace revnic::isa
+
+#endif  // REVNIC_ISA_ASSEMBLER_H_

@@ -1,0 +1,202 @@
+#include "isa/disasm.h"
+
+#include <deque>
+
+#include "util/strings.h"
+
+namespace revnic::isa {
+namespace {
+
+std::string RegName(uint8_t r) {
+  if (r == kRegFp) {
+    return "fp";
+  }
+  if (r == kRegSp) {
+    return "sp";
+  }
+  return StrFormat("r%u", r);
+}
+
+std::string BOperand(const Instruction& i) {
+  return i.b_is_imm ? StrFormat("#0x%x", i.imm) : RegName(i.rb);
+}
+
+std::string MemOperand(const Instruction& i) {
+  if (i.no_base) {
+    return StrFormat("[0x%x]", i.imm);
+  }
+  if (i.imm == 0) {
+    return StrFormat("[%s]", RegName(i.ra).c_str());
+  }
+  return StrFormat("[%s, #0x%x]", RegName(i.ra).c_str(), i.imm);
+}
+
+}  // namespace
+
+std::string DisasmInstr(const Instruction& i, uint32_t addr) {
+  (void)addr;
+  const char* m = Mnemonic(i.opcode);
+  switch (i.opcode) {
+    case Opcode::kNop:
+    case Opcode::kHlt:
+      return m;
+    case Opcode::kMov:
+      return StrFormat("%s %s, %s", m, RegName(i.rd).c_str(), BOperand(i).c_str());
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kUDiv:
+    case Opcode::kURem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar:
+      return StrFormat("%s %s, %s, %s", m, RegName(i.rd).c_str(), RegName(i.ra).c_str(),
+                       BOperand(i).c_str());
+    case Opcode::kLdB:
+    case Opcode::kLdH:
+    case Opcode::kLdW:
+    case Opcode::kInB:
+    case Opcode::kInH:
+    case Opcode::kInW:
+      return StrFormat("%s %s, %s", m, RegName(i.rd).c_str(), MemOperand(i).c_str());
+    case Opcode::kStB:
+    case Opcode::kStH:
+    case Opcode::kStW:
+    case Opcode::kOutB:
+    case Opcode::kOutH:
+    case Opcode::kOutW:
+      return StrFormat("%s %s, %s", m, MemOperand(i).c_str(), RegName(i.rb).c_str());
+    case Opcode::kPush:
+      return StrFormat("%s %s", m, BOperand(i).c_str());
+    case Opcode::kPop:
+      return StrFormat("%s %s", m, RegName(i.rd).c_str());
+    case Opcode::kCmp:
+    case Opcode::kTest:
+      return StrFormat("%s %s, %s", m, RegName(i.ra).c_str(), BOperand(i).c_str());
+    case Opcode::kJmpR:
+    case Opcode::kCallR:
+      return StrFormat("%s %s", m, RegName(i.ra).c_str());
+    case Opcode::kRet:
+      return i.imm == 0 ? std::string(m) : StrFormat("%s #%u", m, i.imm);
+    case Opcode::kSys:
+      return StrFormat("%s %u", m, i.imm);
+    default:  // branches, jmp, call
+      return StrFormat("%s 0x%x", m, i.imm);
+  }
+}
+
+std::string DisasmImage(const Image& image) {
+  std::string out;
+  for (uint32_t off = 0; off + kInstrBytes <= image.code.size(); off += kInstrBytes) {
+    uint32_t addr = image.link_base + off;
+    auto instr = Decode(image.code.data() + off);
+    out += StrFormat("%08x:  %s\n", addr,
+                     instr ? DisasmInstr(*instr, addr).c_str() : "<invalid>");
+  }
+  return out;
+}
+
+StaticAnalysis Analyze(const Image& image) {
+  StaticAnalysis result;
+  auto decode_at = [&](uint32_t addr) -> std::optional<Instruction> {
+    if (!image.ContainsCode(addr) || (addr - image.link_base) % kInstrBytes != 0) {
+      return std::nullopt;
+    }
+    return Decode(image.code.data() + (addr - image.link_base));
+  };
+
+  std::deque<uint32_t> work;
+  std::set<uint32_t> leaders;
+  auto enqueue = [&](uint32_t addr) {
+    if (image.ContainsCode(addr) && result.reachable_instrs.count(addr) == 0) {
+      work.push_back(addr);
+    }
+  };
+
+  result.function_starts.insert(image.entry);
+  leaders.insert(image.entry);
+  enqueue(image.entry);
+
+  // First sweep: linear scan for `push #imm` of code addresses. Drivers pass
+  // their entry points to the OS this way, so these are roots (the dynamic
+  // pipeline learns them by monitoring registration calls; the static
+  // analyzer needs the same roots to count total blocks fairly).
+  for (uint32_t off = 0; off + kInstrBytes <= image.code.size(); off += kInstrBytes) {
+    auto instr = Decode(image.code.data() + off);
+    if (!instr) {
+      continue;
+    }
+    bool is_code_ptr_imm = instr->b_is_imm && image.ContainsCode(instr->imm) &&
+                           (instr->imm - image.link_base) % kInstrBytes == 0;
+    if (is_code_ptr_imm && (instr->opcode == Opcode::kPush || instr->opcode == Opcode::kMov ||
+                            instr->opcode == Opcode::kStW)) {
+      result.function_starts.insert(instr->imm);
+      leaders.insert(instr->imm);
+      enqueue(instr->imm);
+    }
+    // Data words holding code pointers (entry tables in .data).
+  }
+  for (uint32_t off = 0; off + 4 <= image.data.size(); off += 4) {
+    uint32_t v = static_cast<uint32_t>(image.data[off]) |
+                 (static_cast<uint32_t>(image.data[off + 1]) << 8) |
+                 (static_cast<uint32_t>(image.data[off + 2]) << 16) |
+                 (static_cast<uint32_t>(image.data[off + 3]) << 24);
+    if (image.ContainsCode(v) && (v - image.link_base) % kInstrBytes == 0) {
+      result.function_starts.insert(v);
+      leaders.insert(v);
+      enqueue(v);
+    }
+  }
+
+  while (!work.empty()) {
+    uint32_t addr = work.front();
+    work.pop_front();
+    if (result.reachable_instrs.count(addr) != 0) {
+      continue;
+    }
+    auto instr = decode_at(addr);
+    if (!instr) {
+      continue;
+    }
+    result.reachable_instrs.insert(addr);
+    Opcode op = instr->opcode;
+    if (op == Opcode::kSys) {
+      result.imported_apis.insert(instr->imm);
+      enqueue(addr + kInstrBytes);
+      leaders.insert(addr + kInstrBytes);
+    } else if (IsBranch(op)) {
+      leaders.insert(instr->imm);
+      leaders.insert(addr + kInstrBytes);
+      enqueue(instr->imm);
+      enqueue(addr + kInstrBytes);
+    } else if (op == Opcode::kJmp) {
+      leaders.insert(instr->imm);
+      enqueue(instr->imm);
+    } else if (op == Opcode::kCall) {
+      result.function_starts.insert(instr->imm);
+      leaders.insert(instr->imm);
+      leaders.insert(addr + kInstrBytes);
+      enqueue(instr->imm);
+      enqueue(addr + kInstrBytes);
+    } else if (op == Opcode::kCallR) {
+      leaders.insert(addr + kInstrBytes);
+      enqueue(addr + kInstrBytes);
+    } else if (op == Opcode::kRet || op == Opcode::kHlt || op == Opcode::kJmpR) {
+      // no static successor
+    } else {
+      enqueue(addr + kInstrBytes);
+    }
+  }
+
+  for (uint32_t leader : leaders) {
+    if (result.reachable_instrs.count(leader) != 0) {
+      result.basic_block_starts.insert(leader);
+    }
+  }
+  return result;
+}
+
+}  // namespace revnic::isa

@@ -1,0 +1,45 @@
+// r32 disassembler and static reachability analysis.
+//
+// RevNIC uses this for two purposes:
+//   * Table 1 statistics (code segment size, functions implemented, imported
+//     OS functions) computed directly from the opaque binary;
+//   * the static basic-block count that coverage percentages (Figure 8) are
+//     measured against.
+#ifndef REVNIC_ISA_DISASM_H_
+#define REVNIC_ISA_DISASM_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "isa/isa.h"
+
+namespace revnic::isa {
+
+// Renders one instruction at `addr`.
+std::string DisasmInstr(const Instruction& instr, uint32_t addr);
+
+// Full linear disassembly of the code segment.
+std::string DisasmImage(const Image& image);
+
+// Static analysis results over an image, computed by recursive descent from
+// the entry point plus every address referenced by a `push #imm` that lands
+// in the code segment (how drivers hand entry points to the OS).
+struct StaticAnalysis {
+  std::set<uint32_t> reachable_instrs;   // instruction addresses
+  std::set<uint32_t> function_starts;    // entry + call targets + pushed code pointers
+  std::set<uint32_t> basic_block_starts; // leaders within reachable code
+  std::set<uint32_t> imported_apis;      // distinct `sys` ids (import table analog)
+
+  size_t NumFunctions() const { return function_starts.size(); }
+  size_t NumBasicBlocks() const { return basic_block_starts.size(); }
+  size_t NumImports() const { return imported_apis.size(); }
+};
+
+StaticAnalysis Analyze(const Image& image);
+
+}  // namespace revnic::isa
+
+#endif  // REVNIC_ISA_DISASM_H_

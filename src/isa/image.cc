@@ -1,0 +1,67 @@
+#include "isa/image.h"
+
+#include "util/bits.h"
+#include "util/strings.h"
+
+namespace revnic::isa {
+
+namespace {
+constexpr size_t kHeaderBytes = 28;
+}
+
+uint32_t Image::file_size() const {
+  return static_cast<uint32_t>(kHeaderBytes + code.size() + data.size());
+}
+
+std::vector<uint8_t> Serialize(const Image& image) {
+  std::vector<uint8_t> out(kHeaderBytes + image.code.size() + image.data.size());
+  uint8_t* p = out.data();
+  StoreLE(p + 0, kImageMagic, 4);
+  StoreLE(p + 4, 1, 4);  // version
+  StoreLE(p + 8, image.link_base, 4);
+  StoreLE(p + 12, image.entry, 4);
+  StoreLE(p + 16, static_cast<uint32_t>(image.code.size()), 4);
+  StoreLE(p + 20, static_cast<uint32_t>(image.data.size()), 4);
+  StoreLE(p + 24, image.bss_size, 4);
+  std::copy(image.code.begin(), image.code.end(), out.begin() + kHeaderBytes);
+  std::copy(image.data.begin(), image.data.end(),
+            out.begin() + static_cast<long>(kHeaderBytes + image.code.size()));
+  return out;
+}
+
+bool Parse(const std::vector<uint8_t>& bytes, Image* out, std::string* error) {
+  if (bytes.size() < kHeaderBytes) {
+    *error = "image too small for DRV1 header";
+    return false;
+  }
+  const uint8_t* p = bytes.data();
+  if (LoadLE(p, 4) != kImageMagic) {
+    *error = "bad DRV1 magic";
+    return false;
+  }
+  uint32_t version = LoadLE(p + 4, 4);
+  if (version != 1) {
+    *error = StrFormat("unsupported DRV1 version %u", version);
+    return false;
+  }
+  Image image;
+  image.link_base = LoadLE(p + 8, 4);
+  image.entry = LoadLE(p + 12, 4);
+  uint32_t code_size = LoadLE(p + 16, 4);
+  uint32_t data_size = LoadLE(p + 20, 4);
+  image.bss_size = LoadLE(p + 24, 4);
+  if (kHeaderBytes + code_size + data_size != bytes.size()) {
+    *error = "DRV1 section sizes disagree with file size";
+    return false;
+  }
+  image.code.assign(p + kHeaderBytes, p + kHeaderBytes + code_size);
+  image.data.assign(p + kHeaderBytes + code_size, p + kHeaderBytes + code_size + data_size);
+  if (image.entry < image.code_begin() || image.entry >= image.code_end()) {
+    *error = "entry point outside code segment";
+    return false;
+  }
+  *out = std::move(image);
+  return true;
+}
+
+}  // namespace revnic::isa

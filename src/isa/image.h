@@ -1,0 +1,43 @@
+// DRV1 -- the binary container format for r32 driver images (the analog of a
+// .sys PE file). The reverse-engineering pipeline receives only this blob;
+// everything else about the driver is inferred dynamically.
+#ifndef REVNIC_ISA_IMAGE_H_
+#define REVNIC_ISA_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace revnic::isa {
+
+inline constexpr uint32_t kImageMagic = 0x31565244;  // "DRV1"
+inline constexpr uint32_t kDefaultLinkBase = 0x00400000;
+
+struct Image {
+  uint32_t link_base = kDefaultLinkBase;
+  uint32_t entry = 0;  // absolute address of DriverEntry
+  std::vector<uint8_t> code;
+  std::vector<uint8_t> data;
+  uint32_t bss_size = 0;
+
+  uint32_t code_begin() const { return link_base; }
+  uint32_t code_end() const { return link_base + static_cast<uint32_t>(code.size()); }
+  uint32_t data_begin() const { return code_end(); }
+  uint32_t data_end() const { return data_begin() + static_cast<uint32_t>(data.size()); }
+  uint32_t bss_end() const { return data_end() + bss_size; }
+  // Total loaded footprint in bytes.
+  uint32_t memory_size() const { return bss_end() - link_base; }
+  // On-"disk" file size, the paper's "driver size" column.
+  uint32_t file_size() const;
+
+  bool ContainsCode(uint32_t addr) const { return addr >= code_begin() && addr < code_end(); }
+};
+
+// Serializes to/from the DRV1 byte format. Parse returns false and fills
+// `error` on malformed input.
+std::vector<uint8_t> Serialize(const Image& image);
+bool Parse(const std::vector<uint8_t>& bytes, Image* out, std::string* error);
+
+}  // namespace revnic::isa
+
+#endif  // REVNIC_ISA_IMAGE_H_

@@ -1,0 +1,180 @@
+#include "isa/isa.h"
+
+#include "util/bits.h"
+
+namespace revnic::isa {
+
+void Encode(const Instruction& i, uint8_t* out) {
+  uint32_t flags = (i.b_is_imm ? 1u : 0u) | (i.no_base ? 2u : 0u);
+  uint32_t w0 = static_cast<uint32_t>(i.opcode) | (static_cast<uint32_t>(i.rd & 0xF) << 8) |
+                (static_cast<uint32_t>(i.ra & 0xF) << 12) |
+                (static_cast<uint32_t>(i.rb & 0xF) << 16) | (flags << 24);
+  StoreLE(out, w0, 4);
+  StoreLE(out + 4, i.imm, 4);
+}
+
+std::optional<Instruction> Decode(const uint8_t* bytes) {
+  uint32_t w0 = LoadLE(bytes, 4);
+  uint8_t op = static_cast<uint8_t>(w0 & 0xFF);
+  if (op >= static_cast<uint8_t>(Opcode::kOpcodeCount)) {
+    return std::nullopt;
+  }
+  Instruction i;
+  i.opcode = static_cast<Opcode>(op);
+  i.rd = static_cast<uint8_t>((w0 >> 8) & 0xF);
+  i.ra = static_cast<uint8_t>((w0 >> 12) & 0xF);
+  i.rb = static_cast<uint8_t>((w0 >> 16) & 0xF);
+  uint32_t flags = (w0 >> 24) & 0xFF;
+  i.b_is_imm = (flags & 1u) != 0;
+  i.no_base = (flags & 2u) != 0;
+  i.imm = LoadLE(bytes + 4, 4);
+  return i;
+}
+
+const char* Mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+      return "nop";
+    case Opcode::kHlt:
+      return "hlt";
+    case Opcode::kMov:
+      return "mov";
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kMul:
+      return "mul";
+    case Opcode::kUDiv:
+      return "udiv";
+    case Opcode::kURem:
+      return "urem";
+    case Opcode::kAnd:
+      return "and";
+    case Opcode::kOr:
+      return "or";
+    case Opcode::kXor:
+      return "xor";
+    case Opcode::kShl:
+      return "shl";
+    case Opcode::kShr:
+      return "shr";
+    case Opcode::kSar:
+      return "sar";
+    case Opcode::kLdB:
+      return "ldb";
+    case Opcode::kLdH:
+      return "ldh";
+    case Opcode::kLdW:
+      return "ldw";
+    case Opcode::kStB:
+      return "stb";
+    case Opcode::kStH:
+      return "sth";
+    case Opcode::kStW:
+      return "stw";
+    case Opcode::kPush:
+      return "push";
+    case Opcode::kPop:
+      return "pop";
+    case Opcode::kCmp:
+      return "cmp";
+    case Opcode::kTest:
+      return "test";
+    case Opcode::kBeq:
+      return "beq";
+    case Opcode::kBne:
+      return "bne";
+    case Opcode::kBult:
+      return "bult";
+    case Opcode::kBule:
+      return "bule";
+    case Opcode::kBugt:
+      return "bugt";
+    case Opcode::kBuge:
+      return "buge";
+    case Opcode::kBslt:
+      return "bslt";
+    case Opcode::kBsle:
+      return "bsle";
+    case Opcode::kBsgt:
+      return "bsgt";
+    case Opcode::kBsge:
+      return "bsge";
+    case Opcode::kJmp:
+      return "jmp";
+    case Opcode::kJmpR:
+      return "jmpr";
+    case Opcode::kCall:
+      return "call";
+    case Opcode::kCallR:
+      return "callr";
+    case Opcode::kRet:
+      return "ret";
+    case Opcode::kInB:
+      return "inb";
+    case Opcode::kInH:
+      return "inh";
+    case Opcode::kInW:
+      return "inw";
+    case Opcode::kOutB:
+      return "outb";
+    case Opcode::kOutH:
+      return "outh";
+    case Opcode::kOutW:
+      return "outw";
+    case Opcode::kSys:
+      return "sys";
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  return "?";
+}
+
+bool IsBranch(Opcode op) {
+  return op >= Opcode::kBeq && op <= Opcode::kBsge;
+}
+
+bool IsTerminator(Opcode op) {
+  return IsBranch(op) || op == Opcode::kJmp || op == Opcode::kJmpR || op == Opcode::kCall ||
+         op == Opcode::kCallR || op == Opcode::kRet || op == Opcode::kSys ||
+         op == Opcode::kHlt;
+}
+
+bool IsLoad(Opcode op) {
+  return op == Opcode::kLdB || op == Opcode::kLdH || op == Opcode::kLdW;
+}
+
+bool IsStore(Opcode op) {
+  return op == Opcode::kStB || op == Opcode::kStH || op == Opcode::kStW;
+}
+
+bool IsPortIo(Opcode op) {
+  return op >= Opcode::kInB && op <= Opcode::kOutW;
+}
+
+unsigned AccessSize(Opcode op) {
+  switch (op) {
+    case Opcode::kLdB:
+    case Opcode::kStB:
+    case Opcode::kInB:
+    case Opcode::kOutB:
+      return 1;
+    case Opcode::kLdH:
+    case Opcode::kStH:
+    case Opcode::kInH:
+    case Opcode::kOutH:
+      return 2;
+    case Opcode::kLdW:
+    case Opcode::kStW:
+    case Opcode::kInW:
+    case Opcode::kOutW:
+    case Opcode::kPush:
+    case Opcode::kPop:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace revnic::isa

@@ -1,0 +1,121 @@
+// The r32 guest ISA.
+//
+// r32 stands in for x86 in this reproduction (see DESIGN.md §2). It keeps the
+// properties RevNIC's analyses depend on:
+//   * stdcall-like convention: arguments on the stack, callee cleanup via
+//     `ret #n`, return value in r0, fp-based frames;
+//   * port I/O instructions distinct from memory loads/stores, plus
+//     memory-mapped device access through ordinary loads/stores;
+//   * an OS-API trap instruction (`sys`) standing in for calls through a
+//     driver's import table.
+//
+// Encoding: fixed 8 bytes per instruction.
+//   word0 = opcode | rd<<8 | ra<<12 | rb<<16 | flags<<24
+//   word1 = imm32
+// flags bit0: operand B is imm32 rather than register rb.
+// flags bit1: memory/port operand has no base register (absolute address).
+#ifndef REVNIC_ISA_ISA_H_
+#define REVNIC_ISA_ISA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace revnic::isa {
+
+inline constexpr unsigned kInstrBytes = 8;
+
+// Guest register file indices. r0..r10 are general purpose (r0 carries return
+// values), fp/sp form stack frames. kRegFlagA/kRegFlagB are hidden registers
+// written by cmp/test and read by conditional branches; they are not
+// encodable by the assembler.
+inline constexpr unsigned kNumRegs = 16;
+inline constexpr unsigned kRegR0 = 0;
+inline constexpr unsigned kRegFp = 11;
+inline constexpr unsigned kRegSp = 12;
+inline constexpr unsigned kRegFlagA = 13;
+inline constexpr unsigned kRegFlagB = 14;
+inline constexpr unsigned kRegZero = 15;  // reads as 0; writes ignored
+
+enum class Opcode : uint8_t {
+  kNop = 0,
+  kHlt,
+  kMov,    // rd = B
+  kAdd,    // rd = ra + B
+  kSub,
+  kMul,
+  kUDiv,
+  kURem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,    // logical
+  kSar,    // arithmetic
+  kLdB,    // rd = zext mem8[ra + imm]
+  kLdH,
+  kLdW,
+  kStB,    // mem8[ra + imm] = rb
+  kStH,
+  kStW,
+  kPush,   // sp -= 4; mem32[sp] = B
+  kPop,    // rd = mem32[sp]; sp += 4
+  kCmp,    // FA = ra; FB = B
+  kTest,   // FA = ra & B; FB = 0
+  kBeq,    // conditional branches on FA ? FB, absolute target imm
+  kBne,
+  kBult,
+  kBule,
+  kBugt,
+  kBuge,
+  kBslt,
+  kBsle,
+  kBsgt,
+  kBsge,
+  kJmp,    // absolute target imm
+  kJmpR,   // target = ra
+  kCall,   // push return addr; absolute target imm
+  kCallR,
+  kRet,    // pop return addr; sp += imm (stdcall cleanup)
+  kInB,    // rd = io8[ra + imm]
+  kInH,
+  kInW,
+  kOutB,   // io8[ra + imm] = rb
+  kOutH,
+  kOutW,
+  kSys,    // OS API trap, id = imm
+  kOpcodeCount,
+};
+
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+  uint8_t rd = 0;
+  uint8_t ra = 0;
+  uint8_t rb = 0;
+  bool b_is_imm = false;  // flags bit0
+  bool no_base = false;   // flags bit1 (absolute memory/port operand)
+  uint32_t imm = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+// Encodes into an 8-byte little-endian pair; `out` must hold kInstrBytes.
+void Encode(const Instruction& instr, uint8_t* out);
+
+// Decodes 8 bytes. Returns nullopt for an invalid opcode byte.
+std::optional<Instruction> Decode(const uint8_t* bytes);
+
+// Mnemonic for `opcode` ("mov", "ldw", ...).
+const char* Mnemonic(Opcode opcode);
+
+// Classification helpers used by the DBT and the static analyzer.
+bool IsBranch(Opcode opcode);       // conditional branches only
+bool IsTerminator(Opcode opcode);   // ends a translation block
+bool IsLoad(Opcode opcode);
+bool IsStore(Opcode opcode);
+bool IsPortIo(Opcode opcode);
+unsigned AccessSize(Opcode opcode);  // 1/2/4 for ld/st/in/out, else 0
+
+}  // namespace revnic::isa
+
+#endif  // REVNIC_ISA_ISA_H_

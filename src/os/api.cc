@@ -1,0 +1,59 @@
+#include "os/api.h"
+
+namespace revnic::os {
+
+const ApiSignature& SignatureOf(uint32_t id) {
+  static const ApiSignature kTable[] = {
+      /* kNdisInvalid */ {"NdisInvalid", 0},
+      {"NdisMRegisterMiniport", 1},
+      {"NdisMSetAttributes", 1},
+      {"NdisMRegisterInterrupt", 1},
+      {"NdisMDeregisterInterrupt", 0},
+      {"NdisMRegisterShutdownHandler", 1},
+      {"NdisMDeregisterShutdownHandler", 0},
+      {"NdisAllocateMemory", 2},
+      {"NdisFreeMemory", 2},
+      {"NdisMAllocateSharedMemory", 3},
+      {"NdisMFreeSharedMemory", 2},
+      {"NdisZeroMemory", 2},
+      {"NdisMoveMemory", 3},
+      {"NdisMMapIoSpace", 3},
+      {"NdisMUnmapIoSpace", 2},
+      {"NdisMRegisterIoPortRange", 3},
+      {"NdisMDeregisterIoPortRange", 2},
+      {"NdisReadPciSlotInformation", 3},
+      {"NdisWritePciSlotInformation", 3},
+      {"NdisOpenConfiguration", 1},
+      {"NdisReadConfiguration", 3},
+      {"NdisCloseConfiguration", 1},
+      {"NdisInitializeTimer", 2},
+      {"NdisSetTimer", 2},
+      {"NdisCancelTimer", 1},
+      {"NdisStallExecution", 1},
+      {"NdisMSleep", 1},
+      {"NdisMEthIndicateReceive", 2},
+      {"NdisMEthIndicateReceiveComplete", 0},
+      {"NdisMSendComplete", 2},
+      {"NdisMSendResourcesAvailable", 0},
+      {"NdisAllocateSpinLock", 1},
+      {"NdisAcquireSpinLock", 1},
+      {"NdisReleaseSpinLock", 1},
+      {"NdisFreeSpinLock", 1},
+      {"NdisMSynchronizeWithInterrupt", 2},
+      {"NdisWriteErrorLogEntry", 2},
+      {"NdisMIndicateStatus", 1},
+      {"NdisMIndicateStatusComplete", 0},
+      {"NdisGetCurrentSystemTime", 1},
+      {"NdisInterlockedIncrement", 1},
+      {"NdisInterlockedDecrement", 1},
+      {"NdisMQueryAdapterResources", 1},
+      {"NdisReadNetworkAddress", 1},
+  };
+  static const ApiSignature kUnknown = {"?", 0};
+  if (id < sizeof(kTable) / sizeof(kTable[0])) {
+    return kTable[id];
+  }
+  return kUnknown;
+}
+
+}  // namespace revnic::os

@@ -1,0 +1,140 @@
+// WinSim kernel API surface (the NDIS analog).
+//
+// r32 drivers call the OS through `sys <id>` with arguments on the stack
+// (callee-cleaned, like stdcall imports). This header is RevNIC's "internally
+// encoded" knowledge of the OS interface (§3.2: names, parameter counts,
+// structure layouts) -- exactly what the paper requires to be documented.
+//
+// Structure layouts shared with drivers (all offsets in bytes):
+//
+// MINIPORT_CHARACTERISTICS (passed to kNdisMRegisterMiniport):
+//   +0  InitializeHandler      +4  IsrHandler
+//   +8  HandleInterruptHandler +12 SendHandler
+//   +16 QueryInformationHandler+20 SetInformationHandler
+//   +24 ResetHandler           +28 HaltHandler
+//   +32 ShutdownHandler
+//
+// NDIS_PACKET (simplified): +0 data VA, +4 length.
+//
+// PCI config space (kNdisReadPciSlotInformation window):
+//   +0x00 vendor id (u16)   +0x02 device id (u16)
+//   +0x10 BAR0: port base | 1 (u32)
+//   +0x14 BAR1: MMIO base (u32)
+//   +0x3C interrupt line (u8)
+#ifndef REVNIC_OS_API_H_
+#define REVNIC_OS_API_H_
+
+#include <cstdint>
+
+namespace revnic::os {
+
+enum WinApi : uint32_t {
+  kNdisInvalid = 0,
+  // Registration & lifecycle.
+  kNdisMRegisterMiniport = 1,   // (chars_ptr) -> status
+  kNdisMSetAttributes,          // (adapter_ctx) -> 0
+  kNdisMRegisterInterrupt,      // (irq_line) -> status
+  kNdisMDeregisterInterrupt,    // () -> 0
+  kNdisMRegisterShutdownHandler,    // (handler_pc) -> 0
+  kNdisMDeregisterShutdownHandler,  // () -> 0
+  // Memory.
+  kNdisAllocateMemory,          // (out_ptr_addr, size) -> status
+  kNdisFreeMemory,              // (ptr, size) -> 0
+  kNdisMAllocateSharedMemory,   // (size, out_va_addr, out_pa_addr) -> status [DMA]
+  kNdisMFreeSharedMemory,       // (va, size) -> 0
+  kNdisZeroMemory,              // (ptr, size) -> 0
+  kNdisMoveMemory,              // (dst, src, size) -> 0
+  // I/O space & PCI.
+  kNdisMMapIoSpace,             // (out_va_addr, phys, size) -> status
+  kNdisMUnmapIoSpace,           // (va, size) -> 0
+  kNdisMRegisterIoPortRange,    // (out_base_addr, base, size) -> status
+  kNdisMDeregisterIoPortRange,  // (base, size) -> 0
+  kNdisReadPciSlotInformation,  // (offset, buf, len) -> bytes read
+  kNdisWritePciSlotInformation, // (offset, buf, len) -> bytes written
+  // Registry / configuration.
+  kNdisOpenConfiguration,       // (out_handle_addr) -> status
+  kNdisReadConfiguration,       // (handle, key_id, out_value_addr) -> status
+  kNdisCloseConfiguration,      // (handle) -> 0
+  // Timers & delays.
+  kNdisInitializeTimer,         // (handler_pc, context) -> timer_id
+  kNdisSetTimer,                // (timer_id, millis) -> 0
+  kNdisCancelTimer,             // (timer_id) -> 0
+  kNdisStallExecution,          // (micros) -> 0
+  kNdisMSleep,                  // (micros) -> 0
+  // Packet path.
+  kNdisMEthIndicateReceive,     // (buf, len) -> 0   [driver -> OS rx]
+  kNdisMEthIndicateReceiveComplete,  // () -> 0
+  kNdisMSendComplete,           // (packet, status) -> 0
+  kNdisMSendResourcesAvailable, // () -> 0
+  // Synchronization.
+  kNdisAllocateSpinLock,        // (lock_addr) -> 0
+  kNdisAcquireSpinLock,         // (lock_addr) -> 0
+  kNdisReleaseSpinLock,         // (lock_addr) -> 0
+  kNdisFreeSpinLock,            // (lock_addr) -> 0
+  kNdisMSynchronizeWithInterrupt,  // (func_pc, context) -> func result
+  // Status & diagnostics.
+  kNdisWriteErrorLogEntry,      // (code, value) -> 0
+  kNdisMIndicateStatus,         // (status) -> 0
+  kNdisMIndicateStatusComplete, // () -> 0
+  kNdisGetCurrentSystemTime,    // (out_u64_addr) -> 0
+  kNdisInterlockedIncrement,    // (addr) -> new value
+  kNdisInterlockedDecrement,    // (addr) -> new value
+  kNdisMQueryAdapterResources,  // (out_buf) -> status [io base, irq]
+  kNdisReadNetworkAddress,      // (out_addr_buf) -> status [registry MAC override]
+  kNdisApiCount,
+};
+
+// Status codes (NDIS_STATUS analog).
+inline constexpr uint32_t kStatusSuccess = 0x00000000;
+inline constexpr uint32_t kStatusFailure = 0xC0000001;
+inline constexpr uint32_t kStatusResources = 0xC000009A;
+inline constexpr uint32_t kStatusNotSupported = 0xC00000BB;
+inline constexpr uint32_t kStatusPending = 0x00000103;
+
+// Query/Set OIDs (NDIS object identifiers; the subset the evaluation uses).
+inline constexpr uint32_t kOidGenMaximumFrameSize = 0x00010106;
+inline constexpr uint32_t kOidGenLinkSpeed = 0x00010107;
+inline constexpr uint32_t kOidGenCurrentPacketFilter = 0x0001010E;
+inline constexpr uint32_t kOidGenMediaConnectStatus = 0x00010114;
+inline constexpr uint32_t kOid8023PermanentAddress = 0x01010101;
+inline constexpr uint32_t kOid8023CurrentAddress = 0x01010102;
+inline constexpr uint32_t kOid8023MulticastList = 0x01010103;
+inline constexpr uint32_t kOidPnpEnableWakeUp = 0xFD010106;
+// Vendor-proprietary OIDs (exercised via the vendor config tool, §6).
+inline constexpr uint32_t kOidVendorLedConfig = 0xFF8139ED;
+inline constexpr uint32_t kOidVendorDuplexMode = 0xFF813900;
+
+// Packet filter bits (OID_GEN_CURRENT_PACKET_FILTER).
+inline constexpr uint32_t kFilterDirected = 0x0001;
+inline constexpr uint32_t kFilterMulticast = 0x0002;
+inline constexpr uint32_t kFilterBroadcast = 0x0004;
+inline constexpr uint32_t kFilterPromiscuous = 0x0020;
+
+// Registry configuration keys (kNdisReadConfiguration).
+inline constexpr uint32_t kCfgDuplexMode = 1;   // 0 auto, 1 half, 2 full
+inline constexpr uint32_t kCfgWakeOnLan = 2;    // 0 off, 1 on
+inline constexpr uint32_t kCfgLedMode = 3;
+
+struct ApiSignature {
+  const char* name;
+  unsigned argc;  // number of u32 stack arguments (callee-cleaned)
+};
+
+// Returns the signature for `id`; unknown ids yield {"?", 0}.
+const ApiSignature& SignatureOf(uint32_t id);
+
+// Miniport characteristics layout.
+inline constexpr unsigned kCharsInitialize = 0;
+inline constexpr unsigned kCharsIsr = 4;
+inline constexpr unsigned kCharsHandleInterrupt = 8;
+inline constexpr unsigned kCharsSend = 12;
+inline constexpr unsigned kCharsQueryInformation = 16;
+inline constexpr unsigned kCharsSetInformation = 20;
+inline constexpr unsigned kCharsReset = 24;
+inline constexpr unsigned kCharsHalt = 28;
+inline constexpr unsigned kCharsShutdown = 32;
+inline constexpr unsigned kCharsSize = 36;
+
+}  // namespace revnic::os
+
+#endif  // REVNIC_OS_API_H_

@@ -1,0 +1,60 @@
+// Platform cost profiles for the performance experiments (§5.3).
+//
+// The paper measured on four testbeds: an x86 PC (RTL8139C), the FPGA4U
+// Nios-II board (91C111), QEMU (RTL8029) and VMware Server (PCnet). We model
+// each as a cycle budget per UDP packet:
+//
+//   cpu_cycles = io_accesses * cycles_per_io
+//              + bytes_copied * cycles_per_byte
+//              + guest_instrs * cycles_per_instr     (binary/synthesized only)
+//              + stall_us * cpu_mhz                  (vendor quirk stalls)
+//              + os_packet_cycles[target OS]         (network stack overhead)
+//
+//   wire_us  = frame_bits / link_mbps                (0 for virtual NICs:
+//                                                     "the virtual NIC can
+//                                                     confirm transmission
+//                                                     immediately", §5.1)
+//   packet_us = dma_overlap ? max(cpu_us, wire_us) : cpu_us + wire_us
+//   throughput = payload_bits / packet_us;  cpu_util = cpu_us / packet_us
+//
+// Constants are calibrated to reproduce the paper's *shapes* (who wins, where
+// curves bend), not the authors' absolute numbers -- see EXPERIMENTS.md.
+#ifndef REVNIC_PERF_PROFILE_H_
+#define REVNIC_PERF_PROFILE_H_
+
+#include <cstdint>
+
+#include "os/recovered_host.h"
+
+namespace revnic::perf {
+
+struct PlatformProfile {
+  const char* name;
+  double cpu_mhz = 2400;         // cycles per microsecond
+  double cycles_per_io = 80;     // device register access (uncached, posted)
+  double cycles_per_byte = 15;   // CPU byte move (stack copies, PIO staging)
+  double cycles_per_instr = 0.5; // guest instruction (binary & synthesized)
+  // Per-packet network stack overhead by target OS
+  // (windows, linux, ucos, kitos).
+  double os_packet_cycles[4] = {45000, 40000, 6000, 800};
+  // Per-byte network stack cost (checksum + stack copies); KitOS hands raw
+  // frames to the driver and pays none.
+  double os_per_byte_cycles = 12;
+  double link_mbps = 100;        // 0 = virtual NIC, instant wire
+  bool dma_overlap = true;       // bus-master DMA overlaps wire with CPU
+};
+
+// x86 PC, Intel Core 2 Duo 2.4 GHz, RTL8139C at 100 Mbps (Figures 2-3).
+PlatformProfile X86Pc();
+// FPGA4U: Nios II at 75 MHz, 91C111 at 10 Mbps, PIO only (Figures 4-5).
+PlatformProfile FpgaNios();
+// QEMU on dual Xeon 2 GHz: virtual RTL8029, instant wire (Figure 6).
+PlatformProfile QemuVm();
+// VMware Server: virtual PCnet with DMA, instant wire (Figure 7).
+PlatformProfile VmwareVm();
+
+double OsPacketCycles(const PlatformProfile& p, os::TargetOs target);
+
+}  // namespace revnic::perf
+
+#endif  // REVNIC_PERF_PROFILE_H_

@@ -1,0 +1,491 @@
+#include "symex/expr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "util/bits.h"
+#include "util/strings.h"
+
+namespace revnic::symex {
+namespace {
+
+uint64_t HashExpr(const Expr& e) {
+  uint64_t h = HashCombine(static_cast<uint64_t>(e.kind) * 0x9E37u + e.width,
+                           (static_cast<uint64_t>(e.bin_op) << 32) ^ e.value ^
+                               (static_cast<uint64_t>(e.sym_id) << 16));
+  if (e.a) {
+    h = HashCombine(h, e.a->hash);
+  }
+  if (e.b) {
+    h = HashCombine(h, e.b->hash);
+  }
+  if (e.c) {
+    h = HashCombine(h, e.c->hash);
+  }
+  return h;
+}
+
+ExprRef Make(Expr e) {
+  e.hash = HashExpr(e);
+  uint64_t nodes = 1;
+  if (e.a) {
+    nodes += e.a->approx_nodes;
+  }
+  if (e.b) {
+    nodes += e.b->approx_nodes;
+  }
+  if (e.c) {
+    nodes += e.c->approx_nodes;
+  }
+  e.approx_nodes = static_cast<uint32_t>(std::min<uint64_t>(nodes, 0x7FFFFFFF));
+  return std::make_shared<Expr>(std::move(e));
+}
+
+uint32_t FoldBin(BinOp op, uint32_t a, uint32_t b, uint8_t width) {
+  uint32_t mask = revnic::LowMask(width);
+  a &= mask;
+  b &= mask;
+  auto sext = [&](uint32_t v) { return static_cast<int32_t>(revnic::SignExtend(v, width)); };
+  switch (op) {
+    case BinOp::kAdd:
+      return (a + b) & mask;
+    case BinOp::kSub:
+      return (a - b) & mask;
+    case BinOp::kMul:
+      return (a * b) & mask;
+    case BinOp::kUDiv:
+      return b == 0 ? mask : (a / b) & mask;  // div-by-zero saturates
+    case BinOp::kURem:
+      return b == 0 ? a : (a % b) & mask;
+    case BinOp::kAnd:
+      return a & b;
+    case BinOp::kOr:
+      return a | b;
+    case BinOp::kXor:
+      return a ^ b;
+    case BinOp::kShl:
+      return b >= width ? 0 : (a << b) & mask;
+    case BinOp::kLShr:
+      return b >= width ? 0 : (a >> b) & mask;
+    case BinOp::kAShr: {
+      if (b >= width) {
+        return (sext(a) < 0 ? mask : 0);
+      }
+      return static_cast<uint32_t>(sext(a) >> b) & mask;
+    }
+    case BinOp::kEq:
+      return a == b ? 1 : 0;
+    case BinOp::kNe:
+      return a != b ? 1 : 0;
+    case BinOp::kUlt:
+      return a < b ? 1 : 0;
+    case BinOp::kUle:
+      return a <= b ? 1 : 0;
+    case BinOp::kSlt:
+      return sext(a) < sext(b) ? 1 : 0;
+    case BinOp::kSle:
+      return sext(a) <= sext(b) ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool IsComparison(BinOp op) { return op >= BinOp::kEq; }
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "add";
+    case BinOp::kSub:
+      return "sub";
+    case BinOp::kMul:
+      return "mul";
+    case BinOp::kUDiv:
+      return "udiv";
+    case BinOp::kURem:
+      return "urem";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+    case BinOp::kXor:
+      return "xor";
+    case BinOp::kShl:
+      return "shl";
+    case BinOp::kLShr:
+      return "lshr";
+    case BinOp::kAShr:
+      return "ashr";
+    case BinOp::kEq:
+      return "eq";
+    case BinOp::kNe:
+      return "ne";
+    case BinOp::kUlt:
+      return "ult";
+    case BinOp::kUle:
+      return "ule";
+    case BinOp::kSlt:
+      return "slt";
+    case BinOp::kSle:
+      return "sle";
+  }
+  return "?";
+}
+
+bool Expr::Equal(const ExprRef& x, const ExprRef& y) {
+  if (x.get() == y.get()) {
+    return true;
+  }
+  if (!x || !y || x->hash != y->hash || x->kind != y->kind || x->width != y->width ||
+      x->bin_op != y->bin_op || x->value != y->value || x->sym_id != y->sym_id) {
+    return false;
+  }
+  return Equal(x->a, y->a) && Equal(x->b, y->b) && Equal(x->c, y->c);
+}
+
+ExprRef ExprContext::Const(uint32_t value, uint8_t width) {
+  Expr e;
+  e.kind = ExprKind::kConst;
+  e.width = width;
+  e.value = value & LowMask(width);
+  return Make(std::move(e));
+}
+
+ExprRef ExprContext::Sym(const std::string& name, uint8_t width) {
+  Expr e;
+  e.kind = ExprKind::kSym;
+  e.width = width;
+  e.sym_id = static_cast<uint32_t>(sym_names_.size());
+  sym_names_.push_back(name);
+  return Make(std::move(e));
+}
+
+const std::string& ExprContext::SymName(uint32_t sym_id) const {
+  static const std::string kUnknown = "?";
+  return sym_id < sym_names_.size() ? sym_names_[sym_id] : kUnknown;
+}
+
+ExprRef ExprContext::Bin(BinOp op, ExprRef a, ExprRef b) {
+  assert(a && b);
+  uint8_t width = IsComparison(op) ? 1 : a->width;
+  if (a->IsConst() && b->IsConst()) {
+    return Const(FoldBin(op, a->value, b->value, a->width), width);
+  }
+  // Canonicalize constants to the right for commutative ops.
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kMul:
+    case BinOp::kAnd:
+    case BinOp::kOr:
+    case BinOp::kXor:
+    case BinOp::kEq:
+    case BinOp::kNe:
+      if (a->IsConst()) {
+        std::swap(a, b);
+      }
+      break;
+    default:
+      break;
+  }
+  uint32_t mask = LowMask(a->width);
+  if (b->IsConst()) {
+    uint32_t c = b->value;
+    switch (op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kOr:
+      case BinOp::kXor:
+      case BinOp::kShl:
+      case BinOp::kLShr:
+      case BinOp::kAShr:
+        if (c == 0) {
+          return a;
+        }
+        break;
+      case BinOp::kAnd:
+        if (c == 0) {
+          return Const(0, a->width);
+        }
+        if (c == mask) {
+          return a;
+        }
+        break;
+      case BinOp::kMul:
+        if (c == 0) {
+          return Const(0, a->width);
+        }
+        if (c == 1) {
+          return a;
+        }
+        break;
+      case BinOp::kUDiv:
+        if (c == 1) {
+          return a;
+        }
+        break;
+      default:
+        break;
+    }
+    // (x & m1) & m2 -> x & (m1 & m2); ditto for or/xor/add chains.
+    if (a->kind == ExprKind::kBin && a->bin_op == op && a->b && a->b->IsConst()) {
+      if (op == BinOp::kAnd || op == BinOp::kOr || op == BinOp::kXor || op == BinOp::kAdd) {
+        uint32_t folded = FoldBin(op, a->b->value, c, a->width);
+        return Bin(op, a->a, Const(folded, a->width));
+      }
+    }
+  }
+  if (Expr::Equal(a, b)) {
+    switch (op) {
+      case BinOp::kSub:
+      case BinOp::kXor:
+        return Const(0, a->width);
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        return a;
+      case BinOp::kEq:
+      case BinOp::kUle:
+      case BinOp::kSle:
+        return True();
+      case BinOp::kNe:
+      case BinOp::kUlt:
+      case BinOp::kSlt:
+        return False();
+      default:
+        break;
+    }
+  }
+  Expr e;
+  e.kind = ExprKind::kBin;
+  e.width = width;
+  e.bin_op = op;
+  e.a = std::move(a);
+  e.b = std::move(b);
+  return Make(std::move(e));
+}
+
+ExprRef ExprContext::ExtractByte(ExprRef a, unsigned byte_index) {
+  assert(a);
+  assert(byte_index < 4);
+  if (a->IsConst()) {
+    return Const((a->value >> (8 * byte_index)) & 0xFF, 8);
+  }
+  if (a->width == 8 && byte_index == 0) {
+    return a;
+  }
+  // Extract of ZExt: byte 0 of zext8->32 is the source; higher bytes are 0.
+  if (a->kind == ExprKind::kZExt && a->a) {
+    unsigned src_bytes = a->a->width / 8;
+    if (byte_index >= src_bytes) {
+      return Const(0, 8);
+    }
+    return ExtractByte(a->a, byte_index);
+  }
+  if (a->kind == ExprKind::kExtract) {
+    // Extract of extract collapses only for byte 0 (widths are 8 here).
+    if (byte_index == 0) {
+      return a;
+    }
+    return Const(0, 8);
+  }
+  Expr e;
+  e.kind = ExprKind::kExtract;
+  e.width = 8;
+  e.value = byte_index;
+  e.a = std::move(a);
+  return Make(std::move(e));
+}
+
+ExprRef ExprContext::ZExt(ExprRef a, uint8_t to_width) {
+  assert(a);
+  if (a->width == to_width) {
+    return a;
+  }
+  if (a->width > to_width) {
+    return Trunc(std::move(a), to_width);
+  }
+  if (a->IsConst()) {
+    return Const(a->value, to_width);
+  }
+  Expr e;
+  e.kind = ExprKind::kZExt;
+  e.width = to_width;
+  e.a = std::move(a);
+  return Make(std::move(e));
+}
+
+ExprRef ExprContext::SExt(ExprRef a, uint8_t to_width) {
+  assert(a);
+  if (a->width == to_width) {
+    return a;
+  }
+  if (a->width > to_width) {
+    return Trunc(std::move(a), to_width);
+  }
+  if (a->IsConst()) {
+    return Const(SignExtend(a->value, a->width), to_width);
+  }
+  Expr e;
+  e.kind = ExprKind::kSExt;
+  e.width = to_width;
+  e.a = std::move(a);
+  return Make(std::move(e));
+}
+
+ExprRef ExprContext::Trunc(ExprRef a, uint8_t to_width) {
+  assert(a);
+  if (a->width == to_width) {
+    return a;
+  }
+  assert(a->width > to_width);
+  if (a->IsConst()) {
+    return Const(a->value & LowMask(to_width), to_width);
+  }
+  if (to_width == 8) {
+    return ExtractByte(std::move(a), 0);
+  }
+  // Model narrow truncation as And with the low mask, keeping width 32 for
+  // 16-bit values (the executor normalizes everything 16-bit through masks).
+  Expr e;
+  e.kind = ExprKind::kZExt;  // reuse: trunc-to-16 == (a & 0xFFFF) with width 16
+  e.width = to_width;
+  e.a = Bin(BinOp::kAnd, a, Const(LowMask(to_width), a->width));
+  if (e.a->IsConst()) {
+    return Const(e.a->value, to_width);
+  }
+  // Wrap as a width-changing view of the masked value.
+  return Make(std::move(e));
+}
+
+ExprRef ExprContext::Select(ExprRef cond, ExprRef a, ExprRef b) {
+  assert(cond && a && b);
+  if (cond->IsConst()) {
+    return cond->value != 0 ? a : b;
+  }
+  if (Expr::Equal(a, b)) {
+    return a;
+  }
+  Expr e;
+  e.kind = ExprKind::kSelect;
+  e.width = a->width;
+  e.a = std::move(a);
+  e.b = std::move(b);
+  e.c = std::move(cond);
+  return Make(std::move(e));
+}
+
+ExprRef ExprContext::Not(ExprRef a) {
+  assert(a && a->width == 1);
+  if (a->IsConst()) {
+    return Const(a->value ^ 1u, 1);
+  }
+  // Invert comparisons structurally.
+  if (a->kind == ExprKind::kBin) {
+    switch (a->bin_op) {
+      case BinOp::kEq:
+        return Bin(BinOp::kNe, a->a, a->b);
+      case BinOp::kNe:
+        return Bin(BinOp::kEq, a->a, a->b);
+      case BinOp::kUlt:
+        return Bin(BinOp::kUle, a->b, a->a);
+      case BinOp::kUle:
+        return Bin(BinOp::kUlt, a->b, a->a);
+      case BinOp::kSlt:
+        return Bin(BinOp::kSle, a->b, a->a);
+      case BinOp::kSle:
+        return Bin(BinOp::kSlt, a->b, a->a);
+      default:
+        break;
+    }
+  }
+  return Bin(BinOp::kXor, a, Const(1, 1));
+}
+
+uint32_t Eval(const ExprRef& e, const Model& model) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e->value;
+    case ExprKind::kSym: {
+      auto it = model.find(e->sym_id);
+      uint32_t v = it == model.end() ? 0 : it->second;
+      return v & LowMask(e->width);
+    }
+    case ExprKind::kBin:
+      return FoldBin(e->bin_op, Eval(e->a, model), Eval(e->b, model), e->a->width);
+    case ExprKind::kExtract:
+      return (Eval(e->a, model) >> (8 * e->value)) & 0xFF;
+    case ExprKind::kZExt:
+      return Eval(e->a, model) & LowMask(e->width);
+    case ExprKind::kSExt:
+      return SignExtend(Eval(e->a, model), e->a->width) & LowMask(e->width);
+    case ExprKind::kSelect:
+      return Eval(e->c, model) != 0 ? Eval(e->a, model) : Eval(e->b, model);
+  }
+  return 0;
+}
+
+namespace {
+template <typename Fn>
+void Visit(const ExprRef& e, std::unordered_set<const Expr*>* seen, Fn&& fn) {
+  if (!e || !seen->insert(e.get()).second) {
+    return;
+  }
+  fn(e);
+  Visit(e->a, seen, fn);
+  Visit(e->b, seen, fn);
+  Visit(e->c, seen, fn);
+}
+}  // namespace
+
+void CollectSyms(const ExprRef& e, std::set<uint32_t>* out) {
+  std::unordered_set<const Expr*> seen;
+  Visit(e, &seen, [out](const ExprRef& n) {
+    if (n->kind == ExprKind::kSym) {
+      out->insert(n->sym_id);
+    }
+  });
+}
+
+void CollectConstants(const ExprRef& e, std::set<uint32_t>* out) {
+  std::unordered_set<const Expr*> seen;
+  Visit(e, &seen, [out](const ExprRef& n) {
+    if (n->kind == ExprKind::kConst) {
+      out->insert(n->value);
+    }
+  });
+}
+
+size_t ExprSize(const ExprRef& e) {
+  std::unordered_set<const Expr*> seen;
+  size_t count = 0;
+  Visit(e, &seen, [&count](const ExprRef&) { ++count; });
+  return count;
+}
+
+std::string ToString(const ExprRef& e) {
+  if (!e) {
+    return "<null>";
+  }
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return StrFormat("0x%x", e->value);
+    case ExprKind::kSym:
+      return StrFormat("v%u", e->sym_id);
+    case ExprKind::kBin:
+      return StrFormat("(%s %s %s)", BinOpName(e->bin_op), ToString(e->a).c_str(),
+                       ToString(e->b).c_str());
+    case ExprKind::kExtract:
+      return StrFormat("(byte%u %s)", e->value, ToString(e->a).c_str());
+    case ExprKind::kZExt:
+      return StrFormat("(zext%u %s)", e->width, ToString(e->a).c_str());
+    case ExprKind::kSExt:
+      return StrFormat("(sext%u %s)", e->width, ToString(e->a).c_str());
+    case ExprKind::kSelect:
+      return StrFormat("(select %s %s %s)", ToString(e->c).c_str(), ToString(e->a).c_str(),
+                       ToString(e->b).c_str());
+  }
+  return "?";
+}
+
+}  // namespace revnic::symex

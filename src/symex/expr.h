@@ -1,0 +1,126 @@
+// Symbolic expression DAG over 32-bit bitvectors (the KLEE-expression analog).
+//
+// Widths are in bits: 1 (booleans / path constraints), 8, 16, 32. Expressions
+// are immutable and shared; `ExprContext` is the factory and applies local
+// simplifications at construction so downstream code (solver, executor) sees
+// canonical-ish forms. Constants are the fast path everywhere: a fully
+// concrete execution builds only `kConst` nodes.
+#ifndef REVNIC_SYMEX_EXPR_H_
+#define REVNIC_SYMEX_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace revnic::symex {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+enum class ExprKind : uint8_t {
+  kConst = 0,
+  kSym,      // free variable introduced by symbolic hardware / parameters
+  kBin,      // binary operator
+  kExtract,  // byte extraction (for byte-granular memory)
+  kZExt,     // widen, zero fill
+  kSExt,     // widen, sign fill
+  kSelect,   // cond ? a : b
+};
+
+enum class BinOp : uint8_t {
+  kAdd = 0,
+  kSub,
+  kMul,
+  kUDiv,
+  kURem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  kAShr,
+  // Comparisons produce width-1 expressions.
+  kEq,
+  kNe,
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+};
+
+bool IsComparison(BinOp op);
+const char* BinOpName(BinOp op);
+
+class Expr {
+ public:
+  ExprKind kind;
+  uint8_t width;        // result width in bits: 1, 8, 16, or 32
+  BinOp bin_op{};       // kBin only
+  uint32_t value = 0;   // kConst: the constant; kExtract: byte index
+  uint32_t sym_id = 0;  // kSym only
+  ExprRef a, b, c;      // operands
+  uint64_t hash = 0;
+  // Approximate DAG size (tree-counted, saturating); O(1) blowup guard.
+  uint32_t approx_nodes = 1;
+
+  bool IsConst() const { return kind == ExprKind::kConst; }
+  bool IsConstValue(uint32_t v) const { return IsConst() && value == v; }
+
+  // Structural equality (hash-guarded).
+  static bool Equal(const ExprRef& x, const ExprRef& y);
+};
+
+// Assignment of concrete values to symbolic variables.
+using Model = std::map<uint32_t, uint32_t>;
+
+// Factory + simplifier. One context per reverse-engineering run; it hands out
+// unique symbolic-variable ids and remembers their debug names.
+class ExprContext {
+ public:
+  ExprRef Const(uint32_t value, uint8_t width = 32);
+  ExprRef True() { return Const(1, 1); }
+  ExprRef False() { return Const(0, 1); }
+
+  // Fresh symbolic variable. `name` is for diagnostics ("hw_in_0x10_3").
+  ExprRef Sym(const std::string& name, uint8_t width = 32);
+  const std::string& SymName(uint32_t sym_id) const;
+  uint32_t NumSyms() const { return static_cast<uint32_t>(sym_names_.size()); }
+
+  ExprRef Bin(BinOp op, ExprRef a, ExprRef b);
+  ExprRef ExtractByte(ExprRef a, unsigned byte_index);  // -> width 8
+  ExprRef ZExt(ExprRef a, uint8_t to_width);
+  ExprRef SExt(ExprRef a, uint8_t to_width);
+  ExprRef Trunc(ExprRef a, uint8_t to_width);
+  ExprRef Select(ExprRef cond, ExprRef a, ExprRef b);
+  ExprRef Not(ExprRef a);  // width-1 logical negation
+
+  // Convenience wrappers.
+  ExprRef Add(ExprRef a, ExprRef b) { return Bin(BinOp::kAdd, a, b); }
+  ExprRef And(ExprRef a, ExprRef b) { return Bin(BinOp::kAnd, a, b); }
+  ExprRef Eq(ExprRef a, ExprRef b) { return Bin(BinOp::kEq, a, b); }
+
+ private:
+  std::vector<std::string> sym_names_;
+};
+
+// Evaluates `e` under `model`; unmapped symbols evaluate to 0.
+uint32_t Eval(const ExprRef& e, const Model& model);
+
+// Collects the symbolic variable ids appearing in `e`.
+void CollectSyms(const ExprRef& e, std::set<uint32_t>* out);
+
+// Collects every constant literal in `e` (solver candidate seeding).
+void CollectConstants(const ExprRef& e, std::set<uint32_t>* out);
+
+// Number of DAG nodes (visits shared nodes once); guards expression blowup.
+size_t ExprSize(const ExprRef& e);
+
+// Debug rendering, e.g. "(add v3 0x10)".
+std::string ToString(const ExprRef& e);
+
+}  // namespace revnic::symex
+
+#endif  // REVNIC_SYMEX_EXPR_H_

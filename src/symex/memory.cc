@@ -1,0 +1,161 @@
+#include "symex/memory.h"
+
+#include <cstring>
+
+namespace revnic::symex {
+
+const SymMemory::Page* SymMemory::FindPage(uint32_t addr) const {
+  auto it = pages_.find(addr >> kPageShift);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SymMemory::Page* SymMemory::PageForWrite(uint32_t addr) {
+  uint32_t index = addr >> kPageShift;
+  auto it = pages_.find(index);
+  if (it != pages_.end()) {
+    if (it->second.use_count() > 1) {
+      it->second = std::make_shared<Page>(*it->second);  // COW clone
+    }
+    return it->second.get();
+  }
+  auto page = std::make_shared<Page>();
+  uint32_t page_base = index << kPageShift;
+  if (page_base < base_->ram_size()) {
+    size_t n = std::min<size_t>(kPageSize, base_->ram_size() - page_base);
+    std::memcpy(page->concrete.data(), base_->ram() + page_base, n);
+  }
+  Page* raw = page.get();
+  pages_.emplace(index, std::move(page));
+  return raw;
+}
+
+ExprRef SymMemory::ReadByte(ExprContext* ctx, uint32_t addr) const {
+  const Page* page = FindPage(addr);
+  if (page == nullptr) {
+    uint8_t v = 0;
+    if (addr < base_->ram_size()) {
+      v = base_->ram()[addr];
+    }
+    return ctx->Const(v, 8);
+  }
+  uint16_t off = static_cast<uint16_t>(addr & (kPageSize - 1));
+  auto it = page->symbolic.find(off);
+  if (it != page->symbolic.end()) {
+    return it->second;
+  }
+  return ctx->Const(page->concrete[off], 8);
+}
+
+void SymMemory::WriteByte(uint32_t addr, ExprRef value) {
+  Page* page = PageForWrite(addr);
+  uint16_t off = static_cast<uint16_t>(addr & (kPageSize - 1));
+  if (value->IsConst()) {
+    page->concrete[off] = static_cast<uint8_t>(value->value);
+    page->symbolic.erase(off);
+  } else {
+    page->symbolic[off] = std::move(value);
+  }
+}
+
+ExprRef SymMemory::Read(ExprContext* ctx, uint32_t addr, unsigned size) const {
+  // Reassembly fast path: all `size` bytes are ExtractByte(v, i) of the same
+  // 32-bit expression in order -> return v (masked for narrow reads).
+  if (size == 4) {
+    const ExprRef b0 = ReadByte(ctx, addr);
+    if (b0->kind == ExprKind::kExtract && b0->value == 0) {
+      const ExprRef& source = b0->a;
+      bool match = source->width == 32;
+      for (unsigned i = 1; match && i < 4; ++i) {
+        ExprRef bi = ReadByte(ctx, addr + i);
+        match = bi->kind == ExprKind::kExtract && bi->value == i && Expr::Equal(bi->a, source);
+      }
+      if (match) {
+        return source;
+      }
+    }
+    // Whole-word symbolic variable stored via WriteByte extract path is the
+    // common case; otherwise fall through to concat.
+  }
+  bool all_const = true;
+  uint32_t concrete = 0;
+  ExprRef bytes[4];
+  for (unsigned i = 0; i < size; ++i) {
+    bytes[i] = ReadByte(ctx, addr + i);
+    if (bytes[i]->IsConst()) {
+      concrete |= bytes[i]->value << (8 * i);
+    } else {
+      all_const = false;
+    }
+  }
+  if (all_const) {
+    return ctx->Const(concrete, 32);
+  }
+  ExprRef acc = ctx->ZExt(bytes[0], 32);
+  for (unsigned i = 1; i < size; ++i) {
+    ExprRef wide = ctx->ZExt(bytes[i], 32);
+    ExprRef shifted = ctx->Bin(BinOp::kShl, wide, ctx->Const(8 * i, 32));
+    acc = ctx->Bin(BinOp::kOr, acc, shifted);
+  }
+  return acc;
+}
+
+void SymMemory::Write(ExprContext* ctx, uint32_t addr, unsigned size, const ExprRef& value) {
+  if (value->IsConst()) {
+    for (unsigned i = 0; i < size; ++i) {
+      WriteByte(addr + i, ctx->Const((value->value >> (8 * i)) & 0xFF, 8));
+    }
+    return;
+  }
+  ExprRef wide = ctx->ZExt(value, 32);
+  for (unsigned i = 0; i < size; ++i) {
+    WriteByte(addr + i, ctx->ExtractByte(wide, i));
+  }
+}
+
+uint32_t SymMemory::ReadConcrete(uint32_t addr, unsigned size) const {
+  uint32_t v = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    const Page* page = FindPage(addr + i);
+    uint8_t byte = 0;
+    if (page == nullptr) {
+      if (addr + i < base_->ram_size()) {
+        byte = base_->ram()[addr + i];
+      }
+    } else {
+      uint16_t off = static_cast<uint16_t>((addr + i) & (kPageSize - 1));
+      auto it = page->symbolic.find(off);
+      if (it == page->symbolic.end()) {
+        byte = page->concrete[off];
+      } else {
+        byte = static_cast<uint8_t>(Eval(it->second, Model{}));
+      }
+    }
+    v |= static_cast<uint32_t>(byte) << (8 * i);
+  }
+  return v;
+}
+
+void SymMemory::WriteConcrete(uint32_t addr, unsigned size, uint32_t value) {
+  for (unsigned i = 0; i < size; ++i) {
+    Page* page = PageForWrite(addr + i);
+    uint16_t off = static_cast<uint16_t>((addr + i) & (kPageSize - 1));
+    page->concrete[off] = static_cast<uint8_t>(value >> (8 * i));
+    page->symbolic.erase(off);
+  }
+}
+
+bool SymMemory::IsSymbolic(uint32_t addr, unsigned size) const {
+  for (unsigned i = 0; i < size; ++i) {
+    const Page* page = FindPage(addr + i);
+    if (page == nullptr) {
+      continue;
+    }
+    uint16_t off = static_cast<uint16_t>((addr + i) & (kPageSize - 1));
+    if (page->symbolic.count(off) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace revnic::symex

@@ -1,0 +1,70 @@
+// Byte-granular symbolic memory with page-level copy-on-write.
+//
+// The paper (§3.4) extends KLEE's object-level COW with page-level COW and
+// page swapping to survive tens of thousands of states. Our states share
+// immutable pages; a write clones only the touched 4 KiB page. Unwritten
+// pages read through to the VM's concrete RAM snapshot, so forking a state
+// costs one page-table copy.
+#ifndef REVNIC_SYMEX_MEMORY_H_
+#define REVNIC_SYMEX_MEMORY_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "symex/expr.h"
+#include "vm/memmap.h"
+
+namespace revnic::symex {
+
+class SymMemory {
+ public:
+  static constexpr uint32_t kPageShift = 12;
+  static constexpr uint32_t kPageSize = 1u << kPageShift;
+
+  // `base` provides the initial concrete contents (the guest RAM snapshot at
+  // the moment symbolic execution starts). Must outlive the memory.
+  explicit SymMemory(const vm::MemoryMap* base) : base_(base) {}
+
+  // Byte-level access.
+  ExprRef ReadByte(ExprContext* ctx, uint32_t addr) const;
+  void WriteByte(uint32_t addr, ExprRef value);  // value must have width 8
+
+  // Word access; size in {1,2,4}. Reads zero-extend to 32 bits. A read that
+  // reassembles exactly the bytes of one previously stored 32-bit expression
+  // returns that expression (avoids extract/concat blowup).
+  ExprRef Read(ExprContext* ctx, uint32_t addr, unsigned size) const;
+  void Write(ExprContext* ctx, uint32_t addr, unsigned size, const ExprRef& value);
+
+  // Concrete convenience accessors (assert-free; symbolic bytes read as their
+  // representative 0). Used by the OS substrate when it inspects driver
+  // structures -- the concretization path proper lives in the executor.
+  uint32_t ReadConcrete(uint32_t addr, unsigned size) const;
+  void WriteConcrete(uint32_t addr, unsigned size, uint32_t value);
+
+  // True if any byte of [addr, addr+size) holds a symbolic expression.
+  bool IsSymbolic(uint32_t addr, unsigned size) const;
+
+  size_t NumPrivatePages() const { return pages_.size(); }
+
+ private:
+  struct Page {
+    std::array<uint8_t, kPageSize> concrete{};
+    // Sparse symbolic overlay: offset -> width-8 expression.
+    std::map<uint16_t, ExprRef> symbolic;
+  };
+
+  using PageRef = std::shared_ptr<Page>;
+
+  const Page* FindPage(uint32_t addr) const;
+  Page* PageForWrite(uint32_t addr);
+
+  const vm::MemoryMap* base_;
+  std::unordered_map<uint32_t, PageRef> pages_;  // page index -> COW page
+};
+
+}  // namespace revnic::symex
+
+#endif  // REVNIC_SYMEX_MEMORY_H_

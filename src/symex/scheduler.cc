@@ -1,0 +1,83 @@
+#include "symex/scheduler.h"
+
+#include <algorithm>
+
+namespace revnic::symex {
+
+void StatePool::Add(std::unique_ptr<ExecutionState> state) {
+  if (states_.size() >= options_.max_states) {
+    // Cull the state whose current block is most-executed (least likely to
+    // discover new code), keeping the pool bounded (§3.4 memory pressure).
+    size_t worst = 0;
+    uint64_t worst_count = 0;
+    for (size_t i = 0; i < states_.size(); ++i) {
+      uint64_t c = BlockCount(states_[i]->pc());
+      if (c >= worst_count) {
+        worst_count = c;
+        worst = i;
+      }
+    }
+    states_.erase(states_.begin() + static_cast<long>(worst));
+    ++total_culled_;
+  }
+  states_.push_back(std::move(state));
+}
+
+std::unique_ptr<ExecutionState> StatePool::SelectNext() {
+  if (states_.empty()) {
+    return nullptr;
+  }
+  size_t pick = 0;
+  switch (options_.strategy) {
+    case SelectionStrategy::kMinBlockCount: {
+      uint64_t best = ~0ull;
+      for (size_t i = 0; i < states_.size(); ++i) {
+        uint64_t c = BlockCount(states_[i]->pc());
+        if (c < best) {
+          best = c;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case SelectionStrategy::kDfs:
+      pick = states_.size() - 1;
+      break;
+    case SelectionStrategy::kBfs:
+      pick = 0;
+      break;
+    case SelectionStrategy::kRandom:
+      pick = rng_.Below(static_cast<uint32_t>(states_.size()));
+      break;
+  }
+  std::unique_ptr<ExecutionState> out = std::move(states_[pick]);
+  states_.erase(states_.begin() + static_cast<long>(pick));
+  return out;
+}
+
+size_t StatePool::CollapseToOneRandom() {
+  if (states_.size() <= 1) {
+    return 0;
+  }
+  size_t keep = rng_.Below(static_cast<uint32_t>(states_.size()));
+  std::unique_ptr<ExecutionState> survivor = std::move(states_[keep]);
+  size_t killed = states_.size() - 1;
+  total_culled_ += killed;
+  states_.clear();
+  states_.push_back(std::move(survivor));
+  return killed;
+}
+
+size_t StatePool::KillStatesAt(uint32_t pc) {
+  size_t before = states_.size();
+  states_.erase(std::remove_if(states_.begin(), states_.end(),
+                               [pc](const std::unique_ptr<ExecutionState>& s) {
+                                 return s->pc() == pc;
+                               }),
+                states_.end());
+  size_t killed = before - states_.size();
+  total_culled_ += killed;
+  return killed;
+}
+
+}  // namespace revnic::symex

@@ -1,0 +1,80 @@
+// State pool + path-selection heuristics (§3.2).
+//
+// The pool owns all live execution states and implements the paper's primary
+// strategy: every basic block has a global execution counter; the next state
+// to run is the one whose current block has the lowest count. This avoids
+// getting stuck in loops (re-executed blocks sink in priority) and
+// outperforms DFS (stuck in polling loops) and BFS (slow to finish an entry
+// point) -- the ablation bench reproduces that comparison.
+#ifndef REVNIC_SYMEX_SCHEDULER_H_
+#define REVNIC_SYMEX_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "symex/state.h"
+#include "util/rng.h"
+
+namespace revnic::symex {
+
+enum class SelectionStrategy {
+  kMinBlockCount = 0,  // the paper's heuristic
+  kDfs,                // baseline for the ablation
+  kBfs,                // baseline for the ablation
+  kRandom,             // baseline for the ablation
+};
+
+class StatePool {
+ public:
+  struct Options {
+    SelectionStrategy strategy = SelectionStrategy::kMinBlockCount;
+    size_t max_states = 512;  // hard cap; lowest-priority states are culled
+  };
+
+  StatePool() : StatePool(Options(), 7) {}
+  explicit StatePool(Options options, uint64_t seed = 7) : options_(options), rng_(seed) {}
+
+  void Add(std::unique_ptr<ExecutionState> state);
+
+  // Removes and returns the next state to execute (per strategy); nullptr if
+  // no runnable state remains.
+  std::unique_ptr<ExecutionState> SelectNext();
+
+  // Global execution count bookkeeping: call after each executed block.
+  void NotifyExecuted(uint32_t block_pc) { ++block_counts_[block_pc]; }
+  uint64_t BlockCount(uint32_t block_pc) const {
+    auto it = block_counts_.find(block_pc);
+    return it == block_counts_.end() ? 0 : it->second;
+  }
+
+  // Has any state ever executed this block? (Coverage bookkeeping is the
+  // engine's job; this is the scheduler-local notion.)
+  bool Seen(uint32_t block_pc) const { return block_counts_.count(block_pc) != 0; }
+
+  size_t NumRunnable() const { return states_.size(); }
+  bool Empty() const { return states_.empty(); }
+  void Clear() { states_.clear(); }
+
+  // Drops every runnable state except one chosen at random, returning the
+  // number killed (the §3.2 entry-point completion heuristic applies this
+  // after enough successful completions).
+  size_t CollapseToOneRandom();
+
+  // Removes states whose current pc equals `pc` (polling-loop cull support).
+  size_t KillStatesAt(uint32_t pc);
+
+  uint64_t total_culled() const { return total_culled_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::vector<std::unique_ptr<ExecutionState>> states_;
+  std::map<uint32_t, uint64_t> block_counts_;
+  uint64_t total_culled_ = 0;
+};
+
+}  // namespace revnic::symex
+
+#endif  // REVNIC_SYMEX_SCHEDULER_H_

@@ -1,0 +1,507 @@
+#include "symex/solver.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/bits.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace revnic::symex {
+namespace {
+
+// Unsigned interval [lo, hi] (inclusive) with forced-bit information:
+// any satisfying value v obeys (v & bit_mask) == bit_value.
+struct VarDomain {
+  uint32_t lo = 0;
+  uint32_t hi = 0xFFFFFFFFu;
+  uint32_t bit_mask = 0;
+  uint32_t bit_value = 0;
+  bool contradictory = false;
+
+  void IntersectRange(uint32_t new_lo, uint32_t new_hi) {
+    lo = std::max(lo, new_lo);
+    hi = std::min(hi, new_hi);
+    if (lo > hi) {
+      contradictory = true;
+    }
+  }
+
+  void ForceBits(uint32_t mask, uint32_t value) {
+    uint32_t overlap = bit_mask & mask;
+    if ((bit_value & overlap) != (value & overlap)) {
+      contradictory = true;
+      return;
+    }
+    bit_mask |= mask;
+    bit_value |= value & mask;
+  }
+
+  bool Admits(uint32_t v) const {
+    return !contradictory && v >= lo && v <= hi && (v & bit_mask) == (bit_value & bit_mask);
+  }
+
+  // A representative value honoring the forced bits and, best-effort, the
+  // range. Forced bits take priority (range violations are caught by the
+  // final concrete check).
+  uint32_t Representative() const {
+    uint32_t v = (lo & ~bit_mask) | (bit_value & bit_mask);
+    if (v < lo) {
+      v = (lo | bit_value) & ~(bit_mask & ~bit_value);
+      v |= bit_value;
+    }
+    return v;
+  }
+};
+
+// Structural pattern: is `e` exactly a bare symbol?
+bool IsBareSym(const ExprRef& e, uint32_t* sym_id) {
+  if (e->kind == ExprKind::kSym) {
+    *sym_id = e->sym_id;
+    return true;
+  }
+  // Look through width adjustments: zext/sext of a bare symbol.
+  if ((e->kind == ExprKind::kZExt || e->kind == ExprKind::kSExt) && e->a &&
+      e->a->kind == ExprKind::kSym) {
+    *sym_id = e->a->sym_id;
+    return true;
+  }
+  return false;
+}
+
+// Structural pattern: (sym & mask).
+bool IsMaskedSym(const ExprRef& e, uint32_t* sym_id, uint32_t* mask) {
+  if (e->kind == ExprKind::kBin && e->bin_op == BinOp::kAnd && e->b && e->b->IsConst() &&
+      IsBareSym(e->a, sym_id)) {
+    *mask = e->b->value;
+    return true;
+  }
+  return false;
+}
+
+// Propagates one constraint into per-variable domains. Handles the patterns
+// driver code generates; anything unrecognized is skipped (search handles it).
+void Propagate(const ExprRef& c, bool polarity, std::map<uint32_t, VarDomain>* domains) {
+  if (c->kind != ExprKind::kBin) {
+    // Bare symbolic boolean: (v != 0) when polarity.
+    uint32_t sym;
+    if (IsBareSym(c, &sym)) {
+      if (!polarity) {
+        (*domains)[sym].IntersectRange(0, 0);
+      } else {
+        // v != 0: cannot be expressed as one interval; force nothing.
+      }
+    }
+    return;
+  }
+  const ExprRef& lhs = c->a;
+  const ExprRef& rhs = c->b;
+  if (!rhs) {
+    return;
+  }
+  // Mirrored forms with the constant on the left: Ult(k, v) => v >= k+1,
+  // Ule(k, v) => v >= k (the shapes ExprContext::Not produces).
+  if (lhs && lhs->IsConst() && !rhs->IsConst() && polarity) {
+    uint32_t k = lhs->value;
+    uint32_t sym;
+    if (IsBareSym(rhs, &sym)) {
+      switch (c->bin_op) {
+        case BinOp::kUlt:
+          if (k == 0xFFFFFFFFu) {
+            (*domains)[sym].contradictory = true;
+          } else {
+            (*domains)[sym].IntersectRange(k + 1, 0xFFFFFFFFu);
+          }
+          return;
+        case BinOp::kUle:
+          (*domains)[sym].IntersectRange(k, 0xFFFFFFFFu);
+          return;
+        default:
+          break;
+      }
+    }
+    return;
+  }
+  if (!rhs->IsConst()) {
+    return;
+  }
+  uint32_t k = rhs->value;
+  uint32_t sym, mask;
+  BinOp op = c->bin_op;
+  // Normalize negations: !(a < b) etc. already normalized by ExprContext::Not,
+  // but MayBeTrue can still pass polarity=false for cached purposes.
+  if (!polarity) {
+    switch (op) {
+      case BinOp::kEq:
+        op = BinOp::kNe;
+        break;
+      case BinOp::kNe:
+        op = BinOp::kEq;
+        break;
+      case BinOp::kUlt:
+        op = BinOp::kUle;  // !(a<k) => a>=k, encoded below via swapped logic
+        // a >= k  <=>  !(a <= k-1); handle directly:
+        if (IsBareSym(lhs, &sym)) {
+          (*domains)[sym].IntersectRange(k, 0xFFFFFFFFu);
+        }
+        return;
+      case BinOp::kUle:
+        if (IsBareSym(lhs, &sym) && k != 0xFFFFFFFFu) {
+          (*domains)[sym].IntersectRange(k + 1, 0xFFFFFFFFu);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+  switch (op) {
+    case BinOp::kEq:
+      if (IsBareSym(lhs, &sym)) {
+        (*domains)[sym].IntersectRange(k, k);
+      } else if (IsMaskedSym(lhs, &sym, &mask)) {
+        if ((k & ~mask) != 0) {
+          (*domains)[sym].contradictory = true;
+        } else {
+          (*domains)[sym].ForceBits(mask, k);
+        }
+      } else if (lhs->kind == ExprKind::kBin && lhs->bin_op == BinOp::kAdd && lhs->b &&
+                 lhs->b->IsConst() && IsBareSym(lhs->a, &sym)) {
+        (*domains)[sym].IntersectRange(k - lhs->b->value, k - lhs->b->value);
+      }
+      break;
+    case BinOp::kNe:
+      // Single excluded point: shrink only if it collapses an endpoint.
+      if (IsBareSym(lhs, &sym)) {
+        VarDomain& d = (*domains)[sym];
+        if (d.lo == k && d.lo != 0xFFFFFFFFu) {
+          d.IntersectRange(d.lo + 1, d.hi);
+        } else if (d.hi == k && d.hi != 0) {
+          d.IntersectRange(d.lo, d.hi - 1);
+        }
+      }
+      break;
+    case BinOp::kUlt:
+      if (IsBareSym(lhs, &sym)) {
+        if (k == 0) {
+          (*domains)[sym].contradictory = true;
+        } else {
+          (*domains)[sym].IntersectRange(0, k - 1);
+        }
+      }
+      break;
+    case BinOp::kUle:
+      if (IsBareSym(lhs, &sym)) {
+        (*domains)[sym].IntersectRange(0, k);
+      }
+      break;
+    case BinOp::kSlt:
+    case BinOp::kSle:
+      // Signed ranges over u32 wrap; leave to search.
+      break;
+    default:
+      break;
+  }
+}
+
+bool EvalAll(const std::vector<ExprRef>& constraints, const Model& model) {
+  for (const ExprRef& c : constraints) {
+    if (Eval(c, model) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t CountSat(const std::vector<ExprRef>& constraints, const Model& model) {
+  size_t n = 0;
+  for (const ExprRef& c : constraints) {
+    if (Eval(c, model) != 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+Verdict Solver::CheckSat(const std::vector<ExprRef>& constraints, Model* model,
+                         const Model* hint) {
+  ++stats_.queries;
+
+  // Fast path: all-constant constraints.
+  std::set<uint32_t> var_set;
+  bool any_false_const = false;
+  for (const ExprRef& c : constraints) {
+    if (c->IsConst()) {
+      if (c->value == 0) {
+        any_false_const = true;
+      }
+      continue;
+    }
+    CollectSyms(c, &var_set);
+  }
+  if (any_false_const) {
+    ++stats_.unsat;
+    return Verdict::kUnsat;
+  }
+  if (var_set.empty()) {
+    ++stats_.sat;
+    if (model != nullptr) {
+      model->clear();
+    }
+    return Verdict::kSat;
+  }
+
+  // Structural contradiction: constraints containing both a comparison and
+  // its exact negation (same operands) are unsat -- the common case of a
+  // loop-exit condition asserted both ways along one path.
+  {
+    std::map<uint64_t, uint32_t> seen;  // operand-pair hash -> op bitmask
+    for (const ExprRef& c : constraints) {
+      if (c->IsConst() || c->kind != ExprKind::kBin || !IsComparison(c->bin_op)) {
+        continue;
+      }
+      uint64_t key = HashCombine(c->a->hash, c->b->hash);
+      uint64_t swapped = HashCombine(c->b->hash, c->a->hash);
+      uint32_t& mask = seen[key];
+      auto bit = [](BinOp op) { return 1u << static_cast<unsigned>(op); };
+      // Complement pairs: Eq/Ne on the same key; Ult(a,b) vs Ule(b,a);
+      // Slt(a,b) vs Sle(b,a).
+      bool clash = false;
+      switch (c->bin_op) {
+        case BinOp::kEq:
+          clash = (mask & bit(BinOp::kNe)) != 0;
+          break;
+        case BinOp::kNe:
+          clash = (mask & bit(BinOp::kEq)) != 0;
+          break;
+        case BinOp::kUlt:
+          clash = (seen.count(swapped) != 0 && (seen[swapped] & bit(BinOp::kUle)) != 0);
+          break;
+        case BinOp::kUle:
+          clash = (seen.count(swapped) != 0 && (seen[swapped] & bit(BinOp::kUlt)) != 0);
+          break;
+        case BinOp::kSlt:
+          clash = (seen.count(swapped) != 0 && (seen[swapped] & bit(BinOp::kSle)) != 0);
+          break;
+        case BinOp::kSle:
+          clash = (seen.count(swapped) != 0 && (seen[swapped] & bit(BinOp::kSlt)) != 0);
+          break;
+        default:
+          break;
+      }
+      if (clash) {
+        ++stats_.unsat;
+        return Verdict::kUnsat;
+      }
+      mask |= bit(c->bin_op);
+    }
+  }
+
+  // Domain propagation.
+  std::map<uint32_t, VarDomain> domains;
+  for (uint32_t v : var_set) {
+    domains[v] = VarDomain{};
+  }
+  for (const ExprRef& c : constraints) {
+    if (!c->IsConst()) {
+      Propagate(c, /*polarity=*/true, &domains);
+    }
+  }
+  for (const auto& [sym, d] : domains) {
+    if (d.contradictory) {
+      ++stats_.unsat;
+      return Verdict::kUnsat;
+    }
+  }
+
+  // Seed assignment: propagation representatives, overridden by the hint
+  // (the hint satisfies the old constraints; only new conditions need work).
+  Model seed;
+  for (const auto& [sym, d] : domains) {
+    seed[sym] = d.Representative();
+  }
+  if (hint != nullptr) {
+    for (const auto& [sym, value] : *hint) {
+      if (seed.count(sym) != 0) {
+        seed[sym] = value;
+      }
+    }
+  }
+  ++stats_.evals;
+  if (EvalAll(constraints, seed)) {
+    ++stats_.sat;
+    if (model != nullptr) {
+      *model = std::move(seed);
+    }
+    return Verdict::kSat;
+  }
+  // Second quick try: pure propagation representatives (the hint may fight a
+  // new equality the domains already solved).
+  Model reps;
+  for (const auto& [sym, d] : domains) {
+    reps[sym] = d.Representative();
+  }
+  ++stats_.evals;
+  if (EvalAll(constraints, reps)) {
+    ++stats_.sat;
+    if (model != nullptr) {
+      *model = std::move(reps);
+    }
+    return Verdict::kSat;
+  }
+
+  Verdict v = Search(constraints, std::move(seed), model);
+  if (v == Verdict::kSat) {
+    ++stats_.sat;
+  } else {
+    ++stats_.unknown;
+  }
+  return v;
+}
+
+Verdict Solver::Search(const std::vector<ExprRef>& constraints, Model seed, Model* model) {
+  // WalkSAT-style local repair with incremental evaluation: changing one
+  // variable only re-evaluates the constraints that mention it. Driver
+  // constraints (comparison/mask chains) converge in a handful of steps.
+  const size_t n = constraints.size();
+  std::vector<std::vector<uint32_t>> con_vars(n);
+  std::vector<std::vector<uint32_t>> con_consts(n);
+  std::map<uint32_t, std::vector<size_t>> var_to_cons;
+  for (size_t i = 0; i < n; ++i) {
+    std::set<uint32_t> vs;
+    CollectSyms(constraints[i], &vs);
+    con_vars[i].assign(vs.begin(), vs.end());
+    for (uint32_t v : vs) {
+      var_to_cons[v].push_back(i);
+    }
+    std::set<uint32_t> cs;
+    CollectConstants(constraints[i], &cs);
+    con_consts[i].assign(cs.begin(), cs.end());
+  }
+
+  Model current = std::move(seed);
+  std::vector<bool> sat(n);
+  std::vector<size_t> unsat_list;
+  for (size_t i = 0; i < n; ++i) {
+    ++stats_.evals;
+    sat[i] = Eval(constraints[i], current) != 0;
+    if (!sat[i]) {
+      unsat_list.push_back(i);
+    }
+  }
+
+  size_t best_unsat = unsat_list.size();
+  size_t stagnant = 0;
+  for (size_t iter = 0; iter < options_.repair_iters && !unsat_list.empty(); ++iter) {
+    // Plateau exit: most satisfiable queries converge within a few steps;
+    // burning the full budget on (usually unsat) stragglers dominates cost.
+    if (unsat_list.size() < best_unsat) {
+      best_unsat = unsat_list.size();
+      stagnant = 0;
+    } else if (++stagnant > 40) {
+      break;
+    }
+    size_t violated = unsat_list[rng_.Below(static_cast<uint32_t>(unsat_list.size()))];
+    const std::vector<uint32_t>& vars = con_vars[violated];
+    if (vars.empty()) {
+      return Verdict::kUnsat;  // constant-false constraint
+    }
+    uint32_t var = vars[rng_.Below(static_cast<uint32_t>(vars.size()))];
+    const std::vector<size_t>& affected = var_to_cons[var];
+
+    uint32_t original = current[var];
+    // Delta score of assigning `v`: newly-satisfied minus newly-violated
+    // among affected constraints.
+    auto delta_of = [&](uint32_t v) -> int64_t {
+      current[var] = v;
+      int64_t delta = 0;
+      for (size_t ci : affected) {
+        ++stats_.evals;
+        bool now = Eval(constraints[ci], current) != 0;
+        delta += static_cast<int64_t>(now) - static_cast<int64_t>(sat[ci]);
+      }
+      current[var] = original;
+      return delta;
+    };
+
+    uint32_t best_value = original;
+    int64_t best_delta = 0;
+    auto consider = [&](uint32_t v) {
+      if (v == original) {
+        return;
+      }
+      int64_t d = delta_of(v);
+      if (d > best_delta) {
+        best_delta = d;
+        best_value = v;
+      }
+    };
+    size_t budget = options_.candidates_per_step;
+    for (uint32_t k : con_consts[violated]) {
+      if (budget == 0) {
+        break;
+      }
+      consider(k);
+      consider(k + 1);
+      consider(k - 1);
+      consider(~k);
+      consider(original | k);   // set the tested mask bits
+      consider(original & ~k);  // clear the tested mask bits
+      consider(original ^ k);
+      budget -= std::min<size_t>(budget, 7);
+    }
+    consider(0);
+    consider(1);
+    consider(0xFFFFFFFFu);
+    consider(original ^ (1u << rng_.Below(32)));
+    consider(rng_.Next32());
+
+    uint32_t chosen = best_delta > 0 ? best_value
+                      : (rng_.Below(2) == 0 ? original ^ (1u << rng_.Below(32))
+                                            : rng_.Next32());  // plateau escape
+    current[var] = chosen;
+    // Commit: update sat flags for affected constraints.
+    for (size_t ci : affected) {
+      ++stats_.evals;
+      sat[ci] = Eval(constraints[ci], current) != 0;
+    }
+    unsat_list.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (!sat[i]) {
+        unsat_list.push_back(i);
+      }
+    }
+  }
+  if (unsat_list.empty()) {
+    if (model != nullptr) {
+      *model = std::move(current);
+    }
+    return Verdict::kSat;
+  }
+  return Verdict::kUnknown;
+}
+
+Verdict Solver::MayBeTrue(const std::vector<ExprRef>& constraints, const ExprRef& cond,
+                          Model* model, const Model* hint) {
+  if (cond->IsConst()) {
+    ++stats_.queries;
+    if (cond->value != 0) {
+      ++stats_.sat;
+      return CheckSat(constraints, model, hint);
+    }
+    ++stats_.unsat;
+    return Verdict::kUnsat;
+  }
+  std::vector<ExprRef> all = constraints;
+  all.push_back(cond);
+  return CheckSat(all, model, hint);
+}
+
+bool Solver::MustBeTrue(std::vector<ExprRef> constraints, const ExprRef& cond, ExprContext* ctx) {
+  constraints.push_back(ctx->Not(cond));
+  return CheckSat(constraints, nullptr) == Verdict::kUnsat;
+}
+
+}  // namespace revnic::symex

@@ -1,0 +1,76 @@
+// Constraint solver for path feasibility and concretization.
+//
+// RevNIC's constraints come from driver branch conditions over symbolic
+// hardware reads and injected parameters: comparisons and bit-mask tests
+// against constants, occasionally chained through arithmetic. This solver is
+// tuned for exactly that population:
+//   1. interval + forced-bit propagation handles single-variable constraints
+//      outright (the overwhelmingly common case);
+//   2. candidate enumeration over constants harvested from the constraints
+//      covers small multi-variable systems;
+//   3. guided random/local search is the fallback.
+// Verdicts are sound in one direction: kSat always carries a checked model.
+// kUnsat from propagation is exact; search exhaustion reports kUnknown,
+// which callers treat as infeasible (they merely lose coverage, never
+// correctness -- mirroring the paper's "touch as many blocks as possible"
+// goal).
+#ifndef REVNIC_SYMEX_SOLVER_H_
+#define REVNIC_SYMEX_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "symex/expr.h"
+#include "util/rng.h"
+
+namespace revnic::symex {
+
+enum class Verdict { kSat, kUnsat, kUnknown };
+
+struct SolverStats {
+  uint64_t queries = 0;
+  uint64_t sat = 0;
+  uint64_t unsat = 0;
+  uint64_t unknown = 0;
+  uint64_t cache_hits = 0;
+  uint64_t evals = 0;  // total candidate assignments evaluated
+};
+
+class Solver {
+ public:
+  struct Options {
+    size_t repair_iters = 250;       // local-repair iterations
+    size_t candidates_per_step = 24; // candidate values tried per repair step
+  };
+
+  Solver() : Solver(Options(), 1) {}
+  explicit Solver(Options options, uint64_t seed = 1) : options_(options), rng_(seed) {}
+
+  // Is the conjunction of `constraints` satisfiable? On kSat fills `model`
+  // (if non-null) with a satisfying assignment for every referenced symbol.
+  // `hint`, when given, seeds the search -- pass the path's cached model: the
+  // incremental query "old constraints + one new condition" then usually
+  // needs zero or one repair steps.
+  Verdict CheckSat(const std::vector<ExprRef>& constraints, Model* model,
+                   const Model* hint = nullptr);
+
+  // May `cond` be true given `constraints`? (CheckSat of constraints+cond.)
+  Verdict MayBeTrue(const std::vector<ExprRef>& constraints, const ExprRef& cond, Model* model,
+                    const Model* hint = nullptr);
+
+  // Must `cond` hold? True iff constraints && !cond is unsat.
+  bool MustBeTrue(std::vector<ExprRef> constraints, const ExprRef& cond, ExprContext* ctx);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  Verdict Search(const std::vector<ExprRef>& constraints, Model seed, Model* model);
+
+  Options options_;
+  Rng rng_;
+  SolverStats stats_;
+};
+
+}  // namespace revnic::symex
+
+#endif  // REVNIC_SYMEX_SOLVER_H_

@@ -1,0 +1,259 @@
+#include "synth/cemit.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace revnic::synth {
+
+using ir::Block;
+using ir::Instr;
+using ir::Op;
+using ir::Term;
+
+namespace {
+
+std::string BinExpr(const Instr& i) {
+  auto t = [](int32_t n) { return StrFormat("t%d", n); };
+  switch (i.op) {
+    case Op::kAdd:
+      return t(i.a) + " + " + t(i.b);
+    case Op::kSub:
+      return t(i.a) + " - " + t(i.b);
+    case Op::kMul:
+      return t(i.a) + " * " + t(i.b);
+    case Op::kUDiv:
+      return StrFormat("(t%d == 0u ? 0xFFFFFFFFu : t%d / t%d)", i.b, i.a, i.b);
+    case Op::kURem:
+      return StrFormat("(t%d == 0u ? t%d : t%d %% t%d)", i.b, i.a, i.a, i.b);
+    case Op::kAnd:
+      return t(i.a) + " & " + t(i.b);
+    case Op::kOr:
+      return t(i.a) + " | " + t(i.b);
+    case Op::kXor:
+      return t(i.a) + " ^ " + t(i.b);
+    case Op::kShl:
+      return StrFormat("(t%d >= 32u ? 0u : t%d << t%d)", i.b, i.a, i.b);
+    case Op::kLShr:
+      return StrFormat("(t%d >= 32u ? 0u : t%d >> t%d)", i.b, i.a, i.b);
+    case Op::kAShr:
+      return StrFormat("(uint32_t)(t%d >= 32u ? ((int32_t)t%d < 0 ? -1 : 0)"
+                       " : ((int32_t)t%d >> t%d))",
+                       i.b, i.a, i.a, i.b);
+    case Op::kCmpEq:
+      return StrFormat("(t%d == t%d) ? 1u : 0u", i.a, i.b);
+    case Op::kCmpNe:
+      return StrFormat("(t%d != t%d) ? 1u : 0u", i.a, i.b);
+    case Op::kCmpUlt:
+      return StrFormat("(t%d < t%d) ? 1u : 0u", i.a, i.b);
+    case Op::kCmpUle:
+      return StrFormat("(t%d <= t%d) ? 1u : 0u", i.a, i.b);
+    case Op::kCmpSlt:
+      return StrFormat("((int32_t)t%d < (int32_t)t%d) ? 1u : 0u", i.a, i.b);
+    case Op::kCmpSle:
+      return StrFormat("((int32_t)t%d <= (int32_t)t%d) ? 1u : 0u", i.a, i.b);
+    default:
+      return "0u";
+  }
+}
+
+void EmitInstr(const Instr& i, std::string* out) {
+  switch (i.op) {
+    case Op::kNop:
+      break;
+    case Op::kConst:
+      *out += StrFormat("    t%d = 0x%xu;\n", i.dst, i.imm);
+      break;
+    case Op::kMov:
+      *out += StrFormat("    t%d = t%d;\n", i.dst, i.a);
+      break;
+    case Op::kSelect:
+      *out += StrFormat("    t%d = t%d ? t%d : t%d;\n", i.dst, i.c, i.a, i.b);
+      break;
+    case Op::kZExt:
+      *out += StrFormat("    t%d = t%d & 0x%xu;\n", i.dst, i.a,
+                        i.size >= 4 ? 0xFFFFFFFFu : ((1u << (8 * i.size)) - 1));
+      break;
+    case Op::kSExt:
+      *out += StrFormat("    t%d = (uint32_t)(int32_t)((int%u_t)t%d);\n", i.dst, 8 * i.size,
+                        i.a);
+      break;
+    case Op::kGetReg:
+      // Driver state is reached through the original pointer arithmetic; the
+      // guest register file is the synthesized code's local state.
+      *out += StrFormat("    t%d = cpu->r[%u];\n", i.dst, i.imm);
+      break;
+    case Op::kSetReg:
+      *out += StrFormat("    cpu->r[%u] = t%d;\n", i.imm, i.a);
+      break;
+    case Op::kLoad:
+      *out += StrFormat("    t%d = revnic_load(t%d, %u);\n", i.dst, i.a, i.size);
+      break;
+    case Op::kStore:
+      *out += StrFormat("    revnic_store(t%d, %u, t%d);\n", i.a, i.size, i.b);
+      break;
+    case Op::kIn:
+      *out += StrFormat("    t%d = revnic_in(t%d, %u);\n", i.dst, i.a, i.size);
+      break;
+    case Op::kOut:
+      *out += StrFormat("    revnic_out(t%d, %u, t%d);\n", i.a, i.size, i.b);
+      break;
+    default:
+      *out += StrFormat("    t%d = %s;\n", i.dst, BinExpr(i).c_str());
+      break;
+  }
+}
+
+std::string FnName(const RecoveredModule& m, uint32_t pc) {
+  const RecoveredFunction* f = m.FunctionAt(pc);
+  return f != nullptr ? f->name : StrFormat("function_%x", pc);
+}
+
+}  // namespace
+
+std::string RuntimeHeader() {
+  return R"(/* revnic_runtime.h -- runtime hooks for RevNIC-synthesized driver code.
+ * A driver template implements these over its OS's primitives:
+ *   revnic_load/revnic_store  guest memory (driver state, DMA buffers)
+ *   revnic_in/revnic_out      device port/MMIO access with barriers
+ *   revnic_os_call            kernel API trampoline (args on guest stack)
+ *   revnic_unexplored         reached a branch RevNIC never traced (§4.1)
+ */
+#ifndef REVNIC_RUNTIME_H_
+#define REVNIC_RUNTIME_H_
+#include <stdint.h>
+
+struct revnic_cpu {
+  uint32_t r[16]; /* r11=fp, r12=sp; r0 carries return values */
+};
+
+uint32_t revnic_load(uint32_t addr, unsigned size);
+void revnic_store(uint32_t addr, unsigned size, uint32_t value);
+uint32_t revnic_in(uint32_t port, unsigned size);
+void revnic_out(uint32_t port, unsigned size, uint32_t value);
+uint32_t revnic_os_call(uint32_t api_id, struct revnic_cpu* cpu);
+void revnic_unexplored(uint32_t pc);
+void revnic_halt(void);
+
+#endif /* REVNIC_RUNTIME_H_ */
+)";
+}
+
+std::string EmitFunctionC(const RecoveredModule& m, uint32_t entry_pc,
+                          const CEmitOptions& options) {
+  const RecoveredFunction* fn = m.FunctionAt(entry_pc);
+  if (fn == nullptr) {
+    return "";
+  }
+  std::string out;
+  if (options.annotate) {
+    out += StrFormat("/* %s: %s; %u stack parameter(s)%s%s */\n", fn->name.c_str(),
+                     FunctionTypeName(fn->type), fn->num_params,
+                     fn->has_return ? ", returns a value in r0" : "",
+                     fn->unexplored_targets.empty() ? "" : "; HAS UNEXPLORED BRANCHES");
+  }
+  out += StrFormat("void %s(struct revnic_cpu* cpu)\n{\n", fn->name.c_str());
+
+  // Temps: one declaration sized to the largest block.
+  int32_t max_temps = 0;
+  for (uint32_t pc : fn->block_pcs) {
+    max_temps = std::max(max_temps, m.blocks.at(pc).num_temps);
+  }
+  if (max_temps > 0) {
+    out += "    uint32_t ";
+    for (int32_t t = 0; t < max_temps; ++t) {
+      out += StrFormat("t%d%s", t, t + 1 == max_temps ? ";\n" : ", ");
+    }
+  }
+  out += StrFormat("    goto L_%x;\n", entry_pc);
+
+  std::set<uint32_t> ordered(fn->block_pcs.begin(), fn->block_pcs.end());
+  auto jump_to = [&](uint32_t pc) -> std::string {
+    if (ordered.count(pc) != 0) {
+      return StrFormat("goto L_%x;", pc);
+    }
+    // Coverage hole (§4.1): warn the developer; trap at run time.
+    return StrFormat("{ revnic_unexplored(0x%x); return; } /* WARNING: unexplored */", pc);
+  };
+
+  for (uint32_t pc : ordered) {
+    const Block& b = m.blocks.at(pc);
+    out += StrFormat("L_%x:\n", pc);
+    for (const Instr& i : b.instrs) {
+      EmitInstr(i, &out);
+    }
+    switch (b.term) {
+      case Term::kFallthrough:
+      case Term::kJump:
+        out += "    " + jump_to(b.target) + "\n";
+        break;
+      case Term::kBranch:
+        out += StrFormat("    if (t%d) %s\n", b.cond_tmp, jump_to(b.target).c_str());
+        out += "    " + jump_to(b.fallthrough) + "\n";
+        break;
+      case Term::kJumpInd: {
+        out += StrFormat("    switch (t%d) {\n", b.cond_tmp);
+        auto it = m.indirect_targets.find(pc);
+        if (it != m.indirect_targets.end()) {
+          for (uint32_t t : it->second) {
+            out += StrFormat("    case 0x%x: %s break;\n", t, jump_to(t).c_str());
+          }
+        }
+        out += StrFormat("    default: revnic_unexplored(t%d); return;\n    }\n", b.cond_tmp);
+        break;
+      }
+      case Term::kCall:
+        // The return-address push is already in the block body; direct calls
+        // are preserved (§4.1 "all function calls are preserved").
+        out += StrFormat("    %s(cpu);\n", FnName(m, b.target).c_str());
+        out += "    " + jump_to(b.fallthrough) + "\n";
+        break;
+      case Term::kCallInd: {
+        out += StrFormat("    switch (t%d) {\n", b.cond_tmp);
+        auto it = m.indirect_targets.find(pc);
+        if (it != m.indirect_targets.end()) {
+          for (uint32_t t : it->second) {
+            out += StrFormat("    case 0x%x: %s(cpu); break;\n", t, FnName(m, t).c_str());
+          }
+        }
+        out += StrFormat("    default: revnic_unexplored(t%d); return;\n    }\n", b.cond_tmp);
+        out += "    " + jump_to(b.fallthrough) + "\n";
+        break;
+      }
+      case Term::kRet:
+        // The stack pop is in the block body; the popped return address is
+        // implicit in the call structure.
+        out += "    return;\n";
+        break;
+      case Term::kSyscall:
+        out += StrFormat("    cpu->r[0] = revnic_os_call(%u, cpu);\n", b.target);
+        out += "    " + jump_to(b.fallthrough) + "\n";
+        break;
+      case Term::kHalt:
+        out += "    revnic_halt();\n    return;\n";
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string EmitC(const RecoveredModule& m, const CEmitOptions& options) {
+  std::string out;
+  out += "/* Synthesized by RevNIC: C encoding of the reverse-engineered driver\n";
+  out += " * state machine. Control flow uses goto; driver state is reached via\n";
+  out += " * the original pointer arithmetic (see paper, Listing 1).\n */\n";
+  out += "#include \"revnic_runtime.h\"\n\n";
+  // Forward declarations.
+  for (const auto& [pc, fn] : m.functions) {
+    out += StrFormat("void %s(struct revnic_cpu* cpu);\n", fn.name.c_str());
+  }
+  out += "\n";
+  for (const auto& [pc, fn] : m.functions) {
+    out += EmitFunctionC(m, pc, options);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace revnic::synth

@@ -1,0 +1,37 @@
+// C code generation from the recovered CFG (§4.1, Listing 1).
+//
+// "The control flow is encoded using direct jumps (goto) and all function
+// calls are preserved. RevNIC preserves the local and global state layout of
+// the original driver ... The synthesized code preserves this mechanism by
+// keeping the pointer arithmetic of the original driver."
+//
+// The emitted file is genuinely compilable C: it targets a small runtime
+// (revnic_runtime.h, also emitted) providing guest memory, port I/O, and an
+// os_call trampoline -- the hooks a driver template supplies. The test suite
+// compiles emitter output with the host compiler to prove it.
+#ifndef REVNIC_SYNTH_CEMIT_H_
+#define REVNIC_SYNTH_CEMIT_H_
+
+#include <string>
+
+#include "synth/module.h"
+
+namespace revnic::synth {
+
+struct CEmitOptions {
+  bool annotate = true;  // function-type / coverage-hole comments
+};
+
+// Renders the entire module as one C translation unit.
+std::string EmitC(const RecoveredModule& module, const CEmitOptions& options = CEmitOptions());
+
+// The runtime header the generated code compiles against.
+std::string RuntimeHeader();
+
+// Renders a single function (used by examples to show snippets).
+std::string EmitFunctionC(const RecoveredModule& module, uint32_t entry_pc,
+                          const CEmitOptions& options = CEmitOptions());
+
+}  // namespace revnic::synth
+
+#endif  // REVNIC_SYNTH_CEMIT_H_

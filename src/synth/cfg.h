@@ -1,0 +1,41 @@
+// Trace -> CFG reconstruction (§4.1).
+//
+// "RevNIC merges the execution paths from traces in order to rebuild the
+// state machine (i.e., control flow graph) of the original driver. ...
+// First, RevNIC identifies function boundaries by looking for call-return
+// instruction pairs. Second, the translation blocks between call-return
+// pairs are chained together to reproduce the original CFG of the function.
+// RevNIC splits translation blocks into basic blocks in the process."
+//
+// Asynchronous events (injected interrupts, timer handlers) are detected via
+// register-state discontinuities between consecutively executed blocks of
+// the same path, exactly as §4.1 describes; their handlers become ordinary
+// functions.
+#ifndef REVNIC_SYNTH_CFG_H_
+#define REVNIC_SYNTH_CFG_H_
+
+#include <string>
+
+#include "synth/module.h"
+#include "trace/trace.h"
+
+namespace revnic::synth {
+
+struct SynthStats {
+  size_t translation_blocks = 0;
+  size_t basic_blocks = 0;     // after splitting
+  size_t functions = 0;
+  size_t async_boundaries = 0; // register-discontinuity detections
+  size_t coverage_holes = 0;   // flagged unexplored branch targets
+  uint64_t trace_bytes = 0;    // input size (for the §5.4 throughput metric)
+};
+
+// Rebuilds the driver's state machine from the wiretap output. `entries`
+// provides the role metadata recorded at registration time.
+RecoveredModule BuildModule(const trace::TraceBundle& bundle,
+                            const std::vector<os::EntryPoint>& entries,
+                            SynthStats* stats = nullptr);
+
+}  // namespace revnic::synth
+
+#endif  // REVNIC_SYNTH_CFG_H_

@@ -1,0 +1,129 @@
+#include "synth/diff.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/bits.h"
+#include "util/strings.h"
+
+namespace revnic::synth {
+
+const char* DiffKindName(DiffKind kind) {
+  switch (kind) {
+    case DiffKind::kUnchanged:
+      return "unchanged";
+    case DiffKind::kModified:
+      return "modified";
+    case DiffKind::kAdded:
+      return "added";
+    case DiffKind::kRemoved:
+      return "removed";
+  }
+  return "?";
+}
+
+namespace {
+
+// Content hash of a function: IR of all its blocks with pc-relative layout
+// (link-base shifts between driver versions must not count as changes).
+uint64_t FunctionFingerprint(const RecoveredModule& m, const RecoveredFunction& fn) {
+  uint64_t h = 0xF17E5EED;
+  std::vector<uint32_t> pcs(fn.block_pcs.begin(), fn.block_pcs.end());
+  std::sort(pcs.begin(), pcs.end());
+  for (uint32_t pc : pcs) {
+    const ir::Block& b = m.blocks.at(pc);
+    h = HashCombine(h, pc - fn.entry_pc);
+    h = HashCombine(h, static_cast<uint64_t>(b.term));
+    for (const ir::Instr& i : b.instrs) {
+      uint64_t word = static_cast<uint64_t>(i.op) | (static_cast<uint64_t>(i.size) << 8) |
+                      (static_cast<uint64_t>(static_cast<uint32_t>(i.dst)) << 16);
+      h = HashCombine(h, word);
+      h = HashCombine(h, (static_cast<uint64_t>(i.imm) << 16) ^
+                             static_cast<uint64_t>(static_cast<uint32_t>(i.a)) ^
+                             (static_cast<uint64_t>(static_cast<uint32_t>(i.b)) << 8));
+    }
+  }
+  return h;
+}
+
+// Pairing key: functions are matched by entry-point role when known, else by
+// entry pc (stable when the vendor patch touches only some functions).
+std::map<std::string, const RecoveredFunction*> KeyedFunctions(const RecoveredModule& m) {
+  std::map<std::string, const RecoveredFunction*> keyed;
+  std::map<uint32_t, std::string> role_by_pc;
+  for (const auto& [role, pc] : m.entry_roles) {
+    role_by_pc[pc] = StrFormat("role:%s", os::EntryRoleName(role));
+  }
+  for (const auto& [pc, fn] : m.functions) {
+    auto it = role_by_pc.find(pc);
+    std::string key = it != role_by_pc.end() ? it->second : StrFormat("pc:%x", pc);
+    keyed.emplace(std::move(key), &fn);
+  }
+  return keyed;
+}
+
+}  // namespace
+
+ModuleDiff DiffModules(const RecoveredModule& old_module, const RecoveredModule& new_module) {
+  ModuleDiff diff;
+  auto old_keyed = KeyedFunctions(old_module);
+  auto new_keyed = KeyedFunctions(new_module);
+
+  for (const auto& [key, old_fn] : old_keyed) {
+    FunctionDiff fd;
+    fd.old_pc = old_fn->entry_pc;
+    fd.old_blocks = old_fn->block_pcs.size();
+    auto it = new_keyed.find(key);
+    if (it == new_keyed.end()) {
+      fd.kind = DiffKind::kRemoved;
+      fd.name = old_fn->name;
+      ++diff.num_removed;
+    } else {
+      const RecoveredFunction* new_fn = it->second;
+      fd.new_pc = new_fn->entry_pc;
+      fd.new_blocks = new_fn->block_pcs.size();
+      fd.name = new_fn->name;
+      uint64_t old_fp = FunctionFingerprint(old_module, *old_fn);
+      uint64_t new_fp = FunctionFingerprint(new_module, *new_fn);
+      if (old_fp == new_fp) {
+        fd.kind = DiffKind::kUnchanged;
+        ++diff.num_unchanged;
+      } else {
+        fd.kind = DiffKind::kModified;
+        fd.semantics_changed = true;
+        ++diff.num_modified;
+      }
+    }
+    diff.functions.push_back(fd);
+  }
+  for (const auto& [key, new_fn] : new_keyed) {
+    if (old_keyed.count(key) != 0) {
+      continue;
+    }
+    FunctionDiff fd;
+    fd.kind = DiffKind::kAdded;
+    fd.name = new_fn->name;
+    fd.new_pc = new_fn->entry_pc;
+    fd.new_blocks = new_fn->block_pcs.size();
+    diff.functions.push_back(fd);
+    ++diff.num_added;
+  }
+  return diff;
+}
+
+std::string FormatDiff(const ModuleDiff& diff) {
+  std::string out = StrFormat("module diff: %zu unchanged, %zu modified, %zu added, %zu removed\n",
+                              diff.num_unchanged, diff.num_modified, diff.num_added,
+                              diff.num_removed);
+  for (const FunctionDiff& fd : diff.functions) {
+    if (fd.kind == DiffKind::kUnchanged) {
+      continue;
+    }
+    out += StrFormat("  %-9s %-28s old=0x%x(%zu blocks) new=0x%x(%zu blocks)\n",
+                     DiffKindName(fd.kind), fd.name.c_str(), fd.old_pc, fd.old_blocks,
+                     fd.new_pc, fd.new_blocks);
+  }
+  return out;
+}
+
+}  // namespace revnic::synth

@@ -1,0 +1,52 @@
+// Recovered-module diffing: the paper's maintenance story (§6).
+//
+// "RevNIC can be rerun easily every time there is an update to the original
+// binary driver. The resulting source code can be compared to the initially
+// reverse engineered code and the differences merged into the reverse
+// engineered driver, like in a version control system."
+//
+// DiffModules compares two recovered modules function by function (matched by
+// role first, then by entry pc) and classifies each as unchanged, modified
+// (different block structure or IR), added, or removed -- the unit a
+// developer reviews when a vendor patch lands.
+#ifndef REVNIC_SYNTH_DIFF_H_
+#define REVNIC_SYNTH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/module.h"
+
+namespace revnic::synth {
+
+enum class DiffKind : uint8_t { kUnchanged = 0, kModified, kAdded, kRemoved };
+const char* DiffKindName(DiffKind kind);
+
+struct FunctionDiff {
+  DiffKind kind = DiffKind::kUnchanged;
+  std::string name;          // name in the new module (old name if removed)
+  uint32_t old_pc = 0;
+  uint32_t new_pc = 0;
+  size_t old_blocks = 0;
+  size_t new_blocks = 0;
+  bool semantics_changed = false;  // IR content differs (not just layout)
+};
+
+struct ModuleDiff {
+  std::vector<FunctionDiff> functions;
+  size_t num_unchanged = 0;
+  size_t num_modified = 0;
+  size_t num_added = 0;
+  size_t num_removed = 0;
+
+  bool Identical() const { return num_modified + num_added + num_removed == 0; }
+};
+
+ModuleDiff DiffModules(const RecoveredModule& old_module, const RecoveredModule& new_module);
+
+// Human-readable report ("like in a version control system").
+std::string FormatDiff(const ModuleDiff& diff);
+
+}  // namespace revnic::synth
+
+#endif  // REVNIC_SYNTH_DIFF_H_

@@ -1,0 +1,77 @@
+// RecoveredModule: the synthesizer's output (§4.1).
+//
+// A C-encoded state machine in two forms that share one structure:
+//   * the recovered CFG itself (basic blocks of vir, function table, entry
+//     roles, parameter/return info) -- directly executable by
+//     synth::RecoveredRunner inside a target-OS driver template;
+//   * C source text rendered from the same CFG by synth::EmitC (the artifact
+//     the paper's developer pastes into templates; Listing 1 style).
+#ifndef REVNIC_SYNTH_MODULE_H_
+#define REVNIC_SYNTH_MODULE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "os/winsim.h"
+
+namespace revnic::synth {
+
+// Paper §4.2 function taxonomy.
+enum class FunctionType : uint8_t {
+  kHardwareOnly = 1,   // type 1: only hardware I/O (and calls to hw functions)
+  kOsGlue = 2,         // type 2: OS calls orchestrating hw helpers
+  kMixed = 3,          // type 3: hardware I/O interleaved with OS calls
+  kPureCompute = 4,    // type 4: OS-independent algorithm (e.g. CRC)
+};
+const char* FunctionTypeName(FunctionType type);
+
+struct RecoveredFunction {
+  uint32_t entry_pc = 0;
+  std::string name;                   // "function_401250" or role-derived
+  std::vector<uint32_t> block_pcs;    // blocks belonging to this function
+  unsigned num_params = 0;            // def-use recovered (§4.1)
+  bool has_return = false;
+  FunctionType type = FunctionType::kHardwareOnly;
+  bool has_hw_io = false;
+  bool has_os_calls = false;
+  std::set<uint32_t> callees;         // direct call targets
+  std::set<uint32_t> api_ids;         // OS APIs invoked
+  // Branch targets never observed in any trace: coverage holes the developer
+  // is warned about (§4.1 "RevNIC flags such branches").
+  std::set<uint32_t> unexplored_targets;
+};
+
+struct RecoveredModule {
+  // Basic blocks after splitting, keyed by pc.
+  std::map<uint32_t, ir::Block> blocks;
+  std::map<uint32_t, RecoveredFunction> functions;
+  // Entry-point roles discovered during exercising (role -> function pc).
+  std::map<os::EntryRole, uint32_t> entry_roles;
+  // Observed targets of indirect jumps per block pc (jump tables, §3.4).
+  std::map<uint32_t, std::set<uint32_t>> indirect_targets;
+  uint32_t code_begin = 0;
+  uint32_t code_end = 0;
+
+  const RecoveredFunction* FunctionAt(uint32_t pc) const {
+    auto it = functions.find(pc);
+    return it == functions.end() ? nullptr : &it->second;
+  }
+  uint32_t EntryPc(os::EntryRole role) const {
+    auto it = entry_roles.find(role);
+    return it == entry_roles.end() ? 0 : it->second;
+  }
+
+  // Aggregate statistics for the Figure 9 breakdown.
+  size_t NumFunctions() const { return functions.size(); }
+  size_t NumFullyAutomatic() const;   // no OS involvement: types 1 and 4
+  size_t NumNeedingManualGlue() const;
+  size_t NumMixed() const;            // type 3 only (~10-15% in the paper)
+};
+
+}  // namespace revnic::synth
+
+#endif  // REVNIC_SYNTH_MODULE_H_

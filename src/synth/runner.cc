@@ -1,0 +1,59 @@
+#include "synth/runner.h"
+
+#include "isa/isa.h"
+#include "os/api.h"
+#include "util/log.h"
+
+namespace revnic::synth {
+
+std::shared_ptr<const ir::Block> RecoveredRunner::FetchBlock(uint32_t pc) {
+  auto it = module_->blocks.find(pc);
+  if (it == module_->blocks.end()) {
+    if (first_unexplored_pc_ == 0) {
+      first_unexplored_pc_ = pc;
+    }
+    RLOG_WARN("recovered module: unexplored block 0x%x reached", pc);
+    return nullptr;
+  }
+  // Non-owning view; the module outlives the runner.
+  return std::shared_ptr<const ir::Block>(std::shared_ptr<const void>(), &it->second);
+}
+
+std::optional<uint32_t> RecoveredRunner::Call(uint32_t entry_pc,
+                                              const std::vector<uint32_t>& args,
+                                              uint64_t budget) {
+  uint32_t saved_sp = reg(isa::kRegSp);
+  for (auto it = args.rbegin(); it != args.rend(); ++it) {
+    Push(*it);
+  }
+  Push(kStopPc);
+  set_pc(entry_pc);
+
+  while (true) {
+    RunResult r = Run(budget);
+    switch (r.reason) {
+      case StopReason::kStopPc: {
+        uint32_t ret = reg(isa::kRegR0);
+        set_reg(isa::kRegSp, saved_sp);
+        return ret;
+      }
+      case StopReason::kSyscall: {
+        const os::ApiSignature& sig = os::SignatureOf(r.api_id);
+        std::vector<uint32_t> sys_args(sig.argc);
+        for (unsigned i = 0; i < sig.argc; ++i) {
+          sys_args[i] = PopArg(i);
+        }
+        DropArgs(sig.argc);
+        set_reg(isa::kRegR0, bridge_->OsCall(r.api_id, sys_args));
+        break;
+      }
+      case StopReason::kBudget:
+      case StopReason::kHalt:
+      case StopReason::kBadFetch:
+        set_reg(isa::kRegSp, saved_sp);
+        return std::nullopt;
+    }
+  }
+}
+
+}  // namespace revnic::synth

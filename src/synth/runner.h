@@ -1,0 +1,57 @@
+// RecoveredRunner: executes RevNIC-synthesized code inside a target-OS
+// driver template.
+//
+// The recovered module is the same state machine the generated C encodes;
+// running it directly (instead of compiling the C at run time) lets the
+// test suite and benchmarks measure synthesized drivers end-to-end in
+// process. The runner is a ConcreteMachine whose block source is the
+// recovered CFG, so performance accounting (guest instructions) is directly
+// comparable with the original binary.
+#ifndef REVNIC_SYNTH_RUNNER_H_
+#define REVNIC_SYNTH_RUNNER_H_
+
+#include <optional>
+
+#include "synth/module.h"
+#include "vm/machine.h"
+
+namespace revnic::synth {
+
+// Target-OS side of synthesized code: services kernel API calls.
+class OsBridge {
+ public:
+  virtual ~OsBridge() = default;
+  // `args` are the stack arguments of the API call; return value goes to r0.
+  virtual uint32_t OsCall(uint32_t api_id, const std::vector<uint32_t>& args) = 0;
+};
+
+class RecoveredRunner : public vm::ConcreteMachine {
+ public:
+  static constexpr uint32_t kStopPc = 0xFFFFFFF0;
+
+  RecoveredRunner(const RecoveredModule* module, vm::MemoryMap* mm, OsBridge* bridge)
+      : vm::ConcreteMachine(mm), module_(module), bridge_(bridge) {
+    set_stop_pc(kStopPc);
+  }
+
+  // Calls a recovered function with stdcall args; returns r0, or nullopt if
+  // execution escaped the recovered CFG (unexplored branch) or hung.
+  std::optional<uint32_t> Call(uint32_t entry_pc, const std::vector<uint32_t>& args,
+                               uint64_t budget = 2'000'000);
+
+  // Pc of the first block the runner failed to find, 0 if none (coverage
+  // hole diagnostics, §4.1).
+  uint32_t first_unexplored_pc() const { return first_unexplored_pc_; }
+
+ protected:
+  std::shared_ptr<const ir::Block> FetchBlock(uint32_t pc) override;
+
+ private:
+  const RecoveredModule* module_;
+  OsBridge* bridge_;
+  uint32_t first_unexplored_pc_ = 0;
+};
+
+}  // namespace revnic::synth
+
+#endif  // REVNIC_SYNTH_RUNNER_H_

@@ -1,0 +1,19 @@
+// Binary (de)serialization of TraceBundle. Used to persist wiretap output and
+// by the synthesizer-throughput benchmark (§5.4 reports ~100 MB/minute of
+// trace processed; we measure our own rate on the same representation).
+#ifndef REVNIC_TRACE_SERIALIZE_H_
+#define REVNIC_TRACE_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace revnic::trace {
+
+std::vector<uint8_t> Serialize(const TraceBundle& bundle);
+bool Deserialize(const std::vector<uint8_t>& bytes, TraceBundle* out, std::string* error);
+
+}  // namespace revnic::trace
+
+#endif  // REVNIC_TRACE_SERIALIZE_H_

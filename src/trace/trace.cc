@@ -1,0 +1,32 @@
+#include "trace/trace.h"
+
+namespace revnic::trace {
+
+size_t TraceBundle::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [pc, block] : blocks) {
+    bytes += sizeof(ir::Block) + block.instrs.size() * sizeof(ir::Instr);
+  }
+  bytes += block_records.size() * sizeof(BlockRecord);
+  bytes += mem_records.size() * sizeof(MemRecord);
+  for (const ApiRecord& r : api_records) {
+    bytes += sizeof(ApiRecord) + r.args.size() * sizeof(uint32_t);
+  }
+  for (const EventRecord& r : events) {
+    bytes += sizeof(EventRecord) + r.detail.size();
+  }
+  return bytes;
+}
+
+void BundleSink::OnBlock(const ir::Block& block, const BlockRecord& record) {
+  bundle_->blocks.emplace(block.guest_pc, block);
+  bundle_->block_records.push_back(record);
+}
+
+void BundleSink::OnMem(const MemRecord& record) { bundle_->mem_records.push_back(record); }
+
+void BundleSink::OnApi(const ApiRecord& record) { bundle_->api_records.push_back(record); }
+
+void BundleSink::OnEvent(const EventRecord& record) { bundle_->events.push_back(record); }
+
+}  // namespace revnic::trace

@@ -1,0 +1,57 @@
+// Bit-manipulation helpers shared by the ISA encoder, devices, and symbolic
+// expression simplifier.
+#ifndef REVNIC_UTIL_BITS_H_
+#define REVNIC_UTIL_BITS_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace revnic {
+
+// Mask with the low `width` bits set; width in [0,32].
+inline uint32_t LowMask(unsigned width) {
+  return width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+}
+
+inline uint32_t SignExtend(uint32_t value, unsigned from_bits) {
+  if (from_bits == 0 || from_bits >= 32) {
+    return value;
+  }
+  uint32_t m = 1u << (from_bits - 1);
+  value &= LowMask(from_bits);
+  return (value ^ m) - m;
+}
+
+// Little-endian loads/stores on raw byte buffers.
+inline uint32_t LoadLE(const uint8_t* p, unsigned size) {
+  uint32_t v = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline void StoreLE(uint8_t* p, uint32_t value, unsigned size) {
+  for (unsigned i = 0; i < size; ++i) {
+    p[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+// FNV-1a over bytes; used for trace content hashing and expr interning.
+inline uint64_t Fnv1a(const void* data, size_t len, uint64_t seed = 0xCBF29CE484222325ull) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+}
+
+}  // namespace revnic
+
+#endif  // REVNIC_UTIL_BITS_H_

@@ -1,0 +1,34 @@
+// Minimal leveled logger. RevNIC components log through this so tests can
+// silence or capture diagnostics.
+#ifndef REVNIC_UTIL_LOG_H_
+#define REVNIC_UTIL_LOG_H_
+
+#include <string>
+
+#include "util/strings.h"  // REVNIC_LOG expands to StrFormat
+
+namespace revnic {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Sets the global minimum level that is emitted. Default: kWarn.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one log line (appends '\n') to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const std::string& msg);
+
+}  // namespace revnic
+
+#define REVNIC_LOG(level, ...)                                              \
+  do {                                                                      \
+    if (static_cast<int>(level) >= static_cast<int>(revnic::GetLogLevel())) \
+      revnic::LogMessage(level, revnic::StrFormat(__VA_ARGS__));            \
+  } while (0)
+
+#define RLOG_DEBUG(...) REVNIC_LOG(revnic::LogLevel::kDebug, __VA_ARGS__)
+#define RLOG_INFO(...) REVNIC_LOG(revnic::LogLevel::kInfo, __VA_ARGS__)
+#define RLOG_WARN(...) REVNIC_LOG(revnic::LogLevel::kWarn, __VA_ARGS__)
+#define RLOG_ERROR(...) REVNIC_LOG(revnic::LogLevel::kError, __VA_ARGS__)
+
+#endif  // REVNIC_UTIL_LOG_H_

@@ -1,0 +1,40 @@
+// Deterministic PRNG (splitmix64). All stochastic choices in RevNIC (path
+// selection tie-breaking, the "keep one random successful path" heuristic,
+// solver search) go through this so runs are reproducible.
+#ifndef REVNIC_UTIL_RNG_H_
+#define REVNIC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace revnic {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  // Uniform value in [0, bound). bound == 0 returns 0.
+  uint32_t Below(uint32_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return static_cast<uint32_t>(Next64() % bound);
+  }
+
+  double NextDouble() { return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace revnic
+
+#endif  // REVNIC_UTIL_RNG_H_

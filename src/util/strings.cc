@@ -1,0 +1,125 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace revnic {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t b = 0;
+  size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
+    --e;
+  }
+  return text.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string HexDump(const uint8_t* data, size_t len, uint32_t base_addr) {
+  std::string out;
+  for (size_t row = 0; row < len; row += 16) {
+    out += StrFormat("%08x  ", static_cast<uint32_t>(base_addr + row));
+    for (size_t i = 0; i < 16; ++i) {
+      if (row + i < len) {
+        out += StrFormat("%02x ", data[row + i]);
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (size_t i = 0; i < 16 && row + i < len; ++i) {
+      uint8_t c = data[row + i];
+      out += (c >= 0x20 && c < 0x7f) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+bool ParseInt(std::string_view text, uint32_t* out) {
+  text = Trim(text);
+  if (text.empty()) {
+    return false;
+  }
+  bool neg = false;
+  if (text[0] == '-') {
+    neg = true;
+    text.remove_prefix(1);
+    if (text.empty()) {
+      return false;
+    }
+  }
+  uint64_t value = 0;
+  int base = 10;
+  if (StartsWith(text, "0x") || StartsWith(text, "0X")) {
+    base = 16;
+    text.remove_prefix(2);
+  } else if (StartsWith(text, "0b") || StartsWith(text, "0B")) {
+    base = 2;
+    text.remove_prefix(2);
+  }
+  if (text.empty()) {
+    return false;
+  }
+  for (char ch : text) {
+    int digit;
+    if (ch >= '0' && ch <= '9') {
+      digit = ch - '0';
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = ch - 'a' + 10;
+    } else if (ch >= 'A' && ch <= 'F') {
+      digit = ch - 'A' + 10;
+    } else if (ch == '_') {
+      continue;  // digit separator
+    } else {
+      return false;
+    }
+    if (digit >= base) {
+      return false;
+    }
+    value = value * static_cast<uint64_t>(base) + static_cast<uint64_t>(digit);
+    if (value > 0xFFFFFFFFull) {
+      return false;
+    }
+  }
+  uint32_t v = static_cast<uint32_t>(value);
+  *out = neg ? static_cast<uint32_t>(-static_cast<int64_t>(v)) : v;
+  return true;
+}
+
+}  // namespace revnic

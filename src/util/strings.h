@@ -1,0 +1,34 @@
+// String formatting and manipulation helpers used across the RevNIC codebase.
+#ifndef REVNIC_UTIL_STRINGS_H_
+#define REVNIC_UTIL_STRINGS_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revnic {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Renders `data` as a classic offset/hex/ascii dump, for debugging traces.
+std::string HexDump(const uint8_t* data, size_t len, uint32_t base_addr = 0);
+
+// Parses an integer literal: decimal, 0x hex, or 0b binary, with optional
+// leading '-'. Returns false on malformed input.
+bool ParseInt(std::string_view text, uint32_t* out);
+
+}  // namespace revnic
+
+#endif  // REVNIC_UTIL_STRINGS_H_

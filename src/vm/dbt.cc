@@ -1,0 +1,360 @@
+#include "vm/dbt.h"
+
+#include <cassert>
+
+#include "ir/verifier.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace revnic::vm {
+
+using ir::Block;
+using ir::Instr;
+using ir::Op;
+using ir::Term;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+int32_t Emit(Block* b, Instr instr) {
+  b->instrs.push_back(instr);
+  return instr.dst;
+}
+
+int32_t EmitConst(Block* b, int32_t* tmp, uint32_t value) {
+  int32_t t = (*tmp)++;
+  Emit(b, {.op = Op::kConst, .dst = t, .imm = value});
+  return t;
+}
+
+int32_t EmitGetReg(Block* b, int32_t* tmp, unsigned reg) {
+  int32_t t = (*tmp)++;
+  Emit(b, {.op = Op::kGetReg, .dst = t, .imm = reg});
+  return t;
+}
+
+void EmitSetReg(Block* b, unsigned reg, int32_t src) {
+  Emit(b, {.op = Op::kSetReg, .a = src, .imm = reg});
+}
+
+// Materializes the flexible B operand (register or immediate).
+int32_t EmitB(Block* b, int32_t* tmp, const Instruction& i) {
+  return i.b_is_imm ? EmitConst(b, tmp, i.imm) : EmitGetReg(b, tmp, i.rb);
+}
+
+// Materializes a memory/port effective address: imm, ra, or ra+imm.
+int32_t EmitAddr(Block* b, int32_t* tmp, const Instruction& i) {
+  if (i.no_base) {
+    return EmitConst(b, tmp, i.imm);
+  }
+  int32_t base = EmitGetReg(b, tmp, i.ra);
+  if (i.imm == 0) {
+    return base;
+  }
+  int32_t off = EmitConst(b, tmp, i.imm);
+  int32_t sum = (*tmp)++;
+  Emit(b, {.op = Op::kAdd, .dst = sum, .a = base, .b = off});
+  return sum;
+}
+
+// sp -= 4; mem[sp] = value_tmp. Returns nothing; updates sp in the block.
+void EmitPush(Block* b, int32_t* tmp, int32_t value_tmp) {
+  int32_t sp = EmitGetReg(b, tmp, isa::kRegSp);
+  int32_t four = EmitConst(b, tmp, 4);
+  int32_t nsp = (*tmp)++;
+  Emit(b, {.op = Op::kSub, .dst = nsp, .a = sp, .b = four});
+  EmitSetReg(b, isa::kRegSp, nsp);
+  Emit(b, {.op = Op::kStore, .size = 4, .a = nsp, .b = value_tmp});
+}
+
+Op AluOp(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+      return Op::kAdd;
+    case Opcode::kSub:
+      return Op::kSub;
+    case Opcode::kMul:
+      return Op::kMul;
+    case Opcode::kUDiv:
+      return Op::kUDiv;
+    case Opcode::kURem:
+      return Op::kURem;
+    case Opcode::kAnd:
+      return Op::kAnd;
+    case Opcode::kOr:
+      return Op::kOr;
+    case Opcode::kXor:
+      return Op::kXor;
+    case Opcode::kShl:
+      return Op::kShl;
+    case Opcode::kShr:
+      return Op::kLShr;
+    case Opcode::kSar:
+      return Op::kAShr;
+    default:
+      assert(false && "not an ALU opcode");
+      return Op::kNop;
+  }
+}
+
+}  // namespace
+
+void Dbt::LowerInstr(const Instruction& i, uint32_t pc, Block* b, int32_t* tmp) {
+  uint32_t next_pc = pc + isa::kInstrBytes;
+  switch (i.opcode) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHlt:
+      b->term = Term::kHalt;
+      break;
+    case Opcode::kMov: {
+      EmitSetReg(b, i.rd, EmitB(b, tmp, i));
+      break;
+    }
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kUDiv:
+    case Opcode::kURem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar: {
+      int32_t a = EmitGetReg(b, tmp, i.ra);
+      int32_t rhs = EmitB(b, tmp, i);
+      int32_t r = (*tmp)++;
+      Emit(b, {.op = AluOp(i.opcode), .dst = r, .a = a, .b = rhs});
+      EmitSetReg(b, i.rd, r);
+      break;
+    }
+    case Opcode::kLdB:
+    case Opcode::kLdH:
+    case Opcode::kLdW: {
+      int32_t addr = EmitAddr(b, tmp, i);
+      int32_t v = (*tmp)++;
+      Emit(b, {.op = Op::kLoad, .size = static_cast<uint8_t>(isa::AccessSize(i.opcode)),
+               .dst = v, .a = addr});
+      EmitSetReg(b, i.rd, v);
+      break;
+    }
+    case Opcode::kStB:
+    case Opcode::kStH:
+    case Opcode::kStW: {
+      int32_t addr = EmitAddr(b, tmp, i);
+      int32_t v = EmitGetReg(b, tmp, i.rb);
+      Emit(b, {.op = Op::kStore, .size = static_cast<uint8_t>(isa::AccessSize(i.opcode)),
+               .a = addr, .b = v});
+      break;
+    }
+    case Opcode::kPush: {
+      EmitPush(b, tmp, EmitB(b, tmp, i));
+      break;
+    }
+    case Opcode::kPop: {
+      int32_t sp = EmitGetReg(b, tmp, isa::kRegSp);
+      int32_t v = (*tmp)++;
+      Emit(b, {.op = Op::kLoad, .size = 4, .dst = v, .a = sp});
+      EmitSetReg(b, i.rd, v);
+      int32_t four = EmitConst(b, tmp, 4);
+      int32_t nsp = (*tmp)++;
+      Emit(b, {.op = Op::kAdd, .dst = nsp, .a = sp, .b = four});
+      EmitSetReg(b, isa::kRegSp, nsp);
+      break;
+    }
+    case Opcode::kCmp: {
+      EmitSetReg(b, isa::kRegFlagA, EmitGetReg(b, tmp, i.ra));
+      EmitSetReg(b, isa::kRegFlagB, EmitB(b, tmp, i));
+      break;
+    }
+    case Opcode::kTest: {
+      int32_t a = EmitGetReg(b, tmp, i.ra);
+      int32_t rhs = EmitB(b, tmp, i);
+      int32_t r = (*tmp)++;
+      Emit(b, {.op = Op::kAnd, .dst = r, .a = a, .b = rhs});
+      EmitSetReg(b, isa::kRegFlagA, r);
+      EmitSetReg(b, isa::kRegFlagB, EmitConst(b, tmp, 0));
+      break;
+    }
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBult:
+    case Opcode::kBule:
+    case Opcode::kBugt:
+    case Opcode::kBuge:
+    case Opcode::kBslt:
+    case Opcode::kBsle:
+    case Opcode::kBsgt:
+    case Opcode::kBsge: {
+      int32_t fa = EmitGetReg(b, tmp, isa::kRegFlagA);
+      int32_t fb = EmitGetReg(b, tmp, isa::kRegFlagB);
+      Op rel;
+      bool swap = false;
+      switch (i.opcode) {
+        case Opcode::kBeq:
+          rel = Op::kCmpEq;
+          break;
+        case Opcode::kBne:
+          rel = Op::kCmpNe;
+          break;
+        case Opcode::kBult:
+          rel = Op::kCmpUlt;
+          break;
+        case Opcode::kBule:
+          rel = Op::kCmpUle;
+          break;
+        case Opcode::kBugt:
+          rel = Op::kCmpUlt;
+          swap = true;
+          break;
+        case Opcode::kBuge:
+          rel = Op::kCmpUle;
+          swap = true;
+          break;
+        case Opcode::kBslt:
+          rel = Op::kCmpSlt;
+          break;
+        case Opcode::kBsle:
+          rel = Op::kCmpSle;
+          break;
+        case Opcode::kBsgt:
+          rel = Op::kCmpSlt;
+          swap = true;
+          break;
+        default:  // kBsge
+          rel = Op::kCmpSle;
+          swap = true;
+          break;
+      }
+      int32_t cond = (*tmp)++;
+      Emit(b, {.op = rel, .dst = cond, .a = swap ? fb : fa, .b = swap ? fa : fb});
+      b->term = Term::kBranch;
+      b->cond_tmp = cond;
+      b->target = i.imm;
+      b->fallthrough = next_pc;
+      break;
+    }
+    case Opcode::kJmp:
+      b->term = Term::kJump;
+      b->target = i.imm;
+      break;
+    case Opcode::kJmpR: {
+      b->term = Term::kJumpInd;
+      b->cond_tmp = EmitGetReg(b, tmp, i.ra);
+      break;
+    }
+    case Opcode::kCall: {
+      EmitPush(b, tmp, EmitConst(b, tmp, next_pc));
+      b->term = Term::kCall;
+      b->target = i.imm;
+      b->fallthrough = next_pc;
+      break;
+    }
+    case Opcode::kCallR: {
+      int32_t target = EmitGetReg(b, tmp, i.ra);
+      EmitPush(b, tmp, EmitConst(b, tmp, next_pc));
+      b->term = Term::kCallInd;
+      b->cond_tmp = target;
+      b->fallthrough = next_pc;
+      break;
+    }
+    case Opcode::kRet: {
+      int32_t sp = EmitGetReg(b, tmp, isa::kRegSp);
+      int32_t ra = (*tmp)++;
+      Emit(b, {.op = Op::kLoad, .size = 4, .dst = ra, .a = sp});
+      int32_t delta = EmitConst(b, tmp, 4 + i.imm);
+      int32_t nsp = (*tmp)++;
+      Emit(b, {.op = Op::kAdd, .dst = nsp, .a = sp, .b = delta});
+      EmitSetReg(b, isa::kRegSp, nsp);
+      b->term = Term::kRet;
+      b->cond_tmp = ra;
+      break;
+    }
+    case Opcode::kInB:
+    case Opcode::kInH:
+    case Opcode::kInW: {
+      int32_t addr = EmitAddr(b, tmp, i);
+      int32_t v = (*tmp)++;
+      Emit(b, {.op = Op::kIn, .size = static_cast<uint8_t>(isa::AccessSize(i.opcode)), .dst = v,
+               .a = addr});
+      EmitSetReg(b, i.rd, v);
+      break;
+    }
+    case Opcode::kOutB:
+    case Opcode::kOutH:
+    case Opcode::kOutW: {
+      int32_t addr = EmitAddr(b, tmp, i);
+      int32_t v = EmitGetReg(b, tmp, i.rb);
+      Emit(b, {.op = Op::kOut, .size = static_cast<uint8_t>(isa::AccessSize(i.opcode)),
+               .a = addr, .b = v});
+      break;
+    }
+    case Opcode::kSys:
+      b->term = Term::kSyscall;
+      b->target = i.imm;
+      b->fallthrough = next_pc;
+      break;
+    case Opcode::kOpcodeCount:
+      assert(false);
+      break;
+  }
+}
+
+std::shared_ptr<const Block> Dbt::Translate(uint32_t pc) {
+  auto it = cache_.find(pc);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+
+  auto block = std::make_shared<Block>();
+  block->guest_pc = pc;
+  block->term = Term::kFallthrough;
+  int32_t tmp = 0;
+  uint32_t cur = pc;
+  bool terminated = false;
+  for (unsigned n = 0; n < kMaxInstrsPerBlock; ++n) {
+    uint8_t buf[isa::kInstrBytes];
+    if (!fetcher_->FetchInstr(cur, buf)) {
+      if (n == 0) {
+        return nullptr;
+      }
+      break;
+    }
+    auto decoded = isa::Decode(buf);
+    if (!decoded) {
+      if (n == 0) {
+        return nullptr;
+      }
+      break;
+    }
+    size_t before = block->instrs.size();
+    LowerInstr(*decoded, cur, block.get(), &tmp);
+    for (size_t k = before; k < block->instrs.size(); ++k) {
+      block->instrs[k].guest_idx = static_cast<uint8_t>(n);
+    }
+    cur += isa::kInstrBytes;
+    if (isa::IsTerminator(decoded->opcode)) {
+      terminated = true;
+      break;
+    }
+  }
+  if (!terminated) {
+    block->term = Term::kFallthrough;
+    block->target = cur;
+  }
+  block->guest_size = cur - pc;
+  block->num_temps = tmp;
+
+  std::string err = ir::Verify(*block);
+  if (!err.empty()) {
+    RLOG_ERROR("DBT produced invalid block at pc=0x%x: %s", pc, err.c_str());
+    return nullptr;
+  }
+  auto shared = std::shared_ptr<const Block>(std::move(block));
+  cache_.emplace(pc, shared);
+  return shared;
+}
+
+}  // namespace revnic::vm

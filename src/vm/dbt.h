@@ -1,0 +1,59 @@
+// Dynamic binary translator: r32 translation blocks -> vir blocks.
+//
+// Mirrors §3.4: "QEMU passes the current program counter to the DBT, which
+// translates the code until it finds an instruction altering the control
+// flow. Then, the DBT packages the translated bitcode into a translation
+// block." Translation is on demand (code may be generated or discovered late)
+// and blocks are cached by guest pc.
+//
+// A translation block may span several basic blocks when a branch from
+// elsewhere targets its middle; the synthesizer splits on observed targets
+// (paper §4.1), not the DBT.
+#ifndef REVNIC_VM_DBT_H_
+#define REVNIC_VM_DBT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "ir/ir.h"
+#include "isa/isa.h"
+
+namespace revnic::vm {
+
+// Byte source for instruction fetch (implemented over MemoryMap or an Image).
+class CodeFetcher {
+ public:
+  virtual ~CodeFetcher() = default;
+  // Fills `out[isa::kInstrBytes]`; returns false if `addr` is unfetchable.
+  virtual bool FetchInstr(uint32_t addr, uint8_t* out) const = 0;
+};
+
+class Dbt {
+ public:
+  // At most this many guest instructions per translation block; longer runs
+  // end with a kFallthrough terminator.
+  static constexpr unsigned kMaxInstrsPerBlock = 16;
+
+  explicit Dbt(const CodeFetcher* fetcher) : fetcher_(fetcher) {}
+
+  // Translates (or returns the cached translation of) the block at `pc`.
+  // Returns nullptr if the first instruction cannot be fetched/decoded.
+  std::shared_ptr<const ir::Block> Translate(uint32_t pc);
+
+  // Lowers a single decoded instruction into `block`, allocating temps from
+  // `*next_tmp`. Exposed for tests.
+  static void LowerInstr(const isa::Instruction& instr, uint32_t pc, ir::Block* block,
+                         int32_t* next_tmp);
+
+  size_t cache_size() const { return cache_.size(); }
+  void FlushCache() { cache_.clear(); }
+
+ private:
+  const CodeFetcher* fetcher_;
+  std::unordered_map<uint32_t, std::shared_ptr<const ir::Block>> cache_;
+};
+
+}  // namespace revnic::vm
+
+#endif  // REVNIC_VM_DBT_H_

@@ -1,0 +1,202 @@
+#include "vm/machine.h"
+
+#include <cassert>
+
+#include "isa/isa.h"
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace revnic::vm {
+
+using ir::Op;
+using ir::Term;
+
+void ConcreteMachine::Push(uint32_t value) {
+  regs_[isa::kRegSp] -= 4;
+  StoreMem(regs_[isa::kRegSp], 4, value);
+}
+
+uint32_t ConcreteMachine::PopArg(unsigned index) const {
+  return mm_->ReadRam(regs_[isa::kRegSp] + 4 * index, 4);
+}
+
+void ConcreteMachine::DropArgs(unsigned count) { regs_[isa::kRegSp] += 4 * count; }
+
+uint32_t ConcreteMachine::LoadMem(uint32_t addr, unsigned size) {
+  if (const IoRange* r = mm_->FindMmio(addr)) {
+    return r->handler->IoRead(addr, size) & LowMask(size * 8);
+  }
+  return mm_->ReadRam(addr, size);
+}
+
+void ConcreteMachine::StoreMem(uint32_t addr, unsigned size, uint32_t value) {
+  if (const IoRange* r = mm_->FindMmio(addr)) {
+    r->handler->IoWrite(addr, size, value & LowMask(size * 8));
+    return;
+  }
+  mm_->WriteRam(addr, size, value);
+}
+
+uint32_t ConcreteMachine::PortIn(uint32_t port, unsigned size) {
+  if (const IoRange* r = mm_->FindPort(port)) {
+    return r->handler->IoRead(port, size) & LowMask(size * 8);
+  }
+  return 0;
+}
+
+void ConcreteMachine::PortOut(uint32_t port, unsigned size, uint32_t value) {
+  if (const IoRange* r = mm_->FindPort(port)) {
+    r->handler->IoWrite(port, size, value & LowMask(size * 8));
+  }
+}
+
+ConcreteMachine::RunResult ConcreteMachine::Run(uint64_t max_instrs) {
+  RunResult result;
+  uint64_t executed = 0;
+  std::vector<uint32_t> temps;
+  while (executed < max_instrs) {
+    if (pc_ == stop_pc_) {
+      result.reason = StopReason::kStopPc;
+      return result;
+    }
+    std::shared_ptr<const ir::Block> block = FetchBlock(pc_);
+    if (!block) {
+      result.reason = StopReason::kBadFetch;
+      RLOG_WARN("concrete machine: bad fetch at pc=0x%x", pc_);
+      return result;
+    }
+    temps.assign(static_cast<size_t>(block->num_temps), 0);
+    for (const ir::Instr& i : block->instrs) {
+      switch (i.op) {
+        case Op::kNop:
+          break;
+        case Op::kConst:
+          temps[i.dst] = i.imm;
+          break;
+        case Op::kMov:
+          temps[i.dst] = temps[i.a];
+          break;
+        case Op::kAdd:
+          temps[i.dst] = temps[i.a] + temps[i.b];
+          break;
+        case Op::kSub:
+          temps[i.dst] = temps[i.a] - temps[i.b];
+          break;
+        case Op::kMul:
+          temps[i.dst] = temps[i.a] * temps[i.b];
+          break;
+        case Op::kUDiv:
+          temps[i.dst] = temps[i.b] == 0 ? 0xFFFFFFFFu : temps[i.a] / temps[i.b];
+          break;
+        case Op::kURem:
+          temps[i.dst] = temps[i.b] == 0 ? temps[i.a] : temps[i.a] % temps[i.b];
+          break;
+        case Op::kAnd:
+          temps[i.dst] = temps[i.a] & temps[i.b];
+          break;
+        case Op::kOr:
+          temps[i.dst] = temps[i.a] | temps[i.b];
+          break;
+        case Op::kXor:
+          temps[i.dst] = temps[i.a] ^ temps[i.b];
+          break;
+        case Op::kShl:
+          temps[i.dst] = temps[i.b] >= 32 ? 0 : temps[i.a] << temps[i.b];
+          break;
+        case Op::kLShr:
+          temps[i.dst] = temps[i.b] >= 32 ? 0 : temps[i.a] >> temps[i.b];
+          break;
+        case Op::kAShr:
+          temps[i.dst] = temps[i.b] >= 32
+                             ? (static_cast<int32_t>(temps[i.a]) < 0 ? 0xFFFFFFFFu : 0)
+                             : static_cast<uint32_t>(static_cast<int32_t>(temps[i.a]) >>
+                                                     temps[i.b]);
+          break;
+        case Op::kCmpEq:
+          temps[i.dst] = temps[i.a] == temps[i.b] ? 1 : 0;
+          break;
+        case Op::kCmpNe:
+          temps[i.dst] = temps[i.a] != temps[i.b] ? 1 : 0;
+          break;
+        case Op::kCmpUlt:
+          temps[i.dst] = temps[i.a] < temps[i.b] ? 1 : 0;
+          break;
+        case Op::kCmpUle:
+          temps[i.dst] = temps[i.a] <= temps[i.b] ? 1 : 0;
+          break;
+        case Op::kCmpSlt:
+          temps[i.dst] =
+              static_cast<int32_t>(temps[i.a]) < static_cast<int32_t>(temps[i.b]) ? 1 : 0;
+          break;
+        case Op::kCmpSle:
+          temps[i.dst] =
+              static_cast<int32_t>(temps[i.a]) <= static_cast<int32_t>(temps[i.b]) ? 1 : 0;
+          break;
+        case Op::kSelect:
+          temps[i.dst] = temps[i.c] != 0 ? temps[i.a] : temps[i.b];
+          break;
+        case Op::kZExt:
+          temps[i.dst] = temps[i.a] & LowMask(i.size * 8);
+          break;
+        case Op::kSExt:
+          temps[i.dst] = SignExtend(temps[i.a], i.size * 8);
+          break;
+        case Op::kGetReg:
+          temps[i.dst] = i.imm == isa::kRegZero ? 0 : regs_[i.imm];
+          break;
+        case Op::kSetReg:
+          if (i.imm != isa::kRegZero) {
+            regs_[i.imm] = temps[i.a];
+          }
+          break;
+        case Op::kLoad:
+          temps[i.dst] = LoadMem(temps[i.a], i.size);
+          break;
+        case Op::kStore:
+          StoreMem(temps[i.a], i.size, temps[i.b]);
+          break;
+        case Op::kIn:
+          temps[i.dst] = PortIn(temps[i.a], i.size);
+          break;
+        case Op::kOut:
+          PortOut(temps[i.a], i.size, temps[i.b]);
+          break;
+      }
+    }
+    uint64_t guest_instrs = block->guest_size / isa::kInstrBytes;
+    executed += guest_instrs;
+    instr_count_ += guest_instrs;
+
+    switch (block->term) {
+      case Term::kFallthrough:
+      case Term::kJump:
+        pc_ = block->target;
+        break;
+      case Term::kBranch:
+        pc_ = temps[block->cond_tmp] != 0 ? block->target : block->fallthrough;
+        break;
+      case Term::kJumpInd:
+      case Term::kCallInd:
+        pc_ = temps[block->cond_tmp];
+        break;
+      case Term::kCall:
+        pc_ = block->target;
+        break;
+      case Term::kRet:
+        pc_ = temps[block->cond_tmp];
+        break;
+      case Term::kSyscall:
+        pc_ = block->fallthrough;
+        result.reason = StopReason::kSyscall;
+        result.api_id = block->target;
+        return result;
+      case Term::kHalt:
+        result.reason = StopReason::kHalt;
+        return result;
+    }
+  }
+  result.reason = StopReason::kBudget;
+  return result;
+}
+
+}  // namespace revnic::vm

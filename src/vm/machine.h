@@ -1,0 +1,103 @@
+// ConcreteMachine: fast, purely concrete execution of r32 guest code.
+//
+// Used wherever the *original binary driver* must actually run against real
+// device models -- functional validation (comparing I/O traces of original vs
+// synthesized drivers, §5.2) and the performance experiments (§5.3), where
+// the cost model charges per guest instruction. The symbolic engine
+// (symex::Executor) is the instrument for reverse engineering; this class is
+// the instrument for running drivers as an end user would.
+#ifndef REVNIC_VM_MACHINE_H_
+#define REVNIC_VM_MACHINE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "ir/ir.h"
+
+#include "vm/dbt.h"
+#include "vm/memmap.h"
+
+namespace revnic::vm {
+
+// Fetches instruction bytes straight from guest RAM.
+class RamFetcher : public CodeFetcher {
+ public:
+  explicit RamFetcher(const MemoryMap* mm) : mm_(mm) {}
+  bool FetchInstr(uint32_t addr, uint8_t* out) const override {
+    if (!mm_->IsRam(addr, 8)) {
+      return false;
+    }
+    mm_->ReadRamBytes(addr, out, 8);
+    return true;
+  }
+
+ private:
+  const MemoryMap* mm_;
+};
+
+class ConcreteMachine {
+ public:
+  enum class StopReason : uint8_t {
+    kHalt = 0,
+    kSyscall,    // guest executed `sys`; api_id valid; pc at next instruction
+    kStopPc,     // pc reached the configured stop address
+    kBudget,     // instruction budget exhausted
+    kBadFetch,   // pc points outside translatable memory
+  };
+
+  struct RunResult {
+    StopReason reason = StopReason::kHalt;
+    uint32_t api_id = 0;
+  };
+
+  explicit ConcreteMachine(MemoryMap* mm) : mm_(mm), fetcher_(mm), dbt_(&fetcher_) {
+    regs_.fill(0);
+  }
+  virtual ~ConcreteMachine() = default;
+
+  uint32_t reg(unsigned i) const { return regs_[i]; }
+  void set_reg(unsigned i, uint32_t v) { regs_[i] = v; }
+  uint32_t pc() const { return pc_; }
+  void set_pc(uint32_t pc) { pc_ = pc; }
+  MemoryMap* mem() { return mm_; }
+
+  // Sentinel return address: running `ret` to this pc stops execution.
+  void set_stop_pc(uint32_t pc) { stop_pc_ = pc; }
+  uint32_t stop_pc() const { return stop_pc_; }
+
+  // Stack helpers (sp in regs).
+  void Push(uint32_t value);
+  uint32_t PopArg(unsigned index) const;  // reads [sp + 4*index]
+  void DropArgs(unsigned count);
+
+  // Runs until halt/sys/stop_pc or `max_instrs` guest instructions.
+  RunResult Run(uint64_t max_instrs);
+
+  uint64_t instr_count() const { return instr_count_; }
+  void reset_instr_count() { instr_count_ = 0; }
+
+ protected:
+  // Supplies the vir block at `pc`. The default translates guest binary code
+  // on demand; synth::RecoveredRunner overrides it to execute a recovered
+  // module instead.
+  virtual std::shared_ptr<const ir::Block> FetchBlock(uint32_t pc) { return dbt_.Translate(pc); }
+
+ private:
+  uint32_t LoadMem(uint32_t addr, unsigned size);
+  void StoreMem(uint32_t addr, unsigned size, uint32_t value);
+  uint32_t PortIn(uint32_t port, unsigned size);
+  void PortOut(uint32_t port, unsigned size, uint32_t value);
+
+  MemoryMap* mm_;
+  RamFetcher fetcher_;
+  Dbt dbt_;
+  std::array<uint32_t, 16> regs_{};
+  uint32_t pc_ = 0;
+  uint32_t stop_pc_ = 0xFFFFFFF0;
+  uint64_t instr_count_ = 0;
+};
+
+}  // namespace revnic::vm
+
+#endif  // REVNIC_VM_MACHINE_H_

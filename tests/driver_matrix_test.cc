@@ -1,0 +1,234 @@
+// Parameterized functional matrix over all four binary drivers running on
+// WinSim against their device models -- the test-suite backbone behind the
+// Table 2 functionality experiment.
+#include <gtest/gtest.h>
+
+#include "drivers/drivers.h"
+#include "hw/pcnet.h"
+#include "hw/rtl8139.h"
+#include "hw/smc91c111.h"
+#include "isa/disasm.h"
+#include "os/winsim_host.h"
+
+namespace revnic {
+namespace {
+
+using drivers::DriverId;
+
+class DriverMatrixTest : public ::testing::TestWithParam<DriverId> {
+ protected:
+  void SetUp() override {
+    device_ = drivers::MakeDevice(GetParam());
+    host_ = std::make_unique<os::ConcreteWinSimHost>(drivers::DriverImage(GetParam()),
+                                                     device_.get());
+  }
+
+  std::unique_ptr<hw::NicDevice> device_;
+  std::unique_ptr<os::ConcreteWinSimHost> host_;
+};
+
+TEST_P(DriverMatrixTest, ImageIsWellFormed) {
+  const isa::Image& img = drivers::DriverImage(GetParam());
+  EXPECT_GE(img.code.size(), 800u);
+  EXPECT_LE(img.file_size(), 64u * 1024);  // "typical for NIC drivers" (§5.1)
+  isa::StaticAnalysis a = isa::Analyze(img);
+  EXPECT_GE(a.NumImports(), 8u);
+  EXPECT_GE(a.NumFunctions(), 10u);
+}
+
+TEST_P(DriverMatrixTest, InitializeSucceeds) {
+  ASSERT_TRUE(host_->Initialize());
+  EXPECT_TRUE(device_->rx_enabled());
+  EXPECT_TRUE(device_->tx_enabled());
+}
+
+TEST_P(DriverMatrixTest, QueryMacReturnsDeviceAddress) {
+  ASSERT_TRUE(host_->Initialize());
+  auto mac = host_->QueryMac();
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(*mac, device_->mac());
+  // All our device models use the 52:54:00 testing OUI.
+  EXPECT_EQ((*mac)[0], 0x52);
+  EXPECT_EQ((*mac)[1], 0x54);
+}
+
+TEST_P(DriverMatrixTest, SendEmitsExactFrame) {
+  ASSERT_TRUE(host_->Initialize());
+  std::vector<hw::Frame> wire;
+  device_->set_tx_hook([&](const hw::Frame& f) { wire.push_back(f); });
+  hw::Frame f = hw::BuildUdpFrame({1, 2, 3, 4, 5, 6}, {2, 2, 2, 2, 2, 2}, 256, 0x77);
+  auto status = host_->SendFrame(f);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, os::kStatusSuccess);
+  ASSERT_EQ(wire.size(), 1u);
+  ASSERT_GE(wire[0].size(), f.size());
+  EXPECT_TRUE(std::equal(f.begin(), f.end(), wire[0].begin()));
+}
+
+TEST_P(DriverMatrixTest, SendSweepAllSizes) {
+  ASSERT_TRUE(host_->Initialize());
+  size_t wire = 0;
+  device_->set_tx_hook([&](const hw::Frame&) { ++wire; });
+  for (size_t payload = 10; payload <= 1450; payload += 160) {
+    hw::Frame f = hw::BuildUdpFrame({1, 2, 3, 4, 5, 6}, {2, 2, 2, 2, 2, 2}, payload, 0x11);
+    auto status = host_->SendFrame(f);
+    ASSERT_TRUE(status.has_value()) << "payload " << payload;
+    EXPECT_EQ(*status, os::kStatusSuccess) << "payload " << payload;
+  }
+  EXPECT_EQ(wire, 10u);
+}
+
+TEST_P(DriverMatrixTest, ReceiveBroadcastDelivered) {
+  ASSERT_TRUE(host_->Initialize());
+  hw::MacAddr bcast = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  hw::Frame f = hw::BuildUdpFrame({3, 3, 3, 3, 3, 3}, bcast, 120, 0x3C);
+  ASSERT_TRUE(device_->InjectReceive(f));
+  host_->DeliverInterrupts();
+  ASSERT_EQ(host_->os().rx_delivered().size(), 1u);
+  EXPECT_EQ(host_->os().rx_delivered()[0], f);
+}
+
+TEST_P(DriverMatrixTest, ReceiveDirectedDelivered) {
+  ASSERT_TRUE(host_->Initialize());
+  hw::Frame f = hw::BuildUdpFrame({3, 3, 3, 3, 3, 3}, device_->mac(), 200, 0x44);
+  ASSERT_TRUE(device_->InjectReceive(f));
+  host_->DeliverInterrupts();
+  ASSERT_EQ(host_->os().rx_delivered().size(), 1u);
+  EXPECT_EQ(host_->os().rx_delivered()[0], f);
+}
+
+TEST_P(DriverMatrixTest, PromiscuousModeAcceptsForeignTraffic) {
+  ASSERT_TRUE(host_->Initialize());
+  hw::Frame foreign = hw::BuildUdpFrame({3, 3, 3, 3, 3, 3}, {8, 8, 8, 8, 8, 8}, 90, 0);
+  EXPECT_FALSE(device_->InjectReceive(foreign));
+  ASSERT_TRUE(host_->SetPacketFilter(os::kFilterPromiscuous | os::kFilterDirected |
+                                     os::kFilterBroadcast));
+  EXPECT_TRUE(device_->promiscuous());
+  EXPECT_TRUE(device_->InjectReceive(foreign));
+  host_->DeliverInterrupts();
+  EXPECT_EQ(host_->os().rx_delivered().size(), 1u);
+}
+
+TEST_P(DriverMatrixTest, MulticastListFiltering) {
+  ASSERT_TRUE(host_->Initialize());
+  hw::MacAddr mc1 = {0x01, 0x00, 0x5E, 0x00, 0x00, 0x01};
+  hw::MacAddr mc2 = {0x01, 0x00, 0x5E, 0x01, 0x02, 0x03};
+  ASSERT_TRUE(host_->SetMulticastList({mc1, mc2}));
+  EXPECT_TRUE(device_->MulticastAccepts(mc1));
+  EXPECT_TRUE(device_->MulticastAccepts(mc2));
+  hw::Frame f = hw::BuildUdpFrame({3, 3, 3, 3, 3, 3}, mc1, 80, 0x21);
+  EXPECT_TRUE(device_->InjectReceive(f));
+  host_->DeliverInterrupts();
+  EXPECT_EQ(host_->os().rx_delivered().size(), 1u);
+}
+
+TEST_P(DriverMatrixTest, FullDuplexViaVendorOid) {
+  ASSERT_TRUE(host_->Initialize());
+  EXPECT_FALSE(device_->full_duplex());
+  uint32_t on = 1;
+  ASSERT_TRUE(host_->Set(os::kOidVendorDuplexMode, reinterpret_cast<uint8_t*>(&on), 4));
+  EXPECT_TRUE(device_->full_duplex());
+}
+
+TEST_P(DriverMatrixTest, ResetKeepsDeviceUsable) {
+  ASSERT_TRUE(host_->Initialize());
+  ASSERT_TRUE(host_->Reset());
+  EXPECT_TRUE(device_->rx_enabled());
+  size_t wire = 0;
+  device_->set_tx_hook([&](const hw::Frame&) { ++wire; });
+  hw::Frame f = hw::BuildUdpFrame({1, 2, 3, 4, 5, 6}, {2, 2, 2, 2, 2, 2}, 64, 0);
+  auto status = host_->SendFrame(f);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, os::kStatusSuccess);
+  EXPECT_EQ(wire, 1u);
+}
+
+TEST_P(DriverMatrixTest, HaltQuiescesDevice) {
+  ASSERT_TRUE(host_->Initialize());
+  host_->Halt();
+  EXPECT_FALSE(device_->rx_enabled());
+  hw::MacAddr bcast = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_FALSE(device_->InjectReceive(hw::BuildUdpFrame({1, 1, 1, 1, 1, 1}, bcast, 64, 0)));
+}
+
+TEST_P(DriverMatrixTest, BidirectionalTrafficStress) {
+  ASSERT_TRUE(host_->Initialize());
+  size_t wire = 0;
+  device_->set_tx_hook([&](const hw::Frame&) { ++wire; });
+  hw::MacAddr bcast = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  for (int i = 0; i < 25; ++i) {
+    auto status = host_->SendFrame(hw::BuildUdpFrame(
+        {1, 2, 3, 4, 5, 6}, {2, 2, 2, 2, 2, 2}, 40 + (i * 53) % 1300, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(status.has_value()) << i;
+    ASSERT_EQ(*status, os::kStatusSuccess) << i;
+    ASSERT_TRUE(device_->InjectReceive(hw::BuildUdpFrame(
+        {4, 4, 4, 4, 4, 4}, bcast, 40 + (i * 29) % 1100, static_cast<uint8_t>(i))))
+        << i;
+    host_->DeliverInterrupts();
+  }
+  EXPECT_EQ(wire, 25u);
+  EXPECT_EQ(host_->os().rx_delivered().size(), 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDrivers, DriverMatrixTest,
+                         ::testing::Values(DriverId::kRtl8029, DriverId::kRtl8139,
+                                           DriverId::kPcnet, DriverId::kSmc91c111),
+                         [](const ::testing::TestParamInfo<DriverId>& info) {
+                           return drivers::DriverName(info.param);
+                         });
+
+// ---- device-specific behaviours ----
+
+TEST(Rtl8139Specific, WakeOnLanAndLed) {
+  auto device = drivers::MakeDevice(DriverId::kRtl8139);
+  os::ConcreteWinSimHost host(drivers::DriverImage(DriverId::kRtl8139), device.get());
+  ASSERT_TRUE(host.Initialize());
+  EXPECT_FALSE(device->wol_armed());
+  uint32_t on = 1;
+  ASSERT_TRUE(host.Set(os::kOidPnpEnableWakeUp, reinterpret_cast<uint8_t*>(&on), 4));
+  EXPECT_TRUE(device->wol_armed());
+  uint32_t led = 5;
+  ASSERT_TRUE(host.Set(os::kOidVendorLedConfig, reinterpret_cast<uint8_t*>(&led), 4));
+  EXPECT_EQ(device->led_state(), 5);
+}
+
+TEST(Rtl8139Specific, WolFromRegistry) {
+  auto device = drivers::MakeDevice(DriverId::kRtl8139);
+  os::ConcreteWinSimHost host(drivers::DriverImage(DriverId::kRtl8139), device.get());
+  host.os().SetConfig(os::kCfgWakeOnLan, 1);
+  ASSERT_TRUE(host.Initialize());
+  EXPECT_TRUE(device->wol_armed());
+}
+
+TEST(PcnetSpecific, UsesDmaAllocations) {
+  auto device = drivers::MakeDevice(DriverId::kPcnet);
+  os::ConcreteWinSimHost host(drivers::DriverImage(DriverId::kPcnet), device.get());
+  ASSERT_TRUE(host.Initialize());
+  // init block + 2 rings + 2 buffer areas
+  EXPECT_GE(host.os().dma().NumRegions(), 5u);
+}
+
+TEST(Rtl8139Specific, UsesDmaAllocations) {
+  auto device = drivers::MakeDevice(DriverId::kRtl8139);
+  os::ConcreteWinSimHost host(drivers::DriverImage(DriverId::kRtl8139), device.get());
+  ASSERT_TRUE(host.Initialize());
+  EXPECT_GE(host.os().dma().NumRegions(), 2u);
+}
+
+TEST(Smc91c111Specific, LedViaRegistry) {
+  auto device = drivers::MakeDevice(DriverId::kSmc91c111);
+  os::ConcreteWinSimHost host(drivers::DriverImage(DriverId::kSmc91c111), device.get());
+  host.os().SetConfig(os::kCfgLedMode, 3);
+  ASSERT_TRUE(host.Initialize());
+  EXPECT_EQ(device->led_state() & 0x3F, (3u << 2) >> 2);
+}
+
+TEST(Smc91c111Specific, NoDmaRegions) {
+  auto device = drivers::MakeDevice(DriverId::kSmc91c111);
+  os::ConcreteWinSimHost host(drivers::DriverImage(DriverId::kSmc91c111), device.get());
+  ASSERT_TRUE(host.Initialize());
+  EXPECT_EQ(host.os().dma().NumRegions(), 0u);
+}
+
+}  // namespace
+}  // namespace revnic

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "symex/expr.h"
+
+namespace revnic::symex {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprContext ctx_;
+};
+
+TEST_F(ExprTest, ConstFolding) {
+  ExprRef e = ctx_.Bin(BinOp::kAdd, ctx_.Const(2), ctx_.Const(3));
+  ASSERT_TRUE(e->IsConst());
+  EXPECT_EQ(e->value, 5u);
+  e = ctx_.Bin(BinOp::kMul, ctx_.Const(0x10000), ctx_.Const(0x10000));
+  EXPECT_EQ(e->value, 0u);  // wraps
+  e = ctx_.Bin(BinOp::kUDiv, ctx_.Const(7), ctx_.Const(0));
+  EXPECT_EQ(e->value, 0xFFFFFFFFu);  // div-by-zero saturates
+}
+
+TEST_F(ExprTest, IdentitySimplifications) {
+  ExprRef v = ctx_.Sym("v");
+  EXPECT_EQ(ctx_.Bin(BinOp::kAdd, v, ctx_.Const(0)).get(), v.get());
+  EXPECT_EQ(ctx_.Bin(BinOp::kOr, v, ctx_.Const(0)).get(), v.get());
+  EXPECT_EQ(ctx_.Bin(BinOp::kAnd, v, ctx_.Const(0xFFFFFFFF)).get(), v.get());
+  EXPECT_TRUE(ctx_.Bin(BinOp::kAnd, v, ctx_.Const(0))->IsConstValue(0));
+  EXPECT_TRUE(ctx_.Bin(BinOp::kMul, v, ctx_.Const(0))->IsConstValue(0));
+  EXPECT_EQ(ctx_.Bin(BinOp::kMul, v, ctx_.Const(1)).get(), v.get());
+}
+
+TEST_F(ExprTest, SameOperandSimplifications) {
+  ExprRef v = ctx_.Sym("v");
+  EXPECT_TRUE(ctx_.Bin(BinOp::kSub, v, v)->IsConstValue(0));
+  EXPECT_TRUE(ctx_.Bin(BinOp::kXor, v, v)->IsConstValue(0));
+  EXPECT_TRUE(ctx_.Bin(BinOp::kEq, v, v)->IsConstValue(1));
+  EXPECT_TRUE(ctx_.Bin(BinOp::kUlt, v, v)->IsConstValue(0));
+}
+
+TEST_F(ExprTest, MaskChainCollapse) {
+  // (v & 0xFF) & 0x40 -> v & 0x40.
+  ExprRef v = ctx_.Sym("v");
+  ExprRef masked = ctx_.Bin(BinOp::kAnd, ctx_.Bin(BinOp::kAnd, v, ctx_.Const(0xFF)),
+                            ctx_.Const(0x40));
+  ASSERT_EQ(masked->kind, ExprKind::kBin);
+  EXPECT_EQ(masked->bin_op, BinOp::kAnd);
+  EXPECT_EQ(masked->a.get(), v.get());
+  EXPECT_EQ(masked->b->value, 0x40u);
+}
+
+TEST_F(ExprTest, EvalRespectsModel) {
+  ExprRef v = ctx_.Sym("v");
+  ExprRef w = ctx_.Sym("w");
+  ExprRef e = ctx_.Bin(BinOp::kXor, ctx_.Bin(BinOp::kShl, v, ctx_.Const(4)), w);
+  Model m{{v->sym_id, 0x12}, {w->sym_id, 0xFF}};
+  EXPECT_EQ(Eval(e, m), (0x12u << 4) ^ 0xFFu);
+  EXPECT_EQ(Eval(e, Model{}), 0u);  // unmapped symbols are 0
+}
+
+TEST_F(ExprTest, SignedComparisonSemantics) {
+  ExprRef a = ctx_.Const(0xFFFFFFFF);  // -1
+  ExprRef b = ctx_.Const(1);
+  EXPECT_TRUE(ctx_.Bin(BinOp::kSlt, a, b)->IsConstValue(1));
+  EXPECT_TRUE(ctx_.Bin(BinOp::kUlt, a, b)->IsConstValue(0));
+}
+
+TEST_F(ExprTest, NotInvertsComparisons) {
+  ExprRef v = ctx_.Sym("v");
+  ExprRef lt = ctx_.Bin(BinOp::kUlt, v, ctx_.Const(10));
+  ExprRef not_lt = ctx_.Not(lt);
+  ASSERT_EQ(not_lt->kind, ExprKind::kBin);
+  EXPECT_EQ(not_lt->bin_op, BinOp::kUle);  // !(v < 10) == (10 <= v)
+  Model m{{v->sym_id, 10}};
+  EXPECT_EQ(Eval(not_lt, m), 1u);
+  m[v->sym_id] = 9;
+  EXPECT_EQ(Eval(not_lt, m), 0u);
+}
+
+TEST_F(ExprTest, ExtractAndZExt) {
+  ExprRef c = ctx_.Const(0xAABBCCDD);
+  EXPECT_EQ(ctx_.ExtractByte(c, 0)->value, 0xDDu);
+  EXPECT_EQ(ctx_.ExtractByte(c, 3)->value, 0xAAu);
+  ExprRef v = ctx_.Sym("v", 8);
+  ExprRef wide = ctx_.ZExt(v, 32);
+  EXPECT_EQ(wide->width, 32);
+  EXPECT_EQ(ctx_.ExtractByte(wide, 0).get(), v.get());
+  EXPECT_TRUE(ctx_.ExtractByte(wide, 2)->IsConstValue(0));
+}
+
+TEST_F(ExprTest, SExtSemantics) {
+  EXPECT_EQ(ctx_.SExt(ctx_.Const(0x80, 8), 32)->value, 0xFFFFFF80u);
+  EXPECT_EQ(ctx_.SExt(ctx_.Const(0x7F, 8), 32)->value, 0x7Fu);
+}
+
+TEST_F(ExprTest, SelectSimplification) {
+  ExprRef v = ctx_.Sym("v");
+  EXPECT_EQ(ctx_.Select(ctx_.True(), v, ctx_.Const(0)).get(), v.get());
+  EXPECT_TRUE(ctx_.Select(ctx_.False(), v, ctx_.Const(7))->IsConstValue(7));
+  EXPECT_EQ(ctx_.Select(ctx_.Sym("c", 1), v, v).get(), v.get());
+}
+
+TEST_F(ExprTest, CollectSymsAndConstants) {
+  ExprRef v = ctx_.Sym("v");
+  ExprRef w = ctx_.Sym("w");
+  ExprRef e = ctx_.Bin(BinOp::kAdd, ctx_.Bin(BinOp::kAnd, v, ctx_.Const(0xF0)), w);
+  std::set<uint32_t> syms;
+  CollectSyms(e, &syms);
+  EXPECT_EQ(syms.size(), 2u);
+  std::set<uint32_t> consts;
+  CollectConstants(e, &consts);
+  EXPECT_TRUE(consts.count(0xF0));
+}
+
+TEST_F(ExprTest, StructuralEquality) {
+  ExprRef v = ctx_.Sym("v");
+  ExprRef a = ctx_.Bin(BinOp::kAdd, v, ctx_.Const(4));
+  ExprRef b = ctx_.Bin(BinOp::kAdd, v, ctx_.Const(4));
+  EXPECT_TRUE(Expr::Equal(a, b));
+  ExprRef c = ctx_.Bin(BinOp::kAdd, v, ctx_.Const(5));
+  EXPECT_FALSE(Expr::Equal(a, c));
+}
+
+TEST_F(ExprTest, ApproxNodesGrows) {
+  ExprRef v = ctx_.Sym("v");
+  ExprRef e = v;
+  for (int i = 0; i < 10; ++i) {
+    e = ctx_.Bin(BinOp::kAdd, e, v);
+  }
+  EXPECT_GE(e->approx_nodes, 10u);
+}
+
+}  // namespace
+}  // namespace revnic::symex

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "isa/image.h"
+#include "isa/isa.h"
+
+namespace revnic::isa {
+namespace {
+
+TEST(Encoding, RoundTripAllOpcodes) {
+  for (uint8_t op = 0; op < static_cast<uint8_t>(Opcode::kOpcodeCount); ++op) {
+    Instruction in;
+    in.opcode = static_cast<Opcode>(op);
+    in.rd = 3;
+    in.ra = 12;
+    in.rb = 7;
+    in.b_is_imm = (op % 2) == 0;
+    in.no_base = (op % 3) == 0;
+    in.imm = 0xDEADBEEF;
+    uint8_t buf[kInstrBytes];
+    Encode(in, buf);
+    auto out = Decode(buf);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, in);
+  }
+}
+
+TEST(Encoding, RejectsInvalidOpcode) {
+  uint8_t buf[kInstrBytes] = {0xFF, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(Decode(buf).has_value());
+}
+
+TEST(Assembler, MinimalProgram) {
+  auto r = Assemble(R"(
+.entry start
+start:
+    mov r0, #42
+    ret
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.image.entry, r.image.link_base);
+  EXPECT_EQ(r.image.code.size(), 2 * kInstrBytes);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  auto r = Assemble(R"(
+.entry start
+start:
+    cmp r1, #0
+    beq done
+    jmp start
+done:
+    hlt
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  // beq's target must resolve to `done` = base + 3*8.
+  auto beq = Decode(r.image.code.data() + kInstrBytes);
+  ASSERT_TRUE(beq);
+  EXPECT_EQ(beq->opcode, Opcode::kBeq);
+  EXPECT_EQ(beq->imm, r.image.link_base + 3 * kInstrBytes);
+  auto jmp = Decode(r.image.code.data() + 2 * kInstrBytes);
+  EXPECT_EQ(jmp->imm, r.image.link_base);
+}
+
+TEST(Assembler, DataSectionAndEqu) {
+  auto r = Assemble(R"(
+.entry start
+.equ MAGIC, 0x1234
+start:
+    ldw r0, [table]
+    mov r1, #MAGIC
+    hlt
+.data
+table:
+    .word 0xAABBCCDD, start
+msg:
+    .ascii "hi"
+    .byte 0
+pad:
+    .space 6
+half:
+    .half 0xBEEF
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  uint32_t data_base = r.image.data_begin();
+  auto ld = Decode(r.image.code.data());
+  EXPECT_TRUE(ld->no_base);
+  EXPECT_EQ(ld->imm, data_base);
+  // .word with a label reference resolves to the code address.
+  EXPECT_EQ(r.image.data[4] | (r.image.data[5] << 8) | (r.image.data[6] << 16) |
+                (static_cast<uint32_t>(r.image.data[7]) << 24),
+            r.image.link_base);
+  EXPECT_EQ(r.image.data[8], 'h');
+  EXPECT_EQ(r.image.data[9], 'i');
+  // .half lands after the 6-byte .space.
+  EXPECT_EQ(r.image.data[17], 0xEF);
+  EXPECT_EQ(r.image.data[18], 0xBE);
+}
+
+TEST(Assembler, BssReservation) {
+  auto r = Assemble(R"(
+.entry start
+start:
+    ldw r0, [buffer]
+    hlt
+.bss
+buffer:
+    .space 128
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.image.bss_size, 128u);
+  auto ld = Decode(r.image.code.data());
+  EXPECT_EQ(ld->imm, r.image.data_end());
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto r = Assemble(".entry start\nstart:\n    bogus r0, r1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 3"), std::string::npos) << r.error;
+}
+
+TEST(Assembler, MissingEntryIsError) {
+  auto r = Assemble("start:\n    hlt\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Assembler, DuplicateLabelIsError) {
+  auto r = Assemble(".entry a\na:\n    hlt\na:\n    hlt\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Assembler, UndefinedSymbolIsError) {
+  auto r = Assemble(".entry a\na:\n    jmp nowhere\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Assembler, NegativeOffsets) {
+  auto r = Assemble(R"(
+.entry f
+f:
+    ldw r0, [fp, #-4]
+    stw [fp, #-8], r0
+    hlt
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  auto ld = Decode(r.image.code.data());
+  EXPECT_EQ(ld->imm, 0xFFFFFFFCu);
+}
+
+TEST(Image, SerializeParseRoundTrip) {
+  auto r = Assemble(".entry s\ns:\n    mov r0, #1\n    hlt\n.data\nd:\n    .word 7\n");
+  ASSERT_TRUE(r.ok);
+  auto bytes = Serialize(r.image);
+  Image parsed;
+  std::string err;
+  ASSERT_TRUE(Parse(bytes, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.entry, r.image.entry);
+  EXPECT_EQ(parsed.code, r.image.code);
+  EXPECT_EQ(parsed.data, r.image.data);
+  EXPECT_EQ(parsed.file_size(), bytes.size());
+}
+
+TEST(Image, ParseRejectsCorruption) {
+  auto r = Assemble(".entry s\ns:\n    hlt\n");
+  ASSERT_TRUE(r.ok);
+  auto bytes = Serialize(r.image);
+  Image parsed;
+  std::string err;
+  bytes[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(Parse(bytes, &parsed, &err));
+  bytes[0] ^= 0xFF;
+  bytes.pop_back();  // size mismatch
+  EXPECT_FALSE(Parse(bytes, &parsed, &err));
+}
+
+TEST(StaticAnalysis, FindsFunctionsBlocksImports) {
+  auto r = Assemble(R"(
+.entry entry
+entry:
+    push #helper
+    sys 7
+    call helper
+    cmp r0, #0
+    beq out
+    sys 25
+out:
+    ret
+helper:
+    mov r0, #1
+    ret
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  StaticAnalysis a = Analyze(r.image);
+  EXPECT_EQ(a.NumImports(), 2u);           // sys 7, sys 25
+  EXPECT_GE(a.NumFunctions(), 2u);         // entry + helper
+  EXPECT_GE(a.NumBasicBlocks(), 4u);
+  EXPECT_TRUE(a.reachable_instrs.count(r.image.entry));
+}
+
+TEST(Disasm, RendersInstructions) {
+  auto r = Assemble(".entry s\ns:\n    add r1, r2, #4\n    hlt\n");
+  ASSERT_TRUE(r.ok);
+  std::string text = DisasmImage(r.image);
+  EXPECT_NE(text.find("add r1, r2, #0x4"), std::string::npos) << text;
+  EXPECT_NE(text.find("hlt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace revnic::isa

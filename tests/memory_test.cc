@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "symex/memory.h"
+#include "symex/state.h"
+
+namespace revnic::symex {
+namespace {
+
+class SymMemoryTest : public ::testing::Test {
+ protected:
+  SymMemoryTest() : mm_(1 << 20), mem_(&mm_) {}
+  ExprContext ctx_;
+  vm::MemoryMap mm_;
+  SymMemory mem_;
+};
+
+TEST_F(SymMemoryTest, ReadsThroughToBaseRam) {
+  mm_.WriteRam(0x100, 4, 0xCAFEBABE);
+  ExprRef v = mem_.Read(&ctx_, 0x100, 4);
+  ASSERT_TRUE(v->IsConst());
+  EXPECT_EQ(v->value, 0xCAFEBABEu);
+  EXPECT_EQ(mem_.NumPrivatePages(), 0u);  // pure read: no COW page
+}
+
+TEST_F(SymMemoryTest, WriteCreatesPrivatePage) {
+  mem_.Write(&ctx_, 0x200, 4, ctx_.Const(0x11223344));
+  EXPECT_EQ(mem_.NumPrivatePages(), 1u);
+  EXPECT_EQ(mem_.ReadConcrete(0x200, 4), 0x11223344u);
+  // Base RAM untouched.
+  EXPECT_EQ(mm_.ReadRam(0x200, 4), 0u);
+}
+
+TEST_F(SymMemoryTest, SymbolicRoundTrip) {
+  ExprRef v = ctx_.Sym("v");
+  mem_.Write(&ctx_, 0x300, 4, v);
+  EXPECT_TRUE(mem_.IsSymbolic(0x300, 4));
+  ExprRef back = mem_.Read(&ctx_, 0x300, 4);
+  // The byte-reassembly fast path must return the original expression.
+  EXPECT_TRUE(Expr::Equal(back, v));
+}
+
+TEST_F(SymMemoryTest, PartialOverwriteMixesBytes) {
+  ExprRef v = ctx_.Sym("v");
+  mem_.Write(&ctx_, 0x400, 4, v);
+  mem_.Write(&ctx_, 0x401, 1, ctx_.Const(0xAB, 32));
+  EXPECT_TRUE(mem_.IsSymbolic(0x400, 4));
+  EXPECT_FALSE(mem_.IsSymbolic(0x401, 1));
+  Model m{{v->sym_id, 0x11223344}};
+  ExprRef back = mem_.Read(&ctx_, 0x400, 4);
+  EXPECT_EQ(Eval(back, m), 0x1122AB44u);
+}
+
+TEST_F(SymMemoryTest, UnalignedAndSubWordAccess) {
+  mem_.Write(&ctx_, 0x500, 4, ctx_.Const(0xDDCCBBAA));
+  EXPECT_EQ(mem_.ReadConcrete(0x501, 2), 0xCCBBu);
+  mem_.Write(&ctx_, 0x503, 2, ctx_.Const(0xBEEF));
+  EXPECT_EQ(mem_.ReadConcrete(0x500, 4), 0xEFCCBBAAu);
+  EXPECT_EQ(mem_.ReadConcrete(0x504, 1), 0xBEu);
+}
+
+TEST_F(SymMemoryTest, CrossPageAccess) {
+  uint32_t addr = SymMemory::kPageSize - 2;
+  mem_.Write(&ctx_, addr, 4, ctx_.Const(0x99887766));
+  EXPECT_EQ(mem_.ReadConcrete(addr, 4), 0x99887766u);
+  EXPECT_EQ(mem_.NumPrivatePages(), 2u);
+}
+
+TEST_F(SymMemoryTest, CopyOnWriteSharing) {
+  mem_.Write(&ctx_, 0x600, 4, ctx_.Const(1));
+  SymMemory clone = mem_;  // state fork
+  clone.Write(&ctx_, 0x600, 4, ctx_.Const(2));
+  EXPECT_EQ(mem_.ReadConcrete(0x600, 4), 1u);
+  EXPECT_EQ(clone.ReadConcrete(0x600, 4), 2u);
+  // A write to a different page must not clone the shared one.
+  SymMemory clone2 = mem_;
+  clone2.Write(&ctx_, 0x10000, 4, ctx_.Const(3));
+  EXPECT_EQ(mem_.ReadConcrete(0x600, 4), 1u);
+}
+
+TEST_F(SymMemoryTest, WriteConcreteErasesSymbolic) {
+  mem_.Write(&ctx_, 0x700, 4, ctx_.Sym("x"));
+  EXPECT_TRUE(mem_.IsSymbolic(0x700, 4));
+  mem_.WriteConcrete(0x700, 4, 0x42);
+  EXPECT_FALSE(mem_.IsSymbolic(0x700, 4));
+  EXPECT_EQ(mem_.ReadConcrete(0x700, 4), 0x42u);
+}
+
+TEST(ExecutionStateTest, ForkSharesMemoryCow) {
+  ExprContext ctx;
+  vm::MemoryMap mm(1 << 20);
+  ExecutionState st(1, &ctx, &mm);
+  st.mem().Write(&ctx, 0x100, 4, ctx.Const(7));
+  st.AddConstraint(ctx.True());
+  st.set_pc(0x4000);
+  auto fork = st.Fork(2);
+  EXPECT_EQ(fork->id(), 2u);
+  EXPECT_EQ(fork->pc(), 0x4000u);
+  EXPECT_EQ(fork->constraints().size(), 1u);
+  fork->mem().Write(&ctx, 0x100, 4, ctx.Const(9));
+  EXPECT_EQ(st.mem().ReadConcrete(0x100, 4), 7u);
+  EXPECT_EQ(fork->mem().ReadConcrete(0x100, 4), 9u);
+}
+
+TEST(ExecutionStateTest, CallDepthTracksEntryReturn) {
+  ExprContext ctx;
+  vm::MemoryMap mm(1 << 20);
+  ExecutionState st(1, &ctx, &mm);
+  st.PushCall();
+  EXPECT_FALSE(st.PopCall());  // back to depth 0: still inside the entry
+  EXPECT_TRUE(st.PopCall());   // popped past the entry frame
+  st.ResetCallDepth();
+  EXPECT_TRUE(st.PopCall());
+}
+
+}  // namespace
+}  // namespace revnic::symex

@@ -1,0 +1,179 @@
+// WinSim kernel-API semantics, independent of any driver.
+#include <gtest/gtest.h>
+
+#include "os/winsim.h"
+
+namespace revnic::os {
+namespace {
+
+class VecMem : public GuestMem {
+ public:
+  explicit VecMem(size_t size) : bytes_(size, 0) {}
+  uint32_t Read(uint32_t addr, unsigned size) override {
+    uint32_t v = 0;
+    for (unsigned i = 0; i < size && addr + i < bytes_.size(); ++i) {
+      v |= static_cast<uint32_t>(bytes_[addr + i]) << (8 * i);
+    }
+    return v;
+  }
+  void Write(uint32_t addr, unsigned size, uint32_t value) override {
+    for (unsigned i = 0; i < size && addr + i < bytes_.size(); ++i) {
+      bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class WinSimTest : public ::testing::Test {
+ protected:
+  WinSimTest() : winsim_(hw::Rtl8139Config()), mem_(1 << 20) {}
+  WinSim winsim_;
+  VecMem mem_;
+};
+
+TEST_F(WinSimTest, SignatureTableConsistent) {
+  for (uint32_t id = 1; id < kNdisApiCount; ++id) {
+    const ApiSignature& sig = SignatureOf(id);
+    EXPECT_STRNE(sig.name, "?") << id;
+    EXPECT_LE(sig.argc, 5u) << sig.name;
+  }
+  EXPECT_STREQ(SignatureOf(9999).name, "?");
+}
+
+TEST_F(WinSimTest, RegisterMiniportParsesCharacteristics) {
+  // Build a characteristics table at 0x100.
+  for (unsigned slot = 0; slot < 9; ++slot) {
+    mem_.Write(0x100 + slot * 4, 4, 0x401000 + slot * 0x10);
+  }
+  auto out = winsim_.HandleApi(kNdisMRegisterMiniport, {0x100}, mem_);
+  EXPECT_EQ(out.ret, kStatusSuccess);
+  ASSERT_TRUE(winsim_.registered());
+  EXPECT_EQ(winsim_.entries().size(), 9u);
+  EXPECT_EQ(winsim_.EntryPc(EntryRole::kInitialize), 0x401000u);
+  EXPECT_EQ(winsim_.EntryPc(EntryRole::kSend), 0x401030u);
+  EXPECT_EQ(winsim_.EntryPc(EntryRole::kShutdown), 0x401080u);
+}
+
+TEST_F(WinSimTest, NullEntrySlotsAreSkipped) {
+  mem_.Write(0x100 + kCharsInitialize, 4, 0x401000);
+  // All other slots zero.
+  winsim_.HandleApi(kNdisMRegisterMiniport, {0x100}, mem_);
+  EXPECT_EQ(winsim_.entries().size(), 1u);
+  EXPECT_EQ(winsim_.EntryPc(EntryRole::kSend), 0u);
+}
+
+TEST_F(WinSimTest, AllocationsDisjointAndAligned) {
+  uint32_t p1_slot = 0x10, p2_slot = 0x14;
+  winsim_.HandleApi(kNdisAllocateMemory, {p1_slot, 100}, mem_);
+  winsim_.HandleApi(kNdisAllocateMemory, {p2_slot, 100}, mem_);
+  uint32_t p1 = mem_.Read(p1_slot, 4);
+  uint32_t p2 = mem_.Read(p2_slot, 4);
+  EXPECT_GE(p1, kHeapBase);
+  EXPECT_GE(p2, p1 + 100);
+  EXPECT_EQ(p1 % 16, 0u);
+}
+
+TEST_F(WinSimTest, SharedMemoryRegistersDmaRegion) {
+  winsim_.HandleApi(kNdisMAllocateSharedMemory, {512, 0x20, 0x24}, mem_);
+  uint32_t va = mem_.Read(0x20, 4);
+  uint32_t pa = mem_.Read(0x24, 4);
+  EXPECT_EQ(va, pa);  // identity-mapped
+  EXPECT_GE(va, kDmaBase);
+  EXPECT_TRUE(winsim_.dma().IsDma(va));
+  EXPECT_TRUE(winsim_.dma().IsDma(va + 511));
+  EXPECT_FALSE(winsim_.dma().IsDma(va + 512));
+}
+
+TEST_F(WinSimTest, PciConfigSpaceLayout) {
+  winsim_.HandleApi(kNdisReadPciSlotInformation, {0, 0x40, 4}, mem_);
+  EXPECT_EQ(mem_.Read(0x40, 2), 0x10ECu);  // vendor
+  EXPECT_EQ(mem_.Read(0x42, 2), 0x8139u);  // device
+  winsim_.HandleApi(kNdisReadPciSlotInformation, {0x10, 0x40, 4}, mem_);
+  EXPECT_EQ(mem_.Read(0x40, 4), hw::Rtl8139Config().io_base | 1u);  // BAR0 | IO bit
+  winsim_.HandleApi(kNdisReadPciSlotInformation, {0x3C, 0x40, 1}, mem_);
+  EXPECT_EQ(mem_.Read(0x40, 1), hw::Rtl8139Config().irq_line);
+}
+
+TEST_F(WinSimTest, InterruptRegistrationChecksLine) {
+  EXPECT_EQ(winsim_.HandleApi(kNdisMRegisterInterrupt, {hw::Rtl8139Config().irq_line}, mem_).ret,
+            kStatusSuccess);
+  EXPECT_EQ(winsim_.HandleApi(kNdisMRegisterInterrupt, {99}, mem_).ret, kStatusFailure);
+}
+
+TEST_F(WinSimTest, RegistryConfigurable) {
+  EXPECT_EQ(winsim_.HandleApi(kNdisReadConfiguration, {0, kCfgDuplexMode, 0x50}, mem_).ret,
+            kStatusFailure);
+  winsim_.SetConfig(kCfgDuplexMode, 2);
+  EXPECT_EQ(winsim_.HandleApi(kNdisReadConfiguration, {0, kCfgDuplexMode, 0x50}, mem_).ret,
+            kStatusSuccess);
+  EXPECT_EQ(mem_.Read(0x50, 4), 2u);
+}
+
+TEST_F(WinSimTest, TimersRegisterAndArm) {
+  auto out = winsim_.HandleApi(kNdisInitializeTimer, {0x405000, 0xC1}, mem_);
+  uint32_t timer_id = out.ret;
+  EXPECT_EQ(winsim_.timers().size(), 1u);
+  EXPECT_FALSE(winsim_.timers()[0].pending);
+  winsim_.HandleApi(kNdisSetTimer, {timer_id, 1000}, mem_);
+  EXPECT_TRUE(winsim_.timers()[0].pending);
+  winsim_.HandleApi(kNdisCancelTimer, {timer_id}, mem_);
+  EXPECT_FALSE(winsim_.timers()[0].pending);
+  // Timer registration also surfaces as a kTimer entry point (§3.2).
+  EXPECT_EQ(winsim_.EntryPc(EntryRole::kTimer), 0x405000u);
+}
+
+TEST_F(WinSimTest, RxIndicationCopiesFrame) {
+  for (int i = 0; i < 8; ++i) {
+    mem_.Write(0x1000 + i, 1, 0xA0 + i);
+  }
+  winsim_.HandleApi(kNdisMEthIndicateReceive, {0x1000, 8}, mem_);
+  ASSERT_EQ(winsim_.rx_delivered().size(), 1u);
+  EXPECT_EQ(winsim_.rx_delivered()[0].size(), 8u);
+  EXPECT_EQ(winsim_.rx_delivered()[0][0], 0xA0);
+  EXPECT_EQ(winsim_.counters().rx_indicated, 1u);
+}
+
+TEST_F(WinSimTest, MoveAndZeroMemoryCounted) {
+  mem_.Write(0x100, 4, 0x11223344);
+  winsim_.HandleApi(kNdisMoveMemory, {0x200, 0x100, 4}, mem_);
+  EXPECT_EQ(mem_.Read(0x200, 4), 0x11223344u);
+  winsim_.HandleApi(kNdisZeroMemory, {0x200, 4}, mem_);
+  EXPECT_EQ(mem_.Read(0x200, 4), 0u);
+  EXPECT_EQ(winsim_.counters().bytes_moved, 8u);
+}
+
+TEST_F(WinSimTest, SynchronizeWithInterruptDefersToHost) {
+  auto out = winsim_.HandleApi(kNdisMSynchronizeWithInterrupt, {0x406000, 0x1234}, mem_);
+  EXPECT_EQ(out.effect, ApiEffect::kCallGuestFunction);
+  EXPECT_EQ(out.callback_pc, 0x406000u);
+  EXPECT_EQ(out.callback_arg, 0x1234u);
+}
+
+TEST_F(WinSimTest, StallExecutionAccumulates) {
+  winsim_.HandleApi(kNdisStallExecution, {25}, mem_);
+  winsim_.HandleApi(kNdisMSleep, {75}, mem_);
+  EXPECT_EQ(winsim_.counters().stall_micros, 100u);
+}
+
+TEST_F(WinSimTest, ApiUsageTracked) {
+  winsim_.HandleApi(kNdisStallExecution, {1}, mem_);
+  winsim_.HandleApi(kNdisStallExecution, {1}, mem_);
+  winsim_.HandleApi(kNdisFreeMemory, {0, 0}, mem_);
+  EXPECT_EQ(winsim_.api_usage().at(kNdisStallExecution), 2u);
+  EXPECT_EQ(winsim_.api_usage().size(), 2u);
+}
+
+TEST_F(WinSimTest, ResetRuntimeStateClearsEverything) {
+  winsim_.HandleApi(kNdisMAllocateSharedMemory, {64, 0x20, 0x24}, mem_);
+  winsim_.HandleApi(kNdisInitializeTimer, {0x405000, 0}, mem_);
+  winsim_.ResetRuntimeState();
+  EXPECT_FALSE(winsim_.registered());
+  EXPECT_TRUE(winsim_.timers().empty());
+  EXPECT_EQ(winsim_.dma().NumRegions(), 0u);
+  EXPECT_EQ(winsim_.counters().stall_micros, 0u);
+}
+
+}  // namespace
+}  // namespace revnic::os

@@ -1,0 +1,150 @@
+// Robustness: malformed inputs must fail cleanly, and the solver must find
+// every satisfiable system we can construct by design.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "drivers/drivers.h"
+#include "isa/image.h"
+#include "symex/solver.h"
+#include "util/rng.h"
+
+namespace revnic {
+namespace {
+
+// ---- DRV1 parser fuzzing: random mutations never crash, and either parse
+// to a well-formed image or fail with a diagnostic. ----
+
+class ImageFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ImageFuzzTest, MutatedImagesParseOrFailCleanly) {
+  Rng rng(GetParam() * 1337);
+  std::vector<uint8_t> bytes =
+      isa::Serialize(drivers::DriverImage(drivers::DriverId::kRtl8029));
+  // Mutate a handful of random bytes (header and body).
+  for (int m = 0; m < 16; ++m) {
+    bytes[rng.Below(static_cast<uint32_t>(bytes.size()))] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+  }
+  isa::Image out;
+  std::string error;
+  bool ok = isa::Parse(bytes, &out, &error);
+  if (ok) {
+    // If it parsed, the invariants must hold.
+    EXPECT_GE(out.entry, out.code_begin());
+    EXPECT_LT(out.entry, out.code_end());
+    EXPECT_EQ(out.file_size(), bytes.size());
+  } else {
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST_P(ImageFuzzTest, TruncatedImagesRejected) {
+  Rng rng(GetParam());
+  std::vector<uint8_t> bytes =
+      isa::Serialize(drivers::DriverImage(drivers::DriverId::kSmc91c111));
+  bytes.resize(rng.Below(static_cast<uint32_t>(bytes.size())));
+  isa::Image out;
+  std::string error;
+  EXPECT_FALSE(isa::Parse(bytes, &out, &error));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImageFuzzTest, ::testing::Range<uint64_t>(1, 13));
+
+// ---- Solver completeness: systems satisfiable by construction. ----
+
+class SolverCompleteness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverCompleteness, FindsPlantedSolutions) {
+  Rng rng(GetParam() * 104729);
+  symex::ExprContext ctx;
+  symex::Solver solver(symex::Solver::Options(), GetParam());
+  // Plant an assignment, then generate constraints that are true under it.
+  const int kVars = 1 + static_cast<int>(rng.Below(4));
+  std::vector<symex::ExprRef> vars;
+  symex::Model planted;
+  for (int v = 0; v < kVars; ++v) {
+    vars.push_back(ctx.Sym(StrFormat("v%d", v)));
+    planted[vars.back()->sym_id] = rng.Next32();
+  }
+  std::vector<symex::ExprRef> constraints;
+  for (int c = 0; c < 12; ++c) {
+    const symex::ExprRef& var = vars[rng.Below(static_cast<uint32_t>(vars.size()))];
+    uint32_t value = planted[var->sym_id];
+    switch (rng.Below(5)) {
+      case 0:
+        constraints.push_back(ctx.Eq(var, ctx.Const(value)));
+        break;
+      case 1: {
+        uint32_t mask = rng.Next32();
+        constraints.push_back(
+            ctx.Eq(ctx.And(var, ctx.Const(mask)), ctx.Const(value & mask)));
+        break;
+      }
+      case 2:
+        if (value != 0xFFFFFFFFu) {
+          constraints.push_back(
+              ctx.Bin(symex::BinOp::kUle, var, ctx.Const(value + rng.Below(1000))));
+        }
+        break;
+      case 3:
+        constraints.push_back(ctx.Bin(symex::BinOp::kNe, var,
+                                      ctx.Const(value ^ (1u + rng.Below(0xFFFF)))));
+        break;
+      default: {
+        uint32_t delta = rng.Below(1000);
+        constraints.push_back(ctx.Eq(ctx.Add(var, ctx.Const(delta)),
+                                     ctx.Const(value + delta)));
+        break;
+      }
+    }
+  }
+  symex::Model model;
+  ASSERT_EQ(solver.CheckSat(constraints, &model), symex::Verdict::kSat)
+      << "seed " << GetParam();
+  for (const symex::ExprRef& c : constraints) {
+    EXPECT_EQ(Eval(c, model), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverCompleteness, ::testing::Range<uint64_t>(1, 31));
+
+// ---- Engine resilience ----
+
+TEST(EngineRobustness, DriverForWrongDeviceFailsGracefully) {
+  // Present the rtl8029 driver with the rtl8139's PCI identity: its id check
+  // must take the failure path; the engine completes without crashing.
+  core::EngineConfig cfg;
+  cfg.pci = hw::Rtl8139Config();  // wrong device for this driver
+  cfg.max_work = 20'000;
+  core::EngineResult r =
+      core::ReverseEngineer(drivers::DriverImage(drivers::DriverId::kRtl8029), cfg);
+  // DriverEntry + the failing init path still produce coverage.
+  EXPECT_GT(r.covered_blocks.size(), 0u);
+  // The vendor-check failure path logs an error (unless skipped, it is the
+  // default skip-listed API -- so check the path itself was covered).
+  EXPECT_GE(r.stats.entry_completions, 1u);
+}
+
+TEST(EngineRobustness, GarbageImageDoesNotCrashEngine) {
+  isa::Image garbage;
+  garbage.link_base = 0x400000;
+  garbage.entry = 0x400000;
+  garbage.code.assign(64 * isa::kInstrBytes, 0xEE);  // invalid opcodes
+  core::EngineConfig cfg;
+  cfg.pci = hw::Rtl8029Config();
+  cfg.max_work = 1'000;
+  core::EngineResult r = core::ReverseEngineer(garbage, cfg);
+  EXPECT_EQ(r.covered_blocks.size(), 0u);
+}
+
+TEST(EngineRobustness, ZeroWorkBudget) {
+  core::EngineConfig cfg;
+  cfg.pci = hw::Rtl8029Config();
+  cfg.max_work = 0;
+  core::EngineResult r =
+      core::ReverseEngineer(drivers::DriverImage(drivers::DriverId::kRtl8029), cfg);
+  EXPECT_EQ(r.stats.work, 0u);
+}
+
+}  // namespace
+}  // namespace revnic

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "symex/solver.h"
+
+namespace revnic::symex {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  ExprContext ctx_;
+  Solver solver_;
+};
+
+TEST_F(SolverTest, EmptyConstraintsAreSat) {
+  Model m;
+  EXPECT_EQ(solver_.CheckSat({}, &m), Verdict::kSat);
+}
+
+TEST_F(SolverTest, ConstantFalseIsUnsat) {
+  EXPECT_EQ(solver_.CheckSat({ctx_.False()}, nullptr), Verdict::kUnsat);
+}
+
+TEST_F(SolverTest, SimpleEquality) {
+  ExprRef v = ctx_.Sym("v");
+  Model m;
+  ASSERT_EQ(solver_.CheckSat({ctx_.Eq(v, ctx_.Const(0x1234))}, &m), Verdict::kSat);
+  EXPECT_EQ(m[v->sym_id], 0x1234u);
+}
+
+TEST_F(SolverTest, ContradictoryEqualitiesUnsat) {
+  ExprRef v = ctx_.Sym("v");
+  auto verdict = solver_.CheckSat(
+      {ctx_.Eq(v, ctx_.Const(1)), ctx_.Eq(v, ctx_.Const(2))}, nullptr);
+  EXPECT_EQ(verdict, Verdict::kUnsat);
+}
+
+TEST_F(SolverTest, StructuralNegationUnsat) {
+  ExprRef v = ctx_.Sym("v");
+  ExprRef cond = ctx_.Bin(BinOp::kUlt, v, ctx_.Const(10));
+  auto verdict = solver_.CheckSat({cond, ctx_.Not(cond)}, nullptr);
+  EXPECT_EQ(verdict, Verdict::kUnsat);
+}
+
+TEST_F(SolverTest, RangeConstraints) {
+  ExprRef v = ctx_.Sym("v");
+  Model m;
+  std::vector<ExprRef> cs = {ctx_.Bin(BinOp::kUlt, v, ctx_.Const(100)),
+                             ctx_.Bin(BinOp::kUle, ctx_.Const(90), v)};
+  ASSERT_EQ(solver_.CheckSat(cs, &m), Verdict::kSat);
+  EXPECT_LT(m[v->sym_id], 100u);
+  EXPECT_GE(m[v->sym_id], 90u);
+}
+
+TEST_F(SolverTest, MaskedBitConstraints) {
+  // (v & 0x40) == 0x40 and (v & 0x0F) == 5 simultaneously.
+  ExprRef v = ctx_.Sym("v");
+  Model m;
+  std::vector<ExprRef> cs = {
+      ctx_.Eq(ctx_.And(v, ctx_.Const(0x40)), ctx_.Const(0x40)),
+      ctx_.Eq(ctx_.And(v, ctx_.Const(0x0F)), ctx_.Const(5)),
+  };
+  ASSERT_EQ(solver_.CheckSat(cs, &m), Verdict::kSat);
+  EXPECT_EQ(m[v->sym_id] & 0x40u, 0x40u);
+  EXPECT_EQ(m[v->sym_id] & 0x0Fu, 5u);
+}
+
+TEST_F(SolverTest, OidComparisonChain) {
+  // The driver IOCTL pattern: a chain of Ne's then one Eq.
+  ExprRef oid = ctx_.Sym("oid");
+  std::vector<ExprRef> cs;
+  const uint32_t kOids[] = {0x01010101, 0x01010102, 0x0001010E, 0x00010107};
+  for (uint32_t k : kOids) {
+    cs.push_back(ctx_.Bin(BinOp::kNe, oid, ctx_.Const(k)));
+  }
+  Model m;
+  ASSERT_EQ(solver_.MayBeTrue(cs, ctx_.Eq(oid, ctx_.Const(0x01010103)), &m), Verdict::kSat);
+  EXPECT_EQ(m[oid->sym_id], 0x01010103u);
+  // And the impossible one: oid equals an excluded constant.
+  EXPECT_EQ(solver_.MayBeTrue(cs, ctx_.Eq(oid, ctx_.Const(0x01010101)), &m), Verdict::kUnsat);
+}
+
+TEST_F(SolverTest, ArithmeticChain) {
+  // ((v + 3) & 0xFF) == 0x10
+  ExprRef v = ctx_.Sym("v");
+  ExprRef expr = ctx_.And(ctx_.Add(v, ctx_.Const(3)), ctx_.Const(0xFF));
+  Model m;
+  ASSERT_EQ(solver_.CheckSat({ctx_.Eq(expr, ctx_.Const(0x10))}, &m), Verdict::kSat);
+  EXPECT_EQ((m[v->sym_id] + 3) & 0xFF, 0x10u);
+}
+
+TEST_F(SolverTest, MultiVariableSystem) {
+  ExprRef a = ctx_.Sym("a");
+  ExprRef b = ctx_.Sym("b");
+  std::vector<ExprRef> cs = {
+      ctx_.Eq(ctx_.And(a, ctx_.Const(0xFF)), ctx_.Const(0x7F)),
+      ctx_.Eq(b, ctx_.Const(0x1000)),
+      ctx_.Bin(BinOp::kNe, a, b),
+  };
+  Model m;
+  ASSERT_EQ(solver_.CheckSat(cs, &m), Verdict::kSat);
+  EXPECT_EQ(m[a->sym_id] & 0xFFu, 0x7Fu);
+  EXPECT_EQ(m[b->sym_id], 0x1000u);
+}
+
+TEST_F(SolverTest, HintAcceleratesIncrementalQueries) {
+  ExprRef v = ctx_.Sym("v");
+  std::vector<ExprRef> cs = {ctx_.Eq(v, ctx_.Const(42))};
+  Model hint{{v->sym_id, 42}};
+  Model m;
+  ASSERT_EQ(solver_.CheckSat(cs, &m, &hint), Verdict::kSat);
+  EXPECT_EQ(m[v->sym_id], 42u);
+  // The hint path should resolve without entering search (few evals).
+  uint64_t evals_before = solver_.stats().evals;
+  solver_.CheckSat(cs, &m, &hint);
+  EXPECT_LE(solver_.stats().evals - evals_before, 4u);
+}
+
+TEST_F(SolverTest, MustBeTrue) {
+  ExprRef v = ctx_.Sym("v");
+  std::vector<ExprRef> cs = {ctx_.Eq(v, ctx_.Const(7))};
+  EXPECT_TRUE(solver_.MustBeTrue(cs, ctx_.Bin(BinOp::kUlt, v, ctx_.Const(8)), &ctx_));
+  EXPECT_FALSE(solver_.MustBeTrue(cs, ctx_.Bin(BinOp::kUlt, v, ctx_.Const(7)), &ctx_));
+}
+
+TEST_F(SolverTest, ConstCondFastPath) {
+  Model m;
+  EXPECT_EQ(solver_.MayBeTrue({}, ctx_.True(), &m), Verdict::kSat);
+  EXPECT_EQ(solver_.MayBeTrue({}, ctx_.False(), &m), Verdict::kUnsat);
+}
+
+class SolverSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SolverSweepTest, EqualityAlwaysSolvable) {
+  // Property: for any constant k, Eq(v, k) is sat with model v == k.
+  ExprContext ctx;
+  Solver solver;
+  ExprRef v = ctx.Sym("v");
+  Model m;
+  ASSERT_EQ(solver.CheckSat({ctx.Eq(v, ctx.Const(GetParam()))}, &m), Verdict::kSat);
+  EXPECT_EQ(m[v->sym_id], GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Constants, SolverSweepTest,
+                         ::testing::Values(0u, 1u, 0x7Fu, 0x80u, 0xFFu, 0x8000u, 0xFFFFu,
+                                           0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu));
+
+}  // namespace
+}  // namespace revnic::symex

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace revnic {
+namespace {
+
+TEST(Strings, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 42, "foo"), "x=42 y=foo");
+  EXPECT_EQ(StrFormat("%08x", 0x1234u), "00001234");
+  EXPECT_EQ(StrFormat(""), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(Strings, ParseIntForms) {
+  uint32_t v = 0;
+  EXPECT_TRUE(ParseInt("123", &v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_TRUE(ParseInt("0x10", &v));
+  EXPECT_EQ(v, 16u);
+  EXPECT_TRUE(ParseInt("0b101", &v));
+  EXPECT_EQ(v, 5u);
+  EXPECT_TRUE(ParseInt("-4", &v));
+  EXPECT_EQ(v, 0xFFFFFFFCu);
+  EXPECT_TRUE(ParseInt("0xFFFFFFFF", &v));
+  EXPECT_EQ(v, 0xFFFFFFFFu);
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("zz", &v));
+  EXPECT_FALSE(ParseInt("0x1FFFFFFFF", &v));
+}
+
+TEST(Bits, LowMaskAndSignExtend) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(SignExtend(0x80, 8), 0xFFFFFF80u);
+  EXPECT_EQ(SignExtend(0x7F, 8), 0x7Fu);
+  EXPECT_EQ(SignExtend(0x8000, 16), 0xFFFF8000u);
+}
+
+TEST(Bits, LoadStoreLeRoundTrip) {
+  uint8_t buf[4] = {};
+  StoreLE(buf, 0xA1B2C3D4, 4);
+  EXPECT_EQ(buf[0], 0xD4);
+  EXPECT_EQ(LoadLE(buf, 4), 0xA1B2C3D4u);
+  EXPECT_EQ(LoadLE(buf, 2), 0xC3D4u);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Below(10), 10u);
+  }
+  EXPECT_EQ(r.Below(0), 0u);
+}
+
+}  // namespace
+}  // namespace revnic
