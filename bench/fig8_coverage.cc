@@ -17,6 +17,7 @@ int main() {
   printf("%-8s", "minute");
   std::vector<std::vector<double>> curves;
   std::vector<std::string> names;
+  std::vector<perf::SubstrateCounters> substrates;
   size_t max_minutes = 0;
   for (auto id : drivers::kAllDrivers) {
     // Dedicated run with fine-grained timeline sampling.
@@ -24,6 +25,7 @@ int main() {
     cfg.pci = drivers::MakeDevice(id)->pci();
     cfg.sample_every = 100;
     core::EngineResult engine = core::ReverseEngineer(drivers::DriverImage(id), cfg);
+    substrates.push_back(engine.substrate);
     std::vector<double> curve;
     double denom = static_cast<double>(engine.static_blocks);
     size_t sample = 0;
@@ -60,5 +62,10 @@ int main() {
     printf("  %s=%.1f%%", names[i].c_str(), curves[i].back());
   }
   printf("\n(paper: most drivers reach over 80%% in under twenty minutes)\n");
+  printf("\nSubstrate caches (per driver):\n");
+  for (size_t i = 0; i < substrates.size(); ++i) {
+    printf("  %-10s %s\n", names[i].c_str(),
+           perf::FormatSubstrateCounters(substrates[i]).c_str());
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 // wall-clock behaviour.
 #include <benchmark/benchmark.h>
 
+#include <set>
+
 #include "drivers/drivers.h"
 #include "isa/assembler.h"
 #include "hw/ne2000.h"
@@ -81,6 +83,101 @@ void BM_SolverChainQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolverChainQuery)->Arg(4)->Arg(16)->Arg(64);
+
+// Same chain but with the query cache and independence slicing disabled and a
+// fresh solver per iteration: the honest cold-solve cost, for comparing
+// against BM_SolverChainQuery's cached steady state.
+void BM_SolverChainQueryCold(benchmark::State& state) {
+  symex::ExprContext ctx;
+  symex::ExprRef oid = ctx.Sym("oid", 32);
+  std::vector<symex::ExprRef> constraints;
+  for (int i = 0; i < state.range(0); ++i) {
+    constraints.push_back(
+        ctx.Bin(symex::BinOp::kNe, oid, ctx.Const(0x01010100u + static_cast<uint32_t>(i))));
+  }
+  symex::ExprRef target = ctx.Eq(oid, ctx.Const(0x0101FFFF));
+  symex::Solver::Options opts;
+  opts.enable_query_cache = false;
+  opts.enable_independence = false;
+  opts.model_shelf_entries = 0;
+  for (auto _ : state) {
+    symex::Solver solver(opts);
+    symex::Model model;
+    auto v = solver.MayBeTrue(constraints, target, &model);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SolverChainQueryCold)->Arg(64);
+
+// Incremental exploration pattern: a path condition over many independent
+// symbols (one per hardware register read) plus one new branch condition.
+// Independence slicing should make the query cost track the one-variable
+// slice, not the whole path condition.
+void BM_SolverIndependentSlices(benchmark::State& state) {
+  symex::ExprContext ctx;
+  symex::Solver solver;
+  std::vector<symex::ExprRef> constraints;
+  std::vector<symex::ExprRef> syms;
+  for (int i = 0; i < state.range(0); ++i) {
+    symex::ExprRef v = ctx.Sym("hw_in", 32);
+    syms.push_back(v);
+    constraints.push_back(ctx.Eq(ctx.And(v, ctx.Const(0xFF)), ctx.Const(0x40)));
+  }
+  symex::ExprRef target = ctx.Bin(symex::BinOp::kUlt, syms[0], ctx.Const(0x80));
+  for (auto _ : state) {
+    symex::Model model;
+    auto v = solver.MayBeTrue(constraints, target, &model);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SolverIndependentSlices)->Arg(8)->Arg(64);
+
+// Hash-consed construction: rebuilding an already-interned expression shape
+// must cost a table probe, not an allocation chain.
+void BM_ExprInternRebuild(benchmark::State& state) {
+  symex::ExprContext ctx;
+  symex::ExprRef v = ctx.Sym("v", 32);
+  for (auto _ : state) {
+    symex::ExprRef e = ctx.Eq(ctx.And(ctx.Add(v, ctx.Const(0x10)), ctx.Const(0xFF)),
+                              ctx.Const(0x42));
+    benchmark::DoNotOptimize(e.get());
+  }
+}
+BENCHMARK(BM_ExprInternRebuild);
+
+// CollectSyms over a wide expression: reads the symbol set cached on the
+// node instead of walking the DAG.
+void BM_CollectSymsWide(benchmark::State& state) {
+  symex::ExprContext ctx;
+  symex::ExprRef e = ctx.Const(0);
+  for (int i = 0; i < 64; ++i) {
+    e = ctx.Add(e, ctx.Sym("s", 32));
+  }
+  for (auto _ : state) {
+    std::set<uint32_t> out;
+    symex::CollectSyms(e, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_CollectSymsWide);
+
+// Fork cost along a deep path: the constraint spine is shared, so forking is
+// O(1) in the number of accumulated constraints.
+void BM_StateForkDeepPath(benchmark::State& state) {
+  symex::ExprContext ctx;
+  vm::MemoryMap mm(1 << 20);
+  symex::ExecutionState st(0, &ctx, &mm);
+  symex::ExprRef v = ctx.Sym("v", 32);
+  for (int i = 0; i < state.range(0); ++i) {
+    st.AddConstraint(ctx.Bin(symex::BinOp::kNe, v, ctx.Const(static_cast<uint32_t>(i))));
+  }
+  uint64_t id = 1;
+  for (auto _ : state) {
+    auto fork = st.Fork(id++);
+    benchmark::DoNotOptimize(fork->constraints().size());
+  }
+}
+BENCHMARK(BM_StateForkDeepPath)->Arg(16)->Arg(256);
 
 void BM_SymbolicStep(benchmark::State& state) {
   symex::ExprContext ctx;

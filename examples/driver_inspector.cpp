@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
          r.engine.CoveragePercent(),
          static_cast<unsigned long long>(r.engine.executor_stats.forks),
          static_cast<unsigned long long>(r.engine.stats.api_calls));
+  printf("substrate caches: %s\n", perf::FormatSubstrateCounters(r.engine.substrate).c_str());
 
   printf("\nentry points (from registration monitoring):\n");
   for (const os::EntryPoint& e : r.engine.entries) {

@@ -293,9 +293,11 @@ struct Engine::Impl {
       std::unique_ptr<ExecutionState> cur = pool.SelectNext();
       // Operator diagnostics: REVNIC_HEARTBEAT=1 streams exerciser progress.
       if (getenv("REVNIC_HEARTBEAT") != nullptr && stats.work % 50 == 0) {
-        fprintf(stderr, "[hb] step=%s work=%llu pool=%zu pc=0x%x constraints=%zu\n",
+        fprintf(stderr,
+                "[hb] step=%s work=%llu pool=%zu pc=0x%x constraints=%zu solver-hits=%llu\n",
                 step.name.c_str(), (unsigned long long)stats.work, pool.NumRunnable(),
-                cur->pc(), cur->constraints().size());
+                cur->pc(), cur->constraints().size(),
+                (unsigned long long)solver.stats().cache_hits);
       }
       std::shared_ptr<const ir::Block> block = dbt.Translate(cur->pc());
       if (!block) {
@@ -499,6 +501,17 @@ struct Engine::Impl {
     result.stats = stats;
     result.solver_stats = solver.stats();
     result.executor_stats = executor.stats();
+    const symex::SolverStats& ss = solver.stats();
+    symex::ExprContext::InternStats is = ctx.intern_stats();
+    result.substrate = {.solver_queries = ss.queries,
+                        .solver_cache_hits = ss.cache_hits,
+                        .solver_cache_misses = ss.cache_misses,
+                        .solver_shelf_hits = ss.shelf_hits,
+                        .intern_hits = is.hits,
+                        .intern_misses = is.misses,
+                        .intern_size = is.size,
+                        .dbt_cache_hits = dbt.cache_hits(),
+                        .dbt_cache_misses = dbt.cache_misses()};
     result.entries = winsim.entries();
     result.apis_used = std::move(apis_used);
     result.call_counts = call_counts;

@@ -14,6 +14,7 @@
 #include "isa/disasm.h"
 #include "isa/image.h"
 #include "os/winsim.h"
+#include "perf/profile.h"
 #include "symex/scheduler.h"
 #include "trace/trace.h"
 #include "vm/dbt.h"
@@ -87,6 +88,9 @@ struct EngineResult {
   EngineStats stats;
   symex::SolverStats solver_stats;
   symex::ExecutorStats executor_stats;
+  // Cross-layer cache effectiveness (solver cache, expr interning, DBT
+  // translation cache) for the run summary.
+  perf::SubstrateCounters substrate;
   // Entry-point table discovered via registration monitoring.
   std::vector<os::EntryPoint> entries;
   // Direct-call counts per callee pc: the "most frequently called functions"

@@ -1,5 +1,7 @@
 #include "perf/profile.h"
 
+#include "util/strings.h"
+
 namespace revnic::perf {
 
 PlatformProfile X86Pc() {
@@ -62,6 +64,19 @@ PlatformProfile VmwareVm() {
 
 double OsPacketCycles(const PlatformProfile& p, os::TargetOs target) {
   return p.os_packet_cycles[static_cast<int>(target)];
+}
+
+std::string FormatSubstrateCounters(const SubstrateCounters& c) {
+  return StrFormat(
+      "solver: %llu queries, cache %llu/%llu hit (%.1f%%), %llu shelf | "
+      "intern: %llu/%llu hit (%.1f%%), %llu live | dbt: %llu/%llu hit (%.1f%%)",
+      (unsigned long long)c.solver_queries, (unsigned long long)c.solver_cache_hits,
+      (unsigned long long)(c.solver_cache_hits + c.solver_cache_misses),
+      100.0 * c.SolverHitRate(), (unsigned long long)c.solver_shelf_hits,
+      (unsigned long long)c.intern_hits, (unsigned long long)(c.intern_hits + c.intern_misses),
+      100.0 * c.InternHitRate(), (unsigned long long)c.intern_size,
+      (unsigned long long)c.dbt_cache_hits,
+      (unsigned long long)(c.dbt_cache_hits + c.dbt_cache_misses), 100.0 * c.DbtHitRate());
 }
 
 }  // namespace revnic::perf

@@ -23,6 +23,7 @@
 #define REVNIC_PERF_PROFILE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "os/recovered_host.h"
 
@@ -54,6 +55,38 @@ PlatformProfile QemuVm();
 PlatformProfile VmwareVm();
 
 double OsPacketCycles(const PlatformProfile& p, os::TargetOs target);
+
+// Substrate cache/interning counters gathered across the layers of one
+// reverse-engineering run (solver query cache, expression interning, DBT
+// translation cache). The wall-clock experiments (Figure 8/9 flavor) report
+// them alongside coverage so cache effectiveness stays measurable.
+struct SubstrateCounters {
+  uint64_t solver_queries = 0;
+  uint64_t solver_cache_hits = 0;
+  uint64_t solver_cache_misses = 0;
+  uint64_t solver_shelf_hits = 0;
+  uint64_t intern_hits = 0;
+  uint64_t intern_misses = 0;
+  uint64_t intern_size = 0;
+  uint64_t dbt_cache_hits = 0;
+  uint64_t dbt_cache_misses = 0;
+
+  double SolverHitRate() const {
+    uint64_t total = solver_cache_hits + solver_cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(solver_cache_hits) / total;
+  }
+  double InternHitRate() const {
+    uint64_t total = intern_hits + intern_misses;
+    return total == 0 ? 0.0 : static_cast<double>(intern_hits) / total;
+  }
+  double DbtHitRate() const {
+    uint64_t total = dbt_cache_hits + dbt_cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(dbt_cache_hits) / total;
+  }
+};
+
+// One-line human-readable rendering for run summaries.
+std::string FormatSubstrateCounters(const SubstrateCounters& c);
 
 }  // namespace revnic::perf
 

@@ -120,7 +120,7 @@ std::vector<uint32_t> Executor::ResolveTargets(
   }
   // Enumerate feasible concrete targets (§3.4: "RevNIC generates all of them
   // and forks the execution for each such value").
-  std::vector<ExprRef> constraints = state->constraints();
+  std::vector<ExprRef> constraints = state->constraints().ToVector();
   for (unsigned k = 0; k < options_.max_indirect_targets; ++k) {
     Model model;
     Verdict v = solver_->CheckSat(constraints, &model, &state->model());

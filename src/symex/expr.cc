@@ -26,20 +26,58 @@ uint64_t HashExpr(const Expr& e) {
   return h;
 }
 
-ExprRef Make(Expr e) {
-  e.hash = HashExpr(e);
-  uint64_t nodes = 1;
-  if (e.a) {
-    nodes += e.a->approx_nodes;
+const SymSetRef& EmptySymSet() {
+  static const SymSetRef kEmpty = std::make_shared<const SymSet>();
+  return kEmpty;
+}
+
+// Union of the operands' symbol sets, aliasing an operand's set whenever it
+// already covers the result (the common case: constants contribute nothing).
+SymSetRef UnionSyms(const Expr& e) {
+  if (e.kind == ExprKind::kSym) {
+    return std::make_shared<const SymSet>(SymSet{e.sym_id});
   }
-  if (e.b) {
-    nodes += e.b->approx_nodes;
+  const SymSetRef* parts[3];
+  size_t num_parts = 0;
+  for (const ExprRef* op : {&e.a, &e.b, &e.c}) {
+    if (*op && !(*op)->syms->empty()) {
+      parts[num_parts++] = &(*op)->syms;
+    }
   }
-  if (e.c) {
-    nodes += e.c->approx_nodes;
+  if (num_parts == 0) {
+    return EmptySymSet();
   }
-  e.approx_nodes = static_cast<uint32_t>(std::min<uint64_t>(nodes, 0x7FFFFFFF));
-  return std::make_shared<Expr>(std::move(e));
+  if (num_parts == 1) {
+    return *parts[0];
+  }
+  // Alias when one operand's set contains every other (cheap subset check on
+  // sorted vectors); otherwise merge.
+  const SymSetRef* widest = parts[0];
+  for (size_t i = 1; i < num_parts; ++i) {
+    if ((*parts[i])->size() > (*widest)->size()) {
+      widest = parts[i];
+    }
+  }
+  bool covered = true;
+  for (size_t i = 0; i < num_parts && covered; ++i) {
+    if (parts[i] == widest) {
+      continue;
+    }
+    covered = std::includes((*widest)->begin(), (*widest)->end(), (*parts[i])->begin(),
+                            (*parts[i])->end());
+  }
+  if (covered) {
+    return *widest;
+  }
+  SymSet merged;
+  for (size_t i = 0; i < num_parts; ++i) {
+    SymSet next;
+    next.reserve(merged.size() + (*parts[i])->size());
+    std::set_union(merged.begin(), merged.end(), (*parts[i])->begin(), (*parts[i])->end(),
+                   std::back_inserter(next));
+    merged = std::move(next);
+  }
+  return std::make_shared<const SymSet>(std::move(merged));
 }
 
 uint32_t FoldBin(BinOp op, uint32_t a, uint32_t b, uint8_t width) {
@@ -145,12 +183,61 @@ bool Expr::Equal(const ExprRef& x, const ExprRef& y) {
   return Equal(x->a, y->a) && Equal(x->b, y->b) && Equal(x->c, y->c);
 }
 
+ExprRef ExprContext::Make(Expr e) {
+  e.hash = HashExpr(e);
+  // Allocation-free probe first: the simplifier and executor rebuild the
+  // same shapes constantly, and a hit costs one hash + shallow compare.
+  auto it = intern_.find(InternKey{&e});
+  if (it != intern_.end()) {
+    ++intern_stats_.hits;
+    return *it;
+  }
+  ++intern_stats_.misses;
+  uint64_t nodes = 1;
+  if (e.a) {
+    nodes += e.a->approx_nodes;
+  }
+  if (e.b) {
+    nodes += e.b->approx_nodes;
+  }
+  if (e.c) {
+    nodes += e.c->approx_nodes;
+  }
+  e.approx_nodes = static_cast<uint32_t>(std::min<uint64_t>(nodes, 0x7FFFFFFF));
+  e.syms = UnionSyms(e);
+  ExprRef node = std::make_shared<Expr>(std::move(e));
+  intern_.insert(node);
+  if (intern_.size() > kMaxInternEntries) {
+    // Overflow reset: drop the pins, keep correctness (Equal is structural).
+    intern_.clear();
+    ++intern_stats_.resets;
+  }
+  return node;
+}
+
 ExprRef ExprContext::Const(uint32_t value, uint8_t width) {
+  uint32_t v = value & LowMask(width);
+  int wi = WidthIndex(width);
+  ExprRef* slot = nullptr;
+  if (wi >= 0 && v < kSmallConstCacheSize) {
+    slot = &small_consts_[wi][v];
+    if (*slot) {
+      ++intern_stats_.hits;
+      return *slot;
+    }
+  }
+  ++intern_stats_.misses;
   Expr e;
   e.kind = ExprKind::kConst;
   e.width = width;
-  e.value = value & LowMask(width);
-  return Make(std::move(e));
+  e.value = v;
+  e.hash = HashExpr(e);
+  e.syms = EmptySymSet();
+  ExprRef node = std::make_shared<Expr>(std::move(e));
+  if (slot != nullptr) {
+    *slot = node;
+  }
+  return node;
 }
 
 ExprRef ExprContext::Sym(const std::string& name, uint8_t width) {
@@ -159,11 +246,14 @@ ExprRef ExprContext::Sym(const std::string& name, uint8_t width) {
   e.width = width;
   e.sym_id = static_cast<uint32_t>(sym_names_.size());
   sym_names_.push_back(name);
-  return Make(std::move(e));
+  e.hash = HashExpr(e);
+  e.syms = std::make_shared<const SymSet>(SymSet{e.sym_id});
+  ++intern_stats_.misses;
+  return std::make_shared<Expr>(std::move(e));
 }
 
 const std::string& ExprContext::SymName(uint32_t sym_id) const {
-  static const std::string kUnknown = "?";
+  static const std::string kUnknown = "<sym?>";
   return sym_id < sym_names_.size() ? sym_names_[sym_id] : kUnknown;
 }
 
@@ -439,6 +529,13 @@ void Visit(const ExprRef& e, std::unordered_set<const Expr*>* seen, Fn&& fn) {
 }  // namespace
 
 void CollectSyms(const ExprRef& e, std::set<uint32_t>* out) {
+  if (!e) {
+    return;
+  }
+  out->insert(e->syms->begin(), e->syms->end());
+}
+
+void CollectSymsWalk(const ExprRef& e, std::set<uint32_t>* out) {
   std::unordered_set<const Expr*> seen;
   Visit(e, &seen, [out](const ExprRef& n) {
     if (n->kind == ExprKind::kSym) {

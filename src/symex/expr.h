@@ -12,7 +12,9 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace revnic::symex {
@@ -54,6 +56,12 @@ enum class BinOp : uint8_t {
 bool IsComparison(BinOp op);
 const char* BinOpName(BinOp op);
 
+// Sorted, deduplicated symbolic-variable ids of a subtree. Shared between
+// nodes (a node whose operands cover the same set aliases the operand's set),
+// so the per-node cost of keeping it is one pointer.
+using SymSet = std::vector<uint32_t>;
+using SymSetRef = std::shared_ptr<const SymSet>;
+
 class Expr {
  public:
   ExprKind kind;
@@ -65,21 +73,85 @@ class Expr {
   uint64_t hash = 0;
   // Approximate DAG size (tree-counted, saturating); O(1) blowup guard.
   uint32_t approx_nodes = 1;
+  // Symbol set of the whole subtree, computed once at construction so
+  // CollectSyms and solver slicing never re-walk the DAG. Never null.
+  SymSetRef syms;
 
   bool IsConst() const { return kind == ExprKind::kConst; }
   bool IsConstValue(uint32_t v) const { return IsConst() && value == v; }
 
-  // Structural equality (hash-guarded).
+  // Structural equality (hash-guarded). Nodes interned by the same
+  // ExprContext compare by pointer; the structural walk remains as the
+  // fallback for cross-context nodes and intern-table resets.
   static bool Equal(const ExprRef& x, const ExprRef& y);
 };
 
 // Assignment of concrete values to symbolic variables.
 using Model = std::map<uint32_t, uint32_t>;
 
+// Non-owning contiguous view over path constraints; what the solver
+// consumes. Implicitly built from a vector or a ConstraintSet (span's range
+// constructor), so call sites never copy just to change container shape.
+using ConstraintView = std::span<const ExprRef>;
+
+// A path-constraint sequence with a shared immutable spine: forking a state
+// copies one shared_ptr and a length, not the vector. Siblings share the
+// backing vector as long as appends happen past everyone's visible prefix;
+// an append that would clobber a sibling's extension copies the prefix first
+// (so the common fork pattern -- both children append one constraint -- costs
+// one O(1) append plus one O(n) divergence copy, instead of two O(n) deep
+// copies on every fork).
+class ConstraintSet {
+ public:
+  ConstraintSet() : vec_(std::make_shared<std::vector<ExprRef>>()) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const ExprRef& operator[](size_t i) const { return (*vec_)[i]; }
+  const ExprRef* begin() const { return vec_->data(); }
+  const ExprRef* end() const { return vec_->data() + count_; }
+
+  void Add(ExprRef c) {
+    if (vec_->size() != count_) {
+      // A sibling already extended the shared spine past our prefix: diverge.
+      vec_ = std::make_shared<std::vector<ExprRef>>(vec_->begin(),
+                                                    vec_->begin() + static_cast<long>(count_));
+    }
+    vec_->push_back(std::move(c));
+    ++count_;
+  }
+
+  std::vector<ExprRef> ToVector() const { return {begin(), end()}; }
+
+ private:
+  std::shared_ptr<std::vector<ExprRef>> vec_;
+  size_t count_ = 0;  // our visible prefix of *vec_
+};
+
 // Factory + simplifier. One context per reverse-engineering run; it hands out
 // unique symbolic-variable ids and remembers their debug names.
+//
+// Construction hash-conses composite nodes (bin/extract/ext/select):
+// structurally identical builds return the same node, so repeated simplifier
+// rebuilds cost one allocation-free table probe and downstream equality
+// checks are pointer compares. Constants deliberately bypass the table --
+// they are leaf nodes that compare in O(1) structurally, and concrete
+// execution churns through fresh values (addresses, counters) that would
+// only bloat it; the frequent small ones (0..255 at each width) come from a
+// direct-mapped cache instead. The intern table pins nodes for the context's
+// lifetime; if it grows past `kMaxInternEntries` it is reset (purely an
+// optimization boundary -- Expr::Equal stays structural).
 class ExprContext {
  public:
+  struct InternStats {
+    uint64_t hits = 0;    // constructions served from a cache (table or const)
+    uint64_t misses = 0;  // constructions that allocated a new node
+    uint64_t resets = 0;  // table overflows
+    size_t size = 0;      // current table population
+  };
+  static constexpr size_t kMaxInternEntries = 1u << 20;
+  static constexpr uint32_t kSmallConstCacheSize = 256;
+
   ExprRef Const(uint32_t value, uint8_t width = 32);
   ExprRef True() { return Const(1, 1); }
   ExprRef False() { return Const(0, 1); }
@@ -102,15 +174,79 @@ class ExprContext {
   ExprRef And(ExprRef a, ExprRef b) { return Bin(BinOp::kAnd, a, b); }
   ExprRef Eq(ExprRef a, ExprRef b) { return Bin(BinOp::kEq, a, b); }
 
+  InternStats intern_stats() const {
+    InternStats s = intern_stats_;
+    s.size = intern_.size();
+    return s;
+  }
+
  private:
+  // Allocation-free probe key: a stack node with its hash precomputed.
+  struct InternKey {
+    const Expr* e;
+  };
+  struct InternHash {
+    using is_transparent = void;
+    size_t operator()(const ExprRef& x) const { return static_cast<size_t>(x->hash); }
+    size_t operator()(const InternKey& k) const { return static_cast<size_t>(k.e->hash); }
+  };
+  struct InternEq {
+    using is_transparent = void;
+    // Shallow structural compare: composite operands are themselves
+    // hash-consed, so pointer identity suffices for them; constant operands
+    // stay out of the table (see class comment) and compare by value.
+    static bool ChildEq(const ExprRef& p, const ExprRef& q) {
+      if (p.get() == q.get()) {
+        return true;
+      }
+      return p && q && p->kind == ExprKind::kConst && q->kind == ExprKind::kConst &&
+             p->width == q->width && p->value == q->value;
+    }
+    static bool Shallow(const Expr& x, const Expr& y) {
+      return x.hash == y.hash && x.kind == y.kind && x.width == y.width &&
+             x.bin_op == y.bin_op && x.value == y.value && x.sym_id == y.sym_id &&
+             ChildEq(x.a, y.a) && ChildEq(x.b, y.b) && ChildEq(x.c, y.c);
+    }
+    bool operator()(const ExprRef& x, const ExprRef& y) const { return Shallow(*x, *y); }
+    bool operator()(const InternKey& k, const ExprRef& y) const { return Shallow(*k.e, *y); }
+    bool operator()(const ExprRef& x, const InternKey& k) const { return Shallow(*x, *k.e); }
+  };
+
+  // Finalizes (hash, size, symbol set) and hash-conses the composite node.
+  ExprRef Make(Expr e);
+
+  // Small-const cache index for width, or -1 when uncached.
+  static int WidthIndex(uint8_t width) {
+    switch (width) {
+      case 1:
+        return 0;
+      case 8:
+        return 1;
+      case 16:
+        return 2;
+      case 32:
+        return 3;
+      default:
+        return -1;
+    }
+  }
+
   std::vector<std::string> sym_names_;
+  std::unordered_set<ExprRef, InternHash, InternEq> intern_;
+  ExprRef small_consts_[4][kSmallConstCacheSize];
+  InternStats intern_stats_;
 };
 
 // Evaluates `e` under `model`; unmapped symbols evaluate to 0.
 uint32_t Eval(const ExprRef& e, const Model& model);
 
-// Collects the symbolic variable ids appearing in `e`.
+// Collects the symbolic variable ids appearing in `e`. O(|syms|): reads the
+// symbol set cached on the node at construction.
 void CollectSyms(const ExprRef& e, std::set<uint32_t>* out);
+
+// Ground-truth DAG walk behind CollectSyms; kept for tests that validate the
+// cached symbol sets.
+void CollectSymsWalk(const ExprRef& e, std::set<uint32_t>* out);
 
 // Collects every constant literal in `e` (solver candidate seeding).
 void CollectConstants(const ExprRef& e, std::set<uint32_t>* out);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <set>
 
 #include "util/bits.h"
@@ -223,34 +224,228 @@ size_t CountSat(const std::vector<ExprRef>& constraints, const Model& model) {
   return n;
 }
 
+// Canonical component order: interned-node hash, ties broken by address
+// (stable within a process since equal nodes share one interned object).
+void CanonicalSort(std::vector<ExprRef>* group) {
+  std::sort(group->begin(), group->end(), [](const ExprRef& x, const ExprRef& y) {
+    return x->hash != y->hash ? x->hash < y->hash : x.get() < y.get();
+  });
+}
+
+uint64_t Fingerprint(const std::vector<ExprRef>& group) {
+  uint64_t fp = 0xCBF29CE484222325ull;
+  for (const ExprRef& c : group) {
+    fp = Fnv1a(&c->hash, sizeof(c->hash), fp);
+  }
+  return fp;
+}
+
+bool SameConstraints(const std::vector<ExprRef>& a, const std::vector<ExprRef>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!Expr::Equal(a[i], b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-Verdict Solver::CheckSat(const std::vector<ExprRef>& constraints, Model* model,
-                         const Model* hint) {
+Verdict Solver::CheckSat(ConstraintView constraints, Model* model, const Model* hint) {
   ++stats_.queries;
+  if (model != nullptr) {
+    model->clear();
+  }
 
-  // Fast path: all-constant constraints.
-  std::set<uint32_t> var_set;
-  bool any_false_const = false;
+  // Fast scan: constant constraints decide themselves; symbol-free symbolic
+  // leftovers (which the simplifier normally folds away) evaluate directly.
+  std::vector<ExprRef> work;
+  work.reserve(constraints.size());
   for (const ExprRef& c : constraints) {
-    if (c->IsConst()) {
-      if (c->value == 0) {
-        any_false_const = true;
+    if (c->IsConst() || c->syms->empty()) {
+      if (Eval(c, Model()) == 0) {
+        ++stats_.unsat;
+        return Verdict::kUnsat;
       }
       continue;
     }
-    CollectSyms(c, &var_set);
+    work.push_back(c);
   }
-  if (any_false_const) {
-    ++stats_.unsat;
-    return Verdict::kUnsat;
-  }
-  if (var_set.empty()) {
+  if (work.empty()) {
     ++stats_.sat;
-    if (model != nullptr) {
-      model->clear();
-    }
     return Verdict::kSat;
+  }
+
+  // Partition into independent components: union-find keyed by shared
+  // symbols (each node carries its symbol set, so no DAG walks here). The
+  // conjunction is sat iff every component is, and component models merge
+  // without interference -- so each component can be solved and cached on
+  // its own.
+  std::vector<std::vector<ExprRef>> groups;
+  if (!options_.enable_independence) {
+    groups.push_back(std::move(work));
+  } else {
+    std::vector<size_t> parent(work.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&parent](size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    std::map<uint32_t, size_t> sym_owner;  // sym id -> representative constraint
+    for (size_t i = 0; i < work.size(); ++i) {
+      for (uint32_t sym : *work[i]->syms) {
+        auto [it, fresh] = sym_owner.emplace(sym, i);
+        if (!fresh) {
+          parent[find(i)] = find(it->second);
+        }
+      }
+    }
+    std::map<size_t, size_t> root_to_group;
+    for (size_t i = 0; i < work.size(); ++i) {
+      auto [it, fresh] = root_to_group.emplace(find(i), groups.size());
+      if (fresh) {
+        groups.emplace_back();
+      }
+      groups[it->second].push_back(work[i]);
+    }
+  }
+
+  bool any_unknown = false;
+  const bool single = groups.size() == 1;
+  Model merged;
+  for (auto& group : groups) {
+    ++stats_.components;
+    Model group_model;
+    Verdict v = SolveGroupCached(std::move(group), model != nullptr ? &group_model : nullptr,
+                                 hint);
+    if (v == Verdict::kUnsat) {
+      ++stats_.unsat;
+      return Verdict::kUnsat;
+    }
+    if (v == Verdict::kUnknown) {
+      any_unknown = true;
+    } else if (model != nullptr) {
+      if (single) {
+        merged = std::move(group_model);
+      } else {
+        merged.insert(group_model.begin(), group_model.end());
+      }
+    }
+  }
+  if (any_unknown) {
+    ++stats_.unknown;
+    return Verdict::kUnknown;
+  }
+  ++stats_.sat;
+  if (model != nullptr) {
+    *model = std::move(merged);
+  }
+  return Verdict::kSat;
+}
+
+Verdict Solver::SolveGroupCached(std::vector<ExprRef> group, Model* model, const Model* hint) {
+  CanonicalSort(&group);
+  uint64_t fp = 0;
+  if (options_.enable_query_cache) {
+    fp = Fingerprint(group);
+    auto it = cache_.find(fp);
+    if (it != cache_.end() && SameConstraints(it->second.constraints, group)) {
+      if (it->second.verdict != Verdict::kUnknown) {
+        ++stats_.cache_hits;
+        if (it->second.verdict == Verdict::kSat && model != nullptr) {
+          *model = it->second.model;
+        }
+        return it->second.verdict;
+      }
+      // kUnknown is only "search gave up", not "infeasible". A later caller
+      // carrying a hint (its path's model) gets a fresh chance: one cheap
+      // evaluation of the hint, then a full hint-seeded solve -- exactly
+      // what a cache-free solver would have done. Definite outcomes upgrade
+      // the cached entry so the whole run benefits; only hintless repeats
+      // are answered from the cache.
+      if (hint != nullptr) {
+        Model trial;
+        for (const ExprRef& c : group) {
+          for (uint32_t sym : *c->syms) {
+            auto hv = hint->find(sym);
+            trial[sym] = hv == hint->end() ? 0 : hv->second;
+          }
+        }
+        ++stats_.evals;
+        if (EvalAll(group, trial)) {
+          ++stats_.cache_hits;
+          it->second.verdict = Verdict::kSat;
+          it->second.model = trial;
+          ShelveModel(trial);
+          if (model != nullptr) {
+            *model = std::move(trial);
+          }
+          return Verdict::kSat;
+        }
+        ++stats_.cache_misses;
+        Model found;
+        Verdict v = SolveGroup(group, &found, hint);
+        if (v != Verdict::kUnknown) {
+          it->second.verdict = v;
+          if (v == Verdict::kSat) {
+            ShelveModel(found);
+            it->second.model = found;
+            if (model != nullptr) {
+              *model = std::move(found);
+            }
+          }
+        }
+        return v;
+      }
+      ++stats_.cache_hits;
+      return Verdict::kUnknown;
+    }
+  }
+  ++stats_.cache_misses;
+  Model found;
+  Verdict v = SolveGroup(group, &found, hint);
+  if (v == Verdict::kSat) {
+    ShelveModel(found);
+  }
+  if (options_.enable_query_cache) {
+    if (cache_.size() >= options_.max_cache_entries) {
+      cache_.clear();  // wholesale reset; refills from the live working set
+    }
+    CacheEntry entry;
+    entry.constraints = std::move(group);
+    entry.verdict = v;
+    if (v == Verdict::kSat) {
+      entry.model = found;
+    }
+    cache_[fp] = std::move(entry);
+  }
+  if (v == Verdict::kSat && model != nullptr) {
+    *model = std::move(found);
+  }
+  return v;
+}
+
+void Solver::ShelveModel(const Model& model) {
+  if (options_.model_shelf_entries == 0 || model.empty()) {
+    return;
+  }
+  shelf_.push_front(model);
+  if (shelf_.size() > options_.model_shelf_entries) {
+    shelf_.pop_back();
+  }
+}
+
+Verdict Solver::SolveGroup(const std::vector<ExprRef>& constraints, Model* model,
+                           const Model* hint) {
+  std::set<uint32_t> var_set;
+  for (const ExprRef& c : constraints) {
+    CollectSyms(c, &var_set);
   }
 
   // Structural contradiction: constraints containing both a comparison and
@@ -292,7 +487,6 @@ Verdict Solver::CheckSat(const std::vector<ExprRef>& constraints, Model* model,
           break;
       }
       if (clash) {
-        ++stats_.unsat;
         return Verdict::kUnsat;
       }
       mask |= bit(c->bin_op);
@@ -311,7 +505,6 @@ Verdict Solver::CheckSat(const std::vector<ExprRef>& constraints, Model* model,
   }
   for (const auto& [sym, d] : domains) {
     if (d.contradictory) {
-      ++stats_.unsat;
       return Verdict::kUnsat;
     }
   }
@@ -331,10 +524,7 @@ Verdict Solver::CheckSat(const std::vector<ExprRef>& constraints, Model* model,
   }
   ++stats_.evals;
   if (EvalAll(constraints, seed)) {
-    ++stats_.sat;
-    if (model != nullptr) {
-      *model = std::move(seed);
-    }
+    *model = std::move(seed);
     return Verdict::kSat;
   }
   // Second quick try: pure propagation representatives (the hint may fight a
@@ -345,20 +535,34 @@ Verdict Solver::CheckSat(const std::vector<ExprRef>& constraints, Model* model,
   }
   ++stats_.evals;
   if (EvalAll(constraints, reps)) {
-    ++stats_.sat;
-    if (model != nullptr) {
-      *model = std::move(reps);
-    }
+    *model = std::move(reps);
     return Verdict::kSat;
   }
-
-  Verdict v = Search(constraints, std::move(seed), model);
-  if (v == Verdict::kSat) {
-    ++stats_.sat;
-  } else {
-    ++stats_.unknown;
+  // Counterexample-cache style: replay recent satisfying assignments (the
+  // same hardware-status / OID values recur across states and entry points)
+  // on this component's variables before paying for a search.
+  for (const Model& shelved : shelf_) {
+    Model trial = reps;
+    bool overlaps = false;
+    for (uint32_t sym : var_set) {
+      auto it = shelved.find(sym);
+      if (it != shelved.end()) {
+        trial[sym] = it->second;
+        overlaps = true;
+      }
+    }
+    if (!overlaps) {
+      continue;
+    }
+    ++stats_.evals;
+    if (EvalAll(constraints, trial)) {
+      ++stats_.shelf_hits;
+      *model = std::move(trial);
+      return Verdict::kSat;
+    }
   }
-  return v;
+
+  return Search(constraints, std::move(seed), model);
 }
 
 Verdict Solver::Search(const std::vector<ExprRef>& constraints, Model seed, Model* model) {
@@ -483,25 +687,28 @@ Verdict Solver::Search(const std::vector<ExprRef>& constraints, Model seed, Mode
   return Verdict::kUnknown;
 }
 
-Verdict Solver::MayBeTrue(const std::vector<ExprRef>& constraints, const ExprRef& cond,
-                          Model* model, const Model* hint) {
+Verdict Solver::MayBeTrue(ConstraintView constraints, const ExprRef& cond, Model* model,
+                          const Model* hint) {
   if (cond->IsConst()) {
-    ++stats_.queries;
     if (cond->value != 0) {
-      ++stats_.sat;
       return CheckSat(constraints, model, hint);
     }
+    ++stats_.queries;
     ++stats_.unsat;
+    if (model != nullptr) {
+      model->clear();
+    }
     return Verdict::kUnsat;
   }
-  std::vector<ExprRef> all = constraints;
+  std::vector<ExprRef> all(constraints.begin(), constraints.end());
   all.push_back(cond);
   return CheckSat(all, model, hint);
 }
 
-bool Solver::MustBeTrue(std::vector<ExprRef> constraints, const ExprRef& cond, ExprContext* ctx) {
-  constraints.push_back(ctx->Not(cond));
-  return CheckSat(constraints, nullptr) == Verdict::kUnsat;
+bool Solver::MustBeTrue(ConstraintView constraints, const ExprRef& cond, ExprContext* ctx) {
+  std::vector<ExprRef> all(constraints.begin(), constraints.end());
+  all.push_back(ctx->Not(cond));
+  return CheckSat(all, nullptr) == Verdict::kUnsat;
 }
 
 }  // namespace revnic::symex

@@ -9,6 +9,23 @@
 //   2. candidate enumeration over constants harvested from the constraints
 //      covers small multi-variable systems;
 //   3. guided random/local search is the fallback.
+//
+// Two KLEE-style layers sit in front of that pipeline:
+//   - Constraint independence: the conjunction is partitioned into
+//     components that share no symbols and each component is solved (and
+//     cached) on its own. An incremental query "old path + one new branch
+//     condition" only does fresh work for the component the new condition
+//     touches; everything else is a cache hit. Sound and complete: a
+//     conjunction is satisfiable iff every independent component is, and
+//     per-component models merge without interference.
+//   - Query cache: each component is fingerprinted (sorted interned-node
+//     hashes) and its verdict + model memoized, including kUnknown (retrying
+//     an exhausted search on the identical component would just burn the
+//     budget again). A cached kUnknown is only binding for hintless
+//     repeats: a caller supplying a hint gets one cheap evaluation of it
+//     and then a full hint-seeded solve -- exactly what a cache-free
+//     solver would do -- and any definite outcome upgrades the entry.
+//
 // Verdicts are sound in one direction: kSat always carries a checked model.
 // kUnsat from propagation is exact; search exhaustion reports kUnknown,
 // which callers treat as infeasible (they merely lose coverage, never
@@ -18,6 +35,8 @@
 #define REVNIC_SYMEX_SOLVER_H_
 
 #include <cstdint>
+#include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "symex/expr.h"
@@ -32,15 +51,22 @@ struct SolverStats {
   uint64_t sat = 0;
   uint64_t unsat = 0;
   uint64_t unknown = 0;
-  uint64_t cache_hits = 0;
-  uint64_t evals = 0;  // total candidate assignments evaluated
+  uint64_t cache_hits = 0;    // components answered from the query cache
+  uint64_t cache_misses = 0;  // components that ran the solve pipeline
+  uint64_t components = 0;    // independent components across all queries
+  uint64_t shelf_hits = 0;    // components answered by replaying a recent model
+  uint64_t evals = 0;         // total candidate assignments evaluated
 };
 
 class Solver {
  public:
   struct Options {
-    size_t repair_iters = 250;       // local-repair iterations
-    size_t candidates_per_step = 24; // candidate values tried per repair step
+    size_t repair_iters = 250;        // local-repair iterations
+    size_t candidates_per_step = 24;  // candidate values tried per repair step
+    bool enable_query_cache = true;   // memoize per-component verdict + model
+    bool enable_independence = true;  // split queries into independent slices
+    size_t max_cache_entries = 8192;  // query cache reset threshold
+    size_t model_shelf_entries = 8;   // recent models replayed before search
   };
 
   Solver() : Solver(Options(), 1) {}
@@ -51,24 +77,45 @@ class Solver {
   // `hint`, when given, seeds the search -- pass the path's cached model: the
   // incremental query "old constraints + one new condition" then usually
   // needs zero or one repair steps.
-  Verdict CheckSat(const std::vector<ExprRef>& constraints, Model* model,
-                   const Model* hint = nullptr);
+  Verdict CheckSat(ConstraintView constraints, Model* model, const Model* hint = nullptr);
+  Verdict CheckSat(std::initializer_list<ExprRef> constraints, Model* model,
+                   const Model* hint = nullptr) {
+    return CheckSat(ConstraintView(constraints.begin(), constraints.size()), model, hint);
+  }
 
   // May `cond` be true given `constraints`? (CheckSat of constraints+cond.)
-  Verdict MayBeTrue(const std::vector<ExprRef>& constraints, const ExprRef& cond, Model* model,
+  Verdict MayBeTrue(ConstraintView constraints, const ExprRef& cond, Model* model,
                     const Model* hint = nullptr);
+  Verdict MayBeTrue(std::initializer_list<ExprRef> constraints, const ExprRef& cond, Model* model,
+                    const Model* hint = nullptr) {
+    return MayBeTrue(ConstraintView(constraints.begin(), constraints.size()), cond, model, hint);
+  }
 
   // Must `cond` hold? True iff constraints && !cond is unsat.
-  bool MustBeTrue(std::vector<ExprRef> constraints, const ExprRef& cond, ExprContext* ctx);
+  bool MustBeTrue(ConstraintView constraints, const ExprRef& cond, ExprContext* ctx);
 
   const SolverStats& stats() const { return stats_; }
+  size_t cache_size() const { return cache_.size(); }
 
  private:
+  struct CacheEntry {
+    std::vector<ExprRef> constraints;  // canonical (hash-sorted) component
+    Verdict verdict = Verdict::kUnknown;
+    Model model;  // valid iff verdict == kSat
+  };
+
+  // Runs the propagation/search pipeline on one component.
+  Verdict SolveGroup(const std::vector<ExprRef>& constraints, Model* model, const Model* hint);
+  // SolveGroup behind the fingerprint cache and the model shelf.
+  Verdict SolveGroupCached(std::vector<ExprRef> group, Model* model, const Model* hint);
   Verdict Search(const std::vector<ExprRef>& constraints, Model seed, Model* model);
+  void ShelveModel(const Model& model);
 
   Options options_;
   Rng rng_;
   SolverStats stats_;
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+  std::deque<Model> shelf_;  // most recent satisfying assignments
 };
 
 }  // namespace revnic::symex

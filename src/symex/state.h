@@ -53,7 +53,7 @@ class ExecutionState {
   SymMemory& mem() { return mem_; }
   const SymMemory& mem() const { return mem_; }
 
-  const std::vector<ExprRef>& constraints() const { return constraints_; }
+  const ConstraintSet& constraints() const { return constraints_; }
   void AddConstraint(ExprRef c) {
     // Concretization pins repeat frequently (same value re-read by the OS);
     // skip duplicates of recent constraints to keep solver queries small.
@@ -63,7 +63,7 @@ class ExecutionState {
         return;
       }
     }
-    constraints_.push_back(std::move(c));
+    constraints_.Add(std::move(c));
   }
 
   // Cached satisfying assignment for constraints(); refreshed by the executor
@@ -118,7 +118,8 @@ class ExecutionState {
   std::array<ExprRef, kNumGuestRegs> regs_;
   uint32_t pc_ = 0;
   SymMemory mem_;
-  std::vector<ExprRef> constraints_;
+  // Shared-spine persistent sequence: forking is O(1) in path length.
+  ConstraintSet constraints_;
   Model model_;
   StateStatus status_ = StateStatus::kRunning;
   std::string kill_reason_;

@@ -305,8 +305,10 @@ void Dbt::LowerInstr(const Instruction& i, uint32_t pc, Block* b, int32_t* tmp) 
 std::shared_ptr<const Block> Dbt::Translate(uint32_t pc) {
   auto it = cache_.find(pc);
   if (it != cache_.end()) {
+    ++cache_hits_;
     return it->second;
   }
+  ++cache_misses_;
 
   auto block = std::make_shared<Block>();
   block->guest_pc = pc;

@@ -47,11 +47,16 @@ class Dbt {
                          int32_t* next_tmp);
 
   size_t cache_size() const { return cache_.size(); }
+  // Translations served from the pc-keyed cache vs. performed from scratch.
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
   void FlushCache() { cache_.clear(); }
 
  private:
   const CodeFetcher* fetcher_;
   std::unordered_map<uint32_t, std::shared_ptr<const ir::Block>> cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 }  // namespace revnic::vm

@@ -172,6 +172,17 @@ TEST_F(EngineTest, SymbolicHardwareForksStatusPaths) {
   EXPECT_GT(r.executor_stats.forks, 10u);
 }
 
+TEST_F(EngineTest, SubstrateCachesCarryTheRun) {
+  // A coverage-style run must lean on every cache layer: solver query cache
+  // (incremental path growth), expression interning, and the DBT block cache.
+  EngineResult r = ReverseEngineer(image_, config_);
+  EXPECT_GT(r.solver_stats.queries, 0u);
+  EXPECT_GT(r.solver_stats.cache_hits, 0u);
+  EXPECT_GT(r.substrate.intern_hits, 0u);
+  EXPECT_GT(r.substrate.dbt_cache_hits, 0u);
+  EXPECT_EQ(r.substrate.solver_cache_hits, r.solver_stats.cache_hits);
+}
+
 TEST_F(EngineTest, DmaRegionTracked) {
   EngineResult r = ReverseEngineer(image_, config_);
   bool saw_dma_alloc = false;

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "symex/expr.h"
+#include "util/rng.h"
+#include "util/strings.h"
 
 namespace revnic::symex {
 namespace {
@@ -128,6 +133,89 @@ TEST_F(ExprTest, ApproxNodesGrows) {
     e = ctx_.Bin(BinOp::kAdd, e, v);
   }
   EXPECT_GE(e->approx_nodes, 10u);
+}
+
+TEST_F(ExprTest, InterningReturnsSamePointer) {
+  // Structurally equal composite builds are hash-consed to one node.
+  ExprRef v = ctx_.Sym("v");
+  ExprRef w = ctx_.Sym("w");
+  ExprRef a = ctx_.Bin(BinOp::kAdd, v, w);
+  ExprRef b = ctx_.Bin(BinOp::kAdd, v, w);
+  EXPECT_EQ(a.get(), b.get());
+  ExprRef c1 = ctx_.Eq(ctx_.And(a, ctx_.Const(0xFF)), ctx_.Const(0x40));
+  ExprRef c2 = ctx_.Eq(ctx_.And(b, ctx_.Const(0xFF)), ctx_.Const(0x40));
+  EXPECT_EQ(c1.get(), c2.get());
+  // Different shapes stay distinct.
+  EXPECT_NE(a.get(), ctx_.Bin(BinOp::kAdd, w, v).get());
+  uint64_t hits = ctx_.intern_stats().hits;
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(ctx_.intern_stats().size, 0u);
+}
+
+TEST_F(ExprTest, SmallConstantsAreShared) {
+  EXPECT_EQ(ctx_.Const(0).get(), ctx_.Const(0).get());
+  EXPECT_EQ(ctx_.Const(0xFF).get(), ctx_.Const(0xFF).get());
+  EXPECT_EQ(ctx_.True().get(), ctx_.True().get());
+  // Large constants are plain allocations, but still compare equal.
+  ExprRef big1 = ctx_.Const(0xDEADBEEF);
+  ExprRef big2 = ctx_.Const(0xDEADBEEF);
+  EXPECT_TRUE(Expr::Equal(big1, big2));
+}
+
+TEST_F(ExprTest, CompositesOverLargeConstantsStillIntern) {
+  // Large constant leaves are duplicated, but composites built over them
+  // must hash-cons by value: (v & 0xFFFF) rebuilt is the same node.
+  ExprRef v = ctx_.Sym("v");
+  ExprRef a = ctx_.And(v, ctx_.Const(0xFFFF));
+  ExprRef b = ctx_.And(v, ctx_.Const(0xFFFF));
+  EXPECT_EQ(a.get(), b.get());
+  ExprRef c = ctx_.Eq(ctx_.And(v, ctx_.Const(0xDEAD0000u)), ctx_.Const(0x12340000u));
+  ExprRef d = ctx_.Eq(ctx_.And(v, ctx_.Const(0xDEAD0000u)), ctx_.Const(0x12340000u));
+  EXPECT_EQ(c.get(), d.get());
+}
+
+TEST_F(ExprTest, CachedSymSetsMatchGroundTruth) {
+  // Randomized expression builds: the symbol set cached on each node must
+  // equal what a fresh DAG walk collects.
+  Rng rng(1234);
+  std::vector<ExprRef> pool;
+  for (int i = 0; i < 6; ++i) {
+    pool.push_back(ctx_.Sym(StrFormat("s%d", i), 32));
+  }
+  for (int i = 0; i < 4; ++i) {
+    pool.push_back(ctx_.Const(rng.Next32()));
+  }
+  for (int iter = 0; iter < 500; ++iter) {
+    ExprRef a = pool[rng.Below(static_cast<uint32_t>(pool.size()))];
+    ExprRef b = pool[rng.Below(static_cast<uint32_t>(pool.size()))];
+    ExprRef e;
+    switch (rng.Below(4)) {
+      case 0:
+        e = ctx_.Bin(static_cast<BinOp>(rng.Below(17)), a, b);
+        break;
+      case 1:
+        e = ctx_.ExtractByte(a, rng.Below(4));
+        break;
+      case 2:
+        e = ctx_.Select(ctx_.Eq(a, b), a, b);
+        break;
+      default:
+        e = ctx_.ZExt(ctx_.ExtractByte(a, 0), 32);
+        break;
+    }
+    pool.push_back(e);
+    std::set<uint32_t> cached;
+    CollectSyms(e, &cached);
+    std::set<uint32_t> walked;
+    CollectSymsWalk(e, &walked);
+    EXPECT_EQ(cached, walked) << ToString(e);
+  }
+}
+
+TEST_F(ExprTest, SymNameBoundsChecked) {
+  ExprRef v = ctx_.Sym("hw_in");
+  EXPECT_EQ(ctx_.SymName(v->sym_id), "hw_in");
+  EXPECT_EQ(ctx_.SymName(0xFFFFFFFFu), "<sym?>");
 }
 
 }  // namespace
