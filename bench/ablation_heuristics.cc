@@ -25,15 +25,15 @@ int main() {
   };
 
   printf("%-26s", "strategy");
-  for (auto id : drivers::kAllDrivers) {
+  for (auto id : bench::AllDriverIds()) {
     printf("%14s", drivers::DriverName(id));
   }
   printf("\n");
   for (const Variant& v : variants) {
     printf("%-26s", v.name);
-    for (auto id : drivers::kAllDrivers) {
+    for (auto id : bench::AllDriverIds()) {
       core::EngineConfig cfg;
-      cfg.pci = drivers::MakeDevice(id)->pci();
+      cfg.pci = drivers::DriverPci(id);
       cfg.max_work = kBudget;
       cfg.max_work_per_step = kBudget / 6;
       cfg.pool.strategy = v.strategy;

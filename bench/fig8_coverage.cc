@@ -3,6 +3,10 @@
 // drivers. Wall-clock is mapped from symbolic-execution work units
 // (translation blocks executed) at a fixed rate, since absolute speed is a
 // property of the host machine, not of the algorithm.
+//
+// All four registered drivers run concurrently through core::RunBatch (each
+// job owns its symbolic substrate, so the curves are identical to sequential
+// runs); the timeline comes back per job.
 #include "bench/bench_common.h"
 
 int main() {
@@ -14,17 +18,29 @@ int main() {
   // (absolute speed is a host property; the curve shape is the claim).
   constexpr double kWorkPerMinute = 800;
 
+  std::vector<core::BatchJob> jobs;
+  for (const drivers::TargetInfo& t : drivers::AllTargets()) {
+    core::BatchJob job;
+    job.name = t.name;
+    job.image = &drivers::DriverImage(t.id);
+    job.config.pci = drivers::DriverPci(t.id);
+    job.config.sample_every = 100;  // fine-grained timeline
+    jobs.push_back(std::move(job));
+  }
+  core::BatchResult batch = core::RunBatch(jobs);
+  printf("(batch: %zu drivers on %u worker threads)\n\n", batch.jobs.size(), batch.concurrency);
+
   printf("%-8s", "minute");
   std::vector<std::vector<double>> curves;
   std::vector<std::string> names;
   std::vector<perf::SubstrateCounters> substrates;
   size_t max_minutes = 0;
-  for (auto id : drivers::kAllDrivers) {
-    // Dedicated run with fine-grained timeline sampling.
-    core::EngineConfig cfg;
-    cfg.pci = drivers::MakeDevice(id)->pci();
-    cfg.sample_every = 100;
-    core::EngineResult engine = core::ReverseEngineer(drivers::DriverImage(id), cfg);
+  for (const core::BatchJobResult& job : batch.jobs) {
+    if (!job.ok) {
+      printf("\n%s FAILED: %s\n", job.name.c_str(), job.error.c_str());
+      return 1;
+    }
+    const core::EngineResult& engine = job.result.engine;
     substrates.push_back(engine.substrate);
     std::vector<double> curve;
     double denom = static_cast<double>(engine.static_blocks);
@@ -42,8 +58,8 @@ int main() {
     }
     max_minutes = std::max(max_minutes, curve.size());
     curves.push_back(std::move(curve));
-    names.push_back(drivers::DriverName(id));
-    printf("%14s", drivers::DriverName(id));
+    names.push_back(job.name);
+    printf("%14s", job.name.c_str());
   }
   printf("\n");
   for (size_t m = 0; m < max_minutes; ++m) {
@@ -67,5 +83,6 @@ int main() {
     printf("  %-10s %s\n", names[i].c_str(),
            perf::FormatSubstrateCounters(substrates[i]).c_str());
   }
+  printf("  %-10s %s\n", "aggregate", perf::FormatSubstrateCounters(batch.aggregate).c_str());
   return 0;
 }

@@ -11,7 +11,7 @@ int main() {
   printf("%-12s %10s %12s %10s %10s %12s\n", "driver", "functions", "automatic", "manual",
          "mixed(T3)", "automatic%");
   double total_auto = 0, total_fn = 0;
-  for (auto id : drivers::kAllDrivers) {
+  for (auto id : bench::AllDriverIds()) {
     const core::PipelineResult& pr = bench::Pipeline(id);
     size_t fn = pr.module.NumFunctions();
     size_t autom = pr.module.NumFullyAutomatic();
@@ -25,7 +25,7 @@ int main() {
   printf("\nOverall: %.1f%% of functions fully synthesized (paper: ~70%%).\n",
          100.0 * total_auto / total_fn);
   printf("Per-function classification (paper Section 4.2 taxonomy):\n");
-  for (auto id : drivers::kAllDrivers) {
+  for (auto id : bench::AllDriverIds()) {
     const core::PipelineResult& pr = bench::Pipeline(id);
     printf("  %s:\n", drivers::DriverName(id));
     for (const auto& [pc, f] : pr.module.functions) {

@@ -15,7 +15,7 @@ int main() {
   double total_secs = 0;
   printf("%-12s %12s %12s %14s %12s\n", "driver", "trace_MB", "synth_ms", "MB/min",
          "linear-fit");
-  for (auto id : drivers::kAllDrivers) {
+  for (auto id : bench::AllDriverIds()) {
     const core::PipelineResult& pr = bench::Pipeline(id);
     double mb = static_cast<double>(pr.engine.bundle.ApproxBytes()) / (1024.0 * 1024.0);
     // Re-run synthesis standalone to time it (the pipeline timed everything).

@@ -20,7 +20,7 @@ int main() {
 
   printf("%-12s %-12s %10s %10s %9s %10s  | paper: size code imports funcs\n", "driver",
          "file", "size_B", "code_B", "imports", "functions");
-  for (auto id : drivers::kAllDrivers) {
+  for (auto id : bench::AllDriverIds()) {
     const isa::Image& img = drivers::DriverImage(id);
     isa::StaticAnalysis a = isa::Analyze(img);
     const PaperRow& p = paper.at(id);
@@ -30,7 +30,7 @@ int main() {
            p.functions);
   }
   printf("\nPorted-to matrix (paper Section 5.1):\n");
-  for (auto id : drivers::kAllDrivers) {
+  for (auto id : bench::AllDriverIds()) {
     printf("  %-12s -> %s\n", drivers::DriverName(id), paper.at(id).ported_to);
   }
   return 0;

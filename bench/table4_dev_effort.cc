@@ -25,7 +25,7 @@ int main() {
 
   printf("%-12s | paper manual      | paper RevNIC | measured: pipeline  gen. C   auto-fn\n",
          "device");
-  for (auto id : drivers::kAllDrivers) {
+  for (auto id : bench::AllDriverIds()) {
     auto t0 = std::chrono::steady_clock::now();
     const core::PipelineResult& pr = bench::Pipeline(id);
     double secs =

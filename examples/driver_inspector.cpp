@@ -2,66 +2,222 @@
 // RevNIC can tell a developer about an opaque driver without running it on
 // real hardware: static stats, the recovered state machine, per-function
 // classification, kernel API usage, and coverage holes.
+//
+// Staged operation via core::Session:
+//
+//   driver_inspector --driver rtl8139                 # full report
+//   driver_inspector --driver rtl8139 --stage exercise --checkpoint t.rcp
+//   driver_inspector --stage emit --checkpoint t.rcp  # resume, no re-exercise
+//
+// Usage:
+//   driver_inspector [--driver <name>] [--stage exercise|recover|synthesize|emit]
+//                    [--checkpoint <file>] [--out <dir>] [--list]
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 
-#include "core/pipeline.h"
+#include "core/session.h"
 #include "drivers/drivers.h"
 #include "isa/disasm.h"
 
+namespace {
+
+void PrintUsage(const char* argv0) {
+  printf("usage: %s [options] [<driver>]\n"
+         "  --driver <name>      target from the registry (default: pcnet)\n"
+         "  --stage <stage>      stop after: exercise | recover | synthesize | emit\n"
+         "  --checkpoint <file>  save the exercise stage there (or resume from it\n"
+         "                       when the file already exists)\n"
+         "  --out <dir>          write driver.c + revnic_runtime.h (stage emit)\n"
+         "  --list               list registered targets and exit\n",
+         argv0);
+}
+
+bool FileExists(const char* path) {
+  FILE* f = fopen(path, "rb");
+  if (f != nullptr) {
+    fclose(f);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace revnic;
-  drivers::DriverId id = drivers::DriverId::kPcnet;
-  if (argc > 1) {
-    for (auto d : drivers::kAllDrivers) {
-      if (strcmp(argv[1], drivers::DriverName(d)) == 0) {
-        id = d;
+
+  const char* driver_name = nullptr;
+  const char* stage_name = "emit";
+  const char* checkpoint = nullptr;
+  const char* out_dir = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "%s needs a value\n", flag);
+        exit(2);
       }
+      return argv[++i];
+    };
+    if (strcmp(argv[i], "--driver") == 0) {
+      driver_name = value("--driver");
+    } else if (strcmp(argv[i], "--stage") == 0) {
+      stage_name = value("--stage");
+    } else if (strcmp(argv[i], "--checkpoint") == 0) {
+      checkpoint = value("--checkpoint");
+    } else if (strcmp(argv[i], "--out") == 0) {
+      out_dir = value("--out");
+    } else if (strcmp(argv[i], "--list") == 0) {
+      printf("registered targets:\n");
+      for (const drivers::TargetInfo& t : drivers::AllTargets()) {
+        printf("  %-12s (%s)\n", t.name, t.file);
+      }
+      return 0;
+    } else if (strcmp(argv[i], "--help") == 0 || strcmp(argv[i], "-h") == 0) {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (argv[i][0] != '-') {
+      driver_name = argv[i];  // positional form: driver_inspector rtl8139
+    } else {
+      fprintf(stderr, "unknown flag %s\n", argv[i]);
+      PrintUsage(argv[0]);
+      return 2;
     }
   }
 
-  const isa::Image& img = drivers::DriverImage(id);
-  isa::StaticAnalysis sa = isa::Analyze(img);
-  printf("=== %s ===\n", drivers::DriverFileName(id));
-  printf("file %u bytes | code %zu bytes | %zu static functions | %zu basic blocks | "
-         "%zu imports\n\n",
-         img.file_size(), img.code.size(), sa.NumFunctions(), sa.NumBasicBlocks(),
-         sa.NumImports());
-
-  core::EngineConfig cfg;
-  cfg.pci = drivers::MakeDevice(id)->pci();
-  cfg.max_work = 200'000;
-  core::PipelineResult r = core::RunPipeline(img, cfg);
-
-  printf("dynamic exercise: %.1f%% coverage, %llu paths forked, %llu API calls\n",
-         r.engine.CoveragePercent(),
-         static_cast<unsigned long long>(r.engine.executor_stats.forks),
-         static_cast<unsigned long long>(r.engine.stats.api_calls));
-  printf("substrate caches: %s\n", perf::FormatSubstrateCounters(r.engine.substrate).c_str());
-
-  printf("\nentry points (from registration monitoring):\n");
-  for (const os::EntryPoint& e : r.engine.entries) {
-    printf("  %-18s 0x%x\n", os::EntryRoleName(e.role), e.pc);
+  enum { kExercise, kRecover, kSynthesize, kEmit } stop;
+  if (strcmp(stage_name, "exercise") == 0) {
+    stop = kExercise;
+  } else if (strcmp(stage_name, "recover") == 0) {
+    stop = kRecover;
+  } else if (strcmp(stage_name, "synthesize") == 0) {
+    stop = kSynthesize;
+  } else if (strcmp(stage_name, "emit") == 0) {
+    stop = kEmit;
+  } else {
+    fprintf(stderr, "unknown --stage '%s'\n", stage_name);
+    return 2;
   }
 
+  // Resolve the session: resume from a checkpoint when one is given and
+  // exists, otherwise exercise a registry target.
+  std::unique_ptr<core::Session> session;
+  std::string err;
+  const bool resumed = checkpoint != nullptr && FileExists(checkpoint);
+  if (resumed) {
+    session = core::Session::LoadCheckpointFile(checkpoint, &err);
+    if (session == nullptr) {
+      fprintf(stderr, "cannot resume from %s: %s\n", checkpoint, err.c_str());
+      return 1;
+    }
+    if (driver_name != nullptr && session->label() != driver_name) {
+      fprintf(stderr, "checkpoint %s holds '%s', not the requested '%s'; delete it or drop"
+              " --driver\n", checkpoint, session->label().c_str(), driver_name);
+      return 2;
+    }
+    printf("=== resumed from checkpoint %s (label '%s') ===\n", checkpoint,
+           session->label().c_str());
+  } else {
+    const drivers::TargetInfo* target =
+        drivers::FindTarget(driver_name != nullptr ? driver_name : "pcnet");
+    if (target == nullptr) {
+      fprintf(stderr, "unknown driver '%s'; --list shows the registry\n", driver_name);
+      return 2;
+    }
+    const isa::Image& img = drivers::DriverImage(target->id);
+    isa::StaticAnalysis sa = isa::Analyze(img);
+    printf("=== %s ===\n", target->file);
+    printf("file %u bytes | code %zu bytes | %zu static functions | %zu basic blocks | "
+           "%zu imports\n\n",
+           img.file_size(), img.code.size(), sa.NumFunctions(), sa.NumBasicBlocks(),
+           sa.NumImports());
+
+    core::EngineConfig cfg;
+    cfg.pci = drivers::DriverPci(target->id);
+    cfg.max_work = 200'000;
+    session = std::make_unique<core::Session>(img, cfg);
+    session->set_label(target->name);
+  }
+
+  core::SessionObserver obs;
+  obs.on_stage = [](core::Stage s) { printf("[stage] %s\n", core::StageName(s)); };
+  session->set_observer(obs);
+
+  if (!session->Exercise()) {
+    fprintf(stderr, "exercise failed: %s\n", session->error().c_str());
+    return 1;
+  }
+  const core::EngineResult& engine = session->engine();
+  printf("dynamic exercise: %.1f%% coverage, %llu paths forked, %llu API calls\n",
+         engine.CoveragePercent(), static_cast<unsigned long long>(engine.executor_stats.forks),
+         static_cast<unsigned long long>(engine.stats.api_calls));
+  printf("substrate caches: %s\n", perf::FormatSubstrateCounters(engine.substrate).c_str());
+
+  if (checkpoint != nullptr && !resumed) {
+    if (!session->SaveCheckpointFile(checkpoint, &err)) {
+      fprintf(stderr, "cannot save checkpoint: %s\n", err.c_str());
+      return 1;
+    }
+    printf("checkpoint saved to %s\n", checkpoint);
+  }
+  if (stop == kExercise) {
+    return 0;
+  }
+
+  if (!session->RecoverCfg()) {
+    fprintf(stderr, "cfg recovery failed: %s\n", session->error().c_str());
+    return 1;
+  }
+  printf("\nentry points (from registration monitoring):\n");
+  for (const os::EntryPoint& e : engine.entries) {
+    printf("  %-18s 0x%x\n", os::EntryRoleName(e.role), e.pc);
+  }
   printf("\nkernel APIs imported (observed dynamically):\n  ");
   int col = 0;
-  for (uint32_t api : r.engine.apis_used) {
+  for (uint32_t api : engine.apis_used) {
     printf("%s%s", os::SignatureOf(api).name, ++col % 4 == 0 ? "\n  " : ", ");
   }
   printf("\n\nrecovered functions (paper Section 4.2 taxonomy):\n");
-  for (const auto& [pc, fn] : r.module.functions) {
+  const synth::RecoveredModule& module = session->module();
+  for (const auto& [pc, fn] : module.functions) {
     printf("  0x%-8x %-28s %-14s blocks=%-3zu params=%u%s%s\n", pc, fn.name.c_str(),
            synth::FunctionTypeName(fn.type), fn.block_pcs.size(), fn.num_params,
            fn.has_return ? " ret" : "",
            fn.unexplored_targets.empty() ? "" : " [UNEXPLORED BRANCHES]");
   }
   size_t holes = 0;
-  for (const auto& [pc, fn] : r.module.functions) {
+  for (const auto& [pc, fn] : module.functions) {
     holes += fn.unexplored_targets.size();
   }
   printf("\ncoverage holes flagged for the developer: %zu\n", holes);
+  if (stop == kRecover) {
+    return 0;
+  }
+
+  if (!session->Synthesize()) {
+    fprintf(stderr, "synthesis failed: %s\n", session->error().c_str());
+    return 1;
+  }
   printf("generated C: %zu lines\n",
-         static_cast<size_t>(std::count(r.c_source.begin(), r.c_source.end(), '\n')));
+         static_cast<size_t>(
+             std::count(session->c_source().begin(), session->c_source().end(), '\n')));
+  if (stop == kSynthesize) {
+    return 0;
+  }
+
+  if (!session->Emit()) {
+    fprintf(stderr, "emit failed: %s\n", session->error().c_str());
+    return 1;
+  }
+  if (out_dir != nullptr) {
+    if (!session->WriteOutputs(out_dir, &err)) {
+      fprintf(stderr, "cannot write outputs: %s\n", err.c_str());
+      return 1;
+    }
+    printf("wrote %s/driver.c and %s/revnic_runtime.h\n", out_dir, out_dir);
+  }
   return 0;
 }

@@ -4,7 +4,7 @@
 // PIO-only).
 #include <cstdio>
 
-#include "core/pipeline.h"
+#include "core/session.h"
 #include "drivers/drivers.h"
 #include "os/recovered_host.h"
 #include "perf/harness.h"
@@ -17,7 +17,9 @@ int main() {
   core::EngineConfig cfg;
   cfg.pci = hw::Smc91c111Config();
   cfg.max_work = 200'000;
-  core::PipelineResult rev = core::RunPipeline(drivers::DriverImage(id), cfg);
+  core::Session session(drivers::DriverImage(id), cfg);
+  session.RunAll();
+  core::PipelineResult rev = session.TakeResult();
   printf("coverage %.1f%%; %zu functions (%zu automatic)\n", rev.engine.CoveragePercent(),
          rev.module.NumFunctions(), rev.module.NumFullyAutomatic());
 

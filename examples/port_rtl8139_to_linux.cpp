@@ -8,7 +8,7 @@
 //   * the Figure 2/3 measurement flow through the perf harness.
 #include <cstdio>
 
-#include "core/pipeline.h"
+#include "core/session.h"
 #include "drivers/drivers.h"
 #include "drivers/native.h"
 #include "os/recovered_host.h"
@@ -23,7 +23,9 @@ int main() {
   core::EngineConfig cfg;
   cfg.pci = hw::Rtl8139Config();
   cfg.max_work = 250'000;
-  core::PipelineResult rev = core::RunPipeline(drivers::DriverImage(id), cfg);
+  core::Session session(drivers::DriverImage(id), cfg);
+  session.RunAll();
+  core::PipelineResult rev = session.TakeResult();
   printf("coverage %.1f%%, %zu functions recovered\n\n", rev.engine.CoveragePercent(),
          rev.module.NumFunctions());
 

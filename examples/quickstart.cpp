@@ -9,7 +9,7 @@
 // Build: cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/pipeline.h"
+#include "core/session.h"
 #include "drivers/drivers.h"
 #include "os/recovered_host.h"
 
@@ -28,7 +28,12 @@ int main() {
                                   // Windows device manager (paper Section 3.4)
   cfg.max_work = 200'000;
   printf("reverse engineering with symbolic hardware...\n");
-  core::PipelineResult result = core::RunPipeline(binary, cfg);
+  core::Session session(binary, cfg);
+  core::SessionObserver obs;
+  obs.on_stage = [](core::Stage s) { printf("  [stage done] %s\n", core::StageName(s)); };
+  session.set_observer(obs);
+  session.RunAll();
+  core::PipelineResult result = session.TakeResult();
   printf("  coverage        : %.1f%% of %zu static basic blocks\n",
          result.engine.CoveragePercent(), result.engine.static_blocks);
   printf("  entry points    : %zu discovered via registration monitoring\n",

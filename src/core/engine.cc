@@ -123,7 +123,18 @@ struct Engine::Impl {
   void SampleTimeline() {
     if (stats.work % config.sample_every == 0) {
       timeline.push_back({stats.work, covered.size()});
+      if (config.on_coverage) {
+        config.on_coverage(timeline.back());
+      }
     }
+  }
+
+  // Polls the cooperative-cancellation hook (sticky once it fires).
+  bool CancelRequested() {
+    if (!cancel_requested && config.cancel && config.cancel()) {
+      cancel_requested = true;
+    }
+    return cancel_requested;
   }
 
   // Services one `sys` trap on `st`. Returns false if the state died.
@@ -289,7 +300,7 @@ struct Engine::Impl {
     uint64_t last_progress = 0;  // step_work at the last new-coverage block
 
     while (!pool.Empty() && stats.work < config.max_work &&
-           step_work < config.max_work_per_step) {
+           step_work < config.max_work_per_step && !CancelRequested()) {
       std::unique_ptr<ExecutionState> cur = pool.SelectNext();
       // Operator diagnostics: REVNIC_HEARTBEAT=1 streams exerciser progress.
       if (getenv("REVNIC_HEARTBEAT") != nullptr && stats.work % 50 == 0) {
@@ -487,11 +498,14 @@ struct Engine::Impl {
         continue;
       }
       state = RunStep(step, std::move(state));
-      if (stats.work >= config.max_work) {
+      if (stats.work >= config.max_work || cancel_requested) {
         break;
       }
     }
     timeline.push_back({stats.work, covered.size()});
+    if (config.on_coverage) {
+      config.on_coverage(timeline.back());
+    }
 
     EngineResult result;
     result.bundle = std::move(bundle);
@@ -516,6 +530,7 @@ struct Engine::Impl {
     result.apis_used = std::move(apis_used);
     result.call_counts = call_counts;
     result.functions_modeled = stats_functions_modeled;
+    result.cancelled = cancel_requested;
     return result;
   }
 
@@ -544,6 +559,7 @@ struct Engine::Impl {
   std::set<uint32_t> apis_used;
   std::map<uint32_t, uint64_t> call_counts;
   uint64_t stats_functions_modeled = 0;
+  bool cancel_requested = false;
 };
 
 Engine::Engine(const isa::Image& image, const EngineConfig& config)

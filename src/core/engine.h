@@ -5,6 +5,7 @@
 #ifndef REVNIC_CORE_ENGINE_H_
 #define REVNIC_CORE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -21,6 +22,11 @@
 #include "vm/machine.h"
 
 namespace revnic::core {
+
+struct CoverageSample {
+  uint64_t work = 0;             // translation blocks executed so far
+  size_t covered_blocks = 0;     // static basic blocks touched
+};
 
 struct EngineConfig {
   hw::PciConfig pci;
@@ -62,11 +68,13 @@ struct EngineConfig {
   uint64_t seed = 1;
   // Coverage timeline sampling period (work units).
   uint64_t sample_every = 2048;
-};
-
-struct CoverageSample {
-  uint64_t work = 0;             // translation blocks executed so far
-  size_t covered_blocks = 0;     // static basic blocks touched
+  // Streaming observation: invoked at every timeline sample point while the
+  // exerciser runs (core::Session wires its observer through here).
+  std::function<void(const CoverageSample&)> on_coverage;
+  // Cooperative cancellation: polled between translated blocks. Returning
+  // true stops the run early; the wiretap output gathered so far is returned
+  // with EngineResult::cancelled set.
+  std::function<bool()> cancel;
 };
 
 struct EngineStats {
@@ -99,6 +107,8 @@ struct EngineResult {
   uint64_t functions_modeled = 0;
   // API usage (Table 1 "imported functions" observed dynamically).
   std::set<uint32_t> apis_used;
+  // True when EngineConfig::cancel stopped the run before the script ended.
+  bool cancelled = false;
 
   double CoveragePercent() const {
     return static_blocks == 0 ? 0.0

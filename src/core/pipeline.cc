@@ -1,15 +1,13 @@
 #include "core/pipeline.h"
 
+#include "core/session.h"
+
 namespace revnic::core {
 
 PipelineResult RunPipeline(const isa::Image& image, const EngineConfig& config) {
-  PipelineResult result;
-  result.engine = ReverseEngineer(image, config);
-  result.module =
-      synth::BuildModule(result.engine.bundle, result.engine.entries, &result.synth_stats);
-  result.c_source = synth::EmitC(result.module);
-  result.runtime_header = synth::RuntimeHeader();
-  return result;
+  Session session(image, config);
+  session.RunAll();
+  return session.TakeResult();
 }
 
 }  // namespace revnic::core

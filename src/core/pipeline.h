@@ -1,6 +1,10 @@
 // End-to-end RevNIC pipeline: exercise + wiretap (engine) -> CFG rebuild +
 // code synthesis (synth). One call takes a closed binary driver image to a
 // runnable recovered module and its C rendering.
+//
+// RunPipeline() is the legacy one-shot wrapper over core::Session (see
+// session.h); new code that wants staging, checkpoints, progress callbacks,
+// or batching should use Session directly.
 #ifndef REVNIC_CORE_PIPELINE_H_
 #define REVNIC_CORE_PIPELINE_H_
 

@@ -1,0 +1,551 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "trace/serialize.h"
+
+namespace revnic::core {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x31504352;  // "RCP1"
+constexpr uint32_t kCheckpointVersion = 1;
+
+void PutU32Set(trace::ByteWriter& w, const std::set<uint32_t>& s) {
+  w.U32(static_cast<uint32_t>(s.size()));
+  for (uint32_t v : s) {
+    w.U32(v);
+  }
+}
+
+bool GetU32Set(trace::ByteReader& r, std::set<uint32_t>* s) {
+  uint32_t n;
+  if (!r.U32(&n)) {
+    return false;
+  }
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t v;
+    if (!r.U32(&v)) {
+      return false;
+    }
+    s->insert(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kCreated:
+      return "created";
+    case Stage::kExercised:
+      return "exercised";
+    case Stage::kCfgRecovered:
+      return "cfg-recovered";
+    case Stage::kSynthesized:
+      return "synthesized";
+    case Stage::kEmitted:
+      return "emitted";
+  }
+  return "?";
+}
+
+Session::Session(const isa::Image& image, EngineConfig config)
+    : image_(image), config_(std::move(config)) {}
+
+Session::~Session() = default;
+
+bool Session::Fail(std::string message) {
+  error_ = std::move(message);
+  return false;
+}
+
+void Session::NotifyStage(Stage completed) {
+  if (observer_.on_stage) {
+    observer_.on_stage(completed);
+  }
+}
+
+bool Session::Exercise() {
+  if (stage_ >= Stage::kExercised) {
+    return true;
+  }
+  if (!image_.has_value()) {
+    return Fail("Exercise(): session has no image (resumed from a checkpoint)");
+  }
+  // Thread the observer through the engine config, chaining with any
+  // callbacks the caller already installed there.
+  EngineConfig cfg = config_;
+  if (observer_.on_coverage) {
+    auto chained = cfg.on_coverage;
+    auto mine = observer_.on_coverage;
+    cfg.on_coverage = [chained, mine](const CoverageSample& s) {
+      if (chained) {
+        chained(s);
+      }
+      mine(s);
+    };
+  }
+  if (observer_.cancel) {
+    auto chained = cfg.cancel;
+    auto mine = observer_.cancel;
+    cfg.cancel = [chained, mine] { return (chained && chained()) || mine(); };
+  }
+  Engine engine(*image_, cfg);
+  engine_ = engine.Run();
+  stage_ = Stage::kExercised;
+  NotifyStage(stage_);
+  return true;
+}
+
+bool Session::RecoverCfg() {
+  if (stage_ >= Stage::kCfgRecovered) {
+    return true;
+  }
+  if (!Exercise()) {
+    return false;
+  }
+  module_ = synth::BuildModule(engine_.bundle, engine_.entries, &synth_stats_);
+  stage_ = Stage::kCfgRecovered;
+  NotifyStage(stage_);
+  return true;
+}
+
+bool Session::Synthesize() {
+  if (stage_ >= Stage::kSynthesized) {
+    return true;
+  }
+  if (!RecoverCfg()) {
+    return false;
+  }
+  c_source_ = synth::EmitC(module_);
+  stage_ = Stage::kSynthesized;
+  NotifyStage(stage_);
+  return true;
+}
+
+bool Session::Emit() {
+  if (stage_ >= Stage::kEmitted) {
+    return true;
+  }
+  if (!Synthesize()) {
+    return false;
+  }
+  runtime_header_ = synth::RuntimeHeader();
+  stage_ = Stage::kEmitted;
+  NotifyStage(stage_);
+  return true;
+}
+
+PipelineResult Session::TakeResult() {
+  PipelineResult result;
+  result.engine = std::move(engine_);
+  result.module = std::move(module_);
+  result.synth_stats = synth_stats_;
+  result.c_source = std::move(c_source_);
+  result.runtime_header = std::move(runtime_header_);
+  return result;
+}
+
+bool Session::WriteOutputs(const std::string& dir, std::string* error) {
+  if (!Emit()) {
+    *error = error_;
+    return false;
+  }
+  struct Out {
+    const char* name;
+    const std::string* text;
+  } outs[] = {{"driver.c", &c_source_}, {"revnic_runtime.h", &runtime_header_}};
+  for (const Out& o : outs) {
+    std::string path = dir + "/" + o.name;
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      *error = "cannot open " + path;
+      return false;
+    }
+    size_t written = fwrite(o.text->data(), 1, o.text->size(), f);
+    bool closed = fclose(f) == 0;
+    if (written != o.text->size() || !closed) {
+      *error = "short write to " + path;
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- checkpoint format ----
+//
+// "RCP1" | version | label | TraceBundle | entries | coverage | timeline |
+// engine/solver/executor/substrate counters | call counts | apis | flags.
+// Everything the downstream stages and run reports consume; downstream
+// output depends only on the bundle + entry table, so resume reproduces
+// straight-through results byte-for-byte.
+
+std::vector<uint8_t> Session::SaveCheckpoint() const {
+  if (stage_ < Stage::kExercised) {
+    return {};  // nothing to checkpoint; LoadCheckpoint rejects the empty blob
+  }
+  trace::ByteWriter w;
+  w.U32(kCheckpointMagic);
+  w.U32(kCheckpointVersion);
+  w.Str(label_);
+  trace::SerializeTo(engine_.bundle, &w);
+
+  w.U32(static_cast<uint32_t>(engine_.entries.size()));
+  for (const os::EntryPoint& e : engine_.entries) {
+    w.U8(static_cast<uint8_t>(e.role));
+    w.U32(e.pc);
+    w.U32(e.timer_context);
+  }
+
+  PutU32Set(w, engine_.covered_blocks);
+  w.U64(engine_.static_blocks);
+
+  w.U32(static_cast<uint32_t>(engine_.timeline.size()));
+  for (const CoverageSample& s : engine_.timeline) {
+    w.U64(s.work);
+    w.U64(s.covered_blocks);
+  }
+
+  const EngineStats& es = engine_.stats;
+  for (uint64_t v : {es.work, es.states_created, es.states_killed_polling,
+                     es.states_killed_error, es.entry_completions, es.irqs_injected,
+                     es.api_calls, es.api_skipped}) {
+    w.U64(v);
+  }
+  const symex::SolverStats& ss = engine_.solver_stats;
+  for (uint64_t v : {ss.queries, ss.sat, ss.unsat, ss.unknown, ss.cache_hits, ss.cache_misses,
+                     ss.components, ss.shelf_hits, ss.evals}) {
+    w.U64(v);
+  }
+  const symex::ExecutorStats& xs = engine_.executor_stats;
+  for (uint64_t v : {xs.blocks, xs.instrs, xs.forks, xs.concretizations}) {
+    w.U64(v);
+  }
+  const perf::SubstrateCounters& sc = engine_.substrate;
+  for (uint64_t v : {sc.solver_queries, sc.solver_cache_hits, sc.solver_cache_misses,
+                     sc.solver_shelf_hits, sc.intern_hits, sc.intern_misses, sc.intern_size,
+                     sc.dbt_cache_hits, sc.dbt_cache_misses}) {
+    w.U64(v);
+  }
+
+  w.U32(static_cast<uint32_t>(engine_.call_counts.size()));
+  for (const auto& [pc, count] : engine_.call_counts) {
+    w.U32(pc);
+    w.U64(count);
+  }
+  w.U64(engine_.functions_modeled);
+  PutU32Set(w, engine_.apis_used);
+  w.U8(engine_.cancelled ? 1 : 0);
+  return w.Take();
+}
+
+std::unique_ptr<Session> Session::LoadCheckpoint(const std::vector<uint8_t>& bytes,
+                                                 std::string* error) {
+  trace::ByteReader r(bytes);
+  auto fail = [&](const char* what) {
+    *error = what;
+    return nullptr;
+  };
+  uint32_t magic, version;
+  if (!r.U32(&magic) || magic != kCheckpointMagic) {
+    return fail("bad checkpoint magic");
+  }
+  if (!r.U32(&version) || version != kCheckpointVersion) {
+    return fail("unsupported checkpoint version");
+  }
+  std::unique_ptr<Session> s(new Session());
+  if (!r.Str(&s->label_)) {
+    return fail("truncated label");
+  }
+  EngineResult& e = s->engine_;
+  if (!trace::DeserializeFrom(&r, &e.bundle, error)) {
+    return nullptr;
+  }
+
+  uint32_t n;
+  if (!r.U32(&n)) {
+    return fail("truncated entry table");
+  }
+  if (n > r.remaining() / 9) {  // 9 bytes per serialized entry point
+    return fail("implausible entry count");
+  }
+  e.entries.resize(n);
+  for (os::EntryPoint& ep : e.entries) {
+    uint8_t role;
+    if (!r.U8(&role) || !r.U32(&ep.pc) || !r.U32(&ep.timer_context)) {
+      return fail("truncated entry point");
+    }
+    ep.role = static_cast<os::EntryRole>(role);
+  }
+
+  uint64_t static_blocks;
+  if (!GetU32Set(r, &e.covered_blocks) || !r.U64(&static_blocks)) {
+    return fail("truncated coverage");
+  }
+  e.static_blocks = static_cast<size_t>(static_blocks);
+
+  if (!r.U32(&n)) {
+    return fail("truncated timeline");
+  }
+  if (n > r.remaining() / 16) {  // 16 bytes per serialized sample
+    return fail("implausible timeline count");
+  }
+  e.timeline.resize(n);
+  for (CoverageSample& sample : e.timeline) {
+    uint64_t covered;
+    if (!r.U64(&sample.work) || !r.U64(&covered)) {
+      return fail("truncated coverage sample");
+    }
+    sample.covered_blocks = static_cast<size_t>(covered);
+  }
+
+  EngineStats& es = e.stats;
+  symex::SolverStats& ss = e.solver_stats;
+  symex::ExecutorStats& xs = e.executor_stats;
+  perf::SubstrateCounters& sc = e.substrate;
+  uint64_t* counters[] = {
+      &es.work,         &es.states_created,      &es.states_killed_polling,
+      &es.states_killed_error, &es.entry_completions, &es.irqs_injected,
+      &es.api_calls,    &es.api_skipped,
+      &ss.queries,      &ss.sat,                 &ss.unsat,
+      &ss.unknown,      &ss.cache_hits,          &ss.cache_misses,
+      &ss.components,   &ss.shelf_hits,          &ss.evals,
+      &xs.blocks,       &xs.instrs,              &xs.forks,
+      &xs.concretizations,
+      &sc.solver_queries, &sc.solver_cache_hits, &sc.solver_cache_misses,
+      &sc.solver_shelf_hits, &sc.intern_hits,    &sc.intern_misses,
+      &sc.intern_size,  &sc.dbt_cache_hits,      &sc.dbt_cache_misses};
+  for (uint64_t* v : counters) {
+    if (!r.U64(v)) {
+      return fail("truncated counters");
+    }
+  }
+
+  if (!r.U32(&n)) {
+    return fail("truncated call counts");
+  }
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t pc;
+    uint64_t count;
+    if (!r.U32(&pc) || !r.U64(&count)) {
+      return fail("truncated call count");
+    }
+    e.call_counts[pc] = count;
+  }
+  uint8_t cancelled;
+  if (!r.U64(&e.functions_modeled) || !GetU32Set(r, &e.apis_used) || !r.U8(&cancelled)) {
+    return fail("truncated checkpoint tail");
+  }
+  e.cancelled = cancelled != 0;
+  if (r.remaining() != 0) {
+    return fail("trailing bytes after checkpoint");
+  }
+
+  s->stage_ = Stage::kExercised;
+  return s;
+}
+
+bool Session::SaveCheckpointFile(const std::string& path, std::string* error) const {
+  if (stage_ < Stage::kExercised) {
+    *error = "nothing to checkpoint: Exercise() has not run";
+    return false;
+  }
+  std::vector<uint8_t> bytes = SaveCheckpoint();
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  size_t written = fwrite(bytes.data(), 1, bytes.size(), f);
+  bool closed = fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Session> Session::LoadCheckpointFile(const std::string& path,
+                                                     std::string* error) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return nullptr;
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  fclose(f);
+  return LoadCheckpoint(bytes, error);
+}
+
+// ---- batch ----
+
+BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency,
+                     const std::function<void(const BatchJobResult&)>& on_job_done) {
+  BatchResult batch;
+  batch.jobs.resize(jobs.size());
+  if (jobs.empty()) {
+    return batch;
+  }
+  if (concurrency == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    concurrency = hw == 0 ? 2 : hw;
+  }
+  // An explicit request is honored even beyond the core count (workers just
+  // timeslice); there is never a point in more workers than jobs.
+  concurrency = std::min(concurrency, static_cast<unsigned>(jobs.size()));
+  batch.concurrency = concurrency;
+
+  std::atomic<size_t> next{0};
+  std::mutex done_mu;
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
+      const BatchJob& job = jobs[i];
+      BatchJobResult& out = batch.jobs[i];
+      out.name = job.name;
+      if (job.image == nullptr) {
+        out.error = "job has no image";
+      } else {
+        Session session(*job.image, job.config);
+        session.set_label(job.name);
+        if (session.RunAll()) {
+          out.result = session.TakeResult();
+          out.ok = true;
+        } else {
+          out.error = session.error();
+        }
+      }
+      if (on_job_done) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        on_job_done(out);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(concurrency);
+  for (unsigned t = 0; t < concurrency; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const BatchJobResult& j : batch.jobs) {
+    if (j.ok) {
+      batch.aggregate.Accumulate(j.result.engine.substrate);
+    }
+  }
+  return batch;
+}
+
+// ---- checkpoint store ----
+
+struct CheckpointBlob {
+  std::once_flag once;
+  std::vector<uint8_t> bytes;
+};
+
+namespace {
+
+// Folds the config fields that change exercise output into the store key,
+// so reusing a caller key with a different budget/seed/heuristic setup gets
+// a distinct checkpoint instead of silently sharing the first one's.
+// Callback identity (cancel/on_coverage closures) cannot be hashed -- only
+// their presence is mixed in; callers pairing the store with distinct cancel
+// policies must differentiate the key themselves.
+std::string ConfigFingerprint(const EngineConfig& c) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(c.pci.vendor_id);
+  mix(c.pci.device_id);
+  mix(c.pci.io_base);
+  mix(c.pci.io_size);
+  mix(c.pci.mmio_base);
+  mix(c.pci.mmio_size);
+  mix(c.pci.irq_line);
+  mix(c.max_work);
+  mix(c.max_work_per_step);
+  mix(c.entry_success_cap);
+  mix(c.no_progress_window);
+  mix(c.polling_visit_threshold);
+  mix(c.inject_irqs ? 1 : 0);
+  mix(c.seed);
+  mix(c.sample_every);
+  mix(c.cancel ? 1 : 0);
+  // Container sizes are mixed before their elements so adjacent
+  // variable-length fields cannot alias each other's streams.
+  mix(c.skip_apis.size());
+  for (uint32_t api : c.skip_apis) {
+    mix(api);
+  }
+  mix(c.registry.size());
+  for (const auto& [key, value] : c.registry) {
+    mix(key);
+    mix(value);
+  }
+  mix(c.function_models.size());
+  for (const EngineConfig::FunctionModel& m : c.function_models) {
+    mix(m.entry_pc);
+    mix(m.arg_bytes);
+    mix(m.symbolic_return ? 1 : 0);
+  }
+  mix(static_cast<uint64_t>(c.pool.strategy));
+  mix(c.pool.max_states);
+  mix(c.solver.repair_iters);
+  mix(c.solver.candidates_per_step);
+  char buf[20];
+  snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+CheckpointStore& CheckpointStore::Global() {
+  static CheckpointStore& store = *new CheckpointStore();
+  return store;
+}
+
+std::unique_ptr<Session> CheckpointStore::Resume(const std::string& key,
+                                                 const isa::Image& image,
+                                                 const EngineConfig& config) {
+  std::shared_ptr<CheckpointBlob> blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<CheckpointBlob>& slot = blobs_[key + "#" + ConfigFingerprint(config)];
+    if (slot == nullptr) {
+      slot = std::make_shared<CheckpointBlob>();
+    }
+    blob = slot;
+  }
+  // First requester exercises outside the map lock; same-entry requesters
+  // wait here, unrelated entries proceed concurrently.
+  std::call_once(blob->once, [&] {
+    Session session(image, config);
+    session.set_label(key);
+    session.Exercise();
+    blob->bytes = session.SaveCheckpoint();
+  });
+  std::string error;
+  std::unique_ptr<Session> resumed = Session::LoadCheckpoint(blob->bytes, &error);
+  if (resumed == nullptr) {
+    fprintf(stderr, "FATAL: checkpoint store blob for '%s' corrupt: %s\n", key.c_str(),
+            error.c_str());
+    abort();
+  }
+  return resumed;
+}
+
+}  // namespace revnic::core

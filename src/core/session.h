@@ -1,0 +1,214 @@
+// Staged pipeline API (the paper's workflow made explicit).
+//
+// RevNIC's flow is inherently staged: exercise/wiretap the closed binary
+// driver (expensive, §3.2), then rebuild the CFG (§4.1), synthesize C
+// (Listing 1), and emit the runtime artifacts. Session exposes each stage as
+// an independently runnable step --
+//
+//   Session s(image, config);
+//   s.Exercise();     // symbolic exercising + wiretap -> engine()
+//   s.RecoverCfg();   // trace -> RecoveredModule      -> module()
+//   s.Synthesize();   // module -> C source            -> c_source()
+//   s.Emit();         // runtime header, final result  -> runtime_header()
+//
+// -- with implicit prerequisite chaining (calling Emit() on a fresh session
+// runs everything), streaming observation (stage transitions, coverage
+// samples, cooperative cancellation), and checkpoint/resume: Exercise()
+// output persists as a serialized blob that a fresh Session loads to re-run
+// only the downstream stages, byte-identically.
+//
+// RunBatch() drives N driver images concurrently on a thread pool; each job
+// gets its own Session (and therefore its own ExprContext/solver/DBT -- the
+// substrate has no shared mutable state), and cache counters are aggregated
+// across jobs.
+//
+// The legacy entry points RunPipeline()/ReverseEngineer() survive as thin
+// wrappers over Session; see README.md for the migration table.
+#ifndef REVNIC_CORE_SESSION_H_
+#define REVNIC_CORE_SESSION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/pipeline.h"
+#include "synth/cemit.h"
+#include "synth/cfg.h"
+
+namespace revnic::core {
+
+// Pipeline position. Stages are ordered; a Session only moves forward.
+enum class Stage {
+  kCreated = 0,   // nothing run yet
+  kExercised,     // wiretap bundle + engine stats available
+  kCfgRecovered,  // RecoveredModule available
+  kSynthesized,   // C source available
+  kEmitted,       // runtime header available; result complete
+};
+const char* StageName(Stage stage);
+
+// Streaming callbacks. All optional; invoked synchronously from the session's
+// thread (under RunBatch that is the worker running the job).
+struct SessionObserver {
+  // A stage just completed.
+  std::function<void(Stage completed)> on_stage;
+  // Coverage sample from inside Exercise() (one per EngineConfig::sample_every
+  // work units, plus a final one).
+  std::function<void(const CoverageSample&)> on_coverage;
+  // Polled during Exercise(); return true to stop exercising early. The
+  // session still completes with whatever the wiretap gathered.
+  std::function<bool()> cancel;
+};
+
+class Session {
+ public:
+  // Fresh session over a closed binary driver image.
+  Session(const isa::Image& image, EngineConfig config);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  void set_observer(SessionObserver observer) { observer_ = std::move(observer); }
+  // Free-form label carried into checkpoints and batch reports.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
+  // ---- stages ----
+  // Each stage runs its missing prerequisites first and is a no-op when
+  // already past (so a checkpoint-resumed session, which starts at
+  // kExercised, goes straight to the downstream stages). A false return
+  // (with error() set) guards unreachable-today states such as a future
+  // construction path without an image.
+  bool Exercise();
+  bool RecoverCfg();
+  bool Synthesize();
+  bool Emit();
+  bool RunAll() { return Emit(); }
+
+  Stage stage() const { return stage_; }
+  const std::string& error() const { return error_; }
+  // True when the observer's cancel hook stopped Exercise() early.
+  bool cancelled() const { return engine_.cancelled; }
+
+  // ---- stage outputs (valid once the owning stage has run) ----
+  const EngineResult& engine() const { return engine_; }
+  const synth::RecoveredModule& module() const { return module_; }
+  const synth::SynthStats& synth_stats() const { return synth_stats_; }
+  const std::string& c_source() const { return c_source_; }
+  const std::string& runtime_header() const { return runtime_header_; }
+
+  // Moves the stage outputs out as the legacy result struct (valid after
+  // Emit(); the session is spent afterwards).
+  PipelineResult TakeResult();
+
+  // Writes driver.c + revnic_runtime.h into `dir` (runs Emit() first).
+  bool WriteOutputs(const std::string& dir, std::string* error);
+
+  // ---- checkpoint / resume ----
+  // Serializes the Exercise() output (wiretap bundle, entry table, coverage,
+  // stats) so downstream stages can re-run later without re-exercising.
+  // Before Exercise() there is nothing to checkpoint: SaveCheckpoint()
+  // returns an empty blob (which LoadCheckpoint rejects) and
+  // SaveCheckpointFile() fails with an error.
+  std::vector<uint8_t> SaveCheckpoint() const;
+  bool SaveCheckpointFile(const std::string& path, std::string* error) const;
+  // A fresh Session at Stage::kExercised, reconstructed from a checkpoint.
+  // Downstream stages produce byte-identical output vs the original session.
+  static std::unique_ptr<Session> LoadCheckpoint(const std::vector<uint8_t>& bytes,
+                                                 std::string* error);
+  static std::unique_ptr<Session> LoadCheckpointFile(const std::string& path,
+                                                     std::string* error);
+
+ private:
+  Session() = default;  // resume path
+
+  bool Fail(std::string message);
+  void NotifyStage(Stage completed);
+
+  std::optional<isa::Image> image_;  // absent on checkpoint-resumed sessions
+  EngineConfig config_;
+  SessionObserver observer_;
+  std::string label_;
+  Stage stage_ = Stage::kCreated;
+  std::string error_;
+
+  EngineResult engine_;
+  synth::RecoveredModule module_;
+  synth::SynthStats synth_stats_;
+  std::string c_source_;
+  std::string runtime_header_;
+};
+
+// ---- batch API ----
+
+struct BatchJob {
+  std::string name;                  // label for reports ("rtl8029", ...)
+  const isa::Image* image = nullptr; // must outlive RunBatch
+  EngineConfig config;
+};
+
+struct BatchJobResult {
+  std::string name;
+  bool ok = false;
+  std::string error;
+  PipelineResult result;
+};
+
+struct BatchResult {
+  std::vector<BatchJobResult> jobs;  // input order
+  perf::SubstrateCounters aggregate; // cache counters summed across jobs
+  unsigned concurrency = 0;          // worker threads actually used
+  bool AllOk() const {
+    for (const BatchJobResult& j : jobs) {
+      if (!j.ok) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Runs every job through a full Session on a pool of `concurrency` worker
+// threads (0 = one per job, capped at hardware concurrency). Jobs are
+// isolated -- each owns its ExprContext/solver/DBT -- so results are
+// identical to sequential per-driver runs. `on_job_done` (optional) is
+// invoked once per finished job, serialized by an internal mutex.
+BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency = 0,
+                     const std::function<void(const BatchJobResult&)>& on_job_done = nullptr);
+
+// ---- exercise-once checkpoint store ----
+//
+// Process-wide cache of serialized checkpoints. The first request for a
+// (key, config) pair exercises the image and checkpoints it; later requests
+// resume from the cached blob and only re-run the cheap downstream stages.
+// Thread-safe with per-entry once-semantics: concurrent requests for the
+// same entry wait for the one exercise, unrelated entries proceed in
+// parallel. The caller's key is combined with a fingerprint of the config's
+// exercise-relevant fields, so reusing a key with a different budget/seed
+// gets its own checkpoint instead of silently sharing the first one.
+// Benches and tests use this instead of ad-hoc static PipelineResult caches.
+struct CheckpointBlob;  // internal map entry (once-flag + bytes)
+
+class CheckpointStore {
+ public:
+  static CheckpointStore& Global();
+
+  // A Session at Stage::kExercised for (key, config), exercising image only
+  // the first time. Aborts on checkpoint corruption (store-internal blobs).
+  std::unique_ptr<Session> Resume(const std::string& key, const isa::Image& image,
+                                  const EngineConfig& config);
+
+ private:
+  std::mutex mu_;  // guards the map only; exercising happens outside it
+  std::map<std::string, std::shared_ptr<CheckpointBlob>> blobs_;
+};
+
+}  // namespace revnic::core
+
+#endif  // REVNIC_CORE_SESSION_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 #include "hw/ne2000.h"
 #include "hw/pcnet.h"
@@ -138,8 +139,33 @@ std::string DriverAsmSource(DriverId id) {
   return src;
 }
 
+const std::vector<TargetInfo>& AllTargets() {
+  static const std::vector<TargetInfo>& registry = *new std::vector<TargetInfo>([] {
+    std::vector<TargetInfo> targets;
+    for (DriverId id : kAllDrivers) {
+      targets.push_back({id, DriverName(id), DriverFileName(id)});
+    }
+    return targets;
+  }());
+  return registry;
+}
+
+const TargetInfo* FindTarget(std::string_view name) {
+  for (const TargetInfo& t : AllTargets()) {
+    if (name == t.name) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+hw::PciConfig DriverPci(DriverId id) { return MakeDevice(id)->pci(); }
+
 const isa::Image& DriverImage(DriverId id) {
+  // Serialized: RunBatch sessions resolve their images concurrently.
+  static std::mutex& mu = *new std::mutex();
   static std::map<DriverId, isa::Image>& cache = *new std::map<DriverId, isa::Image>();
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(id);
   if (it != cache.end()) {
     return it->second;

@@ -10,8 +10,11 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "hw/nic.h"
+#include "hw/pci.h"
 #include "isa/image.h"
 
 namespace revnic::drivers {
@@ -27,6 +30,23 @@ inline constexpr DriverId kAllDrivers[] = {DriverId::kRtl8029, DriverId::kRtl813
 
 const char* DriverName(DriverId id);        // "rtl8029", ...
 const char* DriverFileName(DriverId id);    // "rtl8029.sys", ...
+
+// ---- target registry ----
+//
+// Benches, tests, and tools enumerate AllTargets() instead of hard-coding
+// the four ids, so adding a driver is one registry entry.
+struct TargetInfo {
+  DriverId id;
+  const char* name;  // registry key: "rtl8029", ...
+  const char* file;  // the binary it stands in for: "rtl8029.sys", ...
+};
+
+const std::vector<TargetInfo>& AllTargets();
+// Case-sensitive lookup by registry name; nullptr when unknown.
+const TargetInfo* FindTarget(std::string_view name);
+// PCI descriptor the exerciser needs (vendor/device id + I/O ranges, as a
+// developer would read them from the device manager, §3.4).
+hw::PciConfig DriverPci(DriverId id);
 
 // Assembly source of the driver (exposed so tests can check the assembler,
 // and to honestly label these as our stand-ins for closed-source binaries).

@@ -83,6 +83,20 @@ struct SubstrateCounters {
     uint64_t total = dbt_cache_hits + dbt_cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(dbt_cache_hits) / total;
   }
+
+  // Sums another run's counters into this one (batch aggregation). The
+  // intern-table size is a high-water mark, not a flow, so it takes the max.
+  void Accumulate(const SubstrateCounters& o) {
+    solver_queries += o.solver_queries;
+    solver_cache_hits += o.solver_cache_hits;
+    solver_cache_misses += o.solver_cache_misses;
+    solver_shelf_hits += o.solver_shelf_hits;
+    intern_hits += o.intern_hits;
+    intern_misses += o.intern_misses;
+    intern_size = intern_size > o.intern_size ? intern_size : o.intern_size;
+    dbt_cache_hits += o.dbt_cache_hits;
+    dbt_cache_misses += o.dbt_cache_misses;
+  }
 };
 
 // One-line human-readable rendering for run summaries.

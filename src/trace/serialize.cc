@@ -9,70 +9,7 @@ namespace {
 
 constexpr uint32_t kTraceMagic = 0x31435254;  // "TRC1"
 
-class Writer {
- public:
-  void U8(uint8_t v) { buf_.push_back(v); }
-  void U32(uint32_t v) {
-    size_t n = buf_.size();
-    buf_.resize(n + 4);
-    StoreLE(buf_.data() + n, v, 4);
-  }
-  void U64(uint64_t v) {
-    U32(static_cast<uint32_t>(v));
-    U32(static_cast<uint32_t>(v >> 32));
-  }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    buf_.insert(buf_.end(), s.begin(), s.end());
-  }
-  std::vector<uint8_t> Take() { return std::move(buf_); }
-
- private:
-  std::vector<uint8_t> buf_;
-};
-
-class Reader {
- public:
-  Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
-  bool U8(uint8_t* v) {
-    if (pos_ + 1 > buf_.size()) {
-      return false;
-    }
-    *v = buf_[pos_++];
-    return true;
-  }
-  bool U32(uint32_t* v) {
-    if (pos_ + 4 > buf_.size()) {
-      return false;
-    }
-    *v = LoadLE(buf_.data() + pos_, 4);
-    pos_ += 4;
-    return true;
-  }
-  bool U64(uint64_t* v) {
-    uint32_t lo, hi;
-    if (!U32(&lo) || !U32(&hi)) {
-      return false;
-    }
-    *v = static_cast<uint64_t>(hi) << 32 | lo;
-    return true;
-  }
-  bool Str(std::string* s) {
-    uint32_t n;
-    if (!U32(&n) || pos_ + n > buf_.size()) {
-      return false;
-    }
-    s->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
-    pos_ += n;
-    return true;
-  }
-
- private:
-  const std::vector<uint8_t>& buf_;
-  size_t pos_ = 0;
-};
-
-void PutInstr(Writer& w, const ir::Instr& i) {
+void PutInstr(ByteWriter& w, const ir::Instr& i) {
   w.U8(static_cast<uint8_t>(i.op));
   w.U8(i.size);
   w.U8(i.guest_idx);
@@ -83,7 +20,7 @@ void PutInstr(Writer& w, const ir::Instr& i) {
   w.U32(i.imm);
 }
 
-bool GetInstr(Reader& r, ir::Instr* i) {
+bool GetInstr(ByteReader& r, ir::Instr* i) {
   uint8_t op;
   uint32_t dst, a, b, c;
   if (!r.U8(&op) || !r.U8(&i->size) || !r.U8(&i->guest_idx) || !r.U32(&dst) || !r.U32(&a) ||
@@ -98,14 +35,14 @@ bool GetInstr(Reader& r, ir::Instr* i) {
   return true;
 }
 
-void PutSnapshot(Writer& w, const RegSnapshot& s) {
+void PutSnapshot(ByteWriter& w, const RegSnapshot& s) {
   for (uint32_t r : s.regs) {
     w.U32(r);
   }
   w.U32(s.sym_mask);
 }
 
-bool GetSnapshot(Reader& r, RegSnapshot* s) {
+bool GetSnapshot(ByteReader& r, RegSnapshot* s) {
   for (uint32_t& reg : s->regs) {
     if (!r.U32(&reg)) {
       return false;
@@ -116,8 +53,8 @@ bool GetSnapshot(Reader& r, RegSnapshot* s) {
 
 }  // namespace
 
-std::vector<uint8_t> Serialize(const TraceBundle& b) {
-  Writer w;
+void SerializeTo(const TraceBundle& b, ByteWriter* wp) {
+  ByteWriter& w = *wp;
   w.U32(kTraceMagic);
   w.U32(b.code_begin);
   w.U32(b.code_end);
@@ -184,11 +121,16 @@ std::vector<uint8_t> Serialize(const TraceBundle& b) {
     w.U32(rec.value);
     w.Str(rec.detail);
   }
+}
+
+std::vector<uint8_t> Serialize(const TraceBundle& b) {
+  ByteWriter w;
+  SerializeTo(b, &w);
   return w.Take();
 }
 
-bool Deserialize(const std::vector<uint8_t>& bytes, TraceBundle* out, std::string* error) {
-  Reader r(bytes);
+bool DeserializeFrom(ByteReader* rp, TraceBundle* out, std::string* error) {
+  ByteReader& r = *rp;
   auto fail = [&](const char* what) {
     *error = what;
     return false;
@@ -292,6 +234,11 @@ bool Deserialize(const std::vector<uint8_t>& bytes, TraceBundle* out, std::strin
   }
   *out = std::move(b);
   return true;
+}
+
+bool Deserialize(const std::vector<uint8_t>& bytes, TraceBundle* out, std::string* error) {
+  ByteReader r(bytes);
+  return DeserializeFrom(&r, out, error);
 }
 
 }  // namespace revnic::trace

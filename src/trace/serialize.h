@@ -1,18 +1,94 @@
-// Binary (de)serialization of TraceBundle. Used to persist wiretap output and
-// by the synthesizer-throughput benchmark (§5.4 reports ~100 MB/minute of
+// Binary (de)serialization of TraceBundle. Used to persist wiretap output
+// (core::Session checkpoints embed a bundle via SerializeTo/DeserializeFrom)
+// and by the synthesizer-throughput benchmark (§5.4 reports ~100 MB/minute of
 // trace processed; we measure our own rate on the same representation).
 #ifndef REVNIC_TRACE_SERIALIZE_H_
 #define REVNIC_TRACE_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "trace/trace.h"
+#include "util/bits.h"
 
 namespace revnic::trace {
 
+// Little-endian append-only writer shared by the bundle format and by
+// containers that embed a bundle (core checkpoints).
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    size_t n = buf_.size();
+    buf_.resize(n + 4);
+    StoreLE(buf_.data() + n, v, 4);
+  }
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Cursor over a serialized buffer; every getter returns false on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > buf_.size()) {
+      return false;
+    }
+    *v = buf_[pos_++];
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > buf_.size()) {
+      return false;
+    }
+    *v = LoadLE(buf_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    uint32_t lo, hi;
+    if (!U32(&lo) || !U32(&hi)) {
+      return false;
+    }
+    *v = static_cast<uint64_t>(hi) << 32 | lo;
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t n;
+    if (!U32(&n) || pos_ + n > buf_.size()) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  // Unread bytes left; containers check ==0 to reject trailing garbage.
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
 std::vector<uint8_t> Serialize(const TraceBundle& bundle);
 bool Deserialize(const std::vector<uint8_t>& bytes, TraceBundle* out, std::string* error);
+
+// Same format, but appended to / parsed from an open writer/reader so a
+// larger container can embed the bundle alongside its own fields.
+void SerializeTo(const TraceBundle& bundle, ByteWriter* w);
+bool DeserializeFrom(ByteReader* r, TraceBundle* out, std::string* error);
 
 }  // namespace revnic::trace
 

@@ -3,7 +3,7 @@
 // harness invariants behind Figures 2-7.
 #include <gtest/gtest.h>
 
-#include "core/pipeline.h"
+#include "core/session.h"
 #include "drivers/drivers.h"
 #include "isa/assembler.h"
 #include "perf/harness.h"
@@ -15,16 +15,14 @@ namespace {
 
 using drivers::DriverId;
 
-const core::PipelineResult& CachedPipeline(DriverId id) {
-  static std::map<DriverId, core::PipelineResult>& cache =
-      *new std::map<DriverId, core::PipelineResult>();
-  auto it = cache.find(id);
-  if (it != cache.end()) {
-    return it->second;
-  }
+// Exercise once (checkpointed in the global store), synthesize per call.
+core::PipelineResult CachedPipeline(DriverId id) {
   core::EngineConfig cfg;
-  cfg.pci = drivers::MakeDevice(id)->pci();
-  return cache.emplace(id, core::RunPipeline(drivers::DriverImage(id), cfg)).first->second;
+  cfg.pci = drivers::DriverPci(id);
+  auto session =
+      core::CheckpointStore::Global().Resume(drivers::DriverName(id), drivers::DriverImage(id), cfg);
+  session->RunAll();
+  return session->TakeResult();
 }
 
 // ---- §3.2 function models + hot-function report ----

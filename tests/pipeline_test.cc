@@ -4,9 +4,9 @@
 // and check functional equivalence with the original (§5.2).
 #include <gtest/gtest.h>
 
-#include <map>
+#include <vector>
 
-#include "core/pipeline.h"
+#include "core/session.h"
 #include "drivers/drivers.h"
 #include "drivers/native.h"
 #include "os/recovered_host.h"
@@ -19,18 +19,25 @@ using drivers::DriverId;
 using os::RecoveredDriverHost;
 using os::TargetOs;
 
-const core::PipelineResult& PipelineFor(DriverId id) {
-  static std::map<DriverId, core::PipelineResult>& cache =
-      *new std::map<DriverId, core::PipelineResult>();
-  auto it = cache.find(id);
-  if (it != cache.end()) {
-    return it->second;
-  }
+// Exercise once per driver (checkpointed in the global store); each test
+// resumes from the checkpoint and re-runs only the synthesis stages.
+core::PipelineResult PipelineFor(DriverId id) {
   core::EngineConfig cfg;
-  cfg.pci = drivers::MakeDevice(id)->pci();
+  cfg.pci = drivers::DriverPci(id);
   cfg.max_work = 250'000;
-  core::PipelineResult r = core::RunPipeline(drivers::DriverImage(id), cfg);
-  return cache.emplace(id, std::move(r)).first->second;
+  auto session =
+      core::CheckpointStore::Global().Resume(drivers::DriverName(id), drivers::DriverImage(id), cfg);
+  session->RunAll();
+  return session->TakeResult();
+}
+
+// Enumerated from the target registry instead of hard-coding the four ids.
+std::vector<DriverId> RegisteredDrivers() {
+  std::vector<DriverId> ids;
+  for (const drivers::TargetInfo& t : drivers::AllTargets()) {
+    ids.push_back(t.id);
+  }
+  return ids;
 }
 
 class PipelineTest : public ::testing::TestWithParam<DriverId> {};
@@ -197,9 +204,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{DriverId::kSmc91c111, TargetOs::kKitos}),
     PortedName);
 
-INSTANTIATE_TEST_SUITE_P(AllDrivers, PipelineTest,
-                         ::testing::Values(DriverId::kRtl8029, DriverId::kRtl8139,
-                                           DriverId::kPcnet, DriverId::kSmc91c111),
+INSTANTIATE_TEST_SUITE_P(AllDrivers, PipelineTest, ::testing::ValuesIn(RegisteredDrivers()),
                          [](const ::testing::TestParamInfo<DriverId>& info) {
                            return drivers::DriverName(info.param);
                          });
