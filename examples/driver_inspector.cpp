@@ -32,6 +32,8 @@ void PrintUsage(const char* argv0) {
          "  --checkpoint <file>  save the exercise stage there (or resume from it\n"
          "                       when the file already exists)\n"
          "  --out <dir>          write driver.c + revnic_runtime.h (stage emit)\n"
+         "  --exercise-threads <n>  parallel exercise workers (1 = sequential,\n"
+         "                       0 = hardware; deterministic for any n >= 2)\n"
          "  --list               list registered targets and exit\n",
          argv0);
 }
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
   const char* stage_name = "emit";
   const char* checkpoint = nullptr;
   const char* out_dir = nullptr;
+  unsigned exercise_threads = 1;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -70,6 +73,8 @@ int main(int argc, char** argv) {
       checkpoint = value("--checkpoint");
     } else if (strcmp(argv[i], "--out") == 0) {
       out_dir = value("--out");
+    } else if (strcmp(argv[i], "--exercise-threads") == 0) {
+      exercise_threads = static_cast<unsigned>(atoi(value("--exercise-threads")));
     } else if (strcmp(argv[i], "--list") == 0) {
       printf("registered targets:\n");
       for (const drivers::TargetInfo& t : drivers::AllTargets()) {
@@ -138,6 +143,7 @@ int main(int argc, char** argv) {
     core::EngineConfig cfg;
     cfg.pci = drivers::DriverPci(target->id);
     cfg.max_work = 200'000;
+    cfg.exercise_threads = exercise_threads;
     session = std::make_unique<core::Session>(img, cfg);
     session->set_label(target->name);
   }

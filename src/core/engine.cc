@@ -1,10 +1,16 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <tuple>
 
 #include "isa/isa.h"
+#include "symex/coverage.h"
 #include "symex/executor.h"
+#include "symex/workqueue.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -58,6 +64,33 @@ constexpr uint32_t kPacketData = kScratch + 0x100;
 constexpr uint32_t kIoctlBuf = kScratch + 0x800;
 constexpr uint32_t kIoctlOut = kScratch + 0x7F0;
 
+// The per-step exploration limits RunStep honors. The sequential engine uses
+// the config's values for every step; the parallel engine drives prefix
+// steps with the cheap "spine" knobs and exactly one step per worker with
+// the full ones.
+struct StepKnobs {
+  uint64_t max_work_per_step;
+  unsigned entry_success_cap;
+  uint64_t no_progress_window;
+
+  static StepKnobs Of(const EngineConfig& c) {
+    return {c.max_work_per_step, c.entry_success_cap, c.no_progress_window};
+  }
+};
+
+// The spine pass wants one completing path per step as fast as possible: it
+// is the survivor chain every fan-out worker replays, so its cost is paid
+// once per worker. Cap per-step work hard and stop as soon as a single
+// success has gone a short window without new coverage.
+StepKnobs SpineStepKnobs(const EngineConfig& c) {
+  StepKnobs k = StepKnobs::Of(c);
+  k.max_work_per_step =
+      std::min<uint64_t>(k.max_work_per_step, std::max<uint64_t>(4096, c.max_work_per_step / 8));
+  k.entry_success_cap = 1;
+  k.no_progress_window = std::min<uint64_t>(k.no_progress_window, 192);
+  return k;
+}
+
 }  // namespace
 
 struct Engine::Impl {
@@ -109,12 +142,18 @@ struct Engine::Impl {
     sink.OnEvent(ev);
   }
 
-  // Returns true when the block contributed new coverage.
+  // Returns true when the block contributed new coverage. Fresh blocks are
+  // also published to the shared map when a parallel exercise is running, so
+  // live progress streams the merged picture across every worker.
   bool UpdateCoverage(const ir::Block& block) {
     bool fresh = false;
     auto it = static_bbs.lower_bound(block.guest_pc);
     while (it != static_bbs.end() && *it < block.guest_pc + block.guest_size) {
-      fresh |= covered.insert(*it).second;
+      bool inserted = covered.insert(*it).second;
+      fresh |= inserted;
+      if (inserted && live_coverage != nullptr) {
+        live_coverage->Mark(*it);
+      }
       ++it;
     }
     return fresh;
@@ -251,9 +290,12 @@ struct Engine::Impl {
   }
 
   // Runs one script step starting from `seed_state`; returns the surviving
-  // state that carries over to the next step.
+  // state that carries over to the next step. `knobs` bounds this step's
+  // exploration (the per-step subset of the config the parallel engine
+  // varies between spine and full passes).
   std::unique_ptr<ExecutionState> RunStep(const Step& step,
-                                          std::unique_ptr<ExecutionState> seed_state) {
+                                          std::unique_ptr<ExecutionState> seed_state,
+                                          const StepKnobs& knobs) {
     uint32_t entry_pc =
         step.is_driver_entry ? image.entry : winsim.EntryPc(step.role);
     if (entry_pc == 0) {
@@ -300,7 +342,7 @@ struct Engine::Impl {
     uint64_t last_progress = 0;  // step_work at the last new-coverage block
 
     while (!pool.Empty() && stats.work < config.max_work &&
-           step_work < config.max_work_per_step && !CancelRequested()) {
+           step_work < knobs.max_work_per_step && !CancelRequested()) {
       std::unique_ptr<ExecutionState> cur = pool.SelectNext();
       // Operator diagnostics: REVNIC_HEARTBEAT=1 streams exerciser progress.
       if (getenv("REVNIC_HEARTBEAT") != nullptr && stats.work % 50 == 0) {
@@ -319,6 +361,9 @@ struct Engine::Impl {
       symex::StepResult result = executor.Step(cur.get(), *block, &sink);
       ++stats.work;
       ++step_work;
+      if (global_work != nullptr) {
+        global_work->fetch_add(1, std::memory_order_relaxed);
+      }
       if (block->term == ir::Term::kCall) {
         ++call_counts[block->target];
         // §3.2 function models: skip the modeled callee entirely -- pop the
@@ -389,9 +434,9 @@ struct Engine::Impl {
       // (HandleInterrupt, Halt, ...) have no status code, so any completed
       // path counts toward the cap.
       bool enough_completions =
-          successes.size() >= config.entry_success_cap ||
-          successes.size() + completions.size() >= 2 * config.entry_success_cap;
-      if (enough_completions && step_work - last_progress > config.no_progress_window) {
+          successes.size() >= knobs.entry_success_cap ||
+          successes.size() + completions.size() >= 2 * knobs.entry_success_cap;
+      if (enough_completions && step_work - last_progress > knobs.no_progress_window) {
         break;
       }
     }
@@ -492,12 +537,39 @@ struct Engine::Impl {
   }
 
   EngineResult Run() {
-    auto state = std::make_unique<ExecutionState>(next_state_id++, &ctx, &mm);
-    for (const Step& step : BuildScript()) {
+    StepKnobs knobs = StepKnobs::Of(config);
+    return RunScript(knobs, -1, knobs);
+  }
+
+  // Runs the exercise script. Every step uses `base` knobs except the one at
+  // executed-step index `full_step` (-1 = none), which runs with `full`
+  // knobs as a segment of its own: BeginSegment() marks every accumulator
+  // right before it so BuildResult() reports only that step's contribution
+  // -- the prefix replays the spine run, which the parallel merge already
+  // carries (and leaves the spine's blocks in `covered`, so the no-progress
+  // gating skips re-exploring covered paths, deterministically). The run
+  // stops after the full step: a worker task owns exactly one step.
+  EngineResult RunScript(const StepKnobs& base, int full_step, const StepKnobs& full) {
+    std::vector<Step> script = BuildScript();
+    std::vector<Step> plan;
+    plan.reserve(script.size());
+    for (Step& step : script) {
       if (step.is_irq && !config.inject_irqs) {
         continue;
       }
-      state = RunStep(step, std::move(state));
+      plan.push_back(std::move(step));
+    }
+    auto state = std::make_unique<ExecutionState>(next_state_id++, &ctx, &mm);
+    for (size_t idx = 0; idx < plan.size(); ++idx) {
+      bool is_full = full_step >= 0 && idx == static_cast<size_t>(full_step);
+      if (is_full) {
+        BeginSegment();
+      }
+      state = RunStep(plan[idx], std::move(state), is_full ? full : base);
+      ++steps_run;
+      if (is_full) {
+        break;
+      }
       if (stats.work >= config.max_work || cancel_requested) {
         break;
       }
@@ -506,7 +578,29 @@ struct Engine::Impl {
     if (config.on_coverage) {
       config.on_coverage(timeline.back());
     }
+    return BuildResult();
+  }
 
+  // Marks every accumulator so BuildResult() can report the upcoming step as
+  // a standalone segment.
+  void BeginSegment() {
+    segment_begun = true;
+    mark_block_records = bundle.block_records.size();
+    mark_mem_records = bundle.mem_records.size();
+    mark_api_records = bundle.api_records.size();
+    mark_events = bundle.events.size();
+    mark_timeline = timeline.size();
+    stats_mark = stats;
+    solver_mark = solver.stats();
+    executor_mark = executor.stats();
+    intern_mark = ctx.intern_stats();
+    dbt_hits_mark = dbt.cache_hits();
+    dbt_misses_mark = dbt.cache_misses();
+    call_counts_mark = call_counts;
+    functions_modeled_mark = stats_functions_modeled;
+  }
+
+  EngineResult BuildResult() {
     EngineResult result;
     result.bundle = std::move(bundle);
     result.covered_blocks = std::move(covered);
@@ -531,7 +625,284 @@ struct Engine::Impl {
     result.call_counts = call_counts;
     result.functions_modeled = stats_functions_modeled;
     result.cancelled = cancel_requested;
+    if (segment_begun) {
+      SliceSegment(&result);
+    }
     return result;
+  }
+
+  // Reduces `r` to the segment past the BeginSegment() marks: record streams
+  // and the timeline drop their prefix (the timeline work axis rebases to
+  // the segment start) and flow counters become deltas. Coverage and the
+  // API-usage set stay whole -- the merge unions them, so the duplicated
+  // prefix is harmless there.
+  void SliceSegment(EngineResult* r) {
+    auto chop = [](auto* vec, size_t mark) { vec->erase(vec->begin(), vec->begin() + mark); };
+    chop(&r->bundle.block_records, mark_block_records);
+    chop(&r->bundle.mem_records, mark_mem_records);
+    chop(&r->bundle.api_records, mark_api_records);
+    chop(&r->bundle.events, mark_events);
+    chop(&r->timeline, mark_timeline);
+    for (CoverageSample& s : r->timeline) {
+      s.work -= stats_mark.work;
+    }
+
+    r->stats -= stats_mark;
+    r->solver_stats -= solver_mark;
+    r->executor_stats -= executor_mark;
+
+    perf::SubstrateCounters& sc = r->substrate;
+    sc.solver_queries -= solver_mark.queries;
+    sc.solver_cache_hits -= solver_mark.cache_hits;
+    sc.solver_cache_misses -= solver_mark.cache_misses;
+    sc.solver_shelf_hits -= solver_mark.shelf_hits;
+    sc.intern_hits -= intern_mark.hits;
+    sc.intern_misses -= intern_mark.misses;
+    sc.dbt_cache_hits -= dbt_hits_mark;
+    sc.dbt_cache_misses -= dbt_misses_mark;
+
+    for (const auto& [pc, count] : call_counts_mark) {
+      auto it = r->call_counts.find(pc);
+      if (it != r->call_counts.end()) {
+        it->second -= count;
+        if (it->second == 0) {
+          r->call_counts.erase(it);
+        }
+      }
+    }
+    r->functions_modeled -= functions_modeled_mark;
+  }
+
+  // ---- parallel exercising (EngineConfig::exercise_threads >= 2) ----
+  //
+  // Spine + fan-out: one fast sequential pass chains a completing path
+  // through every step; each step's full-budget exploration then runs as an
+  // independent task on the worker pool. Every task owns a full substrate
+  // replica (ExprContext/solver/DBT/WinSim), deterministically replays the
+  // spine prefix it needs, explores its one step, and returns a segment.
+  // Segments merge in step order -- never in completion order -- with state
+  // ids and sequence numbers rebased per segment, so the merged result is
+  // byte-identical for every thread count and schedule.
+  // `spine` is the engine's own (already constructed) Impl: it runs the
+  // spine pass in place, so the driver load + static analysis its ctor paid
+  // are not wasted; only the fan-out replicas build fresh substrates.
+  static EngineResult RunParallel(Impl& spine, unsigned threads) {
+    struct Shared {
+      std::atomic<bool> cancel{false};
+      std::atomic<uint64_t> work{0};
+      std::mutex observer_mu;
+    } shared;
+
+    const isa::Image& image = spine.image;
+    const EngineConfig config = spine.config;  // pre-wrap copy for the knobs
+    EngineConfig cfg = config;
+    // Every replica polls the caller's cancel hook through a sticky shared
+    // flag: the first worker to observe true stops them all, and the pool
+    // drains (workers finish their current task fast -- each step's inner
+    // loop polls -- then join).
+    std::function<bool()> user_cancel = config.cancel;
+    cfg.cancel = [&shared, user_cancel]() {
+      if (shared.cancel.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      if (user_cancel && user_cancel()) {
+        shared.cancel.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    };
+    // Live coverage streaming reports the merged picture: total work across
+    // every replica and the shared map's covered count. Mid-run samples are
+    // monitoring only (their timing depends on scheduling); the final sample
+    // and the result timeline are canonical and deterministic.
+    symex::SharedCoverageMap live(spine.static_bbs);
+    std::function<void(const CoverageSample&)> user_cov = config.on_coverage;
+    if (user_cov) {
+      cfg.on_coverage = [&shared, &live, user_cov](const CoverageSample&) {
+        CoverageSample merged{shared.work.load(std::memory_order_relaxed), live.CoveredCount()};
+        std::lock_guard<std::mutex> lock(shared.observer_mu);
+        user_cov(merged);
+      };
+    }
+
+    StepKnobs full_knobs = StepKnobs::Of(config);
+    // A fan-out worker spends its whole budget on one step, so it can afford
+    // to push past the sequential engine's per-step heuristics: double the
+    // completion cap and the no-progress window. This recovers paths the
+    // sequential run only reaches through its (differently chosen) survivor
+    // chain, keeping coverage parity tight.
+    full_knobs.entry_success_cap *= 2;
+    full_knobs.no_progress_window *= 2;
+    StepKnobs spine_knobs = SpineStepKnobs(config);
+
+    spine.config = cfg;  // wrapped cancel + coverage hooks for the spine run
+    spine.live_coverage = &live;
+    spine.global_work = &shared.work;
+    EngineResult merged = spine.RunScript(spine_knobs, -1, spine_knobs);
+    const size_t steps_total = spine.steps_run;
+
+    struct Segment {
+      EngineResult result;
+      bool begun = false;
+    };
+    std::vector<Segment> segments(steps_total);
+    if (!merged.cancelled) {
+      symex::WorkQueue<size_t> queue;
+      for (size_t k = 0; k < steps_total; ++k) {
+        queue.Push(k);
+      }
+      queue.Close();
+      unsigned workers = std::min<unsigned>(threads, static_cast<unsigned>(steps_total));
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+          size_t k;
+          while (queue.PopBlocking(&k)) {
+            Impl replica(image, cfg);
+            replica.live_coverage = &live;
+            replica.global_work = &shared.work;
+            // The replica's spine-prefix replay leaves everything steps
+            // 0..k-1 covered in its coverage set, so the no-progress gating
+            // skips re-exploring those paths -- the same baseline the
+            // sequential engine has at step k. (Seeding the *full* spine
+            // coverage instead was measured to cost tail coverage: a step
+            // stops before reaching blocks only later steps touch, breaking
+            // the +/-0.5% parity bar.)
+            segments[k].result = replica.RunScript(spine_knobs, static_cast<int>(k), full_knobs);
+            segments[k].begun = replica.segment_begun;
+          }
+        });
+      }
+      for (std::thread& t : pool) {
+        t.join();
+      }
+    }
+
+    // ---- canonical merge, in step order ----
+    // Rebase each segment's state ids and wiretap sequence numbers into a
+    // disjoint range (the strides clear every id the replicas can mint, and
+    // keep the executor/event seq spaces' relative order). Downstream
+    // consumers group by state id and sort by seq within a state, both of
+    // which survive the rebase.
+    constexpr uint64_t kIdStride = 1ull << 32;
+    constexpr uint64_t kSeqStride = 1ull << 44;
+    uint64_t cum_work = merged.stats.work;
+    // The entry table records one row per registration *call*, so replicas
+    // exploring different path counts record different duplication. Merge as
+    // a first-appearance dedup union (spine first, then segments in step
+    // order) -- deterministic, and downstream consumers key on (role, pc)
+    // anyway.
+    auto entry_key = [](const os::EntryPoint& e) {
+      return std::make_tuple(static_cast<uint32_t>(e.role), e.pc, e.timer_context);
+    };
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t>> entry_seen;
+    std::vector<os::EntryPoint> entry_union;
+    for (const os::EntryPoint& e : merged.entries) {
+      if (entry_seen.insert(entry_key(e)).second) {
+        entry_union.push_back(e);
+      }
+    }
+    for (size_t k = 0; k < segments.size(); ++k) {
+      if (!segments[k].begun) {
+        continue;  // budget/cancel ended this replica before its step
+      }
+      EngineResult& seg = segments[k].result;
+      const uint64_t id_off = (k + 1) * kIdStride;
+      const uint64_t seq_off = (k + 1) * kSeqStride;
+      for (trace::BlockRecord& r : seg.bundle.block_records) {
+        r.state_id += id_off;
+        r.seq += seq_off;
+        merged.bundle.block_records.push_back(std::move(r));
+      }
+      for (trace::MemRecord& r : seg.bundle.mem_records) {
+        r.state_id += id_off;
+        r.seq += seq_off;
+        merged.bundle.mem_records.push_back(std::move(r));
+      }
+      for (trace::ApiRecord& r : seg.bundle.api_records) {
+        r.state_id += id_off;
+        r.seq += seq_off;
+        merged.bundle.api_records.push_back(std::move(r));
+      }
+      for (trace::EventRecord& r : seg.bundle.events) {
+        r.state_id += id_off;
+        r.seq += seq_off;
+        merged.bundle.events.push_back(std::move(r));
+      }
+      // Translations are pure functions of the immutable driver image, so
+      // duplicate keys across replicas carry identical blocks.
+      merged.bundle.blocks.insert(seg.bundle.blocks.begin(), seg.bundle.blocks.end());
+      merged.covered_blocks.insert(seg.covered_blocks.begin(), seg.covered_blocks.end());
+
+      size_t cov_floor = merged.timeline.empty() ? 0 : merged.timeline.back().covered_blocks;
+      for (const CoverageSample& s : seg.timeline) {
+        CoverageSample m{cum_work + s.work, std::max(cov_floor, s.covered_blocks)};
+        cov_floor = m.covered_blocks;
+        merged.timeline.push_back(m);
+      }
+
+      merged.stats += seg.stats;
+      merged.solver_stats += seg.solver_stats;
+      merged.executor_stats += seg.executor_stats;
+      merged.substrate.Accumulate(seg.substrate);
+      for (const auto& [pc, count] : seg.call_counts) {
+        merged.call_counts[pc] += count;
+      }
+      merged.apis_used.insert(seg.apis_used.begin(), seg.apis_used.end());
+      merged.functions_modeled += seg.functions_modeled;
+      merged.cancelled = merged.cancelled || seg.cancelled;
+      for (const os::EntryPoint& e : seg.entries) {
+        if (entry_seen.insert(entry_key(e)).second) {
+          entry_union.push_back(e);
+        }
+      }
+      cum_work += seg.stats.work;
+    }
+    merged.entries = std::move(entry_union);
+
+    // A cancel can land while workers are still replaying their prefixes, in
+    // which case no segment begins and the loop above never sees a
+    // seg.cancelled -- the sticky shared flag is the authoritative answer.
+    if (shared.cancel.load(std::memory_order_relaxed)) {
+      merged.cancelled = true;
+    }
+
+    // The wrapped hooks capture this frame's Shared/live map; put the
+    // caller's originals back so nothing in the long-lived Impl dangles
+    // once this frame unwinds.
+    spine.config = config;
+    spine.live_coverage = nullptr;
+    spine.global_work = nullptr;
+
+    merged.timeline.push_back({cum_work, merged.covered_blocks.size()});
+    if (user_cov) {
+      std::lock_guard<std::mutex> lock(shared.observer_mu);
+      user_cov(merged.timeline.back());
+    }
+    // Operator diagnostics: the per-segment work distribution is what bounds
+    // parallel scaling (wall ~ spine + max segment on enough cores).
+    if (getenv("REVNIC_PARALLEL_STATS") != nullptr) {
+      uint64_t max_seg = 0;
+      uint64_t sum_seg = 0;
+      for (const Segment& s : segments) {
+        if (!s.begun) {
+          continue;  // un-sliced whole-run stats; not part of the merge
+        }
+        max_seg = std::max(max_seg, s.result.stats.work);
+        sum_seg += s.result.stats.work;
+      }
+      uint64_t spine_work = merged.stats.work - sum_seg;
+      fprintf(stderr,
+              "[parallel-exercise] spine=%llu work, %zu segments (sum=%llu max=%llu), "
+              "critical path=%llu (%.2fx vs serial merge)\n",
+              (unsigned long long)spine_work, segments.size(), (unsigned long long)sum_seg,
+              (unsigned long long)max_seg, (unsigned long long)(spine_work + max_seg),
+              spine_work + max_seg == 0
+                  ? 1.0
+                  : (double)merged.stats.work / (double)(spine_work + max_seg));
+    }
+    return merged;
   }
 
   static constexpr uint32_t kAdapterCtxPlaceholder = 0xADA97CBA;
@@ -560,6 +931,30 @@ struct Engine::Impl {
   std::map<uint32_t, uint64_t> call_counts;
   uint64_t stats_functions_modeled = 0;
   bool cancel_requested = false;
+
+  // ---- parallel-exercise plumbing ----
+  // Shared coverage map to publish fresh blocks into (merged live progress).
+  symex::SharedCoverageMap* live_coverage = nullptr;
+  // Cross-replica work counter behind the live coverage stream.
+  std::atomic<uint64_t>* global_work = nullptr;
+  // Steps actually executed by RunScript (the parallel driver sizes its
+  // fan-out from the spine's count).
+  size_t steps_run = 0;
+  // BeginSegment() marks; see SliceSegment().
+  bool segment_begun = false;
+  size_t mark_block_records = 0;
+  size_t mark_mem_records = 0;
+  size_t mark_api_records = 0;
+  size_t mark_events = 0;
+  size_t mark_timeline = 0;
+  EngineStats stats_mark;
+  symex::SolverStats solver_mark;
+  symex::ExecutorStats executor_mark;
+  symex::ExprContext::InternStats intern_mark;
+  uint64_t dbt_hits_mark = 0;
+  uint64_t dbt_misses_mark = 0;
+  std::map<uint32_t, uint64_t> call_counts_mark;
+  uint64_t functions_modeled_mark = 0;
 };
 
 Engine::Engine(const isa::Image& image, const EngineConfig& config)
@@ -567,7 +962,17 @@ Engine::Engine(const isa::Image& image, const EngineConfig& config)
 
 Engine::~Engine() = default;
 
-EngineResult Engine::Run() { return impl_->Run(); }
+EngineResult Engine::Run() {
+  unsigned threads = impl_->config.exercise_threads;
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 2 : hw;
+  }
+  if (threads <= 1) {
+    return impl_->Run();  // the legacy sequential exerciser, byte-for-byte
+  }
+  return Impl::RunParallel(*impl_, threads);
+}
 
 EngineResult ReverseEngineer(const isa::Image& image, const EngineConfig& config) {
   Engine engine(image, config);

@@ -66,14 +66,36 @@ struct EngineConfig {
   symex::StatePool::Options pool;
   symex::Solver::Options solver;
   uint64_t seed = 1;
+  // Intra-driver parallel exercising. 1 (default) runs the legacy sequential
+  // exerciser unchanged. N >= 2 runs the staged parallel exerciser on up to
+  // N worker threads: a fast sequential "spine" pass chains one completing
+  // path through every script step, then each step's full exploration fans
+  // out to the pool as an independent task whose deterministic spine-prefix
+  // replay marks already-covered paths (so its no-progress gating skips
+  // them); segments merge in step order with order-normalized trace ids.
+  // 0 auto-sizes to the hardware (and, under RunBatch with a thread budget,
+  // defers to the batch's split).
+  // Determinism guarantee: for a fixed seed the merged result -- TraceBundle,
+  // coverage, counters, and everything synthesized downstream -- is
+  // byte-identical for every thread count >= 2, because work is partitioned
+  // by entry step and merged canonically, never by scheduling timing. See
+  // src/symex/README.md for the full strategy.
+  unsigned exercise_threads = 1;
   // Coverage timeline sampling period (work units).
   uint64_t sample_every = 2048;
   // Streaming observation: invoked at every timeline sample point while the
-  // exerciser runs (core::Session wires its observer through here).
+  // exerciser runs (core::Session wires its observer through here). Under
+  // parallel exercising the samples carry the merged picture (total work,
+  // shared-map coverage) and invocations are serialized by an internal
+  // mutex, but they originate from worker threads -- mid-run sample timing
+  // is monitoring-only; the final sample and the result timeline are
+  // deterministic.
   std::function<void(const CoverageSample&)> on_coverage;
   // Cooperative cancellation: polled between translated blocks. Returning
   // true stops the run early; the wiretap output gathered so far is returned
-  // with EngineResult::cancelled set.
+  // with EngineResult::cancelled set. Under parallel exercising the hook is
+  // polled concurrently from every worker (make it thread-safe; the first
+  // observed true sticks and drains the pool).
   std::function<bool()> cancel;
 };
 
@@ -86,6 +108,33 @@ struct EngineStats {
   uint64_t irqs_injected = 0;
   uint64_t api_calls = 0;
   uint64_t api_skipped = 0;
+
+  // Segment arithmetic for the parallel merge: += sums a segment in, -=
+  // rebases against a BeginSegment mark. Keep both in sync with the field
+  // list -- they are the single source of truth the byte-identity guarantee
+  // leans on.
+  EngineStats& operator+=(const EngineStats& o) {
+    work += o.work;
+    states_created += o.states_created;
+    states_killed_polling += o.states_killed_polling;
+    states_killed_error += o.states_killed_error;
+    entry_completions += o.entry_completions;
+    irqs_injected += o.irqs_injected;
+    api_calls += o.api_calls;
+    api_skipped += o.api_skipped;
+    return *this;
+  }
+  EngineStats& operator-=(const EngineStats& o) {
+    work -= o.work;
+    states_created -= o.states_created;
+    states_killed_polling -= o.states_killed_polling;
+    states_killed_error -= o.states_killed_error;
+    entry_completions -= o.entry_completions;
+    irqs_injected -= o.irqs_injected;
+    api_calls -= o.api_calls;
+    api_skipped -= o.api_skipped;
+    return *this;
+  }
 };
 
 struct EngineResult {

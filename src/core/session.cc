@@ -390,13 +390,13 @@ std::unique_ptr<Session> Session::LoadCheckpointFile(const std::string& path,
 
 // ---- batch ----
 
-BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency,
-                     const std::function<void(const BatchJobResult&)>& on_job_done) {
+BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& options) {
   BatchResult batch;
   batch.jobs.resize(jobs.size());
   if (jobs.empty()) {
     return batch;
   }
+  unsigned concurrency = options.concurrency;
   if (concurrency == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     concurrency = hw == 0 ? 2 : hw;
@@ -405,6 +405,12 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency,
   // timeslice); there is never a point in more workers than jobs.
   concurrency = std::min(concurrency, static_cast<unsigned>(jobs.size()));
   batch.concurrency = concurrency;
+  // Outer x inner thread split: jobs that deferred their exercise-stage
+  // sizing (exercise_threads == 0) share the global budget evenly across the
+  // outer workers.
+  unsigned inner_threads = options.thread_budget == 0
+                               ? 0
+                               : std::max(1u, options.thread_budget / concurrency);
 
   std::atomic<size_t> next{0};
   std::mutex done_mu;
@@ -416,7 +422,11 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency,
       if (job.image == nullptr) {
         out.error = "job has no image";
       } else {
-        Session session(*job.image, job.config);
+        EngineConfig cfg = job.config;
+        if (inner_threads != 0 && cfg.exercise_threads == 0) {
+          cfg.exercise_threads = inner_threads;
+        }
+        Session session(*job.image, cfg);
         session.set_label(job.name);
         if (session.RunAll()) {
           out.result = session.TakeResult();
@@ -425,9 +435,9 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency,
           out.error = session.error();
         }
       }
-      if (on_job_done) {
+      if (options.on_job_done) {
         std::lock_guard<std::mutex> lock(done_mu);
-        on_job_done(out);
+        options.on_job_done(out);
       }
     }
   };
@@ -446,6 +456,23 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency,
     }
   }
   return batch;
+}
+
+BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency,
+                     const std::function<void(const BatchJobResult&)>& on_job_done) {
+  BatchOptions options;
+  options.concurrency = concurrency;
+  options.on_job_done = on_job_done;
+  return RunBatch(jobs, options);
+}
+
+std::function<void(const CoverageSample&)> MakeCoverageJsonlLogger(JsonlWriter* sink,
+                                                                   std::string label) {
+  return [sink, label = std::move(label)](const CoverageSample& s) {
+    sink->Write({{"driver", label},
+                 {"work", static_cast<uint64_t>(s.work)},
+                 {"covered", static_cast<uint64_t>(s.covered_blocks)}});
+  };
 }
 
 // ---- checkpoint store ----
@@ -485,6 +512,16 @@ std::string ConfigFingerprint(const EngineConfig& c) {
   mix(c.seed);
   mix(c.sample_every);
   mix(c.cancel ? 1 : 0);
+  // Parallel exercising changes the explored tree, so thread settings are
+  // output-relevant -- but every count >= 2 produces byte-identical results,
+  // so the key only distinguishes sequential from parallel, resolving 0 the
+  // same way Engine::Run does.
+  unsigned threads = c.exercise_threads;
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 2 : hw;
+  }
+  mix(threads <= 1 ? 1 : 2);
   // Container sizes are mixed before their elements so adjacent
   // variable-length fields cannot alias each other's streams.
   mix(c.skip_apis.size());

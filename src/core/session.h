@@ -39,6 +39,7 @@
 #include "core/pipeline.h"
 #include "synth/cemit.h"
 #include "synth/cfg.h"
+#include "util/jsonl.h"
 
 namespace revnic::core {
 
@@ -174,13 +175,39 @@ struct BatchResult {
   }
 };
 
-// Runs every job through a full Session on a pool of `concurrency` worker
-// threads (0 = one per job, capped at hardware concurrency). Jobs are
-// isolated -- each owns its ExprContext/solver/DBT -- so results are
-// identical to sequential per-driver runs. `on_job_done` (optional) is
-// invoked once per finished job, serialized by an internal mutex.
+struct BatchOptions {
+  // Outer, driver-level workers (0 = one per job, capped at hardware
+  // concurrency).
+  unsigned concurrency = 0;
+  // Global thread budget shared between the outer batch dimension and each
+  // job's inner parallel exercise stage (EngineConfig::exercise_threads).
+  // When non-zero, every job that left exercise_threads at 0 ("size for me")
+  // gets max(1, thread_budget / outer_workers) inner threads, so outer x
+  // inner never oversubscribes the budget. Jobs that set exercise_threads
+  // explicitly keep their setting. 0 = outer-only parallelism (the PR 2
+  // behavior).
+  unsigned thread_budget = 0;
+  // Invoked once per finished job, serialized by an internal mutex.
+  std::function<void(const BatchJobResult&)> on_job_done;
+};
+
+// Runs every job through a full Session on a worker pool. Jobs are isolated
+// -- each owns its ExprContext/solver/DBT -- so results are identical to
+// per-driver standalone runs (and, per the engine's determinism guarantee,
+// independent of every concurrency setting here).
+BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& options);
+// Compatibility wrapper: outer-level parallelism only.
 BatchResult RunBatch(const std::vector<BatchJob>& jobs, unsigned concurrency = 0,
                      const std::function<void(const BatchJobResult&)>& on_job_done = nullptr);
+
+// An on_coverage callback that streams every sample as one JSONL object --
+// {"driver":<label>,"work":N,"covered":N} -- into `sink` (which the caller
+// keeps alive for the run). Safe to share one sink across RunBatch jobs and
+// parallel-exercise workers: JsonlWriter serializes internally. Wire it into
+// SessionObserver::on_coverage or EngineConfig::on_coverage; fig8_coverage
+// --coverage-log builds its CI-archived coverage trail with this.
+std::function<void(const CoverageSample&)> MakeCoverageJsonlLogger(JsonlWriter* sink,
+                                                                   std::string label);
 
 // ---- exercise-once checkpoint store ----
 //

@@ -1,0 +1,60 @@
+#include "symex/coverage.h"
+
+#include <algorithm>
+
+namespace revnic::symex {
+
+SharedCoverageMap::SharedCoverageMap(const std::set<uint32_t>& universe)
+    : pcs_(universe.begin(), universe.end()), bits_((pcs_.size() + 63) / 64) {}
+
+ptrdiff_t SharedCoverageMap::IndexOf(uint32_t pc) const {
+  auto it = std::lower_bound(pcs_.begin(), pcs_.end(), pc);
+  if (it == pcs_.end() || *it != pc) {
+    return -1;
+  }
+  return it - pcs_.begin();
+}
+
+bool SharedCoverageMap::Mark(uint32_t pc) {
+  ptrdiff_t idx = IndexOf(pc);
+  if (idx < 0) {
+    return false;
+  }
+  uint64_t bit = 1ull << (idx % 64);
+  uint64_t prev = bits_[static_cast<size_t>(idx) / 64].fetch_or(bit, std::memory_order_relaxed);
+  if ((prev & bit) != 0) {
+    return false;
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SharedCoverageMap::Covered(uint32_t pc) const {
+  ptrdiff_t idx = IndexOf(pc);
+  if (idx < 0) {
+    return false;
+  }
+  uint64_t bit = 1ull << (idx % 64);
+  return (bits_[static_cast<size_t>(idx) / 64].load(std::memory_order_relaxed) & bit) != 0;
+}
+
+size_t SharedCoverageMap::Seed(const std::set<uint32_t>& covered) {
+  size_t fresh = 0;
+  for (uint32_t pc : covered) {
+    fresh += Mark(pc) ? 1 : 0;
+  }
+  return fresh;
+}
+
+void SharedCoverageMap::SnapshotInto(std::set<uint32_t>* out) const {
+  for (size_t w = 0; w < bits_.size(); ++w) {
+    uint64_t word = bits_[w].load(std::memory_order_relaxed);
+    while (word != 0) {
+      unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+      word &= word - 1;
+      out->insert(pcs_[w * 64 + bit]);
+    }
+  }
+}
+
+}  // namespace revnic::symex

@@ -56,6 +56,23 @@ struct ExecutorStats {
   uint64_t instrs = 0;
   uint64_t forks = 0;
   uint64_t concretizations = 0;  // symbolic pointers/values forced concrete
+
+  // Segment arithmetic for the parallel exercise merge; keep in sync with
+  // the field list.
+  ExecutorStats& operator+=(const ExecutorStats& o) {
+    blocks += o.blocks;
+    instrs += o.instrs;
+    forks += o.forks;
+    concretizations += o.concretizations;
+    return *this;
+  }
+  ExecutorStats& operator-=(const ExecutorStats& o) {
+    blocks -= o.blocks;
+    instrs -= o.instrs;
+    forks -= o.forks;
+    concretizations -= o.concretizations;
+    return *this;
+  }
 };
 
 class Executor {

@@ -56,6 +56,33 @@ struct SolverStats {
   uint64_t components = 0;    // independent components across all queries
   uint64_t shelf_hits = 0;    // components answered by replaying a recent model
   uint64_t evals = 0;         // total candidate assignments evaluated
+
+  // Segment arithmetic for the parallel exercise merge; keep in sync with
+  // the field list.
+  SolverStats& operator+=(const SolverStats& o) {
+    queries += o.queries;
+    sat += o.sat;
+    unsat += o.unsat;
+    unknown += o.unknown;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    components += o.components;
+    shelf_hits += o.shelf_hits;
+    evals += o.evals;
+    return *this;
+  }
+  SolverStats& operator-=(const SolverStats& o) {
+    queries -= o.queries;
+    sat -= o.sat;
+    unsat -= o.unsat;
+    unknown -= o.unknown;
+    cache_hits -= o.cache_hits;
+    cache_misses -= o.cache_misses;
+    components -= o.components;
+    shelf_hits -= o.shelf_hits;
+    evals -= o.evals;
+    return *this;
+  }
 };
 
 class Solver {

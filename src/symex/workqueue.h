@@ -1,0 +1,101 @@
+// Thread-safe multi-producer multi-consumer work queue.
+//
+// The parallel exercise stage distributes its entry-step task indices to the
+// worker pool through this queue. Push and pop are O(1) moves, so the queue
+// is equally suited to carrying owning payloads -- moving a forked
+// `ExecutionState` through it costs one unique_ptr move plus bookkeeping,
+// never a state deep-copy (tests/symex_concurrency_test.cc exercises that;
+// the current engine deliberately does NOT hand states across workers, see
+// the determinism strategy in README.md).
+//
+// Close() makes the queue refuse further pushes and wakes every blocked
+// consumer; PopBlocking() then drains the remaining items and returns false
+// once the queue is both closed and empty, which is the worker-pool shutdown
+// handshake ("cooperative cancel drains workers").
+#ifndef REVNIC_SYMEX_WORKQUEUE_H_
+#define REVNIC_SYMEX_WORKQUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace revnic::symex {
+
+template <typename T>
+class WorkQueue {
+ public:
+  // Enqueues `item`; returns false (dropping the item) when already closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++total_pushed_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop; false when nothing is queued right now.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Blocks until an item arrives or the queue is closed and drained. Returns
+  // false only in the latter case (the consumer's exit condition).
+  bool PopBlocking(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Stops accepting pushes and wakes all blocked consumers.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_pushed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  uint64_t total_pushed_ = 0;
+};
+
+}  // namespace revnic::symex
+
+#endif  // REVNIC_SYMEX_WORKQUEUE_H_

@@ -1,0 +1,94 @@
+#include "util/jsonl.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace revnic {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonlLine(const std::vector<JsonlField>& fields) {
+  std::string line = "{";
+  bool first = true;
+  for (const JsonlField& f : fields) {
+    if (!first) {
+      line += ",";
+    }
+    first = false;
+    line += "\"" + JsonEscape(f.key) + "\":";
+    switch (f.kind) {
+      case JsonlField::Kind::kString:
+        line += "\"" + JsonEscape(f.str) + "\"";
+        break;
+      case JsonlField::Kind::kU64:
+        line += StrFormat("%llu", static_cast<unsigned long long>(f.u64));
+        break;
+      case JsonlField::Kind::kDouble:
+        // JSON has no inf/nan literal; emit null rather than corrupt the
+        // stream one bad ratio at a time.
+        line += std::isfinite(f.dbl) ? StrFormat("%.6g", f.dbl) : "null";
+        break;
+      case JsonlField::Kind::kBool:
+        line += f.b ? "true" : "false";
+        break;
+    }
+  }
+  line += "}";
+  return line;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) : file_(fopen(path.c_str(), "w")) {}
+
+JsonlWriter::~JsonlWriter() {
+  if (file_ != nullptr) {
+    fclose(file_);
+  }
+}
+
+void JsonlWriter::Write(const std::vector<JsonlField>& fields) {
+  std::string line = JsonlLine(fields);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return;
+  }
+  fprintf(file_, "%s\n", line.c_str());
+  fflush(file_);
+  ++lines_;
+}
+
+uint64_t JsonlWriter::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+}  // namespace revnic

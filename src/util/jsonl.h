@@ -1,0 +1,74 @@
+// Structured JSONL log sink: one JSON object per line, append-only.
+//
+// This is the machine-readable side of run observation: coverage samples
+// streamed by SessionObserver::on_coverage land here (one object per sample,
+// see core::MakeCoverageJsonlLogger), fig8_coverage archives the file, and CI
+// uploads it as an artifact. Writes are serialized by an internal mutex so a
+// parallel exercise stage (many workers streaming samples) or RunBatch (many
+// sessions) can share one sink.
+#ifndef REVNIC_UTIL_JSONL_H_
+#define REVNIC_UTIL_JSONL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace revnic {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+std::string JsonEscape(const std::string& s);
+
+// One key/value pair of a JSONL record. Values are strings, unsigned
+// integers, or doubles -- all the run telemetry needs.
+struct JsonlField {
+  enum class Kind { kString, kU64, kDouble, kBool };
+
+  JsonlField(std::string key, std::string value)
+      : key(std::move(key)), kind(Kind::kString), str(std::move(value)) {}
+  JsonlField(std::string key, const char* value)
+      : key(std::move(key)), kind(Kind::kString), str(value) {}
+  JsonlField(std::string key, uint64_t value) : key(std::move(key)), kind(Kind::kU64), u64(value) {}
+  JsonlField(std::string key, double value)
+      : key(std::move(key)), kind(Kind::kDouble), dbl(value) {}
+  JsonlField(std::string key, bool value) : key(std::move(key)), kind(Kind::kBool), b(value) {}
+
+  std::string key;
+  Kind kind;
+  std::string str;
+  uint64_t u64 = 0;
+  double dbl = 0;
+  bool b = false;
+};
+
+// Renders the fields as one JSON object (no trailing newline).
+std::string JsonlLine(const std::vector<JsonlField>& fields);
+
+class JsonlWriter {
+ public:
+  // Opens `path` for writing (truncates). ok() reports whether that worked;
+  // writes on a failed sink are dropped silently.
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter();
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Appends one JSON object line and flushes (the sink is a progress/debug
+  // artifact; losing buffered lines on a crash would defeat it).
+  void Write(const std::vector<JsonlField>& fields);
+
+  uint64_t lines_written() const;
+
+ private:
+  mutable std::mutex mu_;
+  FILE* file_ = nullptr;
+  uint64_t lines_ = 0;
+};
+
+}  // namespace revnic
+
+#endif  // REVNIC_UTIL_JSONL_H_

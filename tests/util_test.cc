@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "util/bits.h"
+#include "util/jsonl.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -71,6 +75,51 @@ TEST(Rng, DeterministicAndBounded) {
     EXPECT_LT(r.Below(10), 10u);
   }
   EXPECT_EQ(r.Below(0), 0u);
+}
+
+TEST(Jsonl, EscapesStringsForJson) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(JsonEscape(std::string("ctl\x01", 4)), "ctl\\u0001");
+}
+
+TEST(Jsonl, RendersTypedFieldsAsOneObject) {
+  std::string line = JsonlLine({{"driver", "rtl8029"},
+                                {"work", uint64_t{12345}},
+                                {"ratio", 0.5},
+                                {"done", true}});
+  EXPECT_EQ(line, "{\"driver\":\"rtl8029\",\"work\":12345,\"ratio\":0.5,\"done\":true}");
+  EXPECT_EQ(JsonlLine({}), "{}");
+  // Non-finite doubles have no JSON literal; they render as null.
+  EXPECT_EQ(JsonlLine({{"bad", 1.0 / 0.0}, {"worse", 0.0 / 0.0}}),
+            "{\"bad\":null,\"worse\":null}");
+}
+
+TEST(Jsonl, WriterAppendsLinesAndCounts) {
+  std::string path = testing::TempDir() + "/jsonl_writer_test.jsonl";
+  {
+    JsonlWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.Write({{"n", uint64_t{1}}});
+    w.Write({{"n", uint64_t{2}}});
+    EXPECT_EQ(w.lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"n\":1}");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"n\":2}");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(Jsonl, FailedSinkDropsWritesSilently) {
+  JsonlWriter w("/nonexistent-dir-revnic/out.jsonl");
+  EXPECT_FALSE(w.ok());
+  w.Write({{"n", uint64_t{1}}});  // must not crash
+  EXPECT_EQ(w.lines_written(), 0u);
 }
 
 }  // namespace
