@@ -12,6 +12,12 @@
 //   --exercise-threads=N   intra-driver parallel exercising (the PR 3
 //                          tentpole): each driver's exercise stage runs on N
 //                          workers. 1 (default) = legacy sequential engine.
+//   --spine-replay         use the PR 3 fan-out strategy (every worker
+//                          replays the spine prefix, O(S^2) spine work)
+//                          instead of the default snapshot handoff (O(S)).
+//                          Byte-identical results either way; with
+//                          REVNIC_PARALLEL_STATS=1 the two runs show the
+//                          spine-work/critical-path difference (perf ledger).
 //   --coverage-log=PATH    stream every coverage sample as JSONL (one object
 //                          per sample, tagged with the driver name); CI
 //                          archives this as an artifact.
@@ -26,9 +32,12 @@
 int main(int argc, char** argv) {
   using namespace revnic;
   unsigned exercise_threads = 1;
+  bool spine_replay = false;
   const char* coverage_log = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (strncmp(argv[i], "--exercise-threads=", 19) == 0) {
+    if (strcmp(argv[i], "--spine-replay") == 0) {
+      spine_replay = true;
+    } else if (strncmp(argv[i], "--exercise-threads=", 19) == 0) {
       exercise_threads = static_cast<unsigned>(atoi(argv[i] + 19));
       if (exercise_threads < 1) {
         // The bench makes machine-independent parity claims, so "auto" (0)
@@ -69,6 +78,7 @@ int main(int argc, char** argv) {
     job.config.pci = drivers::DriverPci(t.id);
     job.config.sample_every = 100;  // fine-grained timeline
     job.config.exercise_threads = exercise_threads;
+    job.config.spine_replay_fanout = spine_replay;
     if (log_sink != nullptr) {
       job.config.on_coverage = core::MakeCoverageJsonlLogger(log_sink.get(), t.name);
     }
@@ -87,8 +97,11 @@ int main(int argc, char** argv) {
   core::BatchResult batch = core::RunBatch(jobs, options);
   double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  printf("(batch: %zu drivers on %u worker threads, exercise-threads=%u, wall %.1fs)\n\n",
-         batch.jobs.size(), batch.concurrency, exercise_threads, wall_s);
+  printf("(batch: %zu drivers on %u worker threads, exercise-threads=%u, handoff=%s, "
+         "wall %.1fs)\n\n",
+         batch.jobs.size(), batch.concurrency, exercise_threads,
+         exercise_threads > 1 ? (spine_replay ? "spine-replay" : "snapshot-restore") : "n/a",
+         wall_s);
 
   printf("%-8s", "minute");
   std::vector<std::vector<double>> curves;

@@ -10,6 +10,7 @@
 #include "isa/isa.h"
 #include "symex/coverage.h"
 #include "symex/executor.h"
+#include "symex/snapshot.h"
 #include "symex/workqueue.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -536,6 +537,297 @@ struct Engine::Impl {
     return s;
   }
 
+  // The executed plan: the script minus disabled IRQ steps.
+  std::vector<Step> BuildPlan() {
+    std::vector<Step> script = BuildScript();
+    std::vector<Step> plan;
+    plan.reserve(script.size());
+    for (Step& step : script) {
+      if (step.is_irq && !config.inject_irqs) {
+        continue;
+      }
+      plan.push_back(std::move(step));
+    }
+    return plan;
+  }
+
+  // ---- chain-state snapshots ("RSS1", symex/snapshot.h) ----
+  //
+  // A chain snapshot is everything a fresh substrate replica needs to resume
+  // the survivor chain at a step boundary *exactly* as if it had replayed the
+  // spine prefix itself: the symex sections (expr DAG, state, memory pages,
+  // scheduler bookkeeping, solver rng/cache/shelf) plus an engine section
+  // with the wiretap counters (state-id/seq cursors), coverage, engine rng,
+  // the warm DBT pc set, and the OS-substrate (WinSim) and shell-device
+  // state. Byte-determinism matters: the final-state snapshot is embedded in
+  // "RCP1" checkpoints, which tests compare bit-for-bit.
+
+  std::vector<uint8_t> SerializeChainSnapshot(const ExecutionState& state) {
+    symex::SnapshotWriter w;
+    symex::WriteStateSections(&w, state);
+    symex::WriteSchedulerSection(&w, pool);
+    symex::WriteSolverSection(&w, solver);
+
+    trace::ByteWriter& e = w.Section(symex::kSectionEngine);
+    e.U64(next_state_id);
+    e.U64(event_seq);
+    e.U64(executor.seq());
+    e.U64(rng.state());
+    const EngineStats& es = stats;
+    for (uint64_t v : {es.work, es.states_created, es.states_killed_polling,
+                       es.states_killed_error, es.entry_completions, es.irqs_injected,
+                       es.api_calls, es.api_skipped}) {
+      e.U64(v);
+    }
+    auto put_u32_set = [&e](const std::set<uint32_t>& s) {
+      e.U32(static_cast<uint32_t>(s.size()));
+      for (uint32_t v : s) {
+        e.U32(v);
+      }
+    };
+    put_u32_set(covered);
+    put_u32_set(apis_used);
+    std::vector<uint32_t> warm_pcs = dbt.CachedPcs();
+    e.U32(static_cast<uint32_t>(warm_pcs.size()));
+    for (uint32_t pc : warm_pcs) {
+      e.U32(pc);
+    }
+    ShellBridge::Counters sc = shell.SnapshotCounters();
+    e.U64(sc.serial);
+    e.U64(sc.reads);
+    e.U64(sc.writes);
+    e.U64(sc.dma_reads);
+    auto put_regions = [&e](const std::vector<std::pair<uint32_t, uint32_t>>& regions) {
+      e.U32(static_cast<uint32_t>(regions.size()));
+      for (const auto& [begin, end] : regions) {
+        e.U32(begin);
+        e.U32(end);
+      }
+    };
+    put_regions(shell.dma().Regions());
+    os::WinSim::Snapshot ws = winsim.SnapshotState();
+    e.U8(ws.registered ? 1 : 0);
+    e.U32(ws.adapter_context);
+    e.U32(ws.heap_next);
+    e.U32(ws.dma_next);
+    e.U32(static_cast<uint32_t>(ws.entries.size()));
+    for (const os::EntryPoint& ep : ws.entries) {
+      e.U8(static_cast<uint8_t>(ep.role));
+      e.U32(ep.pc);
+      e.U32(ep.timer_context);
+    }
+    e.U32(static_cast<uint32_t>(ws.timers.size()));
+    for (const os::Timer& t : ws.timers) {
+      e.U32(t.handler_pc);
+      e.U32(t.context);
+      e.U8(t.pending ? 1 : 0);
+    }
+    e.U32(static_cast<uint32_t>(ws.config.size()));
+    for (const auto& [key, value] : ws.config) {
+      e.U32(key);
+      e.U32(value);
+    }
+    const os::WinSimCounters& wc = ws.counters;
+    for (uint64_t v : {wc.rx_indicated, wc.send_completes, wc.error_logs,
+                       wc.status_indications, wc.stall_micros, wc.bytes_moved}) {
+      e.U64(v);
+    }
+    e.U32(static_cast<uint32_t>(ws.rx_delivered.size()));
+    for (const hw::Frame& f : ws.rx_delivered) {
+      e.U32(static_cast<uint32_t>(f.size()));
+      e.Raw(f.data(), f.size());
+    }
+    e.U32(static_cast<uint32_t>(ws.api_usage.size()));
+    for (const auto& [id, count] : ws.api_usage) {
+      e.U32(id);
+      e.U64(count);
+    }
+    put_regions(ws.dma_regions);
+
+    return w.Finish(ctx);
+  }
+
+  // Restores a chain snapshot into this (freshly constructed) Impl and
+  // returns the survivor state, or nullptr with *error set. Must run before
+  // anything has touched the ExprContext's symbol table.
+  std::unique_ptr<ExecutionState> RestoreChainSnapshot(const std::vector<uint8_t>& bytes,
+                                                       std::string* error) {
+    symex::SnapshotReader reader;
+    if (!reader.Init(bytes, &ctx, error)) {
+      return nullptr;
+    }
+    std::unique_ptr<ExecutionState> state;
+    if (!symex::ReadStateSections(reader, &ctx, &mm, &state, error) ||
+        !symex::ReadSchedulerSection(reader, &pool, error) ||
+        !symex::ReadSolverSection(reader, &solver, error)) {
+      return nullptr;
+    }
+
+    const std::vector<uint8_t>* payload = reader.Section(symex::kSectionEngine);
+    if (payload == nullptr) {
+      *error = "snapshot missing engine section";
+      return nullptr;
+    }
+    trace::ByteReader e(*payload);
+    auto fail = [error](const char* what) {
+      *error = what;
+      return std::unique_ptr<ExecutionState>();
+    };
+    uint64_t executor_seq, rng_state;
+    if (!e.U64(&next_state_id) || !e.U64(&event_seq) || !e.U64(&executor_seq) ||
+        !e.U64(&rng_state)) {
+      return fail("truncated engine counters");
+    }
+    executor.set_seq(executor_seq);
+    rng.set_state(rng_state);
+    for (uint64_t* v : {&stats.work, &stats.states_created, &stats.states_killed_polling,
+                        &stats.states_killed_error, &stats.entry_completions,
+                        &stats.irqs_injected, &stats.api_calls, &stats.api_skipped}) {
+      if (!e.U64(v)) {
+        return fail("truncated engine stats");
+      }
+    }
+    auto get_u32_set = [&e](std::set<uint32_t>* s) {
+      uint32_t n;
+      if (!e.U32(&n) || n > e.remaining() / 4) {
+        return false;
+      }
+      for (uint32_t k = 0; k < n; ++k) {
+        uint32_t v;
+        if (!e.U32(&v)) {
+          return false;
+        }
+        s->insert(v);
+      }
+      return true;
+    };
+    if (!get_u32_set(&covered) || !get_u32_set(&apis_used)) {
+      return fail("truncated coverage sets");
+    }
+    uint32_t n;
+    if (!e.U32(&n) || n > e.remaining() / 4) {
+      return fail("implausible warm-pc count");
+    }
+    for (uint32_t k = 0; k < n; ++k) {
+      uint32_t pc;
+      if (!e.U32(&pc)) {
+        return fail("truncated warm-pc list");
+      }
+      // Pre-warm the translation cache: translation is a pure function of
+      // the immutable image, so this reproduces the replay-path cache state
+      // (and therefore the hit/miss counter deltas) without executing.
+      dbt.Translate(pc);
+    }
+    ShellBridge::Counters sc;
+    if (!e.U64(&sc.serial) || !e.U64(&sc.reads) || !e.U64(&sc.writes) ||
+        !e.U64(&sc.dma_reads)) {
+      return fail("truncated shell counters");
+    }
+    shell.RestoreCounters(sc);
+    auto get_regions = [&e](std::vector<std::pair<uint32_t, uint32_t>>* regions) {
+      uint32_t count;
+      if (!e.U32(&count) || count > e.remaining() / 8) {
+        return false;
+      }
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t begin, end;
+        if (!e.U32(&begin) || !e.U32(&end)) {
+          return false;
+        }
+        regions->emplace_back(begin, end);
+      }
+      return true;
+    };
+    std::vector<std::pair<uint32_t, uint32_t>> shell_regions;
+    if (!get_regions(&shell_regions)) {
+      return fail("truncated shell DMA regions");
+    }
+    shell.dma().Clear();
+    for (const auto& [begin, end] : shell_regions) {
+      shell.dma().Register(begin, end - begin);
+    }
+    os::WinSim::Snapshot ws;
+    uint8_t registered;
+    if (!e.U8(&registered) || !e.U32(&ws.adapter_context) || !e.U32(&ws.heap_next) ||
+        !e.U32(&ws.dma_next)) {
+      return fail("truncated winsim header");
+    }
+    ws.registered = registered != 0;
+    if (!e.U32(&n) || n > e.remaining() / 9) {
+      return fail("implausible entry count");
+    }
+    ws.entries.resize(n);
+    for (os::EntryPoint& ep : ws.entries) {
+      uint8_t role;
+      if (!e.U8(&role) || role > static_cast<uint8_t>(os::EntryRole::kTimer) ||
+          !e.U32(&ep.pc) || !e.U32(&ep.timer_context)) {
+        return fail("bad winsim entry point");
+      }
+      ep.role = static_cast<os::EntryRole>(role);
+    }
+    if (!e.U32(&n) || n > e.remaining() / 9) {
+      return fail("implausible timer count");
+    }
+    ws.timers.resize(n);
+    for (os::Timer& t : ws.timers) {
+      uint8_t pending;
+      if (!e.U32(&t.handler_pc) || !e.U32(&t.context) || !e.U8(&pending)) {
+        return fail("bad winsim timer");
+      }
+      t.pending = pending != 0;
+    }
+    if (!e.U32(&n) || n > e.remaining() / 8) {
+      return fail("implausible config count");
+    }
+    for (uint32_t k = 0; k < n; ++k) {
+      uint32_t key, value;
+      if (!e.U32(&key) || !e.U32(&value)) {
+        return fail("truncated winsim config");
+      }
+      ws.config[key] = value;
+    }
+    for (uint64_t* v : {&ws.counters.rx_indicated, &ws.counters.send_completes,
+                        &ws.counters.error_logs, &ws.counters.status_indications,
+                        &ws.counters.stall_micros, &ws.counters.bytes_moved}) {
+      if (!e.U64(v)) {
+        return fail("truncated winsim counters");
+      }
+    }
+    if (!e.U32(&n) || n > e.remaining() / 4) {
+      return fail("implausible rx frame count");
+    }
+    ws.rx_delivered.resize(n);
+    for (hw::Frame& f : ws.rx_delivered) {
+      uint32_t len;
+      if (!e.U32(&len) || len > e.remaining()) {
+        return fail("bad rx frame length");
+      }
+      f.resize(len);
+      if (!e.Raw(f.data(), len)) {
+        return fail("truncated rx frame");
+      }
+    }
+    if (!e.U32(&n) || n > e.remaining() / 12) {
+      return fail("implausible api-usage count");
+    }
+    for (uint32_t k = 0; k < n; ++k) {
+      uint32_t id;
+      uint64_t count;
+      if (!e.U32(&id) || !e.U64(&count)) {
+        return fail("truncated api usage");
+      }
+      ws.api_usage[id] = count;
+    }
+    if (!get_regions(&ws.dma_regions)) {
+      return fail("truncated winsim DMA regions");
+    }
+    if (e.remaining() != 0) {
+      return fail("trailing bytes in engine section");
+    }
+    winsim.RestoreState(std::move(ws));
+    return state;
+  }
+
   EngineResult Run() {
     StepKnobs knobs = StepKnobs::Of(config);
     return RunScript(knobs, -1, knobs);
@@ -550,17 +842,15 @@ struct Engine::Impl {
   // gating skips re-exploring covered paths, deterministically). The run
   // stops after the full step: a worker task owns exactly one step.
   EngineResult RunScript(const StepKnobs& base, int full_step, const StepKnobs& full) {
-    std::vector<Step> script = BuildScript();
-    std::vector<Step> plan;
-    plan.reserve(script.size());
-    for (Step& step : script) {
-      if (step.is_irq && !config.inject_irqs) {
-        continue;
-      }
-      plan.push_back(std::move(step));
-    }
+    std::vector<Step> plan = BuildPlan();
     auto state = std::make_unique<ExecutionState>(next_state_id++, &ctx, &mm);
     for (size_t idx = 0; idx < plan.size(); ++idx) {
+      if (step_snapshots != nullptr) {
+        // Spine pass under snapshot handoff: capture the chain state right
+        // before each executed step -- exactly what a replica replaying the
+        // prefix would hold at this point (the replay is deterministic).
+        step_snapshots->push_back(SerializeChainSnapshot(*state));
+      }
       bool is_full = full_step >= 0 && idx == static_cast<size_t>(full_step);
       if (is_full) {
         BeginSegment();
@@ -573,6 +863,32 @@ struct Engine::Impl {
       if (stats.work >= config.max_work || cancel_requested) {
         break;
       }
+    }
+    if (full_step < 0 && config.capture_final_snapshot) {
+      final_snapshot_bytes = SerializeChainSnapshot(*state);
+    }
+    timeline.push_back({stats.work, covered.size()});
+    if (config.on_coverage) {
+      config.on_coverage(timeline.back());
+    }
+    return BuildResult();
+  }
+
+  // Fan-out worker body under snapshot handoff: the chain state restored
+  // from the spine's step-k snapshot stands in for the replayed prefix, so
+  // the worker runs *only* its own step (as a segment) and merges exactly
+  // like a replaying worker would -- same marks, same slicing, same final
+  // timeline sample.
+  EngineResult RunSegmentFromSnapshot(size_t step_index,
+                                      std::unique_ptr<ExecutionState> state,
+                                      const StepKnobs& full) {
+    std::vector<Step> plan = BuildPlan();
+    // Mirror RunScript's gating: a run that exhausted its budget (or was
+    // cancelled) before reaching this step never begins the segment.
+    if (step_index < plan.size() && stats.work < config.max_work && !CancelRequested()) {
+      BeginSegment();
+      state = RunStep(plan[step_index], std::move(state), full);
+      ++steps_run;
     }
     timeline.push_back({stats.work, covered.size()});
     if (config.on_coverage) {
@@ -625,6 +941,7 @@ struct Engine::Impl {
     result.call_counts = call_counts;
     result.functions_modeled = stats_functions_modeled;
     result.cancelled = cancel_requested;
+    result.final_snapshot = std::move(final_snapshot_bytes);
     if (segment_begun) {
       SliceSegment(&result);
     }
@@ -690,6 +1007,7 @@ struct Engine::Impl {
     struct Shared {
       std::atomic<bool> cancel{false};
       std::atomic<uint64_t> work{0};
+      std::atomic<uint64_t> restore_failures{0};
       std::mutex observer_mu;
     } shared;
 
@@ -738,12 +1056,29 @@ struct Engine::Impl {
     spine.config = cfg;  // wrapped cancel + coverage hooks for the spine run
     spine.live_coverage = &live;
     spine.global_work = &shared.work;
+    // Snapshot handoff (the default): the spine pass serializes the chain
+    // state before each step, and each fan-out worker *restores* its start
+    // snapshot instead of re-executing the prefix -- total spine work drops
+    // from O(S^2) (every worker replays up to S-1 steps) to O(S) (the spine
+    // runs once). The restored substrate is bit-exact (expr DAG with
+    // interning, solver rng/cache/shelf, scheduler counters, WinSim/shell,
+    // wiretap cursors, warm DBT set), so the merged result is byte-identical
+    // to the replay strategy's -- pinned by tests/snapshot_test.cc.
+    std::vector<std::vector<uint8_t>> snapshots;
+    if (!config.spine_replay_fanout) {
+      spine.step_snapshots = &snapshots;
+    }
     EngineResult merged = spine.RunScript(spine_knobs, -1, spine_knobs);
+    spine.step_snapshots = nullptr;
     const size_t steps_total = spine.steps_run;
 
     struct Segment {
       EngineResult result;
       bool begun = false;
+      // Spine-prefix work this worker re-executed before its own step: the
+      // per-step replay cost under the replay strategy, 0 under snapshot
+      // handoff. Diagnostics only (REVNIC_PARALLEL_STATS).
+      uint64_t replayed_work = 0;
     };
     std::vector<Segment> segments(steps_total);
     if (!merged.cancelled) {
@@ -759,18 +1094,53 @@ struct Engine::Impl {
         pool.emplace_back([&] {
           size_t k;
           while (queue.PopBlocking(&k)) {
-            Impl replica(image, cfg);
-            replica.live_coverage = &live;
-            replica.global_work = &shared.work;
-            // The replica's spine-prefix replay leaves everything steps
-            // 0..k-1 covered in its coverage set, so the no-progress gating
+            // Either way the worker starts step k with the spine coverage of
+            // steps 0..k-1 in its `covered` set, so the no-progress gating
             // skips re-exploring those paths -- the same baseline the
             // sequential engine has at step k. (Seeding the *full* spine
             // coverage instead was measured to cost tail coverage: a step
             // stops before reaching blocks only later steps touch, breaking
             // the +/-0.5% parity bar.)
-            segments[k].result = replica.RunScript(spine_knobs, static_cast<int>(k), full_knobs);
-            segments[k].begun = replica.segment_begun;
+            bool restored = false;
+            if (!config.spine_replay_fanout) {
+              Impl replica(image, cfg);
+              replica.live_coverage = &live;
+              replica.global_work = &shared.work;
+              // Each step's blob is consumed exactly once; moving it out
+              // frees the snapshot as the fan-out progresses instead of
+              // holding all S of them until the last worker finishes.
+              std::vector<uint8_t> snapshot = std::move(snapshots[k]);
+              std::string snap_error;
+              std::unique_ptr<ExecutionState> state =
+                  replica.RestoreChainSnapshot(snapshot, &snap_error);
+              if (state != nullptr) {
+                segments[k].result =
+                    replica.RunSegmentFromSnapshot(k, std::move(state), full_knobs);
+                segments[k].begun = replica.segment_begun;
+                segments[k].replayed_work = 0;
+                restored = true;
+              } else {
+                // In-memory snapshots only fail on a substrate bug; fall back
+                // to the replay strategy (byte-identical output) on a fresh
+                // replica rather than dropping the segment. The counter makes
+                // the fallback assertable -- without it a restore regression
+                // would silently revert the O(S) spine guarantee while every
+                // byte-parity test stays green.
+                shared.restore_failures.fetch_add(1, std::memory_order_relaxed);
+                RLOG_WARN("step %zu snapshot restore failed (%s); replaying prefix",
+                          k, snap_error.c_str());
+              }
+            }
+            if (!restored) {
+              Impl replica(image, cfg);
+              replica.live_coverage = &live;
+              replica.global_work = &shared.work;
+              segments[k].result =
+                  replica.RunScript(spine_knobs, static_cast<int>(k), full_knobs);
+              segments[k].begun = replica.segment_begun;
+              segments[k].replayed_work =
+                  replica.segment_begun ? replica.stats_mark.work : replica.stats.work;
+            }
           }
         });
       }
@@ -845,6 +1215,16 @@ struct Engine::Impl {
       merged.stats += seg.stats;
       merged.solver_stats += seg.solver_stats;
       merged.executor_stats += seg.executor_stats;
+      // Interning warmth is replica-local and depends on the handoff
+      // strategy: a replayed prefix interns every node of its (dead)
+      // exploration, while a restored snapshot carries only the reachable
+      // DAG. Excluding the segments' intern counters keeps the merged
+      // substrate identical across strategies; the spine's interning
+      // represents the run. Solver/DBT counters stay in -- the restore path
+      // reproduces those caches exactly (cache contents / warm pc set).
+      seg.substrate.intern_hits = 0;
+      seg.substrate.intern_misses = 0;
+      seg.substrate.intern_size = 0;
       merged.substrate.Accumulate(seg.substrate);
       for (const auto& [pc, count] : seg.call_counts) {
         merged.call_counts[pc] += count;
@@ -867,6 +1247,7 @@ struct Engine::Impl {
     if (shared.cancel.load(std::memory_order_relaxed)) {
       merged.cancelled = true;
     }
+    merged.snapshot_restore_failures = shared.restore_failures.load(std::memory_order_relaxed);
 
     // The wrapped hooks capture this frame's Shared/live map; put the
     // caller's originals back so nothing in the long-lived Impl dangles
@@ -881,26 +1262,36 @@ struct Engine::Impl {
       user_cov(merged.timeline.back());
     }
     // Operator diagnostics: the per-segment work distribution is what bounds
-    // parallel scaling (wall ~ spine + max segment on enough cores).
+    // parallel scaling (wall ~ spine + max(prefix handoff + segment) on
+    // enough cores). `spine` is the O(S) shared pass; `replayed-prefix` is
+    // the extra per-worker spine work -- O(S^2) total under the replay
+    // strategy, 0 under snapshot handoff, which is exactly the critical-path
+    // reduction this mode buys.
     if (getenv("REVNIC_PARALLEL_STATS") != nullptr) {
+      uint64_t max_chain = 0;  // longest replayed-prefix + segment chain
       uint64_t max_seg = 0;
       uint64_t sum_seg = 0;
+      uint64_t sum_replayed = 0;
       for (const Segment& s : segments) {
         if (!s.begun) {
           continue;  // un-sliced whole-run stats; not part of the merge
         }
         max_seg = std::max(max_seg, s.result.stats.work);
+        max_chain = std::max(max_chain, s.replayed_work + s.result.stats.work);
         sum_seg += s.result.stats.work;
+        sum_replayed += s.replayed_work;
       }
       uint64_t spine_work = merged.stats.work - sum_seg;
+      uint64_t critical = spine_work + max_chain;
       fprintf(stderr,
-              "[parallel-exercise] spine=%llu work, %zu segments (sum=%llu max=%llu), "
-              "critical path=%llu (%.2fx vs serial merge)\n",
-              (unsigned long long)spine_work, segments.size(), (unsigned long long)sum_seg,
-              (unsigned long long)max_seg, (unsigned long long)(spine_work + max_seg),
-              spine_work + max_seg == 0
-                  ? 1.0
-                  : (double)merged.stats.work / (double)(spine_work + max_seg));
+              "[parallel-exercise] mode=%s spine=%llu work, replayed-prefix=%llu, "
+              "%zu segments (sum=%llu max=%llu), critical path=%llu "
+              "(%.2fx vs serial merge)\n",
+              config.spine_replay_fanout ? "spine-replay" : "snapshot-restore",
+              (unsigned long long)spine_work, (unsigned long long)sum_replayed,
+              segments.size(), (unsigned long long)sum_seg, (unsigned long long)max_seg,
+              (unsigned long long)critical,
+              critical == 0 ? 1.0 : (double)merged.stats.work / (double)critical);
     }
     return merged;
   }
@@ -940,6 +1331,11 @@ struct Engine::Impl {
   // Steps actually executed by RunScript (the parallel driver sizes its
   // fan-out from the spine's count).
   size_t steps_run = 0;
+  // When non-null (the spine pass of a snapshot-handoff parallel run),
+  // RunScript serializes the chain state before each executed step.
+  std::vector<std::vector<uint8_t>>* step_snapshots = nullptr;
+  // Final chain snapshot captured by RunScript; moved into the result.
+  std::vector<uint8_t> final_snapshot_bytes;
   // BeginSegment() marks; see SliceSegment().
   bool segment_begun = false;
   size_t mark_block_records = 0;

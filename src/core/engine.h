@@ -81,6 +81,20 @@ struct EngineConfig {
   // by entry step and merged canonically, never by scheduling timing. See
   // src/symex/README.md for the full strategy.
   unsigned exercise_threads = 1;
+  // Fan-out handoff strategy under parallel exercising. false (default): the
+  // spine pass serializes the chain state after each step ("RSS1" snapshots,
+  // src/symex/snapshot.h) and every fan-out worker *restores* its start
+  // snapshot directly -- total spine work is O(S) in the script length. true:
+  // the PR 3 strategy -- every worker re-executes the spine prefix (O(S^2)
+  // total spine work) -- kept as a debugging/validation fallback. Both
+  // strategies produce byte-identical merged results for every thread count
+  // (pinned by tests/snapshot_test.cc).
+  bool spine_replay_fanout = false;
+  // Capture the final chain state as a serialized "RSS1" snapshot in
+  // EngineResult::final_snapshot ("RCP1" checkpoints embed it). Under
+  // parallel exercising the spine's final state is captured (identical for
+  // every thread count and handoff strategy).
+  bool capture_final_snapshot = true;
   // Coverage timeline sampling period (work units).
   uint64_t sample_every = 2048;
   // Streaming observation: invoked at every timeline sample point while the
@@ -158,6 +172,17 @@ struct EngineResult {
   std::set<uint32_t> apis_used;
   // True when EngineConfig::cancel stopped the run before the script ended.
   bool cancelled = false;
+  // Serialized "RSS1" snapshot of the final chain state (empty when
+  // EngineConfig::capture_final_snapshot is off). Deterministic: identical
+  // across thread counts and handoff strategies for a fixed seed.
+  std::vector<uint8_t> final_snapshot;
+  // Fan-out workers that failed to restore their start snapshot and fell
+  // back to replaying the spine prefix. Always 0 in a healthy run (results
+  // stay byte-identical either way, so only this counter and the
+  // REVNIC_PARALLEL_STATS replayed-prefix figure reveal a restore
+  // regression); tests pin it to 0. Runtime diagnostic -- not serialized
+  // into checkpoints.
+  uint64_t snapshot_restore_failures = 0;
 
   double CoveragePercent() const {
     return static_blocks == 0 ? 0.0

@@ -13,7 +13,11 @@ namespace revnic::core {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x31504352;  // "RCP1"
-constexpr uint32_t kCheckpointVersion = 1;
+// Version history: 1 = PR 2 layout; 2 = v1 + optional final-state snapshot
+// section. The loader accepts both (the ROADMAP's version-lock note asked
+// for a backward-compat shim on the next format change).
+constexpr uint32_t kCheckpointVersionV1 = 1;
+constexpr uint32_t kCheckpointVersion = 2;
 
 void PutU32Set(trace::ByteWriter& w, const std::set<uint32_t>& s) {
   w.U32(static_cast<uint32_t>(s.size()));
@@ -181,18 +185,19 @@ bool Session::WriteOutputs(const std::string& dir, std::string* error) {
 // ---- checkpoint format ----
 //
 // "RCP1" | version | label | TraceBundle | entries | coverage | timeline |
-// engine/solver/executor/substrate counters | call counts | apis | flags.
+// engine/solver/executor/substrate counters | call counts | apis | flags
+// | (v2) optional final-state "RSS1" snapshot.
 // Everything the downstream stages and run reports consume; downstream
 // output depends only on the bundle + entry table, so resume reproduces
 // straight-through results byte-for-byte.
 
-std::vector<uint8_t> Session::SaveCheckpoint() const {
+std::vector<uint8_t> Session::SaveCheckpoint(bool legacy_v1) const {
   if (stage_ < Stage::kExercised) {
     return {};  // nothing to checkpoint; LoadCheckpoint rejects the empty blob
   }
   trace::ByteWriter w;
   w.U32(kCheckpointMagic);
-  w.U32(kCheckpointVersion);
+  w.U32(legacy_v1 ? kCheckpointVersionV1 : kCheckpointVersion);
   w.Str(label_);
   trace::SerializeTo(engine_.bundle, &w);
 
@@ -242,6 +247,13 @@ std::vector<uint8_t> Session::SaveCheckpoint() const {
   w.U64(engine_.functions_modeled);
   PutU32Set(w, engine_.apis_used);
   w.U8(engine_.cancelled ? 1 : 0);
+  if (!legacy_v1) {
+    w.U8(engine_.final_snapshot.empty() ? 0 : 1);
+    if (!engine_.final_snapshot.empty()) {
+      w.U32(static_cast<uint32_t>(engine_.final_snapshot.size()));
+      w.Raw(engine_.final_snapshot.data(), engine_.final_snapshot.size());
+    }
+  }
   return w.Take();
 }
 
@@ -256,7 +268,8 @@ std::unique_ptr<Session> Session::LoadCheckpoint(const std::vector<uint8_t>& byt
   if (!r.U32(&magic) || magic != kCheckpointMagic) {
     return fail("bad checkpoint magic");
   }
-  if (!r.U32(&version) || version != kCheckpointVersion) {
+  if (!r.U32(&version) ||
+      (version != kCheckpointVersionV1 && version != kCheckpointVersion)) {
     return fail("unsupported checkpoint version");
   }
   std::unique_ptr<Session> s(new Session());
@@ -343,6 +356,22 @@ std::unique_ptr<Session> Session::LoadCheckpoint(const std::vector<uint8_t>& byt
     return fail("truncated checkpoint tail");
   }
   e.cancelled = cancelled != 0;
+  if (version >= kCheckpointVersion) {
+    uint8_t has_snapshot;
+    if (!r.U8(&has_snapshot)) {
+      return fail("truncated snapshot flag");
+    }
+    if (has_snapshot != 0) {
+      uint32_t size;
+      if (!r.U32(&size) || size != r.remaining()) {
+        return fail("bad snapshot section size");
+      }
+      e.final_snapshot.resize(size);
+      if (!r.Raw(e.final_snapshot.data(), size)) {
+        return fail("truncated snapshot section");
+      }
+    }
+  }
   if (r.remaining() != 0) {
     return fail("trailing bytes after checkpoint");
   }
@@ -512,6 +541,11 @@ std::string ConfigFingerprint(const EngineConfig& c) {
   mix(c.seed);
   mix(c.sample_every);
   mix(c.cancel ? 1 : 0);
+  // Presence of the final-state snapshot changes the checkpoint bytes.
+  // spine_replay_fanout deliberately is NOT mixed: both handoff strategies
+  // produce byte-identical results (tests/snapshot_test.cc), so their
+  // checkpoints are interchangeable.
+  mix(c.capture_final_snapshot ? 1 : 0);
   // Parallel exercising changes the explored tree, so thread settings are
   // output-relevant -- but every count >= 2 produces byte-identical results,
   // so the key only distinguishes sequential from parallel, resolving 0 the

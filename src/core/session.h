@@ -117,7 +117,13 @@ class Session {
   // Before Exercise() there is nothing to checkpoint: SaveCheckpoint()
   // returns an empty blob (which LoadCheckpoint rejects) and
   // SaveCheckpointFile() fails with an error.
-  std::vector<uint8_t> SaveCheckpoint() const;
+  //
+  // Format "RCP1" version 2: version 1 (PR 2) plus an optional trailing
+  // snapshot section carrying the engine's final chain state (the "RSS1"
+  // blob from EngineResult::final_snapshot). The loader accepts both
+  // versions; pass `legacy_v1 = true` to emit the exact version-1 byte
+  // stream (no snapshot section) for consumers pinned to the old format.
+  std::vector<uint8_t> SaveCheckpoint(bool legacy_v1 = false) const;
   bool SaveCheckpointFile(const std::string& path, std::string* error) const;
   // A fresh Session at Stage::kExercised, reconstructed from a checkpoint.
   // Downstream stages produce byte-identical output vs the original session.

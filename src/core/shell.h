@@ -68,6 +68,23 @@ class ShellBridge : public symex::HardwareBridge {
   uint64_t writes() const { return writes_; }
   uint64_t dma_reads() const { return dma_reads_; }
 
+  // ---- snapshot support ----
+  // The serial feeds symbolic-variable names (and therefore sym-id order), so
+  // a restored chain must resume it exactly; the counters ride along.
+  struct Counters {
+    uint64_t serial = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t dma_reads = 0;
+  };
+  Counters SnapshotCounters() const { return {serial_, reads_, writes_, dma_reads_}; }
+  void RestoreCounters(const Counters& c) {
+    serial_ = c.serial;
+    reads_ = c.reads;
+    writes_ = c.writes;
+    dma_reads_ = c.dma_reads;
+  }
+
  private:
   symex::ExprRef FreshSymbol(const char* kind, uint32_t addr, unsigned size) {
     symex::ExprRef s =

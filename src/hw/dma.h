@@ -10,6 +10,7 @@
 #define REVNIC_HW_DMA_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace revnic::hw {
@@ -29,6 +30,17 @@ class DmaTracker {
   }
 
   size_t NumRegions() const { return regions_.size(); }
+
+  // Registration-ordered (begin, end) pairs, for execution-state snapshots;
+  // Restore with Clear() + Register(begin, end - begin) per pair.
+  std::vector<std::pair<uint32_t, uint32_t>> Regions() const {
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    out.reserve(regions_.size());
+    for (const auto& [begin, end] : regions_) {
+      out.emplace_back(begin, end);
+    }
+    return out;
+  }
 
  private:
   struct Region {

@@ -61,6 +61,39 @@ void WinSim::ResetRuntimeState() {
   dma_.Clear();
 }
 
+WinSim::Snapshot WinSim::SnapshotState() const {
+  Snapshot snap;
+  snap.registered = registered_;
+  snap.entries = entries_;
+  snap.adapter_context = adapter_context_;
+  snap.heap_next = heap_next_;
+  snap.dma_next = dma_next_;
+  snap.timers = timers_;
+  snap.config = config_;
+  snap.counters = counters_;
+  snap.rx_delivered = rx_delivered_;
+  snap.api_usage = api_usage_;
+  snap.dma_regions = dma_.Regions();
+  return snap;
+}
+
+void WinSim::RestoreState(Snapshot snap) {
+  registered_ = snap.registered;
+  entries_ = std::move(snap.entries);
+  adapter_context_ = snap.adapter_context;
+  heap_next_ = snap.heap_next;
+  dma_next_ = snap.dma_next;
+  timers_ = std::move(snap.timers);
+  config_ = std::move(snap.config);
+  counters_ = snap.counters;
+  rx_delivered_ = std::move(snap.rx_delivered);
+  api_usage_ = std::move(snap.api_usage);
+  dma_.Clear();
+  for (const auto& [begin, end] : snap.dma_regions) {
+    dma_.Register(begin, end - begin);
+  }
+}
+
 uint32_t WinSim::AllocHeap(uint32_t size) {
   uint32_t addr = (heap_next_ + 15) & ~15u;
   heap_next_ = addr + size;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hw/dma.h"
@@ -123,6 +124,25 @@ class WinSim {
   const std::map<uint32_t, uint64_t>& api_usage() const { return api_usage_; }
 
   void ResetRuntimeState();
+
+  // ---- snapshot support (execution-state snapshots, core/engine.cc) ----
+  // Every field HandleApi can mutate; a restored substrate must carry them
+  // so entry lookups, allocator cursors and timer state resume exactly.
+  struct Snapshot {
+    bool registered = false;
+    std::vector<EntryPoint> entries;
+    uint32_t adapter_context = 0;
+    uint32_t heap_next = kHeapBase;
+    uint32_t dma_next = kDmaBase;
+    std::vector<Timer> timers;
+    std::map<uint32_t, uint32_t> config;
+    WinSimCounters counters;
+    std::vector<hw::Frame> rx_delivered;
+    std::map<uint32_t, uint64_t> api_usage;
+    std::vector<std::pair<uint32_t, uint32_t>> dma_regions;
+  };
+  Snapshot SnapshotState() const;
+  void RestoreState(Snapshot snap);
 
  private:
   uint32_t AllocHeap(uint32_t size);

@@ -105,6 +105,11 @@ class Executor {
 
   const ExecutorStats& stats() const { return stats_; }
 
+  // Wiretap sequence counter, snapshot/restored across parallel-exercise
+  // handoffs so record seq numbers continue exactly where the spine left off.
+  uint64_t seq() const { return seq_; }
+  void set_seq(uint64_t seq) { seq_ = seq; }
+
   // Builds a trace register snapshot (representative values + symbolic mask).
   static trace::RegSnapshot Snapshot(const ExecutionState& state);
 

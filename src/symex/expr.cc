@@ -215,6 +215,44 @@ ExprRef ExprContext::Make(Expr e) {
   return node;
 }
 
+ExprRef ExprContext::RebuildNode(ExprKind kind, uint8_t width, BinOp bin_op, uint32_t value,
+                                 uint32_t sym_id, ExprRef a, ExprRef b, ExprRef c,
+                                 bool interned) {
+  if (kind == ExprKind::kConst) {
+    // Small constants must alias the direct-mapped cache (one serialized id
+    // per shared node); large ones allocate fresh per id, matching how the
+    // source context built them. Const() does both. Stats: Const() counts a
+    // hit/miss -- undo it so rebuilds are stat-neutral like the rest.
+    InternStats before = intern_stats_;
+    ExprRef node = Const(value, width);
+    intern_stats_ = before;
+    return node;
+  }
+  Expr e;
+  e.kind = kind;
+  e.width = width;
+  e.bin_op = bin_op;
+  e.value = value;
+  e.sym_id = sym_id;
+  e.a = std::move(a);
+  e.b = std::move(b);
+  e.c = std::move(c);
+  e.hash = HashExpr(e);
+  uint64_t nodes = 1;
+  for (const ExprRef* op : {&e.a, &e.b, &e.c}) {
+    if (*op) {
+      nodes += (*op)->approx_nodes;
+    }
+  }
+  e.approx_nodes = static_cast<uint32_t>(std::min<uint64_t>(nodes, 0x7FFFFFFF));
+  e.syms = UnionSyms(e);
+  ExprRef node = std::make_shared<Expr>(std::move(e));
+  if (interned) {
+    intern_.insert(node);
+  }
+  return node;
+}
+
 ExprRef ExprContext::Const(uint32_t value, uint8_t width) {
   uint32_t v = value & LowMask(width);
   int wi = WidthIndex(width);

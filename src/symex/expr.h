@@ -180,6 +180,33 @@ class ExprContext {
     return s;
   }
 
+  // ---- snapshot support (symex/snapshot.*) ----
+  // True when `e` is the intern table's representative for its structure
+  // (i.e. the exact pointer is pinned). Constants and syms are never interned.
+  bool IsInterned(const ExprRef& e) const {
+    auto it = intern_.find(e);
+    return it != intern_.end() && it->get() == e.get();
+  }
+  // Installs a snapshot's symbol table into a fresh context (no syms minted
+  // yet); subsequent Sym() calls continue the id sequence where the snapshot
+  // left off. Returns false if the context already has symbols.
+  bool RestoreSymNames(std::vector<std::string> names) {
+    if (!sym_names_.empty()) {
+      return false;
+    }
+    sym_names_ = std::move(names);
+    return true;
+  }
+  // Deserialization back door: reconstructs a node with exactly the given
+  // structure -- no re-simplification, so the restored DAG is bit-for-bit the
+  // serialized one -- finalizing hash/size/symbol-set the same way Make does.
+  // Constants route through Const() so small-constant aliasing is preserved;
+  // `interned` re-pins the node in the intern table ("interning intact":
+  // later structurally-equal builds hit it, exactly as in the source
+  // context). Does not touch intern stats.
+  ExprRef RebuildNode(ExprKind kind, uint8_t width, BinOp bin_op, uint32_t value,
+                      uint32_t sym_id, ExprRef a, ExprRef b, ExprRef c, bool interned);
+
  private:
   // Allocation-free probe key: a stack node with its hash precomputed.
   struct InternKey {

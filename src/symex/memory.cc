@@ -1,8 +1,40 @@
 #include "symex/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace revnic::symex {
+
+std::vector<uint32_t> SymMemory::PrivatePageIndices() const {
+  std::vector<uint32_t> indices;
+  indices.reserve(pages_.size());
+  for (const auto& [index, page] : pages_) {
+    indices.push_back(index);
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+bool SymMemory::SnapshotPage(uint32_t index, const uint8_t** concrete,
+                             std::vector<std::pair<uint16_t, ExprRef>>* symbolic) const {
+  auto it = pages_.find(index);
+  if (it == pages_.end()) {
+    return false;
+  }
+  *concrete = it->second->concrete.data();
+  symbolic->assign(it->second->symbolic.begin(), it->second->symbolic.end());
+  return true;
+}
+
+void SymMemory::InstallPage(uint32_t index, const uint8_t* concrete,
+                            std::vector<std::pair<uint16_t, ExprRef>> symbolic) {
+  auto page = std::make_shared<Page>();
+  std::memcpy(page->concrete.data(), concrete, kPageSize);
+  for (auto& [off, expr] : symbolic) {
+    page->symbolic.emplace(off, std::move(expr));
+  }
+  pages_[index] = std::move(page);
+}
 
 const SymMemory::Page* SymMemory::FindPage(uint32_t addr) const {
   auto it = pages_.find(addr >> kPageShift);

@@ -13,6 +13,8 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "symex/expr.h"
 #include "vm/memmap.h"
@@ -48,6 +50,19 @@ class SymMemory {
   bool IsSymbolic(uint32_t addr, unsigned size) const;
 
   size_t NumPrivatePages() const { return pages_.size(); }
+
+  // ---- snapshot support (symex/snapshot.*) ----
+  // Private (COW) page indices in ascending order -- the deterministic
+  // serialization order.
+  std::vector<uint32_t> PrivatePageIndices() const;
+  // Exposes one private page for serialization: `*concrete` points at its
+  // 4 KiB backing array, `symbolic` receives the overlay sorted by offset.
+  // Returns false when `index` has no private page.
+  bool SnapshotPage(uint32_t index, const uint8_t** concrete,
+                    std::vector<std::pair<uint16_t, ExprRef>>* symbolic) const;
+  // Installs a page wholesale (restore path); replaces any existing page.
+  void InstallPage(uint32_t index, const uint8_t* concrete,
+                   std::vector<std::pair<uint16_t, ExprRef>> symbolic);
 
  private:
   struct Page {

@@ -67,6 +67,19 @@ class StatePool {
 
   uint64_t total_culled() const { return total_culled_; }
 
+  // ---- snapshot support (symex/snapshot.*) ----
+  // The global block execution counters persist across script steps (the
+  // paper's primary selection heuristic reads them), so a restored chain
+  // state must carry them or step-k selection order diverges from a replay.
+  const std::map<uint32_t, uint64_t>& block_counts() const { return block_counts_; }
+  uint64_t rng_state() const { return rng_.state(); }
+  void RestoreBookkeeping(std::map<uint32_t, uint64_t> block_counts, uint64_t rng_state,
+                          uint64_t total_culled) {
+    block_counts_ = std::move(block_counts);
+    rng_.set_state(rng_state);
+    total_culled_ = total_culled;
+  }
+
  private:
   Options options_;
   Rng rng_;

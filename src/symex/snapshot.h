@@ -1,0 +1,132 @@
+// Serializable execution-state snapshots: the versioned "RSS1" format.
+//
+// A snapshot captures a full symbolic execution chain -- the interned
+// expression DAG (topological, hash-cons-aware), an ExecutionState (registers,
+// ConstraintSet spine, model, visit counts), the COW symbolic-memory pages,
+// scheduler bookkeeping, and the solver's observable state (rng stream, query
+// cache, model shelf) -- as one self-describing byte blob, so another
+// substrate can resume the chain *exactly* instead of re-executing the work
+// that produced it. This is what converts the parallel exerciser's O(S^2)
+// spine-prefix replay into an O(S) snapshot handoff (core/engine.cc), and
+// what "RCP1" checkpoints embed so a run's final chain state survives the
+// process.
+//
+// Determinism contract: serializing the same state twice yields identical
+// bytes (every unordered container is emitted in a sorted or
+// insertion-defined order), and deserializing into a fresh ExprContext
+// rebuilds a DAG that is *pointer-isomorphic* to the serialized one -- node
+// identity is preserved (one serialized id per shared node, small constants
+// re-aliased through the context's cache) and interned nodes are re-pinned in
+// the new context's table, so later structurally-equal builds hit the table
+// exactly as they would have in the source context. See
+// src/symex/README.md ("RSS1 snapshot format") for the full argument.
+//
+// Layout ("RSS1" | version | sym table | expr DAG | tagged sections):
+//
+//   u32 magic "RSS1"        u32 version (1)
+//   u32 n_syms, n_syms x Str            symbolic-variable names, id order
+//   u32 n_nodes, n_nodes x node record  topological (children first):
+//       u8 kind | u8 width | u8 bin_op | u8 flags(bit0=interned)
+//       u32 value | u32 sym_id | u32 a | u32 b | u32 c
+//       (operand refs are id+1; 0 = null; a child's id is always smaller)
+//   u32 n_sections, n_sections x { u32 tag | u32 length | payload }
+//
+// Section payloads reference DAG nodes by the same id+1 scheme. The symex
+// layer defines the STAT/MEM0/SCHD/SOLV sections; the engine appends its own
+// (core/engine.cc) through the generic Section() API. Readers reject
+// malformed input -- truncation, bad magic/version, out-of-range enums,
+// forward/out-of-bounds node refs, implausible counts -- with an error
+// string, never UB (tests/robustness_test.cc sweeps corrupted blobs under
+// ASan/UBSan).
+#ifndef REVNIC_SYMEX_SNAPSHOT_H_
+#define REVNIC_SYMEX_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "symex/scheduler.h"
+#include "symex/solver.h"
+#include "symex/state.h"
+#include "trace/serialize.h"
+
+namespace revnic::symex {
+
+inline constexpr uint32_t kSnapshotMagic = 0x31535352;  // "RSS1" little-endian
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+// Section tags (ascii, little-endian u32).
+inline constexpr uint32_t kSectionState = 0x54415453;      // "STAT"
+inline constexpr uint32_t kSectionMemory = 0x304D454D;     // "MEM0"
+inline constexpr uint32_t kSectionScheduler = 0x44484353;  // "SCHD"
+inline constexpr uint32_t kSectionSolver = 0x564C4F53;     // "SOLV"
+inline constexpr uint32_t kSectionEngine = 0x4E474E45;     // "ENGN"
+
+// Builds one snapshot blob. Usage: encode roots / fill sections in any order
+// (sections are emitted in first-use order), then Finish() against the
+// context that owns the expressions.
+class SnapshotWriter {
+ public:
+  // Registers the DAG reachable from `e` (children before parents, each
+  // shared node once -- by pointer identity, so distinct-but-equal nodes keep
+  // their distinctness) and returns e's operand reference (id+1; 0 for null).
+  uint32_t Encode(const ExprRef& e);
+
+  // The payload writer for `tag`, created on first use.
+  trace::ByteWriter& Section(uint32_t tag);
+
+  // Assembles header + sym table (from `ctx`) + DAG + sections.
+  std::vector<uint8_t> Finish(const ExprContext& ctx);
+
+ private:
+  std::vector<ExprRef> nodes_;                     // id order
+  std::unordered_map<const Expr*, uint32_t> ids_;  // node -> id
+  std::vector<std::pair<uint32_t, trace::ByteWriter>> sections_;
+};
+
+// Parses a snapshot blob: header + sym table (installed into `ctx`, which
+// must be fresh) + DAG (rebuilt into `ctx`). Section payloads are exposed as
+// byte ranges for the owner of each tag to decode.
+class SnapshotReader {
+ public:
+  // False (with *error set) on any malformed input.
+  bool Init(const std::vector<uint8_t>& bytes, ExprContext* ctx, std::string* error);
+
+  // Resolves an operand reference from a section payload. False on an
+  // out-of-range id; `*out` is null for ref 0.
+  bool Decode(uint32_t ref, ExprRef* out) const;
+
+  // Section payload bytes, or nullptr when the snapshot has no such section.
+  const std::vector<uint8_t>* Section(uint32_t tag) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  std::vector<ExprRef> nodes_;
+  std::map<uint32_t, std::vector<uint8_t>> sections_;
+};
+
+// ---- canonical symex sections ----
+
+// STAT + MEM0: the execution state proper (fields + COW pages).
+void WriteStateSections(SnapshotWriter* w, const ExecutionState& state);
+// Rebuilds the state against `ctx` (already holding the snapshot DAG) and
+// `base_ram` (the substrate's pristine RAM snapshot, engine-provided).
+bool ReadStateSections(const SnapshotReader& r, ExprContext* ctx,
+                       const vm::MemoryMap* base_ram,
+                       std::unique_ptr<ExecutionState>* state, std::string* error);
+
+// SCHD: StatePool bookkeeping (block execution counters, rng, cull count).
+void WriteSchedulerSection(SnapshotWriter* w, const StatePool& pool);
+bool ReadSchedulerSection(const SnapshotReader& r, StatePool* pool, std::string* error);
+
+// SOLV: solver rng + query cache + model shelf (Solver::SerializeTo).
+void WriteSolverSection(SnapshotWriter* w, const Solver& solver);
+bool ReadSolverSection(const SnapshotReader& r, Solver* solver, std::string* error);
+
+}  // namespace revnic::symex
+
+#endif  // REVNIC_SYMEX_SNAPSHOT_H_

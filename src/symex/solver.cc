@@ -687,6 +687,122 @@ Verdict Solver::Search(const std::vector<ExprRef>& constraints, Model seed, Mode
   return Verdict::kUnknown;
 }
 
+namespace {
+
+void PutModel(trace::ByteWriter* w, const Model& model) {
+  w->U32(static_cast<uint32_t>(model.size()));
+  for (const auto& [sym, value] : model) {
+    w->U32(sym);
+    w->U32(value);
+  }
+}
+
+bool GetModel(trace::ByteReader* r, Model* model) {
+  uint32_t n;
+  if (!r->U32(&n) || n > r->remaining() / 8) {  // 8 bytes per entry
+    return false;
+  }
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t sym, value;
+    if (!r->U32(&sym) || !r->U32(&value)) {
+      return false;
+    }
+    (*model)[sym] = value;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Solver::SerializeTo(trace::ByteWriter* w,
+                         const std::function<uint32_t(const ExprRef&)>& encode) const {
+  w->U64(rng_.state());
+  // Deterministic order: the cache is an unordered_map, so sort by key. Two
+  // live entries never share a fingerprint (it is the map key).
+  std::vector<uint64_t> fps;
+  fps.reserve(cache_.size());
+  for (const auto& [fp, entry] : cache_) {
+    fps.push_back(fp);
+  }
+  std::sort(fps.begin(), fps.end());
+  w->U32(static_cast<uint32_t>(fps.size()));
+  for (uint64_t fp : fps) {
+    const CacheEntry& entry = cache_.at(fp);
+    w->U32(static_cast<uint32_t>(entry.constraints.size()));
+    for (const ExprRef& c : entry.constraints) {
+      w->U32(encode(c));
+    }
+    w->U8(static_cast<uint8_t>(entry.verdict));
+    PutModel(w, entry.model);
+  }
+  w->U32(static_cast<uint32_t>(shelf_.size()));
+  for (const Model& m : shelf_) {
+    PutModel(w, m);
+  }
+}
+
+bool Solver::DeserializeFrom(trace::ByteReader* r,
+                             const std::function<bool(uint32_t, ExprRef*)>& decode,
+                             std::string* error) {
+  auto fail = [error](const char* what) {
+    *error = what;
+    return false;
+  };
+  uint64_t rng_state;
+  if (!r->U64(&rng_state)) {
+    return fail("truncated solver rng state");
+  }
+  uint32_t n_entries;
+  if (!r->U32(&n_entries) || n_entries > r->remaining() / 9) {  // >=9 bytes/entry
+    return fail("implausible solver cache count");
+  }
+  std::unordered_map<uint64_t, CacheEntry> cache;
+  for (uint32_t k = 0; k < n_entries; ++k) {
+    uint32_t nc;
+    if (!r->U32(&nc) || nc > r->remaining() / 4) {
+      return fail("implausible solver cache entry size");
+    }
+    CacheEntry entry;
+    entry.constraints.reserve(nc);
+    for (uint32_t i = 0; i < nc; ++i) {
+      uint32_t id;
+      ExprRef c;
+      if (!r->U32(&id) || !decode(id, &c) || !c) {
+        return fail("bad expr id in solver cache");
+      }
+      entry.constraints.push_back(std::move(c));
+    }
+    uint8_t verdict;
+    if (!r->U8(&verdict) || verdict > static_cast<uint8_t>(Verdict::kUnknown)) {
+      return fail("bad solver cache verdict");
+    }
+    entry.verdict = static_cast<Verdict>(verdict);
+    if (!GetModel(r, &entry.model)) {
+      return fail("truncated solver cache model");
+    }
+    // The entry's canonical order was preserved verbatim, so the recomputed
+    // fingerprint (over structural node hashes) matches the source solver's.
+    uint64_t fp = Fingerprint(entry.constraints);
+    cache[fp] = std::move(entry);
+  }
+  uint32_t n_shelf;
+  if (!r->U32(&n_shelf) || n_shelf > r->remaining() / 4) {
+    return fail("implausible solver shelf count");
+  }
+  std::deque<Model> shelf;
+  for (uint32_t k = 0; k < n_shelf; ++k) {
+    Model m;
+    if (!GetModel(r, &m)) {
+      return fail("truncated solver shelf model");
+    }
+    shelf.push_back(std::move(m));
+  }
+  rng_.set_state(rng_state);
+  cache_ = std::move(cache);
+  shelf_ = std::move(shelf);
+  return true;
+}
+
 Verdict Solver::MayBeTrue(ConstraintView constraints, const ExprRef& cond, Model* model,
                           const Model* hint) {
   if (cond->IsConst()) {

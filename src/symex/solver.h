@@ -36,10 +36,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "symex/expr.h"
+#include "trace/serialize.h"
 #include "util/rng.h"
 
 namespace revnic::symex {
@@ -123,6 +125,27 @@ class Solver {
 
   const SolverStats& stats() const { return stats_; }
   size_t cache_size() const { return cache_.size(); }
+
+  // ---- snapshot support (symex/snapshot.*) ----
+  // The solver is stateful in three observable ways: the search rng stream,
+  // the query cache (a hit replays the model found when the entry was first
+  // solved), and the model shelf. A restored execution chain must carry all
+  // three or step-level re-exploration diverges from a straight-line run
+  // (different representative models => different concretized values).
+  uint64_t rng_state() const { return rng_.state(); }
+  void set_rng_state(uint64_t state) { rng_.set_state(state); }
+  // Serializes rng + cache + shelf. `encode` maps an expression to its
+  // snapshot DAG id. Cache entries are written sorted by fingerprint so the
+  // byte stream is deterministic.
+  void SerializeTo(trace::ByteWriter* w,
+                   const std::function<uint32_t(const ExprRef&)>& encode) const;
+  // Restores rng + cache + shelf into this solver (cache/shelf replaced).
+  // `decode` maps a snapshot DAG id back to an expression, returning false on
+  // an invalid id. Fingerprints are recomputed from the rebuilt nodes (hashes
+  // are structural, so they match the source context's).
+  bool DeserializeFrom(trace::ByteReader* r,
+                       const std::function<bool(uint32_t, ExprRef*)>& decode,
+                       std::string* error);
 
  private:
   struct CacheEntry {

@@ -100,6 +100,18 @@ class ExecutionState {
   int entry_index() const { return entry_index_; }
   void set_entry_index(int i) { entry_index_ = i; }
 
+  // ---- snapshot support (symex/snapshot.*) ----
+  // Raw field access used by the serializer/deserializer; restore setters
+  // bypass the semantic paths (AddConstraint dedup, Kill status coupling) so
+  // a restored state is bit-for-bit the serialized one.
+  const std::map<uint32_t, uint32_t>& visits() const { return visits_; }
+  void RestoreVisit(uint32_t pc, uint32_t count) { visits_[pc] = count; }
+  void RestoreConstraint(ExprRef c) { constraints_.Add(std::move(c)); }
+  void set_status(StateStatus s) { status_ = s; }
+  void set_kill_reason(std::string reason) { kill_reason_ = std::move(reason); }
+  void set_blocks_executed(uint64_t n) { blocks_executed_ = n; }
+  void set_call_depth(int depth) { call_depth_ = depth; }
+
  private:
   ExecutionState(const ExecutionState& other, uint64_t new_id)
       : id_(new_id),

@@ -6,6 +6,7 @@
 #define REVNIC_TRACE_SERIALIZE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,13 @@ class ByteWriter {
     U32(static_cast<uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
+  // Unframed bytes (fixed-size payloads like memory pages); the reader must
+  // know the length from context.
+  void Raw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  size_t size() const { return buf_.size(); }
   std::vector<uint8_t> Take() { return std::move(buf_); }
 
  private:
@@ -71,6 +79,20 @@ class ByteReader {
       return false;
     }
     s->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool Raw(void* out, size_t n) {
+    // n == 0 must not reach memcpy: callers pass empty buffers as
+    // (nullptr, 0) (e.g. a zero-length section payload's vector::data()),
+    // and memcpy's pointer arguments may never be null (UB).
+    if (n == 0) {
+      return true;
+    }
+    if (pos_ + n > buf_.size() || pos_ + n < pos_) {
+      return false;
+    }
+    std::memcpy(out, buf_.data() + pos_, n);
     pos_ += n;
     return true;
   }

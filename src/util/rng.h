@@ -31,6 +31,11 @@ class Rng {
 
   double NextDouble() { return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0); }
 
+  // Raw generator state, for execution-state snapshots: restoring the state
+  // resumes the exact stream (splitmix64 is a pure function of it).
+  uint64_t state() const { return state_; }
+  void set_state(uint64_t state) { state_ = state; }
+
  private:
   uint64_t state_;
 };

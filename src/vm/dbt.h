@@ -12,9 +12,11 @@
 #ifndef REVNIC_VM_DBT_H_
 #define REVNIC_VM_DBT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "ir/ir.h"
 #include "isa/isa.h"
@@ -51,6 +53,18 @@ class Dbt {
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
   void FlushCache() { cache_.clear(); }
+  // Cached pcs in ascending order. Execution-state snapshots record them so
+  // a restored substrate can pre-warm its cache (translation is a pure
+  // function of the immutable image, so only the counters need the warmth).
+  std::vector<uint32_t> CachedPcs() const {
+    std::vector<uint32_t> pcs;
+    pcs.reserve(cache_.size());
+    for (const auto& [pc, block] : cache_) {
+      pcs.push_back(pc);
+    }
+    std::sort(pcs.begin(), pcs.end());
+    return pcs;
+  }
 
  private:
   const CodeFetcher* fetcher_;

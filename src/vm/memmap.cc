@@ -66,13 +66,18 @@ void MemoryMap::WriteRam(uint32_t addr, unsigned size, uint32_t value) {
 }
 
 void MemoryMap::WriteRamBytes(uint32_t addr, const uint8_t* data, size_t len) {
-  if (addr + len > ram_.size() || addr + len < addr) {
+  // len == 0 must return before the memcpy: callers pass empty segments as
+  // (nullptr, 0), and memcpy's pointer arguments may never be null (UB).
+  if (len == 0 || addr + len > ram_.size() || addr + len < addr) {
     return;
   }
   std::memcpy(ram_.data() + addr, data, len);
 }
 
 void MemoryMap::ReadRamBytes(uint32_t addr, uint8_t* out, size_t len) const {
+  if (len == 0) {
+    return;
+  }
   if (addr + len > ram_.size() || addr + len < addr) {
     std::memset(out, 0, len);
     return;

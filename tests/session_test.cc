@@ -193,10 +193,16 @@ TEST(Session, LoadCheckpointRejectsCorruption) {
   }
   std::vector<uint8_t> garbage(64, 0xAB);
   EXPECT_EQ(core::Session::LoadCheckpoint(garbage, &err), nullptr);
-  // Trailing bytes after a well-formed checkpoint are rejected too.
+  // Trailing bytes after a well-formed checkpoint are rejected too. (In the
+  // v2 layout the trailing snapshot section declares its exact size, so the
+  // padding trips the size check; a v1 blob hits the generic trailing check.)
   std::vector<uint8_t> padded = bytes;
   padded.push_back(0x00);
   EXPECT_EQ(core::Session::LoadCheckpoint(padded, &err), nullptr);
+  EXPECT_EQ(err, "bad snapshot section size");
+  std::vector<uint8_t> padded_v1 = s.SaveCheckpoint(/*legacy_v1=*/true);
+  padded_v1.push_back(0x00);
+  EXPECT_EQ(core::Session::LoadCheckpoint(padded_v1, &err), nullptr);
   EXPECT_EQ(err, "trailing bytes after checkpoint");
 }
 

@@ -1,0 +1,183 @@
+// Snapshot-handoff parallel exercising (PR 4 tentpole): the spine pass
+// serializes the chain state after each step ("RSS1" blobs) and fan-out
+// workers restore their start snapshot instead of replaying the spine
+// prefix. These tests pin the headline guarantee -- the merged result is
+// byte-identical (down to the "RCP1" checkpoint blob) across thread counts,
+// across the snapshot-restore and spine-replay strategies, and in lockstep
+// with the sequential engine's synthesized output -- plus the "RCP1" v2
+// embedded-snapshot round trip and the v1 backward-compat path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/session.h"
+#include "drivers/drivers.h"
+#include "symex/snapshot.h"
+
+namespace revnic {
+namespace {
+
+using drivers::DriverId;
+
+constexpr DriverId kAllDrivers[] = {DriverId::kRtl8029, DriverId::kRtl8139,
+                                    DriverId::kPcnet, DriverId::kSmc91c111};
+
+core::EngineConfig SmallConfig(DriverId id, uint64_t max_work = 48'000) {
+  core::EngineConfig cfg;
+  cfg.pci = drivers::DriverPci(id);
+  cfg.max_work = max_work;
+  cfg.max_work_per_step = max_work / 6;
+  return cfg;
+}
+
+// Full checkpoint blob (bundle + coverage + every counter + final snapshot):
+// byte-comparing two blobs compares two runs' complete observable output.
+std::vector<uint8_t> ExerciseBlob(DriverId id, unsigned threads, bool spine_replay) {
+  core::EngineConfig cfg = SmallConfig(id);
+  cfg.exercise_threads = threads;
+  cfg.spine_replay_fanout = spine_replay;
+  core::Session s(drivers::DriverImage(id), cfg);
+  EXPECT_TRUE(s.Exercise());
+  return s.SaveCheckpoint();
+}
+
+// ---- the acceptance criterion: snapshot-restore == spine-replay ==
+// thread-count independent, pinned to the checkpoint byte, on all four
+// drivers ----
+
+TEST(SnapshotHandoff, ByteIdenticalToSpineReplayOnAllDrivers) {
+  for (DriverId id : kAllDrivers) {
+    std::vector<uint8_t> restore2 = ExerciseBlob(id, 2, /*spine_replay=*/false);
+    std::vector<uint8_t> restore4 = ExerciseBlob(id, 4, /*spine_replay=*/false);
+    std::vector<uint8_t> replay4 = ExerciseBlob(id, 4, /*spine_replay=*/true);
+    ASSERT_FALSE(restore2.empty()) << drivers::DriverName(id);
+    // Thread-count independence under snapshot handoff.
+    EXPECT_EQ(restore2, restore4) << drivers::DriverName(id);
+    // Strategy independence: a restored snapshot is bit-exact with a
+    // replayed prefix, so the merged results cannot differ.
+    EXPECT_EQ(restore4, replay4) << drivers::DriverName(id);
+  }
+}
+
+TEST(SnapshotHandoff, DownstreamSynthesisMatchesSequential) {
+  // Completes the all-four-driver sequential-parity matrix:
+  // tests/parallel_exercise_test.cc covers rtl8029 + smc91c111 (with the
+  // default, snapshot-restore strategy); this covers the other two.
+  for (DriverId id : {DriverId::kRtl8139, DriverId::kPcnet}) {
+    core::Session seq(drivers::DriverImage(id), SmallConfig(id));
+    ASSERT_TRUE(seq.Synthesize());
+
+    core::EngineConfig par_cfg = SmallConfig(id);
+    par_cfg.exercise_threads = 4;
+    core::Session par(drivers::DriverImage(id), par_cfg);
+    ASSERT_TRUE(par.Synthesize());
+
+    EXPECT_NEAR(par.engine().CoveragePercent(), seq.engine().CoveragePercent(), 0.5)
+        << drivers::DriverName(id);
+    EXPECT_EQ(par.c_source(), seq.c_source()) << drivers::DriverName(id);
+    // Every worker must have restored its snapshot: a silent fallback to
+    // prefix replay keeps all byte-parity green while reverting the O(S)
+    // spine guarantee, so the fallback counter is pinned to zero.
+    EXPECT_EQ(par.engine().snapshot_restore_failures, 0u) << drivers::DriverName(id);
+  }
+}
+
+// ---- "RCP1" v2: embedded final-state snapshot ----
+
+TEST(SnapshotHandoff, CheckpointCarriesRestorableFinalSnapshot) {
+  core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029, 20'000);
+  core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
+  ASSERT_TRUE(s.Exercise());
+  ASSERT_FALSE(s.engine().final_snapshot.empty());
+
+  // Round trip: the v2 checkpoint carries the snapshot bytes verbatim, and a
+  // re-saved checkpoint is byte-identical.
+  std::vector<uint8_t> blob = s.SaveCheckpoint();
+  std::string error;
+  std::unique_ptr<core::Session> resumed = core::Session::LoadCheckpoint(blob, &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_EQ(resumed->engine().final_snapshot, s.engine().final_snapshot);
+  EXPECT_EQ(resumed->SaveCheckpoint(), blob);
+
+  // The embedded blob is a well-formed "RSS1" snapshot: the symex-level
+  // reader rebuilds the final chain state into a fresh context.
+  symex::ExprContext ctx;
+  symex::SnapshotReader reader;
+  ASSERT_TRUE(reader.Init(s.engine().final_snapshot, &ctx, &error)) << error;
+  vm::MemoryMap blank(os::kGuestRamSize);
+  std::unique_ptr<symex::ExecutionState> state;
+  ASSERT_TRUE(symex::ReadStateSections(reader, &ctx, &blank, &state, &error)) << error;
+  ASSERT_NE(state, nullptr);
+  symex::StatePool pool;
+  symex::Solver solver;
+  EXPECT_TRUE(symex::ReadSchedulerSection(reader, &pool, &error)) << error;
+  EXPECT_TRUE(symex::ReadSolverSection(reader, &solver, &error)) << error;
+}
+
+TEST(SnapshotHandoff, LegacyV1CheckpointsStillLoad) {
+  core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029, 20'000);
+  core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
+  ASSERT_TRUE(s.Exercise());
+  ASSERT_TRUE(s.Emit());
+
+  // The v1 writer emits the exact PR 2 layout (no snapshot section); the v2
+  // reader accepts it and downstream output is unchanged.
+  std::vector<uint8_t> v1 = s.SaveCheckpoint(/*legacy_v1=*/true);
+  std::vector<uint8_t> v2 = s.SaveCheckpoint();
+  EXPECT_LT(v1.size(), v2.size());
+  std::string error;
+  std::unique_ptr<core::Session> resumed = core::Session::LoadCheckpoint(v1, &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_TRUE(resumed->engine().final_snapshot.empty());
+  ASSERT_TRUE(resumed->Emit());
+  EXPECT_EQ(resumed->c_source(), s.c_source());
+}
+
+TEST(SnapshotHandoff, DisablingCaptureYieldsSnapshotFreeCheckpoint) {
+  core::EngineConfig cfg = SmallConfig(DriverId::kSmc91c111, 20'000);
+  cfg.capture_final_snapshot = false;
+  core::Session s(drivers::DriverImage(DriverId::kSmc91c111), cfg);
+  ASSERT_TRUE(s.Exercise());
+  EXPECT_TRUE(s.engine().final_snapshot.empty());
+  std::string error;
+  std::unique_ptr<core::Session> resumed =
+      core::Session::LoadCheckpoint(s.SaveCheckpoint(), &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_TRUE(resumed->engine().final_snapshot.empty());
+}
+
+// ---- mid-run coverage samples are monitoring-only ----
+
+TEST(SnapshotHandoff, AssertOnlyOnFinalMergedCoverage) {
+  // Regression guard: under parallel exercising, mid-run on_coverage sample
+  // *timing* is schedule-dependent (workers race to the sampling points;
+  // values come from atomic reads of the shared map). Only the final sample
+  // and the result timeline are canonical -- see ROADMAP.md "PR 3
+  // follow-ups" -- so tests must never compare mid-run samples across runs.
+  // This test intentionally asserts on the final sample alone.
+  core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
+  cfg.exercise_threads = 4;
+  cfg.sample_every = 512;
+  core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
+  std::vector<core::CoverageSample> samples;
+  core::SessionObserver obs;
+  obs.on_coverage = [&samples](const core::CoverageSample& sample) {
+    samples.push_back(sample);
+  };
+  s.set_observer(obs);
+  ASSERT_TRUE(s.Exercise());
+  EXPECT_EQ(s.engine().snapshot_restore_failures, 0u);
+  ASSERT_FALSE(samples.empty());
+  // The final sample is canonical: it reports the fully merged picture.
+  EXPECT_EQ(samples.back().covered_blocks, s.engine().covered_blocks.size());
+  EXPECT_EQ(samples.back().work, s.engine().stats.work);
+  // The result timeline (not the streamed samples) is the deterministic
+  // record; its tail agrees with the merged result by construction.
+  const auto& tl = s.engine().timeline;
+  ASSERT_FALSE(tl.empty());
+  EXPECT_EQ(tl.back().covered_blocks, s.engine().covered_blocks.size());
+}
+
+}  // namespace
+}  // namespace revnic
