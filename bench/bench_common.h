@@ -17,14 +17,23 @@ namespace revnic::bench {
 // checkpoint and re-runs only the cheap downstream stages. Deterministic, so
 // repeated calls agree. Bind the result to a const reference:
 //   const core::PipelineResult& pr = bench::Pipeline(id);
-inline core::PipelineResult Pipeline(drivers::DriverId id, uint64_t max_work = 250'000) {
+// The EmitOptions overload re-runs the downstream pass pipeline + backends
+// with the given settings against the same cached exercise checkpoint
+// (e.g. fig9's cleanup-off baseline, table3's per-target emissions).
+inline core::PipelineResult Pipeline(drivers::DriverId id, uint64_t max_work,
+                                     const core::EmitOptions& emit) {
   core::EngineConfig cfg;
   cfg.pci = drivers::DriverPci(id);
   cfg.max_work = max_work;
   std::string key = std::string(drivers::DriverName(id)) + "@" + std::to_string(max_work);
   auto session = core::CheckpointStore::Global().Resume(key, drivers::DriverImage(id), cfg);
+  session->set_emit_options(emit);
   session->RunAll();
   return session->TakeResult();
+}
+
+inline core::PipelineResult Pipeline(drivers::DriverId id, uint64_t max_work = 250'000) {
+  return Pipeline(id, max_work, core::EmitOptions());
 }
 
 // Registry-driven device enumeration for the figure/table loops (no

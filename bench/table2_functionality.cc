@@ -5,6 +5,7 @@
 // worked exactly as with the original driver.
 #include "bench/bench_common.h"
 #include "os/recovered_host.h"
+#include "synth/emit.h"
 
 namespace {
 
@@ -116,5 +117,25 @@ int main() {
            r.result[2].c_str(), r.result[3].c_str());
   }
   printf("\n(X = functionality verified on the synthesized driver; matches Table 2.)\n");
+
+  // Measured per-target emissions for the paper's porting matrix (§5.1):
+  // the artifacts a developer would actually paste into each OS.
+  printf("\nEmitted driver_<target>.c per ported pair (bytes, template + synthesized):\n");
+  for (int d = 0; d < 4; ++d) {
+    DriverId id = order[d];
+    core::EmitOptions emit;
+    emit.targets = id == DriverId::kSmc91c111
+                       ? std::vector<TargetOs>{TargetOs::kUcos, TargetOs::kKitos}
+                       : std::vector<TargetOs>{TargetOs::kWindows, TargetOs::kLinux,
+                                               TargetOs::kKitos};
+    const core::PipelineResult& pr = bench::Pipeline(id, 250'000, emit);
+    printf("  %-10s", drivers::DriverName(id));
+    for (TargetOs target : emit.targets) {
+      const synth::EmissionStats& es = pr.emission_stats.at(target);
+      printf(" %s=%zu (%zu+%zu)", os::TargetOsName(target),
+             es.template_bytes + es.core_bytes, es.template_bytes, es.core_bytes);
+    }
+    printf("\n");
+  }
   return 0;
 }

@@ -1,31 +1,47 @@
 // Table 3: time to write a driver template per target OS.
 // Human effort cannot be simulated; the paper's person-day numbers are
-// reported alongside a measured proxy: the size of this reproduction's
-// template implementation per OS profile.
+// reported alongside *measured* proxies from the emission backends: the
+// per-target template share of the emitted artifact (prologue + glue
+// bytes around the identical synthesized core), on the RTL8139 -- the
+// driver the paper ports to the most targets.
 #include "bench/bench_common.h"
 #include "os/recovered_host.h"
+#include "synth/emit.h"
 
 int main() {
   using namespace revnic;
   bench::PrintHeader("Table 3: time to write a driver template", "Table 3");
 
   struct Row {
-    const char* target;
+    os::TargetOs target;
+    const char* label;
     int paper_person_days;
     const char* notes;
   };
   const Row rows[] = {
-      {"Windows", 5, "full NDIS boilerplate (most complex kernel interface)"},
-      {"Linux", 3, "net_device glue, derived from the generic template"},
-      {"uC/OS-II", 1, "simple embedded driver interface"},
-      {"KitOS", 0, "no template needed: driver talks to hardware directly"},
+      {os::TargetOs::kWindows, "Windows", 5,
+       "full NDIS boilerplate (most complex kernel interface)"},
+      {os::TargetOs::kLinux, "Linux", 3, "net_device glue, derived from the generic template"},
+      {os::TargetOs::kUcos, "uC/OS-II", 1, "simple embedded driver interface"},
+      {os::TargetOs::kKitos, "KitOS", 0,
+       "no template needed: driver talks to hardware directly"},
   };
-  printf("%-10s %14s   %s\n", "Target OS", "paper (p-days)", "notes");
+
+  core::EmitOptions all_targets;
+  all_targets.targets.assign(std::begin(os::kAllTargetOses), std::end(os::kAllTargetOses));
+  const core::PipelineResult& pr =
+      bench::Pipeline(drivers::DriverId::kRtl8139, 250'000, all_targets);
+  printf("%-10s %14s %16s %18s   %s\n", "Target OS", "paper (p-days)", "template (B)",
+         "synthesized (B)", "notes");
   for (const Row& r : rows) {
-    printf("%-10s %14d   %s\n", r.target, r.paper_person_days, r.notes);
+    const synth::EmissionStats& es = pr.emission_stats.at(r.target);
+    printf("%-10s %14d %16zu %18zu   %s\n", r.label, r.paper_person_days, es.template_bytes,
+           es.core_bytes, r.notes);
   }
-  printf("\nMeasured proxy in this reproduction: the shared template implementation\n"
-         "(os/recovered_host.*) is ~420 lines; per-OS differences are boilerplate\n"
-         "profiles, mirroring the paper's 'one generic template, then derived ones'.\n");
+  printf("\nMeasured on the synthesized rtl8139: the synthesized core is identical\n"
+         "across targets; only the template share differs, mirroring the paper's\n"
+         "'one generic template, then derived ones' (KitOS's larger share is its\n"
+         "inline runtime -- it has no OS to include). The in-process equivalent of\n"
+         "each template is os/recovered_host.* (one class, per-OS profiles).\n");
   return 0;
 }

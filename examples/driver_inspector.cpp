@@ -11,17 +11,20 @@
 //
 // Usage:
 //   driver_inspector [--driver <name>] [--stage exercise|recover|synthesize|emit]
-//                    [--checkpoint <file>] [--out <dir>] [--list]
+//                    [--checkpoint <file>] [--out <dir>] [--emit-target <os>]
+//                    [--list]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/session.h"
 #include "drivers/drivers.h"
 #include "isa/disasm.h"
+#include "synth/emit.h"
 
 namespace {
 
@@ -31,7 +34,10 @@ void PrintUsage(const char* argv0) {
          "  --stage <stage>      stop after: exercise | recover | synthesize | emit\n"
          "  --checkpoint <file>  save the exercise stage there (or resume from it\n"
          "                       when the file already exists)\n"
-         "  --out <dir>          write driver.c + revnic_runtime.h (stage emit)\n"
+         "  --out <dir>          write driver.c, revnic_runtime.h, and one\n"
+         "                       driver_<target>.c per backend (stage emit)\n"
+         "  --emit-target <os>   emission backend: windows | linux | ucos2 |\n"
+         "                       kitos | all (repeatable; default: windows)\n"
          "  --exercise-threads <n>  parallel exercise workers (1 = sequential,\n"
          "                       0 = hardware; deterministic for any n >= 2)\n"
          "  --list               list registered targets and exit\n",
@@ -57,6 +63,7 @@ int main(int argc, char** argv) {
   const char* checkpoint = nullptr;
   const char* out_dir = nullptr;
   unsigned exercise_threads = 1;
+  std::vector<os::TargetOs> emit_targets;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -75,6 +82,19 @@ int main(int argc, char** argv) {
       out_dir = value("--out");
     } else if (strcmp(argv[i], "--exercise-threads") == 0) {
       exercise_threads = static_cast<unsigned>(atoi(value("--exercise-threads")));
+    } else if (strcmp(argv[i], "--emit-target") == 0) {
+      const char* name = value("--emit-target");
+      if (strcmp(name, "all") == 0) {
+        emit_targets.assign(std::begin(os::kAllTargetOses), std::end(os::kAllTargetOses));
+      } else {
+        os::TargetOs target;
+        if (!os::FindTargetOs(name, &target)) {
+          fprintf(stderr, "unknown --emit-target '%s' (windows|linux|ucos2|kitos|all)\n",
+                  name);
+          return 2;
+        }
+        emit_targets.push_back(target);
+      }
     } else if (strcmp(argv[i], "--list") == 0) {
       printf("registered targets:\n");
       for (const drivers::TargetInfo& t : drivers::AllTargets()) {
@@ -151,6 +171,11 @@ int main(int argc, char** argv) {
   core::SessionObserver obs;
   obs.on_stage = [](core::Stage s) { printf("[stage] %s\n", core::StageName(s)); };
   session->set_observer(obs);
+  if (!emit_targets.empty()) {
+    core::EmitOptions emit;
+    emit.targets = emit_targets;
+    session->set_emit_options(emit);
+  }
 
   if (!session->Exercise()) {
     fprintf(stderr, "exercise failed: %s\n", session->error().c_str());
@@ -199,6 +224,10 @@ int main(int argc, char** argv) {
     holes += fn.unexplored_targets.size();
   }
   printf("\ncoverage holes flagged for the developer: %zu\n", holes);
+  printf("\nsynthesis pass pipeline:\n");
+  for (const ir::PassStats& ps : session->synth_stats().passes) {
+    printf("  %s\n", ir::FormatPassStats(ps).c_str());
+  }
   if (stop == kRecover) {
     return 0;
   }
@@ -218,12 +247,19 @@ int main(int argc, char** argv) {
     fprintf(stderr, "emit failed: %s\n", session->error().c_str());
     return 1;
   }
+  printf("emission backends:\n");
+  for (const auto& [target, source] : session->emitted()) {
+    const synth::EmissionStats& es = session->emission_stats().at(target);
+    printf("  %-8s %-18s %6zu bytes (template %zu + synthesized %zu)\n",
+           os::TargetOsName(target), synth::TargetFileName(target).c_str(), source.size(),
+           es.template_bytes, es.core_bytes);
+  }
   if (out_dir != nullptr) {
     if (!session->WriteOutputs(out_dir, &err)) {
       fprintf(stderr, "cannot write outputs: %s\n", err.c_str());
       return 1;
     }
-    printf("wrote %s/driver.c and %s/revnic_runtime.h\n", out_dir, out_dir);
+    printf("wrote driver.c, revnic_runtime.h, and driver_<target>.c to %s/\n", out_dir);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "drivers/drivers.h"
 #include "os/recovered_host.h"
 #include "perf/harness.h"
+#include "synth/emit.h"
 
 int main() {
   using namespace revnic;
@@ -18,10 +19,21 @@ int main() {
   cfg.pci = hw::Smc91c111Config();
   cfg.max_work = 200'000;
   core::Session session(drivers::DriverImage(id), cfg);
+  // Target-aware emission: the embedded template plus bare KitOS (the
+  // paper's two resource-constrained targets for this chip).
+  core::EmitOptions emit;
+  emit.targets = {os::TargetOs::kUcos, os::TargetOs::kKitos};
+  session.set_emit_options(emit);
   session.RunAll();
   core::PipelineResult rev = session.TakeResult();
   printf("coverage %.1f%%; %zu functions (%zu automatic)\n", rev.engine.CoveragePercent(),
          rev.module.NumFunctions(), rev.module.NumFullyAutomatic());
+  for (os::TargetOs target : emit.targets) {
+    const synth::EmissionStats& es = rev.emission_stats.at(target);
+    printf("emitted %-16s %6zu bytes (template %zu + synthesized %zu)\n",
+           synth::TargetFileName(target).c_str(), rev.emitted.at(target).size(),
+           es.template_bytes, es.core_bytes);
+  }
 
   auto device = drivers::MakeDevice(id);
   os::RecoveredDriverHost host(&rev.module, device.get(), os::TargetOs::kUcos);

@@ -14,6 +14,7 @@
 #include "os/recovered_host.h"
 #include "os/winsim_host.h"
 #include "perf/harness.h"
+#include "synth/emit.h"
 
 int main() {
   using namespace revnic;
@@ -24,10 +25,21 @@ int main() {
   cfg.pci = hw::Rtl8139Config();
   cfg.max_work = 250'000;
   core::Session session(drivers::DriverImage(id), cfg);
+  // Target-aware emission: ask for the source-OS artifact plus the Linux
+  // port; Emit() renders one driver_<target>.c per backend.
+  core::EmitOptions emit;
+  emit.targets = {os::TargetOs::kWindows, os::TargetOs::kLinux};
+  session.set_emit_options(emit);
   session.RunAll();
   core::PipelineResult rev = session.TakeResult();
-  printf("coverage %.1f%%, %zu functions recovered\n\n", rev.engine.CoveragePercent(),
+  printf("coverage %.1f%%, %zu functions recovered\n", rev.engine.CoveragePercent(),
          rev.module.NumFunctions());
+  const std::string& linux_c = rev.emitted.at(os::TargetOs::kLinux);
+  const synth::EmissionStats& linux_es = rev.emission_stats.at(os::TargetOs::kLinux);
+  printf("emitted %s: %zu bytes (%zu template glue + %zu synthesized);\n"
+         "the net_device glue wires %zu entry-point roles\n\n",
+         synth::TargetFileName(os::TargetOs::kLinux).c_str(), linux_c.size(),
+         linux_es.template_bytes, linux_es.core_bytes, rev.module.entry_roles.size());
 
   // --- functionality: original vs ported, same workload, same device. ---
   auto dev_a = drivers::MakeDevice(id);

@@ -5,7 +5,13 @@
 namespace revnic::core {
 
 PipelineResult RunPipeline(const isa::Image& image, const EngineConfig& config) {
+  return RunPipeline(image, config, EmitOptions());
+}
+
+PipelineResult RunPipeline(const isa::Image& image, const EngineConfig& config,
+                           const EmitOptions& emit) {
   Session session(image, config);
+  session.set_emit_options(emit);
   session.RunAll();
   return session.TakeResult();
 }

@@ -1,30 +1,57 @@
-// End-to-end RevNIC pipeline: exercise + wiretap (engine) -> CFG rebuild +
-// code synthesis (synth). One call takes a closed binary driver image to a
-// runnable recovered module and its C rendering.
+// End-to-end RevNIC pipeline: exercise + wiretap (engine) -> pass-based CFG
+// recovery + cleanup (synth passes) -> per-target C emission (synth
+// backends). One call takes a closed binary driver image to a runnable
+// recovered module and its C renderings.
 //
 // RunPipeline() is the legacy one-shot wrapper over core::Session (see
-// session.h); new code that wants staging, checkpoints, progress callbacks,
-// or batching should use Session directly.
+// session.h); it routes through the same pass pipeline and emission
+// backends as Session -- there is no second synthesis path. New code that
+// wants staging, checkpoints, progress callbacks, or batching should use
+// Session directly.
 #ifndef REVNIC_CORE_PIPELINE_H_
 #define REVNIC_CORE_PIPELINE_H_
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
+#include "os/target.h"
 #include "synth/cemit.h"
 #include "synth/cfg.h"
+#include "synth/emit.h"
 
 namespace revnic::core {
+
+// What the Synthesize/Emit stages produce: which target OSes get a
+// driver_<target>.c, and whether the cleanup passes run between recovery
+// and emission. Defaults reproduce the paper's primary artifact (the
+// generic/Windows rendering) with cleanup on.
+struct EmitOptions {
+  std::vector<os::TargetOs> targets = {os::TargetOs::kWindows};
+  // Run the C-shrinking cleanup passes (synth::AddCleanupPasses) after
+  // recovery. Hardware I/O behavior is pass-invariant (pinned by
+  // tests/synth_passes_test.cc); turning this off reproduces the legacy
+  // goto-everywhere output.
+  bool cleanup_passes = true;
+  synth::CEmitOptions render;
+};
 
 struct PipelineResult {
   EngineResult engine;
   synth::RecoveredModule module;
-  synth::SynthStats synth_stats;
-  std::string c_source;       // generated driver code (Listing 1 style)
-  std::string runtime_header; // revnic_runtime.h it compiles against
+  synth::SynthStats synth_stats;  // includes the per-pass breakdown
+  std::string c_source;           // first requested target (Listing 1 style)
+  std::string runtime_header;     // revnic_runtime.h it compiles against
+  // One full translation unit per requested target OS, plus its renderer/
+  // template size split (same rendering -- no need to re-emit to report).
+  std::map<os::TargetOs, std::string> emitted;
+  std::map<os::TargetOs, synth::EmissionStats> emission_stats;
 };
 
 PipelineResult RunPipeline(const isa::Image& image, const EngineConfig& config);
+PipelineResult RunPipeline(const isa::Image& image, const EngineConfig& config,
+                           const EmitOptions& emit);
 
 }  // namespace revnic::core
 

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "synth/emit.h"
+#include "synth/passes.h"
 #include "trace/serialize.h"
 
 namespace revnic::core {
@@ -69,6 +71,17 @@ bool Session::Fail(std::string message) {
   return false;
 }
 
+bool Session::set_emit_options(EmitOptions options) {
+  if (stage_ >= Stage::kCfgRecovered) {
+    return false;  // the pass pipeline already ran with the old options
+  }
+  if (options.targets.empty()) {
+    options.targets = {os::TargetOs::kWindows};
+  }
+  emit_options_ = std::move(options);
+  return true;
+}
+
 void Session::NotifyStage(Stage completed) {
   if (observer_.on_stage) {
     observer_.on_stage(completed);
@@ -114,7 +127,15 @@ bool Session::RecoverCfg() {
   if (!Exercise()) {
     return false;
   }
-  module_ = synth::BuildModule(engine_.bundle, engine_.entries, &synth_stats_);
+  synth::PipelineOptions options;
+  options.cleanup = emit_options_.cleanup_passes;
+  options.verify_between = true;
+  std::string pass_error;
+  module_ = synth::RunSynthesisPipeline(engine_.bundle, engine_.entries, options,
+                                        &synth_stats_, &pass_error);
+  if (!pass_error.empty()) {
+    return Fail("synthesis pass pipeline: " + pass_error);
+  }
   stage_ = Stage::kCfgRecovered;
   NotifyStage(stage_);
   return true;
@@ -127,7 +148,15 @@ bool Session::Synthesize() {
   if (!RecoverCfg()) {
     return false;
   }
-  c_source_ = synth::EmitC(module_);
+  emitted_.clear();
+  emission_stats_.clear();
+  // One core render shared by every requested backend.
+  for (auto& [target, te] :
+       synth::EmitForTargets(module_, emit_options_.targets, emit_options_.render)) {
+    emission_stats_[target] = te.stats;
+    emitted_[target] = std::move(te.source);
+  }
+  c_source_ = emitted_.at(emit_options_.targets.front());
   stage_ = Stage::kSynthesized;
   NotifyStage(stage_);
   return true;
@@ -150,9 +179,11 @@ PipelineResult Session::TakeResult() {
   PipelineResult result;
   result.engine = std::move(engine_);
   result.module = std::move(module_);
-  result.synth_stats = synth_stats_;
+  result.synth_stats = std::move(synth_stats_);
   result.c_source = std::move(c_source_);
   result.runtime_header = std::move(runtime_header_);
+  result.emitted = std::move(emitted_);
+  result.emission_stats = std::move(emission_stats_);
   return result;
 }
 
@@ -162,9 +193,13 @@ bool Session::WriteOutputs(const std::string& dir, std::string* error) {
     return false;
   }
   struct Out {
-    const char* name;
+    std::string name;
     const std::string* text;
-  } outs[] = {{"driver.c", &c_source_}, {"revnic_runtime.h", &runtime_header_}};
+  };
+  std::vector<Out> outs = {{"driver.c", &c_source_}, {"revnic_runtime.h", &runtime_header_}};
+  for (const auto& [target, source] : emitted_) {
+    outs.push_back({synth::TargetFileName(target), &source});
+  }
   for (const Out& o : outs) {
     std::string path = dir + "/" + o.name;
     FILE* f = fopen(path.c_str(), "w");
@@ -518,7 +553,7 @@ namespace {
 // a distinct checkpoint instead of silently sharing the first one's.
 // Callback identity (cancel/on_coverage closures) cannot be hashed -- only
 // their presence is mixed in; callers pairing the store with distinct cancel
-// policies must differentiate the key themselves.
+// policies differentiate entries via Resume()'s salt parameter.
 std::string ConfigFingerprint(const EngineConfig& c) {
   uint64_t h = 1469598103934665603ull;  // FNV-1a
   auto mix = [&h](uint64_t v) {
@@ -591,11 +626,16 @@ CheckpointStore& CheckpointStore::Global() {
 
 std::unique_ptr<Session> CheckpointStore::Resume(const std::string& key,
                                                  const isa::Image& image,
-                                                 const EngineConfig& config) {
+                                                 const EngineConfig& config,
+                                                 const std::string& salt) {
   std::shared_ptr<CheckpointBlob> blob;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::shared_ptr<CheckpointBlob>& slot = blobs_[key + "#" + ConfigFingerprint(config)];
+    // The salt keeps callers with distinct cancel policies (identical
+    // fingerprints -- closures only contribute a presence bit) on distinct
+    // entries.
+    std::shared_ptr<CheckpointBlob>& slot =
+        blobs_[key + "#" + ConfigFingerprint(config) + "#" + salt];
     if (slot == nullptr) {
       slot = std::make_shared<CheckpointBlob>();
     }

@@ -80,6 +80,13 @@ class Session {
   void set_label(std::string label) { label_ = std::move(label); }
   const std::string& label() const { return label_; }
 
+  // Configures the Synthesize/Emit stages (target backends, cleanup
+  // passes). Must be called before RecoverCfg() runs -- the cleanup flag
+  // steers the pass pipeline -- so it returns false (no change) once the
+  // module exists. An empty target list falls back to the default.
+  bool set_emit_options(EmitOptions options);
+  const EmitOptions& emit_options() const { return emit_options_; }
+
   // ---- stages ----
   // Each stage runs its missing prerequisites first and is a no-op when
   // already past (so a checkpoint-resumed session, which starts at
@@ -101,14 +108,22 @@ class Session {
   const EngineResult& engine() const { return engine_; }
   const synth::RecoveredModule& module() const { return module_; }
   const synth::SynthStats& synth_stats() const { return synth_stats_; }
+  // The first requested target's translation unit (the legacy accessor).
   const std::string& c_source() const { return c_source_; }
   const std::string& runtime_header() const { return runtime_header_; }
+  // One translation unit per requested target OS, with the renderer/
+  // template stats of exactly that rendering.
+  const std::map<os::TargetOs, std::string>& emitted() const { return emitted_; }
+  const std::map<os::TargetOs, synth::EmissionStats>& emission_stats() const {
+    return emission_stats_;
+  }
 
   // Moves the stage outputs out as the legacy result struct (valid after
   // Emit(); the session is spent afterwards).
   PipelineResult TakeResult();
 
-  // Writes driver.c + revnic_runtime.h into `dir` (runs Emit() first).
+  // Writes driver.c (first target), revnic_runtime.h, and one
+  // driver_<target>.c per requested backend into `dir` (runs Emit() first).
   bool WriteOutputs(const std::string& dir, std::string* error);
 
   // ---- checkpoint / resume ----
@@ -142,6 +157,7 @@ class Session {
   EngineConfig config_;
   SessionObserver observer_;
   std::string label_;
+  EmitOptions emit_options_;
   Stage stage_ = Stage::kCreated;
   std::string error_;
 
@@ -150,6 +166,8 @@ class Session {
   synth::SynthStats synth_stats_;
   std::string c_source_;
   std::string runtime_header_;
+  std::map<os::TargetOs, std::string> emitted_;
+  std::map<os::TargetOs, synth::EmissionStats> emission_stats_;
 };
 
 // ---- batch API ----
@@ -225,17 +243,22 @@ std::function<void(const CoverageSample&)> MakeCoverageJsonlLogger(JsonlWriter* 
 // parallel. The caller's key is combined with a fingerprint of the config's
 // exercise-relevant fields, so reusing a key with a different budget/seed
 // gets its own checkpoint instead of silently sharing the first one.
-// Benches and tests use this instead of ad-hoc static PipelineResult caches.
+// Callback identity (cancel closures) cannot be fingerprinted -- only its
+// presence is mixed in -- so callers pairing one key with *distinct* cancel
+// policies pass a `salt` to keep their checkpoints apart (ROADMAP PR-2
+// follow-up). Benches and tests use this instead of ad-hoc static
+// PipelineResult caches.
 struct CheckpointBlob;  // internal map entry (once-flag + bytes)
 
 class CheckpointStore {
  public:
   static CheckpointStore& Global();
 
-  // A Session at Stage::kExercised for (key, config), exercising image only
-  // the first time. Aborts on checkpoint corruption (store-internal blobs).
+  // A Session at Stage::kExercised for (key, config, salt), exercising
+  // image only the first time. Aborts on checkpoint corruption
+  // (store-internal blobs).
   std::unique_ptr<Session> Resume(const std::string& key, const isa::Image& image,
-                                  const EngineConfig& config);
+                                  const EngineConfig& config, const std::string& salt = "");
 
  private:
   std::mutex mu_;  // guards the map only; exercising happens outside it

@@ -1,0 +1,187 @@
+#include "ir/analysis.h"
+
+#include <deque>
+
+namespace revnic::ir {
+
+namespace {
+
+void AppendIndirect(uint32_t pc, const IndirectTargets& indirect, std::vector<uint32_t>* out) {
+  auto it = indirect.find(pc);
+  if (it == indirect.end()) {
+    return;
+  }
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+// Invokes `use` for each temp operand the instruction reads (mirrors the
+// verifier's per-op operand classification).
+template <typename Fn>
+void ForEachUse(const Instr& i, Fn use) {
+  switch (i.op) {
+    case Op::kNop:
+    case Op::kConst:
+    case Op::kGetReg:
+      break;
+    case Op::kMov:
+    case Op::kZExt:
+    case Op::kSExt:
+    case Op::kLoad:
+    case Op::kIn:
+    case Op::kSetReg:
+      use(i.a);
+      break;
+    case Op::kSelect:
+      use(i.a);
+      use(i.b);
+      use(i.c);
+      break;
+    default:  // binary arithmetic / comparisons, kStore, kOut
+      use(i.a);
+      use(i.b);
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> Successors(uint32_t pc, const Block& block,
+                                 const IndirectTargets& indirect) {
+  std::vector<uint32_t> succ;
+  switch (block.term) {
+    case Term::kBranch:
+      succ.push_back(block.target);
+      succ.push_back(block.fallthrough);
+      break;
+    case Term::kJump:
+    case Term::kFallthrough:
+      succ.push_back(block.target);
+      break;
+    case Term::kJumpInd:
+      AppendIndirect(pc, indirect, &succ);
+      break;
+    case Term::kCall:
+    case Term::kCallInd:
+    case Term::kSyscall:
+      succ.push_back(block.fallthrough);
+      break;
+    case Term::kRet:
+    case Term::kHalt:
+      break;
+  }
+  return succ;
+}
+
+std::vector<uint32_t> ReferencedPcs(uint32_t pc, const Block& block,
+                                    const IndirectTargets& indirect) {
+  std::vector<uint32_t> refs = Successors(pc, block, indirect);
+  if (block.term == Term::kCall) {
+    refs.push_back(block.target);
+  }
+  if (block.term == Term::kCallInd) {
+    AppendIndirect(pc, indirect, &refs);
+  }
+  return refs;
+}
+
+CfgMaps BuildCfgMaps(const BlockMap& blocks, const IndirectTargets& indirect) {
+  CfgMaps maps;
+  for (const auto& [pc, block] : blocks) {
+    std::vector<uint32_t> succ = Successors(pc, block, indirect);
+    for (uint32_t s : succ) {
+      maps.pred[s].push_back(pc);
+    }
+    maps.succ.emplace(pc, std::move(succ));
+  }
+  return maps;
+}
+
+std::set<uint32_t> ReachableFrom(const BlockMap& blocks, const IndirectTargets& indirect,
+                                 const std::vector<uint32_t>& roots, bool follow_calls) {
+  std::set<uint32_t> visited;
+  std::deque<uint32_t> work(roots.begin(), roots.end());
+  while (!work.empty()) {
+    uint32_t pc = work.front();
+    work.pop_front();
+    auto it = blocks.find(pc);
+    if (it == blocks.end() || !visited.insert(pc).second) {
+      continue;
+    }
+    std::vector<uint32_t> next = follow_calls ? ReferencedPcs(pc, it->second, indirect)
+                                              : Successors(pc, it->second, indirect);
+    work.insert(work.end(), next.begin(), next.end());
+  }
+  return visited;
+}
+
+void ForEachTempUse(const Instr& instr, const std::function<void(int32_t)>& use) {
+  ForEachUse(instr, [&](int32_t t) { use(t); });
+}
+
+bool IsPure(Op op) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kUDiv:
+    case Op::kURem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kLShr:
+    case Op::kAShr:
+    case Op::kCmpEq:
+    case Op::kCmpNe:
+    case Op::kCmpUlt:
+    case Op::kCmpUle:
+    case Op::kCmpSlt:
+    case Op::kCmpSle:
+    case Op::kSelect:
+    case Op::kZExt:
+    case Op::kSExt:
+    case Op::kGetReg:  // reads the register file but writes nothing
+      return true;
+    default:
+      return false;
+  }
+}
+
+Liveness AnalyzeLiveness(const Block& block) {
+  Liveness lv;
+  lv.needed.assign(block.instrs.size(), true);
+  std::vector<bool> live(static_cast<size_t>(block.num_temps < 0 ? 0 : block.num_temps), false);
+  auto mark_live = [&](int32_t t) {
+    if (t >= 0 && t < block.num_temps) {
+      live[static_cast<size_t>(t)] = true;
+    }
+  };
+  // The terminator consumes cond_tmp for branches, indirect transfers, and
+  // returns (the popped return address).
+  if (block.term == Term::kBranch || block.term == Term::kJumpInd ||
+      block.term == Term::kCallInd || block.term == Term::kRet) {
+    mark_live(block.cond_tmp);
+  }
+  for (size_t n = block.instrs.size(); n-- > 0;) {
+    const Instr& i = block.instrs[n];
+    if (i.op == Op::kNop) {
+      lv.needed[n] = false;
+      continue;
+    }
+    bool defines = OpDefinesDst(i.op) && i.dst >= 0 && i.dst < block.num_temps;
+    bool dst_live = defines && live[static_cast<size_t>(i.dst)];
+    if (IsPure(i.op) && defines && !dst_live) {
+      lv.needed[n] = false;  // dead pure computation
+      continue;
+    }
+    if (defines) {
+      live[static_cast<size_t>(i.dst)] = false;  // killed above this point
+    }
+    ForEachUse(i, mark_live);
+  }
+  return lv;
+}
+
+}  // namespace revnic::ir

@@ -1,0 +1,73 @@
+// CFG and dataflow analyses over vir block maps -- the queries the
+// synthesis passes share: successor/predecessor maps, reachability, and
+// block-local temp liveness.
+//
+// Blocks are keyed by guest pc (the synthesizer's representation); observed
+// indirect-control-flow targets are supplied separately because they come
+// from the wiretap, not from the blocks themselves. Temps never flow across
+// block boundaries (the concrete machine zeroes them per block and the
+// verifier requires defs before uses), so liveness is a per-block backward
+// scan, not a fixpoint.
+#ifndef REVNIC_IR_ANALYSIS_H_
+#define REVNIC_IR_ANALYSIS_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace revnic::ir {
+
+using BlockMap = std::map<uint32_t, Block>;
+// Observed targets of indirect jumps/calls, per block pc (wiretap, §3.4).
+using IndirectTargets = std::map<uint32_t, std::set<uint32_t>>;
+
+// Intraprocedural successors of the block at `pc`: branch edges, jump
+// targets, observed indirect-jump targets, and the continuation pc of
+// calls/syscalls (execution resumes there after the callee/API returns).
+// Call *targets* are interprocedural and deliberately excluded.
+std::vector<uint32_t> Successors(uint32_t pc, const Block& block,
+                                 const IndirectTargets& indirect);
+
+// Every pc the block references as code: Successors() plus direct and
+// observed-indirect call targets. This is the edge set module-level
+// reachability must follow.
+std::vector<uint32_t> ReferencedPcs(uint32_t pc, const Block& block,
+                                    const IndirectTargets& indirect);
+
+// Intraprocedural successor/predecessor maps over a whole block map.
+// `pred` is keyed by target pc and includes targets with no block (coverage
+// holes), so callers can count in-edges of any referenced pc.
+struct CfgMaps {
+  std::map<uint32_t, std::vector<uint32_t>> succ;
+  std::map<uint32_t, std::vector<uint32_t>> pred;
+};
+CfgMaps BuildCfgMaps(const BlockMap& blocks, const IndirectTargets& indirect);
+
+// Blocks reachable from `roots` (pcs without a block contribute nothing).
+// `follow_calls` switches between the intraprocedural edge set
+// (Successors) and the module-level one (ReferencedPcs).
+std::set<uint32_t> ReachableFrom(const BlockMap& blocks, const IndirectTargets& indirect,
+                                 const std::vector<uint32_t>& roots, bool follow_calls);
+
+// True for ops with no side effect beyond defining their dst: removable
+// when the dst is dead. Loads are NOT pure -- guest loads can hit MMIO.
+bool IsPure(Op op);
+
+// Invokes `use` for every temp operand `instr` reads (the verifier's per-op
+// operand classification, shared with liveness and the C renderer).
+void ForEachTempUse(const Instr& instr, const std::function<void(int32_t)>& use);
+
+// Block-local liveness: needed[i] is false exactly when instrs[i] is a pure
+// op whose dst is never consumed afterwards (by a later instruction or the
+// terminator's cond_tmp) before being redefined.
+struct Liveness {
+  std::vector<bool> needed;
+};
+Liveness AnalyzeLiveness(const Block& block);
+
+}  // namespace revnic::ir
+
+#endif  // REVNIC_IR_ANALYSIS_H_

@@ -1,0 +1,115 @@
+// Pass framework for the recovered IR.
+//
+// The synthesizer's trace->C path is structured as a sequence of named
+// module passes (recovery passes rebuild the state machine, cleanup passes
+// shrink the emitted C); this header provides the machinery: ModulePass<M>
+// is one named transformation over a module type M, PassManager<M> runs a
+// pipeline of them, records per-pass PassStats, and interposes a caller-
+// supplied verify hook between passes so a pass that corrupts the IR is
+// caught at its own doorstep, not three passes later.
+//
+// The framework is templated over the module type because ir sits below the
+// synthesizer in the layering: synth::RecoveredModule (and the richer
+// synth::SynthContext the recovery passes consume) instantiate it without
+// ir ever depending on synth.
+#ifndef REVNIC_IR_PASSES_H_
+#define REVNIC_IR_PASSES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace revnic::ir {
+
+// Per-pass effect counters. The three generic counters cover every pass in
+// the pipeline (a pass documents what its counts mean in its name()'s
+// comment); `changed` is the fixpoint/reporting signal.
+struct PassStats {
+  std::string name;
+  bool changed = false;
+  uint64_t items = 0;      // units processed/produced (blocks split, functions found, ...)
+  uint64_t removed = 0;    // units deleted (blocks pruned, dead instrs, labels)
+  uint64_t rewritten = 0;  // units rewritten in place (edges threaded, blocks merged)
+};
+
+// One-line rendering shared by every PassStats reporter (driver_inspector,
+// fig9_auto_breakdown) so the format cannot drift between them.
+inline std::string FormatPassStats(const PassStats& ps) {
+  char buf[160];
+  snprintf(buf, sizeof(buf), "%-20s %-8s items=%-6llu removed=%-6llu rewritten=%llu",
+           ps.name.c_str(), ps.changed ? "changed" : "no-op",
+           static_cast<unsigned long long>(ps.items),
+           static_cast<unsigned long long>(ps.removed),
+           static_cast<unsigned long long>(ps.rewritten));
+  return buf;
+}
+
+template <typename ModuleT>
+class ModulePass {
+ public:
+  virtual ~ModulePass() = default;
+  virtual const char* name() const = 0;
+  // Transforms `module`; fills `stats` (name is pre-filled by the manager).
+  virtual void Run(ModuleT& module, PassStats* stats) = 0;
+};
+
+template <typename ModuleT>
+class PassManager {
+ public:
+  // Returns an empty string when `module` is well formed, else a diagnostic.
+  // Invoked after every pass; a non-empty result aborts the pipeline with
+  // error() = "<pass>: <diagnostic>".
+  using VerifyHook = std::function<std::string(const ModuleT&)>;
+
+  explicit PassManager(VerifyHook verify = nullptr) : verify_(std::move(verify)) {}
+
+  PassManager& Add(std::unique_ptr<ModulePass<ModuleT>> pass) {
+    passes_.push_back(std::move(pass));
+    return *this;
+  }
+  template <typename PassT, typename... Args>
+  PassManager& Emplace(Args&&... args) {
+    return Add(std::make_unique<PassT>(std::forward<Args>(args)...));
+  }
+
+  size_t NumPasses() const { return passes_.size(); }
+
+  // Runs every pass in order. Returns false (with error() set) as soon as
+  // the verify hook rejects a pass's output; stats() still holds the stats
+  // of every pass that ran, the offending one included.
+  bool Run(ModuleT& module) {
+    stats_.clear();
+    error_.clear();
+    for (const auto& pass : passes_) {
+      PassStats ps;
+      ps.name = pass->name();
+      pass->Run(module, &ps);
+      stats_.push_back(std::move(ps));
+      if (verify_) {
+        std::string diag = verify_(module);
+        if (!diag.empty()) {
+          error_ = std::string(pass->name()) + ": " + diag;
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  const std::vector<PassStats>& stats() const { return stats_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::vector<std::unique_ptr<ModulePass<ModuleT>>> passes_;
+  std::vector<PassStats> stats_;
+  std::string error_;
+  VerifyHook verify_;
+};
+
+}  // namespace revnic::ir
+
+#endif  // REVNIC_IR_PASSES_H_

@@ -6,20 +6,6 @@
 
 namespace revnic::os {
 
-const char* TargetOsName(TargetOs os) {
-  switch (os) {
-    case TargetOs::kWindows:
-      return "windows";
-    case TargetOs::kLinux:
-      return "linux";
-    case TargetOs::kUcos:
-      return "ucos2";
-    case TargetOs::kKitos:
-      return "kitos";
-  }
-  return "?";
-}
-
 RecoveredDriverHost::RecoveredDriverHost(const synth::RecoveredModule* module,
                                          hw::NicDevice* device, TargetOs os,
                                          vm::IoHandler* io_override)

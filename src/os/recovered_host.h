@@ -22,14 +22,12 @@
 #include <optional>
 
 #include "hw/nic.h"
+#include "os/target.h"
 #include "os/winsim.h"
 #include "synth/module.h"
 #include "synth/runner.h"
 
 namespace revnic::os {
-
-enum class TargetOs : uint8_t { kWindows = 0, kLinux, kUcos, kKitos };
-const char* TargetOsName(TargetOs os);
 
 struct TemplateCounters {
   uint64_t lock_acquisitions = 0;  // the template's single entry lock

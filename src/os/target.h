@@ -1,0 +1,46 @@
+// Target operating systems a recovered driver can be re-emitted for
+// (§4.2, Tables 2-3). Split out of recovered_host.h so the emission
+// backends (synth/emit.h) and the core EmitOptions can name a target
+// without pulling in the whole driver-template machinery.
+#ifndef REVNIC_OS_TARGET_H_
+#define REVNIC_OS_TARGET_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace revnic::os {
+
+enum class TargetOs : uint8_t { kWindows = 0, kLinux, kUcos, kKitos };
+
+// Every target, in paper order (Windows source OS first).
+inline constexpr TargetOs kAllTargetOses[] = {TargetOs::kWindows, TargetOs::kLinux,
+                                              TargetOs::kUcos, TargetOs::kKitos};
+
+inline const char* TargetOsName(TargetOs os) {
+  switch (os) {
+    case TargetOs::kWindows:
+      return "windows";
+    case TargetOs::kLinux:
+      return "linux";
+    case TargetOs::kUcos:
+      return "ucos2";
+    case TargetOs::kKitos:
+      return "kitos";
+  }
+  return "?";
+}
+
+// Case-sensitive lookup by TargetOsName(); false when unknown.
+inline bool FindTargetOs(std::string_view name, TargetOs* out) {
+  for (TargetOs os : kAllTargetOses) {
+    if (name == TargetOsName(os)) {
+      *out = os;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace revnic::os
+
+#endif  // REVNIC_OS_TARGET_H_

@@ -1,7 +1,9 @@
 #include "synth/cemit.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "ir/analysis.h"
 #include "util/strings.h"
 
 namespace revnic::synth {
@@ -109,6 +111,31 @@ std::string FnName(const RecoveredModule& m, uint32_t pc) {
   return f != nullptr ? f->name : StrFormat("function_%x", pc);
 }
 
+const SwitchPlan* SwitchPlanFor(const RecoveredModule& m, uint32_t pc) {
+  auto it = m.switch_plans.find(pc);
+  return it == m.switch_plans.end() ? nullptr : &it->second;
+}
+
+// The case table an indirect dispatch renders: the recovered SwitchPlan
+// when the cleanup pipeline produced one, the raw observed targets
+// otherwise. (Both are sorted and deduplicated.)
+std::vector<uint32_t> DispatchCases(const RecoveredModule& m, uint32_t pc) {
+  if (const SwitchPlan* sp = SwitchPlanFor(m, pc)) {
+    return sp->cases;
+  }
+  std::vector<uint32_t> cases;
+  auto it = m.indirect_targets.find(pc);
+  if (it != m.indirect_targets.end()) {
+    cases.assign(it->second.begin(), it->second.end());
+  }
+  return cases;
+}
+
+bool UseGuardForm(const RecoveredModule& m, uint32_t pc) {
+  const SwitchPlan* sp = SwitchPlanFor(m, pc);
+  return sp != nullptr && sp->single_target();
+}
+
 }  // namespace
 
 std::string RuntimeHeader() {
@@ -139,12 +166,95 @@ void revnic_halt(void);
 )";
 }
 
+EmitPlan ComputeEmitPlan(const RecoveredModule& m, const RecoveredFunction& fn,
+                         size_t* gotos_elided) {
+  EmitPlan plan;
+  size_t elided = 0;
+  std::set<uint32_t> in_fn;
+  for (uint32_t pc : fn.block_pcs) {
+    if (m.blocks.count(pc) != 0) {
+      in_fn.insert(pc);
+    }
+  }
+  plan.order.assign(in_fn.begin(), in_fn.end());
+  auto need_label = [&](uint32_t target) {
+    if (in_fn.count(target) != 0) {
+      plan.labeled.insert(target);
+    }
+  };
+
+  // Function prologue: `goto L_entry`, elided when the entry block is
+  // emitted first (the common case with ascending-pc layout).
+  if (in_fn.count(fn.entry_pc) != 0) {
+    if (!plan.order.empty() && plan.order.front() == fn.entry_pc) {
+      ++elided;
+    } else {
+      need_label(fn.entry_pc);
+    }
+  }
+
+  for (size_t idx = 0; idx < plan.order.size(); ++idx) {
+    uint32_t pc = plan.order[idx];
+    const Block& b = m.blocks.at(pc);
+    std::optional<uint32_t> next;
+    if (idx + 1 < plan.order.size()) {
+      next = plan.order[idx + 1];
+    }
+    // `trailing` is the block's final unconditional continuation -- the one
+    // goto the renderer elides when it targets the next emitted block.
+    std::optional<uint32_t> trailing;
+    switch (b.term) {
+      case Term::kJump:
+      case Term::kFallthrough:
+        trailing = b.target;
+        break;
+      case Term::kBranch:
+        need_label(b.target);  // `if (tC) goto L_target;` is never elided
+        trailing = b.fallthrough;
+        break;
+      case Term::kJumpInd:
+        if (UseGuardForm(m, pc)) {
+          trailing = DispatchCases(m, pc).front();
+        } else {
+          for (uint32_t c : DispatchCases(m, pc)) {
+            need_label(c);
+          }
+        }
+        break;
+      case Term::kCall:
+      case Term::kCallInd:
+      case Term::kSyscall:
+        trailing = b.fallthrough;  // dispatch arms call, they never goto
+        break;
+      case Term::kRet:
+      case Term::kHalt:
+        break;
+    }
+    if (trailing.has_value()) {
+      if (next.has_value() && *next == *trailing) {
+        ++elided;
+      } else {
+        need_label(*trailing);
+      }
+    }
+  }
+  if (gotos_elided != nullptr) {
+    *gotos_elided = elided;
+  }
+  return plan;
+}
+
 std::string EmitFunctionC(const RecoveredModule& m, uint32_t entry_pc,
-                          const CEmitOptions& options) {
+                          const CEmitOptions& options, CEmitStats* stats) {
   const RecoveredFunction* fn = m.FunctionAt(entry_pc);
   if (fn == nullptr) {
     return "";
   }
+  CEmitStats local;
+  CEmitStats* st = stats != nullptr ? stats : &local;
+  auto plan_it = m.emit_plans.find(entry_pc);
+  const EmitPlan* plan = plan_it == m.emit_plans.end() ? nullptr : &plan_it->second;
+
   std::string out;
   if (options.annotate) {
     out += StrFormat("/* %s: %s; %u stack parameter(s)%s%s */\n", fn->name.c_str(),
@@ -154,50 +264,132 @@ std::string EmitFunctionC(const RecoveredModule& m, uint32_t entry_pc,
   }
   out += StrFormat("void %s(struct revnic_cpu* cpu)\n{\n", fn->name.c_str());
 
-  // Temps: one declaration sized to the largest block.
-  int32_t max_temps = 0;
-  for (uint32_t pc : fn->block_pcs) {
-    max_temps = std::max(max_temps, m.blocks.at(pc).num_temps);
-  }
-  if (max_temps > 0) {
-    out += "    uint32_t ";
-    for (int32_t t = 0; t < max_temps; ++t) {
-      out += StrFormat("t%d%s", t, t + 1 == max_temps ? ";\n" : ", ");
+  std::set<uint32_t> ordered(fn->block_pcs.begin(), fn->block_pcs.end());
+  std::vector<uint32_t> order;
+  if (plan != nullptr) {
+    order = plan->order;
+  } else {
+    for (uint32_t pc : ordered) {
+      if (m.blocks.count(pc) != 0) {
+        order.push_back(pc);
+      }
     }
   }
-  out += StrFormat("    goto L_%x;\n", entry_pc);
 
-  std::set<uint32_t> ordered(fn->block_pcs.begin(), fn->block_pcs.end());
+  // Temp declarations. Legacy form declares the dense range sized to the
+  // largest block; with an emission plan (cleanup ran, so DCE may have
+  // orphaned temps) only the temps the emitted code references are
+  // declared, which also keeps -Wunused-variable quiet.
+  if (plan == nullptr) {
+    int32_t max_temps = 0;
+    for (uint32_t pc : fn->block_pcs) {
+      auto it = m.blocks.find(pc);
+      if (it != m.blocks.end()) {
+        max_temps = std::max(max_temps, it->second.num_temps);
+      }
+    }
+    if (max_temps > 0) {
+      out += "    uint32_t ";
+      for (int32_t t = 0; t < max_temps; ++t) {
+        out += StrFormat("t%d%s", t, t + 1 == max_temps ? ";\n" : ", ");
+      }
+    }
+  } else {
+    std::set<int32_t> used;
+    for (uint32_t pc : order) {
+      const Block& b = m.blocks.at(pc);
+      for (const Instr& i : b.instrs) {
+        if (ir::OpDefinesDst(i.op) && i.dst >= 0) {
+          used.insert(i.dst);
+        }
+        ir::ForEachTempUse(i, [&](int32_t t) {
+          if (t >= 0) {
+            used.insert(t);
+          }
+        });
+      }
+      if (b.term == Term::kBranch || b.term == Term::kJumpInd || b.term == Term::kCallInd ||
+          b.term == Term::kRet) {
+        if (b.cond_tmp >= 0) {
+          used.insert(b.cond_tmp);
+        }
+      }
+    }
+    if (!used.empty()) {
+      out += "    uint32_t ";
+      size_t n = 0;
+      for (int32_t t : used) {
+        out += StrFormat("t%d%s", t, ++n == used.size() ? ";\n" : ", ");
+      }
+    }
+  }
+
   auto jump_to = [&](uint32_t pc) -> std::string {
-    if (ordered.count(pc) != 0) {
+    if (ordered.count(pc) != 0 && (plan == nullptr || m.blocks.count(pc) != 0)) {
+      ++st->gotos;
       return StrFormat("goto L_%x;", pc);
     }
     // Coverage hole (§4.1): warn the developer; trap at run time.
     return StrFormat("{ revnic_unexplored(0x%x); return; } /* WARNING: unexplored */", pc);
   };
+  // The block's final unconditional continuation; with a plan, elided when
+  // it targets the next emitted block (source-order fallthrough).
+  auto emit_trailing = [&](uint32_t target, std::optional<uint32_t> next) {
+    if (plan != nullptr && next.has_value() && *next == target) {
+      return;  // falls through in source order
+    }
+    out += "    " + jump_to(target) + "\n";
+  };
 
-  for (uint32_t pc : ordered) {
+  // Prologue jump to the entry block.
+  if (plan == nullptr) {
+    ++st->gotos;
+    out += StrFormat("    goto L_%x;\n", entry_pc);
+  } else if (order.empty() || order.front() != entry_pc) {
+    if (ordered.count(entry_pc) != 0 && m.blocks.count(entry_pc) != 0) {
+      ++st->gotos;
+      out += StrFormat("    goto L_%x;\n", entry_pc);
+    } else {
+      out += StrFormat("    revnic_unexplored(0x%x);\n    return;\n", entry_pc);
+    }
+  }
+
+  for (size_t idx = 0; idx < order.size(); ++idx) {
+    uint32_t pc = order[idx];
     const Block& b = m.blocks.at(pc);
-    out += StrFormat("L_%x:\n", pc);
+    std::optional<uint32_t> next;
+    if (idx + 1 < order.size()) {
+      next = order[idx + 1];
+    }
+    if (plan == nullptr || plan->labeled.count(pc) != 0) {
+      out += StrFormat("L_%x:\n", pc);
+      ++st->labels;
+    }
+    ++st->blocks;
     for (const Instr& i : b.instrs) {
       EmitInstr(i, &out);
     }
     switch (b.term) {
       case Term::kFallthrough:
       case Term::kJump:
-        out += "    " + jump_to(b.target) + "\n";
+        emit_trailing(b.target, next);
         break;
       case Term::kBranch:
         out += StrFormat("    if (t%d) %s\n", b.cond_tmp, jump_to(b.target).c_str());
-        out += "    " + jump_to(b.fallthrough) + "\n";
+        emit_trailing(b.fallthrough, next);
         break;
       case Term::kJumpInd: {
+        if (UseGuardForm(m, pc)) {
+          uint32_t target = DispatchCases(m, pc).front();
+          out += StrFormat("    if (t%d != 0x%xu) { revnic_unexplored(t%d); return; }\n",
+                           b.cond_tmp, target, b.cond_tmp);
+          emit_trailing(target, next);
+          break;
+        }
         out += StrFormat("    switch (t%d) {\n", b.cond_tmp);
-        auto it = m.indirect_targets.find(pc);
-        if (it != m.indirect_targets.end()) {
-          for (uint32_t t : it->second) {
-            out += StrFormat("    case 0x%x: %s break;\n", t, jump_to(t).c_str());
-          }
+        for (uint32_t t : DispatchCases(m, pc)) {
+          out += StrFormat("    case 0x%x: %s break;\n", t, jump_to(t).c_str());
+          ++st->switch_cases;
         }
         out += StrFormat("    default: revnic_unexplored(t%d); return;\n    }\n", b.cond_tmp);
         break;
@@ -206,18 +398,23 @@ std::string EmitFunctionC(const RecoveredModule& m, uint32_t entry_pc,
         // The return-address push is already in the block body; direct calls
         // are preserved (§4.1 "all function calls are preserved").
         out += StrFormat("    %s(cpu);\n", FnName(m, b.target).c_str());
-        out += "    " + jump_to(b.fallthrough) + "\n";
+        emit_trailing(b.fallthrough, next);
         break;
       case Term::kCallInd: {
-        out += StrFormat("    switch (t%d) {\n", b.cond_tmp);
-        auto it = m.indirect_targets.find(pc);
-        if (it != m.indirect_targets.end()) {
-          for (uint32_t t : it->second) {
+        if (UseGuardForm(m, pc)) {
+          uint32_t target = DispatchCases(m, pc).front();
+          out += StrFormat("    if (t%d != 0x%xu) { revnic_unexplored(t%d); return; }\n",
+                           b.cond_tmp, target, b.cond_tmp);
+          out += StrFormat("    %s(cpu);\n", FnName(m, target).c_str());
+        } else {
+          out += StrFormat("    switch (t%d) {\n", b.cond_tmp);
+          for (uint32_t t : DispatchCases(m, pc)) {
             out += StrFormat("    case 0x%x: %s(cpu); break;\n", t, FnName(m, t).c_str());
+            ++st->switch_cases;
           }
+          out += StrFormat("    default: revnic_unexplored(t%d); return;\n    }\n", b.cond_tmp);
         }
-        out += StrFormat("    default: revnic_unexplored(t%d); return;\n    }\n", b.cond_tmp);
-        out += "    " + jump_to(b.fallthrough) + "\n";
+        emit_trailing(b.fallthrough, next);
         break;
       }
       case Term::kRet:
@@ -227,7 +424,7 @@ std::string EmitFunctionC(const RecoveredModule& m, uint32_t entry_pc,
         break;
       case Term::kSyscall:
         out += StrFormat("    cpu->r[0] = revnic_os_call(%u, cpu);\n", b.target);
-        out += "    " + jump_to(b.fallthrough) + "\n";
+        emit_trailing(b.fallthrough, next);
         break;
       case Term::kHalt:
         out += "    revnic_halt();\n    return;\n";
@@ -235,10 +432,11 @@ std::string EmitFunctionC(const RecoveredModule& m, uint32_t entry_pc,
     }
   }
   out += "}\n";
+  ++st->functions;
   return out;
 }
 
-std::string EmitC(const RecoveredModule& m, const CEmitOptions& options) {
+std::string EmitC(const RecoveredModule& m, const CEmitOptions& options, CEmitStats* stats) {
   std::string out;
   out += "/* Synthesized by RevNIC: C encoding of the reverse-engineered driver\n";
   out += " * state machine. Control flow uses goto; driver state is reached via\n";
@@ -250,8 +448,11 @@ std::string EmitC(const RecoveredModule& m, const CEmitOptions& options) {
   }
   out += "\n";
   for (const auto& [pc, fn] : m.functions) {
-    out += EmitFunctionC(m, pc, options);
+    out += EmitFunctionC(m, pc, options, stats);
     out += "\n";
+  }
+  if (stats != nullptr) {
+    stats->bytes = out.size();
   }
   return out;
 }

@@ -1,18 +1,8 @@
 #include "synth/cfg.h"
 
-#include <algorithm>
-#include <deque>
-
-#include "isa/isa.h"
-#include "util/log.h"
-#include "util/strings.h"
+#include "synth/passes.h"
 
 namespace revnic::synth {
-
-using ir::Block;
-using ir::Instr;
-using ir::Op;
-using ir::Term;
 
 const char* FunctionTypeName(FunctionType type) {
   switch (type) {
@@ -52,383 +42,16 @@ size_t RecoveredModule::NumMixed() const {
   return n;
 }
 
-namespace {
-
-// Splits one translation block at interior leaders, appending the resulting
-// basic blocks to `out` (first-wins on duplicate pcs).
-void SplitBlock(const Block& tb, const std::set<uint32_t>& leaders,
-                std::map<uint32_t, Block>* out) {
-  std::vector<uint32_t> cuts;  // leader offsets (guest-instruction indices)
-  auto it = leaders.upper_bound(tb.guest_pc);
-  while (it != leaders.end() && *it < tb.guest_pc + tb.guest_size) {
-    cuts.push_back((*it - tb.guest_pc) / isa::kInstrBytes);
-    ++it;
-  }
-  if (cuts.empty()) {
-    out->emplace(tb.guest_pc, tb);
-    return;
-  }
-  cuts.push_back(tb.guest_size / isa::kInstrBytes);  // sentinel end
-  uint32_t seg_start_idx = 0;
-  for (size_t seg = 0; seg < cuts.size(); ++seg) {
-    uint32_t seg_end_idx = cuts[seg];
-    Block piece;
-    piece.guest_pc = tb.guest_pc + seg_start_idx * isa::kInstrBytes;
-    piece.guest_size = (seg_end_idx - seg_start_idx) * isa::kInstrBytes;
-    piece.num_temps = tb.num_temps;
-    for (const Instr& i : tb.instrs) {
-      if (i.guest_idx >= seg_start_idx && i.guest_idx < seg_end_idx) {
-        piece.instrs.push_back(i);
-      }
-    }
-    if (seg + 1 == cuts.size()) {
-      piece.term = tb.term;
-      piece.target = tb.target;
-      piece.fallthrough = tb.fallthrough;
-      piece.cond_tmp = tb.cond_tmp;
-    } else {
-      piece.term = Term::kFallthrough;
-      piece.target = tb.guest_pc + seg_end_idx * isa::kInstrBytes;
-    }
-    out->emplace(piece.guest_pc, std::move(piece));
-    seg_start_idx = seg_end_idx;
-  }
-}
-
-// Pattern-matches "temp = fp + constant" chains within a block, returning a
-// map temp -> offset for temps derived from the frame pointer.
-std::map<int32_t, uint32_t> FpOffsets(const Block& block) {
-  std::map<int32_t, uint32_t> fp_off;
-  std::map<int32_t, uint32_t> const_val;
-  for (const Instr& i : block.instrs) {
-    switch (i.op) {
-      case Op::kConst:
-        const_val[i.dst] = i.imm;
-        break;
-      case Op::kGetReg:
-        if (i.imm == isa::kRegFp) {
-          fp_off[i.dst] = 0;
-        }
-        break;
-      case Op::kMov:
-        if (fp_off.count(i.a) != 0) {
-          fp_off[i.dst] = fp_off[i.a];
-        }
-        if (const_val.count(i.a) != 0) {
-          const_val[i.dst] = const_val[i.a];
-        }
-        break;
-      case Op::kAdd:
-        if (fp_off.count(i.a) != 0 && const_val.count(i.b) != 0) {
-          fp_off[i.dst] = fp_off[i.a] + const_val[i.b];
-        } else if (fp_off.count(i.b) != 0 && const_val.count(i.a) != 0) {
-          fp_off[i.dst] = fp_off[i.b] + const_val[i.a];
-        }
-        break;
-      default:
-        break;
-    }
-  }
-  return fp_off;
-}
-
-// Does `block` read guest r0 before writing it? (Return-value def-use.)
-bool ReadsR0BeforeDef(const Block& block) {
-  for (const Instr& i : block.instrs) {
-    if (i.op == Op::kGetReg && i.imm == isa::kRegR0) {
-      return true;
-    }
-    if (i.op == Op::kSetReg && i.imm == isa::kRegR0) {
-      return false;
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
+// Legacy entry point: the recovery passes only, no verifier interposition --
+// byte-for-byte the old monolithic BuildModule behavior. The staged
+// pipeline (core::Session) calls RunSynthesisPipeline directly and turns
+// both cleanup and verification on.
 RecoveredModule BuildModule(const trace::TraceBundle& bundle,
                             const std::vector<os::EntryPoint>& entries, SynthStats* stats) {
-  RecoveredModule m;
-  m.code_begin = bundle.code_begin;
-  m.code_end = bundle.code_end;
-  SynthStats local_stats;
-  SynthStats* st = stats != nullptr ? stats : &local_stats;
-  st->translation_blocks = bundle.blocks.size();
-  st->trace_bytes = bundle.ApproxBytes();
-
-  auto in_code = [&](uint32_t pc) {
-    return pc >= bundle.code_begin && pc < bundle.code_end;
-  };
-
-  // ---- 1. Observed indirect control-flow targets + async-event detection.
-  // Records are grouped by state and ordered by seq; a mismatch between one
-  // record's resolved successor and the next record's pc (or a register-file
-  // discontinuity) marks an asynchronous boundary rather than a CFG edge.
-  std::map<uint64_t, std::vector<const trace::BlockRecord*>> by_state;
-  for (const trace::BlockRecord& r : bundle.block_records) {
-    by_state[r.state_id].push_back(&r);
-  }
-  for (auto& [state_id, records] : by_state) {
-    std::sort(records.begin(), records.end(),
-              [](const trace::BlockRecord* a, const trace::BlockRecord* b) {
-                return a->seq < b->seq;
-              });
-    for (size_t i = 0; i + 1 < records.size(); ++i) {
-      const trace::BlockRecord* cur = records[i];
-      const trace::BlockRecord* next = records[i + 1];
-      bool contiguous = cur->next_pc == next->pc && cur->after == next->before;
-      if (!contiguous) {
-        ++st->async_boundaries;
-      }
-    }
-  }
-  for (const trace::BlockRecord& r : bundle.block_records) {
-    auto bit = bundle.blocks.find(r.pc);
-    if (bit == bundle.blocks.end()) {
-      continue;
-    }
-    Term term = bit->second.term;
-    if ((term == Term::kJumpInd || term == Term::kCallInd) && in_code(r.next_pc)) {
-      m.indirect_targets[r.pc].insert(r.next_pc);
-    }
-  }
-
-  // ---- 2. Leaders: every translated pc plus every static/observed target.
-  std::set<uint32_t> leaders;
-  for (const auto& [pc, block] : bundle.blocks) {
-    leaders.insert(pc);
-    switch (block.term) {
-      case Term::kBranch:
-        leaders.insert(block.target);
-        leaders.insert(block.fallthrough);
-        break;
-      case Term::kJump:
-      case Term::kFallthrough:
-        leaders.insert(block.target);
-        break;
-      case Term::kCall:
-        leaders.insert(block.target);
-        leaders.insert(block.fallthrough);
-        break;
-      case Term::kCallInd:
-      case Term::kSyscall:
-        leaders.insert(block.fallthrough);
-        break;
-      default:
-        break;
-    }
-  }
-  for (const auto& [pc, targets] : m.indirect_targets) {
-    leaders.insert(targets.begin(), targets.end());
-  }
-
-  // ---- 3. Split translation blocks into basic blocks.
-  for (const auto& [pc, block] : bundle.blocks) {
-    SplitBlock(block, leaders, &m.blocks);
-  }
-  st->basic_blocks = m.blocks.size();
-
-  // ---- 4. Function boundaries: entry points + call targets (§4.1
-  // "call-return instruction pairs").
-  std::set<uint32_t> function_entries;
-  if (in_code(bundle.entry)) {
-    function_entries.insert(bundle.entry);
-  }
-  for (const os::EntryPoint& e : entries) {
-    if (in_code(e.pc)) {
-      function_entries.insert(e.pc);
-    }
-  }
-  for (const auto& [pc, block] : m.blocks) {
-    if (block.term == Term::kCall && in_code(block.target)) {
-      function_entries.insert(block.target);
-    }
-    if (block.term == Term::kCallInd) {
-      auto it = m.indirect_targets.find(pc);
-      if (it != m.indirect_targets.end()) {
-        function_entries.insert(it->second.begin(), it->second.end());
-      }
-    }
-  }
-
-  // ---- 5. Assign blocks to functions via intraprocedural reachability.
-  for (uint32_t entry : function_entries) {
-    RecoveredFunction fn;
-    fn.entry_pc = entry;
-    fn.name = StrFormat("function_%x", entry);
-    std::set<uint32_t> visited;
-    std::deque<uint32_t> work{entry};
-    while (!work.empty()) {
-      uint32_t pc = work.front();
-      work.pop_front();
-      if (visited.count(pc) != 0) {
-        continue;
-      }
-      auto it = m.blocks.find(pc);
-      if (it == m.blocks.end()) {
-        if (in_code(pc)) {
-          fn.unexplored_targets.insert(pc);  // coverage hole: flag it
-        }
-        continue;
-      }
-      visited.insert(pc);
-      const Block& b = it->second;
-      switch (b.term) {
-        case Term::kBranch:
-          work.push_back(b.target);
-          work.push_back(b.fallthrough);
-          break;
-        case Term::kJump:
-        case Term::kFallthrough:
-          work.push_back(b.target);
-          break;
-        case Term::kJumpInd: {
-          auto tit = m.indirect_targets.find(pc);
-          if (tit != m.indirect_targets.end()) {
-            for (uint32_t t : tit->second) {
-              work.push_back(t);
-            }
-          }
-          break;
-        }
-        case Term::kCall:
-          fn.callees.insert(b.target);
-          work.push_back(b.fallthrough);
-          break;
-        case Term::kCallInd: {
-          auto tit = m.indirect_targets.find(pc);
-          if (tit != m.indirect_targets.end()) {
-            fn.callees.insert(tit->second.begin(), tit->second.end());
-          }
-          work.push_back(b.fallthrough);
-          break;
-        }
-        case Term::kSyscall:
-          fn.api_ids.insert(b.target);
-          fn.has_os_calls = true;
-          work.push_back(b.fallthrough);
-          break;
-        case Term::kRet:
-        case Term::kHalt:
-          break;
-      }
-    }
-    fn.block_pcs.assign(visited.begin(), visited.end());
-    st->coverage_holes += fn.unexplored_targets.size();
-    m.functions.emplace(entry, std::move(fn));
-  }
-
-  // ---- 6. Hardware-access classification inputs.
-  std::set<uint32_t> hw_record_pcs;
-  for (const trace::MemRecord& r : bundle.mem_records) {
-    if (r.kind != trace::MemKind::kRam) {
-      hw_record_pcs.insert(r.pc);
-    }
-  }
-  for (auto& [entry, fn] : m.functions) {
-    for (uint32_t pc : fn.block_pcs) {
-      const Block& b = m.blocks.at(pc);
-      for (const Instr& i : b.instrs) {
-        if (i.op == Op::kIn || i.op == Op::kOut) {
-          fn.has_hw_io = true;
-        }
-      }
-      if (hw_record_pcs.count(pc) != 0) {
-        fn.has_hw_io = true;
-      }
-    }
-  }
-  // Transitive hardware use through callees (fixpoint).
-  bool changed = true;
-  std::map<uint32_t, bool> hw_closure;
-  for (auto& [entry, fn] : m.functions) {
-    hw_closure[entry] = fn.has_hw_io;
-  }
-  while (changed) {
-    changed = false;
-    for (auto& [entry, fn] : m.functions) {
-      if (hw_closure[entry]) {
-        continue;
-      }
-      for (uint32_t callee : fn.callees) {
-        auto it = hw_closure.find(callee);
-        if (it != hw_closure.end() && it->second) {
-          hw_closure[entry] = true;
-          changed = true;
-          break;
-        }
-      }
-    }
-  }
-  for (auto& [entry, fn] : m.functions) {
-    bool hw = fn.has_hw_io;
-    bool hw_transitive = hw_closure[entry];
-    if (fn.has_os_calls) {
-      fn.type = hw ? FunctionType::kMixed : FunctionType::kOsGlue;
-    } else if (hw) {
-      fn.type = FunctionType::kHardwareOnly;
-    } else if (hw_transitive) {
-      fn.type = FunctionType::kHardwareOnly;  // pure dispatcher over hw helpers
-    } else {
-      fn.type = FunctionType::kPureCompute;
-    }
-  }
-
-  // ---- 7. Parameters and return values by def-use (§4.1).
-  for (auto& [entry, fn] : m.functions) {
-    unsigned max_param = 0;
-    for (uint32_t pc : fn.block_pcs) {
-      const Block& b = m.blocks.at(pc);
-      std::map<int32_t, uint32_t> fp_off = FpOffsets(b);
-      for (const Instr& i : b.instrs) {
-        if ((i.op == Op::kLoad || i.op == Op::kStore) && fp_off.count(i.a) != 0) {
-          uint32_t off = fp_off[i.a];
-          if (off >= 8 && off < 8 + 16 * 4) {  // plausible stack-arg window
-            max_param = std::max(max_param, (off - 8) / 4 + 1);
-          }
-        }
-      }
-    }
-    fn.num_params = max_param;
-  }
-  // Return values: a call-site successor reading r0 before redefining it.
-  for (auto& [entry, fn] : m.functions) {
-    for (uint32_t pc : fn.block_pcs) {
-      const Block& b = m.blocks.at(pc);
-      if (b.term != Term::kCall) {
-        continue;
-      }
-      auto callee = m.functions.find(b.target);
-      auto succ = m.blocks.find(b.fallthrough);
-      if (callee != m.functions.end() && succ != m.blocks.end() &&
-          ReadsR0BeforeDef(succ->second)) {
-        callee->second.has_return = true;
-      }
-    }
-  }
-
-  // ---- 8. Entry-role mapping + friendly names.
-  for (const os::EntryPoint& e : entries) {
-    if (!in_code(e.pc)) {
-      continue;
-    }
-    if (m.entry_roles.count(e.role) == 0) {
-      m.entry_roles[e.role] = e.pc;
-    }
-    auto it = m.functions.find(e.pc);
-    if (it != m.functions.end()) {
-      it->second.name = StrFormat("%s_%x", os::EntryRoleName(e.role), e.pc);
-      // Entry points return status to the OS.
-      it->second.has_return = true;
-      // Entry points take their documented parameter counts even when the
-      // body did not touch every argument.
-      it->second.num_params = std::max(it->second.num_params, 1u);
-    }
-  }
-
-  st->functions = m.functions.size();
-  return m;
+  PipelineOptions options;
+  options.cleanup = false;
+  options.verify_between = false;
+  return RunSynthesisPipeline(bundle, entries, options, stats, nullptr);
 }
 
 }  // namespace revnic::synth

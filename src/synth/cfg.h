@@ -15,7 +15,9 @@
 #define REVNIC_SYNTH_CFG_H_
 
 #include <string>
+#include <vector>
 
+#include "ir/passes.h"
 #include "synth/module.h"
 #include "trace/trace.h"
 
@@ -23,18 +25,55 @@ namespace revnic::synth {
 
 struct SynthStats {
   size_t translation_blocks = 0;
-  size_t basic_blocks = 0;     // after splitting
+  size_t basic_blocks = 0;     // after splitting (before any cleanup pruning)
   size_t functions = 0;
   size_t async_boundaries = 0; // register-discontinuity detections
   size_t coverage_holes = 0;   // flagged unexplored branch targets
   uint64_t trace_bytes = 0;    // input size (for the §5.4 throughput metric)
+  // Cleanup-pipeline effect totals (all zero when cleanup is off).
+  size_t jumps_threaded = 0;   // edges retargeted past empty jump blocks
+  size_t blocks_merged = 0;    // single-predecessor fallthrough merges
+  size_t blocks_pruned = 0;    // unreachable blocks removed
+  size_t instrs_removed = 0;   // dead pure computations eliminated
+  size_t switches_recovered = 0;
+  size_t labels_pruned = 0;    // C labels the emitter no longer needs
+  size_t gotos_elided = 0;     // gotos replaced by source-order fallthrough
+  // Per-pass breakdown in pipeline order (Figure 9's per-pass report).
+  std::vector<ir::PassStats> passes;
 };
 
 // Rebuilds the driver's state machine from the wiretap output. `entries`
-// provides the role metadata recorded at registration time.
+// provides the role metadata recorded at registration time. Runs the
+// recovery passes only (no cleanup) -- the legacy entry point; the staged
+// pipeline (core::Session) calls RunSynthesisPipeline below.
 RecoveredModule BuildModule(const trace::TraceBundle& bundle,
                             const std::vector<os::EntryPoint>& entries,
                             SynthStats* stats = nullptr);
+
+// ---- pass-pipeline entry point (synth/passes.cc) ----
+
+struct PipelineOptions {
+  // Run the C-shrinking cleanup passes (thread-jumps, merge-fallthrough,
+  // prune-unreachable, dce, recover-switches, prune-labels) after recovery.
+  bool cleanup = true;
+  // Interpose the ir verifier (plus module structural checks) between
+  // passes; a failure aborts the pipeline with `error` set.
+  bool verify_between = true;
+};
+
+// Runs the full trace->module pipeline under an ir::PassManager. On
+// verifier failure returns the module as of the offending pass and sets
+// `*error`; otherwise `*error` is cleared. `stats->passes` records the
+// per-pass breakdown either way.
+RecoveredModule RunSynthesisPipeline(const trace::TraceBundle& bundle,
+                                     const std::vector<os::EntryPoint>& entries,
+                                     const PipelineOptions& options, SynthStats* stats,
+                                     std::string* error);
+
+// Structural invariants the pass manager enforces between passes: every
+// block passes ir::Verify, every function block_pc resolves, every entry
+// role maps to a function. Empty string when clean.
+std::string VerifyModule(const RecoveredModule& module);
 
 }  // namespace revnic::synth
 

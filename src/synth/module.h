@@ -45,6 +45,25 @@ struct RecoveredFunction {
   std::set<uint32_t> unexplored_targets;
 };
 
+// Switch dispatch recovered from the wiretap's observed indirect targets
+// (the recover-switches cleanup pass). The emitter renders a guarded direct
+// jump for single-target dispatches and a case table otherwise; without a
+// plan it falls back to the raw indirect_targets switch.
+struct SwitchPlan {
+  std::vector<uint32_t> cases;  // sorted, deduplicated in-module targets
+  bool single_target() const { return cases.size() == 1; }
+};
+
+// Per-function emission layout computed by the prune-labels cleanup pass:
+// the block order the renderer will emit and the subset of blocks that
+// still need a C label once fallthrough-adjacent gotos are elided. Absent
+// (no entry in emit_plans) the renderer emits the legacy goto-everywhere
+// Listing 1 form.
+struct EmitPlan {
+  std::vector<uint32_t> order;  // block emission order (ascending pc)
+  std::set<uint32_t> labeled;   // blocks that remain goto/guard targets
+};
+
 struct RecoveredModule {
   // Basic blocks after splitting, keyed by pc.
   std::map<uint32_t, ir::Block> blocks;
@@ -53,6 +72,9 @@ struct RecoveredModule {
   std::map<os::EntryRole, uint32_t> entry_roles;
   // Observed targets of indirect jumps per block pc (jump tables, §3.4).
   std::map<uint32_t, std::set<uint32_t>> indirect_targets;
+  // Cleanup-pipeline artifacts (empty when only recovery passes ran).
+  std::map<uint32_t, SwitchPlan> switch_plans;  // keyed by block pc
+  std::map<uint32_t, EmitPlan> emit_plans;      // keyed by function entry pc
   uint32_t code_begin = 0;
   uint32_t code_end = 0;
 

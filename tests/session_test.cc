@@ -228,6 +228,46 @@ TEST(Session, CheckpointStoreExercisesOnceAndResumesIdentically) {
   EXPECT_EQ(a->engine().stats.work, b->engine().stats.work);
 }
 
+TEST(Session, CheckpointStoreSaltSeparatesDistinctCancelPolicies) {
+  // Two callers share a key and a config whose only difference is the
+  // *behavior* of their cancel closures. Closure identity cannot be
+  // fingerprinted (both configs mix the same presence bit), so without a
+  // salt the second caller would silently resume the first caller's
+  // cancelled checkpoint. The caller-provided salt keeps them apart.
+  const isa::Image& image = drivers::DriverImage(DriverId::kRtl8029);
+  core::EngineConfig eager = SmallConfig(DriverId::kRtl8029);
+  eager.cancel = [] { return true; };  // stops almost immediately
+  core::EngineConfig patient = SmallConfig(DriverId::kRtl8029);
+  patient.cancel = [] { return false; };  // runs the full budget
+
+  auto cancelled =
+      core::CheckpointStore::Global().Resume("session_test/salt", image, eager, "eager");
+  auto full =
+      core::CheckpointStore::Global().Resume("session_test/salt", image, patient, "patient");
+  ASSERT_TRUE(cancelled->RecoverCfg());
+  ASSERT_TRUE(full->RecoverCfg());
+  EXPECT_TRUE(cancelled->engine().cancelled);
+  EXPECT_FALSE(full->engine().cancelled);
+  EXPECT_GT(full->engine().stats.work, cancelled->engine().stats.work);
+
+  // Same key + same salt still shares one exercise (the store's point).
+  auto full_again =
+      core::CheckpointStore::Global().Resume("session_test/salt", image, patient, "patient");
+  ASSERT_TRUE(full_again->RecoverCfg());
+  EXPECT_EQ(full_again->engine().stats.work, full->engine().stats.work);
+
+  // Without distinct salts the collision is real: the presence-bit key hands
+  // the patient caller the eager caller's cancelled blob.
+  auto collide_a =
+      core::CheckpointStore::Global().Resume("session_test/collide", image, eager);
+  auto collide_b =
+      core::CheckpointStore::Global().Resume("session_test/collide", image, patient);
+  ASSERT_TRUE(collide_a->RecoverCfg());
+  ASSERT_TRUE(collide_b->RecoverCfg());
+  EXPECT_EQ(collide_b->engine().stats.work, collide_a->engine().stats.work);
+  EXPECT_TRUE(collide_b->engine().cancelled);
+}
+
 // ---- batch ----
 
 TEST(Session, BatchOverRegistryMatchesSequentialRuns) {
