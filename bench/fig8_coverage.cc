@@ -21,12 +21,19 @@
 //   --coverage-log=PATH    stream every coverage sample as JSONL (one object
 //                          per sample, tagged with the driver name); CI
 //                          archives this as an artifact.
+//   --faults=SPEC          deterministic fault injection during exercising:
+//                          SPEC is "seed:kind=rate,..." (hw::ParseFaultPlan;
+//                          e.g. 42:irq-drop=0.2,reg-corrupt=0.05 or
+//                          7:all=0.1). Fault counts ride in the JSONL stream
+//                          and the printed summary; the soak CI tier sweeps
+//                          this under sanitizers.
 #include <chrono>
 #include <cstring>
 #include <memory>
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "hw/faults.h"
 #include "util/jsonl.h"
 
 int main(int argc, char** argv) {
@@ -34,9 +41,16 @@ int main(int argc, char** argv) {
   unsigned exercise_threads = 1;
   bool spine_replay = false;
   const char* coverage_log = nullptr;
+  hw::FaultPlan fault_plan;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--spine-replay") == 0) {
       spine_replay = true;
+    } else if (strncmp(argv[i], "--faults=", 9) == 0) {
+      std::string error;
+      if (!hw::ParseFaultPlan(argv[i] + 9, &fault_plan, &error)) {
+        fprintf(stderr, "--faults: %s\n", error.c_str());
+        return 2;
+      }
     } else if (strncmp(argv[i], "--exercise-threads=", 19) == 0) {
       exercise_threads = static_cast<unsigned>(atoi(argv[i] + 19));
       if (exercise_threads < 1) {
@@ -79,6 +93,7 @@ int main(int argc, char** argv) {
     job.config.sample_every = 100;  // fine-grained timeline
     job.config.exercise_threads = exercise_threads;
     job.config.spine_replay_fanout = spine_replay;
+    job.config.faults = fault_plan;
     if (log_sink != nullptr) {
       job.config.on_coverage = core::MakeCoverageJsonlLogger(log_sink.get(), t.name);
     }
@@ -98,10 +113,14 @@ int main(int argc, char** argv) {
   double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   printf("(batch: %zu drivers on %u worker threads, exercise-threads=%u, handoff=%s, "
-         "wall %.1fs)\n\n",
+         "wall %.1fs)\n",
          batch.jobs.size(), batch.concurrency, exercise_threads,
          exercise_threads > 1 ? (spine_replay ? "spine-replay" : "snapshot-restore") : "n/a",
          wall_s);
+  if (fault_plan.Enabled()) {
+    printf("(fault plan: %s)\n", hw::FormatFaultPlan(fault_plan).c_str());
+  }
+  printf("\n");
 
   printf("%-8s", "minute");
   std::vector<std::vector<double>> curves;
@@ -151,6 +170,13 @@ int main(int argc, char** argv) {
     printf("  %s=%.1f%%", names[i].c_str(), curves[i].back());
   }
   printf("\n(paper: most drivers reach over 80%% in under twenty minutes)\n");
+  if (fault_plan.Enabled()) {
+    printf("\nFault injection (per driver):\n");
+    for (const core::BatchJobResult& job : batch.jobs) {
+      printf("  %-10s %s\n", job.name.c_str(),
+             hw::FormatFaultStats(job.result.engine.fault_stats).c_str());
+    }
+  }
   printf("\nSubstrate caches (per driver):\n");
   for (size_t i = 0; i < substrates.size(); ++i) {
     printf("  %-10s %s\n", names[i].c_str(),

@@ -23,6 +23,7 @@
 
 #include "core/session.h"
 #include "drivers/drivers.h"
+#include "hw/faults.h"
 #include "isa/disasm.h"
 #include "synth/emit.h"
 
@@ -40,6 +41,11 @@ void PrintUsage(const char* argv0) {
          "                       kitos | all (repeatable; default: windows)\n"
          "  --exercise-threads <n>  parallel exercise workers (1 = sequential,\n"
          "                       0 = hardware; deterministic for any n >= 2)\n"
+         "  --faults <spec>      deterministic fault injection while exercising:\n"
+         "                       seed:kind=rate,... (e.g. 42:irq-drop=0.2 or\n"
+         "                       7:all=0.05; kinds: irq-drop irq-dup irq-delay\n"
+         "                       dma-read-stall dma-write-drop bus-error\n"
+         "                       reg-corrupt frame-truncate frame-oversize)\n"
          "  --list               list registered targets and exit\n",
          argv0);
 }
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
   const char* checkpoint = nullptr;
   const char* out_dir = nullptr;
   unsigned exercise_threads = 1;
+  hw::FaultPlan fault_plan;
   std::vector<os::TargetOs> emit_targets;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
@@ -82,6 +89,12 @@ int main(int argc, char** argv) {
       out_dir = value("--out");
     } else if (strcmp(argv[i], "--exercise-threads") == 0) {
       exercise_threads = static_cast<unsigned>(atoi(value("--exercise-threads")));
+    } else if (strcmp(argv[i], "--faults") == 0) {
+      std::string fault_err;
+      if (!hw::ParseFaultPlan(value("--faults"), &fault_plan, &fault_err)) {
+        fprintf(stderr, "--faults: %s\n", fault_err.c_str());
+        return 2;
+      }
     } else if (strcmp(argv[i], "--emit-target") == 0) {
       const char* name = value("--emit-target");
       if (strcmp(name, "all") == 0) {
@@ -145,6 +158,10 @@ int main(int argc, char** argv) {
     }
     printf("=== resumed from checkpoint %s (label '%s') ===\n", checkpoint,
            session->label().c_str());
+    if (fault_plan.Enabled()) {
+      fprintf(stderr, "note: --faults ignored when resuming (the checkpoint already"
+              " fixes the exercised trace)\n");
+    }
   } else {
     const drivers::TargetInfo* target =
         drivers::FindTarget(driver_name != nullptr ? driver_name : "pcnet");
@@ -164,6 +181,10 @@ int main(int argc, char** argv) {
     cfg.pci = drivers::DriverPci(target->id);
     cfg.max_work = 200'000;
     cfg.exercise_threads = exercise_threads;
+    cfg.faults = fault_plan;
+    if (fault_plan.Enabled()) {
+      printf("fault plan: %s\n", hw::FormatFaultPlan(fault_plan).c_str());
+    }
     session = std::make_unique<core::Session>(img, cfg);
     session->set_label(target->name);
   }
@@ -186,6 +207,9 @@ int main(int argc, char** argv) {
          engine.CoveragePercent(), static_cast<unsigned long long>(engine.executor_stats.forks),
          static_cast<unsigned long long>(engine.stats.api_calls));
   printf("substrate caches: %s\n", perf::FormatSubstrateCounters(engine.substrate).c_str());
+  if (engine.fault_stats.decisions > 0) {
+    printf("%s\n", hw::FormatFaultStats(engine.fault_stats).c_str());
+  }
 
   if (checkpoint != nullptr && !resumed) {
     if (!session->SaveCheckpointFile(checkpoint, &err)) {

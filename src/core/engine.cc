@@ -54,6 +54,9 @@ struct Step {
   bool is_driver_entry = false;
   EntryRole role = EntryRole::kInitialize;
   bool is_irq = false;  // marks the §3.2 interrupt-injection steps
+  // Plan-level fault applied to this scripted IRQ step (BuildPlan shapes the
+  // step list from FaultSchedule::PlanIrqDecision; kNone for non-IRQ steps).
+  hw::IrqFault irq_fault = hw::IrqFault::kNone;
   std::vector<StepArg> args;
   // Optional extra state preparation (packet buffers etc.).
   std::function<void(symex::ExprContext*, ExecutionState*)> setup;
@@ -107,8 +110,10 @@ struct Engine::Impl {
         dbt(&fetcher),
         pool(config.pool, config.seed ^ 0x5EED),
         rng(config.seed ^ 0xC0FFEE),
+        faults(config.faults),
         sink(&bundle) {
     executor.set_next_state_id(&next_state_id);
+    shell.set_fault_schedule(faults.enabled() ? &faults : nullptr);
     winsim.LoadDriver(image, &mm);
     for (const auto& [key, value] : config.registry) {
       winsim.SetConfig(key, value);
@@ -162,7 +167,14 @@ struct Engine::Impl {
 
   void SampleTimeline() {
     if (stats.work % config.sample_every == 0) {
-      timeline.push_back({stats.work, covered.size()});
+      timeline.push_back({stats.work, covered.size(), faults.stats().TotalInjected()});
+      if (global_faults != nullptr) {
+        // Publish the delta since the last sample into the run-wide counter
+        // (monitoring-only, like the shared coverage map).
+        uint64_t total = faults.stats().TotalInjected();
+        global_faults->fetch_add(total - faults_published, std::memory_order_relaxed);
+        faults_published = total;
+      }
       if (config.on_coverage) {
         config.on_coverage(timeline.back());
       }
@@ -301,6 +313,19 @@ struct Engine::Impl {
         step.is_driver_entry ? image.entry : winsim.EntryPc(step.role);
     if (entry_pc == 0) {
       return seed_state;  // entry point not provided by this driver
+    }
+    // Plan-level IRQ faults (shaped once by BuildPlan, so every replica sees
+    // the same shape): a dropped edge never reaches the driver -- skip the
+    // whole step. Duplicated/delayed steps run normally; the plan already
+    // repositioned/copied them, we only count the injection here.
+    if (step.irq_fault == hw::IrqFault::kDrop) {
+      ++faults.stats().irq_dropped;
+      return seed_state;
+    }
+    if (step.irq_fault == hw::IrqFault::kDup) {
+      ++faults.stats().irq_duplicated;
+    } else if (step.irq_fault == hw::IrqFault::kDelay) {
+      ++faults.stats().irq_delayed;
     }
     // Pre-step snapshot: the fallback if every path errors out.
     std::unique_ptr<ExecutionState> fallback = seed_state->Fork(next_state_id++);
@@ -537,16 +562,57 @@ struct Engine::Impl {
     return s;
   }
 
-  // The executed plan: the script minus disabled IRQ steps.
+  // The executed plan: the script minus disabled IRQ steps, with fault-plan
+  // IRQ perturbations applied. Shaping is keyed by the IRQ step's ordinal via
+  // the cursor-independent PlanIrqDecision, so every replica -- spine,
+  // snapshot-restore worker, spine-replay worker -- builds the identical
+  // plan regardless of how far its fault cursor has advanced.
   std::vector<Step> BuildPlan() {
     std::vector<Step> script = BuildScript();
     std::vector<Step> plan;
     plan.reserve(script.size());
+    std::vector<Step> delayed;  // kDelay stash: lands after the next step
+    uint32_t irq_ordinal = 0;
     for (Step& step : script) {
       if (step.is_irq && !config.inject_irqs) {
         continue;
       }
+      if (step.is_irq) {
+        switch (hw::FaultSchedule::PlanIrqDecision(config.faults, irq_ordinal++)) {
+          case hw::IrqFault::kDrop:
+            // Keep the step so RunStep counts the drop deterministically,
+            // but mark it: RunStep skips the injection entirely.
+            step.irq_fault = hw::IrqFault::kDrop;
+            break;
+          case hw::IrqFault::kDup: {
+            // Spurious interrupt: the edge fires twice back to back. Only
+            // the inserted copy carries the marker so the injection is
+            // counted once.
+            Step dup = step;
+            dup.name += "_dup";
+            dup.irq_fault = hw::IrqFault::kDup;
+            plan.push_back(std::move(step));
+            plan.push_back(std::move(dup));
+            continue;
+          }
+          case hw::IrqFault::kDelay:
+            // Late edge: the IRQ lands after the next script step instead of
+            // right where the exerciser scheduled it.
+            step.irq_fault = hw::IrqFault::kDelay;
+            delayed.push_back(std::move(step));
+            continue;
+          case hw::IrqFault::kNone:
+            break;
+        }
+      }
       plan.push_back(std::move(step));
+      for (Step& d : delayed) {
+        plan.push_back(std::move(d));
+      }
+      delayed.clear();
+    }
+    for (Step& d : delayed) {
+      plan.push_back(std::move(d));
     }
     return plan;
   }
@@ -643,6 +709,16 @@ struct Engine::Impl {
       e.U64(count);
     }
     put_regions(ws.dma_regions);
+    // Fault-schedule position and counters: the cursor feeds every fault
+    // decision, so a restored chain resumes mid-schedule exactly where the
+    // spine left it (same contract as the shell's symbol serial above).
+    e.U64(faults.cursor());
+    const hw::FaultStats& fs = faults.stats();
+    for (uint64_t v : {fs.decisions, fs.irq_dropped, fs.irq_duplicated, fs.irq_delayed,
+                       fs.dma_read_stalls, fs.dma_write_drops, fs.bus_errors,
+                       fs.reg_corruptions, fs.frames_truncated, fs.frames_oversized}) {
+      e.U64(v);
+    }
 
     return w.Finish(ctx);
   }
@@ -821,6 +897,23 @@ struct Engine::Impl {
     if (!get_regions(&ws.dma_regions)) {
       return fail("truncated winsim DMA regions");
     }
+    uint64_t fault_cursor;
+    hw::FaultStats fs;
+    if (!e.U64(&fault_cursor)) {
+      return fail("truncated fault cursor");
+    }
+    for (uint64_t* v : {&fs.decisions, &fs.irq_dropped, &fs.irq_duplicated, &fs.irq_delayed,
+                        &fs.dma_read_stalls, &fs.dma_write_drops, &fs.bus_errors,
+                        &fs.reg_corruptions, &fs.frames_truncated, &fs.frames_oversized}) {
+      if (!e.U64(v)) {
+        return fail("truncated fault stats");
+      }
+    }
+    faults.set_cursor(fault_cursor);
+    faults.set_stats(fs);
+    // The restored counters are prefix totals this replica never published;
+    // start live-sample publication from here, not from zero.
+    faults_published = fs.TotalInjected();
     if (e.remaining() != 0) {
       return fail("trailing bytes in engine section");
     }
@@ -867,7 +960,7 @@ struct Engine::Impl {
     if (full_step < 0 && config.capture_final_snapshot) {
       final_snapshot_bytes = SerializeChainSnapshot(*state);
     }
-    timeline.push_back({stats.work, covered.size()});
+    timeline.push_back({stats.work, covered.size(), faults.stats().TotalInjected()});
     if (config.on_coverage) {
       config.on_coverage(timeline.back());
     }
@@ -890,7 +983,7 @@ struct Engine::Impl {
       state = RunStep(plan[step_index], std::move(state), full);
       ++steps_run;
     }
-    timeline.push_back({stats.work, covered.size()});
+    timeline.push_back({stats.work, covered.size(), faults.stats().TotalInjected()});
     if (config.on_coverage) {
       config.on_coverage(timeline.back());
     }
@@ -914,6 +1007,7 @@ struct Engine::Impl {
     dbt_misses_mark = dbt.cache_misses();
     call_counts_mark = call_counts;
     functions_modeled_mark = stats_functions_modeled;
+    fault_mark = faults.stats();
   }
 
   EngineResult BuildResult() {
@@ -935,7 +1029,10 @@ struct Engine::Impl {
                         .intern_misses = is.misses,
                         .intern_size = is.size,
                         .dbt_cache_hits = dbt.cache_hits(),
-                        .dbt_cache_misses = dbt.cache_misses()};
+                        .dbt_cache_misses = dbt.cache_misses(),
+                        .fault_decisions = faults.stats().decisions,
+                        .faults_injected = faults.stats().TotalInjected()};
+    result.fault_stats = faults.stats();
     result.entries = winsim.entries();
     result.apis_used = std::move(apis_used);
     result.call_counts = call_counts;
@@ -962,11 +1059,13 @@ struct Engine::Impl {
     chop(&r->timeline, mark_timeline);
     for (CoverageSample& s : r->timeline) {
       s.work -= stats_mark.work;
+      s.faults -= fault_mark.TotalInjected();
     }
 
     r->stats -= stats_mark;
     r->solver_stats -= solver_mark;
     r->executor_stats -= executor_mark;
+    r->fault_stats -= fault_mark;
 
     perf::SubstrateCounters& sc = r->substrate;
     sc.solver_queries -= solver_mark.queries;
@@ -977,6 +1076,8 @@ struct Engine::Impl {
     sc.intern_misses -= intern_mark.misses;
     sc.dbt_cache_hits -= dbt_hits_mark;
     sc.dbt_cache_misses -= dbt_misses_mark;
+    sc.fault_decisions -= fault_mark.decisions;
+    sc.faults_injected -= fault_mark.TotalInjected();
 
     for (const auto& [pc, count] : call_counts_mark) {
       auto it = r->call_counts.find(pc);
@@ -1007,6 +1108,7 @@ struct Engine::Impl {
     struct Shared {
       std::atomic<bool> cancel{false};
       std::atomic<uint64_t> work{0};
+      std::atomic<uint64_t> faults{0};
       std::atomic<uint64_t> restore_failures{0};
       std::mutex observer_mu;
     } shared;
@@ -1037,7 +1139,8 @@ struct Engine::Impl {
     std::function<void(const CoverageSample&)> user_cov = config.on_coverage;
     if (user_cov) {
       cfg.on_coverage = [&shared, &live, user_cov](const CoverageSample&) {
-        CoverageSample merged{shared.work.load(std::memory_order_relaxed), live.CoveredCount()};
+        CoverageSample merged{shared.work.load(std::memory_order_relaxed), live.CoveredCount(),
+                              shared.faults.load(std::memory_order_relaxed)};
         std::lock_guard<std::mutex> lock(shared.observer_mu);
         user_cov(merged);
       };
@@ -1056,6 +1159,7 @@ struct Engine::Impl {
     spine.config = cfg;  // wrapped cancel + coverage hooks for the spine run
     spine.live_coverage = &live;
     spine.global_work = &shared.work;
+    spine.global_faults = &shared.faults;
     // Snapshot handoff (the default): the spine pass serializes the chain
     // state before each step, and each fan-out worker *restores* its start
     // snapshot instead of re-executing the prefix -- total spine work drops
@@ -1106,6 +1210,7 @@ struct Engine::Impl {
               Impl replica(image, cfg);
               replica.live_coverage = &live;
               replica.global_work = &shared.work;
+              replica.global_faults = &shared.faults;
               // Each step's blob is consumed exactly once; moving it out
               // frees the snapshot as the fan-out progresses instead of
               // holding all S of them until the last worker finishes.
@@ -1135,6 +1240,7 @@ struct Engine::Impl {
               Impl replica(image, cfg);
               replica.live_coverage = &live;
               replica.global_work = &shared.work;
+              replica.global_faults = &shared.faults;
               segments[k].result =
                   replica.RunScript(spine_knobs, static_cast<int>(k), full_knobs);
               segments[k].begun = replica.segment_begun;
@@ -1158,6 +1264,7 @@ struct Engine::Impl {
     constexpr uint64_t kIdStride = 1ull << 32;
     constexpr uint64_t kSeqStride = 1ull << 44;
     uint64_t cum_work = merged.stats.work;
+    uint64_t cum_faults = merged.fault_stats.TotalInjected();
     // The entry table records one row per registration *call*, so replicas
     // exploring different path counts record different duplication. Merge as
     // a first-appearance dedup union (spine first, then segments in step
@@ -1207,7 +1314,8 @@ struct Engine::Impl {
 
       size_t cov_floor = merged.timeline.empty() ? 0 : merged.timeline.back().covered_blocks;
       for (const CoverageSample& s : seg.timeline) {
-        CoverageSample m{cum_work + s.work, std::max(cov_floor, s.covered_blocks)};
+        CoverageSample m{cum_work + s.work, std::max(cov_floor, s.covered_blocks),
+                         cum_faults + s.faults};
         cov_floor = m.covered_blocks;
         merged.timeline.push_back(m);
       }
@@ -1215,6 +1323,7 @@ struct Engine::Impl {
       merged.stats += seg.stats;
       merged.solver_stats += seg.solver_stats;
       merged.executor_stats += seg.executor_stats;
+      merged.fault_stats += seg.fault_stats;
       // Interning warmth is replica-local and depends on the handoff
       // strategy: a replayed prefix interns every node of its (dead)
       // exploration, while a restored snapshot carries only the reachable
@@ -1238,6 +1347,7 @@ struct Engine::Impl {
         }
       }
       cum_work += seg.stats.work;
+      cum_faults += seg.fault_stats.TotalInjected();
     }
     merged.entries = std::move(entry_union);
 
@@ -1255,8 +1365,9 @@ struct Engine::Impl {
     spine.config = config;
     spine.live_coverage = nullptr;
     spine.global_work = nullptr;
+    spine.global_faults = nullptr;
 
-    merged.timeline.push_back({cum_work, merged.covered_blocks.size()});
+    merged.timeline.push_back({cum_work, merged.covered_blocks.size(), cum_faults});
     if (user_cov) {
       std::lock_guard<std::mutex> lock(shared.observer_mu);
       user_cov(merged.timeline.back());
@@ -1292,6 +1403,10 @@ struct Engine::Impl {
               segments.size(), (unsigned long long)sum_seg, (unsigned long long)max_seg,
               (unsigned long long)critical,
               critical == 0 ? 1.0 : (double)merged.stats.work / (double)critical);
+      if (config.faults.Enabled()) {
+        fprintf(stderr, "[parallel-exercise] %s\n",
+                hw::FormatFaultStats(merged.fault_stats).c_str());
+      }
     }
     return merged;
   }
@@ -1310,6 +1425,9 @@ struct Engine::Impl {
   vm::Dbt dbt;
   symex::StatePool pool;
   Rng rng;
+  // Seeded fault schedule (no-op when config.faults is disabled); the shell
+  // device consults it on register/DMA reads, RunStep on scripted IRQs.
+  hw::FaultSchedule faults;
   trace::TraceBundle bundle;
   trace::BundleSink sink;
   uint64_t next_state_id = 1;
@@ -1328,6 +1446,10 @@ struct Engine::Impl {
   symex::SharedCoverageMap* live_coverage = nullptr;
   // Cross-replica work counter behind the live coverage stream.
   std::atomic<uint64_t>* global_work = nullptr;
+  // Cross-replica injected-fault counter (monitoring-only, like the shared
+  // coverage map) and this replica's already-published total.
+  std::atomic<uint64_t>* global_faults = nullptr;
+  uint64_t faults_published = 0;
   // Steps actually executed by RunScript (the parallel driver sizes its
   // fan-out from the spine's count).
   size_t steps_run = 0;
@@ -1351,6 +1473,7 @@ struct Engine::Impl {
   uint64_t dbt_misses_mark = 0;
   std::map<uint32_t, uint64_t> call_counts_mark;
   uint64_t functions_modeled_mark = 0;
+  hw::FaultStats fault_mark;
 };
 
 Engine::Engine(const isa::Image& image, const EngineConfig& config)

@@ -26,6 +26,7 @@ namespace revnic::core {
 struct CoverageSample {
   uint64_t work = 0;             // translation blocks executed so far
   size_t covered_blocks = 0;     // static basic blocks touched
+  uint64_t faults = 0;           // faults injected so far (0 unless enabled)
 };
 
 struct EngineConfig {
@@ -66,6 +67,13 @@ struct EngineConfig {
   symex::StatePool::Options pool;
   symex::Solver::Options solver;
   uint64_t seed = 1;
+  // Deterministic fault injection at the shell-device boundary (register
+  // read-back corruption, DMA stall/bus-error poisoning, perturbed scripted
+  // IRQs). Disabled by default; the schedule is a pure function of the plan,
+  // so the byte-identity guarantee below extends to faulty runs (the fault
+  // cursor rides in RSS1 snapshots). Participates in the checkpoint config
+  // fingerprint. See src/hw/README.md.
+  hw::FaultPlan faults;
   // Intra-driver parallel exercising. 1 (default) runs the legacy sequential
   // exerciser unchanged. N >= 2 runs the staged parallel exerciser on up to
   // N worker threads: a fast sequential "spine" pass chains one completing
@@ -170,6 +178,10 @@ struct EngineResult {
   uint64_t functions_modeled = 0;
   // API usage (Table 1 "imported functions" observed dynamically).
   std::set<uint32_t> apis_used;
+  // Fault-injection counters (all zero unless EngineConfig::faults is
+  // enabled). Deterministic for a fixed (seed, plan); serialized in RCP1 v3
+  // checkpoints and pinned byte-identical by the parallel-exercise tests.
+  hw::FaultStats fault_stats;
   // True when EngineConfig::cancel stopped the run before the script ended.
   bool cancelled = false;
   // Serialized "RSS1" snapshot of the final chain state (empty when

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "synth/emit.h"
@@ -16,10 +17,13 @@ namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x31504352;  // "RCP1"
 // Version history: 1 = PR 2 layout; 2 = v1 + optional final-state snapshot
-// section. The loader accepts both (the ROADMAP's version-lock note asked
-// for a backward-compat shim on the next format change).
+// section; 3 = v2 + per-sample fault counts in the timeline and a FaultStats
+// block after the substrate counters. The loader accepts all three (the
+// ROADMAP's version-lock note asked for a backward-compat shim on format
+// changes); pre-v3 blobs load with zeroed fault counters.
 constexpr uint32_t kCheckpointVersionV1 = 1;
-constexpr uint32_t kCheckpointVersion = 2;
+constexpr uint32_t kCheckpointVersionV2 = 2;
+constexpr uint32_t kCheckpointVersion = 3;
 
 void PutU32Set(trace::ByteWriter& w, const std::set<uint32_t>& s) {
   w.U32(static_cast<uint32_t>(s.size()));
@@ -220,8 +224,9 @@ bool Session::WriteOutputs(const std::string& dir, std::string* error) {
 // ---- checkpoint format ----
 //
 // "RCP1" | version | label | TraceBundle | entries | coverage | timeline |
-// engine/solver/executor/substrate counters | call counts | apis | flags
-// | (v2) optional final-state "RSS1" snapshot.
+// engine/solver/executor/substrate counters | (v3) fault counters | call
+// counts | apis | flags | (v2+) optional final-state "RSS1" snapshot.
+// v3 timeline samples are 24 bytes (work, covered, faults); earlier are 16.
 // Everything the downstream stages and run reports consume; downstream
 // output depends only on the bundle + entry table, so resume reproduces
 // straight-through results byte-for-byte.
@@ -250,6 +255,9 @@ std::vector<uint8_t> Session::SaveCheckpoint(bool legacy_v1) const {
   for (const CoverageSample& s : engine_.timeline) {
     w.U64(s.work);
     w.U64(s.covered_blocks);
+    if (!legacy_v1) {
+      w.U64(s.faults);
+    }
   }
 
   const EngineStats& es = engine_.stats;
@@ -272,6 +280,16 @@ std::vector<uint8_t> Session::SaveCheckpoint(bool legacy_v1) const {
                      sc.solver_shelf_hits, sc.intern_hits, sc.intern_misses, sc.intern_size,
                      sc.dbt_cache_hits, sc.dbt_cache_misses}) {
     w.U64(v);
+  }
+  if (!legacy_v1) {
+    // v3: fault-injection counters (the substrate's fault_decisions /
+    // faults_injected are derived from these at load, not stored twice).
+    const hw::FaultStats& fs = engine_.fault_stats;
+    for (uint64_t v : {fs.decisions, fs.irq_dropped, fs.irq_duplicated, fs.irq_delayed,
+                       fs.dma_read_stalls, fs.dma_write_drops, fs.bus_errors,
+                       fs.reg_corruptions, fs.frames_truncated, fs.frames_oversized}) {
+      w.U64(v);
+    }
   }
 
   w.U32(static_cast<uint32_t>(engine_.call_counts.size()));
@@ -303,8 +321,8 @@ std::unique_ptr<Session> Session::LoadCheckpoint(const std::vector<uint8_t>& byt
   if (!r.U32(&magic) || magic != kCheckpointMagic) {
     return fail("bad checkpoint magic");
   }
-  if (!r.U32(&version) ||
-      (version != kCheckpointVersionV1 && version != kCheckpointVersion)) {
+  if (!r.U32(&version) || (version != kCheckpointVersionV1 &&
+                           version != kCheckpointVersionV2 && version != kCheckpointVersion)) {
     return fail("unsupported checkpoint version");
   }
   std::unique_ptr<Session> s(new Session());
@@ -341,13 +359,18 @@ std::unique_ptr<Session> Session::LoadCheckpoint(const std::vector<uint8_t>& byt
   if (!r.U32(&n)) {
     return fail("truncated timeline");
   }
-  if (n > r.remaining() / 16) {  // 16 bytes per serialized sample
+  // 16 bytes per sample through v2; v3 appends the per-sample fault count.
+  size_t sample_bytes = version >= kCheckpointVersion ? 24 : 16;
+  if (n > r.remaining() / sample_bytes) {
     return fail("implausible timeline count");
   }
   e.timeline.resize(n);
   for (CoverageSample& sample : e.timeline) {
     uint64_t covered;
     if (!r.U64(&sample.work) || !r.U64(&covered)) {
+      return fail("truncated coverage sample");
+    }
+    if (version >= kCheckpointVersion && !r.U64(&sample.faults)) {
       return fail("truncated coverage sample");
     }
     sample.covered_blocks = static_cast<size_t>(covered);
@@ -374,6 +397,20 @@ std::unique_ptr<Session> Session::LoadCheckpoint(const std::vector<uint8_t>& byt
       return fail("truncated counters");
     }
   }
+  if (version >= kCheckpointVersion) {
+    hw::FaultStats& fs = e.fault_stats;
+    for (uint64_t* v : {&fs.decisions, &fs.irq_dropped, &fs.irq_duplicated, &fs.irq_delayed,
+                        &fs.dma_read_stalls, &fs.dma_write_drops, &fs.bus_errors,
+                        &fs.reg_corruptions, &fs.frames_truncated, &fs.frames_oversized}) {
+      if (!r.U64(v)) {
+        return fail("truncated fault stats");
+      }
+    }
+    // Invariant maintained by the engine: the substrate's fault fields are
+    // projections of FaultStats, so they are derived here instead of stored.
+    sc.fault_decisions = fs.decisions;
+    sc.faults_injected = fs.TotalInjected();
+  }
 
   if (!r.U32(&n)) {
     return fail("truncated call counts");
@@ -391,7 +428,7 @@ std::unique_ptr<Session> Session::LoadCheckpoint(const std::vector<uint8_t>& byt
     return fail("truncated checkpoint tail");
   }
   e.cancelled = cancelled != 0;
-  if (version >= kCheckpointVersion) {
+  if (version >= kCheckpointVersionV2) {
     uint8_t has_snapshot;
     if (!r.U8(&has_snapshot)) {
       return fail("truncated snapshot flag");
@@ -535,7 +572,8 @@ std::function<void(const CoverageSample&)> MakeCoverageJsonlLogger(JsonlWriter* 
   return [sink, label = std::move(label)](const CoverageSample& s) {
     sink->Write({{"driver", label},
                  {"work", static_cast<uint64_t>(s.work)},
-                 {"covered", static_cast<uint64_t>(s.covered_blocks)}});
+                 {"covered", static_cast<uint64_t>(s.covered_blocks)},
+                 {"faults", static_cast<uint64_t>(s.faults)}});
   };
 }
 
@@ -574,6 +612,16 @@ std::string ConfigFingerprint(const EngineConfig& c) {
   mix(c.polling_visit_threshold);
   mix(c.inject_irqs ? 1 : 0);
   mix(c.seed);
+  // The fault plan reshapes the explored tree (and the checkpoint bytes).
+  // Rates are mixed as raw IEEE-754 bits: any representational change is a
+  // schedule change.
+  mix(c.faults.seed);
+  for (double rate : c.faults.rates) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(rate));
+    std::memcpy(&bits, &rate, sizeof(bits));
+    mix(bits);
+  }
   mix(c.sample_every);
   mix(c.cancel ? 1 : 0);
   // Presence of the final-state snapshot changes the checkpoint bytes.

@@ -10,6 +10,7 @@
 #define REVNIC_CORE_SHELL_H_
 
 #include "hw/dma.h"
+#include "hw/faults.h"
 #include "hw/pci.h"
 #include "symex/executor.h"
 #include "util/bits.h"
@@ -30,6 +31,9 @@ class ShellBridge : public symex::HardwareBridge {
   symex::ExprRef MmioRead(symex::ExecutionState& state, uint32_t addr, unsigned size) override {
     (void)state;
     ++reads_;
+    if (symex::ExprRef faulted = FaultyRegRead(addr, size)) {
+      return faulted;
+    }
     return FreshSymbol("mmio", addr, size);
   }
 
@@ -45,6 +49,9 @@ class ShellBridge : public symex::HardwareBridge {
   symex::ExprRef PortRead(symex::ExecutionState& state, uint32_t port, unsigned size) override {
     (void)state;
     ++reads_;
+    if (symex::ExprRef faulted = FaultyRegRead(port, size)) {
+      return faulted;
+    }
     return FreshSymbol("port", port, size);
   }
 
@@ -60,8 +67,27 @@ class ShellBridge : public symex::HardwareBridge {
   symex::ExprRef DmaRead(symex::ExecutionState& state, uint32_t addr, unsigned size) override {
     (void)state;
     ++dma_reads_;
+    if (faults_) {
+      // A faulty DMA read observes a *concrete* value instead of a fresh
+      // symbol: zeros for a stall, the 0xFF bus-error pattern for a poisoned
+      // burst. Concretization prunes rather than widens the path space, so
+      // coverage under faults degrades gracefully (no extra fork pressure).
+      switch (faults_->OnDmaRead(addr)) {
+        case hw::DmaReadFault::kStall:
+          return ctx_->Const(0);
+        case hw::DmaReadFault::kBusError:
+          return ctx_->Const(size < 4 ? (0xFFFFFFFFu & LowMask(size * 8)) : 0xFFFFFFFFu);
+        case hw::DmaReadFault::kNone:
+          break;
+      }
+    }
     return FreshSymbol("dma", addr, size);
   }
+
+  // Engine-owned fault schedule (nullptr = faults disabled). Register
+  // read-backs and DMA reads consult it; each consultation is one cursor
+  // tick, so the faulty trace is reproduced exactly on snapshot restore.
+  void set_fault_schedule(hw::FaultSchedule* faults) { faults_ = faults; }
 
   hw::DmaTracker& dma() { return dma_; }
   uint64_t reads() const { return reads_; }
@@ -86,6 +112,16 @@ class ShellBridge : public symex::HardwareBridge {
   }
 
  private:
+  // Null ref when no fault fires; otherwise a concrete seeded poison value
+  // masked to the access width (the symbolic twin of FaultInjector::IoRead).
+  symex::ExprRef FaultyRegRead(uint32_t addr, unsigned size) {
+    uint32_t poison;
+    if (!faults_ || !faults_->OnRegRead(addr, &poison)) {
+      return nullptr;
+    }
+    return ctx_->Const(size < 4 ? (poison & LowMask(size * 8)) : poison);
+  }
+
   symex::ExprRef FreshSymbol(const char* kind, uint32_t addr, unsigned size) {
     symex::ExprRef s =
         ctx_->Sym(StrFormat("hw_%s_%x_%u", kind, addr, static_cast<unsigned>(serial_++)), 32);
@@ -99,6 +135,7 @@ class ShellBridge : public symex::HardwareBridge {
   symex::ExprContext* ctx_;
   hw::PciConfig pci_;
   hw::DmaTracker dma_;
+  hw::FaultSchedule* faults_ = nullptr;
   uint64_t serial_ = 0;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;

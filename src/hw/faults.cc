@@ -1,0 +1,462 @@
+#include "hw/faults.h"
+
+#include <cstdlib>
+
+#include "util/bits.h"
+#include "util/strings.h"
+
+namespace revnic::hw {
+namespace {
+
+// splitmix64 finalizer: the whole schedule keys off this one mixer, so every
+// decision is a pure function of its inputs and nothing else.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixKey(uint64_t seed, uint64_t index, uint32_t addr, FaultKind kind) {
+  // Feed each component through its own round so (index, addr, kind) never
+  // alias (e.g. index+1 vs addr+1).
+  uint64_t h = Mix64(seed ^ 0xFA017Dull);
+  h = Mix64(h ^ index);
+  h = Mix64(h ^ ((static_cast<uint64_t>(addr) << 8) | static_cast<uint64_t>(kind)));
+  return h;
+}
+
+// True with probability `rate` over the uniform 64-bit hash. Exact at the
+// endpoints so rate=0/rate=1 behave as switches in tests and soak sweeps.
+bool RateFires(double rate, uint64_t hash) {
+  if (rate <= 0.0) {
+    return false;
+  }
+  if (rate >= 1.0) {
+    return true;
+  }
+  return static_cast<double>(hash >> 11) < rate * 9007199254740992.0;  // 2^53
+}
+
+const char* const kKindNames[kNumFaultKinds] = {
+    "irq-drop",     "irq-dup",   "irq-delay",   "dma-read-stall", "dma-write-drop",
+    "bus-error",    "reg-corrupt", "frame-truncate", "frame-oversize",
+};
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  return kKindNames[static_cast<unsigned>(kind)];
+}
+
+bool FindFaultKind(const std::string& name, FaultKind* out) {
+  for (unsigned i = 0; i < kNumFaultKinds; ++i) {
+    if (name == kKindNames[i]) {
+      *out = static_cast<FaultKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseFaultPlan(const std::string& spec, FaultPlan* plan, std::string* error) {
+  auto fail = [error](std::string msg) {
+    if (error) {
+      *error = std::move(msg);
+    }
+    return false;
+  };
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return fail("fault spec must be 'seed:kind=rate,...' (missing ':')");
+  }
+  std::string seed_str = spec.substr(0, colon);
+  if (seed_str.empty()) {
+    return fail("fault spec has an empty seed");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long seed = std::strtoull(seed_str.c_str(), &end, 0);
+  if (errno != 0 || end == seed_str.c_str() || *end != '\0') {
+    return fail(StrFormat("fault spec has a bad seed '%s'", seed_str.c_str()));
+  }
+
+  FaultPlan out;
+  out.seed = seed;
+  std::string rest = spec.substr(colon + 1);
+  if (rest.empty()) {
+    return fail("fault spec lists no kind=rate entries");
+  }
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    size_t comma = rest.find(',', pos);
+    std::string entry =
+        rest.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? rest.size() + 1 : comma + 1;
+    if (entry.empty()) {
+      return fail("fault spec has an empty kind=rate entry");
+    }
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return fail(StrFormat("fault entry '%s' is not kind=rate", entry.c_str()));
+    }
+    std::string kind_str = entry.substr(0, eq);
+    std::string rate_str = entry.substr(eq + 1);
+    if (rate_str.empty()) {
+      return fail(StrFormat("fault entry '%s' has an empty rate", entry.c_str()));
+    }
+    errno = 0;
+    end = nullptr;
+    double rate = std::strtod(rate_str.c_str(), &end);
+    if (errno != 0 || end == rate_str.c_str() || *end != '\0') {
+      return fail(StrFormat("fault entry '%s' has a bad rate", entry.c_str()));
+    }
+    if (!(rate >= 0.0 && rate <= 1.0)) {  // also rejects NaN
+      return fail(StrFormat("fault rate in '%s' must be in [0, 1]", entry.c_str()));
+    }
+    if (kind_str == "all") {
+      for (unsigned i = 0; i < kNumFaultKinds; ++i) {
+        out.rates[i] = rate;
+      }
+    } else {
+      FaultKind kind;
+      if (!FindFaultKind(kind_str, &kind)) {
+        return fail(StrFormat("unknown fault kind '%s'", kind_str.c_str()));
+      }
+      out.set_rate(kind, rate);
+    }
+  }
+  *plan = out;
+  return true;
+}
+
+std::string FormatFaultPlan(const FaultPlan& plan) {
+  std::string out = StrFormat("%llu:", static_cast<unsigned long long>(plan.seed));
+  bool first = true;
+  for (unsigned i = 0; i < kNumFaultKinds; ++i) {
+    if (plan.rates[i] <= 0) {
+      continue;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += StrFormat("%s=%g", kKindNames[i], plan.rates[i]);
+  }
+  return out;
+}
+
+std::string FormatFaultStats(const FaultStats& s) {
+  return StrFormat(
+      "faults: %llu/%llu injected (irq %llu/%llu/%llu drop/dup/delay, "
+      "dma %llu stall %llu wdrop %llu buserr, reg %llu, frame %llu/%llu trunc/over)",
+      static_cast<unsigned long long>(s.TotalInjected()),
+      static_cast<unsigned long long>(s.decisions),
+      static_cast<unsigned long long>(s.irq_dropped),
+      static_cast<unsigned long long>(s.irq_duplicated),
+      static_cast<unsigned long long>(s.irq_delayed),
+      static_cast<unsigned long long>(s.dma_read_stalls),
+      static_cast<unsigned long long>(s.dma_write_drops),
+      static_cast<unsigned long long>(s.bus_errors),
+      static_cast<unsigned long long>(s.reg_corruptions),
+      static_cast<unsigned long long>(s.frames_truncated),
+      static_cast<unsigned long long>(s.frames_oversized));
+}
+
+// ---- FaultSchedule ----
+
+bool FaultSchedule::Fires(FaultKind kind, uint64_t index, uint32_t addr) const {
+  return RateFires(plan_.rate(kind), MixKey(plan_.seed, index, addr, kind));
+}
+
+bool FaultSchedule::OnRegRead(uint32_t addr, uint32_t* poison) {
+  if (!enabled_) {
+    return false;
+  }
+  uint64_t index = cursor_++;
+  ++stats_.decisions;
+  if (!Fires(FaultKind::kRegCorrupt, index, addr)) {
+    return false;
+  }
+  ++stats_.reg_corruptions;
+  *poison = PoisonValue(plan_, index, addr);
+  return true;
+}
+
+DmaReadFault FaultSchedule::OnDmaRead(uint32_t addr) {
+  if (!enabled_) {
+    return DmaReadFault::kNone;
+  }
+  uint64_t index = cursor_++;
+  ++stats_.decisions;
+  // Stall outranks bus error when both fire at one index; keeping a fixed
+  // priority keeps the outcome a function of the hash alone.
+  if (Fires(FaultKind::kDmaReadStall, index, addr)) {
+    ++stats_.dma_read_stalls;
+    return DmaReadFault::kStall;
+  }
+  if (Fires(FaultKind::kBusError, index, addr)) {
+    ++stats_.bus_errors;
+    return DmaReadFault::kBusError;
+  }
+  return DmaReadFault::kNone;
+}
+
+bool FaultSchedule::OnDmaWrite(uint32_t addr) {
+  if (!enabled_) {
+    return false;
+  }
+  uint64_t index = cursor_++;
+  ++stats_.decisions;
+  if (!Fires(FaultKind::kDmaWriteDrop, index, addr)) {
+    return false;
+  }
+  ++stats_.dma_write_drops;
+  return true;
+}
+
+FrameFault FaultSchedule::OnFrame(uint32_t length) {
+  if (!enabled_) {
+    return FrameFault::kNone;
+  }
+  uint64_t index = cursor_++;
+  ++stats_.decisions;
+  if (Fires(FaultKind::kFrameTruncate, index, length)) {
+    ++stats_.frames_truncated;
+    return FrameFault::kTruncate;
+  }
+  if (Fires(FaultKind::kFrameOversize, index, length)) {
+    ++stats_.frames_oversized;
+    return FrameFault::kOversize;
+  }
+  return FrameFault::kNone;
+}
+
+void FaultSchedule::ApplyFrameFault(Frame* frame) {
+  uint64_t index = cursor_;  // OnFrame consumes this index
+  switch (OnFrame(static_cast<uint32_t>(frame->size()))) {
+    case FrameFault::kNone:
+      break;
+    case FrameFault::kTruncate: {
+      // Runt: below the 60-byte Ethernet minimum but keeping the header.
+      size_t runt = kEthHeaderLen +
+                    MixKey(plan_.seed, index, static_cast<uint32_t>(frame->size()),
+                           FaultKind::kFrameTruncate) %
+                        (kEthMinFrame - kEthHeaderLen);
+      if (runt < frame->size()) {
+        frame->resize(runt);
+      }
+      break;
+    }
+    case FrameFault::kOversize: {
+      // Giant: past the 1514-byte max, padded with seeded fill so the
+      // oversized tail is itself reproducible.
+      size_t target = kEthMaxFrame + 64;
+      while (frame->size() < target) {
+        frame->push_back(static_cast<uint8_t>(MixKey(
+            plan_.seed, index, static_cast<uint32_t>(frame->size()), FaultKind::kFrameOversize)));
+      }
+      break;
+    }
+  }
+}
+
+IrqFault FaultSchedule::OnIrqEdge() {
+  if (!enabled_) {
+    return IrqFault::kNone;
+  }
+  uint64_t index = cursor_++;
+  ++stats_.decisions;
+  if (Fires(FaultKind::kIrqDrop, index, 0)) {
+    ++stats_.irq_dropped;
+    return IrqFault::kDrop;
+  }
+  if (Fires(FaultKind::kIrqDup, index, 0)) {
+    ++stats_.irq_duplicated;
+    return IrqFault::kDup;
+  }
+  if (Fires(FaultKind::kIrqDelay, index, 0)) {
+    ++stats_.irq_delayed;
+    return IrqFault::kDelay;
+  }
+  return IrqFault::kNone;
+}
+
+IrqFault FaultSchedule::PlanIrqDecision(const FaultPlan& plan, uint32_t ordinal) {
+  if (!plan.Enabled()) {
+    return IrqFault::kNone;
+  }
+  // Same kind-priority order as OnIrqEdge, keyed by the step ordinal instead
+  // of the cursor so plan shaping is replica-independent.
+  if (RateFires(plan.rate(FaultKind::kIrqDrop),
+                MixKey(plan.seed, ordinal, 0x1294, FaultKind::kIrqDrop))) {
+    return IrqFault::kDrop;
+  }
+  if (RateFires(plan.rate(FaultKind::kIrqDup),
+                MixKey(plan.seed, ordinal, 0x1294, FaultKind::kIrqDup))) {
+    return IrqFault::kDup;
+  }
+  if (RateFires(plan.rate(FaultKind::kIrqDelay),
+                MixKey(plan.seed, ordinal, 0x1294, FaultKind::kIrqDelay))) {
+    return IrqFault::kDelay;
+  }
+  return IrqFault::kNone;
+}
+
+uint32_t FaultSchedule::PoisonValue(const FaultPlan& plan, uint64_t index, uint32_t addr) {
+  return static_cast<uint32_t>(MixKey(plan.seed, index, addr, FaultKind::kRegCorrupt) >> 13);
+}
+
+// ---- FaultRamPort ----
+//
+// The schedule is mutated from const reads: RamPort::ReadRam is const (the
+// backing store doesn't change) but a schedule consultation is an event. The
+// const_cast is confined to this proxy.
+
+uint32_t FaultRamPort::ReadRam(uint32_t addr, unsigned size) const {
+  switch (const_cast<FaultSchedule*>(schedule_)->OnDmaRead(addr)) {
+    case DmaReadFault::kStall:
+      return 0;
+    case DmaReadFault::kBusError:
+      return 0xFFFFFFFFu;
+    case DmaReadFault::kNone:
+      break;
+  }
+  return inner_->ReadRam(addr, size);
+}
+
+void FaultRamPort::ReadRamBytes(uint32_t addr, uint8_t* out, size_t len) const {
+  switch (const_cast<FaultSchedule*>(schedule_)->OnDmaRead(addr)) {
+    case DmaReadFault::kStall:
+      for (size_t i = 0; i < len; ++i) {
+        out[i] = 0x00;
+      }
+      return;
+    case DmaReadFault::kBusError:
+      for (size_t i = 0; i < len; ++i) {
+        out[i] = 0xFF;
+      }
+      return;
+    case DmaReadFault::kNone:
+      break;
+  }
+  inner_->ReadRamBytes(addr, out, len);
+}
+
+void FaultRamPort::WriteRam(uint32_t addr, unsigned size, uint32_t value) {
+  if (schedule_->OnDmaWrite(addr)) {
+    return;
+  }
+  inner_->WriteRam(addr, size, value);
+}
+
+void FaultRamPort::WriteRamBytes(uint32_t addr, const uint8_t* data, size_t len) {
+  if (schedule_->OnDmaWrite(addr)) {
+    return;
+  }
+  inner_->WriteRamBytes(addr, data, len);
+}
+
+// ---- FaultInjector ----
+
+FaultInjector::FaultInjector(NicDevice* inner, const FaultPlan& plan)
+    : inner_(inner), schedule_(plan) {
+  inner_->set_tx_hook([this](const Frame& f) {
+    if (tx_hook_) {
+      tx_hook_(f);
+    }
+  });
+  inner_->set_irq_hook([this](bool level) { OnInnerIrq(level); });
+}
+
+void FaultInjector::OnInnerIrq(bool level) {
+  if (level == seen_level_) {
+    return;  // level repeat; the edge below already handled delivery
+  }
+  seen_level_ = level;
+  if (level) {
+    switch (schedule_.OnIrqEdge()) {
+      case IrqFault::kDrop:
+        suppressed_ = true;
+        return;
+      case IrqFault::kDelay:
+        pending_rise_ = true;
+        return;
+      case IrqFault::kDup:
+        if (irq_hook_) {
+          delivered_level_ = true;
+          irq_hook_(true);
+          delivered_level_ = false;
+          irq_hook_(false);
+          delivered_level_ = true;
+          irq_hook_(true);
+        }
+        return;
+      case IrqFault::kNone:
+        break;
+    }
+    delivered_level_ = true;
+    if (irq_hook_) {
+      irq_hook_(true);
+    }
+  } else {
+    if (suppressed_ || pending_rise_) {
+      // The rise never made it out (dropped, or delayed and the pulse ended
+      // before the next register access): swallow the fall too.
+      suppressed_ = false;
+      pending_rise_ = false;
+      return;
+    }
+    delivered_level_ = false;
+    if (irq_hook_) {
+      irq_hook_(false);
+    }
+  }
+}
+
+void FaultInjector::DeliverPendingIrq() {
+  if (!pending_rise_) {
+    return;
+  }
+  pending_rise_ = false;
+  delivered_level_ = true;
+  if (irq_hook_) {
+    irq_hook_(true);
+  }
+}
+
+uint32_t FaultInjector::IoRead(uint32_t addr, unsigned size) {
+  DeliverPendingIrq();
+  uint32_t value = inner_->IoRead(addr, size);
+  uint32_t poison;
+  if (schedule_.OnRegRead(addr, &poison)) {
+    return size < 4 ? (poison & LowMask(size * 8)) : poison;
+  }
+  return value;
+}
+
+void FaultInjector::IoWrite(uint32_t addr, unsigned size, uint32_t value) {
+  DeliverPendingIrq();
+  inner_->IoWrite(addr, size, value);
+}
+
+void FaultInjector::Reset() {
+  inner_->Reset();
+  seen_level_ = false;
+  delivered_level_ = false;
+  suppressed_ = false;
+  pending_rise_ = false;
+}
+
+bool FaultInjector::InjectReceive(const Frame& frame) {
+  Frame perturbed = frame;
+  schedule_.ApplyFrameFault(&perturbed);
+  return inner_->InjectReceive(perturbed);
+}
+
+void FaultInjector::AttachRam(vm::RamPort* ram) {
+  dma_ram_ = std::make_unique<FaultRamPort>(ram, &schedule_);
+  inner_->AttachRam(dma_ram_.get());
+}
+
+}  // namespace revnic::hw

@@ -47,9 +47,11 @@ class NicDevice : public vm::IoHandler {
 
   void set_tx_hook(TxHook hook) { tx_hook_ = std::move(hook); }
   void set_irq_hook(IrqHook hook) { irq_hook_ = std::move(hook); }
-  void AttachRam(vm::MemoryMap* ram) { ram_ = ram; }
+  // Takes any RamPort so proxies (hw::FaultInjector) can interpose their own
+  // port on the DMA path; hosts pass the MemoryMap directly.
+  virtual void AttachRam(vm::RamPort* ram) { ram_ = ram; }
 
-  const NicStats& stats() const { return stats_; }
+  virtual const NicStats& stats() const { return stats_; }
 
   // --- Observation API for functionality tests (Table 2). ---
   virtual MacAddr mac() const = 0;
@@ -88,7 +90,7 @@ class NicDevice : public vm::IoHandler {
 
   TxHook tx_hook_;
   IrqHook irq_hook_;
-  vm::MemoryMap* ram_ = nullptr;
+  vm::RamPort* ram_ = nullptr;
   NicStats stats_;
   bool irq_level_ = false;
 };

@@ -67,7 +67,7 @@ double OsPacketCycles(const PlatformProfile& p, os::TargetOs target) {
 }
 
 std::string FormatSubstrateCounters(const SubstrateCounters& c) {
-  return StrFormat(
+  std::string out = StrFormat(
       "solver: %llu queries, cache %llu/%llu hit (%.1f%%), %llu shelf | "
       "intern: %llu/%llu hit (%.1f%%), %llu live | dbt: %llu/%llu hit (%.1f%%)",
       (unsigned long long)c.solver_queries, (unsigned long long)c.solver_cache_hits,
@@ -77,6 +77,11 @@ std::string FormatSubstrateCounters(const SubstrateCounters& c) {
       100.0 * c.InternHitRate(), (unsigned long long)c.intern_size,
       (unsigned long long)c.dbt_cache_hits,
       (unsigned long long)(c.dbt_cache_hits + c.dbt_cache_misses), 100.0 * c.DbtHitRate());
+  if (c.fault_decisions > 0) {
+    out += StrFormat(" | faults: %llu/%llu injected", (unsigned long long)c.faults_injected,
+                     (unsigned long long)c.fault_decisions);
+  }
+  return out;
 }
 
 }  // namespace revnic::perf

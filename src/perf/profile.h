@@ -70,6 +70,10 @@ struct SubstrateCounters {
   uint64_t intern_size = 0;
   uint64_t dbt_cache_hits = 0;
   uint64_t dbt_cache_misses = 0;
+  // Fault-injection layer (hw::FaultSchedule): schedule points consulted and
+  // faults actually fired. Zero unless EngineConfig::faults is enabled.
+  uint64_t fault_decisions = 0;
+  uint64_t faults_injected = 0;
 
   double SolverHitRate() const {
     uint64_t total = solver_cache_hits + solver_cache_misses;
@@ -96,6 +100,8 @@ struct SubstrateCounters {
     intern_size = intern_size > o.intern_size ? intern_size : o.intern_size;
     dbt_cache_hits += o.dbt_cache_hits;
     dbt_cache_misses += o.dbt_cache_misses;
+    fault_decisions += o.fault_decisions;
+    faults_injected += o.faults_injected;
   }
 };
 

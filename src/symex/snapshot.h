@@ -23,7 +23,8 @@
 //
 // Layout ("RSS1" | version | sym table | expr DAG | tagged sections):
 //
-//   u32 magic "RSS1"        u32 version (1)
+//   u32 magic "RSS1"        u32 version (2; v1 lacked the engine section's
+//                                        fault-schedule tail and is rejected)
 //   u32 n_syms, n_syms x Str            symbolic-variable names, id order
 //   u32 n_nodes, n_nodes x node record  topological (children first):
 //       u8 kind | u8 width | u8 bin_op | u8 flags(bit0=interned)
@@ -56,7 +57,7 @@
 namespace revnic::symex {
 
 inline constexpr uint32_t kSnapshotMagic = 0x31535352;  // "RSS1" little-endian
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 // Section tags (ascii, little-endian u32).
 inline constexpr uint32_t kSectionState = 0x54415453;      // "STAT"

@@ -30,7 +30,20 @@ struct IoRange {
   bool Contains(uint32_t addr) const { return addr >= begin && addr < end; }
 };
 
-class MemoryMap {
+// Guest-RAM access surface handed to bus-mastering device models
+// (hw::NicDevice::AttachRam). MemoryMap is the real backing store; proxies
+// (e.g. hw::FaultRamPort) interpose on the same four accessors to perturb
+// the DMA path without the device models knowing.
+class RamPort {
+ public:
+  virtual ~RamPort() = default;
+  virtual uint32_t ReadRam(uint32_t addr, unsigned size) const = 0;
+  virtual void WriteRam(uint32_t addr, unsigned size, uint32_t value) = 0;
+  virtual void WriteRamBytes(uint32_t addr, const uint8_t* data, size_t len) = 0;
+  virtual void ReadRamBytes(uint32_t addr, uint8_t* out, size_t len) const = 0;
+};
+
+class MemoryMap : public RamPort {
  public:
   // RAM occupies [0, ram_size). MMIO windows must lie outside RAM.
   explicit MemoryMap(uint32_t ram_size);
@@ -53,10 +66,10 @@ class MemoryMap {
 
   // Direct RAM accessors (used to load images, build stacks, and implement
   // OS-side reads). Out-of-range accesses return 0 / are dropped.
-  uint32_t ReadRam(uint32_t addr, unsigned size) const;
-  void WriteRam(uint32_t addr, unsigned size, uint32_t value);
-  void WriteRamBytes(uint32_t addr, const uint8_t* data, size_t len);
-  void ReadRamBytes(uint32_t addr, uint8_t* out, size_t len) const;
+  uint32_t ReadRam(uint32_t addr, unsigned size) const override;
+  void WriteRam(uint32_t addr, unsigned size, uint32_t value) override;
+  void WriteRamBytes(uint32_t addr, const uint8_t* data, size_t len) override;
+  void ReadRamBytes(uint32_t addr, uint8_t* out, size_t len) const override;
 
  private:
   std::vector<uint8_t> ram_;

@@ -12,6 +12,7 @@
 #include "core/engine.h"
 #include "core/session.h"
 #include "drivers/drivers.h"
+#include "hw/faults.h"
 #include "isa/image.h"
 #include "symex/snapshot.h"
 #include "symex/solver.h"
@@ -255,10 +256,55 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzzTest, ::testing::Range<uint64_t>(1
 TEST(CheckpointRobustness, WrongVersionRejected) {
   std::vector<uint8_t> blob = TinySession().SaveCheckpoint();
   ASSERT_GE(blob.size(), 8u);
-  blob[4] = 99;  // unknown version (readers accept 1 and 2)
+  blob[4] = 99;  // unknown version (readers accept 1 through 3)
   std::string error;
   EXPECT_EQ(core::Session::LoadCheckpoint(blob, &error), nullptr);
   EXPECT_EQ(error, "unsupported checkpoint version");
+}
+
+// ---- Fault-plan spec parsing: hostile input fails cleanly ----
+
+TEST(FaultSpecRobustness, GarbageSpecsRejectedWithoutSideEffects) {
+  const char* kGarbage[] = {
+      "",                    // empty
+      ":",                   // no seed, no entries
+      "abc",                 // no colon
+      "12",                  // no colon
+      "12:",                 // no entries
+      ":irq-drop=0.1",       // empty seed
+      "zz:irq-drop=0.1",     // non-numeric seed
+      "12z:irq-drop=0.1",    // trailing junk on the seed
+      "12:foo=0.1",          // unknown kind
+      "12:irq-drop",         // no '='
+      "12:irq-drop=",        // empty rate
+      "12:irq-drop=x",       // non-numeric rate
+      "12:irq-drop=0.1x",    // trailing junk on the rate
+      "12:irq-drop=-1",      // below [0, 1]
+      "12:irq-drop=2.0",     // above [0, 1]
+      "12:irq-drop=nan",     // NaN is not a rate
+      "12:irq-drop=0.1,,",   // empty entry
+      "12:,irq-drop=0.1",    // leading empty entry
+      "12:=0.5",             // empty kind
+  };
+  for (const char* spec : kGarbage) {
+    // Pre-seed the plan with a sentinel: a failed parse must leave it alone.
+    hw::FaultPlan plan;
+    plan.seed = 555;
+    plan.set_rate(hw::FaultKind::kBusError, 0.5);
+    std::string error;
+    EXPECT_FALSE(hw::ParseFaultPlan(spec, &plan, &error)) << "'" << spec << "'";
+    EXPECT_FALSE(error.empty()) << "'" << spec << "'";
+    EXPECT_EQ(plan.seed, 555u) << "'" << spec << "'";
+    EXPECT_DOUBLE_EQ(plan.rate(hw::FaultKind::kBusError), 0.5) << "'" << spec << "'";
+    // A null error sink must also be safe (CLI callers always pass one, the
+    // engine's internal callers may not).
+    EXPECT_FALSE(hw::ParseFaultPlan(spec, &plan, nullptr)) << "'" << spec << "'";
+  }
+  // Hex seeds ride on strtoull base-0 and are legal, not garbage.
+  hw::FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(hw::ParseFaultPlan("0x10:irq-drop=0.5", &plan, &error)) << error;
+  EXPECT_EQ(plan.seed, 0x10u);
 }
 
 // ---- Engine resilience ----
