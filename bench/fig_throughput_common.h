@@ -1,16 +1,25 @@
-// Shared five-series sweep used by Figures 2, 3, 6 and 7:
+// Shared sweep used by Figures 2, 3, 6 and 7. Five modeled series --
 // Windows->KitOS, Windows->Windows, Linux Original, Windows->Linux,
-// Windows Original.
+// Windows Original -- plus, when this machine has a working host C compiler
+// and dlopen, a sixth *measured* series: the emitted kitos driver compiled
+// with the host cc, dlopen'd, and swept with real per-packet counters
+// (src/native/). The model series stay side-by-side for comparison.
 #ifndef REVNIC_BENCH_FIG_THROUGHPUT_COMMON_H_
 #define REVNIC_BENCH_FIG_THROUGHPUT_COMMON_H_
 
 #include "bench/bench_common.h"
+#include "native/harness.h"
+#include "native/loader.h"
+#include "native/toolchain.h"
+#include "perf/native.h"
 
 namespace revnic::bench {
 
 inline std::vector<perf::SweepResult> FiveSeries(drivers::DriverId id,
                                                  const perf::PlatformProfile& profile) {
-  const core::PipelineResult& pr = Pipeline(id);
+  core::EmitOptions emit;
+  emit.targets = {os::TargetOs::kWindows, os::TargetOs::kKitos};
+  const core::PipelineResult& pr = Pipeline(id, 250'000, emit);
   const synth::RecoveredModule* module = &pr.module;
   std::vector<perf::SweepConfig> configs = {
       {.driver = id, .kind = perf::DriverKind::kSynthesized, .target = os::TargetOs::kKitos,
@@ -26,6 +35,30 @@ inline std::vector<perf::SweepResult> FiveSeries(drivers::DriverId id,
   std::vector<perf::SweepResult> series;
   for (const auto& c : configs) {
     series.push_back(perf::RunSweep(c, profile));
+  }
+
+  // The measured series: same sweep, but the kitos numbers come from
+  // executing the compiled driver instead of the interpreter.
+  std::string why;
+  if (native::ToolchainAvailable(&why)) {
+    auto it = pr.emitted.find(os::TargetOs::kKitos);
+    std::string so = native::DefaultWorkDir() + "/fig_kitos_" +
+                     std::string(drivers::DriverName(id)) + ".so";
+    std::string error;
+    native::NativeModule nm;
+    if (it != pr.emitted.end() && native::CompileSharedObject(it->second, so, &error) &&
+        nm.Load(so, &error)) {
+      perf::NativeSweepInputs inputs;
+      inputs.driver = id;
+      inputs.module = &nm;
+      inputs.recovered = module;
+      inputs.label = "KitOS (native)";
+      series.push_back(perf::RunNativeMeasuredSweep(inputs, profile));
+    } else {
+      fprintf(stderr, "note: native measured series unavailable: %s\n", error.c_str());
+    }
+  } else {
+    fprintf(stderr, "note: native measured series skipped (%s)\n", why.c_str());
   }
   return series;
 }

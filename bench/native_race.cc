@@ -1,0 +1,270 @@
+// The native-vs-DBT race (the PR 7 headline number): compile each driver's
+// emitted kitos translation unit with the host cc, dlopen it, verify it
+// reproduces the DBT-interpreted original's hardware I/O trace (clean and
+// under a seeded fault plan), then drive frames through both sides and
+// report measured frames/sec, bytes copied, and host cycles per frame.
+//
+// Also isolates the peephole cleanup pass's effect where it matters: the
+// same module is re-cleaned without peephole, re-compiled, and re-raced, so
+// the pass's cost is reported in native frames/sec -- not just emitted
+// bytes.
+//
+// Flags:
+//   --json=PATH          machine-readable results (BENCH_pr7.json in CI)
+//   --fig2-csv=PATH      rtl8139 payload sweep: modeled vs measured kitos
+//   --native-frames=N    native-side measurement length (default 200000)
+//   --dbt-frames=N       DBT-side measurement length (default 10000)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/fig_throughput_common.h"
+#include "ir/passes.h"
+#include "synth/emit.h"
+#include "synth/passes.h"
+
+namespace {
+
+using namespace revnic;
+
+constexpr const char* kParityPlan =
+    "1729:irq-drop=0.2,irq-delay=0.15,frame-truncate=0.35,frame-oversize=0.25";
+
+struct PeepholeEffect {
+  bool measured = false;
+  size_t instrs_folded = 0;
+  size_t branches_folded = 0;
+  double fps_with = 0;
+  double fps_without = 0;
+  size_t source_bytes_with = 0;
+  size_t source_bytes_without = 0;
+};
+
+struct DriverRow {
+  std::string name;
+  native::RaceResult race;
+  PeepholeEffect peephole;
+};
+
+// Re-runs cleanup on the cached exercise output with every pass except
+// peephole, using the same factory list AddCleanupPasses draws from.
+std::string EmitKitosWithoutPeephole(const core::PipelineResult& pr, size_t* source_bytes) {
+  synth::SynthStats stats;
+  std::string error;
+  synth::PipelineOptions recovery_only;
+  recovery_only.cleanup = false;
+  synth::SynthContext ctx;
+  ctx.bundle = &pr.engine.bundle;
+  ctx.entries = &pr.engine.entries;
+  ctx.module = synth::RunSynthesisPipeline(pr.engine.bundle, pr.engine.entries,
+                                           recovery_only, &stats, &error);
+  if (!error.empty()) {
+    return "";
+  }
+  synth::SynthPassManager pm(synth::VerifyContext);
+  pm.Add(synth::MakeThreadJumpsPass());
+  pm.Add(synth::MakeMergeFallthroughPass());
+  // (peephole deliberately omitted)
+  pm.Add(synth::MakePruneUnreachablePass());
+  pm.Add(synth::MakeDeadCodePass());
+  pm.Add(synth::MakeRecoverSwitchesPass());
+  pm.Add(synth::MakePruneLabelsPass());
+  if (!pm.Run(ctx)) {
+    return "";
+  }
+  synth::TargetEmission emission = synth::EmitForTarget(ctx.module, os::TargetOs::kKitos);
+  *source_bytes = emission.source.size();
+  return emission.source;
+}
+
+void WriteJson(const char* path, bool available, const std::string& skip_reason,
+               const std::vector<DriverRow>& rows) {
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  fprintf(f, "{\n  \"bench\": \"native_race\",\n  \"pr\": 7,\n");
+  fprintf(f, "  \"toolchain_available\": %s,\n", available ? "true" : "false");
+  if (!available) {
+    fprintf(f, "  \"skip_reason\": \"%s\",\n", skip_reason.c_str());
+  }
+  fprintf(f, "  \"fault_plan\": \"%s\",\n  \"drivers\": [", kParityPlan);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const DriverRow& r = rows[i];
+    const native::RaceResult& race = r.race;
+    fprintf(f, "%s\n    {\"name\": \"%s\", \"ok\": %s, \"parity_ok\": %s,\n",
+            i == 0 ? "" : ",", r.name.c_str(), race.ok ? "true" : "false",
+            race.parity_ok ? "true" : "false");
+    auto side = [&](const char* key, const native::RaceSideStats& s) {
+      fprintf(f,
+              "     \"%s\": {\"frames\": %llu, \"tx_ok\": %llu, \"rx_delivered\": %llu, "
+              "\"io_accesses\": %llu, \"bytes_copied\": %llu, \"guest_instrs\": %llu, "
+              "\"frames_per_sec\": %.1f, \"ns_per_frame\": %.1f, "
+              "\"host_cycles_per_frame\": %.1f},\n",
+              key, static_cast<unsigned long long>(s.frames),
+              static_cast<unsigned long long>(s.tx_ok),
+              static_cast<unsigned long long>(s.rx_delivered),
+              static_cast<unsigned long long>(s.io_accesses),
+              static_cast<unsigned long long>(s.bytes_copied),
+              static_cast<unsigned long long>(s.guest_instrs), s.frames_per_sec,
+              s.ns_per_frame, s.host_cycles_per_frame);
+    };
+    side("native", race.native_side);
+    side("dbt", race.dbt);
+    fprintf(f, "     \"speedup\": %.2f,\n", race.speedup);
+    const PeepholeEffect& p = r.peephole;
+    fprintf(f,
+            "     \"peephole\": {\"measured\": %s, \"instrs_folded\": %zu, "
+            "\"branches_folded\": %zu, \"fps_with\": %.1f, \"fps_without\": %.1f, "
+            "\"source_bytes_with\": %zu, \"source_bytes_without\": %zu}}",
+            p.measured ? "true" : "false", p.instrs_folded, p.branches_folded, p.fps_with,
+            p.fps_without, p.source_bytes_with, p.source_bytes_without);
+  }
+  fprintf(f, "\n  ]\n}\n");
+  fclose(f);
+  printf("wrote %s\n", path);
+}
+
+void WriteFig2Csv(const char* path) {
+  auto series = bench::FiveSeries(drivers::DriverId::kRtl8139, perf::X86Pc());
+  const perf::SweepResult* model = nullptr;
+  const perf::SweepResult* native_meas = nullptr;
+  for (const auto& s : series) {
+    if (s.label == "Windows->KitOS") {
+      model = &s;
+    } else if (s.label == "KitOS (native)") {
+      native_meas = &s;
+    }
+  }
+  FILE* f = fopen(path, "w");
+  if (f == nullptr || model == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    if (f != nullptr) {
+      fclose(f);
+    }
+    return;
+  }
+  fprintf(f, "payload_bytes,model_kitos_mbps,native_kitos_mbps,native_host_ns_per_packet\n");
+  for (size_t i = 0; i < model->points.size(); ++i) {
+    const perf::PerfPoint& m = model->points[i];
+    if (native_meas != nullptr && i < native_meas->points.size()) {
+      const perf::PerfPoint& n = native_meas->points[i];
+      fprintf(f, "%zu,%.2f,%.2f,%.0f\n", m.payload_bytes, m.throughput_mbps,
+              n.throughput_mbps, n.host_ns);
+    } else {
+      fprintf(f, "%zu,%.2f,,\n", m.payload_bytes, m.throughput_mbps);
+    }
+  }
+  fclose(f);
+  printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, csv_path;
+  native::RaceOptions opts;
+  opts.fault_plan = kParityPlan;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (strncmp(a, "--json=", 7) == 0) {
+      json_path = a + 7;
+    } else if (strncmp(a, "--fig2-csv=", 11) == 0) {
+      csv_path = a + 11;
+    } else if (strncmp(a, "--native-frames=", 16) == 0) {
+      opts.native_frames = strtoull(a + 16, nullptr, 10);
+    } else if (strncmp(a, "--dbt-frames=", 13) == 0) {
+      opts.dbt_frames = strtoull(a + 13, nullptr, 10);
+    } else {
+      fprintf(stderr, "unknown flag %s\n", a);
+      return 2;
+    }
+  }
+
+  bench::PrintHeader("Native race: compiled kitos drivers vs DBT originals",
+                     "the Section 5 setup, executed natively,");
+  std::string why;
+  bool available = native::ToolchainAvailable(&why);
+  std::vector<DriverRow> rows;
+  if (!available) {
+    printf("skipped: %s\n", why.c_str());
+  } else {
+    printf("%-12s %7s %12s %12s %8s %11s %11s\n", "driver", "parity", "native_fps",
+           "dbt_fps", "speedup", "cyc/frame_n", "cyc/frame_d");
+    for (auto id : bench::AllDriverIds()) {
+      core::EmitOptions emit;
+      emit.targets = {os::TargetOs::kKitos};
+      const core::PipelineResult& pr = bench::Pipeline(id, 250'000, emit);
+      DriverRow row;
+      row.name = drivers::DriverName(id);
+      row.race = native::RunRace(id, pr.emitted.at(os::TargetOs::kKitos), pr.module, opts);
+      if (!row.race.ok) {
+        printf("%-12s FAILED: %s\n", row.name.c_str(), row.race.error.c_str());
+        rows.push_back(std::move(row));
+        continue;
+      }
+      printf("%-12s %7s %12.0f %12.0f %7.1fx %11.0f %11.0f\n", row.name.c_str(),
+             row.race.parity_ok ? "ok" : "FAIL", row.race.native_side.frames_per_sec,
+             row.race.dbt.frames_per_sec, row.race.speedup,
+             row.race.native_side.host_cycles_per_frame,
+             row.race.dbt.host_cycles_per_frame);
+      if (!row.race.parity_ok) {
+        printf("  parity divergence: %s\n", row.race.parity_detail.c_str());
+      }
+
+      // Peephole ablation: same exercise output, cleanup minus peephole,
+      // native side only (dbt_frames=0 skips the slow half).
+      PeepholeEffect& p = row.peephole;
+      p.instrs_folded = pr.synth_stats.instrs_folded;
+      p.branches_folded = pr.synth_stats.branches_folded;
+      p.fps_with = row.race.native_side.frames_per_sec;
+      p.source_bytes_with = pr.emitted.at(os::TargetOs::kKitos).size();
+      std::string no_peep = EmitKitosWithoutPeephole(pr, &p.source_bytes_without);
+      if (!no_peep.empty()) {
+        native::RaceOptions ablate = opts;
+        ablate.dbt_frames = 0;
+        ablate.fault_plan.clear();
+        std::string so_dir = native::DefaultWorkDir() + "/nopeep_" + row.name;
+        ablate.workdir = so_dir;
+        native::RaceResult without =
+            native::RunRace(id, no_peep, pr.module, ablate);
+        if (without.ok) {
+          p.measured = true;
+          p.fps_without = without.native_side.frames_per_sec;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+
+    printf("\nPeephole ablation (native side, same workload):\n");
+    printf("%-12s %8s %10s %14s %14s %10s\n", "driver", "folded", "branches",
+           "fps_with", "fps_without", "src_delta");
+    for (const DriverRow& r : rows) {
+      const PeepholeEffect& p = r.peephole;
+      if (!p.measured) {
+        printf("%-12s (not measured)\n", r.name.c_str());
+        continue;
+      }
+      printf("%-12s %8zu %10zu %14.0f %14.0f %9zdB\n", r.name.c_str(), p.instrs_folded,
+             p.branches_folded, p.fps_with, p.fps_without,
+             static_cast<ssize_t>(p.source_bytes_without) -
+                 static_cast<ssize_t>(p.source_bytes_with));
+    }
+  }
+
+  if (!json_path.empty()) {
+    WriteJson(json_path.c_str(), available, why, rows);
+  }
+  if (!csv_path.empty() && available) {
+    WriteFig2Csv(csv_path.c_str());
+  }
+
+  for (const DriverRow& r : rows) {
+    if (!r.race.ok || !r.race.parity_ok) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -25,6 +25,8 @@
 #include "drivers/drivers.h"
 #include "hw/faults.h"
 #include "isa/disasm.h"
+#include "native/harness.h"
+#include "native/toolchain.h"
 #include "synth/emit.h"
 
 namespace {
@@ -46,6 +48,12 @@ void PrintUsage(const char* argv0) {
          "                       7:all=0.05; kinds: irq-drop irq-dup irq-delay\n"
          "                       dma-read-stall dma-write-drop bus-error\n"
          "                       reg-corrupt frame-truncate frame-oversize)\n"
+         "  --native-run         after emit: compile the kitos output with the\n"
+         "                       host cc, dlopen it, check I/O-trace parity\n"
+         "                       against the DBT original, and race both sides\n"
+         "                       (skipped when the box has no cc/dlopen)\n"
+         "  --native-frames <n>  native-side frame count for --native-run\n"
+         "                       (default 50000; DBT side runs n/20)\n"
          "  --list               list registered targets and exit\n",
          argv0);
 }
@@ -69,6 +77,8 @@ int main(int argc, char** argv) {
   const char* checkpoint = nullptr;
   const char* out_dir = nullptr;
   unsigned exercise_threads = 1;
+  bool native_run = false;
+  uint64_t native_frames = 50'000;
   hw::FaultPlan fault_plan;
   std::vector<os::TargetOs> emit_targets;
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +118,10 @@ int main(int argc, char** argv) {
         }
         emit_targets.push_back(target);
       }
+    } else if (strcmp(argv[i], "--native-run") == 0) {
+      native_run = true;
+    } else if (strcmp(argv[i], "--native-frames") == 0) {
+      native_frames = strtoull(value("--native-frames"), nullptr, 10);
     } else if (strcmp(argv[i], "--list") == 0) {
       printf("registered targets:\n");
       for (const drivers::TargetInfo& t : drivers::AllTargets()) {
@@ -192,6 +206,15 @@ int main(int argc, char** argv) {
   core::SessionObserver obs;
   obs.on_stage = [](core::Stage s) { printf("[stage] %s\n", core::StageName(s)); };
   session->set_observer(obs);
+  if (native_run &&
+      std::find(emit_targets.begin(), emit_targets.end(), os::TargetOs::kKitos) ==
+          emit_targets.end()) {
+    // The native run executes the kitos translation unit; make sure it exists.
+    if (emit_targets.empty()) {
+      emit_targets.push_back(os::TargetOs::kWindows);
+    }
+    emit_targets.push_back(os::TargetOs::kKitos);
+  }
   if (!emit_targets.empty()) {
     core::EmitOptions emit;
     emit.targets = emit_targets;
@@ -284,6 +307,42 @@ int main(int argc, char** argv) {
       return 1;
     }
     printf("wrote driver.c, revnic_runtime.h, and driver_<target>.c to %s/\n", out_dir);
+  }
+
+  if (native_run) {
+    std::string why;
+    if (!native::ToolchainAvailable(&why)) {
+      printf("\nnative run skipped: %s\n", why.c_str());
+      return 0;
+    }
+    const drivers::TargetInfo* t = drivers::FindTarget(session->label().c_str());
+    if (t == nullptr) {
+      fprintf(stderr, "native run: session label '%s' is not a registry target\n",
+              session->label().c_str());
+      return 1;
+    }
+    native::RaceOptions ropts;
+    ropts.native_frames = native_frames;
+    ropts.dbt_frames = std::max<uint64_t>(native_frames / 20, 200);
+    printf("\nnative run: compiling kitos output, racing against the DBT original...\n");
+    native::RaceResult race = native::RunRace(t->id, session->emitted().at(os::TargetOs::kKitos),
+                                              session->module(), ropts);
+    if (!race.ok) {
+      fprintf(stderr, "native run failed: %s\n", race.error.c_str());
+      return 1;
+    }
+    printf("  compiled .so:        %s\n", race.so_path.c_str());
+    printf("  I/O-trace parity:    %s%s%s\n", race.parity_ok ? "ok" : "DIVERGED",
+           race.parity_ok ? "" : " -- ", race.parity_ok ? "" : race.parity_detail.c_str());
+    printf("  native:  %9.0f frames/s  (%.0f ns/frame, %.0f cycles/frame)\n",
+           race.native_side.frames_per_sec, race.native_side.ns_per_frame,
+           race.native_side.host_cycles_per_frame);
+    printf("  dbt:     %9.0f frames/s  (%.0f ns/frame, %.0f cycles/frame, "
+           "%llu guest instrs)\n",
+           race.dbt.frames_per_sec, race.dbt.ns_per_frame, race.dbt.host_cycles_per_frame,
+           static_cast<unsigned long long>(race.dbt.guest_instrs));
+    printf("  speedup: %.1fx\n", race.speedup);
+    return race.parity_ok ? 0 : 1;
   }
   return 0;
 }

@@ -1,0 +1,56 @@
+#include "core/native_harness.h"
+
+#include "core/session.h"
+#include "native/toolchain.h"
+#include "os/target.h"
+
+namespace revnic::core {
+
+bool NativeHarness::Available(std::string* why) { return native::ToolchainAvailable(why); }
+
+NativeHarness::DriverRun NativeHarness::Run(drivers::DriverId id) {
+  DriverRun run;
+  run.id = id;
+  run.name = drivers::DriverName(id);
+
+  std::string why;
+  if (!Available(&why)) {
+    run.race.skip_reason = why;
+    return run;
+  }
+
+  EngineConfig cfg;
+  cfg.pci = drivers::DriverPci(id);
+  cfg.max_work = options_.max_work;
+  auto session = CheckpointStore::Global().Resume(run.name, drivers::DriverImage(id), cfg);
+  EmitOptions emit;
+  emit.targets = {os::TargetOs::kKitos};
+  session->set_emit_options(emit);
+  if (!session->RunAll()) {
+    run.race.available = true;
+    run.race.error = "pipeline failed: " + session->error();
+    return run;
+  }
+  PipelineResult result = session->TakeResult();
+  const std::string& kitos_source = result.emitted[os::TargetOs::kKitos];
+
+  native::RaceOptions ropts;
+  ropts.native_frames = options_.native_frames;
+  ropts.dbt_frames = options_.dbt_frames;
+  ropts.payload = options_.payload;
+  ropts.fault_plan = options_.fault_plan;
+  ropts.workdir = options_.workdir;
+  ropts.measure = options_.measure;
+  run.race = native::RunRace(id, kitos_source, result.module, ropts);
+  return run;
+}
+
+std::vector<NativeHarness::DriverRun> NativeHarness::RunAll() {
+  std::vector<DriverRun> runs;
+  for (const drivers::TargetInfo& target : drivers::AllTargets()) {
+    runs.push_back(Run(target.id));
+  }
+  return runs;
+}
+
+}  // namespace revnic::core

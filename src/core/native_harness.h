@@ -1,0 +1,60 @@
+// core::NativeHarness: the pipeline stage that takes a driver all the way to
+// metal -- exercise/recover/emit (via the exercise-once checkpoint store),
+// then hand the emitted kitos translation unit to the native race harness
+// (src/native/harness.h) to be host-compiled, dlopen'd, parity-checked
+// against the DBT original, and timed.
+#ifndef REVNIC_CORE_NATIVE_HARNESS_H_
+#define REVNIC_CORE_NATIVE_HARNESS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "drivers/drivers.h"
+#include "native/harness.h"
+
+namespace revnic::core {
+
+class NativeHarness {
+ public:
+  struct Options {
+    uint64_t native_frames = 200'000;
+    uint64_t dbt_frames = 10'000;
+    size_t payload = 256;
+    // Non-empty: parity is additionally checked under this seeded fault
+    // plan (hw::ParseFaultPlan grammar).
+    std::string fault_plan;
+    std::string workdir;          // compile scratch; process temp dir if empty
+    uint64_t max_work = 250'000;  // exercise budget (checkpoint-store key part)
+    bool measure = true;          // false: parity only
+  };
+
+  struct DriverRun {
+    drivers::DriverId id;
+    std::string name;          // registry name ("rtl8139", ...)
+    native::RaceResult race;
+  };
+
+  NativeHarness() = default;
+  explicit NativeHarness(Options options) : options_(std::move(options)) {}
+
+  // True when this machine can run the native tier at all (host cc +
+  // dlopen); `why` gets the skip reason otherwise.
+  static bool Available(std::string* why = nullptr);
+
+  // Synthesizes `id` (cached across calls via core::CheckpointStore) and
+  // races the compiled kitos driver against the DBT-interpreted original.
+  DriverRun Run(drivers::DriverId id);
+
+  // Run() over the whole driver registry, in registry order.
+  std::vector<DriverRun> RunAll();
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace revnic::core
+
+#endif  // REVNIC_CORE_NATIVE_HARNESS_H_

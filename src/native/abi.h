@@ -1,0 +1,56 @@
+// Host-side mirror of the C ABI the kitos emission backend bakes into every
+// emitted translation unit (synth/emit.cc, KitosBackend::Prologue).
+//
+// The emitted driver is self-contained C: flat RAM, raw-MMIO fallbacks, no
+// OS. When compiled as a shared object and dlopen'd, the host installs
+// RevnicHostOps through revnic_bind_host() and from then on owns every
+// device access (io_read/io_write), every kernel call (os_call, stdcall args
+// on the guest stack at cpu->r[12]), and the coverage-hole/halt traps. The
+// struct layout here must stay field-for-field identical to the emitted
+// `struct revnic_host_ops`; kRevnicAbiVersion is the handshake that catches
+// a drifted pair at load time instead of as memory corruption.
+#ifndef REVNIC_NATIVE_ABI_H_
+#define REVNIC_NATIVE_ABI_H_
+
+#include <cstdint>
+
+namespace revnic::native {
+
+inline constexpr uint32_t kRevnicAbiVersion = 1;
+
+extern "C" {
+
+// Mirror of the emitted `struct revnic_cpu` (16 x 32-bit registers;
+// r11 = frame pointer, r12 = stack pointer, r0 = return value).
+struct RevnicCpu {
+  uint32_t r[16];
+};
+
+// Mirror of the emitted `struct revnic_host_ops`.
+struct RevnicHostOps {
+  void* ctx;
+  uint32_t (*io_read)(void* ctx, uint32_t addr, unsigned size);
+  void (*io_write)(void* ctx, uint32_t addr, unsigned size, uint32_t value);
+  uint32_t (*os_call)(void* ctx, uint32_t api_id, RevnicCpu* cpu);
+  void (*unexplored)(void* ctx, uint32_t pc);
+  void (*trace_halt)(void* ctx);
+};
+
+}  // extern "C"
+
+// dlsym'd entry points of an emitted kitos translation unit.
+using RamBaseFn = uint8_t* (*)(uint32_t* size_out);
+using BindHostFn = void (*)(const RevnicHostOps* ops, uint32_t mmio_base,
+                            uint32_t mmio_size);
+using CallPcAtFn = uint32_t (*)(uint32_t pc, uint32_t sp, const uint32_t* args,
+                                unsigned argc);
+
+// Symbol names, kept in one place so loader and tests agree.
+inline constexpr const char* kSymAbiVersion = "revnic_abi_version";
+inline constexpr const char* kSymRamBase = "revnic_ram_base";
+inline constexpr const char* kSymBindHost = "revnic_bind_host";
+inline constexpr const char* kSymCallPcAt = "revnic_call_pc_at";
+
+}  // namespace revnic::native
+
+#endif  // REVNIC_NATIVE_ABI_H_

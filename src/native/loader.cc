@@ -1,0 +1,119 @@
+#include "native/loader.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dlfcn.h>
+#define REVNIC_NATIVE_HAVE_DLOPEN 1
+#else
+#define REVNIC_NATIVE_HAVE_DLOPEN 0
+#endif
+
+namespace revnic::native {
+
+NativeModule::~NativeModule() { Unload(); }
+
+NativeModule::NativeModule(NativeModule&& other) noexcept { *this = std::move(other); }
+
+NativeModule& NativeModule::operator=(NativeModule&& other) noexcept {
+  if (this != &other) {
+    Unload();
+    handle_ = std::exchange(other.handle_, nullptr);
+    path_ = std::move(other.path_);
+    abi_version_ = other.abi_version_;
+    ram_base_ = std::exchange(other.ram_base_, nullptr);
+    bind_host_ = std::exchange(other.bind_host_, nullptr);
+    call_pc_at_ = std::exchange(other.call_pc_at_, nullptr);
+  }
+  return *this;
+}
+
+bool NativeModule::Load(const std::string& so_path, std::string* error) {
+#if !REVNIC_NATIVE_HAVE_DLOPEN
+  if (error != nullptr) {
+    *error = "dlopen unavailable on this platform";
+  }
+  (void)so_path;
+  return false;
+#else
+  Unload();
+  // RTLD_LOCAL: each loaded driver keeps its own revnic_* definitions;
+  // two drivers can be resident at once without symbol interposition.
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    if (error != nullptr) {
+      const char* err = ::dlerror();
+      *error = std::string("dlopen: ") + (err != nullptr ? err : "unknown error");
+    }
+    return false;
+  }
+  auto resolve = [&](const char* sym) { return ::dlsym(handle, sym); };
+  void* ver = resolve(kSymAbiVersion);
+  void* ram = resolve(kSymRamBase);
+  void* bind = resolve(kSymBindHost);
+  void* call = resolve(kSymCallPcAt);
+  if (ver == nullptr || ram == nullptr || bind == nullptr || call == nullptr) {
+    if (error != nullptr) {
+      *error = std::string("missing ABI symbol: ") +
+               (ver == nullptr ? kSymAbiVersion
+                               : ram == nullptr ? kSymRamBase
+                                                : bind == nullptr ? kSymBindHost
+                                                                  : kSymCallPcAt);
+    }
+    ::dlclose(handle);
+    return false;
+  }
+  uint32_t version = *static_cast<const uint32_t*>(ver);
+  if (version != kRevnicAbiVersion) {
+    if (error != nullptr) {
+      *error = "ABI version mismatch: emitted " + std::to_string(version) + ", host " +
+               std::to_string(kRevnicAbiVersion);
+    }
+    ::dlclose(handle);
+    return false;
+  }
+  handle_ = handle;
+  path_ = so_path;
+  abi_version_ = version;
+  ram_base_ = reinterpret_cast<RamBaseFn>(ram);
+  bind_host_ = reinterpret_cast<BindHostFn>(bind);
+  call_pc_at_ = reinterpret_cast<CallPcAtFn>(call);
+  return true;
+#endif
+}
+
+uint8_t* NativeModule::Ram(uint32_t* size_out) const {
+  return ram_base_ != nullptr ? ram_base_(size_out) : nullptr;
+}
+
+void NativeModule::BindHost(const RevnicHostOps* ops, uint32_t mmio_base,
+                            uint32_t mmio_size) const {
+  if (bind_host_ != nullptr) {
+    bind_host_(ops, mmio_base, mmio_size);
+  }
+}
+
+uint32_t NativeModule::CallPcAt(uint32_t pc, uint32_t sp, const uint32_t* args,
+                                unsigned argc) const {
+  return call_pc_at_ != nullptr ? call_pc_at_(pc, sp, args, argc) : 0;
+}
+
+void NativeModule::Unload() {
+#if REVNIC_NATIVE_HAVE_DLOPEN
+  if (handle_ != nullptr) {
+    // Unbind first: the .so must not call back into a dying host.
+    if (bind_host_ != nullptr) {
+      bind_host_(nullptr, 0, 0);
+    }
+    ::dlclose(handle_);
+  }
+#endif
+  handle_ = nullptr;
+  path_.clear();
+  abi_version_ = 0;
+  ram_base_ = nullptr;
+  bind_host_ = nullptr;
+  call_pc_at_ = nullptr;
+}
+
+}  // namespace revnic::native

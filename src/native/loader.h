@@ -1,0 +1,50 @@
+// RAII dlopen wrapper over an emitted kitos shared object, with the typed
+// symbol lookups and the ABI-version handshake (native/abi.h).
+#ifndef REVNIC_NATIVE_LOADER_H_
+#define REVNIC_NATIVE_LOADER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "native/abi.h"
+
+namespace revnic::native {
+
+class NativeModule {
+ public:
+  NativeModule() = default;
+  ~NativeModule();
+
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+  NativeModule(NativeModule&& other) noexcept;
+  NativeModule& operator=(NativeModule&& other) noexcept;
+
+  // dlopens `so_path`, resolves every ABI symbol, and checks
+  // revnic_abi_version against kRevnicAbiVersion. False (with `error` set)
+  // leaves the module unloaded.
+  bool Load(const std::string& so_path, std::string* error);
+
+  bool loaded() const { return handle_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  uint32_t abi_version() const { return abi_version_; }
+  // The emitted TU's flat RAM (size via `size_out`); valid while loaded.
+  uint8_t* Ram(uint32_t* size_out) const;
+  void BindHost(const RevnicHostOps* ops, uint32_t mmio_base, uint32_t mmio_size) const;
+  uint32_t CallPcAt(uint32_t pc, uint32_t sp, const uint32_t* args, unsigned argc) const;
+
+  void Unload();
+
+ private:
+  void* handle_ = nullptr;
+  std::string path_;
+  uint32_t abi_version_ = 0;
+  RamBaseFn ram_base_ = nullptr;
+  BindHostFn bind_host_ = nullptr;
+  CallPcAtFn call_pc_at_ = nullptr;
+};
+
+}  // namespace revnic::native
+
+#endif  // REVNIC_NATIVE_LOADER_H_

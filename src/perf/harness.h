@@ -47,6 +47,10 @@ struct PerfPoint {
   double bytes_copied = 0;
   double guest_instrs = 0;
   double stall_us = 0;
+  // Measured wall time per packet on the host, in nanoseconds. Only the
+  // native-execution sweep (perf/native.h) fills this; modeled sweeps have
+  // no wall-clock dimension and leave it 0.
+  double host_ns = 0;
 };
 
 struct SweepResult {

@@ -38,6 +38,8 @@ struct SynthStats {
   size_t switches_recovered = 0;
   size_t labels_pruned = 0;    // C labels the emitter no longer needs
   size_t gotos_elided = 0;     // gotos replaced by source-order fallthrough
+  size_t instrs_folded = 0;    // peephole: computations collapsed to constants
+  size_t branches_folded = 0;  // peephole: branches with constant conditions
   // Per-pass breakdown in pipeline order (Figure 9's per-pass report).
   std::vector<ir::PassStats> passes;
 };

@@ -227,6 +227,12 @@ class KitosBackend : public EmitBackend {
  * runtime hooks are defined right here over a flat RAM array and raw
  * MMIO dereferences; there is no kernel to call, so revnic_os_call is
  * the empty OS.
+ *
+ * Native-harness C ABI (src/native/README.md): a host that compiles this
+ * translation unit as a shared object may install hooks through
+ * revnic_bind_host() to observe every device access and service kernel
+ * calls; revnic_ram_base() exposes the flat RAM for DMA. Unbound, the
+ * hooks fall back to the bare-KitOS behavior above each definition.
  */
 #include <stdint.h>
 
@@ -234,14 +240,65 @@ struct revnic_cpu {
     uint32_t r[16]; /* r11=fp, r12=sp; r0 carries return values */
 };
 
-static uint8_t revnic_ram[1u << 22]; /* flat guest memory image */
+/* Layout-frozen host binding surface (mirror: src/native/abi.h). Bump the
+ * version whenever the struct or any hook signature changes. */
+#define REVNIC_NATIVE_ABI_VERSION 1u
+const uint32_t revnic_abi_version = REVNIC_NATIVE_ABI_VERSION;
+
+struct revnic_host_ops {
+    void* ctx;
+    uint32_t (*io_read)(void* ctx, uint32_t addr, unsigned size);
+    void (*io_write)(void* ctx, uint32_t addr, unsigned size, uint32_t value);
+    uint32_t (*os_call)(void* ctx, uint32_t api_id, struct revnic_cpu* cpu);
+    void (*unexplored)(void* ctx, uint32_t pc);
+    void (*trace_halt)(void* ctx);
+};
+
+static struct revnic_host_ops revnic_host; /* all-NULL until bound */
+static uint32_t revnic_host_mmio_base;
+static uint32_t revnic_host_mmio_size;
+
+/* Flat guest memory image, sized to the source-OS layout (os/winsim.h
+ * kGuestRamSize) so heap/DMA allocations land where the host expects.
+ * Out-of-range accesses read 0 / are dropped, matching vm::MemoryMap. */
+#define REVNIC_RAM_SIZE (16u << 20)
+static uint8_t revnic_ram[REVNIC_RAM_SIZE];
+
+uint8_t* revnic_ram_base(uint32_t* size_out)
+{
+    if (size_out != 0) {
+        *size_out = REVNIC_RAM_SIZE;
+    }
+    return revnic_ram;
+}
+
+void revnic_bind_host(const struct revnic_host_ops* ops, uint32_t mmio_base,
+                      uint32_t mmio_size)
+{
+    if (ops != 0) {
+        revnic_host = *ops;
+    } else {
+        struct revnic_host_ops none = {0, 0, 0, 0, 0};
+        revnic_host = none;
+    }
+    revnic_host_mmio_base = mmio_base;
+    revnic_host_mmio_size = mmio_size;
+}
 
 uint32_t revnic_load(uint32_t addr, unsigned size)
 {
     uint32_t v = 0;
     unsigned i;
+    /* MMIO-window loads route to the bound device model: memory-mapped
+     * chips (smc91c111) reach their registers via plain loads/stores. */
+    if (revnic_host.io_read != 0 && addr - revnic_host_mmio_base < revnic_host_mmio_size) {
+        return revnic_host.io_read(revnic_host.ctx, addr, size);
+    }
+    if (addr >= REVNIC_RAM_SIZE || size > REVNIC_RAM_SIZE - addr) {
+        return 0;
+    }
     for (i = 0; i < size; ++i) {
-        v |= (uint32_t)revnic_ram[(addr + i) & ((1u << 22) - 1u)] << (8u * i);
+        v |= (uint32_t)revnic_ram[addr + i] << (8u * i);
     }
     return v;
 }
@@ -249,8 +306,15 @@ uint32_t revnic_load(uint32_t addr, unsigned size)
 void revnic_store(uint32_t addr, unsigned size, uint32_t value)
 {
     unsigned i;
+    if (revnic_host.io_write != 0 && addr - revnic_host_mmio_base < revnic_host_mmio_size) {
+        revnic_host.io_write(revnic_host.ctx, addr, size, value);
+        return;
+    }
+    if (addr >= REVNIC_RAM_SIZE || size > REVNIC_RAM_SIZE - addr) {
+        return;
+    }
     for (i = 0; i < size; ++i) {
-        revnic_ram[(addr + i) & ((1u << 22) - 1u)] = (uint8_t)(value >> (8u * i));
+        revnic_ram[addr + i] = (uint8_t)(value >> (8u * i));
     }
 }
 
@@ -260,9 +324,13 @@ void revnic_store(uint32_t addr, unsigned size, uint32_t value)
 
 uint32_t revnic_in(uint32_t port, unsigned size)
 {
-    volatile uint8_t* p = (volatile uint8_t*)(uintptr_t)(REVNIC_IO_WINDOW + port);
+    volatile uint8_t* p;
     uint32_t v = 0;
     unsigned i;
+    if (revnic_host.io_read != 0) {
+        return revnic_host.io_read(revnic_host.ctx, port, size);
+    }
+    p = (volatile uint8_t*)(uintptr_t)(REVNIC_IO_WINDOW + port);
     for (i = 0; i < size; ++i) {
         v |= (uint32_t)p[i] << (8u * i);
     }
@@ -271,8 +339,13 @@ uint32_t revnic_in(uint32_t port, unsigned size)
 
 void revnic_out(uint32_t port, unsigned size, uint32_t value)
 {
-    volatile uint8_t* p = (volatile uint8_t*)(uintptr_t)(REVNIC_IO_WINDOW + port);
+    volatile uint8_t* p;
     unsigned i;
+    if (revnic_host.io_write != 0) {
+        revnic_host.io_write(revnic_host.ctx, port, size, value);
+        return;
+    }
+    p = (volatile uint8_t*)(uintptr_t)(REVNIC_IO_WINDOW + port);
     for (i = 0; i < size; ++i) {
         p[i] = (uint8_t)(value >> (8u * i));
     }
@@ -280,6 +353,11 @@ void revnic_out(uint32_t port, unsigned size, uint32_t value)
 
 uint32_t revnic_os_call(uint32_t api_id, struct revnic_cpu* cpu)
 {
+    if (revnic_host.os_call != 0) {
+        /* The host services the call and pops the stdcall args (it adjusts
+         * cpu->r[12] by 4 * argc, exactly as the in-process runner does). */
+        return revnic_host.os_call(revnic_host.ctx, api_id, cpu);
+    }
     /* No OS services on KitOS; source-OS stalls and kernel calls vanish. */
     (void)api_id;
     (void)cpu;
@@ -288,6 +366,12 @@ uint32_t revnic_os_call(uint32_t api_id, struct revnic_cpu* cpu)
 
 void revnic_unexplored(uint32_t pc)
 {
+    if (revnic_host.unexplored != 0) {
+        /* Every call site is followed by `return;`, so reporting the hole
+         * to the host and returning unwinds the entry call cleanly. */
+        revnic_host.unexplored(revnic_host.ctx, pc);
+        return;
+    }
     /* Reached a branch RevNIC never traced (§4.1): park the CPU. */
     (void)pc;
     for (;;) {
@@ -296,6 +380,10 @@ void revnic_unexplored(uint32_t pc)
 
 void revnic_halt(void)
 {
+    if (revnic_host.trace_halt != 0) {
+        revnic_host.trace_halt(revnic_host.ctx);
+        return;
+    }
     for (;;) {
     }
 }
@@ -312,6 +400,50 @@ void revnic_halt(void)
     out += EntryTable(m);
     out += InvokeHelper();
     out += RoleWrappers(m, "revnic_kitos");
+    // Whole-module pc -> function table plus a dispatch-by-pc call helper.
+    // The native harness needs both: timer handlers and interrupt-sync
+    // callbacks are reached by guest pc (WinSim hands the pc back through
+    // an OS call), and nested callbacks must run on the *current* guest
+    // stack -- revnic_invoke's fixed stack top would smash the live frame.
+    out += "static const struct revnic_fn_slot {\n"
+           "    uint32_t pc;\n"
+           "    void (*fn)(struct revnic_cpu*);\n"
+           "} revnic_fn_table[] = {\n";
+    for (const auto& [pc, fn] : m.functions) {
+      out += StrFormat("    { 0x%xu, %s },\n", pc, fn.name.c_str());
+    }
+    out += "};\n"
+           "const unsigned revnic_fn_count =\n"
+           "    sizeof(revnic_fn_table) / sizeof(revnic_fn_table[0]);\n\n";
+    out += "/* Calls the synthesized function at guest pc with stdcall args staged\n"
+           " * at `sp` (pass 0x00100000 for a fresh top-level stack). Unknown pcs\n"
+           " * report a coverage hole and return 0. */\n"
+           "uint32_t revnic_call_pc_at(uint32_t pc, uint32_t sp, const uint32_t* args,\n"
+           "                           unsigned argc)\n"
+           "{\n"
+           "    struct revnic_cpu cpu = {{0u}};\n"
+           "    void (*fn)(struct revnic_cpu*) = 0;\n"
+           "    unsigned i;\n"
+           "    for (i = 0; i < revnic_fn_count; ++i) {\n"
+           "        if (revnic_fn_table[i].pc == pc) {\n"
+           "            fn = revnic_fn_table[i].fn;\n"
+           "            break;\n"
+           "        }\n"
+           "    }\n"
+           "    if (fn == 0) {\n"
+           "        revnic_unexplored(pc);\n"
+           "        return 0u;\n"
+           "    }\n"
+           "    for (i = argc; i > 0; --i) {\n"
+           "        sp -= 4u;\n"
+           "        revnic_store(sp, 4, args[i - 1u]);\n"
+           "    }\n"
+           "    sp -= 4u;\n"
+           "    revnic_store(sp, 4, 0xFFFFFFF0u); /* stop-pc return sentinel */\n"
+           "    cpu.r[12] = sp;\n"
+           "    fn(&cpu);\n"
+           "    return cpu.r[0];\n"
+           "}\n\n";
     if (RoleFunction(m, os::EntryRole::kInitialize) != nullptr) {
       out += "uint32_t revnic_kitos_boot(void)\n"
              "{\n"

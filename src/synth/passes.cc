@@ -7,6 +7,7 @@
 #include "ir/verifier.h"
 #include "isa/isa.h"
 #include "synth/cemit.h"
+#include "util/bits.h"
 #include "util/strings.h"
 
 namespace revnic::synth {
@@ -612,6 +613,156 @@ class MergeFallthroughPass : public SynthPass {
   }
 };
 
+// Block-local peephole constant folding. Tracks temps holding compile-time
+// constants through each block and collapses pure computations over them
+// into kConst (Mov copies propagate, Select with a known condition becomes a
+// Mov), using the concrete machine's exact 32-bit semantics (vm/machine.cc)
+// so folding can never change execution. A branch whose condition folds
+// becomes an unconditional jump. Runs after merge-fallthrough on purpose:
+// merges concatenate instruction streams across old block boundaries, which
+// is where constants meet their uses -- and the folds in turn feed
+// prune-unreachable (dead branch arms) and dce (dead operand chains).
+// rewritten = instructions folded; items = branches folded to jumps.
+class PeepholePass : public SynthPass {
+ public:
+  const char* name() const override { return "peephole"; }
+
+  void Run(SynthContext& ctx, ir::PassStats* ps) override {
+    for (auto& [pc, b] : ctx.module.blocks) {
+      std::map<int32_t, uint32_t> known;
+      // Guest registers holding known constants. Only kSetReg writes the
+      // register file and terminators sit at block end, so a register set
+      // from a known temp stays known for the rest of the block. This is
+      // the channel constants actually flow through: the lifter materializes
+      // an immediate, parks it in a register, and reads it back one or two
+      // guest instructions later.
+      std::map<uint32_t, uint32_t> regs;
+      auto get = [&](int32_t t, uint32_t* out) {
+        auto it = known.find(t);
+        if (it == known.end()) {
+          return false;
+        }
+        *out = it->second;
+        return true;
+      };
+      for (Instr& i : b.instrs) {
+        uint32_t va = 0, vb = 0, vc = 0;
+        bool ka = get(i.a, &va), kb = get(i.b, &vb), kc = get(i.c, &vc);
+        uint32_t folded = 0;
+        bool fold = false;
+        switch (i.op) {
+          case Op::kConst:
+            known[i.dst] = i.imm;
+            continue;
+          case Op::kMov:
+            fold = ka;
+            folded = va;
+            break;
+          case Op::kAdd:    fold = ka && kb; folded = va + vb; break;
+          case Op::kSub:    fold = ka && kb; folded = va - vb; break;
+          case Op::kMul:    fold = ka && kb; folded = va * vb; break;
+          case Op::kUDiv:   fold = ka && kb; folded = vb == 0 ? 0xFFFFFFFFu : va / vb; break;
+          case Op::kURem:   fold = ka && kb; folded = vb == 0 ? va : va % vb; break;
+          case Op::kAnd:    fold = ka && kb; folded = va & vb; break;
+          case Op::kOr:     fold = ka && kb; folded = va | vb; break;
+          case Op::kXor:    fold = ka && kb; folded = va ^ vb; break;
+          case Op::kShl:    fold = ka && kb; folded = vb >= 32 ? 0 : va << vb; break;
+          case Op::kLShr:   fold = ka && kb; folded = vb >= 32 ? 0 : va >> vb; break;
+          case Op::kAShr:
+            fold = ka && kb;
+            folded = vb >= 32 ? (static_cast<int32_t>(va) < 0 ? 0xFFFFFFFFu : 0)
+                              : static_cast<uint32_t>(static_cast<int32_t>(va) >>
+                                                      static_cast<int32_t>(vb));
+            break;
+          case Op::kCmpEq:  fold = ka && kb; folded = va == vb ? 1 : 0; break;
+          case Op::kCmpNe:  fold = ka && kb; folded = va != vb ? 1 : 0; break;
+          case Op::kCmpUlt: fold = ka && kb; folded = va < vb ? 1 : 0; break;
+          case Op::kCmpUle: fold = ka && kb; folded = va <= vb ? 1 : 0; break;
+          case Op::kCmpSlt:
+            fold = ka && kb;
+            folded = static_cast<int32_t>(va) < static_cast<int32_t>(vb) ? 1 : 0;
+            break;
+          case Op::kCmpSle:
+            fold = ka && kb;
+            folded = static_cast<int32_t>(va) <= static_cast<int32_t>(vb) ? 1 : 0;
+            break;
+          case Op::kSelect:
+            if (kc) {
+              int32_t chosen = vc != 0 ? i.a : i.b;
+              bool kchosen = vc != 0 ? ka : kb;
+              uint32_t vchosen = vc != 0 ? va : vb;
+              if (kchosen) {
+                fold = true;
+                folded = vchosen;
+              } else {
+                // Known condition, unknown value: Select decays to a copy.
+                i.op = Op::kMov;
+                i.a = chosen;
+                i.b = i.c = -1;
+                known.erase(i.dst);
+                ++ps->rewritten;
+                continue;
+              }
+            }
+            break;
+          case Op::kZExt:   fold = ka; folded = va & LowMask(i.size * 8); break;
+          case Op::kSExt:   fold = ka; folded = SignExtend(va, i.size * 8); break;
+          case Op::kGetReg:
+            if (i.imm == isa::kRegZero) {
+              fold = true;
+              folded = 0;
+            } else if (auto rit = regs.find(i.imm); rit != regs.end()) {
+              fold = true;
+              folded = rit->second;
+            }
+            break;
+          case Op::kSetReg:
+            if (i.imm != isa::kRegZero) {
+              if (ka) {
+                regs[i.imm] = va;
+              } else {
+                regs.erase(i.imm);
+              }
+            }
+            continue;
+          default:
+            // Loads, I/O, register/memory writes: never folded; a defined
+            // dst (kLoad/kIn) is simply not a constant.
+            break;
+        }
+        if (!ir::OpDefinesDst(i.op)) {
+          continue;
+        }
+        if (fold) {
+          if (i.op != Op::kConst) {
+            i.op = Op::kConst;
+            i.imm = folded;
+            i.size = 4;
+            i.a = i.b = i.c = -1;
+            ++ps->rewritten;
+          }
+          known[i.dst] = folded;
+        } else {
+          known.erase(i.dst);
+        }
+      }
+      // The condition feeding the terminator is read after every
+      // instruction ran, so the final constant map decides it.
+      uint32_t cond = 0;
+      if (b.term == Term::kBranch && get(b.cond_tmp, &cond)) {
+        b.term = Term::kJump;
+        b.target = cond != 0 ? b.target : b.fallthrough;
+        b.fallthrough = 0;
+        b.cond_tmp = -1;
+        ++ps->items;
+      }
+    }
+    ctx.stats.instrs_folded += ps->rewritten;
+    ctx.stats.branches_folded += ps->items;
+    ps->changed = ps->rewritten != 0 || ps->items != 0;
+  }
+};
+
 // Drops blocks unreachable from every function entry (module-level
 // reachability, call edges included) and recomputes each function's block
 // list intraprocedurally. removed = blocks dropped from the module;
@@ -742,6 +893,7 @@ void AddRecoveryPasses(SynthPassManager* pm) {
 void AddCleanupPasses(SynthPassManager* pm) {
   pm->Emplace<ThreadJumpsPass>();
   pm->Emplace<MergeFallthroughPass>();
+  pm->Emplace<PeepholePass>();
   pm->Emplace<PruneUnreachablePass>();
   pm->Emplace<DeadCodePass>();
   pm->Emplace<RecoverSwitchesPass>();
@@ -752,6 +904,7 @@ std::unique_ptr<SynthPass> MakeThreadJumpsPass() { return std::make_unique<Threa
 std::unique_ptr<SynthPass> MakeMergeFallthroughPass() {
   return std::make_unique<MergeFallthroughPass>();
 }
+std::unique_ptr<SynthPass> MakePeepholePass() { return std::make_unique<PeepholePass>(); }
 std::unique_ptr<SynthPass> MakePruneUnreachablePass() {
   return std::make_unique<PruneUnreachablePass>();
 }

@@ -52,6 +52,7 @@ void AddCleanupPasses(SynthPassManager* pm);
 // transformation against a hand-built module.
 std::unique_ptr<SynthPass> MakeThreadJumpsPass();
 std::unique_ptr<SynthPass> MakeMergeFallthroughPass();
+std::unique_ptr<SynthPass> MakePeepholePass();
 std::unique_ptr<SynthPass> MakePruneUnreachablePass();
 std::unique_ptr<SynthPass> MakeDeadCodePass();
 std::unique_ptr<SynthPass> MakeRecoverSwitchesPass();

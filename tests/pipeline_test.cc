@@ -235,7 +235,7 @@ TEST(PipelineWrapper, RunPipelineMatchesSessionAcrossTargets) {
   EXPECT_EQ(wrapped.c_source, wrapped.emitted.at(os::TargetOs::kWindows));
   // Both ran the pass pipeline (cleanup on by default): same per-pass trail.
   ASSERT_EQ(wrapped.synth_stats.passes.size(), session.synth_stats().passes.size());
-  ASSERT_EQ(wrapped.synth_stats.passes.size(), 13u);
+  ASSERT_EQ(wrapped.synth_stats.passes.size(), 14u);
   for (size_t i = 0; i < wrapped.synth_stats.passes.size(); ++i) {
     EXPECT_EQ(wrapped.synth_stats.passes[i].name, session.synth_stats().passes[i].name);
     EXPECT_EQ(wrapped.synth_stats.passes[i].items, session.synth_stats().passes[i].items);

@@ -16,6 +16,7 @@
 #include "drivers/drivers.h"
 #include "ir/analysis.h"
 #include "ir/passes.h"
+#include "isa/isa.h"
 #include "os/recovered_host.h"
 #include "synth/diff.h"
 #include "synth/emit.h"
@@ -289,6 +290,72 @@ TEST(CleanupPasses, DeadCodeRemovesOnlyDeadPureInstrs) {
   EXPECT_EQ(b.instrs[1].op, Op::kIn);
 }
 
+TEST(CleanupPasses, PeepholeFoldsConstantsWithMachineSemantics) {
+  Block entry;
+  entry.num_temps = 8;
+  entry.instrs.push_back({.op = Op::kConst, .dst = 0, .imm = 6});
+  entry.instrs.push_back({.op = Op::kConst, .dst = 1, .imm = 7});
+  entry.instrs.push_back({.op = Op::kMul, .dst = 2, .a = 0, .b = 1});    // 42
+  entry.instrs.push_back({.op = Op::kConst, .dst = 3, .imm = 0});
+  entry.instrs.push_back({.op = Op::kUDiv, .dst = 4, .a = 2, .b = 3});   // /0 -> all-ones
+  entry.instrs.push_back({.op = Op::kAShr, .dst = 5, .a = 4, .b = 2});   // >>42 -> sign-fill
+  entry.instrs.push_back({.op = Op::kIn, .dst = 6, .a = 0});             // runtime value
+  entry.instrs.push_back({.op = Op::kAdd, .dst = 7, .a = 6, .b = 2});    // must stay
+  entry.term = Term::kRet;
+  entry.cond_tmp = 7;
+  Fixture f({{0x400000, entry}});
+
+  PassStats ps = f.Apply(synth::MakePeepholePass());
+  const Block& b = f.ctx.module.blocks.at(0x400000);
+  // The folds use the concrete machine's exact edge semantics.
+  EXPECT_EQ(b.instrs[2].op, Op::kConst);
+  EXPECT_EQ(b.instrs[2].imm, 42u);
+  EXPECT_EQ(b.instrs[4].op, Op::kConst);
+  EXPECT_EQ(b.instrs[4].imm, 0xFFFFFFFFu);
+  EXPECT_EQ(b.instrs[5].op, Op::kConst);
+  EXPECT_EQ(b.instrs[5].imm, 0xFFFFFFFFu);
+  // A value born from I/O poisons everything downstream of it.
+  EXPECT_EQ(b.instrs[6].op, Op::kIn);
+  EXPECT_EQ(b.instrs[7].op, Op::kAdd);
+  EXPECT_EQ(ps.rewritten, 3u);
+  EXPECT_EQ(ps.items, 0u);
+  EXPECT_TRUE(ps.changed);
+}
+
+TEST(CleanupPasses, PeepholeTracksRegistersAndFoldsConstantBranches) {
+  // Constants flow through the guest register file: kConst parks a value in
+  // a register, kGetReg reads it back. With both comparison operands known
+  // the branch condition folds and the terminator becomes a plain jump.
+  Block entry;
+  entry.num_temps = 4;
+  entry.instrs.push_back({.op = Op::kConst, .dst = 0, .imm = 0x1F});
+  entry.instrs.push_back({.op = Op::kSetReg, .a = 0, .imm = 3});
+  entry.instrs.push_back({.op = Op::kGetReg, .dst = 1, .imm = 3});
+  entry.instrs.push_back({.op = Op::kGetReg, .dst = 2, .imm = isa::kRegZero});
+  entry.instrs.push_back({.op = Op::kCmpUlt, .dst = 3, .a = 2, .b = 1});  // 0 < 0x1F
+  entry.term = Term::kBranch;
+  entry.target = 0x400020;
+  entry.fallthrough = 0x400010;
+  entry.cond_tmp = 3;
+  Block fall = SimpleBlock(Term::kRet, 0);
+  Block taken = SimpleBlock(Term::kRet, 0);
+  Fixture f({{0x400000, entry}, {0x400010, fall}, {0x400020, taken}});
+
+  PassStats ps = f.Apply(synth::MakePeepholePass());
+  const Block& b = f.ctx.module.blocks.at(0x400000);
+  EXPECT_EQ(b.instrs[2].op, Op::kConst);
+  EXPECT_EQ(b.instrs[2].imm, 0x1Fu);
+  EXPECT_EQ(b.instrs[3].op, Op::kConst);
+  EXPECT_EQ(b.instrs[3].imm, 0u);
+  EXPECT_EQ(b.instrs[4].op, Op::kConst);
+  EXPECT_EQ(b.instrs[4].imm, 1u);
+  EXPECT_EQ(b.term, Term::kJump);
+  EXPECT_EQ(b.target, 0x400020u);
+  EXPECT_EQ(b.cond_tmp, -1);
+  EXPECT_EQ(ps.rewritten, 3u);
+  EXPECT_EQ(ps.items, 1u);
+}
+
 TEST(CleanupPasses, RecoverSwitchesBuildsPlans) {
   Block entry;
   entry.num_temps = 1;
@@ -370,10 +437,10 @@ class SynthPipelineTest : public ::testing::TestWithParam<DriverId> {};
 
 TEST_P(SynthPipelineTest, VerifierCleanAfterEveryPassWithPerPassStats) {
   const core::PipelineResult& r = PipelineFor(GetParam(), /*cleanup=*/true);
-  // 7 recovery + 6 cleanup passes ran, each with a stats row, and the
+  // 7 recovery + 7 cleanup passes ran, each with a stats row, and the
   // interposed verifier accepted every intermediate module (RunAll would
   // have failed otherwise).
-  ASSERT_EQ(r.synth_stats.passes.size(), 13u);
+  ASSERT_EQ(r.synth_stats.passes.size(), 14u);
   EXPECT_EQ(r.synth_stats.passes.front().name, "trace-async");
   EXPECT_EQ(r.synth_stats.passes.back().name, "prune-labels");
   EXPECT_EQ(synth::VerifyModule(r.module), "");
