@@ -19,12 +19,17 @@ namespace revnic::bench {
 //   const core::PipelineResult& pr = bench::Pipeline(id);
 // The EmitOptions overload re-runs the downstream pass pipeline + backends
 // with the given settings against the same cached exercise checkpoint
-// (e.g. fig9's cleanup-off baseline, table3's per-target emissions).
+// (e.g. fig9's cleanup-off baseline, table3's per-target emissions). The
+// ExercisePlan overload runs the exercise stage under that plan; the store
+// key mixes the resolved plan (ConfigFingerprint), so differently-sharded
+// checkpoints never alias.
 inline core::PipelineResult Pipeline(drivers::DriverId id, uint64_t max_work,
-                                     const core::EmitOptions& emit) {
+                                     const core::EmitOptions& emit,
+                                     const core::ExercisePlan& plan = {}) {
   core::EngineConfig cfg;
   cfg.pci = drivers::DriverPci(id);
   cfg.max_work = max_work;
+  cfg.plan = plan;
   std::string key = std::string(drivers::DriverName(id)) + "@" + std::to_string(max_work);
   auto session = core::CheckpointStore::Global().Resume(key, drivers::DriverImage(id), cfg);
   session->set_emit_options(emit);

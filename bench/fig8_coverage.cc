@@ -8,10 +8,19 @@
 // job owns its symbolic substrate, so the curves are identical to sequential
 // runs); the timeline comes back per job.
 //
-// Flags:
+// Flags (assembled into one core::ExercisePlan per job):
 //   --exercise-threads=N   intra-driver parallel exercising (the PR 3
 //                          tentpole): each driver's exercise stage runs on N
 //                          workers. 1 (default) = legacy sequential engine.
+//   --sub-shards=K         split each step's exploration into K deterministic
+//                          sub-partitions of the enumerated pending pool (the
+//                          PR 8 tentpole) -- shorter critical path, byte-
+//                          identical for every K >= 1. 0 (default) =
+//                          whole-step fan-out.
+//   --dist-workers=N       run fan-out tasks on N forked worker processes
+//                          (RDP1 over socketpairs); byte-identical to the
+//                          in-process modes, with in-process failover on any
+//                          worker failure. 0 (default) = in-process.
 //   --spine-replay         use the PR 3 fan-out strategy (every worker
 //                          replays the spine prefix, O(S^2) spine work)
 //                          instead of the default snapshot handoff (O(S)).
@@ -38,28 +47,30 @@
 
 int main(int argc, char** argv) {
   using namespace revnic;
-  unsigned exercise_threads = 1;
-  bool spine_replay = false;
+  core::ExercisePlan plan;
   const char* coverage_log = nullptr;
-  hw::FaultPlan fault_plan;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--spine-replay") == 0) {
-      spine_replay = true;
+      plan.fan_out = core::FanOut::kSpineReplay;
     } else if (strncmp(argv[i], "--faults=", 9) == 0) {
       std::string error;
-      if (!hw::ParseFaultPlan(argv[i] + 9, &fault_plan, &error)) {
+      if (!hw::ParseFaultPlan(argv[i] + 9, &plan.faults, &error)) {
         fprintf(stderr, "--faults: %s\n", error.c_str());
         return 2;
       }
     } else if (strncmp(argv[i], "--exercise-threads=", 19) == 0) {
-      exercise_threads = static_cast<unsigned>(atoi(argv[i] + 19));
-      if (exercise_threads < 1) {
+      plan.threads = static_cast<unsigned>(atoi(argv[i] + 19));
+      if (plan.threads < 1) {
         // The bench makes machine-independent parity claims, so "auto" (0)
         // is rejected: thread count must be explicit.
         fprintf(stderr, "--exercise-threads wants an explicit count >= 1, got '%s'\n",
                 argv[i] + 19);
         return 2;
       }
+    } else if (strncmp(argv[i], "--sub-shards=", 13) == 0) {
+      plan.sub_shards = static_cast<unsigned>(atoi(argv[i] + 13));
+    } else if (strncmp(argv[i], "--dist-workers=", 15) == 0) {
+      plan.worker_processes = static_cast<unsigned>(atoi(argv[i] + 15));
     } else if (strncmp(argv[i], "--coverage-log=", 15) == 0) {
       coverage_log = argv[i] + 15;
     } else {
@@ -91,34 +102,37 @@ int main(int argc, char** argv) {
     job.image = &drivers::DriverImage(t.id);
     job.config.pci = drivers::DriverPci(t.id);
     job.config.sample_every = 100;  // fine-grained timeline
-    job.config.exercise_threads = exercise_threads;
-    job.config.spine_replay_fanout = spine_replay;
-    job.config.faults = fault_plan;
+    job.config.plan = plan;
     if (log_sink != nullptr) {
       job.config.on_coverage = core::MakeCoverageJsonlLogger(log_sink.get(), t.name);
     }
     jobs.push_back(std::move(job));
   }
-  // exercise_threads stays explicit per job (the exercised tree must not
-  // depend on the host's core count -- parity/determinism is the claim);
-  // the outer batch pool is capped instead so outer x inner stays within
-  // the hardware budget.
+  // The plan stays explicit per job (the exercised tree must not depend on
+  // the host's core count -- parity/determinism is the claim); the outer
+  // batch pool is capped instead so outer x inner stays within the hardware
+  // budget.
   core::BatchOptions options;
-  if (exercise_threads > 1) {
+  if (plan.threads > 1) {
     unsigned hw = std::thread::hardware_concurrency();
-    options.concurrency = std::max(1u, (hw == 0 ? 2 : hw) / exercise_threads);
+    options.concurrency = std::max(1u, (hw == 0 ? 2 : hw) / plan.threads);
   }
   auto wall_start = std::chrono::steady_clock::now();
   core::BatchResult batch = core::RunBatch(jobs, options);
   double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  printf("(batch: %zu drivers on %u worker threads, exercise-threads=%u, handoff=%s, "
-         "wall %.1fs)\n",
-         batch.jobs.size(), batch.concurrency, exercise_threads,
-         exercise_threads > 1 ? (spine_replay ? "spine-replay" : "snapshot-restore") : "n/a",
+  const bool parallel = plan.threads > 1 || plan.sub_shards > 0 || plan.worker_processes > 0;
+  printf("(batch: %zu drivers on %u worker threads, exercise-threads=%u, sub-shards=%u, "
+         "dist-workers=%u, handoff=%s, wall %.1fs)\n",
+         batch.jobs.size(), batch.concurrency, plan.threads, plan.sub_shards,
+         plan.worker_processes,
+         parallel
+             ? (plan.fan_out == core::FanOut::kSpineReplay ? "spine-replay"
+                                                           : "snapshot-restore")
+             : "n/a",
          wall_s);
-  if (fault_plan.Enabled()) {
-    printf("(fault plan: %s)\n", hw::FormatFaultPlan(fault_plan).c_str());
+  if (plan.faults.Enabled()) {
+    printf("(fault plan: %s)\n", hw::FormatFaultPlan(plan.faults).c_str());
   }
   printf("\n");
 
@@ -170,7 +184,7 @@ int main(int argc, char** argv) {
     printf("  %s=%.1f%%", names[i].c_str(), curves[i].back());
   }
   printf("\n(paper: most drivers reach over 80%% in under twenty minutes)\n");
-  if (fault_plan.Enabled()) {
+  if (plan.faults.Enabled()) {
     printf("\nFault injection (per driver):\n");
     for (const core::BatchJobResult& job : batch.jobs) {
       printf("  %-10s %s\n", job.name.c_str(),

@@ -43,6 +43,12 @@ void PrintUsage(const char* argv0) {
          "                       kitos | all (repeatable; default: windows)\n"
          "  --exercise-threads <n>  parallel exercise workers (1 = sequential,\n"
          "                       0 = hardware; deterministic for any n >= 2)\n"
+         "  --sub-shards <k>     split each exercise step across k deterministic\n"
+         "                       sub-partitions (0 = whole-step fan-out;\n"
+         "                       byte-identical for every k >= 1)\n"
+         "  --dist-workers <n>   run fan-out tasks on n forked worker processes\n"
+         "                       (0 = in-process; byte-identical either way,\n"
+         "                       worker failures fail over in-process)\n"
          "  --faults <spec>      deterministic fault injection while exercising:\n"
          "                       seed:kind=rate,... (e.g. 42:irq-drop=0.2 or\n"
          "                       7:all=0.05; kinds: irq-drop irq-dup irq-delay\n"
@@ -76,10 +82,9 @@ int main(int argc, char** argv) {
   const char* stage_name = "emit";
   const char* checkpoint = nullptr;
   const char* out_dir = nullptr;
-  unsigned exercise_threads = 1;
+  core::ExercisePlan plan;
   bool native_run = false;
   uint64_t native_frames = 50'000;
-  hw::FaultPlan fault_plan;
   std::vector<os::TargetOs> emit_targets;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
@@ -98,10 +103,14 @@ int main(int argc, char** argv) {
     } else if (strcmp(argv[i], "--out") == 0) {
       out_dir = value("--out");
     } else if (strcmp(argv[i], "--exercise-threads") == 0) {
-      exercise_threads = static_cast<unsigned>(atoi(value("--exercise-threads")));
+      plan.threads = static_cast<unsigned>(atoi(value("--exercise-threads")));
+    } else if (strcmp(argv[i], "--sub-shards") == 0) {
+      plan.sub_shards = static_cast<unsigned>(atoi(value("--sub-shards")));
+    } else if (strcmp(argv[i], "--dist-workers") == 0) {
+      plan.worker_processes = static_cast<unsigned>(atoi(value("--dist-workers")));
     } else if (strcmp(argv[i], "--faults") == 0) {
       std::string fault_err;
-      if (!hw::ParseFaultPlan(value("--faults"), &fault_plan, &fault_err)) {
+      if (!hw::ParseFaultPlan(value("--faults"), &plan.faults, &fault_err)) {
         fprintf(stderr, "--faults: %s\n", fault_err.c_str());
         return 2;
       }
@@ -172,7 +181,7 @@ int main(int argc, char** argv) {
     }
     printf("=== resumed from checkpoint %s (label '%s') ===\n", checkpoint,
            session->label().c_str());
-    if (fault_plan.Enabled()) {
+    if (plan.faults.Enabled()) {
       fprintf(stderr, "note: --faults ignored when resuming (the checkpoint already"
               " fixes the exercised trace)\n");
     }
@@ -194,10 +203,9 @@ int main(int argc, char** argv) {
     core::EngineConfig cfg;
     cfg.pci = drivers::DriverPci(target->id);
     cfg.max_work = 200'000;
-    cfg.exercise_threads = exercise_threads;
-    cfg.faults = fault_plan;
-    if (fault_plan.Enabled()) {
-      printf("fault plan: %s\n", hw::FormatFaultPlan(fault_plan).c_str());
+    cfg.plan = plan;
+    if (plan.faults.Enabled()) {
+      printf("fault plan: %s\n", hw::FormatFaultPlan(plan.faults).c_str());
     }
     session = std::make_unique<core::Session>(img, cfg);
     session->set_label(target->name);

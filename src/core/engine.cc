@@ -7,6 +7,8 @@
 #include <thread>
 #include <tuple>
 
+#include "core/fanout.h"
+#include "dist/coordinator.h"
 #include "isa/isa.h"
 #include "symex/coverage.h"
 #include "symex/executor.h"
@@ -93,6 +95,43 @@ StepKnobs SpineStepKnobs(const EngineConfig& c) {
   k.entry_success_cap = 1;
   k.no_progress_window = std::min<uint64_t>(k.no_progress_window, 192);
   return k;
+}
+
+// Full-exploration knobs for one fan-out task. Whole-step tasks
+// (sub_shards == 0, the PR 3/4 architecture) double the completion cap and
+// no-progress window: one task owns the entire step, so it can afford to push
+// past the sequential heuristics and recover the paths the sequential run
+// reaches via its survivor chain. Sub-shard tasks keep the config's knobs:
+// each enumerated root gets the full per-step gating to itself, so the
+// doubling would multiply, not recover, work. Computed from the config alone
+// so in-process dispatchers and forked dist workers derive identical knobs.
+StepKnobs FanoutFullKnobs(const EngineConfig& c, uint32_t sub_shards) {
+  StepKnobs k = StepKnobs::Of(c);
+  if (sub_shards == 0) {
+    k.entry_success_cap *= 2;
+    k.no_progress_window *= 2;
+  }
+  return k;
+}
+
+// Sub-shard exploration stops enumerating and starts partitioning once the
+// pool holds this many runnable roots (or the enumeration work budget below
+// runs out). Small on purpose: roots fork early at an entry point's first
+// status/branch decisions, so a handful already splits the step's heavy
+// exploration into comparable chunks, and every task re-runs the (cheap,
+// deterministic) enumeration.
+constexpr size_t kSubShardRootTarget = 6;
+constexpr uint64_t kSubShardEnumBudget = 512;
+
+// SplitMix64: the stable state-identity hash that assigns an enumerated root
+// to a sub-shard. Root ids are minted deterministically (the id counter rides
+// in RSS1 snapshots), so every replica of a step computes the same ownership
+// map for any shard count.
+uint64_t ShardMix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -302,17 +341,45 @@ struct Engine::Impl {
     }
   }
 
+  // Sub-shard fan-out state for one RunStep invocation (resolved
+  // plan.sub_shards >= 1). Every replica of a step runs the same bounded
+  // deterministic enumeration phase first; the pool's runnable states at its
+  // end, ordered by (deterministically minted) state id, are the step's
+  // canonical roots. root == -1 is the enumeration probe: its segment IS the
+  // enumeration (kept only by sub-shard 0's task, so the step preamble --
+  // entry-invoke event, IRQ fault counters, fallback fork -- lands in the
+  // merge exactly once). root == i re-runs the identical enumeration, then
+  // begins its segment and explores root i alone -- so the segment's bytes
+  // depend only on (step, i), never on the shard count, thread count, or
+  // process mode.
+  struct SubShardMode {
+    int root = -1;
+    std::vector<uint64_t> root_ids;  // out: canonical enumerated root ids
+  };
+
   // Runs one script step starting from `seed_state`; returns the surviving
   // state that carries over to the next step. `knobs` bounds this step's
   // exploration (the per-step subset of the config the parallel engine
-  // varies between spine and full passes).
+  // varies between spine and full passes). `sub` engages sub-shard mode (the
+  // step becomes this task's partition of the exploration; no survivor is
+  // selected and nullptr is returned).
   std::unique_ptr<ExecutionState> RunStep(const Step& step,
                                           std::unique_ptr<ExecutionState> seed_state,
-                                          const StepKnobs& knobs) {
+                                          const StepKnobs& knobs,
+                                          SubShardMode* sub = nullptr) {
+    if (sub != nullptr && sub->root < 0) {
+      // The probe's segment must carry everything the step records exactly
+      // once -- including the preamble and the early-exit fault counters
+      // below -- so it begins here; root re-runs begin theirs after the
+      // enumeration instead.
+      BeginSegment();
+    }
     uint32_t entry_pc =
         step.is_driver_entry ? image.entry : winsim.EntryPc(step.role);
     if (entry_pc == 0) {
-      return seed_state;  // entry point not provided by this driver
+      // Entry point not provided by this driver. (Sub-shard tasks enumerate
+      // zero roots here in every replica, consistently.)
+      return sub == nullptr ? std::move(seed_state) : nullptr;
     }
     // Plan-level IRQ faults (shaped once by BuildPlan, so every replica sees
     // the same shape): a dropped edge never reaches the driver -- skip the
@@ -320,7 +387,7 @@ struct Engine::Impl {
     // repositioned/copied them, we only count the injection here.
     if (step.irq_fault == hw::IrqFault::kDrop) {
       ++faults.stats().irq_dropped;
-      return seed_state;
+      return sub == nullptr ? std::move(seed_state) : nullptr;
     }
     if (step.irq_fault == hw::IrqFault::kDup) {
       ++faults.stats().irq_duplicated;
@@ -367,8 +434,18 @@ struct Engine::Impl {
     uint64_t step_work = 0;
     uint64_t last_progress = 0;  // step_work at the last new-coverage block
 
+    // The exploration loop, shared by every mode. stop_at_roots != 0 is the
+    // sub-shard enumeration phase: stop (before selecting) once the pool
+    // holds that many runnable roots or step_work reaches stop_at_work --
+    // both conditions are functions of deterministic replica state, so every
+    // replica of this step stops at the identical frontier.
+    auto explore = [&](size_t stop_at_roots, uint64_t stop_at_work) {
     while (!pool.Empty() && stats.work < config.max_work &&
            step_work < knobs.max_work_per_step && !CancelRequested()) {
+      if (stop_at_roots != 0 &&
+          (pool.NumRunnable() >= stop_at_roots || step_work >= stop_at_work)) {
+        break;
+      }
       std::unique_ptr<ExecutionState> cur = pool.SelectNext();
       // Operator diagnostics: REVNIC_HEARTBEAT=1 streams exerciser progress.
       if (getenv("REVNIC_HEARTBEAT") != nullptr && stats.work % 50 == 0) {
@@ -466,19 +543,48 @@ struct Engine::Impl {
         break;
       }
     }
-    pool.Clear();
+    };  // explore
 
-    // §3.2: keep one successful path chosen at random.
-    std::unique_ptr<ExecutionState> survivor;
-    if (!successes.empty()) {
-      survivor = std::move(successes[rng.Below(static_cast<uint32_t>(successes.size()))]);
-    } else if (!completions.empty()) {
-      survivor = std::move(completions[rng.Below(static_cast<uint32_t>(completions.size()))]);
-    } else {
-      RLOG_INFO("step '%s': no completed path; restoring pre-step snapshot", step.name.c_str());
-      survivor = std::move(fallback);
+    if (sub == nullptr) {
+      explore(0, 0);
+      pool.Clear();
+
+      // §3.2: keep one successful path chosen at random.
+      std::unique_ptr<ExecutionState> survivor;
+      if (!successes.empty()) {
+        survivor = std::move(successes[rng.Below(static_cast<uint32_t>(successes.size()))]);
+      } else if (!completions.empty()) {
+        survivor = std::move(completions[rng.Below(static_cast<uint32_t>(completions.size()))]);
+      } else {
+        RLOG_INFO("step '%s': no completed path; restoring pre-step snapshot", step.name.c_str());
+        survivor = std::move(fallback);
+      }
+      return survivor;
     }
-    return survivor;
+
+    // ---- sub-shard mode ----
+    // Enumerate the canonical roots, then either stop (probe: the
+    // enumeration itself -- including any paths that completed during it --
+    // is the ordinal-0 segment) or explore exactly one owned root in
+    // isolation. step_work, the completion lists, and the progress cursor
+    // carry from the enumeration into the root phase, so the root's gating
+    // sees the same baseline in every replica.
+    explore(kSubShardRootTarget,
+            std::min<uint64_t>(kSubShardEnumBudget, knobs.max_work_per_step));
+    std::vector<std::unique_ptr<ExecutionState>> roots = pool.TakeAllSortedById();
+    for (const std::unique_ptr<ExecutionState>& r : roots) {
+      sub->root_ids.push_back(r->id());
+    }
+    if (sub->root < 0) {
+      return nullptr;
+    }
+    BeginSegment();
+    if (static_cast<size_t>(sub->root) < roots.size()) {
+      pool.Add(std::move(roots[static_cast<size_t>(sub->root)]));
+      explore(0, 0);
+      pool.Clear();
+    }
+    return nullptr;
   }
 
   std::vector<Step> BuildScript() {
@@ -945,10 +1051,13 @@ struct Engine::Impl {
         step_snapshots->push_back(SerializeChainSnapshot(*state));
       }
       bool is_full = full_step >= 0 && idx == static_cast<size_t>(full_step);
-      if (is_full) {
+      if (is_full && sub_mode == nullptr) {
+        // Sub-shard tasks begin their segment inside RunStep (probes before
+        // the preamble, root re-runs after the enumeration).
         BeginSegment();
       }
-      state = RunStep(plan[idx], std::move(state), is_full ? full : base);
+      state = RunStep(plan[idx], std::move(state), is_full ? full : base,
+                      is_full ? sub_mode : nullptr);
       ++steps_run;
       if (is_full) {
         break;
@@ -979,8 +1088,10 @@ struct Engine::Impl {
     // Mirror RunScript's gating: a run that exhausted its budget (or was
     // cancelled) before reaching this step never begins the segment.
     if (step_index < plan.size() && stats.work < config.max_work && !CancelRequested()) {
-      BeginSegment();
-      state = RunStep(plan[step_index], std::move(state), full);
+      if (sub_mode == nullptr) {
+        BeginSegment();
+      }
+      state = RunStep(plan[step_index], std::move(state), full, sub_mode);
       ++steps_run;
     }
     timeline.push_back({stats.work, covered.size(), faults.stats().TotalInjected()});
@@ -1091,7 +1202,118 @@ struct Engine::Impl {
     r->functions_modeled -= functions_modeled_mark;
   }
 
-  // ---- parallel exercising (EngineConfig::exercise_threads >= 2) ----
+  // Runs one fan-out task -- a (step, sub-shard) pair -- start to finish:
+  // builds the replica substrate(s), hands off the chain state (snapshot
+  // restore, or spine-prefix replay when `snapshot` is empty or the restore
+  // fails), explores, and returns the sliced segment slot(s). This is the
+  // ONE task body: in-process dispatcher threads call it directly and forked
+  // dist workers call it on the deserialized work item, so the two modes are
+  // byte-identical by construction. `live`/`gwork`/`gfaults` are the
+  // coordinator's monitoring hooks (null in a worker process -- monitoring
+  // there is coordinator-side, on result receipt).
+  static FanoutTaskResult RunFanoutTask(const isa::Image& image, const EngineConfig& cfg,
+                                        const FanoutTask& task,
+                                        const std::vector<uint8_t>& snapshot,
+                                        symex::SharedCoverageMap* live,
+                                        std::atomic<uint64_t>* gwork,
+                                        std::atomic<uint64_t>* gfaults) {
+    const StepKnobs spine_knobs = SpineStepKnobs(cfg);
+    const StepKnobs full_knobs = FanoutFullKnobs(cfg, task.sub_shards);
+    FanoutTaskResult out;
+
+    // One replica, one exploration unit: the whole step (sub == nullptr),
+    // the enumeration probe, or one owned root. Work accounting: `executed`
+    // is what this replica actually ran (restored prefix totals excluded);
+    // the pre-segment share of it is handoff overhead (spine replay and/or
+    // enumeration re-run), split into the result's replayed/enum buckets by
+    // handoff kind.
+    auto run_replica = [&](SubShardMode* sub, EngineResult* result, bool* begun) {
+      bool restored = false;
+      if (!snapshot.empty()) {
+        Impl replica(image, cfg);
+        replica.live_coverage = live;
+        replica.global_work = gwork;
+        replica.global_faults = gfaults;
+        replica.sub_mode = sub;
+        std::string snap_error;
+        std::unique_ptr<ExecutionState> state =
+            replica.RestoreChainSnapshot(snapshot, &snap_error);
+        if (state != nullptr) {
+          const uint64_t base = replica.stats.work;  // restored prefix totals
+          *result = replica.RunSegmentFromSnapshot(static_cast<size_t>(task.step),
+                                                   std::move(state), full_knobs);
+          *begun = replica.segment_begun;
+          const uint64_t executed = replica.stats.work - base;
+          out.task_work += executed;
+          out.enum_work +=
+              replica.segment_begun ? replica.stats_mark.work - base : executed;
+          restored = true;
+        } else {
+          // In-memory snapshots only fail on a substrate bug; fall back to
+          // the replay strategy (byte-identical output) on a fresh replica
+          // rather than dropping the segment. The counter makes the fallback
+          // assertable -- without it a restore regression would silently
+          // revert the O(S) spine guarantee while every byte-parity test
+          // stays green.
+          ++out.restore_failures;
+          RLOG_WARN("step %llu snapshot restore failed (%s); replaying prefix",
+                    (unsigned long long)task.step, snap_error.c_str());
+        }
+      }
+      if (!restored) {
+        Impl replica(image, cfg);
+        replica.live_coverage = live;
+        replica.global_work = gwork;
+        replica.global_faults = gfaults;
+        replica.sub_mode = sub;
+        *result = replica.RunScript(spine_knobs, static_cast<int>(task.step), full_knobs);
+        *begun = replica.segment_begun;
+        const uint64_t executed = replica.stats.work;
+        out.task_work += executed;
+        out.replayed_work += replica.segment_begun ? replica.stats_mark.work : executed;
+      }
+    };
+
+    if (task.sub_shards == 0) {
+      FanoutSlot slot;
+      slot.ordinal = 0;
+      run_replica(nullptr, &slot.result, &slot.begun);
+      out.slots.push_back(std::move(slot));
+      return out;
+    }
+
+    // Sub-shard task: probe first (derives the canonical root list; its
+    // segment is the step's ordinal-0 slot, owned by sub-shard 0 -- the
+    // other shards run the identical probe purely to learn the roots), then
+    // one isolated replica per owned root.
+    SubShardMode probe;
+    probe.root = -1;
+    FanoutSlot probe_slot;
+    probe_slot.ordinal = 0;
+    run_replica(&probe, &probe_slot.result, &probe_slot.begun);
+    out.root_count = probe.root_ids.size();
+    if (task.sub_shard == 0) {
+      out.slots.push_back(std::move(probe_slot));
+    } else if (probe_slot.begun) {
+      // A discarded probe's segment work is pure enumeration overhead.
+      out.enum_work += probe_slot.result.stats.work;
+    }
+    for (size_t i = 0; i < probe.root_ids.size(); ++i) {
+      if (ShardMix(probe.root_ids[i]) % task.sub_shards != task.sub_shard) {
+        continue;
+      }
+      SubShardMode owned;
+      owned.root = static_cast<int>(i);
+      FanoutSlot slot;
+      slot.ordinal = static_cast<uint32_t>(1 + i);
+      run_replica(&owned, &slot.result, &slot.begun);
+      out.slots.push_back(std::move(slot));
+    }
+    return out;
+  }
+
+  // ---- parallel exercising (resolved plan: threads >= 2, sub-shards, or
+  // worker processes) ----
   //
   // Spine + fan-out: one fast sequential pass chains a completing path
   // through every step; each step's full-budget exploration then runs as an
@@ -1109,7 +1331,6 @@ struct Engine::Impl {
       std::atomic<bool> cancel{false};
       std::atomic<uint64_t> work{0};
       std::atomic<uint64_t> faults{0};
-      std::atomic<uint64_t> restore_failures{0};
       std::mutex observer_mu;
     } shared;
 
@@ -1146,14 +1367,12 @@ struct Engine::Impl {
       };
     }
 
-    StepKnobs full_knobs = StepKnobs::Of(config);
-    // A fan-out worker spends its whole budget on one step, so it can afford
-    // to push past the sequential engine's per-step heuristics: double the
-    // completion cap and the no-progress window. This recovers paths the
-    // sequential run only reaches through its (differently chosen) survivor
-    // chain, keeping coverage parity tight.
-    full_knobs.entry_success_cap *= 2;
-    full_knobs.no_progress_window *= 2;
+    // The effective plan was resolved by the Engine ctor; every replica and
+    // worker derives its knobs (FanoutFullKnobs) from the same config, so
+    // the byte-identity guarantee spans process boundaries too.
+    const ExercisePlan plan = config.plan;
+    const uint32_t sub_shards = plan.sub_shards;
+    const bool spine_replay = plan.fan_out == FanOut::kSpineReplay;
     StepKnobs spine_knobs = SpineStepKnobs(config);
 
     spine.config = cfg;  // wrapped cancel + coverage hooks for the spine run
@@ -1169,90 +1388,152 @@ struct Engine::Impl {
     // wiretap cursors, warm DBT set), so the merged result is byte-identical
     // to the replay strategy's -- pinned by tests/snapshot_test.cc.
     std::vector<std::vector<uint8_t>> snapshots;
-    if (!config.spine_replay_fanout) {
+    if (!spine_replay) {
       spine.step_snapshots = &snapshots;
     }
     EngineResult merged = spine.RunScript(spine_knobs, -1, spine_knobs);
     spine.step_snapshots = nullptr;
     const size_t steps_total = spine.steps_run;
 
-    struct Segment {
-      EngineResult result;
-      bool begun = false;
-      // Spine-prefix work this worker re-executed before its own step: the
-      // per-step replay cost under the replay strategy, 0 under snapshot
-      // handoff. Diagnostics only (REVNIC_PARALLEL_STATS).
-      uint64_t replayed_work = 0;
+    // Fan-out task list: one task per (step, sub-shard). Each task returns
+    // its slot(s); the canonical merge below lays them out by (step,
+    // ordinal), independent of completion order.
+    struct TaskItem {
+      size_t step;
+      uint32_t shard;
     };
-    std::vector<Segment> segments(steps_total);
+    const uint32_t shards_per_step = sub_shards == 0 ? 1 : sub_shards;
+    const size_t total_tasks = steps_total * shards_per_step;
+    std::vector<std::vector<FanoutSlot>> step_slots(steps_total);
+    std::vector<uint64_t> root_counts(steps_total, 0);
+    std::mutex results_mu;
+    uint64_t max_chain = 0;
+    uint64_t sum_replayed = 0;
+    uint64_t sum_enum = 0;
+    uint64_t restore_failures = 0;
+    uint32_t failovers = 0;
+    uint32_t workers_forked = 0;
     if (!merged.cancelled) {
-      symex::WorkQueue<size_t> queue;
+      // Multi-process mode: fork the worker pool BEFORE the dispatcher
+      // threads start (forking a threaded process is fragile; the spine ran
+      // on this thread, so this is the quietest point of the run -- though
+      // callers like RunBatch may hold outer threads, which is why every
+      // exchange has a deadline and an in-process failover; see
+      // src/dist/README.md). Worker children inherit the resolved config
+      // with the caller's hooks stripped: hooks must not cross the fork, so
+      // workers never observe a cancel -- a cancelled multi-process run
+      // drains without a byte pin, exactly like today's cancelled runs.
+      std::unique_ptr<dist::WorkerPool> wpool;
+      if (plan.worker_processes >= 1) {
+        EngineConfig child_cfg = config;
+        child_cfg.cancel = nullptr;
+        child_cfg.on_coverage = nullptr;
+        dist::WorkerPool::Options wopts;
+        wopts.workers = plan.worker_processes;
+        wpool = std::make_unique<dist::WorkerPool>(
+            wopts, [&image, child_cfg](const std::vector<uint8_t>& work,
+                                       std::vector<uint8_t>* reply, std::string* err) {
+              FanoutTask task;
+              std::vector<uint8_t> snapshot;
+              if (!DeserializeFanoutWork(work, &task, &snapshot, err)) {
+                return false;
+              }
+              FanoutTaskResult r =
+                  RunFanoutTask(image, child_cfg, task, snapshot, nullptr, nullptr, nullptr);
+              *reply = SerializeFanoutResult(r);
+              return true;
+            });
+        workers_forked = wpool->alive();
+        if (workers_forked == 0) {
+          wpool.reset();  // every fork/handshake failed; run fully in-process
+        }
+      }
+
+      symex::WorkQueue<TaskItem> queue;
       for (size_t k = 0; k < steps_total; ++k) {
-        queue.Push(k);
+        for (uint32_t s = 0; s < shards_per_step; ++s) {
+          queue.Push({k, s});
+        }
       }
       queue.Close();
-      unsigned workers = std::min<unsigned>(threads, static_cast<unsigned>(steps_total));
+      // Dispatchers block while their task runs on a dist worker, so the
+      // multi-process mode needs at least worker_processes of them to keep
+      // every worker busy. Scheduling only -- the merged bytes don't care.
+      unsigned dispatchers =
+          std::max(threads, wpool != nullptr ? plan.worker_processes : 0u);
+      dispatchers = std::max<unsigned>(
+          1, std::min<size_t>(dispatchers, total_tasks));
       std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (unsigned t = 0; t < workers; ++t) {
+      pool.reserve(dispatchers);
+      static const std::vector<uint8_t> kNoSnapshot;
+      for (unsigned t = 0; t < dispatchers; ++t) {
         pool.emplace_back([&] {
-          size_t k;
-          while (queue.PopBlocking(&k)) {
-            // Either way the worker starts step k with the spine coverage of
+          TaskItem item;
+          while (queue.PopBlocking(&item)) {
+            FanoutTask task{item.step, item.shard, sub_shards};
+            // Either way the task starts step k with the spine coverage of
             // steps 0..k-1 in its `covered` set, so the no-progress gating
             // skips re-exploring those paths -- the same baseline the
             // sequential engine has at step k. (Seeding the *full* spine
             // coverage instead was measured to cost tail coverage: a step
             // stops before reaching blocks only later steps touch, breaking
             // the +/-0.5% parity bar.)
-            bool restored = false;
-            if (!config.spine_replay_fanout) {
-              Impl replica(image, cfg);
-              replica.live_coverage = &live;
-              replica.global_work = &shared.work;
-              replica.global_faults = &shared.faults;
-              // Each step's blob is consumed exactly once; moving it out
-              // frees the snapshot as the fan-out progresses instead of
-              // holding all S of them until the last worker finishes.
-              std::vector<uint8_t> snapshot = std::move(snapshots[k]);
-              std::string snap_error;
-              std::unique_ptr<ExecutionState> state =
-                  replica.RestoreChainSnapshot(snapshot, &snap_error);
-              if (state != nullptr) {
-                segments[k].result =
-                    replica.RunSegmentFromSnapshot(k, std::move(state), full_knobs);
-                segments[k].begun = replica.segment_begun;
-                segments[k].replayed_work = 0;
-                restored = true;
+            std::vector<uint8_t> local_snapshot;
+            const std::vector<uint8_t>* snapshot = &kNoSnapshot;
+            if (!spine_replay) {
+              if (sub_shards == 0 && wpool == nullptr) {
+                // Single consumer per step: moving the blob out frees it as
+                // the fan-out progresses instead of holding all S of them
+                // until the last dispatcher finishes.
+                local_snapshot = std::move(snapshots[item.step]);
+                snapshot = &local_snapshot;
               } else {
-                // In-memory snapshots only fail on a substrate bug; fall back
-                // to the replay strategy (byte-identical output) on a fresh
-                // replica rather than dropping the segment. The counter makes
-                // the fallback assertable -- without it a restore regression
-                // would silently revert the O(S) spine guarantee while every
-                // byte-parity test stays green.
-                shared.restore_failures.fetch_add(1, std::memory_order_relaxed);
-                RLOG_WARN("step %zu snapshot restore failed (%s); replaying prefix",
-                          k, snap_error.c_str());
+                // The step's K tasks (and the dist failover path) share one
+                // snapshot; the pool stays alive until the fan-out ends.
+                snapshot = &snapshots[item.step];
               }
             }
-            if (!restored) {
-              Impl replica(image, cfg);
-              replica.live_coverage = &live;
-              replica.global_work = &shared.work;
-              replica.global_faults = &shared.faults;
-              segments[k].result =
-                  replica.RunScript(spine_knobs, static_cast<int>(k), full_knobs);
-              segments[k].begun = replica.segment_begun;
-              segments[k].replayed_work =
-                  replica.segment_begun ? replica.stats_mark.work : replica.stats.work;
+            FanoutTaskResult r;
+            bool done = false;
+            if (wpool != nullptr && !shared.cancel.load(std::memory_order_relaxed)) {
+              std::vector<uint8_t> reply;
+              std::string err;
+              if (wpool->Execute(SerializeFanoutWork(task, *snapshot), &reply, &err) &&
+                  DeserializeFanoutResult(reply, &r, &err)) {
+                done = true;
+                // Monitoring: fold the worker's executed work into the live
+                // counter on receipt (workers have no shared-memory hooks).
+                shared.work.fetch_add(r.task_work, std::memory_order_relaxed);
+              } else {
+                // Worker crash / timeout / malformed reply: the shard fails
+                // over to in-process execution -- never the run -- and the
+                // merged bytes are unchanged (same task body, same inputs).
+                RLOG_WARN("dist task (step %zu, shard %u) failed over in-process: %s",
+                          item.step, item.shard, err.c_str());
+                std::lock_guard<std::mutex> lock(results_mu);
+                ++failovers;
+              }
             }
+            if (!done) {
+              r = RunFanoutTask(image, cfg, task, *snapshot, &live, &shared.work,
+                                &shared.faults);
+            }
+            std::lock_guard<std::mutex> lock(results_mu);
+            root_counts[item.step] = std::max(root_counts[item.step], r.root_count);
+            for (FanoutSlot& slot : r.slots) {
+              step_slots[item.step].push_back(std::move(slot));
+            }
+            max_chain = std::max(max_chain, r.task_work);
+            sum_replayed += r.replayed_work;
+            sum_enum += r.enum_work;
+            restore_failures += r.restore_failures;
           }
         });
       }
       for (std::thread& t : pool) {
         t.join();
       }
+      // wpool goes out of scope here: kShutdown + reap before the merge.
     }
 
     // ---- canonical merge, in step order ----
@@ -1280,13 +1561,37 @@ struct Engine::Impl {
         entry_union.push_back(e);
       }
     }
-    for (size_t k = 0; k < segments.size(); ++k) {
-      if (!segments[k].begun) {
-        continue;  // budget/cancel ended this replica before its step
+    // Slot layout: the merged checkpoint walks steps in order and, within a
+    // step, slot ordinals 0..slot_count-1 (whole-step or enumeration segment
+    // first, then enumerated roots in canonical id order). `position`
+    // advances for EVERY slot -- begun or not -- so the id/seq offsets are a
+    // pure function of the plan, not of which shard produced a slot or which
+    // budget gate closed first. With sub_shards == 0 each step has exactly
+    // one slot and position at step k is k+1: the legacy offsets, hence
+    // byte-identical legacy checkpoints.
+    for (auto& slots : step_slots) {
+      std::sort(slots.begin(), slots.end(),
+                [](const FanoutSlot& a, const FanoutSlot& b) { return a.ordinal < b.ordinal; });
+    }
+    uint64_t position = 0;
+    uint64_t sum_seg = 0;
+    uint64_t max_seg = 0;
+    uint32_t begun_slots = 0;
+    for (size_t k = 0; k < steps_total; ++k) {
+      const uint64_t slot_count = sub_shards == 0 ? 1 : 1 + root_counts[k];
+      size_t next = 0;
+      for (uint64_t ord = 0; ord < slot_count; ++ord) {
+      ++position;
+      while (next < step_slots[k].size() && step_slots[k][next].ordinal < ord) {
+        ++next;
       }
-      EngineResult& seg = segments[k].result;
-      const uint64_t id_off = (k + 1) * kIdStride;
-      const uint64_t seq_off = (k + 1) * kSeqStride;
+      if (next >= step_slots[k].size() || step_slots[k][next].ordinal != ord ||
+          !step_slots[k][next].begun) {
+        continue;  // budget/cancel ended this replica before its segment
+      }
+      EngineResult& seg = step_slots[k][next].result;
+      const uint64_t id_off = position * kIdStride;
+      const uint64_t seq_off = position * kSeqStride;
       for (trace::BlockRecord& r : seg.bundle.block_records) {
         r.state_id += id_off;
         r.seq += seq_off;
@@ -1348,6 +1653,10 @@ struct Engine::Impl {
       }
       cum_work += seg.stats.work;
       cum_faults += seg.fault_stats.TotalInjected();
+      sum_seg += seg.stats.work;
+      max_seg = std::max(max_seg, seg.stats.work);
+      ++begun_slots;
+      }
     }
     merged.entries = std::move(entry_union);
 
@@ -1357,7 +1666,7 @@ struct Engine::Impl {
     if (shared.cancel.load(std::memory_order_relaxed)) {
       merged.cancelled = true;
     }
-    merged.snapshot_restore_failures = shared.restore_failures.load(std::memory_order_relaxed);
+    merged.snapshot_restore_failures = restore_failures;
 
     // The wrapped hooks capture this frame's Shared/live map; put the
     // caller's originals back so nothing in the long-lived Impl dangles
@@ -1372,40 +1681,45 @@ struct Engine::Impl {
       std::lock_guard<std::mutex> lock(shared.observer_mu);
       user_cov(merged.timeline.back());
     }
-    // Operator diagnostics: the per-segment work distribution is what bounds
-    // parallel scaling (wall ~ spine + max(prefix handoff + segment) on
-    // enough cores). `spine` is the O(S) shared pass; `replayed-prefix` is
-    // the extra per-worker spine work -- O(S^2) total under the replay
-    // strategy, 0 under snapshot handoff, which is exactly the critical-path
-    // reduction this mode buys.
-    if (getenv("REVNIC_PARALLEL_STATS") != nullptr) {
-      uint64_t max_chain = 0;  // longest replayed-prefix + segment chain
-      uint64_t max_seg = 0;
-      uint64_t sum_seg = 0;
-      uint64_t sum_replayed = 0;
-      for (const Segment& s : segments) {
-        if (!s.begun) {
-          continue;  // un-sliced whole-run stats; not part of the merge
-        }
-        max_seg = std::max(max_seg, s.result.stats.work);
-        max_chain = std::max(max_chain, s.replayed_work + s.result.stats.work);
-        sum_seg += s.result.stats.work;
-        sum_replayed += s.replayed_work;
-      }
+    // Scaling diagnostics: the per-task work distribution is what bounds
+    // parallel scaling (wall ~ spine + max task chain on enough cores).
+    // `spine` is the O(S) shared pass; `replayed-prefix` is the extra
+    // per-task spine work -- O(S^2) total under the replay strategy, 0 under
+    // snapshot handoff; `enum-overhead` is the per-task re-run of the
+    // bounded enumeration phase when sub-sharding. A task's chain is
+    // everything it executed (handoff + enumeration + owned segments), so
+    // the critical path is exact for both fan-out architectures.
+    {
       uint64_t spine_work = merged.stats.work - sum_seg;
       uint64_t critical = spine_work + max_chain;
-      fprintf(stderr,
-              "[parallel-exercise] mode=%s spine=%llu work, replayed-prefix=%llu, "
-              "%zu segments (sum=%llu max=%llu), critical path=%llu "
-              "(%.2fx vs serial merge)\n",
-              config.spine_replay_fanout ? "spine-replay" : "snapshot-restore",
-              (unsigned long long)spine_work, (unsigned long long)sum_replayed,
-              segments.size(), (unsigned long long)sum_seg, (unsigned long long)max_seg,
-              (unsigned long long)critical,
-              critical == 0 ? 1.0 : (double)merged.stats.work / (double)critical);
-      if (config.faults.Enabled()) {
-        fprintf(stderr, "[parallel-exercise] %s\n",
-                hw::FormatFaultStats(merged.fault_stats).c_str());
+      merged.parallel.spine_work = spine_work;
+      merged.parallel.max_task_chain = max_chain;
+      merged.parallel.critical_path = critical;
+      merged.parallel.sum_segment_work = sum_seg;
+      merged.parallel.replayed_prefix_work = sum_replayed;
+      merged.parallel.enum_work = sum_enum;
+      merged.parallel.tasks = static_cast<uint32_t>(total_tasks);
+      merged.parallel.slots = begun_slots;
+      merged.parallel.sub_shards = sub_shards;
+      merged.parallel.worker_processes = workers_forked;
+      merged.parallel.failovers = failovers;
+      if (getenv("REVNIC_PARALLEL_STATS") != nullptr) {
+        fprintf(stderr,
+                "[parallel-exercise] mode=%s threads=%u sub-shards=%u workers=%u "
+                "spine=%llu work, replayed-prefix=%llu, enum-overhead=%llu, "
+                "%u segments (sum=%llu max=%llu), tasks=%zu, critical path=%llu "
+                "(%.2fx vs serial merge), failovers=%u\n",
+                spine_replay ? "spine-replay" : "snapshot-restore", threads, sub_shards,
+                workers_forked, (unsigned long long)spine_work,
+                (unsigned long long)sum_replayed, (unsigned long long)sum_enum, begun_slots,
+                (unsigned long long)sum_seg, (unsigned long long)max_seg, total_tasks,
+                (unsigned long long)critical,
+                critical == 0 ? 1.0 : (double)merged.stats.work / (double)critical,
+                failovers);
+        if (config.faults.Enabled()) {
+          fprintf(stderr, "[parallel-exercise] %s\n",
+                  hw::FormatFaultStats(merged.fault_stats).c_str());
+        }
       }
     }
     return merged;
@@ -1456,6 +1770,10 @@ struct Engine::Impl {
   // When non-null (the spine pass of a snapshot-handoff parallel run),
   // RunScript serializes the chain state before each executed step.
   std::vector<std::vector<uint8_t>>* step_snapshots = nullptr;
+  // When non-null, this replica's full step runs in sub-shard mode (see
+  // SubShardMode); RunScript/RunSegmentFromSnapshot then leave segment
+  // bracketing to RunStep.
+  SubShardMode* sub_mode = nullptr;
   // Final chain snapshot captured by RunScript; moved into the result.
   std::vector<uint8_t> final_snapshot_bytes;
   // BeginSegment() marks; see SliceSegment().
@@ -1476,21 +1794,55 @@ struct Engine::Impl {
   hw::FaultStats fault_mark;
 };
 
+ExercisePlan ResolveExercisePlan(const EngineConfig& config) {
+  ExercisePlan plan = config.plan;
+  // Deprecated-field folding: a legacy field is honored only while the
+  // corresponding plan field still holds its default, so callers that set
+  // the plan explicitly always win. One release of overlap, then the legacy
+  // fields go away (see src/core/README.md for the migration table).
+  if (config.exercise_threads != 1 && plan.threads == 1) {
+    plan.threads = config.exercise_threads;
+  }
+  if (config.spine_replay_fanout && plan.fan_out == FanOut::kSnapshotRestore) {
+    plan.fan_out = FanOut::kSpineReplay;
+  }
+  if (config.faults.Enabled() && !plan.faults.Enabled()) {
+    plan.faults = config.faults;
+  }
+  return plan;
+}
+
+namespace {
+
+// The Impl stores the config once at construction; resolving the plan here
+// means every downstream consumer (sequential path, fan-out tasks, forked
+// workers, fingerprints) sees one coherent ExercisePlan and one fault plan,
+// regardless of which generation of fields the caller filled in.
+EngineConfig WithResolvedPlan(const EngineConfig& config) {
+  EngineConfig out = config;
+  out.plan = ResolveExercisePlan(config);
+  out.faults = out.plan.faults;
+  return out;
+}
+
+}  // namespace
+
 Engine::Engine(const isa::Image& image, const EngineConfig& config)
-    : impl_(std::make_unique<Impl>(image, config)) {}
+    : impl_(std::make_unique<Impl>(image, WithResolvedPlan(config))) {}
 
 Engine::~Engine() = default;
 
 EngineResult Engine::Run() {
-  unsigned threads = impl_->config.exercise_threads;
+  const ExercisePlan& plan = impl_->config.plan;
+  unsigned threads = plan.threads;
   if (threads == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 2 : hw;
   }
-  if (threads <= 1) {
+  if (threads <= 1 && plan.sub_shards == 0 && plan.worker_processes == 0) {
     return impl_->Run();  // the legacy sequential exerciser, byte-for-byte
   }
-  return Impl::RunParallel(*impl_, threads);
+  return Impl::RunParallel(*impl_, std::max(1u, threads));
 }
 
 EngineResult ReverseEngineer(const isa::Image& image, const EngineConfig& config) {

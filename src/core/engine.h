@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exercise_plan.h"
 #include "core/shell.h"
 #include "isa/disasm.h"
 #include "isa/image.h"
@@ -74,29 +75,24 @@ struct EngineConfig {
   // cursor rides in RSS1 snapshots). Participates in the checkpoint config
   // fingerprint. See src/hw/README.md.
   hw::FaultPlan faults;
-  // Intra-driver parallel exercising. 1 (default) runs the legacy sequential
-  // exerciser unchanged. N >= 2 runs the staged parallel exerciser on up to
-  // N worker threads: a fast sequential "spine" pass chains one completing
-  // path through every script step, then each step's full exploration fans
-  // out to the pool as an independent task whose deterministic spine-prefix
-  // replay marks already-covered paths (so its no-progress gating skips
-  // them); segments merge in step order with order-normalized trace ids.
-  // 0 auto-sizes to the hardware (and, under RunBatch with a thread budget,
-  // defers to the batch's split).
-  // Determinism guarantee: for a fixed seed the merged result -- TraceBundle,
-  // coverage, counters, and everything synthesized downstream -- is
-  // byte-identical for every thread count >= 2, because work is partitioned
-  // by entry step and merged canonically, never by scheduling timing. See
-  // src/symex/README.md for the full strategy.
+  // How the exercise stage is parallelized: dispatcher threads, intra-step
+  // sub-shards, fan-out strategy, worker processes, fault plan -- one struct
+  // (see core/exercise_plan.h). plan.threads == 1 with everything else at
+  // its default runs the legacy sequential exerciser, byte-for-byte. The
+  // engine resolves the effective plan with ResolveExercisePlan (folding in
+  // the deprecated fields below); for a fixed seed the merged result is
+  // byte-identical across thread counts, sub-shard counts >= 1, worker
+  // processes, and both fan-out strategies. See src/symex/README.md for the
+  // determinism strategy and src/dist/README.md for the multi-process mode.
+  ExercisePlan plan;
+  // DEPRECATED (PR 8): forwarding shim for ExercisePlan::threads -- honored
+  // only while plan.threads is at its default of 1; removal one release
+  // after PR 8 (see the migration table in src/core/README.md).
   unsigned exercise_threads = 1;
-  // Fan-out handoff strategy under parallel exercising. false (default): the
-  // spine pass serializes the chain state after each step ("RSS1" snapshots,
-  // src/symex/snapshot.h) and every fan-out worker *restores* its start
-  // snapshot directly -- total spine work is O(S) in the script length. true:
-  // the PR 3 strategy -- every worker re-executes the spine prefix (O(S^2)
-  // total spine work) -- kept as a debugging/validation fallback. Both
-  // strategies produce byte-identical merged results for every thread count
-  // (pinned by tests/snapshot_test.cc).
+  // DEPRECATED (PR 8): forwarding shim for ExercisePlan::fan_out ==
+  // FanOut::kSpineReplay -- honored only while plan.fan_out is at its
+  // default; removal one release after PR 8 (migration table in
+  // src/core/README.md).
   bool spine_replay_fanout = false;
   // Capture the final chain state as a serialized "RSS1" snapshot in
   // EngineResult::final_snapshot ("RCP1" checkpoints embed it). Under
@@ -159,6 +155,26 @@ struct EngineStats {
   }
 };
 
+// Parallel/distributed exercising diagnostics, populated whenever the staged
+// parallel architecture runs (resolved plan: threads >= 2, sub_shards >= 1,
+// or worker_processes >= 1). All figures are deterministic work units, not
+// wall-clock; REVNIC_PARALLEL_STATS=1 prints them to stderr. Runtime
+// diagnostic -- not serialized into checkpoints (merged checkpoint bytes stay
+// plan-shape independent within the guarantee grid).
+struct ParallelExerciseStats {
+  uint64_t spine_work = 0;          // sequential spine pass, merged units
+  uint64_t max_task_chain = 0;      // heaviest fan-out task (all its replicas)
+  uint64_t critical_path = 0;       // spine_work + max_task_chain
+  uint64_t sum_segment_work = 0;    // work landing in merged segments
+  uint64_t replayed_prefix_work = 0;  // spine-replay fallback/strategy re-runs
+  uint64_t enum_work = 0;           // sub-shard enumeration re-run overhead
+  uint32_t tasks = 0;               // fan-out tasks dispatched (steps x shards)
+  uint32_t slots = 0;               // merged segment slots (begun)
+  uint32_t sub_shards = 0;          // resolved plan.sub_shards
+  uint32_t worker_processes = 0;    // workers the coordinator actually forked
+  uint32_t failovers = 0;           // shard tasks that fell back in-process
+};
+
 struct EngineResult {
   trace::TraceBundle bundle;
   std::set<uint32_t> covered_blocks;   // static basic-block starts reached
@@ -195,6 +211,9 @@ struct EngineResult {
   // regression); tests pin it to 0. Runtime diagnostic -- not serialized
   // into checkpoints.
   uint64_t snapshot_restore_failures = 0;
+  // Parallel/distributed exercising diagnostics (all zero on the sequential
+  // path). Runtime diagnostic -- not serialized into checkpoints.
+  ParallelExerciseStats parallel;
 
   double CoveragePercent() const {
     return static_blocks == 0 ? 0.0
@@ -218,6 +237,13 @@ class Engine {
 
 // Convenience wrapper.
 EngineResult ReverseEngineer(const isa::Image& image, const EngineConfig& config);
+
+// Folds the deprecated EngineConfig fields (exercise_threads,
+// spine_replay_fanout, faults) into the effective ExercisePlan: each legacy
+// field is honored only while the corresponding plan field is still at its
+// default, so explicit plan settings always win. The engine, RunBatch, and
+// the CheckpointStore config fingerprint all key off this resolved plan.
+ExercisePlan ResolveExercisePlan(const EngineConfig& config);
 
 }  // namespace revnic::core
 

@@ -1,0 +1,81 @@
+// ExercisePlan: the one way to configure how a driver's exercise stage is
+// parallelized and perturbed (PR 8 API redesign).
+//
+// Parallel exercising grew knob by knob -- `EngineConfig::exercise_threads`
+// (PR 3), `EngineConfig::spine_replay_fanout` (PR 4), the fault plan (PR 6),
+// `BatchOptions::thread_budget` -- and the coordinator/worker split doubles
+// the surface again (sub-shards, worker processes). Instead of extending the
+// scatter, every dimension now lives in this one struct:
+//
+//   core::ExercisePlan plan;
+//   plan.threads = 4;            // dispatcher threads
+//   plan.sub_shards = 4;         // split heavy steps into K pool partitions
+//   plan.worker_processes = 2;   // hand shard tasks to forked workers (RDP1)
+//   plan.fan_out = core::FanOut::kSnapshotRestore;
+//   plan.faults = my_fault_plan;
+//   config.plan = plan;
+//
+// The legacy fields survive as thin deprecated forwarding shims (see
+// ResolveExercisePlan in engine.h and the migration table in
+// src/core/README.md); they are slated for removal one release after PR 8.
+//
+// Every plan with the same seed produces byte-identical merged results --
+// across thread counts, sub-shard counts >= 1, worker-process counts, and
+// both fan-out strategies, clean and under faults. The determinism argument
+// lives in src/symex/README.md; src/dist/README.md covers the wire protocol
+// and failover semantics of the multi-process mode.
+#ifndef REVNIC_CORE_EXERCISE_PLAN_H_
+#define REVNIC_CORE_EXERCISE_PLAN_H_
+
+#include "hw/faults.h"
+
+namespace revnic::core {
+
+// Fan-out handoff strategy: how a fan-out task obtains the chain state at
+// its step boundary.
+enum class FanOut {
+  // The spine serializes an "RSS1" snapshot before each step and every task
+  // restores its start snapshot directly -- O(S) total spine work (default).
+  kSnapshotRestore = 0,
+  // Every task re-executes the spine prefix (the PR 3 strategy) -- O(S^2)
+  // total spine work; kept as a debugging/validation fallback. Byte-identical
+  // results either way (tests/snapshot_test.cc, tests/dist_test.cc).
+  kSpineReplay = 1,
+};
+
+struct ExercisePlan {
+  // Dispatcher threads for the fan-out phase. 1 (default) = the legacy
+  // sequential exerciser, byte-for-byte -- unless sub_shards or
+  // worker_processes engage the parallel architecture below. 0 = size for
+  // the hardware (and, under RunBatch with a batch-level plan, defer to the
+  // batch's split).
+  unsigned threads = 1;
+  // Intra-step sub-sharding: 0 (default) fans out whole steps (one task per
+  // script step, the PR 3/4 architecture). K >= 1 splits each step's
+  // exploration into K deterministic sub-partitions of the enumerated
+  // pending pool -- a stable hash of state identity assigns each enumerated
+  // root to one of the K sub-shards -- lifting the per-driver parallelism
+  // ceiling past the script length (pcnet's longest step dominated the PR 4
+  // critical path). Merged bytes are identical for every K >= 1 (K only
+  // routes root ownership; each root explores in an isolated replica), but
+  // K = 0 and K >= 1 are distinct exploration shapes with distinct bytes.
+  unsigned sub_shards = 0;
+  // Fan-out handoff strategy; see FanOut.
+  FanOut fan_out = FanOut::kSnapshotRestore;
+  // Multi-process exercising: 0 (default) runs every fan-out task in
+  // process. N >= 1 forks N worker processes at fan-out start and hands
+  // (snapshot, sub-shard) work items to them over the "RDP1" framed protocol
+  // (src/dist/). A worker crash, timeout, or malformed reply fails the shard
+  // over to in-process execution -- never the run -- and the merged bytes
+  // are identical either way (the workers run the exact in-process task
+  // code on serialized inputs).
+  unsigned worker_processes = 0;
+  // Deterministic fault injection at the shell-device boundary; supersedes
+  // EngineConfig::faults (which still forwards here when the plan's is
+  // disabled). See src/hw/README.md.
+  hw::FaultPlan faults;
+};
+
+}  // namespace revnic::core
+
+#endif  // REVNIC_CORE_EXERCISE_PLAN_H_

@@ -507,11 +507,11 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& opti
   concurrency = std::min(concurrency, static_cast<unsigned>(jobs.size()));
   batch.concurrency = concurrency;
   // Outer x inner thread split: jobs that deferred their exercise-stage
-  // sizing (exercise_threads == 0) share the global budget evenly across the
-  // outer workers.
-  unsigned inner_threads = options.thread_budget == 0
-                               ? 0
-                               : std::max(1u, options.thread_budget / concurrency);
+  // sizing (resolved plan threads == 0) inherit the batch plan template with
+  // the global budget shared evenly across the outer workers. The deprecated
+  // thread_budget field is the threads-only spelling of the same template.
+  const unsigned budget = options.plan ? options.plan->threads : options.thread_budget;
+  unsigned inner_threads = budget == 0 ? 0 : std::max(1u, budget / concurrency);
 
   std::atomic<size_t> next{0};
   std::mutex done_mu;
@@ -524,8 +524,14 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& opti
         out.error = "job has no image";
       } else {
         EngineConfig cfg = job.config;
-        if (inner_threads != 0 && cfg.exercise_threads == 0) {
-          cfg.exercise_threads = inner_threads;
+        if (inner_threads != 0 && ResolveExercisePlan(cfg).threads == 0) {
+          if (options.plan) {
+            cfg.plan = *options.plan;
+            cfg.plan.threads = inner_threads;
+            cfg.exercise_threads = 1;  // neutralize the legacy field's 0
+          } else {
+            cfg.exercise_threads = inner_threads;
+          }
         }
         Session session(*job.image, cfg);
         session.set_label(job.name);
@@ -612,33 +618,42 @@ std::string ConfigFingerprint(const EngineConfig& c) {
   mix(c.polling_visit_threshold);
   mix(c.inject_irqs ? 1 : 0);
   mix(c.seed);
-  // The fault plan reshapes the explored tree (and the checkpoint bytes).
-  // Rates are mixed as raw IEEE-754 bits: any representational change is a
-  // schedule change.
-  mix(c.faults.seed);
-  for (double rate : c.faults.rates) {
+  mix(c.sample_every);
+  mix(c.cancel ? 1 : 0);
+  // Presence of the final-state snapshot changes the checkpoint bytes.
+  mix(c.capture_final_snapshot ? 1 : 0);
+  // Sharding/worker/fault configuration is folded through the *resolved*
+  // plan, so the legacy-field and plan spellings of the same run share a key
+  // (and a plan-only fault spec cannot alias a fault-free run). The fault
+  // plan reshapes the explored tree; rates are mixed as raw IEEE-754 bits --
+  // any representational change is a schedule change. plan.fan_out
+  // deliberately is NOT mixed: both handoff strategies produce
+  // byte-identical results (tests/snapshot_test.cc), so their checkpoints
+  // are interchangeable. Ditto worker_processes beyond the parallel class --
+  // but sub_shards changes the merged slot layout, so its exact value is
+  // output-relevant.
+  const ExercisePlan plan = ResolveExercisePlan(c);
+  mix(plan.faults.seed);
+  for (double rate : plan.faults.rates) {
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(rate));
     std::memcpy(&bits, &rate, sizeof(bits));
     mix(bits);
   }
-  mix(c.sample_every);
-  mix(c.cancel ? 1 : 0);
-  // Presence of the final-state snapshot changes the checkpoint bytes.
-  // spine_replay_fanout deliberately is NOT mixed: both handoff strategies
-  // produce byte-identical results (tests/snapshot_test.cc), so their
-  // checkpoints are interchangeable.
-  mix(c.capture_final_snapshot ? 1 : 0);
-  // Parallel exercising changes the explored tree, so thread settings are
-  // output-relevant -- but every count >= 2 produces byte-identical results,
-  // so the key only distinguishes sequential from parallel, resolving 0 the
-  // same way Engine::Run does.
-  unsigned threads = c.exercise_threads;
+  mix(plan.sub_shards);
+  // Parallel exercising changes the explored tree, so the architecture is
+  // output-relevant -- but every thread count >= 2 (and any worker-process
+  // count) produces byte-identical results, so the key only distinguishes
+  // the sequential engine from the parallel one, resolving 0 the same way
+  // Engine::Run does.
+  unsigned threads = plan.threads;
   if (threads == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 2 : hw;
   }
-  mix(threads <= 1 ? 1 : 2);
+  const bool parallel =
+      threads >= 2 || plan.sub_shards >= 1 || plan.worker_processes >= 1;
+  mix(parallel ? 2 : 1);
   // Container sizes are mixed before their elements so adjacent
   // variable-length fields cannot alias each other's streams.
   mix(c.skip_apis.size());

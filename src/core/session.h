@@ -203,14 +203,19 @@ struct BatchOptions {
   // Outer, driver-level workers (0 = one per job, capped at hardware
   // concurrency).
   unsigned concurrency = 0;
-  // Global thread budget shared between the outer batch dimension and each
-  // job's inner parallel exercise stage (EngineConfig::exercise_threads).
-  // When non-zero, every job that left exercise_threads at 0 ("size for me")
-  // gets max(1, thread_budget / outer_workers) inner threads, so outer x
-  // inner never oversubscribes the budget. Jobs that set exercise_threads
-  // explicitly keep their setting. 0 = outer-only parallelism (the PR 2
-  // behavior).
+  // DEPRECATED shim for `plan` (one release of overlap, then removed -- see
+  // src/core/README.md). Equivalent to a plan whose `threads` is this value
+  // and whose other fields are defaults; ignored when `plan` is set.
   unsigned thread_budget = 0;
+  // Batch-wide ExercisePlan template. Its `threads` is the global budget
+  // shared between the outer batch dimension and each job's inner exercise
+  // stage: every job whose own resolved plan left threads at 0 ("size for
+  // me") inherits this plan with threads = max(1, threads / outer_workers),
+  // so outer x inner never oversubscribes the budget. The template's
+  // sub-shards / fan-out / worker-process settings pass through to those
+  // jobs unchanged. Jobs that resolve an explicit thread count keep their
+  // own plan untouched.
+  std::optional<ExercisePlan> plan;
   // Invoked once per finished job, serialized by an internal mutex.
   std::function<void(const BatchJobResult&)> on_job_done;
 };

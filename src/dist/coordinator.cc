@@ -1,0 +1,242 @@
+#include "dist/coordinator.h"
+
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/wire.h"
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace revnic::dist {
+namespace {
+
+int TimeoutFromEnv(int fallback) {
+  const char* env = getenv("REVNIC_DIST_TIMEOUT_MS");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  int v = atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+std::vector<uint8_t> HelloPayload(unsigned index) {
+  std::vector<uint8_t> p(4);
+  StoreLE(p.data(), index, 4);
+  return p;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(const Options& options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {
+  options_.timeout_ms = TimeoutFromEnv(options_.timeout_ms);
+  workers_.resize(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    SpawnWorker(i);
+  }
+  // Eager handshake: a worker that can't speak RDP1 (fork/socket trouble)
+  // is discovered now, not on its first real work item.
+  for (unsigned i = 0; i < workers_.size(); ++i) {
+    Worker& w = workers_[i];
+    if (w.dead) {
+      continue;
+    }
+    std::string err;
+    Frame hello;
+    if (!WriteFrame(w.fd, FrameType::kHello, HelloPayload(i), &err) ||
+        !ReadFrame(w.fd, &hello, options_.timeout_ms, &err) ||
+        hello.type != FrameType::kHello) {
+      RLOG_WARN("dist worker %u failed the RDP1 handshake: %s", i,
+                err.empty() ? "unexpected frame" : err.c_str());
+      std::lock_guard<std::mutex> lock(mu_);
+      MarkDeadLocked(&w);
+    }
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Worker& w : workers_) {
+    if (w.dead) {
+      continue;
+    }
+    std::string err;
+    WriteFrame(w.fd, FrameType::kShutdown, {}, &err);
+    close(w.fd);
+    w.fd = -1;
+    int status = 0;
+    waitpid(w.pid, &status, 0);
+    w.dead = true;
+  }
+}
+
+void WorkerPool::SpawnWorker(unsigned index) {
+  Worker& w = workers_[index];
+  int sv[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    RLOG_WARN("dist worker %u: socketpair failed", index);
+    w.dead = true;
+    return;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    RLOG_WARN("dist worker %u: fork failed", index);
+    close(sv[0]);
+    close(sv[1]);
+    w.dead = true;
+    return;
+  }
+  if (pid == 0) {
+    // Child: keep only our end; the parent ends of earlier siblings came
+    // across the fork and must not keep those sockets alive from here.
+    close(sv[0]);
+    for (unsigned i = 0; i < index; ++i) {
+      if (workers_[i].fd >= 0) {
+        close(workers_[i].fd);
+      }
+    }
+    ChildLoop(index, sv[1]);
+  }
+  close(sv[1]);
+  w.fd = sv[0];
+  w.pid = pid;
+}
+
+void WorkerPool::ChildLoop(unsigned index, int fd) {
+  // Deterministic crash hook for the failover tests: the first worker dies
+  // on its first work item, proving a mid-run worker loss still yields the
+  // identical merged result via in-process failover.
+  const bool kill_on_work = index == 0 && getenv("REVNIC_DIST_KILL_FIRST_WORKER") != nullptr;
+  for (;;) {
+    std::string err;
+    Frame frame;
+    if (!ReadFrame(fd, &frame, /*timeout_ms=*/-1, &err)) {
+      _exit(2);  // coordinator went away or stream corrupted
+    }
+    switch (frame.type) {
+      case FrameType::kHello:
+        if (!WriteFrame(fd, FrameType::kHello, frame.payload, &err)) {
+          _exit(2);
+        }
+        break;
+      case FrameType::kShutdown:
+        _exit(0);
+      case FrameType::kWork: {
+        if (kill_on_work) {
+          _exit(17);
+        }
+        std::vector<uint8_t> result;
+        std::string handler_err;
+        bool ok = handler_ && handler_(frame.payload, &result, &handler_err);
+        if (ok) {
+          if (!WriteFrame(fd, FrameType::kResult, result, &err)) {
+            _exit(2);
+          }
+        } else {
+          std::vector<uint8_t> msg(handler_err.begin(), handler_err.end());
+          if (!WriteFrame(fd, FrameType::kError, msg, &err)) {
+            _exit(2);
+          }
+        }
+        break;
+      }
+      default:
+        _exit(2);  // protocol violation
+    }
+  }
+}
+
+void WorkerPool::MarkDeadLocked(Worker* w) {
+  if (w->dead) {
+    return;
+  }
+  w->dead = true;
+  if (w->fd >= 0) {
+    close(w->fd);
+    w->fd = -1;
+  }
+  if (w->pid > 0) {
+    kill(w->pid, SIGKILL);
+    int status = 0;
+    waitpid(w->pid, &status, 0);
+  }
+  cv_.notify_all();
+}
+
+unsigned WorkerPool::alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  unsigned n = 0;
+  for (const Worker& w : workers_) {
+    n += w.dead ? 0 : 1;
+  }
+  return n;
+}
+
+bool WorkerPool::Execute(const std::vector<uint8_t>& work, std::vector<uint8_t>* result,
+                         std::string* error) {
+  Worker* w = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      unsigned live = 0;
+      for (Worker& cand : workers_) {
+        if (cand.dead) {
+          continue;
+        }
+        ++live;
+        if (!cand.busy) {
+          w = &cand;
+          break;
+        }
+      }
+      if (w != nullptr) {
+        w->busy = true;
+        break;
+      }
+      if (live == 0) {
+        if (error != nullptr) {
+          *error = "no live dist workers";
+        }
+        return false;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  std::string err;
+  Frame reply;
+  bool transport_ok = WriteFrame(w->fd, FrameType::kWork, work, &err) &&
+                      ReadFrame(w->fd, &reply, options_.timeout_ms, &err);
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!transport_ok) {
+      if (error != nullptr) {
+        *error = err;
+      }
+      MarkDeadLocked(w);
+    } else if (reply.type == FrameType::kResult) {
+      *result = std::move(reply.payload);
+      ok = true;
+    } else if (reply.type == FrameType::kError) {
+      if (error != nullptr) {
+        error->assign(reply.payload.begin(), reply.payload.end());
+      }
+      // A clean handler error is a healthy worker reporting a bad item;
+      // keep it in the pool.
+    } else {
+      if (error != nullptr) {
+        *error = "RDP1: unexpected reply frame type";
+      }
+      MarkDeadLocked(w);
+    }
+    w->busy = false;
+  }
+  cv_.notify_all();
+  return ok;
+}
+
+}  // namespace revnic::dist

@@ -1,0 +1,91 @@
+// WorkerPool: the process-level half of the coordinator/worker split (PR 8).
+//
+// The pool forks N worker processes up front (each connected to the
+// coordinator by a socketpair speaking RDP1, src/dist/wire.h) and hands them
+// opaque work payloads. It is deliberately engine-agnostic: the payload
+// semantics live entirely in the Handler the coordinator supplies, which runs
+// *inside the forked child* -- for exercising, the handler deserializes a
+// (snapshot, sub-shard) work item and runs the exact same fan-out task code
+// the in-process path runs (src/core/engine.cc), which is what makes the
+// multi-process mode byte-identical by construction.
+//
+// Failure model: any transport failure -- worker crash, timeout, EOF,
+// malformed frame -- marks that worker dead (SIGKILL + reap) and Execute
+// returns false; the caller falls back to running the work in-process. A
+// worker failure therefore degrades throughput, never correctness and never
+// the run. See src/dist/README.md for the full protocol and the
+// fork-from-threads caveat.
+#ifndef REVNIC_DIST_COORDINATOR_H_
+#define REVNIC_DIST_COORDINATOR_H_
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace revnic::dist {
+
+class WorkerPool {
+ public:
+  // Runs in the forked child for every kWork frame. Returns true and fills
+  // *result (sent back as kResult), or returns false with *error set (sent
+  // back as kError; the coordinator then fails the item over in-process).
+  using Handler =
+      std::function<bool(const std::vector<uint8_t>& work, std::vector<uint8_t>* result,
+                         std::string* error)>;
+
+  struct Options {
+    unsigned workers = 2;
+    // Per-reply deadline; REVNIC_DIST_TIMEOUT_MS overrides. A wedged worker
+    // costs one timeout, then its items run in-process.
+    int timeout_ms = 120'000;
+  };
+
+  // Forks the workers immediately (fork the pool while the process is still
+  // single-threaded -- in the engine, before dispatcher threads start) and
+  // runs an eager kHello handshake with each; workers that fail it are
+  // marked dead up front.
+  WorkerPool(const Options& options, Handler handler);
+  ~WorkerPool();  // kShutdown + close + reap every child
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Runs one work payload on an idle live worker, blocking until a worker is
+  // free. Returns true with *result on success; false with *error on any
+  // worker-side or transport failure (the worker is marked dead on transport
+  // failure; a clean kError reply leaves it alive). Thread-safe.
+  bool Execute(const std::vector<uint8_t>& work, std::vector<uint8_t>* result,
+               std::string* error);
+
+  // Workers still alive (0 once every worker has failed; Execute then always
+  // returns false immediately).
+  unsigned alive() const;
+
+ private:
+  struct Worker {
+    int fd = -1;
+    pid_t pid = -1;
+    bool dead = false;
+    bool busy = false;
+  };
+
+  void SpawnWorker(unsigned index);
+  // Child-side main loop; never returns (terminates via _exit).
+  [[noreturn]] void ChildLoop(unsigned index, int fd);
+  void MarkDeadLocked(Worker* w);
+
+  Options options_;
+  Handler handler_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace revnic::dist
+
+#endif  // REVNIC_DIST_COORDINATOR_H_

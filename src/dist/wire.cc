@@ -1,0 +1,186 @@
+#include "dist/wire.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <time.h>
+
+#include <cstdio>
+
+#include "util/bits.h"
+
+namespace revnic::dist {
+namespace {
+
+void StoreLE64(uint8_t* p, uint64_t v) {
+  StoreLE(p, static_cast<uint32_t>(v), 4);
+  StoreLE(p + 4, static_cast<uint32_t>(v >> 32), 4);
+}
+
+uint64_t LoadLE64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLE(p + 4, 4)) << 32 | LoadLE(p, 4);
+}
+
+bool ValidType(uint16_t t) {
+  return t >= static_cast<uint16_t>(FrameType::kHello) &&
+         t <= static_cast<uint16_t>(FrameType::kShutdown);
+}
+
+int64_t NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(FrameType type, const uint8_t* payload, size_t len) {
+  std::vector<uint8_t> out(kFrameHeaderBytes + len + kFrameChecksumBytes);
+  StoreLE(out.data(), kFrameMagic, 4);
+  StoreLE(out.data() + 4, kProtocolVersion, 2);
+  StoreLE(out.data() + 6, static_cast<uint16_t>(type), 2);
+  StoreLE64(out.data() + 8, len);
+  if (len != 0) {
+    memcpy(out.data() + kFrameHeaderBytes, payload, len);
+  }
+  uint64_t checksum = Fnv1a(out.data(), kFrameHeaderBytes + len);
+  StoreLE64(out.data() + kFrameHeaderBytes + len, checksum);
+  return out;
+}
+
+DecodeStatus DecodeFrame(const uint8_t* data, size_t size, Frame* out, size_t* consumed,
+                         std::string* error) {
+  auto bad = [&](const char* why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return DecodeStatus::kBad;
+  };
+  if (size < kFrameHeaderBytes) {
+    // Reject an impossible prefix early (the stream can never become valid),
+    // but a short buffer that still agrees with the header is just "more
+    // bytes, please".
+    if (size >= 4 && LoadLE(data, 4) != kFrameMagic) {
+      return bad("RDP1: bad magic");
+    }
+    return DecodeStatus::kNeedMore;
+  }
+  if (LoadLE(data, 4) != kFrameMagic) {
+    return bad("RDP1: bad magic");
+  }
+  if (LoadLE(data + 4, 2) != kProtocolVersion) {
+    return bad("RDP1: unsupported protocol version");
+  }
+  uint16_t type = static_cast<uint16_t>(LoadLE(data + 6, 2));
+  if (!ValidType(type)) {
+    return bad("RDP1: unknown frame type");
+  }
+  uint64_t len = LoadLE64(data + 8);
+  if (len > kMaxFramePayload) {
+    return bad("RDP1: payload length exceeds cap");
+  }
+  uint64_t total = kFrameHeaderBytes + len + kFrameChecksumBytes;
+  if (size < total) {
+    return DecodeStatus::kNeedMore;
+  }
+  uint64_t want = Fnv1a(data, kFrameHeaderBytes + len);
+  uint64_t got = LoadLE64(data + kFrameHeaderBytes + len);
+  if (want != got) {
+    return bad("RDP1: checksum mismatch");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(data + kFrameHeaderBytes, data + kFrameHeaderBytes + len);
+  if (consumed != nullptr) {
+    *consumed = total;
+  }
+  return DecodeStatus::kOk;
+}
+
+bool WriteFrame(int fd, FrameType type, const std::vector<uint8_t>& payload, std::string* error) {
+  std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a worker that died mid-run must surface as an error here
+    // (the coordinator then fails the shard over in-process), not as SIGPIPE
+    // killing the whole coordinator.
+    ssize_t n = send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (error != nullptr) {
+        *error = std::string("RDP1 write failed: ") + strerror(errno);
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFrame(int fd, Frame* out, int timeout_ms, std::string* error) {
+  std::vector<uint8_t> buf;
+  const int64_t deadline = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
+  for (;;) {
+    if (!buf.empty()) {
+      size_t consumed = 0;
+      switch (DecodeFrame(buf.data(), buf.size(), out, &consumed, error)) {
+        case DecodeStatus::kOk:
+          return true;
+        case DecodeStatus::kBad:
+          return false;
+        case DecodeStatus::kNeedMore:
+          break;
+      }
+    }
+    int wait = -1;
+    if (deadline >= 0) {
+      int64_t left = deadline - NowMs();
+      if (left <= 0) {
+        if (error != nullptr) {
+          *error = "RDP1 read timed out";
+        }
+        return false;
+      }
+      wait = static_cast<int>(left);
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int rc = poll(&pfd, 1, wait);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (error != nullptr) {
+        *error = std::string("RDP1 poll failed: ") + strerror(errno);
+      }
+      return false;
+    }
+    if (rc == 0) {
+      if (error != nullptr) {
+        *error = "RDP1 read timed out";
+      }
+      return false;
+    }
+    uint8_t chunk[64 * 1024];
+    ssize_t n = recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (error != nullptr) {
+        *error = std::string("RDP1 read failed: ") + strerror(errno);
+      }
+      return false;
+    }
+    if (n == 0) {
+      if (error != nullptr) {
+        *error = "RDP1 peer closed the connection";
+      }
+      return false;
+    }
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+}
+
+}  // namespace revnic::dist

@@ -68,6 +68,15 @@ size_t StatePool::CollapseToOneRandom() {
   return killed;
 }
 
+std::vector<std::unique_ptr<ExecutionState>> StatePool::TakeAllSortedById() {
+  std::vector<std::unique_ptr<ExecutionState>> out = std::move(states_);
+  states_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const std::unique_ptr<ExecutionState>& a,
+               const std::unique_ptr<ExecutionState>& b) { return a->id() < b->id(); });
+  return out;
+}
+
 size_t StatePool::KillStatesAt(uint32_t pc) {
   size_t before = states_.size();
   states_.erase(std::remove_if(states_.begin(), states_.end(),

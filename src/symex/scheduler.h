@@ -65,6 +65,14 @@ class StatePool {
   // Removes states whose current pc equals `pc` (polling-loop cull support).
   size_t KillStatesAt(uint32_t pc);
 
+  // Drains the pool, returning every runnable state ordered by ascending
+  // state id. State ids are minted deterministically (the engine's
+  // next_state_id counter rides in RSS1 snapshots), so this is a canonical,
+  // insertion-order-independent enumeration -- the sub-shard fan-out uses it
+  // to derive an identical root list in every replica regardless of shard
+  // count (src/symex/README.md, "Sub-shard fan-out").
+  std::vector<std::unique_ptr<ExecutionState>> TakeAllSortedById();
+
   uint64_t total_culled() const { return total_culled_; }
 
   // ---- snapshot support (symex/snapshot.*) ----

@@ -1,0 +1,316 @@
+// Distributed exercising (PR 8): the ExercisePlan grid guarantee -- fixed
+// seed => byte-identical merged checkpoints across {threads} x {sub-shards} x
+// {in-process, multi-process} x {restore, replay}, clean and faulted -- plus
+// the RDP1 wire protocol units, worker-crash failover, and the pcnet
+// critical-path ledger bound.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "core/fanout.h"
+#include "core/session.h"
+#include "dist/wire.h"
+#include "drivers/drivers.h"
+#include "hw/faults.h"
+
+namespace revnic {
+namespace {
+
+using drivers::DriverId;
+
+core::EngineConfig SmallConfig(DriverId id, uint64_t max_work = 60'000) {
+  core::EngineConfig cfg;
+  cfg.pci = drivers::DriverPci(id);
+  cfg.max_work = max_work;
+  cfg.max_work_per_step = max_work / 6;
+  return cfg;
+}
+
+struct PlanSpec {
+  unsigned threads = 2;
+  unsigned sub_shards = 2;
+  core::FanOut fan_out = core::FanOut::kSnapshotRestore;
+  unsigned workers = 0;
+  const char* faults = nullptr;
+};
+
+core::EngineConfig PlanConfig(DriverId id, const PlanSpec& spec, uint64_t max_work = 60'000) {
+  core::EngineConfig cfg = SmallConfig(id, max_work);
+  cfg.plan.threads = spec.threads;
+  cfg.plan.sub_shards = spec.sub_shards;
+  cfg.plan.fan_out = spec.fan_out;
+  cfg.plan.worker_processes = spec.workers;
+  if (spec.faults != nullptr) {
+    std::string error;
+    EXPECT_TRUE(hw::ParseFaultPlan(spec.faults, &cfg.plan.faults, &error)) << error;
+  }
+  return cfg;
+}
+
+// Exercises `id` under `spec` and returns the full checkpoint blob (bundle +
+// coverage + every counter): byte-comparing two blobs compares two runs'
+// complete observable exercise output.
+std::vector<uint8_t> PlanBlob(DriverId id, const PlanSpec& spec, uint64_t max_work = 60'000,
+                              core::ParallelExerciseStats* stats = nullptr) {
+  core::Session s(drivers::DriverImage(id), PlanConfig(id, spec, max_work));
+  EXPECT_TRUE(s.Exercise());
+  if (stats != nullptr) {
+    *stats = s.engine().parallel;
+  }
+  return s.SaveCheckpoint();
+}
+
+// ---- RDP1 wire protocol units ----
+
+TEST(Rdp1Wire, EncodeDecodeRoundTrip) {
+  std::vector<uint8_t> payload = {1, 2, 3, 0xFF, 0, 42};
+  std::vector<uint8_t> bytes = dist::EncodeFrame(dist::FrameType::kWork, payload);
+  EXPECT_EQ(bytes.size(),
+            dist::kFrameHeaderBytes + payload.size() + dist::kFrameChecksumBytes);
+  dist::Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(dist::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed, &error),
+            dist::DecodeStatus::kOk)
+      << error;
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(frame.type, dist::FrameType::kWork);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Rdp1Wire, EmptyPayloadAndAllTypes) {
+  for (dist::FrameType type :
+       {dist::FrameType::kHello, dist::FrameType::kWork, dist::FrameType::kResult,
+        dist::FrameType::kError, dist::FrameType::kShutdown}) {
+    std::vector<uint8_t> bytes = dist::EncodeFrame(type, {});
+    dist::Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(dist::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed, &error),
+              dist::DecodeStatus::kOk)
+        << error;
+    EXPECT_EQ(frame.type, type);
+    EXPECT_TRUE(frame.payload.empty());
+  }
+}
+
+TEST(Rdp1Wire, SocketpairWriteReadRoundTrip) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::vector<uint8_t> payload(100'000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131);
+  }
+  // Large frame: the writer fills the socket buffer, so it must run
+  // concurrently with the reader.
+  std::string write_err;
+  bool write_ok = false;
+  std::thread writer([&] {
+    write_ok = dist::WriteFrame(sv[0], dist::FrameType::kResult, payload, &write_err);
+  });
+  dist::Frame frame;
+  std::string read_err;
+  ASSERT_TRUE(dist::ReadFrame(sv[1], &frame, /*timeout_ms=*/10'000, &read_err)) << read_err;
+  writer.join();
+  EXPECT_TRUE(write_ok) << write_err;
+  EXPECT_EQ(frame.type, dist::FrameType::kResult);
+  EXPECT_EQ(frame.payload, payload);
+  close(sv[0]);
+  close(sv[1]);
+}
+
+TEST(Rdp1Wire, ReadTimesOutOnSilence) {
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  dist::Frame frame;
+  std::string error;
+  EXPECT_FALSE(dist::ReadFrame(sv[1], &frame, /*timeout_ms=*/50, &error));
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  close(sv[0]);
+  close(sv[1]);
+}
+
+TEST(FanoutPayloads, WorkRoundTrip) {
+  core::FanoutTask task{7, 3, 4};
+  std::vector<uint8_t> snapshot = {9, 8, 7, 6, 5};
+  std::vector<uint8_t> bytes = core::SerializeFanoutWork(task, snapshot);
+  core::FanoutTask out_task;
+  std::vector<uint8_t> out_snapshot;
+  std::string error;
+  ASSERT_TRUE(core::DeserializeFanoutWork(bytes, &out_task, &out_snapshot, &error)) << error;
+  EXPECT_EQ(out_task.step, 7u);
+  EXPECT_EQ(out_task.sub_shard, 3u);
+  EXPECT_EQ(out_task.sub_shards, 4u);
+  EXPECT_EQ(out_snapshot, snapshot);
+  // A truncated work payload must fail cleanly.
+  bytes.pop_back();
+  EXPECT_FALSE(core::DeserializeFanoutWork(bytes, &out_task, &out_snapshot, &error));
+}
+
+TEST(FanoutPayloads, ResultRoundTripCarriesCountersAndSlots) {
+  core::FanoutTaskResult r;
+  r.root_count = 5;
+  r.task_work = 1234;
+  r.replayed_work = 100;
+  r.enum_work = 44;
+  r.restore_failures = 1;
+  core::FanoutSlot empty_slot;
+  empty_slot.ordinal = 2;
+  empty_slot.begun = false;
+  r.slots.push_back(std::move(empty_slot));
+  std::vector<uint8_t> bytes = core::SerializeFanoutResult(r);
+  core::FanoutTaskResult out;
+  std::string error;
+  ASSERT_TRUE(core::DeserializeFanoutResult(bytes, &out, &error)) << error;
+  EXPECT_EQ(out.root_count, 5u);
+  EXPECT_EQ(out.task_work, 1234u);
+  EXPECT_EQ(out.replayed_work, 100u);
+  EXPECT_EQ(out.enum_work, 44u);
+  EXPECT_EQ(out.restore_failures, 1u);
+  ASSERT_EQ(out.slots.size(), 1u);
+  EXPECT_EQ(out.slots[0].ordinal, 2u);
+  EXPECT_FALSE(out.slots[0].begun);
+  bytes.push_back(0);  // trailing garbage must be rejected
+  EXPECT_FALSE(core::DeserializeFanoutResult(bytes, &out, &error));
+}
+
+// ---- the grid guarantee (in-process) ----
+
+TEST(DistExercise, SubShardGridByteIdentical) {
+  // One baseline, every other {threads, sub-shards, fan-out} cell must match
+  // it byte for byte. (K >= 1 uses the sub-shard slot layout, so the
+  // baseline is a K >= 1 run; K == 0 parity with the legacy layout is pinned
+  // by parallel_exercise_test.)
+  std::vector<uint8_t> baseline = PlanBlob(DriverId::kRtl8029, {2, 1});
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, PlanBlob(DriverId::kRtl8029, {1, 1}));
+  EXPECT_EQ(baseline, PlanBlob(DriverId::kRtl8029, {1, 4}));
+  EXPECT_EQ(baseline, PlanBlob(DriverId::kRtl8029, {2, 2}));
+  EXPECT_EQ(baseline, PlanBlob(DriverId::kRtl8029, {2, 4}));
+  EXPECT_EQ(baseline, PlanBlob(DriverId::kRtl8029, {4, 2}));
+  EXPECT_EQ(baseline, PlanBlob(DriverId::kRtl8029, {4, 4}));
+  EXPECT_EQ(baseline,
+            PlanBlob(DriverId::kRtl8029, {2, 2, core::FanOut::kSpineReplay}));
+}
+
+TEST(DistExercise, FourDriversCleanAndFaultedAgreeAcrossTheGrid) {
+  for (DriverId id : drivers::kAllDrivers) {
+    for (const char* faults : {(const char*)nullptr, "1729:all=0.05"}) {
+      PlanSpec a{2, 2, core::FanOut::kSnapshotRestore, 0, faults};
+      PlanSpec b{4, 4, core::FanOut::kSpineReplay, 0, faults};
+      std::vector<uint8_t> blob_a = PlanBlob(id, a, 40'000);
+      ASSERT_FALSE(blob_a.empty()) << drivers::DriverName(id);
+      EXPECT_EQ(blob_a, PlanBlob(id, b, 40'000))
+          << drivers::DriverName(id) << (faults ? " faulted" : " clean");
+    }
+  }
+}
+
+TEST(DistExercise, SubShardCheckpointLoadsAndResumesDownstream) {
+  core::Session s(drivers::DriverImage(DriverId::kRtl8029),
+                  PlanConfig(DriverId::kRtl8029, {2, 4}));
+  ASSERT_TRUE(s.Exercise());
+  // Merged timeline stays monotone under the sub-shard slot layout.
+  const auto& tl = s.engine().timeline;
+  ASSERT_GE(tl.size(), 2u);
+  for (size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_GE(tl[i].work, tl[i - 1].work);
+    EXPECT_GE(tl[i].covered_blocks, tl[i - 1].covered_blocks);
+  }
+  EXPECT_EQ(tl.back().work, s.engine().stats.work);
+  std::vector<uint8_t> blob = s.SaveCheckpoint();
+  ASSERT_TRUE(s.Emit());
+  std::string error;
+  std::unique_ptr<core::Session> resumed = core::Session::LoadCheckpoint(blob, &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  ASSERT_TRUE(resumed->Emit());
+  EXPECT_EQ(resumed->c_source(), s.c_source());
+}
+
+// ---- multi-process mode ----
+
+TEST(DistExercise, MultiProcessMatchesInProcess) {
+  // Same plan, worker processes on vs off: byte-identical checkpoints, for
+  // both fan-out architectures and under faults.
+  for (const PlanSpec& in_proc :
+       {PlanSpec{2, 2}, PlanSpec{2, 0}, PlanSpec{2, 2, core::FanOut::kSnapshotRestore,
+                                                  0, "1729:all=0.05"}}) {
+    PlanSpec multi = in_proc;
+    multi.workers = 2;
+    core::ParallelExerciseStats stats;
+    std::vector<uint8_t> local = PlanBlob(DriverId::kRtl8029, in_proc, 40'000);
+    std::vector<uint8_t> dist = PlanBlob(DriverId::kRtl8029, multi, 40'000, &stats);
+    ASSERT_FALSE(local.empty());
+    EXPECT_EQ(local, dist);
+    EXPECT_EQ(stats.worker_processes, 2u);
+    EXPECT_EQ(stats.failovers, 0u);
+  }
+}
+
+TEST(DistExercise, WorkerCrashFailsOverToIdenticalBytes) {
+  // The first worker dies on its first work item (deterministic crash hook);
+  // its tasks fail over in-process and the merged bytes are unchanged.
+  std::vector<uint8_t> healthy = PlanBlob(DriverId::kRtl8029, {2, 2}, 40'000);
+  setenv("REVNIC_DIST_KILL_FIRST_WORKER", "1", 1);
+  core::ParallelExerciseStats stats;
+  std::vector<uint8_t> crashed =
+      PlanBlob(DriverId::kRtl8029, {2, 2, core::FanOut::kSnapshotRestore, 2}, 40'000, &stats);
+  unsetenv("REVNIC_DIST_KILL_FIRST_WORKER");
+  ASSERT_FALSE(healthy.empty());
+  EXPECT_EQ(healthy, crashed);
+  EXPECT_GE(stats.failovers, 1u);
+}
+
+// ---- deprecated-field shims ----
+
+TEST(DistExercise, LegacyFieldsResolveIntoThePlan) {
+  core::EngineConfig cfg;
+  cfg.exercise_threads = 3;
+  cfg.spine_replay_fanout = true;
+  std::string error;
+  ASSERT_TRUE(hw::ParseFaultPlan("7:all=0.01", &cfg.faults, &error)) << error;
+  core::ExercisePlan plan = core::ResolveExercisePlan(cfg);
+  EXPECT_EQ(plan.threads, 3u);
+  EXPECT_EQ(plan.fan_out, core::FanOut::kSpineReplay);
+  EXPECT_TRUE(plan.faults.Enabled());
+
+  // An explicit plan wins over the deprecated fields.
+  cfg.plan.threads = 2;
+  cfg.plan.fan_out = core::FanOut::kSnapshotRestore;
+  plan = core::ResolveExercisePlan(cfg);
+  EXPECT_EQ(plan.threads, 2u);
+  // fan_out's plan default is indistinguishable from "unset", so the legacy
+  // bool still applies -- documented in the migration table.
+  EXPECT_EQ(plan.fan_out, core::FanOut::kSpineReplay);
+}
+
+// ---- the perf contract ----
+
+TEST(DistExercise, PcnetCriticalPathDropsBelowWholeStepFanout) {
+  // The tentpole's perf bar: sub-sharding must beat the whole-step fan-out's
+  // critical path on pcnet under the default (fig8) budgets, where the PR 4
+  // ledger pins the whole-step figure at 5525 work units.
+  auto run = [](unsigned sub_shards, core::ParallelExerciseStats* stats) {
+    core::EngineConfig cfg;  // default budgets: the ledger's configuration
+    cfg.pci = drivers::DriverPci(DriverId::kPcnet);
+    cfg.plan.threads = 4;
+    cfg.plan.sub_shards = sub_shards;
+    core::Session s(drivers::DriverImage(DriverId::kPcnet), cfg);
+    ASSERT_TRUE(s.Exercise());
+    *stats = s.engine().parallel;
+  };
+  core::ParallelExerciseStats whole, sharded;
+  run(0, &whole);
+  run(4, &sharded);
+  EXPECT_GT(whole.critical_path, 0u);
+  EXPECT_GT(sharded.critical_path, 0u);
+  EXPECT_LT(sharded.critical_path, whole.critical_path);
+  EXPECT_LT(sharded.critical_path, 5525u);
+}
+
+}  // namespace
+}  // namespace revnic

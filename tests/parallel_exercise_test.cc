@@ -240,6 +240,92 @@ TEST(ParallelExercise, BatchThreadBudgetMatchesStandaloneParallelRuns) {
   EXPECT_EQ(explicit_batch.jobs[0].result.c_source, seq.c_source());
 }
 
+// ---- ExercisePlan migration shims ----
+
+TEST(ParallelExercise, DeprecatedThreadFieldMatchesPlanThreads) {
+  // The deprecated exercise_threads spelling and the ExercisePlan spelling
+  // of the same run must produce byte-identical checkpoints (the shim folds
+  // the legacy field into the resolved plan).
+  core::EngineConfig plan_cfg = SmallConfig(DriverId::kRtl8029);
+  plan_cfg.plan.threads = 3;
+  core::Session plan_run(drivers::DriverImage(DriverId::kRtl8029), plan_cfg);
+  ASSERT_TRUE(plan_run.Exercise());
+  EXPECT_EQ(plan_run.SaveCheckpoint(), ExerciseBlob(DriverId::kRtl8029, 3));
+}
+
+TEST(ParallelExercise, DeprecatedSpineReplayFieldMatchesPlanFanOut) {
+  auto blob = [](bool legacy) {
+    core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
+    if (legacy) {
+      cfg.exercise_threads = 2;
+      cfg.spine_replay_fanout = true;
+    } else {
+      cfg.plan.threads = 2;
+      cfg.plan.fan_out = core::FanOut::kSpineReplay;
+    }
+    core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
+    EXPECT_TRUE(s.Exercise());
+    return s.SaveCheckpoint();
+  };
+  std::vector<uint8_t> legacy = blob(true);
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(legacy, blob(false));
+}
+
+TEST(ParallelExercise, DeprecatedFaultsFieldMatchesPlanFaults) {
+  auto blob = [](bool legacy) {
+    core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
+    cfg.exercise_threads = 2;
+    std::string error;
+    hw::FaultPlan faults;
+    EXPECT_TRUE(hw::ParseFaultPlan("99:all=0.08", &faults, &error)) << error;
+    (legacy ? cfg.faults : cfg.plan.faults) = faults;
+    core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
+    EXPECT_TRUE(s.Exercise());
+    EXPECT_GT(s.engine().fault_stats.TotalInjected(), 0u);
+    return s.SaveCheckpoint();
+  };
+  std::vector<uint8_t> legacy = blob(true);
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(legacy, blob(false));
+}
+
+TEST(ParallelExercise, BatchPlanTemplateMatchesThreadBudget) {
+  // BatchOptions::plan is the ExercisePlan spelling of thread_budget: the
+  // same outer x inner split, so the same bytes out of every job.
+  auto run = [](bool use_plan) {
+    std::vector<core::BatchJob> jobs;
+    for (DriverId id : {DriverId::kRtl8029, DriverId::kSmc91c111}) {
+      core::BatchJob job;
+      job.name = drivers::DriverName(id);
+      job.image = &drivers::DriverImage(id);
+      job.config = SmallConfig(id);
+      job.config.exercise_threads = 0;  // defer to the batch's split
+      jobs.push_back(std::move(job));
+    }
+    core::BatchOptions options;
+    options.concurrency = 2;
+    if (use_plan) {
+      core::ExercisePlan plan;
+      plan.threads = 4;
+      options.plan = plan;
+    } else {
+      options.thread_budget = 4;
+    }
+    return core::RunBatch(jobs, options);
+  };
+  core::BatchResult budget = run(false);
+  core::BatchResult plan = run(true);
+  ASSERT_TRUE(budget.AllOk());
+  ASSERT_TRUE(plan.AllOk());
+  for (size_t i = 0; i < budget.jobs.size(); ++i) {
+    EXPECT_EQ(plan.jobs[i].result.c_source, budget.jobs[i].result.c_source)
+        << budget.jobs[i].name;
+    EXPECT_EQ(plan.jobs[i].result.engine.covered_blocks,
+              budget.jobs[i].result.engine.covered_blocks);
+  }
+}
+
 // ---- structured coverage log ----
 
 TEST(ParallelExercise, CoverageStreamsIntoJsonlSink) {

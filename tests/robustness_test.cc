@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/fanout.h"
 #include "core/session.h"
+#include "dist/wire.h"
 #include "drivers/drivers.h"
 #include "hw/faults.h"
 #include "isa/image.h"
@@ -260,6 +262,121 @@ TEST(CheckpointRobustness, WrongVersionRejected) {
   std::string error;
   EXPECT_EQ(core::Session::LoadCheckpoint(blob, &error), nullptr);
   EXPECT_EQ(error, "unsupported checkpoint version");
+}
+
+// ---- "RDP1" wire-frame corruption sweeps ----
+
+std::vector<uint8_t> Rdp1Frame() {
+  std::vector<uint8_t> payload(300);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 37);
+  }
+  return dist::EncodeFrame(dist::FrameType::kWork, payload);
+}
+
+dist::DecodeStatus TryDecodeFrame(const std::vector<uint8_t>& bytes) {
+  dist::Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  dist::DecodeStatus status =
+      dist::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed, &error);
+  if (status == dist::DecodeStatus::kBad) {
+    EXPECT_FALSE(error.empty());
+  }
+  return status;
+}
+
+TEST(Rdp1Robustness, TruncatedFramesNeverDecode) {
+  std::vector<uint8_t> frame = Rdp1Frame();
+  ASSERT_EQ(TryDecodeFrame(frame), dist::DecodeStatus::kOk);
+  // Every strict prefix is incomplete (kNeedMore: the coordinator keeps
+  // reading) or detectably corrupt (kBad) -- never kOk, never a crash.
+  for (size_t denom = 1; denom <= 257; denom += 4) {
+    size_t len = frame.size() * denom / 258;
+    EXPECT_NE(TryDecodeFrame({frame.begin(), frame.begin() + len}),
+              dist::DecodeStatus::kOk)
+        << "len " << len;
+  }
+  EXPECT_EQ(TryDecodeFrame({}), dist::DecodeStatus::kNeedMore);
+}
+
+class Rdp1FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Rdp1FuzzTest, BitFlippedFramesNeverDecode) {
+  std::vector<uint8_t> frame = Rdp1Frame();
+  Rng rng(GetParam() * 48611);
+  // The trailing FNV-1a checksum covers header + payload, so ANY single-bit
+  // flip must be caught: a payload/checksum flip mismatches the checksum, a
+  // header flip fails the magic/version/type check or (for a longer length)
+  // leaves the frame incomplete. Never kOk.
+  for (int m = 0; m < 64; ++m) {
+    std::vector<uint8_t> corrupt = frame;
+    corrupt[rng.Below(static_cast<uint32_t>(corrupt.size()))] ^=
+        static_cast<uint8_t>(1u << rng.Below(8));
+    EXPECT_NE(TryDecodeFrame(corrupt), dist::DecodeStatus::kOk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Rdp1FuzzTest, ::testing::Range<uint64_t>(1, 9));
+
+TEST(Rdp1Robustness, WrongMagicVersionTypeAndOversizedLengthRejected) {
+  // Frame layout: u32 magic, u16 version, u16 type, u64 payload length.
+  std::vector<uint8_t> bad_magic = Rdp1Frame();
+  bad_magic[0] ^= 0xFF;
+  // A bad magic is rejected even from a short prefix (a desynced stream
+  // fails fast instead of waiting forever for "more" bytes).
+  EXPECT_EQ(TryDecodeFrame({bad_magic.begin(), bad_magic.begin() + 5}),
+            dist::DecodeStatus::kBad);
+  EXPECT_EQ(TryDecodeFrame(bad_magic), dist::DecodeStatus::kBad);
+
+  std::vector<uint8_t> bad_version = Rdp1Frame();
+  bad_version[4] += 1;
+  EXPECT_EQ(TryDecodeFrame(bad_version), dist::DecodeStatus::kBad);
+
+  std::vector<uint8_t> bad_type = Rdp1Frame();
+  bad_type[6] = 0x77;
+  EXPECT_EQ(TryDecodeFrame(bad_type), dist::DecodeStatus::kBad);
+
+  // An oversized length prefix must be rejected up front (kBad), not
+  // treated as kNeedMore -- a malicious or corrupt peer must not make the
+  // coordinator buffer gigabytes.
+  std::vector<uint8_t> oversized = Rdp1Frame();
+  oversized[8] = 0xFF;
+  oversized[9] = 0xFF;
+  oversized[10] = 0xFF;
+  oversized[11] = 0xFF;
+  oversized[12] = 0xFF;
+  EXPECT_EQ(TryDecodeFrame(oversized), dist::DecodeStatus::kBad);
+}
+
+TEST(Rdp1Robustness, FanoutPayloadsTruncateCleanly) {
+  // The fanout work/result payload decoders sit behind the frame checksum
+  // but must still reject truncation on their own (a handler bug or a
+  // mixed-up payload must not read out of bounds).
+  std::vector<uint8_t> work =
+      core::SerializeFanoutWork({3, 1, 4}, std::vector<uint8_t>(64, 0xAB));
+  for (size_t len = 0; len < work.size(); len += 3) {
+    core::FanoutTask task;
+    std::vector<uint8_t> snapshot;
+    std::string error;
+    EXPECT_FALSE(core::DeserializeFanoutWork({work.begin(), work.begin() + len}, &task,
+                                             &snapshot, &error))
+        << "len " << len;
+    EXPECT_FALSE(error.empty());
+  }
+  core::FanoutTaskResult result;
+  result.root_count = 2;
+  result.slots.resize(2);
+  result.slots[1].ordinal = 1;
+  std::vector<uint8_t> reply = core::SerializeFanoutResult(result);
+  for (size_t len = 0; len < reply.size(); len += 3) {
+    core::FanoutTaskResult out;
+    std::string error;
+    EXPECT_FALSE(
+        core::DeserializeFanoutResult({reply.begin(), reply.begin() + len}, &out, &error))
+        << "len " << len;
+    EXPECT_FALSE(error.empty());
+  }
 }
 
 // ---- Fault-plan spec parsing: hostile input fails cleanly ----
