@@ -14,7 +14,10 @@
 //   --fig2-csv=PATH      rtl8139 payload sweep: modeled vs measured kitos
 //   --native-frames=N    native-side measurement length (default 200000)
 //   --dbt-frames=N       DBT-side measurement length (default 10000)
+//   --driver=NAME        race only the named driver (registry name, e.g. el3)
+//   --pr=N               tag the JSON with this PR number (default 7)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -78,14 +81,14 @@ std::string EmitKitosWithoutPeephole(const core::PipelineResult& pr, size_t* sou
   return emission.source;
 }
 
-void WriteJson(const char* path, bool available, const std::string& skip_reason,
+void WriteJson(const char* path, int pr_tag, bool available, const std::string& skip_reason,
                const std::vector<DriverRow>& rows) {
   FILE* f = fopen(path, "w");
   if (f == nullptr) {
     fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  fprintf(f, "{\n  \"bench\": \"native_race\",\n  \"pr\": 7,\n");
+  fprintf(f, "{\n  \"bench\": \"native_race\",\n  \"pr\": %d,\n", pr_tag);
   fprintf(f, "  \"toolchain_available\": %s,\n", available ? "true" : "false");
   if (!available) {
     fprintf(f, "  \"skip_reason\": \"%s\",\n", skip_reason.c_str());
@@ -164,7 +167,8 @@ void WriteFig2Csv(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path, csv_path;
+  std::string json_path, csv_path, only_driver;
+  int pr_tag = 7;
   native::RaceOptions opts;
   opts.fault_plan = kParityPlan;
   for (int i = 1; i < argc; ++i) {
@@ -177,10 +181,18 @@ int main(int argc, char** argv) {
       opts.native_frames = strtoull(a + 16, nullptr, 10);
     } else if (strncmp(a, "--dbt-frames=", 13) == 0) {
       opts.dbt_frames = strtoull(a + 13, nullptr, 10);
+    } else if (strncmp(a, "--driver=", 9) == 0) {
+      only_driver = a + 9;
+    } else if (strncmp(a, "--pr=", 5) == 0) {
+      pr_tag = atoi(a + 5);
     } else {
       fprintf(stderr, "unknown flag %s\n", a);
       return 2;
     }
+  }
+  if (!only_driver.empty() && !drivers::FindTarget(only_driver)) {
+    fprintf(stderr, "unknown driver %s\n", only_driver.c_str());
+    return 2;
   }
 
   bench::PrintHeader("Native race: compiled kitos drivers vs DBT originals",
@@ -194,6 +206,9 @@ int main(int argc, char** argv) {
     printf("%-12s %7s %12s %12s %8s %11s %11s\n", "driver", "parity", "native_fps",
            "dbt_fps", "speedup", "cyc/frame_n", "cyc/frame_d");
     for (auto id : bench::AllDriverIds()) {
+      if (!only_driver.empty() && only_driver != drivers::DriverName(id)) {
+        continue;
+      }
       core::EmitOptions emit;
       emit.targets = {os::TargetOs::kKitos};
       const core::PipelineResult& pr = bench::Pipeline(id, 250'000, emit);
@@ -255,7 +270,7 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    WriteJson(json_path.c_str(), available, why, rows);
+    WriteJson(json_path.c_str(), pr_tag, available, why, rows);
   }
   if (!csv_path.empty() && available) {
     WriteFig2Csv(csv_path.c_str());

@@ -16,7 +16,7 @@ struct FeatureRow {
   const char* name;
   // Result per driver: "X" works, "-" failed, "N/A" unsupported by chip,
   // "N/T" not testable.
-  std::string result[4];
+  std::string result[5];
 };
 
 std::string Check(bool ok) { return ok ? "X" : "FAIL"; }
@@ -28,14 +28,14 @@ int main() {
   bench::PrintHeader("Table 2: Functionality coverage of synthesized drivers", "Table 2");
 
   const DriverId order[] = {DriverId::kPcnet, DriverId::kRtl8139, DriverId::kSmc91c111,
-                            DriverId::kRtl8029};
+                            DriverId::kRtl8029, DriverId::kEl3};
   std::vector<FeatureRow> rows = {
       {"Init/Shutdown", {}}, {"Send/Receive", {}},  {"Multicast", {}},
       {"Get/Set MAC", {}},   {"Promiscuous", {}},   {"Full Duplex", {}},
       {"DMA", {}},           {"Wake-on-LAN", {}},   {"LED Status", {}},
   };
 
-  for (int d = 0; d < 4; ++d) {
+  for (int d = 0; d < 5; ++d) {
     DriverId id = order[d];
     const core::PipelineResult& pr = bench::Pipeline(id);
     auto device = drivers::MakeDevice(id);
@@ -73,18 +73,20 @@ int main() {
     bool duplex_ok = init_ok &&
                      host.Set(os::kOidVendorDuplexMode, reinterpret_cast<uint8_t*>(&on), 4) &&
                      device->full_duplex();
-    // DMA: chips without bus mastering report N/A.
-    bool dma_na = id == DriverId::kRtl8029 || id == DriverId::kSmc91c111;
+    // DMA: chips without bus mastering report N/A (EL3 is pure PIO too).
+    bool dma_na =
+        id == DriverId::kRtl8029 || id == DriverId::kSmc91c111 || id == DriverId::kEl3;
     bool dma_ok = host.api_service().dma().NumRegions() > 0;
     // Wake-on-LAN: only the RTL8139 supports it; PCNet untestable (paper N/T).
-    bool wol_na = id == DriverId::kRtl8029 || id == DriverId::kSmc91c111;
+    bool wol_na =
+        id == DriverId::kRtl8029 || id == DriverId::kSmc91c111 || id == DriverId::kEl3;
     bool wol_nt = id == DriverId::kPcnet;
     bool wol_ok = false;
     if (id == DriverId::kRtl8139 && init_ok) {
       wol_ok = host.Set(os::kOidPnpEnableWakeUp, reinterpret_cast<uint8_t*>(&on), 4) &&
                device->wol_armed();
     }
-    // LED: RTL8139 + 91C111 expose it; others untestable on virtual hw.
+    // LED: RTL8139, 91C111 and EL3 expose it; others untestable on virtual hw.
     bool led_nt = id == DriverId::kPcnet || id == DriverId::kRtl8029;
     bool led_ok = false;
     if (!led_nt && init_ok) {
@@ -110,18 +112,19 @@ int main() {
     rows[8].result[d] = led_nt ? "N/T" : Check(led_ok);
   }
 
-  printf("%-18s %10s %10s %12s %10s\n", "Functionality", "PCNet", "RTL8139", "91C111",
-         "RTL8029");
+  printf("%-18s %10s %10s %12s %10s %10s\n", "Functionality", "PCNet", "RTL8139", "91C111",
+         "RTL8029", "EL3");
   for (const FeatureRow& r : rows) {
-    printf("%-18s %10s %10s %12s %10s\n", r.name, r.result[0].c_str(), r.result[1].c_str(),
-           r.result[2].c_str(), r.result[3].c_str());
+    printf("%-18s %10s %10s %12s %10s %10s\n", r.name, r.result[0].c_str(),
+           r.result[1].c_str(), r.result[2].c_str(), r.result[3].c_str(),
+           r.result[4].c_str());
   }
   printf("\n(X = functionality verified on the synthesized driver; matches Table 2.)\n");
 
   // Measured per-target emissions for the paper's porting matrix (§5.1):
   // the artifacts a developer would actually paste into each OS.
   printf("\nEmitted driver_<target>.c per ported pair (bytes, template + synthesized):\n");
-  for (int d = 0; d < 4; ++d) {
+  for (int d = 0; d < 5; ++d) {
     DriverId id = order[d];
     core::EmitOptions emit;
     emit.targets = id == DriverId::kSmc91c111

@@ -34,10 +34,18 @@ int main() {
     for (char ch : pr.c_source) {
       c_lines += ch == '\n' ? 1 : 0;
     }
-    const PaperRow& p = paper.at(id);
-    printf("%-12s | %2d devs, %-8s | 1 dev, %-6s| %8.1fs %10zu %8.0f%%\n", p.device,
-           p.manual_persons, p.manual_span, p.revnic_span, secs, c_lines,
-           100.0 * pr.module.NumFullyAutomatic() / pr.module.NumFunctions());
+    auto it = paper.find(id);
+    if (it != paper.end()) {
+      const PaperRow& p = it->second;
+      printf("%-12s | %2d devs, %-8s | 1 dev, %-6s| %8.1fs %10zu %8.0f%%\n", p.device,
+             p.manual_persons, p.manual_span, p.revnic_span, secs, c_lines,
+             100.0 * pr.module.NumFullyAutomatic() / pr.module.NumFunctions());
+    } else {
+      // Post-paper devices carry measured columns only.
+      printf("%-12s | %-17s | %-12s| %8.1fs %10zu %8.0f%%\n", drivers::DriverName(id),
+             "(post-paper)", "--", secs, c_lines,
+             100.0 * pr.module.NumFullyAutomatic() / pr.module.NumFunctions());
+    }
   }
   printf("\n('pipeline' = exercising + wiretap + synthesis wall time in this run;\n"
          " the paper's ~1 week includes template pasting and prototype debugging.)\n");

@@ -149,7 +149,7 @@ struct Engine::Impl {
         dbt(&fetcher),
         pool(config.pool, config.seed ^ 0x5EED),
         rng(config.seed ^ 0xC0FFEE),
-        faults(config.faults),
+        faults(config.plan.faults),
         sink(&bundle) {
     executor.set_next_state_id(&next_state_id);
     shell.set_fault_schedule(faults.enabled() ? &faults : nullptr);
@@ -684,7 +684,7 @@ struct Engine::Impl {
         continue;
       }
       if (step.is_irq) {
-        switch (hw::FaultSchedule::PlanIrqDecision(config.faults, irq_ordinal++)) {
+        switch (hw::FaultSchedule::PlanIrqDecision(config.plan.faults, irq_ordinal++)) {
           case hw::IrqFault::kDrop:
             // Keep the step so RunStep counts the drop deterministically,
             // but mark it: RunStep skips the injection entirely.
@@ -1716,7 +1716,7 @@ struct Engine::Impl {
                 (unsigned long long)critical,
                 critical == 0 ? 1.0 : (double)merged.stats.work / (double)critical,
                 failovers);
-        if (config.faults.Enabled()) {
+        if (config.plan.faults.Enabled()) {
           fprintf(stderr, "[parallel-exercise] %s\n",
                   hw::FormatFaultStats(merged.fault_stats).c_str());
         }
@@ -1739,8 +1739,8 @@ struct Engine::Impl {
   vm::Dbt dbt;
   symex::StatePool pool;
   Rng rng;
-  // Seeded fault schedule (no-op when config.faults is disabled); the shell
-  // device consults it on register/DMA reads, RunStep on scripted IRQs.
+  // Seeded fault schedule (no-op when config.plan.faults is disabled); the
+  // shell device consults it on register/DMA reads, RunStep on scripted IRQs.
   hw::FaultSchedule faults;
   trace::TraceBundle bundle;
   trace::BundleSink sink;
@@ -1795,40 +1795,16 @@ struct Engine::Impl {
 };
 
 ExercisePlan ResolveExercisePlan(const EngineConfig& config) {
-  ExercisePlan plan = config.plan;
-  // Deprecated-field folding: a legacy field is honored only while the
-  // corresponding plan field still holds its default, so callers that set
-  // the plan explicitly always win. One release of overlap, then the legacy
-  // fields go away (see src/core/README.md for the migration table).
-  if (config.exercise_threads != 1 && plan.threads == 1) {
-    plan.threads = config.exercise_threads;
-  }
-  if (config.spine_replay_fanout && plan.fan_out == FanOut::kSnapshotRestore) {
-    plan.fan_out = FanOut::kSpineReplay;
-  }
-  if (config.faults.Enabled() && !plan.faults.Enabled()) {
-    plan.faults = config.faults;
-  }
-  return plan;
+  // The legacy forwarding shims (exercise_threads, spine_replay_fanout,
+  // EngineConfig::faults) are gone; the plan is authoritative. The old
+  // folding also had an ordering quirk -- a legacy field set alongside a
+  // non-default plan field was silently ignored -- which cannot arise
+  // anymore: there is exactly one spelling per knob.
+  return config.plan;
 }
-
-namespace {
-
-// The Impl stores the config once at construction; resolving the plan here
-// means every downstream consumer (sequential path, fan-out tasks, forked
-// workers, fingerprints) sees one coherent ExercisePlan and one fault plan,
-// regardless of which generation of fields the caller filled in.
-EngineConfig WithResolvedPlan(const EngineConfig& config) {
-  EngineConfig out = config;
-  out.plan = ResolveExercisePlan(config);
-  out.faults = out.plan.faults;
-  return out;
-}
-
-}  // namespace
 
 Engine::Engine(const isa::Image& image, const EngineConfig& config)
-    : impl_(std::make_unique<Impl>(image, WithResolvedPlan(config))) {}
+    : impl_(std::make_unique<Impl>(image, config)) {}
 
 Engine::~Engine() = default;
 

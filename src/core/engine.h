@@ -68,32 +68,19 @@ struct EngineConfig {
   symex::StatePool::Options pool;
   symex::Solver::Options solver;
   uint64_t seed = 1;
-  // Deterministic fault injection at the shell-device boundary (register
-  // read-back corruption, DMA stall/bus-error poisoning, perturbed scripted
-  // IRQs). Disabled by default; the schedule is a pure function of the plan,
-  // so the byte-identity guarantee below extends to faulty runs (the fault
-  // cursor rides in RSS1 snapshots). Participates in the checkpoint config
-  // fingerprint. See src/hw/README.md.
-  hw::FaultPlan faults;
-  // How the exercise stage is parallelized: dispatcher threads, intra-step
-  // sub-shards, fan-out strategy, worker processes, fault plan -- one struct
-  // (see core/exercise_plan.h). plan.threads == 1 with everything else at
-  // its default runs the legacy sequential exerciser, byte-for-byte. The
-  // engine resolves the effective plan with ResolveExercisePlan (folding in
-  // the deprecated fields below); for a fixed seed the merged result is
-  // byte-identical across thread counts, sub-shard counts >= 1, worker
-  // processes, and both fan-out strategies. See src/symex/README.md for the
-  // determinism strategy and src/dist/README.md for the multi-process mode.
+  // How the exercise stage is parallelized and perturbed: dispatcher
+  // threads, intra-step sub-shards, fan-out strategy, worker processes, and
+  // the deterministic fault plan -- one struct (see core/exercise_plan.h).
+  // plan.threads == 1 with everything else at its default runs the legacy
+  // sequential exerciser, byte-for-byte. For a fixed seed the merged result
+  // is byte-identical across thread counts, sub-shard counts >= 1, worker
+  // processes, and both fan-out strategies, clean and under faults (the
+  // fault schedule is a pure function of plan.faults; the cursor rides in
+  // RSS1 snapshots). plan.faults participates in the checkpoint config
+  // fingerprint. The pre-PR 9 shims (EngineConfig::exercise_threads,
+  // EngineConfig::spine_replay_fanout, EngineConfig::faults) are gone --
+  // migration table in src/core/README.md.
   ExercisePlan plan;
-  // DEPRECATED (PR 8): forwarding shim for ExercisePlan::threads -- honored
-  // only while plan.threads is at its default of 1; removal one release
-  // after PR 8 (see the migration table in src/core/README.md).
-  unsigned exercise_threads = 1;
-  // DEPRECATED (PR 8): forwarding shim for ExercisePlan::fan_out ==
-  // FanOut::kSpineReplay -- honored only while plan.fan_out is at its
-  // default; removal one release after PR 8 (migration table in
-  // src/core/README.md).
-  bool spine_replay_fanout = false;
   // Capture the final chain state as a serialized "RSS1" snapshot in
   // EngineResult::final_snapshot ("RCP1" checkpoints embed it). Under
   // parallel exercising the spine's final state is captured (identical for
@@ -194,7 +181,7 @@ struct EngineResult {
   uint64_t functions_modeled = 0;
   // API usage (Table 1 "imported functions" observed dynamically).
   std::set<uint32_t> apis_used;
-  // Fault-injection counters (all zero unless EngineConfig::faults is
+  // Fault-injection counters (all zero unless the plan's fault plan is
   // enabled). Deterministic for a fixed (seed, plan); serialized in RCP1 v3
   // checkpoints and pinned byte-identical by the parallel-exercise tests.
   hw::FaultStats fault_stats;
@@ -238,11 +225,10 @@ class Engine {
 // Convenience wrapper.
 EngineResult ReverseEngineer(const isa::Image& image, const EngineConfig& config);
 
-// Folds the deprecated EngineConfig fields (exercise_threads,
-// spine_replay_fanout, faults) into the effective ExercisePlan: each legacy
-// field is honored only while the corresponding plan field is still at its
-// default, so explicit plan settings always win. The engine, RunBatch, and
-// the CheckpointStore config fingerprint all key off this resolved plan.
+// The effective ExercisePlan for a config. Since PR 9 removed the legacy
+// forwarding shims there is nothing left to fold: the plan IS
+// config.plan, returned as-is so the engine, RunBatch, and the
+// CheckpointStore config fingerprint all key off one accessor.
 ExercisePlan ResolveExercisePlan(const EngineConfig& config);
 
 }  // namespace revnic::core

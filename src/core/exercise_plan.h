@@ -15,9 +15,9 @@
 //   plan.faults = my_fault_plan;
 //   config.plan = plan;
 //
-// The legacy fields survive as thin deprecated forwarding shims (see
-// ResolveExercisePlan in engine.h and the migration table in
-// src/core/README.md); they are slated for removal one release after PR 8.
+// The legacy fields survived as deprecated forwarding shims for one release
+// of overlap and were removed in PR 9; this struct is now the only spelling
+// (migration table in src/core/README.md).
 //
 // Every plan with the same seed produces byte-identical merged results --
 // across thread counts, sub-shard counts >= 1, worker-process counts, and
@@ -70,9 +70,9 @@ struct ExercisePlan {
   // are identical either way (the workers run the exact in-process task
   // code on serialized inputs).
   unsigned worker_processes = 0;
-  // Deterministic fault injection at the shell-device boundary; supersedes
-  // EngineConfig::faults (which still forwards here when the plan's is
-  // disabled). See src/hw/README.md.
+  // Deterministic fault injection at the shell-device boundary (register
+  // read-back corruption, DMA stall/bus-error poisoning, perturbed scripted
+  // IRQs). Disabled by default. See src/hw/README.md.
   hw::FaultPlan faults;
 };
 

@@ -507,10 +507,9 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& opti
   concurrency = std::min(concurrency, static_cast<unsigned>(jobs.size()));
   batch.concurrency = concurrency;
   // Outer x inner thread split: jobs that deferred their exercise-stage
-  // sizing (resolved plan threads == 0) inherit the batch plan template with
-  // the global budget shared evenly across the outer workers. The deprecated
-  // thread_budget field is the threads-only spelling of the same template.
-  const unsigned budget = options.plan ? options.plan->threads : options.thread_budget;
+  // sizing (plan.threads == 0) inherit the batch plan template with the
+  // global budget shared evenly across the outer workers.
+  const unsigned budget = options.plan ? options.plan->threads : 0;
   unsigned inner_threads = budget == 0 ? 0 : std::max(1u, budget / concurrency);
 
   std::atomic<size_t> next{0};
@@ -524,13 +523,16 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& opti
         out.error = "job has no image";
       } else {
         EngineConfig cfg = job.config;
-        if (inner_threads != 0 && ResolveExercisePlan(cfg).threads == 0) {
-          if (options.plan) {
-            cfg.plan = *options.plan;
-            cfg.plan.threads = inner_threads;
-            cfg.exercise_threads = 1;  // neutralize the legacy field's 0
-          } else {
-            cfg.exercise_threads = inner_threads;
+        if (inner_threads != 0 && cfg.plan.threads == 0) {
+          // Inherit the template's parallelism shape, but keep the job's own
+          // fault plan: deferring the thread split must not silently swap
+          // which faults a job runs under (the pre-PR 9 folding did exactly
+          // that when the template carried faults).
+          hw::FaultPlan job_faults = cfg.plan.faults;
+          cfg.plan = *options.plan;
+          cfg.plan.threads = inner_threads;
+          if (job_faults.Enabled()) {
+            cfg.plan.faults = job_faults;
           }
         }
         Session session(*job.image, cfg);
@@ -687,22 +689,66 @@ CheckpointStore& CheckpointStore::Global() {
   return store;
 }
 
+CheckpointStore::CheckpointStore() {
+  if (const char* env = std::getenv("REVNIC_CHECKPOINT_CACHE_BYTES")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != env && v > 0) {
+      budget_ = static_cast<size_t>(v);
+    }
+  }
+}
+
+size_t CheckpointStore::CachedBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+size_t CheckpointStore::SetBudgetBytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t old = budget_;
+  budget_ = bytes;
+  EvictOverBudgetLocked();
+  return old;
+}
+
+void CheckpointStore::EvictOverBudgetLocked() {
+  // Walk from the cold end; the front (most recently resumed) entry is never
+  // evicted even when it alone exceeds the budget. Dropping an entry just
+  // forgets the serialized bytes -- a later Resume re-exercises
+  // deterministically, so callers cannot observe eviction in the resumed
+  // session's content.
+  while (total_ > budget_ && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = blobs_.find(victim);
+    if (it != blobs_.end()) {
+      total_ -= it->second.bytes;
+      blobs_.erase(it);
+    }
+    lru_.pop_back();
+  }
+}
+
 std::unique_ptr<Session> CheckpointStore::Resume(const std::string& key,
                                                  const isa::Image& image,
                                                  const EngineConfig& config,
                                                  const std::string& salt) {
+  const std::string store_key = key + "#" + ConfigFingerprint(config) + "#" + salt;
   std::shared_ptr<CheckpointBlob> blob;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The salt keeps callers with distinct cancel policies (identical
     // fingerprints -- closures only contribute a presence bit) on distinct
     // entries.
-    std::shared_ptr<CheckpointBlob>& slot =
-        blobs_[key + "#" + ConfigFingerprint(config) + "#" + salt];
-    if (slot == nullptr) {
-      slot = std::make_shared<CheckpointBlob>();
+    auto it = blobs_.find(store_key);
+    if (it == blobs_.end()) {
+      lru_.push_front(store_key);
+      it = blobs_.emplace(store_key, Entry{std::make_shared<CheckpointBlob>(),
+                                           lru_.begin()}).first;
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second.pos);  // touch: move to MRU
     }
-    blob = slot;
+    blob = it->second.blob;
   }
   // First requester exercises outside the map lock; same-entry requesters
   // wait here, unrelated entries proceed concurrently.
@@ -712,6 +758,18 @@ std::unique_ptr<Session> CheckpointStore::Resume(const std::string& key,
     session.Exercise();
     blob->bytes = session.SaveCheckpoint();
   });
+  {
+    // Account the blob's size once it exists (the entry may have been
+    // evicted while we exercised; an evicted entry is simply not re-counted,
+    // its bytes die with the local shared_ptr).
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(store_key);
+    if (it != blobs_.end() && it->second.blob == blob && it->second.bytes == 0) {
+      it->second.bytes = blob->bytes.size();
+      total_ += it->second.bytes;
+      EvictOverBudgetLocked();
+    }
+  }
   std::string error;
   std::unique_ptr<Session> resumed = Session::LoadCheckpoint(blob->bytes, &error);
   if (resumed == nullptr) {

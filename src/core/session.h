@@ -28,6 +28,7 @@
 #define REVNIC_CORE_SESSION_H_
 
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -203,18 +204,17 @@ struct BatchOptions {
   // Outer, driver-level workers (0 = one per job, capped at hardware
   // concurrency).
   unsigned concurrency = 0;
-  // DEPRECATED shim for `plan` (one release of overlap, then removed -- see
-  // src/core/README.md). Equivalent to a plan whose `threads` is this value
-  // and whose other fields are defaults; ignored when `plan` is set.
-  unsigned thread_budget = 0;
   // Batch-wide ExercisePlan template. Its `threads` is the global budget
   // shared between the outer batch dimension and each job's inner exercise
-  // stage: every job whose own resolved plan left threads at 0 ("size for
-  // me") inherits this plan with threads = max(1, threads / outer_workers),
-  // so outer x inner never oversubscribes the budget. The template's
+  // stage: every job whose own plan left threads at 0 ("size for me")
+  // inherits this plan with threads = max(1, threads / outer_workers), so
+  // outer x inner never oversubscribes the budget. The template's
   // sub-shards / fan-out / worker-process settings pass through to those
-  // jobs unchanged. Jobs that resolve an explicit thread count keep their
-  // own plan untouched.
+  // jobs unchanged, but a deferring job's own *fault* plan survives the
+  // inheritance -- faults are a semantic choice, not a sizing one. Jobs
+  // with an explicit thread count keep their whole plan untouched. (The
+  // deprecated threads-only `thread_budget` spelling was removed in PR 9;
+  // see the migration table in src/core/README.md.)
   std::optional<ExercisePlan> plan;
   // Invoked once per finished job, serialized by an internal mutex.
   std::function<void(const BatchJobResult&)> on_job_done;
@@ -255,9 +255,20 @@ std::function<void(const CoverageSample&)> MakeCoverageJsonlLogger(JsonlWriter* 
 // PipelineResult caches.
 struct CheckpointBlob;  // internal map entry (once-flag + bytes)
 
+// Default byte budget for the store's serialized checkpoints; generous on
+// purpose (the whole in-tree corpus is well under it), overridable per
+// process via the REVNIC_CHECKPOINT_CACHE_BYTES environment variable or
+// SetBudgetBytes(). When the budget is exceeded the least-recently-resumed
+// blobs are dropped; a later Resume for a dropped entry simply re-exercises,
+// and exercising is deterministic, so eviction never changes the bytes a
+// resumed session sees (pinned in tests/session_test.cc).
+inline constexpr size_t kDefaultCheckpointCacheBytes = size_t{256} << 20;
+
 class CheckpointStore {
  public:
   static CheckpointStore& Global();
+
+  CheckpointStore();
 
   // A Session at Stage::kExercised for (key, config, salt), exercising
   // image only the first time. Aborts on checkpoint corruption
@@ -265,9 +276,26 @@ class CheckpointStore {
   std::unique_ptr<Session> Resume(const std::string& key, const isa::Image& image,
                                   const EngineConfig& config, const std::string& salt = "");
 
+  // Serialized checkpoint bytes currently held.
+  size_t CachedBytes();
+  // Replaces the byte budget, evicting immediately if the new budget is
+  // smaller; returns the previous budget. The most recently resumed entry is
+  // never a victim, so a hot caller cannot thrash itself out of the cache.
+  size_t SetBudgetBytes(size_t bytes);
+
  private:
+  struct Entry {
+    std::shared_ptr<CheckpointBlob> blob;
+    std::list<std::string>::iterator pos;  // position in lru_
+    size_t bytes = 0;                      // 0 until the exercise completed
+  };
+  void EvictOverBudgetLocked();
+
   std::mutex mu_;  // guards the map only; exercising happens outside it
-  std::map<std::string, std::shared_ptr<CheckpointBlob>> blobs_;
+  size_t budget_ = kDefaultCheckpointCacheBytes;
+  size_t total_ = 0;
+  std::list<std::string> lru_;  // front = most recently resumed
+  std::map<std::string, Entry> blobs_;
 };
 
 }  // namespace revnic::core

@@ -1,4 +1,5 @@
-// Registry of the four evaluation drivers (the paper's Table 1 inputs).
+// Registry of the evaluation drivers (the paper's Table 1 inputs plus the
+// post-paper corpus additions).
 //
 // Each driver is written in r32 assembly (see *_asm.cc) and assembled into an
 // opaque DRV1 image; the RevNIC pipeline consumes only the image. The
@@ -24,9 +25,11 @@ enum class DriverId {
   kRtl8139,      // Realtek RTL8139, rtl8139.sys
   kPcnet,        // AMD PCnet, pcntpci5.sys
   kSmc91c111,    // SMSC 91C111, lan9000.sys
+  kEl3,          // 3Com EtherLink III (3c509), el3c509.sys
 };
 inline constexpr DriverId kAllDrivers[] = {DriverId::kRtl8029, DriverId::kRtl8139,
-                                           DriverId::kPcnet, DriverId::kSmc91c111};
+                                           DriverId::kPcnet, DriverId::kSmc91c111,
+                                           DriverId::kEl3};
 
 const char* DriverName(DriverId id);        // "rtl8029", ...
 const char* DriverFileName(DriverId id);    // "rtl8029.sys", ...
@@ -54,7 +57,19 @@ std::string DriverAsmSource(DriverId id);
 
 // Assembles (and caches) the driver binary. Aborts on assembly errors --
 // these sources are part of the build.
+//
+// The cache is a byte-budgeted LRU (REVNIC_IMAGE_CACHE_BYTES, default 64 MiB
+// -- generous: the whole corpus assembles to well under 1 MiB, so nothing is
+// evicted in normal runs and returned references stay valid for the process
+// lifetime). Under a tightened budget, cold entries are evicted and
+// re-assembled deterministically on the next request; the image most
+// recently returned is never a victim.
+inline constexpr size_t kDefaultImageCacheBytes = size_t{64} << 20;
 const isa::Image& DriverImage(DriverId id);
+// Bytes currently held by the image cache (tests pin eviction bounds).
+size_t DriverImageCacheBytes();
+// Replaces the budget, returning the previous one (tests tighten it).
+size_t SetDriverImageCacheBudget(size_t bytes);
 
 // Instantiates the matching device model.
 std::unique_ptr<hw::NicDevice> MakeDevice(DriverId id);
@@ -67,6 +82,7 @@ const char* Rtl8029AsmBody();
 const char* Rtl8139AsmBody();
 const char* PcnetAsmBody();
 const char* Smc91c111AsmBody();
+const char* El3AsmBody();
 
 }  // namespace revnic::drivers
 

@@ -1,0 +1,827 @@
+// el3c509.sys analog: 3Com EtherLink III (3c509) miniport driver in r32
+// assembly.
+//
+// The pure programmed-I/O device of the set: no descriptor rings, no shared
+// memory, no DMA (Table 2 N/A) -- every frame crosses the bus as a stream of
+// halfword in/out accesses against the window-1 FIFO register, so the
+// wiretap sees an order of magnitude more I/O events per frame than on the
+// DMA models. The driver speaks the card's idioms: the ID-port activation
+// sequence that wakes it off the bus, the (opcode << 11) command register,
+// window-select register banking, EEPROM station-address extraction, and
+// the FIFO length-preamble TX protocol.
+#include "drivers/drivers.h"
+
+namespace revnic::drivers {
+
+const char* El3AsmBody() {
+  return R"(
+; ================= 3Com EtherLink III miniport =================
+.entry DriverEntry
+
+; ---- register offsets within the port window ----
+.equ EL_CMD, 0x0E            ; command on write, status on read (all windows)
+.equ EL_ID_PORT, 0x10
+; window 0 (setup)
+.equ EL_W0_MFG_ID, 0x00
+.equ EL_W0_EE_CMD, 0x0A
+.equ EL_W0_EE_DATA, 0x0C
+; window 1 (operational)
+.equ EL_W1_FIFO, 0x00
+.equ EL_W1_RX_STATUS, 0x08
+.equ EL_W1_TX_FREE, 0x0C
+; window 4 (media/diagnostics)
+.equ EL_W4_NET_DIAG, 0x06
+.equ EL_W4_MEDIA, 0x0A
+
+; ---- command encodings: (opcode << 11) | argument ----
+.equ CMD_RESET, 0x0000
+.equ CMD_SEL_WIN, 0x0800
+.equ CMD_RX_DISABLE, 0x1800
+.equ CMD_RX_ENABLE, 0x2000
+.equ CMD_RX_DISCARD, 0x4000
+.equ CMD_TX_ENABLE, 0x4800
+.equ CMD_TX_DISABLE, 0x5000
+.equ CMD_ACK_INTR, 0x6800
+.equ CMD_SET_INTR_ENB, 0x7000
+.equ CMD_SET_RX_FILTER, 0x8000
+
+; ---- status bits ----
+.equ ST_TX_COMPLETE, 0x0004
+.equ ST_TX_AVAIL, 0x0008
+.equ ST_RX_COMPLETE, 0x0010
+
+; ---- rx filter bits (SetRxFilter argument) ----
+.equ RXF_STATION, 0x01
+.equ RXF_MULTICAST, 0x02
+.equ RXF_BROADCAST, 0x04
+.equ RXF_PROM, 0x08
+
+; ---- EEPROM ----
+.equ EE_READ, 0x80
+.equ MFG_ID, 0x6D50
+
+; ---- RxStatus ----
+.equ RXS_INCOMPLETE, 0x8000
+
+; ---- ID-port activation sequence ----
+.equ ID_SEQ0, 0xC5
+.equ ID_SEQ1, 0x09
+.equ ID_ACTIVATE, 0xFF
+
+; ---- adapter context ----
+.equ CTX_IOBASE, 0x00
+.equ CTX_FILTER, 0x04
+.equ CTX_IRQCOUNT, 0x08
+.equ CTX_TXCOUNT, 0x0C
+.equ CTX_RXCOUNT, 0x10
+.equ CTX_MAC, 0x14
+.equ CTX_RXBUF, 0x20
+.equ CTX_DUPLEX, 0x24
+.equ CTX_LED, 0x28
+.equ CTX_MCAST, 0x2C
+.equ CTX_SIZE, 0x40
+
+; =============== DriverEntry ===============
+DriverEntry:
+    push fp
+    mov fp, sp
+    push #chars
+    sys NDIS_M_REGISTER_MINIPORT
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== el_window(base, n) ===============
+el_window:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r0, [fp, #12]
+    or r0, r0, #CMD_SEL_WIN
+    outh [r1, #EL_CMD], r0
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== el_activate(base) ===============
+; ID-port contention dance: the card reads as all-ones until the sequence
+; lands, then a global reset puts the register file in a known state.
+el_activate:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    mov r0, #ID_SEQ0
+    outb [r1, #EL_ID_PORT], r0
+    mov r0, #ID_SEQ1
+    outb [r1, #EL_ID_PORT], r0
+    mov r0, #ID_ACTIVATE
+    outb [r1, #EL_ID_PORT], r0
+    mov r0, #CMD_RESET
+    outh [r1, #EL_CMD], r0
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== el_ee_read(base, idx) -> word ===============
+; caller must have window 0 selected
+el_ee_read:
+    push fp
+    mov fp, sp
+    ldw r1, [fp, #8]
+    ldw r0, [fp, #12]
+    or r0, r0, #EE_READ
+    outh [r1, #EL_W0_EE_CMD], r0
+    inh r0, [r1, #EL_W0_EE_DATA]
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== el_write_filter(ctx) ===============
+; translate the NDIS packet filter (+ multicast-list presence) into a
+; SetRxFilter command
+el_write_filter:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r0, [r4, #CTX_FILTER]
+    mov r2, #0
+    test r0, #FILTER_DIRECTED
+    beq ewf_no_dir
+    or r2, r2, #RXF_STATION
+ewf_no_dir:
+    test r0, #FILTER_BROADCAST
+    beq ewf_no_bc
+    or r2, r2, #RXF_BROADCAST
+ewf_no_bc:
+    test r0, #FILTER_MULTICAST
+    beq ewf_no_mc
+    or r2, r2, #RXF_MULTICAST
+ewf_no_mc:
+    test r0, #FILTER_PROMISCUOUS
+    beq ewf_no_prom
+    or r2, r2, #RXF_PROM
+ewf_no_prom:
+    ; the 3c509 has no hash table: a non-empty multicast list means
+    ; all-multicast
+    ldw r0, [r4, #CTX_MCAST]
+    cmp r0, #0
+    beq ewf_no_list
+    or r2, r2, #RXF_MULTICAST
+ewf_no_list:
+    or r2, r2, #CMD_SET_RX_FILTER
+    ldw r1, [r4, #CTX_IOBASE]
+    outh [r1, #EL_CMD], r2
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== el_chip_init(ctx) ===============
+el_chip_init:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    ; global reset, then rebuild programming from the context
+    mov r0, #CMD_RESET
+    outh [r1, #EL_CMD], r0
+    ; station address (window 2) from ctx->mac
+    push #2
+    push r1
+    call el_window
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r3, #0
+eci_sta:
+    cmp r3, #6
+    buge eci_sta_done
+    add r0, r4, #CTX_MAC
+    add r0, r0, r3
+    ldb r0, [r0]
+    add r2, r1, r3
+    outb [r2], r0
+    add r3, r3, #1
+    jmp eci_sta
+eci_sta_done:
+    ; default NDIS filter: directed + broadcast
+    mov r0, #FILTER_DIRECTED
+    or r0, r0, #FILTER_BROADCAST
+    stw [r4, #CTX_FILTER], r0
+    push r4
+    call el_write_filter
+    ; enable both engines, unmask receive, rest in window 1
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CMD_RX_ENABLE
+    outh [r1, #EL_CMD], r0
+    mov r0, #CMD_TX_ENABLE
+    outh [r1, #EL_CMD], r0
+    mov r0, #CMD_SET_INTR_ENB
+    or r0, r0, #ST_RX_COMPLETE
+    outh [r1, #EL_CMD], r0
+    push #1
+    push r1
+    call el_window
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_init(driver_handle) ===============
+mp_init:
+    push fp
+    mov fp, sp
+    sub sp, sp, #32
+    ; context
+    push #CTX_SIZE
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_ALLOCATE_MEMORY
+    cmp r0, #STATUS_SUCCESS
+    bne ei_fail
+    ldw r1, [fp, #-4]
+    stw [g_ctx], r1
+    mov r0, #0
+    stw [r1, #CTX_MCAST], r0
+
+    ; identify the device: PCI vendor/device dword must be 0x509010B7
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    cmp r0, #0x509010B7
+    bne ei_fail_log
+
+    ; BAR0 -> io base
+    push #4
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x10
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldw r0, [fp, #-4]
+    and r0, r0, #0xFFFFFFFE
+    ldw r1, [g_ctx]
+    stw [r1, #CTX_IOBASE], r0
+    stw [fp, #-8], r0
+
+    ; claim the port range
+    push #0x20
+    ldw r0, [fp, #-8]
+    push r0
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    sys NDIS_M_REGISTER_IO_PORT_RANGE
+    cmp r0, #STATUS_SUCCESS
+    bne ei_fail_log
+
+    ; wake the card off the bus, then sanity-check the manufacturer id
+    ldw r0, [fp, #-8]
+    push r0
+    call el_activate
+    push #0
+    ldw r0, [fp, #-8]
+    push r0
+    call el_window
+    ldw r1, [fp, #-8]
+    inh r0, [r1, #EL_W0_MFG_ID]
+    cmp r0, #MFG_ID
+    bne ei_fail_log
+
+    ; station address from EEPROM words 0..2 (big-endian byte pairs)
+    mov r0, #0
+    stw [fp, #-20], r0
+ei_mac_loop:
+    ldw r0, [fp, #-20]
+    cmp r0, #3
+    buge ei_mac_done
+    push r0
+    ldw r0, [fp, #-8]
+    push r0
+    call el_ee_read
+    ldw r1, [g_ctx]
+    add r1, r1, #CTX_MAC
+    ldw r2, [fp, #-20]
+    shl r3, r2, #1
+    add r1, r1, r3
+    shr r3, r0, #8
+    stb [r1], r3
+    and r3, r0, #0xFF
+    stb [r1, #1], r3
+    add r2, r2, #1
+    stw [fp, #-20], r2
+    jmp ei_mac_loop
+ei_mac_done:
+
+    ; chip bring-up (station address write, filter, enables, window 1)
+    ldw r0, [g_ctx]
+    push r0
+    call el_chip_init
+
+    ; rx staging buffer
+    push #1536
+    ldw r0, [g_ctx]
+    add r0, r0, #CTX_RXBUF
+    push r0
+    sys NDIS_ALLOCATE_MEMORY
+
+    ; interrupt line (PCI config 0x3C)
+    push #1
+    mov r0, fp
+    sub r0, r0, #4
+    push r0
+    push #0x3C
+    sys NDIS_READ_PCI_SLOT_INFORMATION
+    ldb r0, [fp, #-4]
+    push r0
+    sys NDIS_M_REGISTER_INTERRUPT
+    cmp r0, #STATUS_SUCCESS
+    bne ei_fail_log
+    ldw r0, [g_ctx]
+    push r0
+    sys NDIS_M_SET_ATTRIBUTES
+
+    ; registry: duplex + LED
+    mov r0, fp
+    sub r0, r0, #12
+    push r0
+    sys NDIS_OPEN_CONFIGURATION
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_DUPLEX_MODE
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne ei_no_duplex
+    ldw r0, [fp, #-16]
+    cmp r0, #2
+    bne ei_no_duplex
+    push #1
+    ldw r0, [g_ctx]
+    push r0
+    call el_set_duplex
+ei_no_duplex:
+    mov r0, fp
+    sub r0, r0, #16
+    push r0
+    push #CFG_LED_MODE
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_READ_CONFIGURATION
+    cmp r0, #STATUS_SUCCESS
+    bne ei_no_led
+    ldw r0, [fp, #-16]
+    push r0
+    ldw r0, [g_ctx]
+    push r0
+    call el_set_led
+ei_no_led:
+    ldw r0, [fp, #-12]
+    push r0
+    sys NDIS_CLOSE_CONFIGURATION
+
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+ei_fail_log:
+    push #0
+    push #0xE3509001
+    sys NDIS_WRITE_ERROR_LOG_ENTRY
+ei_fail:
+    mov r0, #STATUS_FAILURE
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== el_set_duplex(ctx, on) ===============
+el_set_duplex:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    push #4
+    push r1
+    call el_window
+    ldw r1, [r4, #CTX_IOBASE]
+    inh r2, [r1, #EL_W4_MEDIA]
+    ldw r0, [fp, #12]
+    cmp r0, #0
+    beq esd_off
+    or r2, r2, #0x0020
+    mov r0, #1
+    stw [r4, #CTX_DUPLEX], r0
+    jmp esd_write
+esd_off:
+    and r2, r2, #0xFFDF
+    mov r0, #0
+    stw [r4, #CTX_DUPLEX], r0
+esd_write:
+    outh [r1, #EL_W4_MEDIA], r2
+    push #1
+    push r1
+    call el_window
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== el_set_led(ctx, mode) ===============
+el_set_led:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    push #4
+    push r1
+    call el_window
+    ldw r1, [r4, #CTX_IOBASE]
+    ldw r0, [fp, #12]
+    and r0, r0, #0x3F
+    outh [r1, #EL_W4_NET_DIAG], r0
+    ldw r0, [fp, #12]
+    stw [r4, #CTX_LED], r0
+    push #1
+    push r1
+    call el_window
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #8
+
+; =============== mp_send(ctx, packet, flags) ===============
+mp_send:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r5, [fp, #8]             ; ctx
+    ldw r2, [fp, #12]            ; packet
+    ldw r6, [r2]                 ; data va
+    ldw r4, [r2, #4]             ; len
+    cmp r4, #1514
+    bugt es_fail
+    ldw r1, [r5, #CTX_IOBASE]
+    push #1
+    push r1
+    call el_window
+    ldw r1, [r5, #CTX_IOBASE]
+    ; room for the frame + the 4-byte preamble?
+    inh r0, [r1, #EL_W1_TX_FREE]
+    add r2, r4, #4
+    cmp r0, r2
+    buge es_room
+    jmp es_fail
+es_room:
+    ; length preamble, then the mandatory zero word
+    outh [r1, #EL_W1_FIFO], r4
+    mov r0, #0
+    outh [r1, #EL_W1_FIFO], r0
+    ; payload, halfword at a time through the FIFO port
+    mov r3, #0
+es_copy:
+    add r0, r3, #1
+    cmp r0, r4
+    bugt es_copy_done            ; fewer than 2 bytes left
+    add r0, r6, r3
+    ldh r0, [r0]
+    outh [r1, #EL_W1_FIFO], r0
+    add r3, r3, #2
+    jmp es_copy
+es_copy_done:
+    cmp r3, r4
+    buge es_poll
+    add r0, r6, r3               ; trailing odd byte
+    ldb r0, [r0]
+    outh [r1, #EL_W1_FIFO], r0
+es_poll:
+    ; wait for TX completion
+    mov r3, #100
+es_poll_loop:
+    inh r0, [r1, #EL_CMD]
+    test r0, #ST_TX_COMPLETE
+    bne es_tx_done
+    sub r3, r3, #1
+    cmp r3, #0
+    bne es_poll_loop
+es_tx_done:
+    mov r0, #CMD_ACK_INTR
+    or r0, r0, #ST_TX_COMPLETE
+    or r0, r0, #ST_TX_AVAIL
+    outh [r1, #EL_CMD], r0
+    ldw r0, [r5, #CTX_TXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_TXCOUNT], r0
+    push #STATUS_SUCCESS
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_SUCCESS
+    jmp es_out
+es_fail:
+    push #STATUS_FAILURE
+    ldw r0, [fp, #12]
+    push r0
+    sys NDIS_M_SEND_COMPLETE
+    mov r0, #STATUS_FAILURE
+es_out:
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #12
+
+; =============== mp_isr(ctx) -> recognized ===============
+mp_isr:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    inh r0, [r1, #EL_CMD]
+    test r0, #ST_RX_COMPLETE
+    beq eii_no
+    mov r0, #CMD_SET_INTR_ENB    ; mask (argument 0) while the DPC runs
+    outh [r1, #EL_CMD], r0
+    mov r0, #1
+    jmp eii_out
+eii_no:
+    mov r0, #0
+eii_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_dpc(ctx) ===============
+mp_dpc:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r0, [r4, #CTX_IRQCOUNT]
+    add r0, r0, #1
+    stw [r4, #CTX_IRQCOUNT], r0
+    push r4
+    call el_rx_drain
+    ; ack and re-enable receive interrupts
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CMD_ACK_INTR
+    or r0, r0, #ST_RX_COMPLETE
+    outh [r1, #EL_CMD], r0
+    mov r0, #CMD_SET_INTR_ENB
+    or r0, r0, #ST_RX_COMPLETE
+    outh [r1, #EL_CMD], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== el_rx_drain(ctx) ===============
+el_rx_drain:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    ldw r5, [fp, #8]
+    ldw r1, [r5, #CTX_IOBASE]
+    push #1
+    push r1
+    call el_window
+erd_loop:
+    ldw r1, [r5, #CTX_IOBASE]
+    inh r0, [r1, #EL_W1_RX_STATUS]
+    test r0, #RXS_INCOMPLETE
+    bne erd_done
+    and r6, r0, #0x7FF           ; head frame byte count
+    cmp r6, #1514
+    bugt erd_discard
+    ; stream the payload out of the FIFO into the staging buffer
+    ldw r4, [r5, #CTX_RXBUF]
+    mov r3, #0
+erd_copy:
+    add r0, r3, #1
+    cmp r0, r6
+    bugt erd_tail
+    inh r0, [r1, #EL_W1_FIFO]
+    add r2, r4, r3
+    sth [r2], r0
+    add r3, r3, #2
+    jmp erd_copy
+erd_tail:
+    cmp r3, r6
+    buge erd_indicate
+    inh r0, [r1, #EL_W1_FIFO]
+    add r2, r4, r3
+    stb [r2], r0
+erd_indicate:
+    push r6
+    push r4
+    sys NDIS_M_ETH_INDICATE_RECEIVE
+    ldw r0, [r5, #CTX_RXCOUNT]
+    add r0, r0, #1
+    stw [r5, #CTX_RXCOUNT], r0
+erd_discard:
+    ldw r1, [r5, #CTX_IOBASE]
+    mov r0, #CMD_RX_DISCARD
+    outh [r1, #EL_CMD], r0
+    jmp erd_loop
+erd_done:
+    sys NDIS_M_ETH_INDICATE_RECEIVE_COMPLETE
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_query(ctx, oid, buf, len, written) ===============
+mp_query:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_802_3_CURRENT_ADDRESS
+    beq eq_mac
+    cmp r2, #OID_802_3_PERMANENT_ADDRESS
+    beq eq_mac
+    cmp r2, #OID_GEN_LINK_SPEED
+    beq eq_speed
+    cmp r2, #OID_GEN_MAXIMUM_FRAME_SIZE
+    beq eq_mtu
+    cmp r2, #OID_GEN_MEDIA_CONNECT_STATUS
+    beq eq_link
+    cmp r2, #OID_VENDOR_LED_CONFIG
+    beq eq_led
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp eq_out
+eq_mac:
+    mov r4, #0
+eq_mac_loop:
+    cmp r4, #6
+    buge eq_mac_done
+    add r0, r1, #CTX_MAC
+    add r0, r0, r4
+    ldb r0, [r0]
+    add r2, r3, r4
+    stb [r2], r0
+    add r4, r4, #1
+    jmp eq_mac_loop
+eq_mac_done:
+    mov r2, #6
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+    jmp eq_out
+eq_speed:
+    mov r0, #100000              ; 10 Mbps
+    stw [r3], r0
+    jmp eq_w4
+eq_mtu:
+    mov r0, #1500
+    stw [r3], r0
+    jmp eq_w4
+eq_link:
+    mov r0, #1
+    stw [r3], r0
+    jmp eq_w4
+eq_led:
+    ldw r0, [r1, #CTX_LED]
+    stw [r3], r0
+eq_w4:
+    mov r2, #4
+    ldw r0, [fp, #24]
+    stw [r0], r2
+    mov r0, #STATUS_SUCCESS
+eq_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_set(ctx, oid, buf, len, read) ===============
+mp_set:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r1, [fp, #8]
+    ldw r2, [fp, #12]
+    ldw r3, [fp, #16]
+    cmp r2, #OID_GEN_CURRENT_PACKET_FILTER
+    beq est_filter
+    cmp r2, #OID_802_3_MULTICAST_LIST
+    beq est_mcast
+    cmp r2, #OID_VENDOR_DUPLEX_MODE
+    beq est_duplex
+    cmp r2, #OID_VENDOR_LED_CONFIG
+    beq est_led
+    mov r0, #STATUS_NOT_SUPPORTED
+    jmp est_out
+est_filter:
+    ldw r0, [r3]
+    stw [r1, #CTX_FILTER], r0
+    push r1
+    call el_write_filter
+    mov r0, #STATUS_SUCCESS
+    jmp est_out
+est_mcast:
+    ; remember how many addresses the list carries; the filter writer maps
+    ; any non-empty list to the all-multicast bit
+    ldw r0, [fp, #20]
+    udiv r0, r0, #6
+    stw [r1, #CTX_MCAST], r0
+    push r1
+    call el_write_filter
+    mov r0, #STATUS_SUCCESS
+    jmp est_out
+est_duplex:
+    ldw r0, [r3]
+    push r0
+    push r1
+    call el_set_duplex
+    mov r0, #STATUS_SUCCESS
+    jmp est_out
+est_led:
+    ldw r0, [r3]
+    push r0
+    push r1
+    call el_set_led
+    mov r0, #STATUS_SUCCESS
+est_out:
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #20
+
+; =============== mp_reset(ctx) ===============
+mp_reset:
+    push fp
+    mov fp, sp
+    ldw r0, [fp, #8]
+    push r0
+    call el_chip_init
+    mov r0, #STATUS_SUCCESS
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_halt(ctx) ===============
+mp_halt:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CMD_SET_INTR_ENB    ; mask everything
+    outh [r1, #EL_CMD], r0
+    mov r0, #CMD_RX_DISABLE
+    outh [r1, #EL_CMD], r0
+    mov r0, #CMD_TX_DISABLE
+    outh [r1, #EL_CMD], r0
+    sys NDIS_M_DEREGISTER_INTERRUPT
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; =============== mp_shutdown(ctx) ===============
+mp_shutdown:
+    push fp
+    mov fp, sp
+    push r4
+    ldw r4, [fp, #8]
+    ldw r1, [r4, #CTX_IOBASE]
+    mov r0, #CMD_RX_DISABLE
+    outh [r1, #EL_CMD], r0
+    mov r0, #CMD_TX_DISABLE
+    outh [r1, #EL_CMD], r0
+    pop r4
+    mov sp, fp
+    pop fp
+    ret #4
+
+; ================= data =================
+.data
+chars:
+    .word mp_init, mp_isr, mp_dpc, mp_send, mp_query, mp_set, mp_reset, mp_halt, mp_shutdown
+g_ctx:
+    .word 0
+)";
+}
+
+}  // namespace revnic::drivers

@@ -1,10 +1,11 @@
 // Native reference drivers (see native.h). Register protocols mirror the
 // r32 drivers but are written directly against the device models, the way
-// pcnet32.c / 8139too.c / ne2k-pci.c / smc91x.c talk to real chips.
+// pcnet32.c / 8139too.c / ne2k-pci.c / smc91x.c / 3c509.c talk to real chips.
 #include "drivers/native.h"
 
 #include <cstring>
 
+#include "hw/el3.h"
 #include "hw/ne2000.h"
 #include "hw/pcnet.h"
 #include "hw/rtl8139.h"
@@ -417,6 +418,100 @@ class NativeSmc91c111 : public NativeNicDriver {
   hw::MacAddr mac_{};
 };
 
+// ---------------- EtherLink III (3c509.c analog) ----------------
+class NativeEl3 : public NativeNicDriver {
+ public:
+  bool Init(vm::IoHandler* io, vm::MemoryMap* ram) override {
+    (void)ram;
+    io_ = io;
+    base_ = hw::El3Config().io_base;
+    // ID-port activation, then a known register state.
+    io_->IoWrite(base_ + hw::El3::kRegIdPort, 1, hw::El3::kIdSequence0);
+    io_->IoWrite(base_ + hw::El3::kRegIdPort, 1, hw::El3::kIdSequence1);
+    io_->IoWrite(base_ + hw::El3::kRegIdPort, 1, hw::El3::kIdActivate);
+    Cmd(hw::El3::kCmdTotalReset, 0);
+    Cmd(hw::El3::kCmdSelectWindow, 0);
+    if (io_->IoRead(base_ + hw::El3::kW0ManufacturerId, 2) != hw::El3::kManufacturerId) {
+      return false;
+    }
+    // Station address from EEPROM words 0..2 (big-endian pairs).
+    for (unsigned w = 0; w < 3; ++w) {
+      io_->IoWrite(base_ + hw::El3::kW0EepromCmd, 2, hw::El3::kEepromRead | w);
+      uint32_t v = io_->IoRead(base_ + hw::El3::kW0EepromData, 2);
+      mac_[2 * w] = static_cast<uint8_t>(v >> 8);
+      mac_[2 * w + 1] = static_cast<uint8_t>(v);
+    }
+    Cmd(hw::El3::kCmdSelectWindow, 2);
+    for (unsigned i = 0; i < 6; ++i) {
+      io_->IoWrite(base_ + hw::El3::kW2StationAddr + i, 1, mac_[i]);
+    }
+    Cmd(hw::El3::kCmdSetRxFilter, hw::El3::kFilterStation | hw::El3::kFilterBroadcast);
+    Cmd(hw::El3::kCmdRxEnable, 0);
+    Cmd(hw::El3::kCmdTxEnable, 0);
+    Cmd(hw::El3::kCmdSetIntrEnb, hw::El3::kStatRxComplete);
+    Cmd(hw::El3::kCmdSelectWindow, 1);
+    return true;
+  }
+
+  bool Send(const hw::Frame& frame) override {
+    if (io_->IoRead(base_ + hw::El3::kW1TxFree, 2) < frame.size() + 4) {
+      return false;
+    }
+    io_->IoWrite(base_ + hw::El3::kW1Fifo, 2, static_cast<uint32_t>(frame.size()));
+    io_->IoWrite(base_ + hw::El3::kW1Fifo, 2, 0);
+    for (size_t i = 0; i < frame.size(); i += 2) {
+      uint32_t v = frame[i] | (i + 1 < frame.size() ? frame[i + 1] << 8 : 0u);
+      io_->IoWrite(base_ + hw::El3::kW1Fifo, 2, v);
+    }
+    bytes_copied_ += frame.size();
+    bool ok = (io_->IoRead(base_ + hw::El3::kRegCmdStatus, 2) & hw::El3::kStatTxComplete) != 0;
+    Cmd(hw::El3::kCmdAckIntr, hw::El3::kStatTxComplete | hw::El3::kStatTxAvail);
+    return ok;
+  }
+
+  void HandleInterrupt() override {
+    while (true) {
+      uint32_t rs = io_->IoRead(base_ + hw::El3::kW1RxStatus, 2);
+      if ((rs & hw::El3::kRxStatusIncomplete) != 0) {
+        break;
+      }
+      uint32_t len = rs & 0x7FF;
+      if (len <= 1514) {
+        hw::Frame f(len);
+        for (size_t i = 0; i < f.size(); i += 2) {
+          uint32_t v = io_->IoRead(base_ + hw::El3::kW1Fifo, 2);
+          f[i] = static_cast<uint8_t>(v);
+          if (i + 1 < f.size()) {
+            f[i + 1] = static_cast<uint8_t>(v >> 8);
+          }
+        }
+        bytes_copied_ += f.size();
+        IndicateRx(f);
+      }
+      Cmd(hw::El3::kCmdRxDiscard, 0);
+    }
+    Cmd(hw::El3::kCmdAckIntr, hw::El3::kStatRxComplete);
+    Cmd(hw::El3::kCmdSetIntrEnb, hw::El3::kStatRxComplete);
+  }
+
+  void Stop() override {
+    Cmd(hw::El3::kCmdSetIntrEnb, 0);
+    Cmd(hw::El3::kCmdRxDisable, 0);
+    Cmd(hw::El3::kCmdTxDisable, 0);
+  }
+  hw::MacAddr mac() const override { return mac_; }
+
+ private:
+  void Cmd(uint16_t op, uint16_t arg) {
+    io_->IoWrite(base_ + hw::El3::kRegCmdStatus, 2,
+                 static_cast<uint32_t>((op << 11) | arg));
+  }
+
+  vm::IoHandler* io_ = nullptr;
+  uint32_t base_ = 0;
+  hw::MacAddr mac_{};
+};
+
 }  // namespace
 
 std::unique_ptr<NativeNicDriver> MakeNativeDriver(DriverId id) {
@@ -429,6 +524,8 @@ std::unique_ptr<NativeNicDriver> MakeNativeDriver(DriverId id) {
       return std::make_unique<NativePcnet>();
     case DriverId::kSmc91c111:
       return std::make_unique<NativeSmc91c111>();
+    case DriverId::kEl3:
+      return std::make_unique<NativeEl3>();
   }
   return nullptr;
 }

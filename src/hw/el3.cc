@@ -1,0 +1,288 @@
+#include "hw/el3.h"
+
+#include <cstring>
+
+namespace revnic::hw {
+
+namespace {
+
+// Factory MAC, burned into the EEPROM. Locally-administered QEMU-style OUI
+// like the other four models; the 10:B7 tail nods at 3Com's PCI vendor id.
+constexpr uint8_t kDefaultMac[6] = {0x52, 0x54, 0x00, 0x10, 0xB7, 0x09};
+
+constexpr uint16_t kRxCountMask = 0x07FF;
+
+}  // namespace
+
+El3::El3() : pci_(El3Config()) {
+  RegisterReset();
+}
+
+void El3::Reset() {
+  // Power-on reset: the card drops back off the bus until the driver runs
+  // the ID-port activation sequence again.
+  activated_ = false;
+  id_progress_ = 0;
+  RegisterReset();
+}
+
+void El3::RegisterReset() {
+  window_ = 0;
+  status_ = 0;
+  int_enable_ = 0;
+  rx_filter_ = 0;
+  rx_on_ = false;
+  tx_on_ = false;
+  eeprom_cmd_ = 0;
+  media_ = 0;
+  net_diag_ = 0;
+  std::memcpy(station_.data(), kDefaultMac, 6);
+  tx_state_ = TxState::kIdle;
+  tx_expected_ = 0;
+  tx_accum_.clear();
+  rx_fifo_.clear();
+  rx_cursor_ = 0;
+  UpdateIrq();
+}
+
+MacAddr El3::mac() const {
+  MacAddr m;
+  std::memcpy(m.data(), station_.data(), 6);
+  return m;
+}
+
+bool El3::InjectReceive(const Frame& frame) {
+  if (!rx_on_ || frame.size() < 6) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  bool accept = promiscuous();
+  if (!accept && IsBroadcast(frame)) accept = (rx_filter_ & kFilterBroadcast) != 0;
+  if (!accept && IsMulticast(frame)) {
+    MacAddr dest;
+    std::memcpy(dest.data(), frame.data(), 6);
+    accept = MulticastAccepts(dest);
+  }
+  if (!accept && (rx_filter_ & kFilterStation) != 0) accept = DestIs(frame, mac());
+  // The RxStatus count field is 11 bits; anything it cannot describe (e.g.
+  // a frame-oversize fault product) is dropped at the FIFO mouth.
+  if (!accept || rx_fifo_.size() >= kRxFifoFrames || frame.size() > kRxCountMask) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  rx_fifo_.push_back(frame);
+  ++stats_.rx_frames;
+  stats_.rx_bytes += frame.size();
+  status_ |= kStatRxComplete;
+  UpdateIrq();
+  return true;
+}
+
+uint32_t El3::IoRead(uint32_t addr, unsigned size) {
+  uint32_t off = addr - pci_.io_base;
+  if (!activated_) {
+    // Not yet claimed off the ID bus: the card does not drive the data
+    // lines, so the host reads all-ones.
+    return size == 1 ? 0xFFu : size == 2 ? 0xFFFFu : 0xFFFFFFFFu;
+  }
+  if ((off & ~1u) == kRegCmdStatus) {
+    uint16_t v = static_cast<uint16_t>(status_ | (window_ << 13));
+    if (size == 1) return (off & 1) ? (v >> 8) : (v & 0xFF);
+    return v;
+  }
+  return WindowRead(off, size);
+}
+
+void El3::IoWrite(uint32_t addr, unsigned size, uint32_t value) {
+  uint32_t off = addr - pci_.io_base;
+  if (!activated_) {
+    if (off == kRegIdPort) {
+      uint8_t b = static_cast<uint8_t>(value);
+      if (id_progress_ == 0 && b == kIdSequence0) {
+        id_progress_ = 1;
+      } else if (id_progress_ == 1 && b == kIdSequence1) {
+        id_progress_ = 2;
+      } else if (id_progress_ == 2 && b == kIdActivate) {
+        activated_ = true;
+        id_progress_ = 0;
+      } else {
+        // Any wrong byte restarts the contention protocol.
+        id_progress_ = (b == kIdSequence0) ? 1 : 0;
+      }
+    }
+    return;
+  }
+  if (off == kRegCmdStatus && size >= 2) {
+    Command(static_cast<uint16_t>(value));
+    return;
+  }
+  WindowWrite(off, size, value);
+}
+
+void El3::Command(uint16_t value) {
+  uint16_t op = value >> 11;
+  uint16_t arg = value & 0x07FF;
+  switch (op) {
+    case kCmdTotalReset:
+      // Register-file reset only; ID-port activation survives.
+      RegisterReset();
+      break;
+    case kCmdSelectWindow:
+      window_ = static_cast<uint8_t>(arg & 7);
+      break;
+    case kCmdRxDisable:
+      rx_on_ = false;
+      break;
+    case kCmdRxEnable:
+      rx_on_ = true;
+      break;
+    case kCmdRxReset:
+      rx_fifo_.clear();
+      rx_cursor_ = 0;
+      status_ &= ~kStatRxComplete;
+      UpdateIrq();
+      break;
+    case kCmdRxDiscard:
+      if (!rx_fifo_.empty()) rx_fifo_.pop_front();
+      rx_cursor_ = 0;
+      if (rx_fifo_.empty()) {
+        status_ &= ~kStatRxComplete;
+        UpdateIrq();
+      }
+      break;
+    case kCmdTxEnable:
+      tx_on_ = true;
+      break;
+    case kCmdTxDisable:
+      tx_on_ = false;
+      break;
+    case kCmdTxReset:
+      tx_state_ = TxState::kIdle;
+      tx_accum_.clear();
+      status_ &= ~(kStatTxComplete | kStatTxAvail);
+      UpdateIrq();
+      break;
+    case kCmdAckIntr:
+      status_ &= ~arg;
+      UpdateIrq();
+      break;
+    case kCmdSetIntrEnb:
+      int_enable_ = arg;
+      UpdateIrq();
+      break;
+    case kCmdSetRxFilter:
+      rx_filter_ = arg;
+      break;
+    default:
+      break;
+  }
+}
+
+uint32_t El3::WindowRead(uint32_t off, unsigned size) {
+  switch (window_) {
+    case 0:
+      switch (off & ~1u) {
+        case kW0ManufacturerId:
+          return kManufacturerId;
+        case kW0EepromCmd:
+          return eeprom_cmd_;
+        case kW0EepromData: {
+          if ((eeprom_cmd_ & kEepromRead) == 0) return 0;
+          unsigned idx = eeprom_cmd_ & 0x3F;
+          if (idx < 3)
+            return static_cast<uint16_t>((kDefaultMac[2 * idx] << 8) |
+                                         kDefaultMac[2 * idx + 1]);
+          if (idx == 3) return kEepromProductId;
+          return 0;
+        }
+        default:
+          return 0;
+      }
+    case 1:
+      if (off < 4) return FifoRead(size);
+      if ((off & ~1u) == kW1RxStatus) {
+        if (rx_fifo_.empty()) return kRxStatusIncomplete;
+        return static_cast<uint16_t>(rx_fifo_.front().size() & kRxCountMask);
+      }
+      if ((off & ~1u) == kW1TxFree) return kTxFifoBytes;
+      return 0;
+    case 2:
+      if (off < 6) {
+        uint32_t v = station_[off];
+        if (size >= 2 && off + 1 < 6) v |= station_[off + 1] << 8;
+        return v;
+      }
+      return 0;
+    case 4:
+      if ((off & ~1u) == kW4NetDiag) return net_diag_;
+      if ((off & ~1u) == kW4Media) return media_;
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+void El3::WindowWrite(uint32_t off, unsigned size, uint32_t value) {
+  switch (window_) {
+    case 0:
+      if ((off & ~1u) == kW0EepromCmd) eeprom_cmd_ = static_cast<uint16_t>(value);
+      break;
+    case 1:
+      if (off < 4) FifoWrite(size, value);
+      break;
+    case 2:
+      if (off < 6) {
+        station_[off] = static_cast<uint8_t>(value);
+        if (size >= 2 && off + 1 < 6) station_[off + 1] = static_cast<uint8_t>(value >> 8);
+      }
+      break;
+    case 4:
+      if ((off & ~1u) == kW4NetDiag) net_diag_ = static_cast<uint16_t>(value);
+      if ((off & ~1u) == kW4Media) media_ = static_cast<uint16_t>(value);
+      break;
+    default:
+      break;
+  }
+}
+
+void El3::FifoWrite(unsigned size, uint32_t value) {
+  switch (tx_state_) {
+    case TxState::kIdle:
+      tx_expected_ = static_cast<uint16_t>(value & kRxCountMask);
+      tx_accum_.clear();
+      tx_state_ = TxState::kPad;
+      break;
+    case TxState::kPad:
+      // The zero preamble word. A zero-length announcement never emits.
+      tx_state_ = tx_expected_ == 0 ? TxState::kIdle : TxState::kData;
+      break;
+    case TxState::kData: {
+      for (unsigned i = 0; i < size; ++i)
+        tx_accum_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+      size_t padded = (static_cast<size_t>(tx_expected_) + 1) & ~size_t{1};
+      if (tx_accum_.size() >= padded) {
+        tx_accum_.resize(tx_expected_);
+        if (tx_on_) EmitTx(tx_accum_);
+        tx_accum_.clear();
+        tx_state_ = TxState::kIdle;
+        status_ |= kStatTxComplete | kStatTxAvail;
+        UpdateIrq();
+      }
+      break;
+    }
+  }
+}
+
+uint32_t El3::FifoRead(unsigned size) {
+  if (rx_fifo_.empty()) return 0;
+  const Frame& f = rx_fifo_.front();
+  uint32_t v = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    uint8_t b = rx_cursor_ < f.size() ? f[rx_cursor_] : 0;
+    ++rx_cursor_;
+    v |= static_cast<uint32_t>(b) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace revnic::hw

@@ -1,0 +1,158 @@
+// Behavioural model of an EtherLink III-style (3c509) PIO+FIFO Ethernet
+// controller -- the programmed-I/O device family none of the other four
+// models exercise.
+//
+// Programming model: a 16-byte port-I/O register file multiplexed across
+// eight windows by a SelectWindow command; every command is a 16-bit write
+// to the shared command/status register at offset 0xE, encoded as
+// (opcode << 11) | argument. Frames move through TX/RX FIFOs drained by
+// string I/O on the window-1 data port -- no descriptor rings, no DMA, no
+// bus mastering (Table 2: N/A). A frame therefore costs one port access per
+// halfword, which makes this model the corpus's I/O-event stress case.
+//
+// The card starts invisible on the bus (the ISA ID-port contention scheme):
+// every register read returns 0xFF until the driver writes the two-byte ID
+// sequence followed by the activate byte to the ID port at offset 0x10.
+//
+// TX FIFO protocol (window 1, offset 0, 16-bit writes):
+//   word 0: frame length in bytes     word 1: zero (preamble pad)
+//   then ceil(len / 2) payload halfwords; the device emits the frame when
+//   the last one lands. RX mirrors it: RxStatus (offset 8) carries the head
+//   frame's byte count (bit 15 = FIFO empty), payload halfwords stream from
+//   offset 0, and the RxDiscard command pops the frame.
+#ifndef REVNIC_HW_EL3_H_
+#define REVNIC_HW_EL3_H_
+
+#include <array>
+#include <deque>
+
+#include "hw/nic.h"
+
+namespace revnic::hw {
+
+class El3 : public NicDevice {
+ public:
+  // Shared command (write) / status (read) register, visible in every
+  // window.
+  static constexpr uint32_t kRegCmdStatus = 0x0E;
+  // ID port: sits above the register window, only decoded pre-activation.
+  static constexpr uint32_t kRegIdPort = 0x10;
+
+  // Command opcodes (value = (op << 11) | argument).
+  static constexpr uint16_t kCmdTotalReset = 0;
+  static constexpr uint16_t kCmdSelectWindow = 1;
+  static constexpr uint16_t kCmdRxDisable = 3;
+  static constexpr uint16_t kCmdRxEnable = 4;
+  static constexpr uint16_t kCmdRxReset = 5;
+  static constexpr uint16_t kCmdRxDiscard = 8;
+  static constexpr uint16_t kCmdTxEnable = 9;
+  static constexpr uint16_t kCmdTxDisable = 10;
+  static constexpr uint16_t kCmdTxReset = 11;
+  static constexpr uint16_t kCmdAckIntr = 13;
+  static constexpr uint16_t kCmdSetIntrEnb = 14;
+  static constexpr uint16_t kCmdSetRxFilter = 16;
+
+  // Status bits (also the AckIntr/SetIntrEnb argument bits).
+  static constexpr uint16_t kStatIntLatch = 0x0001;
+  static constexpr uint16_t kStatTxComplete = 0x0004;
+  static constexpr uint16_t kStatTxAvail = 0x0008;
+  static constexpr uint16_t kStatRxComplete = 0x0010;
+
+  // SetRxFilter argument bits.
+  static constexpr uint16_t kFilterStation = 0x01;
+  static constexpr uint16_t kFilterMulticast = 0x02;  // all-multicast
+  static constexpr uint16_t kFilterBroadcast = 0x04;
+  static constexpr uint16_t kFilterPromiscuous = 0x08;
+
+  // Window 0: setup/EEPROM.
+  static constexpr uint32_t kW0ManufacturerId = 0x00;  // reads 0x6D50
+  static constexpr uint32_t kW0EepromCmd = 0x0A;
+  static constexpr uint32_t kW0EepromData = 0x0C;
+  static constexpr uint16_t kEepromRead = 0x80;  // | word address
+  // EEPROM words 0..2 hold the station MAC big-endian; word 3 the product.
+  static constexpr uint16_t kManufacturerId = 0x6D50;
+  static constexpr uint16_t kEepromProductId = 0x5090;
+
+  // Window 1: operational.
+  static constexpr uint32_t kW1Fifo = 0x00;      // TX write / RX read
+  static constexpr uint32_t kW1RxStatus = 0x08;  // bit15 empty, bits 0..10 count
+  static constexpr uint32_t kW1TxFree = 0x0C;    // free TX FIFO bytes
+  static constexpr uint16_t kRxStatusIncomplete = 0x8000;
+  static constexpr uint16_t kRxStatusError = 0x4000;
+
+  // Window 2: station address (6 bytes at offsets 0..5).
+  static constexpr uint32_t kW2StationAddr = 0x00;
+
+  // Window 4: media/diagnostics.
+  static constexpr uint32_t kW4NetDiag = 0x06;  // low 6 bits drive the LEDs
+  static constexpr uint32_t kW4Media = 0x0A;
+  static constexpr uint16_t kMediaFullDuplex = 0x0020;
+
+  // ID-port activation sequence.
+  static constexpr uint8_t kIdSequence0 = 0xC5;
+  static constexpr uint8_t kIdSequence1 = 0x09;
+  static constexpr uint8_t kIdActivate = 0xFF;
+
+  static constexpr size_t kTxFifoBytes = 2048;
+  static constexpr size_t kRxFifoFrames = 8;
+
+  El3();
+
+  const PciConfig& pci() const override { return pci_; }
+  const char* name() const override { return "el3"; }
+  void Reset() override;
+  bool InjectReceive(const Frame& frame) override;
+
+  uint32_t IoRead(uint32_t addr, unsigned size) override;
+  void IoWrite(uint32_t addr, unsigned size, uint32_t value) override;
+
+  MacAddr mac() const override;
+  bool promiscuous() const override { return (rx_filter_ & kFilterPromiscuous) != 0; }
+  bool rx_enabled() const override { return rx_on_; }
+  bool tx_enabled() const override { return tx_on_; }
+  bool full_duplex() const override { return (media_ & kMediaFullDuplex) != 0; }
+  uint8_t led_state() const override { return static_cast<uint8_t>(net_diag_ & 0x3F); }
+  // The EtherLink III has no hash filter: the multicast filter bit means
+  // all-multicast, so any multicast address passes while it is set.
+  bool MulticastAccepts(const MacAddr& mc) const override {
+    return (mc[0] & 1) != 0 && (rx_filter_ & kFilterMulticast) != 0;
+  }
+
+  // Observation for unit tests.
+  bool activated() const { return activated_; }
+  uint8_t window() const { return window_; }
+
+ private:
+  void UpdateIrq() { SetIrq((status_ & int_enable_ & ~kStatIntLatch) != 0); }
+  void Command(uint16_t value);
+  void RegisterReset();  // TotalReset: registers only, activation survives
+  uint32_t WindowRead(uint32_t off, unsigned size);
+  void WindowWrite(uint32_t off, unsigned size, uint32_t value);
+  void FifoWrite(unsigned size, uint32_t value);
+  uint32_t FifoRead(unsigned size);
+
+  PciConfig pci_;
+  bool activated_ = false;
+  uint8_t id_progress_ = 0;  // bytes of the ID sequence matched so far
+  uint8_t window_ = 0;
+  uint16_t status_ = 0;
+  uint16_t int_enable_ = 0;
+  uint16_t rx_filter_ = 0;
+  bool rx_on_ = false, tx_on_ = false;
+  uint16_t eeprom_cmd_ = 0;
+  uint16_t media_ = 0;
+  uint16_t net_diag_ = 0;
+  std::array<uint8_t, 6> station_{};
+  // TX assembly: the length preamble word, then payload up to the halfword-
+  // padded length.
+  enum class TxState { kIdle, kPad, kData };
+  TxState tx_state_ = TxState::kIdle;
+  uint16_t tx_expected_ = 0;  // frame bytes announced by the preamble
+  Frame tx_accum_;
+  std::deque<Frame> rx_fifo_;
+  size_t rx_cursor_ = 0;  // read offset into the head RX frame
+};
+
+}  // namespace revnic::hw
+
+#endif  // REVNIC_HW_EL3_H_

@@ -22,7 +22,7 @@ struct PciConfig {
   uint8_t irq_line = 0;
 };
 
-// Canonical configs for the four evaluated NICs (bases chosen to be stable
+// Canonical configs for the evaluated NICs (bases chosen to be stable
 // across the whole suite; MMIO windows sit above the 16 MiB guest RAM).
 inline PciConfig Rtl8139Config() {
   return {.vendor_id = 0x10EC, .device_id = 0x8139, .io_base = 0xC000, .io_size = 0x100,
@@ -40,6 +40,12 @@ inline PciConfig Smc91c111Config() {
   // ISA/embedded-style MMIO device (no port BAR).
   return {.vendor_id = 0x1148, .device_id = 0x9111, .mmio_base = 0x0F000000,
           .mmio_size = 0x10, .irq_line = 5};
+}
+inline PciConfig El3Config() {
+  // EtherLink III: pure PIO. The window spans the 16-byte register file plus
+  // the ID port above it.
+  return {.vendor_id = 0x10B7, .device_id = 0x5090, .io_base = 0xC300, .io_size = 0x20,
+          .irq_line = 7};
 }
 
 }  // namespace revnic::hw

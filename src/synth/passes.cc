@@ -547,32 +547,45 @@ std::set<uint32_t> AddressablePcs(const SynthContext& ctx) {
 // else can reach it by address: the successor's temps are renumbered after
 // the predecessor's, instruction order and guest-size accounting are
 // preserved, so execution and hardware I/O are unchanged -- the emitted C
-// just loses one label and one goto per merge. rewritten = merges.
+// just loses one label and one goto per merge.
+//
+// The predecessor counts are built once and maintained incrementally: a
+// merge moves the absorbed block's out-edges to the absorbing pc without
+// changing any edge's *target*, so no pc's in-edge count ever changes except
+// the absorbed block's own entry (erased with it). That makes a single
+// forward scan with chain-merging a fixpoint -- the old implementation
+// rebuilt the full cfg maps after every merge, which was O(blocks) work per
+// merge and quadratic on long fallthrough chains. rewritten = merges;
+// items = full pred-map builds (asserted O(1) by synth_passes_test).
 class MergeFallthroughPass : public SynthPass {
  public:
   const char* name() const override { return "merge-fallthrough"; }
   void Run(SynthContext& ctx, ir::PassStats* ps) override {
     RecoveredModule& m = ctx.module;
     std::set<uint32_t> keep = AddressablePcs(ctx);
-    bool merged_any = true;
-    while (merged_any) {
-      merged_any = false;
-      ir::CfgMaps maps = ir::BuildCfgMaps(m.blocks, m.indirect_targets);
-      for (auto& [pc, a] : m.blocks) {
-        if (a.term != Term::kJump && a.term != Term::kFallthrough) {
-          continue;
-        }
+    std::map<uint32_t, size_t> pred_count;
+    for (const auto& [pc, b] : m.blocks) {
+      for (uint32_t s : ir::Successors(pc, b, m.indirect_targets)) {
+        ++pred_count[s];
+      }
+    }
+    ++ps->items;
+    std::set<uint32_t> merged_pcs;
+    for (auto& [pc, a] : m.blocks) {
+      // Chain-merge: after absorbing its target the block may end in another
+      // mergeable jump/fallthrough, so keep going until a condition breaks.
+      while (a.term == Term::kJump || a.term == Term::kFallthrough) {
         uint32_t target = a.target;
         if (target == pc || keep.count(target) != 0) {
-          continue;
+          break;
         }
         auto bit = m.blocks.find(target);
         if (bit == m.blocks.end()) {
-          continue;
+          break;
         }
-        auto pit = maps.pred.find(target);
-        if (pit == maps.pred.end() || pit->second.size() != 1) {
-          continue;
+        auto pit = pred_count.find(target);
+        if (pit == pred_count.end() || pit->second != 1) {
+          break;
         }
         const Block& b = bit->second;
         int32_t offset = a.num_temps;
@@ -596,16 +609,19 @@ class MergeFallthroughPass : public SynthPass {
           m.indirect_targets[pc].insert(iit->second.begin(), iit->second.end());
           m.indirect_targets.erase(iit);
         }
-        m.blocks.erase(target);
-        for (auto& [entry, fn] : m.functions) {
-          auto it = std::find(fn.block_pcs.begin(), fn.block_pcs.end(), target);
-          if (it != fn.block_pcs.end()) {
-            fn.block_pcs.erase(it);
-          }
-        }
+        pred_count.erase(pit);  // its one in-edge (from `a`) died with the merge
+        m.blocks.erase(bit);
+        merged_pcs.insert(target);
         ++ps->rewritten;
-        merged_any = true;
-        break;  // block map mutated; rebuild the cfg maps and rescan
+      }
+    }
+    if (!merged_pcs.empty()) {
+      for (auto& [entry, fn] : m.functions) {
+        fn.block_pcs.erase(std::remove_if(fn.block_pcs.begin(), fn.block_pcs.end(),
+                                          [&](uint32_t bpc) {
+                                            return merged_pcs.count(bpc) != 0;
+                                          }),
+                           fn.block_pcs.end());
       }
     }
     ctx.stats.blocks_merged += ps->rewritten;

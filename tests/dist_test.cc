@@ -265,27 +265,28 @@ TEST(DistExercise, WorkerCrashFailsOverToIdenticalBytes) {
   EXPECT_GE(stats.failovers, 1u);
 }
 
-// ---- deprecated-field shims ----
+// ---- plan resolution (PR 9: shims removed) ----
 
-TEST(DistExercise, LegacyFieldsResolveIntoThePlan) {
+TEST(DistExercise, ResolvedPlanIsConfigPlanVerbatim) {
   core::EngineConfig cfg;
-  cfg.exercise_threads = 3;
-  cfg.spine_replay_fanout = true;
+  cfg.plan.threads = 3;
+  cfg.plan.fan_out = core::FanOut::kSpineReplay;
   std::string error;
-  ASSERT_TRUE(hw::ParseFaultPlan("7:all=0.01", &cfg.faults, &error)) << error;
+  ASSERT_TRUE(hw::ParseFaultPlan("7:all=0.01", &cfg.plan.faults, &error)) << error;
   core::ExercisePlan plan = core::ResolveExercisePlan(cfg);
   EXPECT_EQ(plan.threads, 3u);
   EXPECT_EQ(plan.fan_out, core::FanOut::kSpineReplay);
   EXPECT_TRUE(plan.faults.Enabled());
 
-  // An explicit plan wins over the deprecated fields.
+  // Pre-PR 9, fan_out's default was indistinguishable from "unset", so a
+  // legacy spine_replay_fanout bool could bleed through an explicitly
+  // defaulted plan. With the shims gone, setting the field back to its
+  // default means exactly that.
   cfg.plan.threads = 2;
   cfg.plan.fan_out = core::FanOut::kSnapshotRestore;
   plan = core::ResolveExercisePlan(cfg);
   EXPECT_EQ(plan.threads, 2u);
-  // fan_out's plan default is indistinguishable from "unset", so the legacy
-  // bool still applies -- documented in the migration table.
-  EXPECT_EQ(plan.fan_out, core::FanOut::kSpineReplay);
+  EXPECT_EQ(plan.fan_out, core::FanOut::kSnapshotRestore);
 }
 
 // ---- the perf contract ----

@@ -172,7 +172,8 @@ TEST_P(DriverMatrixTest, BidirectionalTrafficStress) {
 
 INSTANTIATE_TEST_SUITE_P(AllDrivers, DriverMatrixTest,
                          ::testing::Values(DriverId::kRtl8029, DriverId::kRtl8139,
-                                           DriverId::kPcnet, DriverId::kSmc91c111),
+                                           DriverId::kPcnet, DriverId::kSmc91c111,
+                                           DriverId::kEl3),
                          [](const ::testing::TestParamInfo<DriverId>& info) {
                            return drivers::DriverName(info.param);
                          });

@@ -47,8 +47,8 @@ TEST_P(FaultSoakTest, EveryFaultKindExercisesCleanly) {
   const uint64_t work = SoakWork(4'000);
   for (unsigned k = 0; k < hw::kNumFaultKinds; ++k) {
     core::EngineConfig cfg = SoakConfig(id, work);
-    cfg.faults.seed = 100 + k;
-    cfg.faults.set_rate(static_cast<FaultKind>(k), 0.2);
+    cfg.plan.faults.seed = 100 + k;
+    cfg.plan.faults.set_rate(static_cast<FaultKind>(k), 0.2);
     core::Session s(drivers::DriverImage(id), cfg);
     ASSERT_TRUE(s.Exercise())
         << drivers::DriverName(id) << " under " << hw::FaultKindName(static_cast<FaultKind>(k));
@@ -65,8 +65,8 @@ TEST_P(FaultSoakTest, CombinedPlanSurvivesParallelExerciseAndSynthesis) {
   const DriverId id = GetParam();
   core::EngineConfig cfg = SoakConfig(id, SoakWork(4'000) * 2);
   std::string error;
-  ASSERT_TRUE(hw::ParseFaultPlan("4242:all=0.1", &cfg.faults, &error)) << error;
-  cfg.exercise_threads = 2;
+  ASSERT_TRUE(hw::ParseFaultPlan("4242:all=0.1", &cfg.plan.faults, &error)) << error;
+  cfg.plan.threads = 2;
   core::Session s(drivers::DriverImage(id), cfg);
   ASSERT_TRUE(s.Exercise()) << drivers::DriverName(id);
   EXPECT_EQ(s.engine().snapshot_restore_failures, 0u);
@@ -79,7 +79,8 @@ TEST_P(FaultSoakTest, CombinedPlanSurvivesParallelExerciseAndSynthesis) {
 
 INSTANTIATE_TEST_SUITE_P(AllDrivers, FaultSoakTest,
                          ::testing::Values(DriverId::kRtl8029, DriverId::kRtl8139,
-                                           DriverId::kPcnet, DriverId::kSmc91c111),
+                                           DriverId::kPcnet, DriverId::kSmc91c111,
+                                           DriverId::kEl3),
                          [](const ::testing::TestParamInfo<DriverId>& info) {
                            return std::string(drivers::DriverName(info.param));
                          });

@@ -480,7 +480,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{DriverId::kRtl8029, TargetOs::kWindows},
                       std::tuple{DriverId::kRtl8139, TargetOs::kLinux},
                       std::tuple{DriverId::kPcnet, TargetOs::kKitos},
-                      std::tuple{DriverId::kSmc91c111, TargetOs::kUcos}),
+                      std::tuple{DriverId::kSmc91c111, TargetOs::kUcos},
+                      std::tuple{DriverId::kEl3, TargetOs::kKitos}),
     FaultedName);
 
 }  // namespace

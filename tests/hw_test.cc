@@ -1,7 +1,8 @@
-// Direct register-level tests of the four NIC device models.
+// Direct register-level tests of the five NIC device models.
 #include <gtest/gtest.h>
 
 #include "hw/counting.h"
+#include "hw/el3.h"
 #include "hw/ne2000.h"
 #include "hw/pcnet.h"
 #include "hw/rtl8139.h"
@@ -350,6 +351,198 @@ TEST_F(Smc91Test, PacketPoolExhaustion) {
     }
   }
   EXPECT_EQ(got, static_cast<int>(Smc91c111::kNumPackets));
+}
+
+// ---- EtherLink III (el3) ----
+
+class El3Test : public ::testing::Test {
+ protected:
+  uint32_t base() const { return dev_.pci().io_base; }
+  uint32_t Rd(uint32_t reg, unsigned size = 2) { return dev_.IoRead(base() + reg, size); }
+  void Wr(uint32_t reg, uint32_t v, unsigned size = 2) { dev_.IoWrite(base() + reg, size, v); }
+  void Cmd(uint16_t op, uint16_t arg = 0) {
+    Wr(El3::kRegCmdStatus, static_cast<uint16_t>((op << 11) | arg));
+  }
+
+  void Activate() {
+    Wr(El3::kRegIdPort, El3::kIdSequence0, 1);
+    Wr(El3::kRegIdPort, El3::kIdSequence1, 1);
+    Wr(El3::kRegIdPort, El3::kIdActivate, 1);
+    ASSERT_TRUE(dev_.activated());
+  }
+
+  void BringUp() {
+    Activate();
+    Cmd(El3::kCmdSetRxFilter, El3::kFilterStation | El3::kFilterBroadcast);
+    Cmd(El3::kCmdRxEnable);
+    Cmd(El3::kCmdTxEnable);
+    Cmd(El3::kCmdSelectWindow, 1);
+  }
+
+  El3 dev_;
+};
+
+TEST_F(El3Test, InvisibleUntilIdPortActivation) {
+  // Pre-activation the card does not drive the data lines: all-ones reads,
+  // and register writes are ignored.
+  EXPECT_EQ(Rd(El3::kRegCmdStatus, 1), 0xFFu);
+  EXPECT_EQ(Rd(El3::kRegCmdStatus), 0xFFFFu);
+  Cmd(El3::kCmdSelectWindow, 4);
+  EXPECT_EQ(dev_.window(), 0u);
+
+  // A wrong byte mid-sequence restarts the contention protocol...
+  Wr(El3::kRegIdPort, El3::kIdSequence0, 1);
+  Wr(El3::kRegIdPort, 0x42, 1);
+  Wr(El3::kRegIdPort, El3::kIdActivate, 1);
+  EXPECT_FALSE(dev_.activated());
+  // ...including the wrong byte itself counting as a fresh first byte.
+  Wr(El3::kRegIdPort, El3::kIdSequence0, 1);
+  Wr(El3::kRegIdPort, El3::kIdSequence0, 1);  // restart, matches seq0 again
+  Wr(El3::kRegIdPort, El3::kIdSequence1, 1);
+  Wr(El3::kRegIdPort, El3::kIdActivate, 1);
+  EXPECT_TRUE(dev_.activated());
+  EXPECT_NE(Rd(El3::kRegCmdStatus), 0xFFFFu);
+}
+
+TEST_F(El3Test, WindowSelectMultiplexesRegisterFile) {
+  Activate();
+  // Window 0 offset 0 is the manufacturer id; window 2 offset 0 is the
+  // station address -- same offset, different window.
+  Cmd(El3::kCmdSelectWindow, 0);
+  EXPECT_EQ(Rd(0x00), El3::kManufacturerId);
+  Cmd(El3::kCmdSelectWindow, 2);
+  EXPECT_EQ(Rd(0x00) & 0xFF, 0x52u);
+  // The status read echoes the current window in bits 13..15.
+  EXPECT_EQ((Rd(El3::kRegCmdStatus) >> 13) & 7, 2u);
+}
+
+TEST_F(El3Test, EepromHoldsMacAndProductId) {
+  Activate();
+  Cmd(El3::kCmdSelectWindow, 0);
+  MacAddr mac = dev_.mac();
+  for (unsigned w = 0; w < 3; ++w) {
+    Wr(El3::kW0EepromCmd, El3::kEepromRead | w);
+    uint32_t v = Rd(El3::kW0EepromData);
+    EXPECT_EQ(v >> 8, mac[2 * w]);
+    EXPECT_EQ(v & 0xFF, mac[2 * w + 1]);
+  }
+  Wr(El3::kW0EepromCmd, El3::kEepromRead | 3);
+  EXPECT_EQ(Rd(El3::kW0EepromData), El3::kEepromProductId);
+  // Without the read opcode the data register stays quiet.
+  Wr(El3::kW0EepromCmd, 3);
+  EXPECT_EQ(Rd(El3::kW0EepromData), 0u);
+}
+
+TEST_F(El3Test, TxFifoProtocolEmitsFrameAndRaisesStatus) {
+  BringUp();
+  std::vector<Frame> sent;
+  dev_.set_tx_hook([&sent](const Frame& f) { sent.push_back(f); });
+
+  Frame f = BuildUdpFrame(dev_.mac(), {7, 8, 9, 10, 11, 12}, 31, 0x5A);
+  Wr(El3::kW1Fifo, static_cast<uint16_t>(f.size()));  // length preamble
+  Wr(El3::kW1Fifo, 0);                                // zero pad word
+  // Payload as halfwords, little-endian, padded to even length.
+  for (size_t i = 0; i < f.size(); i += 2) {
+    uint16_t hw = f[i];
+    if (i + 1 < f.size()) hw |= f[i + 1] << 8;
+    Wr(El3::kW1Fifo, hw);
+    if (i + 2 < f.size()) EXPECT_EQ(sent.size(), 0u);  // nothing until the last halfword
+  }
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0], f);
+  EXPECT_EQ(dev_.stats().tx_frames, 1u);
+  uint32_t status = Rd(El3::kRegCmdStatus);
+  EXPECT_NE(status & El3::kStatTxComplete, 0u);
+  EXPECT_NE(status & El3::kStatTxAvail, 0u);
+  Cmd(El3::kCmdAckIntr, El3::kStatTxComplete | El3::kStatTxAvail);
+  EXPECT_EQ(Rd(El3::kRegCmdStatus) & (El3::kStatTxComplete | El3::kStatTxAvail), 0u);
+}
+
+TEST_F(El3Test, RxStreamAndDiscardWalkTheFifo) {
+  BringUp();
+  Frame a = BuildUdpFrame({1, 2, 3, 4, 5, 6}, dev_.mac(), 40, 0x11);
+  Frame b = BuildUdpFrame({1, 2, 3, 4, 5, 6}, dev_.mac(), 21, 0x22);
+  ASSERT_TRUE(dev_.InjectReceive(a));
+  ASSERT_TRUE(dev_.InjectReceive(b));
+  EXPECT_NE(Rd(El3::kRegCmdStatus) & El3::kStatRxComplete, 0u);
+
+  for (const Frame& want : {a, b}) {
+    uint32_t rx_status = Rd(El3::kW1RxStatus);
+    ASSERT_EQ(rx_status & El3::kRxStatusIncomplete, 0u);
+    ASSERT_EQ(rx_status & 0x07FF, want.size());
+    Frame got;
+    for (size_t i = 0; i < want.size(); i += 2) {
+      uint32_t hw = Rd(El3::kW1Fifo);
+      got.push_back(static_cast<uint8_t>(hw));
+      if (i + 1 < want.size()) got.push_back(static_cast<uint8_t>(hw >> 8));
+    }
+    EXPECT_EQ(got, want);
+    Cmd(El3::kCmdRxDiscard);
+  }
+  EXPECT_NE(Rd(El3::kW1RxStatus) & El3::kRxStatusIncomplete, 0u);
+  EXPECT_EQ(Rd(El3::kRegCmdStatus) & El3::kStatRxComplete, 0u);
+}
+
+TEST_F(El3Test, RxFifoCapsAtEightFrames) {
+  BringUp();
+  Frame f = BuildUdpFrame({1, 2, 3, 4, 5, 6}, dev_.mac(), 20, 0);
+  for (size_t i = 0; i < El3::kRxFifoFrames; ++i) EXPECT_TRUE(dev_.InjectReceive(f));
+  EXPECT_FALSE(dev_.InjectReceive(f));  // ninth frame drops at the FIFO mouth
+  EXPECT_EQ(dev_.stats().rx_frames, El3::kRxFifoFrames);
+  EXPECT_EQ(dev_.stats().rx_dropped, 1u);
+  Cmd(El3::kCmdRxDiscard);
+  EXPECT_TRUE(dev_.InjectReceive(f));  // discard frees a slot
+}
+
+TEST_F(El3Test, AllMulticastFilterHasNoHashBuckets) {
+  BringUp();
+  MacAddr mc = {0x01, 0x00, 0x5E, 0x00, 0x00, 0x01};
+  // Station+broadcast filter: multicast rejected.
+  EXPECT_FALSE(dev_.MulticastAccepts(mc));
+  Frame f = BuildUdpFrame({2, 0, 0, 0, 0, 1}, mc, 20, 0);
+  EXPECT_FALSE(dev_.InjectReceive(f));
+  // The multicast bit means *all* multicast -- every group address passes.
+  Cmd(El3::kCmdSetRxFilter,
+      El3::kFilterStation | El3::kFilterBroadcast | El3::kFilterMulticast);
+  EXPECT_TRUE(dev_.MulticastAccepts(mc));
+  MacAddr other_mc = {0x01, 0xFF, 0xEE, 0xDD, 0xCC, 0xBB};
+  EXPECT_TRUE(dev_.MulticastAccepts(other_mc));
+  EXPECT_TRUE(dev_.InjectReceive(f));
+  // Unicast (non-station) still needs promiscuous.
+  MacAddr uni = {0x02, 0, 0, 0, 0, 1};
+  EXPECT_FALSE(dev_.MulticastAccepts(uni));
+}
+
+TEST_F(El3Test, MediaAndDiagRegistersDriveDuplexAndLeds) {
+  Activate();
+  Cmd(El3::kCmdSelectWindow, 4);
+  EXPECT_FALSE(dev_.full_duplex());
+  Wr(El3::kW4Media, El3::kMediaFullDuplex);
+  EXPECT_TRUE(dev_.full_duplex());
+  Wr(El3::kW4NetDiag, 0x2B);
+  EXPECT_EQ(dev_.led_state(), 0x2B);
+  EXPECT_EQ(Rd(El3::kW4NetDiag), 0x2Bu);
+}
+
+TEST_F(El3Test, TotalResetClearsRegistersButKeepsActivation) {
+  BringUp();
+  Cmd(El3::kCmdSelectWindow, 2);
+  Wr(0x00, 0xBBAA);  // overwrite two station-address bytes
+  EXPECT_EQ(dev_.mac()[0], 0xAA);
+
+  // TotalReset is a register-file reset: the card stays on the bus.
+  Cmd(El3::kCmdTotalReset);
+  EXPECT_TRUE(dev_.activated());
+  EXPECT_EQ(dev_.window(), 0u);
+  EXPECT_FALSE(dev_.rx_enabled());
+  EXPECT_FALSE(dev_.tx_enabled());
+  EXPECT_EQ(dev_.mac()[0], 0x52);  // station address back to the EEPROM MAC
+  EXPECT_EQ(Rd(El3::kW0ManufacturerId), El3::kManufacturerId);
+
+  // A full power-on Reset() drops the card off the bus again.
+  dev_.Reset();
+  EXPECT_FALSE(dev_.activated());
+  EXPECT_EQ(Rd(El3::kRegCmdStatus), 0xFFFFu);
 }
 
 TEST(CountingProxyTest, CountsReadsAndWrites) {

@@ -1,9 +1,9 @@
-// Parallel exercising (EngineConfig::exercise_threads >= 2): determinism
-// across thread counts, exact legacy equivalence at 1 thread, coverage
-// parity and downstream-output parity vs the sequential exerciser,
-// cooperative cancel draining the worker pool, checkpoint interop between
-// parallel and sequential sessions, the RunBatch thread-budget split, and
-// the JSONL coverage sink.
+// Parallel exercising (ExercisePlan::threads >= 2): determinism across
+// thread counts, exact legacy equivalence at 1 thread, coverage parity and
+// downstream-output parity vs the sequential exerciser, cooperative cancel
+// draining the worker pool, checkpoint interop between parallel and
+// sequential sessions, the RunBatch plan-budget split, and the JSONL
+// coverage sink.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -33,7 +33,7 @@ core::EngineConfig SmallConfig(DriverId id, uint64_t max_work = 60'000) {
 // runs' complete observable exercise output.
 std::vector<uint8_t> ExerciseBlob(DriverId id, unsigned threads, uint64_t max_work = 60'000) {
   core::EngineConfig cfg = SmallConfig(id, max_work);
-  cfg.exercise_threads = threads;
+  cfg.plan.threads = threads;
   core::Session s(drivers::DriverImage(id), cfg);
   EXPECT_TRUE(s.Exercise());
   return s.SaveCheckpoint();
@@ -55,7 +55,7 @@ TEST(ParallelExercise, ByteIdenticalAcrossRepeatedRuns) {
 }
 
 TEST(ParallelExercise, OneThreadIsExactlyTheLegacyPath) {
-  // exercise_threads' default (1) and an explicit 1 must both take the
+  // plan.threads' default (1) and an explicit 1 must both take the
   // sequential code path and agree byte-for-byte.
   core::EngineConfig legacy_cfg = SmallConfig(DriverId::kRtl8029);
   core::Session legacy(drivers::DriverImage(DriverId::kRtl8029), legacy_cfg);
@@ -70,8 +70,8 @@ TEST(ParallelExercise, FaultedExerciseByteIdenticalAcrossThreadCounts) {
   auto faulted = [](unsigned threads) {
     core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
     std::string error;
-    EXPECT_TRUE(hw::ParseFaultPlan("99:all=0.08", &cfg.faults, &error)) << error;
-    cfg.exercise_threads = threads;
+    EXPECT_TRUE(hw::ParseFaultPlan("99:all=0.08", &cfg.plan.faults, &error)) << error;
+    cfg.plan.threads = threads;
     core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
     EXPECT_TRUE(s.Exercise());
     EXPECT_GT(s.engine().fault_stats.TotalInjected(), 0u);
@@ -94,7 +94,7 @@ TEST(ParallelExercise, CoverageAndSynthesisParityWithSequential) {
     ASSERT_TRUE(seq.Synthesize());
 
     core::EngineConfig par_cfg = SmallConfig(id);
-    par_cfg.exercise_threads = 4;
+    par_cfg.plan.threads = 4;
     core::Session par(drivers::DriverImage(id), par_cfg);
     ASSERT_TRUE(par.Synthesize());
 
@@ -120,7 +120,7 @@ TEST(ParallelExercise, CoverageAndSynthesisParityWithSequential) {
 
 TEST(ParallelExercise, MergedTimelineIsMonotone) {
   core::EngineConfig cfg = SmallConfig(DriverId::kPcnet);
-  cfg.exercise_threads = 3;
+  cfg.plan.threads = 3;
   core::Session s(drivers::DriverImage(DriverId::kPcnet), cfg);
   ASSERT_TRUE(s.Exercise());
   const auto& tl = s.engine().timeline;
@@ -137,7 +137,7 @@ TEST(ParallelExercise, MergedTimelineIsMonotone) {
 
 TEST(ParallelExercise, CancelMidRunDrainsWorkersCleanly) {
   core::EngineConfig cfg = SmallConfig(DriverId::kRtl8139, 200'000);
-  cfg.exercise_threads = 4;
+  cfg.plan.threads = 4;
   core::Session s(drivers::DriverImage(DriverId::kRtl8139), cfg);
   std::atomic<uint64_t> polls{0};
   core::SessionObserver obs;
@@ -157,7 +157,7 @@ TEST(ParallelExercise, CancelMidRunDrainsWorkersCleanly) {
 
 TEST(ParallelExercise, CancelFromTheStartStillCompletes) {
   core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
-  cfg.exercise_threads = 4;
+  cfg.plan.threads = 4;
   cfg.cancel = [] { return true; };
   core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
   ASSERT_TRUE(s.Exercise());
@@ -168,7 +168,7 @@ TEST(ParallelExercise, CancelFromTheStartStillCompletes) {
 
 TEST(ParallelExercise, ParallelCheckpointResumesToIdenticalDownstreamOutput) {
   core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
-  cfg.exercise_threads = 4;
+  cfg.plan.threads = 4;
   core::Session par(drivers::DriverImage(DriverId::kRtl8029), cfg);
   ASSERT_TRUE(par.Exercise());
   std::vector<uint8_t> blob = par.SaveCheckpoint();
@@ -201,19 +201,21 @@ TEST(ParallelExercise, SequentialCheckpointResumesUnderParallelConfigTimes) {
 
 // ---- RunBatch composition ----
 
-TEST(ParallelExercise, BatchThreadBudgetMatchesStandaloneParallelRuns) {
+TEST(ParallelExercise, BatchPlanBudgetMatchesStandaloneParallelRuns) {
   std::vector<core::BatchJob> jobs;
   for (DriverId id : {DriverId::kRtl8029, DriverId::kSmc91c111}) {
     core::BatchJob job;
     job.name = drivers::DriverName(id);
     job.image = &drivers::DriverImage(id);
     job.config = SmallConfig(id);
-    job.config.exercise_threads = 0;  // defer to the batch's split
+    job.config.plan.threads = 0;  // defer to the batch's split
     jobs.push_back(std::move(job));
   }
   core::BatchOptions options;
   options.concurrency = 2;
-  options.thread_budget = 4;  // outer 2 x inner 2
+  core::ExercisePlan budget;
+  budget.threads = 4;  // outer 2 x inner 2
+  options.plan = budget;
   core::BatchResult batch = core::RunBatch(jobs, options);
   ASSERT_TRUE(batch.AllOk());
   EXPECT_EQ(batch.concurrency, 2u);
@@ -223,7 +225,7 @@ TEST(ParallelExercise, BatchThreadBudgetMatchesStandaloneParallelRuns) {
   for (size_t i = 0; i < jobs.size(); ++i) {
     DriverId id = i == 0 ? DriverId::kRtl8029 : DriverId::kSmc91c111;
     core::EngineConfig cfg = SmallConfig(id);
-    cfg.exercise_threads = 2;
+    cfg.plan.threads = 2;
     core::Session standalone(drivers::DriverImage(id), cfg);
     ASSERT_TRUE(standalone.Synthesize());
     EXPECT_EQ(batch.jobs[i].result.c_source, standalone.c_source()) << batch.jobs[i].name;
@@ -232,7 +234,7 @@ TEST(ParallelExercise, BatchThreadBudgetMatchesStandaloneParallelRuns) {
   }
 
   // An explicit per-job setting wins over the budget.
-  jobs[0].config.exercise_threads = 1;
+  jobs[0].config.plan.threads = 1;
   core::BatchResult explicit_batch = core::RunBatch(jobs, options);
   ASSERT_TRUE(explicit_batch.AllOk());
   core::Session seq(drivers::DriverImage(DriverId::kRtl8029), SmallConfig(DriverId::kRtl8029));
@@ -240,90 +242,63 @@ TEST(ParallelExercise, BatchThreadBudgetMatchesStandaloneParallelRuns) {
   EXPECT_EQ(explicit_batch.jobs[0].result.c_source, seq.c_source());
 }
 
-// ---- ExercisePlan migration shims ----
+// ---- ExercisePlan is the only spelling (PR 9 shim removal) ----
 
-TEST(ParallelExercise, DeprecatedThreadFieldMatchesPlanThreads) {
-  // The deprecated exercise_threads spelling and the ExercisePlan spelling
-  // of the same run must produce byte-identical checkpoints (the shim folds
-  // the legacy field into the resolved plan).
-  core::EngineConfig plan_cfg = SmallConfig(DriverId::kRtl8029);
-  plan_cfg.plan.threads = 3;
-  core::Session plan_run(drivers::DriverImage(DriverId::kRtl8029), plan_cfg);
-  ASSERT_TRUE(plan_run.Exercise());
-  EXPECT_EQ(plan_run.SaveCheckpoint(), ExerciseBlob(DriverId::kRtl8029, 3));
+TEST(ParallelExercise, ResolveExercisePlanIsIdentity) {
+  // With the legacy shims gone there is nothing to fold: the resolved plan
+  // must be config.plan verbatim, including the fault plan.
+  core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
+  cfg.plan.threads = 3;
+  cfg.plan.sub_shards = 2;
+  cfg.plan.fan_out = core::FanOut::kSpineReplay;
+  std::string error;
+  ASSERT_TRUE(hw::ParseFaultPlan("99:all=0.08", &cfg.plan.faults, &error)) << error;
+  core::ExercisePlan resolved = core::ResolveExercisePlan(cfg);
+  EXPECT_EQ(resolved.threads, 3u);
+  EXPECT_EQ(resolved.sub_shards, 2u);
+  EXPECT_EQ(resolved.fan_out, core::FanOut::kSpineReplay);
+  EXPECT_EQ(resolved.faults.seed, cfg.plan.faults.seed);
+  EXPECT_TRUE(resolved.faults.Enabled());
 }
 
-TEST(ParallelExercise, DeprecatedSpineReplayFieldMatchesPlanFanOut) {
-  auto blob = [](bool legacy) {
-    core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
-    if (legacy) {
-      cfg.exercise_threads = 2;
-      cfg.spine_replay_fanout = true;
-    } else {
-      cfg.plan.threads = 2;
-      cfg.plan.fan_out = core::FanOut::kSpineReplay;
-    }
-    core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
-    EXPECT_TRUE(s.Exercise());
-    return s.SaveCheckpoint();
-  };
-  std::vector<uint8_t> legacy = blob(true);
-  ASSERT_FALSE(legacy.empty());
-  EXPECT_EQ(legacy, blob(false));
-}
-
-TEST(ParallelExercise, DeprecatedFaultsFieldMatchesPlanFaults) {
-  auto blob = [](bool legacy) {
-    core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
-    cfg.exercise_threads = 2;
+TEST(ParallelExercise, BatchTemplateInheritancePreservesJobFaultPlan) {
+  // PR 9 fold-order fix: a job that defers its thread split
+  // (plan.threads == 0) but carries its own enabled fault plan must keep
+  // those faults when it inherits the batch template's parallelism shape.
+  // Before the fix the template's whole plan replaced the job's, silently
+  // dropping the job's faults.
+  auto make_job = []() {
+    core::BatchJob job;
+    job.name = drivers::DriverName(DriverId::kRtl8029);
+    job.image = &drivers::DriverImage(DriverId::kRtl8029);
+    job.config = SmallConfig(DriverId::kRtl8029);
+    job.config.plan.threads = 0;  // defer to the batch's split
     std::string error;
-    hw::FaultPlan faults;
-    EXPECT_TRUE(hw::ParseFaultPlan("99:all=0.08", &faults, &error)) << error;
-    (legacy ? cfg.faults : cfg.plan.faults) = faults;
-    core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
-    EXPECT_TRUE(s.Exercise());
-    EXPECT_GT(s.engine().fault_stats.TotalInjected(), 0u);
-    return s.SaveCheckpoint();
+    EXPECT_TRUE(hw::ParseFaultPlan("99:all=0.08", &job.config.plan.faults, &error)) << error;
+    return job;
   };
-  std::vector<uint8_t> legacy = blob(true);
-  ASSERT_FALSE(legacy.empty());
-  EXPECT_EQ(legacy, blob(false));
-}
+  core::BatchOptions options;
+  options.concurrency = 1;
+  core::ExercisePlan tmpl;
+  tmpl.threads = 2;  // template has no fault plan of its own
+  options.plan = tmpl;
+  std::vector<core::BatchJob> jobs;
+  jobs.push_back(make_job());
+  core::BatchResult batch = core::RunBatch(jobs, options);
+  ASSERT_TRUE(batch.AllOk());
+  EXPECT_GT(batch.jobs[0].result.engine.fault_stats.TotalInjected(), 0u);
 
-TEST(ParallelExercise, BatchPlanTemplateMatchesThreadBudget) {
-  // BatchOptions::plan is the ExercisePlan spelling of thread_budget: the
-  // same outer x inner split, so the same bytes out of every job.
-  auto run = [](bool use_plan) {
-    std::vector<core::BatchJob> jobs;
-    for (DriverId id : {DriverId::kRtl8029, DriverId::kSmc91c111}) {
-      core::BatchJob job;
-      job.name = drivers::DriverName(id);
-      job.image = &drivers::DriverImage(id);
-      job.config = SmallConfig(id);
-      job.config.exercise_threads = 0;  // defer to the batch's split
-      jobs.push_back(std::move(job));
-    }
-    core::BatchOptions options;
-    options.concurrency = 2;
-    if (use_plan) {
-      core::ExercisePlan plan;
-      plan.threads = 4;
-      options.plan = plan;
-    } else {
-      options.thread_budget = 4;
-    }
-    return core::RunBatch(jobs, options);
-  };
-  core::BatchResult budget = run(false);
-  core::BatchResult plan = run(true);
-  ASSERT_TRUE(budget.AllOk());
-  ASSERT_TRUE(plan.AllOk());
-  for (size_t i = 0; i < budget.jobs.size(); ++i) {
-    EXPECT_EQ(plan.jobs[i].result.c_source, budget.jobs[i].result.c_source)
-        << budget.jobs[i].name;
-    EXPECT_EQ(plan.jobs[i].result.engine.covered_blocks,
-              budget.jobs[i].result.engine.covered_blocks);
-  }
+  // And the bytes match the standalone spelling of the inherited shape:
+  // the job's faults with the template's thread split.
+  core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
+  cfg.plan.threads = 2;
+  std::string error;
+  ASSERT_TRUE(hw::ParseFaultPlan("99:all=0.08", &cfg.plan.faults, &error)) << error;
+  core::Session standalone(drivers::DriverImage(DriverId::kRtl8029), cfg);
+  ASSERT_TRUE(standalone.Synthesize());
+  EXPECT_EQ(batch.jobs[0].result.c_source, standalone.c_source());
+  EXPECT_EQ(batch.jobs[0].result.engine.covered_blocks,
+            standalone.engine().covered_blocks);
 }
 
 // ---- structured coverage log ----
@@ -334,10 +309,10 @@ TEST(ParallelExercise, CoverageStreamsIntoJsonlSink) {
     JsonlWriter sink(path);
     ASSERT_TRUE(sink.ok());
     core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
-    cfg.exercise_threads = 4;
+    cfg.plan.threads = 4;
     cfg.sample_every = 500;
     std::string error;
-    ASSERT_TRUE(hw::ParseFaultPlan("5:reg-corrupt=0.05", &cfg.faults, &error)) << error;
+    ASSERT_TRUE(hw::ParseFaultPlan("5:reg-corrupt=0.05", &cfg.plan.faults, &error)) << error;
     core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
     core::SessionObserver obs;
     obs.on_coverage = core::MakeCoverageJsonlLogger(&sink, "rtl8029");

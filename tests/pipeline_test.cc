@@ -188,7 +188,8 @@ std::string PortedName(const ::testing::TestParamInfo<std::tuple<DriverId, Targe
 }
 
 // The paper's porting matrix (§5.1): PCNet/RTL8139/RTL8029 -> Windows, Linux,
-// KitOS; 91C111 -> uC/OS-II and KitOS.
+// KitOS; 91C111 -> uC/OS-II and KitOS; post-paper el3 -> Windows, Linux,
+// KitOS.
 INSTANTIATE_TEST_SUITE_P(
     PaperPortingMatrix, PortedDriverTest,
     ::testing::Values(std::tuple{DriverId::kRtl8029, TargetOs::kWindows},
@@ -201,7 +202,10 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{DriverId::kPcnet, TargetOs::kLinux},
                       std::tuple{DriverId::kPcnet, TargetOs::kKitos},
                       std::tuple{DriverId::kSmc91c111, TargetOs::kUcos},
-                      std::tuple{DriverId::kSmc91c111, TargetOs::kKitos}),
+                      std::tuple{DriverId::kSmc91c111, TargetOs::kKitos},
+                      std::tuple{DriverId::kEl3, TargetOs::kWindows},
+                      std::tuple{DriverId::kEl3, TargetOs::kLinux},
+                      std::tuple{DriverId::kEl3, TargetOs::kKitos}),
     PortedName);
 
 INSTANTIATE_TEST_SUITE_P(AllDrivers, PipelineTest, ::testing::ValuesIn(RegisteredDrivers()),

@@ -5,6 +5,7 @@
 // driver target registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 
 #include "core/session.h"
@@ -268,6 +269,61 @@ TEST(Session, CheckpointStoreSaltSeparatesDistinctCancelPolicies) {
   EXPECT_TRUE(collide_b->engine().cancelled);
 }
 
+TEST(Session, CheckpointStoreEvictionNeverChangesResumedBytes) {
+  auto& store = core::CheckpointStore::Global();
+  const isa::Image& image = drivers::DriverImage(DriverId::kRtl8029);
+  core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
+
+  // Two fresh entries so the tightened budget below has a victim.
+  auto a = store.Resume("session_test/evict_a", image, cfg);
+  std::vector<uint8_t> a_bytes = a->SaveCheckpoint();
+  store.Resume("session_test/evict_b", image, cfg);
+  size_t resident = store.CachedBytes();
+  ASSERT_GT(resident, 0u);
+
+  // A one-byte budget drops everything except the most recently resumed
+  // entry (never a victim), so the total shrinks but stays nonzero.
+  size_t old_budget = store.SetBudgetBytes(1);
+  size_t survivor = store.CachedBytes();
+  EXPECT_LT(survivor, resident);
+  EXPECT_GT(survivor, 0u);
+
+  // Resuming the evicted entry re-exercises deterministically: the caller
+  // sees byte-identical checkpoint content, eviction is invisible.
+  auto again = store.Resume("session_test/evict_a", image, cfg);
+  EXPECT_EQ(again->SaveCheckpoint(), a_bytes);
+  // And the store stays bounded: still exactly one resident entry.
+  EXPECT_LE(store.CachedBytes(), std::max(survivor, a_bytes.size() * 2));
+
+  store.SetBudgetBytes(old_budget);
+}
+
+TEST(Registry, DriverImageCacheEvictionIsBoundedAndTransparent) {
+  // Copy one image's bytes before tightening (references handed out by
+  // DriverImage can be invalidated by later calls once eviction is live).
+  std::vector<uint8_t> el3_code = drivers::DriverImage(DriverId::kEl3).code;
+
+  // A one-byte budget caps residency at a single image: after each lookup
+  // the cache holds exactly that driver's footprint, and a second sweep
+  // reproduces the same residency numbers -- eviction is bounded and
+  // re-assembly deterministic.
+  size_t old_budget = drivers::SetDriverImageCacheBudget(1);
+  std::vector<size_t> resident;
+  for (const drivers::TargetInfo& t : drivers::AllTargets()) {
+    EXPECT_FALSE(drivers::DriverImage(t.id).code.empty());
+    resident.push_back(drivers::DriverImageCacheBytes());
+  }
+  size_t i = 0;
+  for (const drivers::TargetInfo& t : drivers::AllTargets()) {
+    EXPECT_FALSE(drivers::DriverImage(t.id).code.empty());
+    EXPECT_EQ(drivers::DriverImageCacheBytes(), resident[i++]) << t.name;
+  }
+  // Post-eviction re-assembly returns byte-identical code.
+  EXPECT_EQ(drivers::DriverImage(DriverId::kEl3).code, el3_code);
+
+  drivers::SetDriverImageCacheBudget(old_budget);
+}
+
 // ---- batch ----
 
 TEST(Session, BatchOverRegistryMatchesSequentialRuns) {
@@ -324,7 +380,7 @@ TEST(Session, BatchReportsBadJob) {
 
 TEST(Registry, ListsAllDriversAndFindsByName) {
   const std::vector<drivers::TargetInfo>& targets = drivers::AllTargets();
-  ASSERT_EQ(targets.size(), 4u);
+  ASSERT_EQ(targets.size(), 5u);
   for (const drivers::TargetInfo& t : targets) {
     EXPECT_STREQ(t.name, drivers::DriverName(t.id));
     EXPECT_STREQ(t.file, drivers::DriverFileName(t.id));

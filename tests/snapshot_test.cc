@@ -22,7 +22,8 @@ namespace {
 using drivers::DriverId;
 
 constexpr DriverId kAllDrivers[] = {DriverId::kRtl8029, DriverId::kRtl8139,
-                                    DriverId::kPcnet, DriverId::kSmc91c111};
+                                    DriverId::kPcnet, DriverId::kSmc91c111,
+                                    DriverId::kEl3};
 
 core::EngineConfig SmallConfig(DriverId id, uint64_t max_work = 48'000) {
   core::EngineConfig cfg;
@@ -36,8 +37,8 @@ core::EngineConfig SmallConfig(DriverId id, uint64_t max_work = 48'000) {
 // byte-comparing two blobs compares two runs' complete observable output.
 std::vector<uint8_t> ExerciseBlob(DriverId id, unsigned threads, bool spine_replay) {
   core::EngineConfig cfg = SmallConfig(id);
-  cfg.exercise_threads = threads;
-  cfg.spine_replay_fanout = spine_replay;
+  cfg.plan.threads = threads;
+  cfg.plan.fan_out = spine_replay ? core::FanOut::kSpineReplay : core::FanOut::kSnapshotRestore;
   core::Session s(drivers::DriverImage(id), cfg);
   EXPECT_TRUE(s.Exercise());
   return s.SaveCheckpoint();
@@ -70,7 +71,7 @@ TEST(SnapshotHandoff, DownstreamSynthesisMatchesSequential) {
     ASSERT_TRUE(seq.Synthesize());
 
     core::EngineConfig par_cfg = SmallConfig(id);
-    par_cfg.exercise_threads = 4;
+    par_cfg.plan.threads = 4;
     core::Session par(drivers::DriverImage(id), par_cfg);
     ASSERT_TRUE(par.Synthesize());
 
@@ -90,9 +91,9 @@ TEST(SnapshotHandoff, DownstreamSynthesisMatchesSequential) {
 std::vector<uint8_t> FaultedBlob(DriverId id, unsigned threads, bool spine_replay) {
   core::EngineConfig cfg = SmallConfig(id);
   std::string error;
-  EXPECT_TRUE(hw::ParseFaultPlan("99:all=0.08", &cfg.faults, &error)) << error;
-  cfg.exercise_threads = threads;
-  cfg.spine_replay_fanout = spine_replay;
+  EXPECT_TRUE(hw::ParseFaultPlan("99:all=0.08", &cfg.plan.faults, &error)) << error;
+  cfg.plan.threads = threads;
+  cfg.plan.fan_out = spine_replay ? core::FanOut::kSpineReplay : core::FanOut::kSnapshotRestore;
   core::Session s(drivers::DriverImage(id), cfg);
   EXPECT_TRUE(s.Exercise());
   return s.SaveCheckpoint();
@@ -121,7 +122,7 @@ TEST(SnapshotHandoff, FaultedExerciseStaysByteIdenticalAcrossFanOutModes) {
 TEST(SnapshotHandoff, FaultedCheckpointRoundTripsWithFaultState) {
   core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029, 20'000);
   std::string error;
-  ASSERT_TRUE(hw::ParseFaultPlan("7:reg-corrupt=0.1,irq-drop=0.2", &cfg.faults, &error))
+  ASSERT_TRUE(hw::ParseFaultPlan("7:reg-corrupt=0.1,irq-drop=0.2", &cfg.plan.faults, &error))
       << error;
   core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
   ASSERT_TRUE(s.Exercise());
@@ -213,7 +214,7 @@ TEST(SnapshotHandoff, AssertOnlyOnFinalMergedCoverage) {
   // follow-ups" -- so tests must never compare mid-run samples across runs.
   // This test intentionally asserts on the final sample alone.
   core::EngineConfig cfg = SmallConfig(DriverId::kRtl8029);
-  cfg.exercise_threads = 4;
+  cfg.plan.threads = 4;
   cfg.sample_every = 512;
   core::Session s(drivers::DriverImage(DriverId::kRtl8029), cfg);
   std::vector<core::CoverageSample> samples;

@@ -169,9 +169,9 @@ struct Fixture {
   std::vector<os::EntryPoint> entries;
   synth::SynthContext ctx;
 
-  explicit Fixture(std::map<uint32_t, Block> blocks) {
+  explicit Fixture(std::map<uint32_t, Block> blocks, uint32_t code_end = 0x400100) {
     bundle.code_begin = 0x400000;
-    bundle.code_end = 0x400100;
+    bundle.code_end = code_end;
     bundle.entry = 0x400000;
     for (auto& [pc, b] : blocks) {
       b.guest_pc = pc;
@@ -248,6 +248,36 @@ TEST(CleanupPasses, MergeFallthroughAbsorbsSinglePredBlocks) {
   // Guest-instruction accounting is preserved across the merge.
   EXPECT_EQ(merged.guest_size, 16u);
   // The function's block list no longer names the absorbed block.
+  const synth::RecoveredFunction* fn = f.ctx.module.FunctionAt(0x400000);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->block_pcs, (std::vector<uint32_t>{0x400000}));
+}
+
+TEST(CleanupPasses, MergeFallthroughIsLinearOnLongChains) {
+  // A ~2k-block straight-line jump chain: every interior block has exactly
+  // one predecessor and is not addressable, so the whole chain collapses
+  // into the entry block. The old implementation rebuilt the full cfg maps
+  // after every merge -- O(blocks) work per merge, quadratic on exactly this
+  // shape. The incremental rewrite builds the pred counts once (ps.items)
+  // no matter how many merges happen.
+  constexpr uint32_t kChain = 2048;
+  std::map<uint32_t, Block> blocks;
+  for (uint32_t i = 0; i < kChain; ++i) {
+    uint32_t pc = 0x400000 + i * 8;
+    Block b = i + 1 < kChain ? SimpleBlock(Term::kJump, pc + 8) : SimpleBlock(Term::kRet, 0);
+    b.instrs[0].imm = i;  // make each block's payload distinct
+    blocks.emplace(pc, b);
+  }
+  Fixture f(std::move(blocks), /*code_end=*/0x400000 + kChain * 8);
+
+  PassStats ps = f.Apply(synth::MakeMergeFallthroughPass());
+  EXPECT_EQ(ps.rewritten, kChain - 1);
+  EXPECT_EQ(ps.items, 1u) << "pred maps must be built once, not once per merge";
+  ASSERT_EQ(f.ctx.module.blocks.size(), 1u);
+  const Block& merged = f.ctx.module.blocks.at(0x400000);
+  EXPECT_EQ(merged.term, Term::kRet);
+  EXPECT_EQ(merged.instrs.size(), kChain);
+  // The function's block list collapsed with the chain.
   const synth::RecoveredFunction* fn = f.ctx.module.FunctionAt(0x400000);
   ASSERT_NE(fn, nullptr);
   EXPECT_EQ(fn->block_pcs, (std::vector<uint32_t>{0x400000}));
