@@ -21,6 +21,13 @@
 //                          (RDP1 over socketpairs); byte-identical to the
 //                          in-process modes, with in-process failover on any
 //                          worker failure. 0 (default) = in-process.
+//   --fleet=N              replace the static outer x inner split with one
+//                          batch-global N-lane fleet scheduler (the PR 10
+//                          tentpole): all drivers' fan-out tasks share the
+//                          lanes, longest-estimated-chain first. Byte-
+//                          identical to the static split for every N.
+//   --no-steal             keep fleet tasks on their home lanes (no work
+//                          stealing); byte-identical either way.
 //   --spine-replay         use the PR 3 fan-out strategy (every worker
 //                          replays the spine prefix, O(S^2) spine work)
 //                          instead of the default snapshot handoff (O(S)).
@@ -71,6 +78,10 @@ int main(int argc, char** argv) {
       plan.sub_shards = static_cast<unsigned>(atoi(argv[i] + 13));
     } else if (strncmp(argv[i], "--dist-workers=", 15) == 0) {
       plan.worker_processes = static_cast<unsigned>(atoi(argv[i] + 15));
+    } else if (strncmp(argv[i], "--fleet=", 8) == 0) {
+      plan.fleet = static_cast<unsigned>(atoi(argv[i] + 8));
+    } else if (strcmp(argv[i], "--no-steal") == 0) {
+      plan.steal = false;
     } else if (strncmp(argv[i], "--coverage-log=", 15) == 0) {
       coverage_log = argv[i] + 15;
     } else {
@@ -103,6 +114,11 @@ int main(int argc, char** argv) {
     job.config.pci = drivers::DriverPci(t.id);
     job.config.sample_every = 100;  // fine-grained timeline
     job.config.plan = plan;
+    if (plan.fleet >= 1) {
+      // Fleet mode: defer sizing to the batch template so the job joins the
+      // shared scheduler (RunBatch forces the inherited plan parallel-shaped).
+      job.config.plan.threads = 0;
+    }
     if (log_sink != nullptr) {
       job.config.on_coverage = core::MakeCoverageJsonlLogger(log_sink.get(), t.name);
     }
@@ -116,6 +132,13 @@ int main(int argc, char** argv) {
   if (plan.threads > 1) {
     unsigned hw = std::thread::hardware_concurrency();
     options.concurrency = std::max(1u, (hw == 0 ? 2 : hw) / plan.threads);
+  }
+  if (plan.fleet >= 1) {
+    core::ExercisePlan tpl = plan;
+    if (tpl.threads <= 1) {
+      tpl.threads = 0;  // no explicit budget; RunBatch sizes the inner split
+    }
+    options.plan = tpl;
   }
   auto wall_start = std::chrono::steady_clock::now();
   core::BatchResult batch = core::RunBatch(jobs, options);
@@ -131,6 +154,13 @@ int main(int argc, char** argv) {
                                                            : "snapshot-restore")
              : "n/a",
          wall_s);
+  if (batch.fleet_used) {
+    printf("(fleet: workers=%u steal=%s tasks=%u real-steals=%u makespan=%llu "
+           "static-split=%llu)\n",
+           batch.fleet.workers, batch.fleet.steal ? "on" : "off", batch.fleet.tasks,
+           batch.fleet.real_steals, (unsigned long long)batch.fleet.makespan,
+           (unsigned long long)batch.fleet.static_makespan);
+  }
   if (plan.faults.Enabled()) {
     printf("(fault plan: %s)\n", hw::FormatFaultPlan(plan.faults).c_str());
   }

@@ -11,6 +11,7 @@
 //   --json=PATH   machine-readable results (BENCH_pr8.json in CI)
 //   --driver=NAME sweep a different registry target (default: pcnet, the
 //                 heaviest per-step driver and the ledger's reference)
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@ struct SweepRow {
   unsigned workers = 0;
   revnic::core::FanOut fan_out = revnic::core::FanOut::kSnapshotRestore;
   revnic::core::ParallelExerciseStats stats;
+  revnic::bench::WorkHistogram hist;
   uint64_t total_work = 0;
   double coverage = 0;
   bool ok = false;
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
       continue;
     }
     row.stats = s.engine().parallel;
+    row.hist = bench::SummarizeTaskWorks(row.stats.task_works);
     row.total_work = s.engine().stats.work;
     row.coverage = s.engine().CoveragePercent();
   }
@@ -88,18 +91,19 @@ int main(int argc, char** argv) {
   printf("driver: %s (work units are executed translation blocks -- "
          "machine-independent)\n\n",
          target->name);
-  printf("%-34s %10s %10s %10s %10s %8s %9s\n", "plan", "critical", "spine", "max-chain",
-         "enum-ovh", "tasks", "coverage");
+  printf("%-34s %10s %10s %10s %8s %9s   %s\n", "plan", "critical", "spine", "max-chain",
+         "tasks", "coverage", "task-work min/med/p95/max");
   for (const SweepRow& row : rows) {
     if (!row.ok) {
       printf("%-34s %10s\n", row.label.c_str(), "FAILED");
       continue;
     }
-    printf("%-34s %10llu %10llu %10llu %10llu %8u %8.1f%%\n", row.label.c_str(),
-           (unsigned long long)row.stats.critical_path,
+    printf("%-34s %10llu %10llu %10llu %8u %8.1f%%   %llu/%llu/%llu/%llu\n",
+           row.label.c_str(), (unsigned long long)row.stats.critical_path,
            (unsigned long long)row.stats.spine_work,
-           (unsigned long long)row.stats.max_task_chain,
-           (unsigned long long)row.stats.enum_work, row.stats.tasks, row.coverage);
+           (unsigned long long)row.stats.max_task_chain, row.stats.tasks, row.coverage,
+           (unsigned long long)row.hist.min, (unsigned long long)row.hist.median,
+           (unsigned long long)row.hist.p95, (unsigned long long)row.hist.max);
   }
   const SweepRow& base = rows[0];
   printf("\n(checkpoints are byte-identical across every row; the critical path is the\n"
@@ -128,7 +132,9 @@ int main(int argc, char** argv) {
               "     \"sum_segment_work\": %llu, \"replayed_prefix_work\": %llu, "
               "\"enum_work\": %llu,\n"
               "     \"tasks\": %u, \"slots\": %u, \"failovers\": %u, "
-              "\"total_work\": %llu, \"coverage_pct\": %.2f}",
+              "\"total_work\": %llu, \"coverage_pct\": %.2f,\n"
+              "     \"task_work_min\": %llu, \"task_work_median\": %llu, "
+              "\"task_work_p95\": %llu, \"task_work_max\": %llu}",
               i == 0 ? "" : ",", r.label.c_str(), r.threads, r.sub_shards, r.workers,
               r.ok ? "true" : "false", (unsigned long long)r.stats.critical_path,
               (unsigned long long)r.stats.spine_work,
@@ -136,7 +142,9 @@ int main(int argc, char** argv) {
               (unsigned long long)r.stats.sum_segment_work,
               (unsigned long long)r.stats.replayed_prefix_work,
               (unsigned long long)r.stats.enum_work, r.stats.tasks, r.stats.slots,
-              r.stats.failovers, (unsigned long long)r.total_work, r.coverage);
+              r.stats.failovers, (unsigned long long)r.total_work, r.coverage,
+              (unsigned long long)r.hist.min, (unsigned long long)r.hist.median,
+              (unsigned long long)r.hist.p95, (unsigned long long)r.hist.max);
     }
     fprintf(f, "\n  ],\n  \"baseline_critical_path\": %llu\n}\n",
             (unsigned long long)base.stats.critical_path);

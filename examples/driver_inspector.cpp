@@ -49,6 +49,11 @@ void PrintUsage(const char* argv0) {
          "  --dist-workers <n>   run fan-out tasks on n forked worker processes\n"
          "                       (0 = in-process; byte-identical either way,\n"
          "                       worker failures fail over in-process)\n"
+         "  --fleet <n>          schedule fan-out tasks on an n-lane fleet\n"
+         "                       scheduler (longest-chain-first queue, work\n"
+         "                       stealing; byte-identical to the static split)\n"
+         "  --no-steal           disable cross-lane stealing in the fleet\n"
+         "                       (byte-identical either way)\n"
          "  --faults <spec>      deterministic fault injection while exercising:\n"
          "                       seed:kind=rate,... (e.g. 42:irq-drop=0.2 or\n"
          "                       7:all=0.05; kinds: irq-drop irq-dup irq-delay\n"
@@ -108,6 +113,15 @@ int main(int argc, char** argv) {
       plan.sub_shards = static_cast<unsigned>(atoi(value("--sub-shards")));
     } else if (strcmp(argv[i], "--dist-workers") == 0) {
       plan.worker_processes = static_cast<unsigned>(atoi(value("--dist-workers")));
+    } else if (strcmp(argv[i], "--fleet") == 0) {
+      plan.fleet = static_cast<unsigned>(atoi(value("--fleet")));
+      if (plan.fleet >= 1 && plan.threads <= 1) {
+        // The fleet schedules the parallel architecture's fan-out tasks;
+        // force a parallel-shaped plan (byte-identical for any count >= 2).
+        plan.threads = 2;
+      }
+    } else if (strcmp(argv[i], "--no-steal") == 0) {
+      plan.steal = false;
     } else if (strcmp(argv[i], "--faults") == 0) {
       std::string fault_err;
       if (!hw::ParseFaultPlan(value("--faults"), &plan.faults, &fault_err)) {

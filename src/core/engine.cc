@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "core/fanout.h"
+#include "core/fleet.h"
 #include "dist/coordinator.h"
 #include "isa/isa.h"
 #include "symex/coverage.h"
@@ -1056,9 +1057,15 @@ struct Engine::Impl {
         // the preamble, root re-runs after the enumeration).
         BeginSegment();
       }
+      const uint64_t step_work_base = stats.work;
       state = RunStep(plan[idx], std::move(state), is_full ? full : base,
                       is_full ? sub_mode : nullptr);
       ++steps_run;
+      if (step_work_log != nullptr) {
+        // Spine pass under fleet scheduling: the per-step spine work seeds
+        // each step's fan-out task estimates (queue priority only).
+        step_work_log->push_back(stats.work - step_work_base);
+      }
       if (is_full) {
         break;
       }
@@ -1391,8 +1398,11 @@ struct Engine::Impl {
     if (!spine_replay) {
       spine.step_snapshots = &snapshots;
     }
+    std::vector<uint64_t> step_work;
+    spine.step_work_log = &step_work;
     EngineResult merged = spine.RunScript(spine_knobs, -1, spine_knobs);
     spine.step_snapshots = nullptr;
+    spine.step_work_log = nullptr;
     const size_t steps_total = spine.steps_run;
 
     // Fan-out task list: one task per (step, sub-shard). Each task returns
@@ -1413,6 +1423,16 @@ struct Engine::Impl {
     uint64_t restore_failures = 0;
     uint32_t failovers = 0;
     uint32_t workers_forked = 0;
+    uint32_t fleet_workers = 0;
+    uint32_t fleet_steals = 0;
+    uint64_t handoff_bytes = 0;
+    uint64_t snap_shipped = 0;
+    uint64_t snap_reused = 0;
+    std::vector<uint64_t> task_works(total_tasks, 0);
+    // Fleet scheduling: a RunBatch-injected shared scheduler wins; otherwise
+    // plan.fleet >= 1 asks for a private single-job fleet (built below, after
+    // the worker pool forks).
+    FleetScheduler* fleet = config.fleet;
     if (!merged.cancelled) {
       // Multi-process mode: fork the worker pool BEFORE the dispatcher
       // threads start (forking a threaded process is fragile; the spine ran
@@ -1424,116 +1444,202 @@ struct Engine::Impl {
       // workers never observe a cancel -- a cancelled multi-process run
       // drains without a byte pin, exactly like today's cancelled runs.
       std::unique_ptr<dist::WorkerPool> wpool;
-      if (plan.worker_processes >= 1) {
+      if (fleet == nullptr && plan.worker_processes >= 1) {
         EngineConfig child_cfg = config;
         child_cfg.cancel = nullptr;
         child_cfg.on_coverage = nullptr;
+        child_cfg.fleet = nullptr;
         dist::WorkerPool::Options wopts;
         wopts.workers = plan.worker_processes;
         wpool = std::make_unique<dist::WorkerPool>(
-            wopts, [&image, child_cfg](const std::vector<uint8_t>& work,
+            wopts, [&image, child_cfg](const dist::ContextCache& contexts,
+                                       const std::vector<uint8_t>& work,
                                        std::vector<uint8_t>* reply, std::string* err) {
               FanoutTask task;
-              std::vector<uint8_t> snapshot;
-              if (!DeserializeFanoutWork(work, &task, &snapshot, err)) {
+              uint32_t job = 0;
+              std::string key;
+              std::vector<uint8_t> inline_snapshot;
+              if (!DeserializeFanoutWork(work, &job, &task, &key, &inline_snapshot, err)) {
                 return false;
               }
+              const std::vector<uint8_t>* snapshot = &inline_snapshot;
+              if (inline_snapshot.empty() && !key.empty()) {
+                // Snapshot handoff rides the context cache: shipped at most
+                // once per worker per (job, step), referenced by key here.
+                const std::vector<uint8_t>* cached = contexts.Find(key);
+                if (cached == nullptr) {
+                  *err = "fanout work references uncached context: " + key;
+                  return false;
+                }
+                snapshot = cached;
+              }
               FanoutTaskResult r =
-                  RunFanoutTask(image, child_cfg, task, snapshot, nullptr, nullptr, nullptr);
+                  RunFanoutTask(image, child_cfg, task, *snapshot, nullptr, nullptr, nullptr);
               *reply = SerializeFanoutResult(r);
               return true;
             });
-        workers_forked = wpool->alive();
-        if (workers_forked == 0) {
+        if (wpool->alive() == 0) {
           wpool.reset();  // every fork/handshake failed; run fully in-process
         }
       }
+      dist::WorkerPool* dpool = fleet != nullptr ? fleet->dist() : wpool.get();
+      workers_forked = dpool != nullptr ? dpool->alive() : 0;
+      // Private single-job fleet (engine run with plan.fleet but no batch):
+      // built AFTER the pool forks -- fork-from-threads stays off the menu.
+      std::unique_ptr<FleetScheduler> own_fleet;
+      if (fleet == nullptr && plan.fleet >= 1) {
+        FleetScheduler::Options fopts;
+        fopts.workers = plan.fleet;
+        fopts.steal = plan.steal;
+        fopts.dist_pool = dpool;
+        own_fleet = std::make_unique<FleetScheduler>(fopts);
+        own_fleet->SetJobLabel(0, "pc" + std::to_string(image.entry));
+        fleet = own_fleet.get();
+      }
 
-      symex::WorkQueue<TaskItem> queue;
-      for (size_t k = 0; k < steps_total; ++k) {
-        for (uint32_t s = 0; s < shards_per_step; ++s) {
-          queue.Push({k, s});
+      static const std::vector<uint8_t> kNoSnapshot;
+      // The ONE fan-out item body, shared by the classic dispatcher threads
+      // and the fleet task closures: snapshot selection, dist dispatch with
+      // in-process failover, and canonical result recording are identical
+      // either way -- which is the whole byte-identity argument for the
+      // fleet. `scratch` is the caller's reusable serialization buffer
+      // (satellite: one buffer per worker, no per-task realloc churn).
+      auto run_item = [&](size_t step, uint32_t shard,
+                          std::vector<uint8_t>* scratch) -> uint64_t {
+        FanoutTask task{step, shard, sub_shards};
+        // Either way the task starts step k with the spine coverage of
+        // steps 0..k-1 in its `covered` set, so the no-progress gating
+        // skips re-exploring those paths -- the same baseline the
+        // sequential engine has at step k. (Seeding the *full* spine
+        // coverage instead was measured to cost tail coverage: a step
+        // stops before reaching blocks only later steps touch, breaking
+        // the +/-0.5% parity bar.)
+        std::vector<uint8_t> local_snapshot;
+        const std::vector<uint8_t>* snapshot = &kNoSnapshot;
+        if (!spine_replay) {
+          if (sub_shards == 0 && dpool == nullptr) {
+            // Single consumer per step: moving the blob out frees it as
+            // the fan-out progresses instead of holding all S of them
+            // until the last dispatcher finishes.
+            local_snapshot = std::move(snapshots[step]);
+            snapshot = &local_snapshot;
+          } else {
+            // The step's K tasks (and the dist failover path) share one
+            // snapshot; the pool stays alive until the fan-out ends.
+            snapshot = &snapshots[step];
+          }
+        }
+        FanoutTaskResult r;
+        bool done = false;
+        if (dpool != nullptr && !shared.cancel.load(std::memory_order_relaxed)) {
+          // The snapshot travels as a context blob keyed by (job, step):
+          // Execute ships it only to a worker that doesn't hold it yet, so
+          // the step's other shards -- and stolen tasks on a warm worker --
+          // cost just the small kWork frame.
+          std::string key;
+          if (!snapshot->empty()) {
+            key = "j" + std::to_string(config.fleet_job) + "/s" + std::to_string(step);
+          }
+          SerializeFanoutWorkInto(config.fleet_job, task, key, kNoSnapshot, scratch);
+          std::vector<uint8_t> reply;
+          std::string err;
+          bool shipped = false;
+          if (dpool->Execute(*scratch, &reply, &err, key, snapshot, &shipped) &&
+              DeserializeFanoutResult(reply, &r, &err)) {
+            done = true;
+            // Monitoring: fold the worker's executed work into the live
+            // counter on receipt (workers have no shared-memory hooks).
+            shared.work.fetch_add(r.task_work, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(results_mu);
+            handoff_bytes += scratch->size();
+            (shipped ? snap_shipped : snap_reused) += snapshot->size();
+          } else {
+            // Worker crash / timeout / malformed reply: the shard fails
+            // over to in-process execution -- never the run -- and the
+            // merged bytes are unchanged (same task body, same inputs).
+            RLOG_WARN("dist task (step %zu, shard %u) failed over in-process: %s",
+                      step, shard, err.c_str());
+            std::lock_guard<std::mutex> lock(results_mu);
+            ++failovers;
+          }
+        }
+        if (!done) {
+          r = RunFanoutTask(image, cfg, task, *snapshot, &live, &shared.work,
+                            &shared.faults);
+        }
+        const uint64_t executed = r.task_work;
+        std::lock_guard<std::mutex> lock(results_mu);
+        root_counts[step] = std::max(root_counts[step], r.root_count);
+        for (FanoutSlot& slot : r.slots) {
+          step_slots[step].push_back(std::move(slot));
+        }
+        max_chain = std::max(max_chain, r.task_work);
+        sum_replayed += r.replayed_work;
+        sum_enum += r.enum_work;
+        restore_failures += r.restore_failures;
+        task_works[step * shards_per_step + shard] = r.task_work;
+        return executed;
+      };
+
+      if (fleet != nullptr) {
+        // Fleet path: hand every (step, shard) task to the scheduler --
+        // shared across the whole batch or private to this job -- estimated
+        // at its spine step's measured work split across the shards, and
+        // block until they all ran. The scheduler decides placement only;
+        // run_item records results at canonical positions regardless of
+        // which lane (or which job's steal) executed them.
+        fleet->SetJobSpineWork(config.fleet_job, merged.stats.work);
+        std::vector<FleetScheduler::Task> ftasks;
+        ftasks.reserve(total_tasks);
+        for (size_t k = 0; k < steps_total; ++k) {
+          const uint64_t est =
+              k < step_work.size() ? step_work[k] / shards_per_step : 1;
+          for (uint32_t s = 0; s < shards_per_step; ++s) {
+            FleetScheduler::Task t;
+            t.step = k;
+            t.shard = s;
+            t.estimate = est;
+            t.run = [&run_item, k, s](FleetScheduler::WorkerContext& wc) {
+              return run_item(k, s, &wc.scratch);
+            };
+            ftasks.push_back(std::move(t));
+          }
+        }
+        fleet->RunJobTasks(config.fleet_job, std::move(ftasks));
+        fleet_workers = fleet->workers();
+        fleet_steals = fleet->JobRealSteals(config.fleet_job);
+      } else {
+        symex::WorkQueue<TaskItem> queue;
+        for (size_t k = 0; k < steps_total; ++k) {
+          for (uint32_t s = 0; s < shards_per_step; ++s) {
+            queue.Push({k, s});
+          }
+        }
+        queue.Close();
+        // Dispatchers block while their task runs on a dist worker, so the
+        // multi-process mode needs at least worker_processes of them to keep
+        // every worker busy. Scheduling only -- the merged bytes don't care.
+        unsigned dispatchers =
+            std::max(threads, wpool != nullptr ? plan.worker_processes : 0u);
+        dispatchers = std::max<unsigned>(
+            1, std::min<size_t>(dispatchers, total_tasks));
+        std::vector<std::thread> pool;
+        pool.reserve(dispatchers);
+        for (unsigned t = 0; t < dispatchers; ++t) {
+          pool.emplace_back([&] {
+            std::vector<uint8_t> scratch;  // one serialization buffer per thread
+            TaskItem item;
+            while (queue.PopBlocking(&item)) {
+              run_item(item.step, item.shard, &scratch);
+            }
+          });
+        }
+        for (std::thread& t : pool) {
+          t.join();
         }
       }
-      queue.Close();
-      // Dispatchers block while their task runs on a dist worker, so the
-      // multi-process mode needs at least worker_processes of them to keep
-      // every worker busy. Scheduling only -- the merged bytes don't care.
-      unsigned dispatchers =
-          std::max(threads, wpool != nullptr ? plan.worker_processes : 0u);
-      dispatchers = std::max<unsigned>(
-          1, std::min<size_t>(dispatchers, total_tasks));
-      std::vector<std::thread> pool;
-      pool.reserve(dispatchers);
-      static const std::vector<uint8_t> kNoSnapshot;
-      for (unsigned t = 0; t < dispatchers; ++t) {
-        pool.emplace_back([&] {
-          TaskItem item;
-          while (queue.PopBlocking(&item)) {
-            FanoutTask task{item.step, item.shard, sub_shards};
-            // Either way the task starts step k with the spine coverage of
-            // steps 0..k-1 in its `covered` set, so the no-progress gating
-            // skips re-exploring those paths -- the same baseline the
-            // sequential engine has at step k. (Seeding the *full* spine
-            // coverage instead was measured to cost tail coverage: a step
-            // stops before reaching blocks only later steps touch, breaking
-            // the +/-0.5% parity bar.)
-            std::vector<uint8_t> local_snapshot;
-            const std::vector<uint8_t>* snapshot = &kNoSnapshot;
-            if (!spine_replay) {
-              if (sub_shards == 0 && wpool == nullptr) {
-                // Single consumer per step: moving the blob out frees it as
-                // the fan-out progresses instead of holding all S of them
-                // until the last dispatcher finishes.
-                local_snapshot = std::move(snapshots[item.step]);
-                snapshot = &local_snapshot;
-              } else {
-                // The step's K tasks (and the dist failover path) share one
-                // snapshot; the pool stays alive until the fan-out ends.
-                snapshot = &snapshots[item.step];
-              }
-            }
-            FanoutTaskResult r;
-            bool done = false;
-            if (wpool != nullptr && !shared.cancel.load(std::memory_order_relaxed)) {
-              std::vector<uint8_t> reply;
-              std::string err;
-              if (wpool->Execute(SerializeFanoutWork(task, *snapshot), &reply, &err) &&
-                  DeserializeFanoutResult(reply, &r, &err)) {
-                done = true;
-                // Monitoring: fold the worker's executed work into the live
-                // counter on receipt (workers have no shared-memory hooks).
-                shared.work.fetch_add(r.task_work, std::memory_order_relaxed);
-              } else {
-                // Worker crash / timeout / malformed reply: the shard fails
-                // over to in-process execution -- never the run -- and the
-                // merged bytes are unchanged (same task body, same inputs).
-                RLOG_WARN("dist task (step %zu, shard %u) failed over in-process: %s",
-                          item.step, item.shard, err.c_str());
-                std::lock_guard<std::mutex> lock(results_mu);
-                ++failovers;
-              }
-            }
-            if (!done) {
-              r = RunFanoutTask(image, cfg, task, *snapshot, &live, &shared.work,
-                                &shared.faults);
-            }
-            std::lock_guard<std::mutex> lock(results_mu);
-            root_counts[item.step] = std::max(root_counts[item.step], r.root_count);
-            for (FanoutSlot& slot : r.slots) {
-              step_slots[item.step].push_back(std::move(slot));
-            }
-            max_chain = std::max(max_chain, r.task_work);
-            sum_replayed += r.replayed_work;
-            sum_enum += r.enum_work;
-            restore_failures += r.restore_failures;
-          }
-        });
-      }
-      for (std::thread& t : pool) {
-        t.join();
-      }
-      // wpool goes out of scope here: kShutdown + reap before the merge.
+      // own_fleet (if any) joins its workers here, then wpool goes out of
+      // scope: kShutdown + reap before the merge.
     }
 
     // ---- canonical merge, in step order ----
@@ -1703,14 +1809,20 @@ struct Engine::Impl {
       merged.parallel.sub_shards = sub_shards;
       merged.parallel.worker_processes = workers_forked;
       merged.parallel.failovers = failovers;
-      if (getenv("REVNIC_PARALLEL_STATS") != nullptr) {
+      merged.parallel.fleet_workers = fleet_workers;
+      merged.parallel.fleet_steals = fleet_steals;
+      merged.parallel.handoff_bytes = handoff_bytes;
+      merged.parallel.snapshot_bytes_shipped = snap_shipped;
+      merged.parallel.snapshot_bytes_reused = snap_reused;
+      merged.parallel.task_works = std::move(task_works);
+      if (!config.quiet_parallel_stats && getenv("REVNIC_PARALLEL_STATS") != nullptr) {
         fprintf(stderr,
                 "[parallel-exercise] mode=%s threads=%u sub-shards=%u workers=%u "
-                "spine=%llu work, replayed-prefix=%llu, enum-overhead=%llu, "
-                "%u segments (sum=%llu max=%llu), tasks=%zu, critical path=%llu "
-                "(%.2fx vs serial merge), failovers=%u\n",
+                "fleet=%u steals=%u spine=%llu work, replayed-prefix=%llu, "
+                "enum-overhead=%llu, %u segments (sum=%llu max=%llu), tasks=%zu, "
+                "critical path=%llu (%.2fx vs serial merge), failovers=%u\n",
                 spine_replay ? "spine-replay" : "snapshot-restore", threads, sub_shards,
-                workers_forked, (unsigned long long)spine_work,
+                workers_forked, fleet_workers, fleet_steals, (unsigned long long)spine_work,
                 (unsigned long long)sum_replayed, (unsigned long long)sum_enum, begun_slots,
                 (unsigned long long)sum_seg, (unsigned long long)max_seg, total_tasks,
                 (unsigned long long)critical,
@@ -1770,6 +1882,9 @@ struct Engine::Impl {
   // When non-null (the spine pass of a snapshot-handoff parallel run),
   // RunScript serializes the chain state before each executed step.
   std::vector<std::vector<uint8_t>>* step_snapshots = nullptr;
+  // When non-null, RunScript records each executed step's work delta (fleet
+  // task-estimate seeding).
+  std::vector<uint64_t>* step_work_log = nullptr;
   // When non-null, this replica's full step runs in sub-shard mode (see
   // SubShardMode); RunScript/RunSegmentFromSnapshot then leave segment
   // bracketing to RunStep.
@@ -1815,10 +1930,20 @@ EngineResult Engine::Run() {
     unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 2 : hw;
   }
+  // plan.fleet deliberately does NOT flip a sequential-shaped plan into the
+  // parallel class: fleet scheduling is placement-only within the parallel
+  // architecture (RunBatch forces fleet jobs parallel-shaped; a sequential
+  // job stays sequential and off the fleet, preserving its output class).
   if (threads <= 1 && plan.sub_shards == 0 && plan.worker_processes == 0) {
     return impl_->Run();  // the legacy sequential exerciser, byte-for-byte
   }
   return Impl::RunParallel(*impl_, std::max(1u, threads));
+}
+
+FanoutTaskResult Engine::ExecuteFanoutTask(const isa::Image& image, const EngineConfig& config,
+                                           const FanoutTask& task,
+                                           const std::vector<uint8_t>& snapshot) {
+  return Impl::RunFanoutTask(image, config, task, snapshot, nullptr, nullptr, nullptr);
 }
 
 EngineResult ReverseEngineer(const isa::Image& image, const EngineConfig& config) {

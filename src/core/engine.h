@@ -24,6 +24,10 @@
 
 namespace revnic::core {
 
+class FleetScheduler;     // core/fleet.h
+struct FanoutTask;        // core/fanout.h
+struct FanoutTaskResult;  // core/fanout.h
+
 struct CoverageSample {
   uint64_t work = 0;             // translation blocks executed so far
   size_t covered_blocks = 0;     // static basic blocks touched
@@ -102,6 +106,17 @@ struct EngineConfig {
   // polled concurrently from every worker (make it thread-safe; the first
   // observed true sticks and drains the pool).
   std::function<bool()> cancel;
+  // Batch-global fleet scheduling (PR 10). When RunBatch injects a shared
+  // FleetScheduler here, the engine submits its fan-out tasks to it (tagged
+  // fleet_job) instead of spawning its own dispatcher threads; when null and
+  // plan.fleet >= 1, the engine builds a private single-job fleet. Placement
+  // only -- never part of the checkpoint config fingerprint, results stay
+  // byte-identical with or without it.
+  FleetScheduler* fleet = nullptr;
+  uint32_t fleet_job = 0;
+  // Suppress the engine's own REVNIC_PARALLEL_STATS stderr block; RunBatch
+  // sets this and prints one batch-level aggregation instead.
+  bool quiet_parallel_stats = false;
 };
 
 struct EngineStats {
@@ -160,6 +175,17 @@ struct ParallelExerciseStats {
   uint32_t sub_shards = 0;          // resolved plan.sub_shards
   uint32_t worker_processes = 0;    // workers the coordinator actually forked
   uint32_t failovers = 0;           // shard tasks that fell back in-process
+  // Fleet-scheduler figures (zero when no fleet ran this job).
+  uint32_t fleet_workers = 0;       // shared-pool lanes the job's tasks used
+  uint32_t fleet_steals = 0;        // tasks this job ran off their home lane
+  // Snapshot-handoff byte accounting (multi-process mode; zero in-process).
+  uint64_t handoff_bytes = 0;            // kWork payload bytes sent
+  uint64_t snapshot_bytes_shipped = 0;   // snapshot bytes that crossed the wire
+  uint64_t snapshot_bytes_reused = 0;    // snapshot bytes served from the
+                                         // worker's context cache instead
+  // Per-task work units in canonical (step, shard) order -- feeds the
+  // shard_sweep histograms and the deterministic makespan models.
+  std::vector<uint64_t> task_works;
 };
 
 struct EngineResult {
@@ -216,6 +242,16 @@ class Engine {
 
   // Runs the whole script; returns the wiretap output and statistics.
   EngineResult Run();
+
+  // Runs one fan-out task exactly as the in-process dispatcher would:
+  // restore the RSS1 snapshot (or replay the spine prefix), probe the step,
+  // and run the owned sub-shard roots. Stateless with respect to any Engine
+  // instance -- this is the entry point RunBatch's shared multi-driver
+  // worker-process handler uses, and it is what makes a stolen task
+  // byte-identical to a home-lane one.
+  static FanoutTaskResult ExecuteFanoutTask(const isa::Image& image, const EngineConfig& config,
+                                            const FanoutTask& task,
+                                            const std::vector<uint8_t>& snapshot);
 
  private:
   struct Impl;

@@ -74,6 +74,22 @@ struct ExercisePlan {
   // read-back corruption, DMA stall/bus-error poisoning, perturbed scripted
   // IRQs). Disabled by default. See src/hw/README.md.
   hw::FaultPlan faults;
+  // Batch-global fleet scheduling (PR 10). 0 (default) = the PR 8 static
+  // split: each RunBatch job fans out on its own private dispatcher
+  // threads. N >= 1 on a RunBatch template = one core::FleetScheduler with
+  // N workers shared by every job's fan-out tasks (cross-driver
+  // scheduling); on a standalone engine config, the run's own fan-out goes
+  // through a private single-job fleet (same code path -- what
+  // driver_inspector --fleet uses). Placement and timing only: merged
+  // bytes are independent of fleet (and steal), so neither knob enters the
+  // checkpoint config fingerprint.
+  unsigned fleet = 0;
+  // Cross-driver work stealing (fleet >= 1 only): true (default) lets an
+  // idle fleet worker take the longest-estimated queued task from any
+  // job's lane; false pins every task to the lane it was placed on at
+  // submission. Scheduling only -- byte-identical either way (pinned by
+  // tests/dist_test.cc).
+  bool steal = true;
 };
 
 }  // namespace revnic::core

@@ -1,14 +1,16 @@
 #include "core/fanout.h"
 
 #include "trace/serialize.h"
+#include "util/bits.h"
 
 namespace revnic::core {
 namespace {
 
 // Payload magics so a swapped work/result payload fails loudly instead of
 // misparsing (the RDP1 frame already carries type + checksum; this guards
-// against coordinator-side mixups).
-constexpr uint32_t kWorkMagic = 0x314B5746;    // "FWK1"
+// against coordinator-side mixups). FWK2 extends FWK1 with the batch job
+// index and the context-key spelling of the snapshot handoff (PR 10).
+constexpr uint32_t kWorkMagic = 0x324B5746;    // "FWK2"
 constexpr uint32_t kResultMagic = 0x31525746;  // "FWR1"
 
 void PutU32Set(trace::ByteWriter& w, const std::set<uint32_t>& s) {
@@ -182,20 +184,41 @@ bool GetSegment(trace::ByteReader& r, EngineResult* e, std::string* error) {
 
 }  // namespace
 
-std::vector<uint8_t> SerializeFanoutWork(const FanoutTask& task,
-                                         const std::vector<uint8_t>& snapshot) {
-  trace::ByteWriter w;
-  w.U32(kWorkMagic);
-  w.U64(task.step);
-  w.U32(task.sub_shard);
-  w.U32(task.sub_shards);
-  w.U32(static_cast<uint32_t>(snapshot.size()));
-  w.Raw(snapshot.data(), snapshot.size());
-  return w.Take();
+void SerializeFanoutWorkInto(uint32_t job, const FanoutTask& task,
+                             const std::string& context_key,
+                             const std::vector<uint8_t>& snapshot,
+                             std::vector<uint8_t>* out) {
+  out->clear();
+  auto u32 = [out](uint32_t v) {
+    const size_t n = out->size();
+    out->resize(n + 4);
+    StoreLE(out->data() + n, v, 4);
+  };
+  auto u64 = [&u32](uint64_t v) {
+    u32(static_cast<uint32_t>(v));
+    u32(static_cast<uint32_t>(v >> 32));
+  };
+  u32(kWorkMagic);
+  u32(job);
+  u64(task.step);
+  u32(task.sub_shard);
+  u32(task.sub_shards);
+  u32(static_cast<uint32_t>(context_key.size()));
+  out->insert(out->end(), context_key.begin(), context_key.end());
+  u32(static_cast<uint32_t>(snapshot.size()));
+  out->insert(out->end(), snapshot.begin(), snapshot.end());
 }
 
-bool DeserializeFanoutWork(const std::vector<uint8_t>& bytes, FanoutTask* task,
-                           std::vector<uint8_t>* snapshot, std::string* error) {
+std::vector<uint8_t> SerializeFanoutWork(const FanoutTask& task,
+                                         const std::vector<uint8_t>& snapshot) {
+  std::vector<uint8_t> out;
+  SerializeFanoutWorkInto(0, task, std::string(), snapshot, &out);
+  return out;
+}
+
+bool DeserializeFanoutWork(const std::vector<uint8_t>& bytes, uint32_t* job, FanoutTask* task,
+                           std::string* context_key, std::vector<uint8_t>* snapshot,
+                           std::string* error) {
   trace::ByteReader r(bytes);
   auto fail = [&](const char* what) {
     *error = what;
@@ -206,8 +229,8 @@ bool DeserializeFanoutWork(const std::vector<uint8_t>& bytes, FanoutTask* task,
     return fail("fanout work: bad magic");
   }
   uint32_t snapshot_len;
-  if (!r.U64(&task->step) || !r.U32(&task->sub_shard) || !r.U32(&task->sub_shards) ||
-      !r.U32(&snapshot_len)) {
+  if (!r.U32(job) || !r.U64(&task->step) || !r.U32(&task->sub_shard) ||
+      !r.U32(&task->sub_shards) || !r.Str(context_key) || !r.U32(&snapshot_len)) {
     return fail("fanout work: truncated header");
   }
   if (snapshot_len != r.remaining()) {
@@ -218,6 +241,13 @@ bool DeserializeFanoutWork(const std::vector<uint8_t>& bytes, FanoutTask* task,
     return fail("fanout work: truncated snapshot");
   }
   return true;
+}
+
+bool DeserializeFanoutWork(const std::vector<uint8_t>& bytes, FanoutTask* task,
+                           std::vector<uint8_t>* snapshot, std::string* error) {
+  uint32_t job;
+  std::string key;
+  return DeserializeFanoutWork(bytes, &job, task, &key, snapshot, error);
 }
 
 std::vector<uint8_t> SerializeFanoutResult(const FanoutTaskResult& result) {

@@ -54,10 +54,28 @@ struct FanoutTaskResult {
   uint64_t restore_failures = 0;
 };
 
-// Work-item payload: task descriptor + the step's RSS1 start snapshot (empty
-// = spine-replay strategy; the worker re-executes the prefix instead).
+// Work-item payload ("FWK2"): batch job index + task descriptor + RSS1
+// start-snapshot handoff. The snapshot travels one of two ways: inline
+// bytes, or by reference via `context_key` -- a key into the worker's
+// per-process context cache (src/dist/coordinator.h ships the blob at most
+// once per worker with a kContext frame, so the step's K sub-shard tasks
+// and stolen tasks don't re-ship state). Both key and inline bytes empty =
+// spine-replay strategy; the worker re-executes the prefix instead.
+//
+// SerializeFanoutWorkInto writes into *out in place (cleared, capacity
+// kept): the fan-out path keeps ONE such buffer per dispatcher/fleet
+// worker, so steady-state handoff does no per-task reallocation.
+void SerializeFanoutWorkInto(uint32_t job, const FanoutTask& task,
+                             const std::string& context_key,
+                             const std::vector<uint8_t>& snapshot,
+                             std::vector<uint8_t>* out);
 std::vector<uint8_t> SerializeFanoutWork(const FanoutTask& task,
                                          const std::vector<uint8_t>& snapshot);
+bool DeserializeFanoutWork(const std::vector<uint8_t>& bytes, uint32_t* job, FanoutTask* task,
+                           std::string* context_key, std::vector<uint8_t>* snapshot,
+                           std::string* error);
+// Single-job convenience (tests and the PR 8-shaped call sites): job and
+// context key are parsed and discarded.
 bool DeserializeFanoutWork(const std::vector<uint8_t>& bytes, FanoutTask* task,
                            std::vector<uint8_t>* snapshot, std::string* error);
 

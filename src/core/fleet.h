@@ -1,0 +1,184 @@
+// FleetScheduler: one worker pool shared by a whole RunBatch (PR 10).
+//
+// Before this, every RunBatch job owned a private static slice of the
+// machine (outer x inner thread split): a driver that finished early left
+// its threads idle while the heaviest driver's tail ran alone, and sub-shard
+// skew (splitmix64 root assignment) leaves some (step, shard) tasks 2-3x
+// heavier than others. The fleet replaces the split with one batch-global
+// scheduler: every job submits its (step, shard) fan-out tasks here, tasks
+// queue per-lane in longest-estimated-chain-first order, and -- with
+// stealing on -- an idle worker takes the best queued task of ANY job.
+//
+// Determinism. Scheduling changes placement and timing, never results:
+// every fan-out task is a pure function of its RSS1 snapshot, and the
+// engine's canonical merge walks fixed (step, slot-ordinal) positions, so
+// merged checkpoints are byte-identical for every fleet size, stealing
+// on/off, in-process and multi-process (tests/dist_test.cc pins the grid).
+// Because wall-clock on the 1-core CI box proves nothing, the reported
+// batch makespan is a deterministic virtual placement computed after the
+// run from the RECORDED per-task work units (executed translation blocks,
+// machine-independent): LPT over actual work for the stealing fleet,
+// estimate-greedy home placement for the non-stealing fleet, and the best
+// outer x inner split of the same records for the PR 8 baseline. Live
+// dispatch follows the same policies dynamically; its actual interleaving
+// is monitoring-only (FleetBatchStats::real_steals).
+//
+// Estimates come from recorded per-task work units: the engine seeds each
+// task with its spine step's measured work (recorded during the spine
+// pass), and a process-wide registry of completed-task work keyed by
+// (job label, step, shard) refines later submissions in the same process.
+#ifndef REVNIC_CORE_FLEET_H_
+#define REVNIC_CORE_FLEET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace revnic::dist {
+class WorkerPool;
+}
+
+namespace revnic::core {
+
+// One completed task, the deterministic input of the virtual placement.
+struct FleetTaskRecord {
+  uint32_t job = 0;
+  uint64_t step = 0;
+  uint32_t shard = 0;
+  uint64_t estimate = 0;  // queue priority the task was submitted with
+  uint64_t work = 0;      // executed work units (deterministic)
+};
+
+// Batch-level scheduling stats. Every makespan is a deterministic virtual
+// placement over the recorded per-task work units -- max over lanes of
+// summed task work, floored by the largest spine (job spines run on their
+// batch threads, overlapped with the fan-out). real_steals is the only
+// wall-schedule-dependent figure; everything else is reproducible bit for
+// bit for a fixed seed and plan.
+struct FleetBatchStats {
+  unsigned workers = 0;           // fleet lanes
+  bool steal = false;             // configured mode
+  uint32_t tasks = 0;             // recorded fan-out tasks, all jobs
+  uint64_t total_task_work = 0;   // summed fan-out work units
+  uint64_t max_spine_work = 0;    // heaviest job spine
+  uint64_t makespan = 0;          // configured mode (steal or no-steal model)
+  uint64_t static_makespan = 0;   // best PR 8 outer x inner split, same records
+  uint64_t no_steal_makespan = 0; // estimate-greedy home placement
+  uint64_t steal_makespan = 0;    // LPT over actual per-task work
+  uint32_t virtual_steals = 0;    // tasks the LPT model places off-home
+  uint32_t real_steals = 0;       // live off-home executions (monitoring only)
+  uint32_t failovers = 0;         // dist tasks that fell back in-process
+  std::vector<uint64_t> lane_work;  // configured-mode virtual lane loads
+};
+
+// Deterministic LPT list schedule: works sorted descending (ties by input
+// index), each to the least-loaded of `lanes` lanes (ties lowest index).
+// Returns the resulting makespan. The scheduling-theory bound the fleet's
+// stealing approaches on real cores.
+uint64_t LptMakespan(const std::vector<uint64_t>& works, unsigned lanes);
+
+class FleetScheduler {
+ public:
+  struct Options {
+    unsigned workers = 1;  // in-process fleet worker threads
+    bool steal = true;     // cross-job stealing when a lane idles
+    // Shared RDP1 worker pool (owned by the caller, e.g. RunBatch forks it
+    // before any thread starts); null = fully in-process. Task closures
+    // reach it via dist().
+    dist::WorkerPool* dist_pool = nullptr;
+  };
+
+  // Per-worker state handed to every task closure the worker runs. The
+  // scratch buffer is the one serialization buffer per worker for RSS1
+  // work-item handoff: closures serialize into it in place, so steady-state
+  // fan-out does no per-task payload reallocation.
+  struct WorkerContext {
+    std::vector<uint8_t> scratch;
+  };
+
+  // One fan-out unit. `run` executes on a fleet worker and returns the work
+  // units the task actually executed (recorded for the virtual placement
+  // and the estimate registry).
+  struct Task {
+    uint32_t job = 0;
+    uint64_t step = 0;
+    uint32_t shard = 0;
+    uint64_t estimate = 1;
+    std::function<uint64_t(WorkerContext&)> run;
+  };
+
+  explicit FleetScheduler(const Options& options);
+  ~FleetScheduler();  // drains nothing: callers must have joined their jobs
+
+  FleetScheduler(const FleetScheduler&) = delete;
+  FleetScheduler& operator=(const FleetScheduler&) = delete;
+
+  // Registers a job's label (estimate-registry key) and spine work (makespan
+  // floor). Call SetJobLabel before the job's first RunJobTasks.
+  void SetJobLabel(uint32_t job, std::string label);
+  void SetJobSpineWork(uint32_t job, uint64_t spine_work);
+
+  // Submits one job's tasks and blocks until all of them have executed.
+  // Thread-safe: every batch job calls this concurrently from its own
+  // thread; the fleet interleaves all jobs' tasks across its workers.
+  void RunJobTasks(uint32_t job, std::vector<Task> tasks);
+
+  // Live off-home executions charged to this job so far (monitoring only).
+  uint32_t JobRealSteals(uint32_t job) const;
+
+  dist::WorkerPool* dist() const { return options_.dist_pool; }
+  unsigned workers() const { return options_.workers; }
+  bool steal() const { return options_.steal; }
+
+  // Deterministic virtual placement over everything recorded so far; call
+  // after all jobs finished. failovers is left 0 (the engine counts those
+  // per job; RunBatch folds them in).
+  FleetBatchStats ComputeStats() const;
+
+ private:
+  // Priority order within a lane: longest estimated chain first, ties in
+  // canonical (job, step, shard) order.
+  struct PKey {
+    uint64_t estimate = 0;
+    uint32_t job = 0;
+    uint64_t step = 0;
+    uint32_t shard = 0;
+    bool operator<(const PKey& o) const {
+      if (estimate != o.estimate) {
+        return estimate > o.estimate;
+      }
+      if (job != o.job) {
+        return job < o.job;
+      }
+      if (step != o.step) {
+        return step < o.step;
+      }
+      return shard < o.shard;
+    }
+  };
+
+  void WorkerLoop(unsigned lane);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::vector<std::map<PKey, Task>> lanes_;  // queued tasks, homed per lane
+  std::vector<uint64_t> committed_;          // estimate sum placed on each lane
+  std::map<uint32_t, uint32_t> outstanding_; // job -> queued + running tasks
+  std::map<uint32_t, std::string> labels_;
+  std::map<uint32_t, uint64_t> spine_work_;
+  std::map<uint32_t, uint32_t> real_steals_;
+  std::vector<FleetTaskRecord> records_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace revnic::core
+
+#endif  // REVNIC_CORE_FLEET_H_

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <thread>
 
+#include "core/fanout.h"
+#include "dist/coordinator.h"
 #include "synth/emit.h"
 #include "synth/passes.h"
 #include "trace/serialize.h"
@@ -491,12 +493,57 @@ std::unique_ptr<Session> Session::LoadCheckpointFile(const std::string& path,
 
 // ---- batch ----
 
+namespace {
+
+// One aggregated REVNIC_PARALLEL_STATS block for the whole batch (the
+// engine's per-job print is suppressed by quiet_parallel_stats): per-driver
+// rows in input order, then fleet totals with the deterministic virtual
+// makespans (core/fleet.h).
+void PrintBatchParallelStats(const BatchResult& batch) {
+  uint64_t total_tasks = 0;
+  uint64_t total_steals = 0;
+  uint64_t total_failovers = 0;
+  for (const BatchJobResult& j : batch.jobs) {
+    const ParallelExerciseStats& p = j.result.engine.parallel;
+    total_tasks += p.tasks;
+    total_steals += p.fleet_steals;
+    total_failovers += p.failovers;
+    fprintf(stderr,
+            "[batch-parallel] job=%s spine=%llu tasks=%u critical=%llu "
+            "steals=%u failovers=%u handoff=%lluB reused=%lluB\n",
+            j.name.c_str(), (unsigned long long)p.spine_work, p.tasks,
+            (unsigned long long)p.critical_path, p.fleet_steals, p.failovers,
+            (unsigned long long)p.handoff_bytes,
+            (unsigned long long)p.snapshot_bytes_reused);
+  }
+  if (batch.fleet_used) {
+    const FleetBatchStats& f = batch.fleet;
+    fprintf(stderr,
+            "[batch-parallel] fleet workers=%u steal=%s tasks=%u steals=%u "
+            "(virtual=%u) failovers=%u makespan=%llu "
+            "(static=%llu no-steal=%llu steal=%llu spine-floor=%llu)\n",
+            f.workers, f.steal ? "on" : "off", f.tasks, f.real_steals, f.virtual_steals,
+            f.failovers, (unsigned long long)f.makespan,
+            (unsigned long long)f.static_makespan, (unsigned long long)f.no_steal_makespan,
+            (unsigned long long)f.steal_makespan, (unsigned long long)f.max_spine_work);
+  } else {
+    fprintf(stderr, "[batch-parallel] static split: tasks=%llu steals=%llu failovers=%llu\n",
+            (unsigned long long)total_tasks, (unsigned long long)total_steals,
+            (unsigned long long)total_failovers);
+  }
+}
+
+}  // namespace
+
 BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& options) {
   BatchResult batch;
   batch.jobs.resize(jobs.size());
   if (jobs.empty()) {
     return batch;
   }
+  // Fleet mode (PR 10): one shared scheduler (and one shared worker pool)
+  // for the whole batch instead of a static per-job thread slice.
+  const bool fleet_mode = options.plan && options.plan->fleet >= 1;
   unsigned concurrency = options.concurrency;
   if (concurrency == 0) {
     unsigned hw = std::thread::hardware_concurrency();
@@ -505,12 +552,111 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& opti
   // An explicit request is honored even beyond the core count (workers just
   // timeslice); there is never a point in more workers than jobs.
   concurrency = std::min(concurrency, static_cast<unsigned>(jobs.size()));
+  if (fleet_mode) {
+    // Job threads mostly sleep inside RunJobTasks while the fleet executes;
+    // one thread per job keeps every spine overlapped with the fan-out.
+    concurrency = static_cast<unsigned>(jobs.size());
+  }
   batch.concurrency = concurrency;
   // Outer x inner thread split: jobs that deferred their exercise-stage
   // sizing (plan.threads == 0) inherit the batch plan template with the
   // global budget shared evenly across the outer workers.
   const unsigned budget = options.plan ? options.plan->threads : 0;
   unsigned inner_threads = budget == 0 ? 0 : std::max(1u, budget / concurrency);
+
+  // Effective per-job configs, resolved up front: fleet mode forks the
+  // shared worker pool before any batch thread starts, and the forked
+  // handler needs the final job table (image + resolved config per job).
+  std::vector<EngineConfig> eff(jobs.size());
+  std::vector<bool> on_fleet(jobs.size(), false);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    eff[i] = jobs[i].config;
+    EngineConfig& cfg = eff[i];
+    if (cfg.plan.threads == 0 && (inner_threads != 0 || fleet_mode)) {
+      // Inherit the template's parallelism shape, but keep the job's own
+      // fault plan: deferring the thread split must not silently swap
+      // which faults a job runs under (the pre-PR 9 folding did exactly
+      // that when the template carried faults). Under fleet scheduling the
+      // inherited plan is forced parallel-shaped (threads >= 2) so the job
+      // takes the engine's parallel path -- which the byte-identity
+      // guarantee already pins equal to every other parallel shape --
+      // regardless of how small the divided budget is.
+      hw::FaultPlan job_faults = cfg.plan.faults;
+      cfg.plan = *options.plan;
+      cfg.plan.threads = fleet_mode ? std::max(2u, inner_threads) : inner_threads;
+      if (job_faults.Enabled()) {
+        cfg.plan.faults = job_faults;
+      }
+      on_fleet[i] = fleet_mode;
+    }
+  }
+
+  // Shared RDP1 worker pool, forked while this process is still
+  // single-threaded (the quietest fork point RunBatch has; the job table
+  // crosses into the children via fork, so only snapshots ever cross the
+  // wire). Work items carry their batch job index -- one pool serves every
+  // driver.
+  std::unique_ptr<dist::WorkerPool> pool;
+  std::unique_ptr<FleetScheduler> fleet;
+  if (fleet_mode) {
+    if (options.plan->worker_processes >= 1) {
+      struct ChildJob {
+        const isa::Image* image;
+        EngineConfig cfg;
+      };
+      auto table = std::make_shared<std::vector<ChildJob>>();
+      table->reserve(jobs.size());
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        EngineConfig child_cfg = eff[i];
+        // Hooks and the scheduler must not cross the fork.
+        child_cfg.cancel = nullptr;
+        child_cfg.on_coverage = nullptr;
+        child_cfg.fleet = nullptr;
+        table->push_back({jobs[i].image, std::move(child_cfg)});
+      }
+      dist::WorkerPool::Options wopts;
+      wopts.workers = options.plan->worker_processes;
+      pool = std::make_unique<dist::WorkerPool>(
+          wopts, [table](const dist::ContextCache& contexts, const std::vector<uint8_t>& work,
+                         std::vector<uint8_t>* reply, std::string* err) {
+            FanoutTask task;
+            uint32_t job = 0;
+            std::string key;
+            std::vector<uint8_t> inline_snapshot;
+            if (!DeserializeFanoutWork(work, &job, &task, &key, &inline_snapshot, err)) {
+              return false;
+            }
+            if (job >= table->size() || (*table)[job].image == nullptr) {
+              *err = "fanout work names an unknown batch job";
+              return false;
+            }
+            const std::vector<uint8_t>* snapshot = &inline_snapshot;
+            if (inline_snapshot.empty() && !key.empty()) {
+              const std::vector<uint8_t>* cached = contexts.Find(key);
+              if (cached == nullptr) {
+                *err = "fanout work references uncached context: " + key;
+                return false;
+              }
+              snapshot = cached;
+            }
+            FanoutTaskResult r =
+                Engine::ExecuteFanoutTask(*(*table)[job].image, (*table)[job].cfg, task, *snapshot);
+            *reply = SerializeFanoutResult(r);
+            return true;
+          });
+      if (pool->alive() == 0) {
+        pool.reset();  // every fork/handshake failed; fleet runs in-process
+      }
+    }
+    FleetScheduler::Options fopts;
+    fopts.workers = options.plan->fleet;
+    fopts.steal = options.plan->steal;
+    fopts.dist_pool = pool.get();
+    fleet = std::make_unique<FleetScheduler>(fopts);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      fleet->SetJobLabel(static_cast<uint32_t>(i), jobs[i].name);
+    }
+  }
 
   std::atomic<size_t> next{0};
   std::mutex done_mu;
@@ -522,18 +668,12 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& opti
       if (job.image == nullptr) {
         out.error = "job has no image";
       } else {
-        EngineConfig cfg = job.config;
-        if (inner_threads != 0 && cfg.plan.threads == 0) {
-          // Inherit the template's parallelism shape, but keep the job's own
-          // fault plan: deferring the thread split must not silently swap
-          // which faults a job runs under (the pre-PR 9 folding did exactly
-          // that when the template carried faults).
-          hw::FaultPlan job_faults = cfg.plan.faults;
-          cfg.plan = *options.plan;
-          cfg.plan.threads = inner_threads;
-          if (job_faults.Enabled()) {
-            cfg.plan.faults = job_faults;
-          }
+        EngineConfig cfg = eff[i];
+        // RunBatch reports one aggregated stats block after the join.
+        cfg.quiet_parallel_stats = true;
+        if (fleet != nullptr && on_fleet[i]) {
+          cfg.fleet = fleet.get();
+          cfg.fleet_job = static_cast<uint32_t>(i);
         }
         Session session(*job.image, cfg);
         session.set_label(job.name);
@@ -563,6 +703,18 @@ BatchResult RunBatch(const std::vector<BatchJob>& jobs, const BatchOptions& opti
     if (j.ok) {
       batch.aggregate.Accumulate(j.result.engine.substrate);
     }
+  }
+  if (fleet != nullptr) {
+    batch.fleet_used = true;
+    batch.fleet = fleet->ComputeStats();
+    for (const BatchJobResult& j : batch.jobs) {
+      batch.fleet.failovers += j.result.engine.parallel.failovers;
+    }
+    fleet.reset();  // join fleet workers before the pool shuts down
+    pool.reset();
+  }
+  if (getenv("REVNIC_PARALLEL_STATS") != nullptr) {
+    PrintBatchParallelStats(batch);
   }
   return batch;
 }
@@ -631,9 +783,10 @@ std::string ConfigFingerprint(const EngineConfig& c) {
   // any representational change is a schedule change. plan.fan_out
   // deliberately is NOT mixed: both handoff strategies produce
   // byte-identical results (tests/snapshot_test.cc), so their checkpoints
-  // are interchangeable. Ditto worker_processes beyond the parallel class --
-  // but sub_shards changes the merged slot layout, so its exact value is
-  // output-relevant.
+  // are interchangeable. Ditto worker_processes beyond the parallel class,
+  // and PR 10's plan.fleet / plan.steal (placement-only; pinned
+  // byte-identical by tests/dist_test.cc) -- but sub_shards changes the
+  // merged slot layout, so its exact value is output-relevant.
   const ExercisePlan plan = ResolveExercisePlan(c);
   mix(plan.faults.seed);
   for (double rate : plan.faults.rates) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/fleet.h"
 #include "core/pipeline.h"
 #include "synth/cemit.h"
 #include "synth/cfg.h"
@@ -190,6 +191,12 @@ struct BatchResult {
   std::vector<BatchJobResult> jobs;  // input order
   perf::SubstrateCounters aggregate; // cache counters summed across jobs
   unsigned concurrency = 0;          // worker threads actually used
+  // Fleet-scheduler batch stats (PR 10): populated when the template plan
+  // asked for fleet scheduling (plan.fleet >= 1). Every makespan is a
+  // deterministic virtual placement over recorded work units -- see
+  // core/fleet.h. Zero/false otherwise.
+  bool fleet_used = false;
+  FleetBatchStats fleet;
   bool AllOk() const {
     for (const BatchJobResult& j : jobs) {
       if (!j.ok) {
@@ -215,6 +222,18 @@ struct BatchOptions {
   // with an explicit thread count keep their whole plan untouched. (The
   // deprecated threads-only `thread_budget` spelling was removed in PR 9;
   // see the migration table in src/core/README.md.)
+  //
+  // Fleet scheduling (PR 10): a template with plan.fleet >= 1 replaces the
+  // static outer x inner split with ONE shared FleetScheduler (plan.fleet
+  // worker lanes, plan.steal stealing) plus ONE shared RDP1 worker pool when
+  // plan.worker_processes >= 1, forked before any batch thread starts. Jobs
+  // that deferred their sizing (plan.threads == 0) join the fleet (their
+  // inherited plan gets threads = max(2, budget/outer) so they take the
+  // parallel engine path); jobs with an explicit plan run exactly as
+  // before, off the fleet. Scheduling is placement-only -- merged bytes are
+  // pinned identical across fleet sizes, stealing on/off, and process
+  // counts -- and RunBatch prints one aggregated REVNIC_PARALLEL_STATS
+  // block for the whole batch instead of one per job.
   std::optional<ExercisePlan> plan;
   // Invoked once per finished job, serialized by an internal mutex.
   std::function<void(const BatchJobResult&)> on_job_done;

@@ -28,12 +28,92 @@ std::vector<uint8_t> HelloPayload(unsigned index) {
   return p;
 }
 
+// kContext payload: u32 key length, key bytes, blob bytes.
+std::vector<uint8_t> ContextPayload(const std::string& key, const std::vector<uint8_t>& bytes) {
+  std::vector<uint8_t> p(4 + key.size() + bytes.size());
+  StoreLE(p.data(), static_cast<uint32_t>(key.size()), 4);
+  std::copy(key.begin(), key.end(), p.begin() + 4);
+  std::copy(bytes.begin(), bytes.end(), p.begin() + 4 + key.size());
+  return p;
+}
+
+bool ParseContextPayload(const std::vector<uint8_t>& p, std::string* key,
+                         std::vector<uint8_t>* bytes) {
+  if (p.size() < 4) {
+    return false;
+  }
+  const uint32_t key_len = static_cast<uint32_t>(LoadLE(p.data(), 4));
+  if (key_len > p.size() - 4) {
+    return false;
+  }
+  key->assign(p.begin() + 4, p.begin() + 4 + key_len);
+  bytes->assign(p.begin() + 4 + key_len, p.end());
+  return true;
+}
+
 }  // namespace
+
+size_t ContextBudgetFromEnv() {
+  const char* env = getenv("REVNIC_DIST_CONTEXT_BYTES");
+  if (env != nullptr && *env != '\0') {
+    const long long v = atoll(env);
+    if (v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return 64ull << 20;
+}
+
+const std::vector<uint8_t>* ContextCache::Find(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second.data;
+}
+
+void ContextCache::EvictFor(size_t incoming) {
+  while (!order_.empty() && bytes_ + incoming > budget_) {
+    auto it = entries_.find(order_.front());
+    if (it != entries_.end()) {
+      bytes_ -= it->second.size;
+      entries_.erase(it);
+    }
+    order_.pop_front();
+  }
+}
+
+void ContextCache::Install(const std::string& key, std::vector<uint8_t> bytes) {
+  const size_t size = bytes.size();
+  EvictFor(size);
+  auto [it, inserted] = entries_.emplace(key, Entry{});
+  if (!inserted) {
+    bytes_ -= it->second.size;  // re-ship after eviction raced a duplicate
+  } else {
+    order_.push_back(key);
+  }
+  it->second.data = std::move(bytes);
+  it->second.size = size;
+  bytes_ += size;
+}
+
+void ContextCache::InstallMirror(const std::string& key, size_t size) {
+  EvictFor(size);
+  auto [it, inserted] = entries_.emplace(key, Entry{});
+  if (!inserted) {
+    bytes_ -= it->second.size;
+  } else {
+    order_.push_back(key);
+  }
+  it->second.size = size;
+  bytes_ += size;
+}
 
 WorkerPool::WorkerPool(const Options& options, Handler handler)
     : options_(options), handler_(std::move(handler)) {
   options_.timeout_ms = TimeoutFromEnv(options_.timeout_ms);
   workers_.resize(options_.workers);
+  const size_t budget = ContextBudgetFromEnv();
+  for (Worker& w : workers_) {
+    w.mirror = std::make_unique<ContextCache>(budget);
+  }
   for (unsigned i = 0; i < options_.workers; ++i) {
     SpawnWorker(i);
   }
@@ -110,6 +190,7 @@ void WorkerPool::ChildLoop(unsigned index, int fd) {
   // on its first work item, proving a mid-run worker loss still yields the
   // identical merged result via in-process failover.
   const bool kill_on_work = index == 0 && getenv("REVNIC_DIST_KILL_FIRST_WORKER") != nullptr;
+  ContextCache cache(ContextBudgetFromEnv());
   for (;;) {
     std::string err;
     Frame frame;
@@ -124,13 +205,22 @@ void WorkerPool::ChildLoop(unsigned index, int fd) {
         break;
       case FrameType::kShutdown:
         _exit(0);
+      case FrameType::kContext: {
+        std::string key;
+        std::vector<uint8_t> bytes;
+        if (!ParseContextPayload(frame.payload, &key, &bytes)) {
+          _exit(2);  // protocol violation, same as an unknown frame type
+        }
+        cache.Install(key, std::move(bytes));
+        break;  // no reply by design; the next kWork references it by key
+      }
       case FrameType::kWork: {
         if (kill_on_work) {
           _exit(17);
         }
         std::vector<uint8_t> result;
         std::string handler_err;
-        bool ok = handler_ && handler_(frame.payload, &result, &handler_err);
+        bool ok = handler_ && handler_(cache, frame.payload, &result, &handler_err);
         if (ok) {
           if (!WriteFrame(fd, FrameType::kResult, result, &err)) {
             _exit(2);
@@ -176,8 +266,13 @@ unsigned WorkerPool::alive() const {
 }
 
 bool WorkerPool::Execute(const std::vector<uint8_t>& work, std::vector<uint8_t>* result,
-                         std::string* error) {
+                         std::string* error, const std::string& context_key,
+                         const std::vector<uint8_t>* context_bytes, bool* context_shipped) {
+  if (context_shipped != nullptr) {
+    *context_shipped = false;
+  }
   Worker* w = nullptr;
+  bool ship_context = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -204,12 +299,27 @@ bool WorkerPool::Execute(const std::vector<uint8_t>& work, std::vector<uint8_t>*
       }
       cv_.wait(lock);
     }
+    // Decide the context ship under the lock (the mirror belongs to this
+    // worker, and busy=true means no other Execute touches it until we're
+    // done), but do the actual I/O outside it.
+    if (!context_key.empty() && context_bytes != nullptr && !w->mirror->Contains(context_key)) {
+      ship_context = true;
+      w->mirror->InstallMirror(context_key, context_bytes->size());
+    }
   }
 
   std::string err;
   Frame reply;
-  bool transport_ok = WriteFrame(w->fd, FrameType::kWork, work, &err) &&
-                      ReadFrame(w->fd, &reply, options_.timeout_ms, &err);
+  bool transport_ok = true;
+  if (ship_context) {
+    transport_ok = WriteFrame(w->fd, FrameType::kContext,
+                              ContextPayload(context_key, *context_bytes), &err);
+    if (transport_ok && context_shipped != nullptr) {
+      *context_shipped = true;
+    }
+  }
+  transport_ok = transport_ok && WriteFrame(w->fd, FrameType::kWork, work, &err) &&
+                 ReadFrame(w->fd, &reply, options_.timeout_ms, &err);
   bool ok = false;
   {
     std::lock_guard<std::mutex> lock(mu_);

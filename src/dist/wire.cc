@@ -24,7 +24,7 @@ uint64_t LoadLE64(const uint8_t* p) {
 
 bool ValidType(uint16_t t) {
   return t >= static_cast<uint16_t>(FrameType::kHello) &&
-         t <= static_cast<uint16_t>(FrameType::kShutdown);
+         t <= static_cast<uint16_t>(FrameType::kContext);
 }
 
 int64_t NowMs() {
@@ -119,21 +119,16 @@ bool WriteFrame(int fd, FrameType type, const std::vector<uint8_t>& payload, std
   return true;
 }
 
-bool ReadFrame(int fd, Frame* out, int timeout_ms, std::string* error) {
-  std::vector<uint8_t> buf;
-  const int64_t deadline = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
-  for (;;) {
-    if (!buf.empty()) {
-      size_t consumed = 0;
-      switch (DecodeFrame(buf.data(), buf.size(), out, &consumed, error)) {
-        case DecodeStatus::kOk:
-          return true;
-        case DecodeStatus::kBad:
-          return false;
-        case DecodeStatus::kNeedMore:
-          break;
-      }
-    }
+namespace {
+
+// Appends exactly `want` more bytes from `fd` to `buf`, honoring the
+// deadline. ReadFrame must never consume past the frame it returns --
+// kContext + kWork frames travel back-to-back on one socket (PR 10), and a
+// stateless reader that buffered a 64 KiB chunk would silently discard the
+// second frame's bytes, desynchronizing the stream for good.
+bool ReadExact(int fd, int64_t deadline, size_t want, std::vector<uint8_t>* buf,
+               std::string* error) {
+  while (want > 0) {
     int wait = -1;
     if (deadline >= 0) {
       int64_t left = deadline - NowMs();
@@ -162,9 +157,11 @@ bool ReadFrame(int fd, Frame* out, int timeout_ms, std::string* error) {
       }
       return false;
     }
-    uint8_t chunk[64 * 1024];
-    ssize_t n = recv(fd, chunk, sizeof chunk, 0);
+    size_t base = buf->size();
+    buf->resize(base + want);
+    ssize_t n = recv(fd, buf->data() + base, want, 0);
     if (n < 0) {
+      buf->resize(base);
       if (errno == EINTR) {
         continue;
       }
@@ -174,13 +171,48 @@ bool ReadFrame(int fd, Frame* out, int timeout_ms, std::string* error) {
       return false;
     }
     if (n == 0) {
+      buf->resize(base);
       if (error != nullptr) {
         *error = "RDP1 peer closed the connection";
       }
       return false;
     }
-    buf.insert(buf.end(), chunk, chunk + n);
+    buf->resize(base + static_cast<size_t>(n));
+    want -= static_cast<size_t>(n);
   }
+  return true;
+}
+
+}  // namespace
+
+bool ReadFrame(int fd, Frame* out, int timeout_ms, std::string* error) {
+  std::vector<uint8_t> buf;
+  const int64_t deadline = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
+  // Header first: it pins the frame's total size, so the payload read below
+  // takes exactly this frame's bytes off the socket and not one byte more.
+  if (!ReadExact(fd, deadline, kFrameHeaderBytes, &buf, error)) {
+    return false;
+  }
+  size_t consumed = 0;
+  if (DecodeFrame(buf.data(), buf.size(), out, &consumed, error) == DecodeStatus::kBad) {
+    return false;  // bad magic/version/type/length: the stream is dead
+  }
+  uint64_t len = LoadLE64(buf.data() + 8);
+  if (!ReadExact(fd, deadline, len + kFrameChecksumBytes, &buf, error)) {
+    return false;
+  }
+  switch (DecodeFrame(buf.data(), buf.size(), out, &consumed, error)) {
+    case DecodeStatus::kOk:
+      return true;
+    case DecodeStatus::kBad:
+      return false;
+    case DecodeStatus::kNeedMore:
+      break;  // impossible: the buffer holds exactly the advertised frame
+  }
+  if (error != nullptr) {
+    *error = "RDP1: truncated frame";
+  }
+  return false;
 }
 
 }  // namespace revnic::dist

@@ -44,6 +44,15 @@ enum class FrameType : uint16_t {
   kResult = 3,    // worker -> coordinator; payload = serialized task result
   kError = 4,     // worker -> coordinator; payload = UTF-8 error string
   kShutdown = 5,  // coordinator -> worker; empty payload; child exits
+  // Coordinator -> worker; payload = u32 key length + key + blob. Installs
+  // the blob into the worker's context cache (no reply; the next kWork may
+  // reference it by key). Shared state -- e.g. an RSS1 step snapshot -- is
+  // shipped once per worker this way instead of once per task, so a stolen
+  // task whose worker already holds the (job, step) snapshot costs only the
+  // small kWork frame. Both ends apply the same FIFO byte-budget eviction
+  // (REVNIC_DIST_CONTEXT_BYTES), so the coordinator's per-worker mirror
+  // always knows what the child still holds.
+  kContext = 6,
 };
 
 struct Frame {
